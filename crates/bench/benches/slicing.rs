@@ -1,0 +1,59 @@
+//! End-to-end slicing benchmarks (Fig. 21's measured quantities):
+//! monovariant vs polyvariant executable slicing per corpus program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Crit};
+use specslice::{specialize, Criterion};
+use specslice_lang::frontend;
+use specslice_sdg::build::build_sdg;
+
+fn bench_slicers(c: &mut Crit) {
+    let mut group = c.benchmark_group("slicing");
+    group.sample_size(20);
+    for name in ["tcas", "schedule", "wc", "gzip", "go"] {
+        let prog = specslice_corpus::by_name(name).unwrap();
+        let ast = frontend(prog.source).unwrap();
+        let sdg = build_sdg(&ast).unwrap();
+        let cv = sdg.printf_actual_in_vertices();
+        group.bench_with_input(BenchmarkId::new("monovariant", name), &sdg, |b, sdg| {
+            b.iter(|| specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv))
+        });
+        group.bench_with_input(BenchmarkId::new("polyvariant", name), &sdg, |b, sdg| {
+            b.iter(|| specialize(sdg, &Criterion::AllContexts(cv.clone())).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("closure", name), &sdg, |b, sdg| {
+            b.iter(|| specslice_sdg::slice::backward_closure_slice(sdg, &cv))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sdg_build(c: &mut Crit) {
+    let mut group = c.benchmark_group("sdg-build");
+    group.sample_size(20);
+    for name in ["tcas", "go"] {
+        let prog = specslice_corpus::by_name(name).unwrap();
+        let ast = frontend(prog.source).unwrap();
+        group.bench_with_input(BenchmarkId::new("build", name), &ast, |b, ast| {
+            b.iter(|| build_sdg(ast).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_pk_family(c: &mut Crit) {
+    // Fig. 13: exponential growth in k.
+    let mut group = c.benchmark_group("pk-family");
+    group.sample_size(10);
+    for k in [2usize, 4, 6] {
+        let src = specslice_corpus::pk_family(k);
+        let ast = frontend(&src).unwrap();
+        let sdg = build_sdg(&ast).unwrap();
+        group.bench_with_input(BenchmarkId::new("specialize", k), &sdg, |b, sdg| {
+            b.iter(|| specialize(sdg, &Criterion::printf_actuals(sdg)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicers, bench_sdg_build, bench_pk_family);
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Shared harness for the experiment binary and Criterion benches: runs
+//! every slicing algorithm over every corpus program and collects the
+//! measurements the paper's Figs. 17–22 report.
+
+use specslice::encode::MAIN_CONTROL;
+use specslice::{criteria, encode, readout, Criterion, SpecSlice};
+use specslice_fsa::mrd::mrd_with_stats;
+use specslice_lang::Program;
+use specslice_pds::prestar::prestar_with_stats;
+use specslice_sdg::slice::backward_closure_slice;
+use specslice_sdg::{CalleeKind, LibFn, Sdg, VertexId};
+use std::time::{Duration, Instant};
+
+/// One sliced criterion with timing and size measurements.
+#[derive(Clone, Debug)]
+pub struct SliceRecord {
+    /// Program name.
+    pub program: &'static str,
+    /// Criterion vertex set (one printf's actual-ins).
+    pub criterion: Vec<VertexId>,
+    /// Closure-slice size (vertices).
+    pub closure_size: usize,
+    /// Monovariant executable slice size.
+    pub mono_size: usize,
+    /// Monovariant extraneous-element count.
+    pub mono_extraneous: usize,
+    /// Polyvariant total size (vertices across variants).
+    pub poly_size: usize,
+    /// Per-procedure variant counts of the polyvariant slice.
+    pub variant_counts: Vec<usize>,
+    /// Per-variant (original-PDG size, variant size, mono in-proc size).
+    pub scatter: Vec<(usize, usize, usize)>,
+    /// Wall-clock of the monovariant algorithm.
+    pub mono_time: Duration,
+    /// Wall-clock of the whole polyvariant pipeline.
+    pub poly_time: Duration,
+    /// Wall-clock of the PDS + FSA portion (Prestar + MRD).
+    pub automata_time: Duration,
+    /// Peak bytes of PDS/FSA structures (Fig. 22's column 6 analogue).
+    pub automata_bytes: usize,
+    /// Retained bytes of the SDG (Fig. 22's CodeSurfer analogue).
+    pub sdg_bytes: usize,
+    /// States after `determinize` (input to `minimize`).
+    pub det_states: usize,
+    /// States after minimization.
+    pub min_states: usize,
+    /// The slice itself.
+    pub slice: SpecSlice,
+}
+
+/// Runs all per-printf slices of one program, collecting records.
+pub fn slice_program(
+    name: &'static str,
+    program: &Program,
+    sdg: &Sdg,
+) -> Vec<SliceRecord> {
+    let _ = program;
+    let mut out = Vec::new();
+    let printf_sites: Vec<_> = sdg
+        .call_sites
+        .iter()
+        .filter(|c| c.callee == CalleeKind::Library(LibFn::Printf))
+        .cloned()
+        .collect();
+    for site in printf_sites {
+        let cv: Vec<VertexId> = site.actual_ins.clone();
+
+        let t0 = Instant::now();
+        let mono = specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv);
+        let mono_time = t0.elapsed();
+
+        // Polyvariant pipeline with phase timing.
+        let t1 = Instant::now();
+        let enc = encode::encode_sdg(sdg);
+        let criterion = Criterion::AllContexts(cv.clone());
+        let query = criteria::query_automaton(sdg, &enc, &criterion).expect("criterion");
+        let ta = Instant::now();
+        let (a1, prestats) = prestar_with_stats(&enc.pds, &query);
+        let a1_nfa = a1.to_nfa(MAIN_CONTROL);
+        let (a1_trim, _) = a1_nfa.trimmed();
+        let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
+        let automata_time = ta.elapsed();
+        let slice = readout::read_out(sdg, &enc, &a6).expect("read-out");
+        let poly_time = t1.elapsed();
+
+        let closure = backward_closure_slice(sdg, &cv);
+        let mut per_proc = std::collections::BTreeMap::new();
+        for v in &slice.variants {
+            *per_proc.entry(v.proc).or_insert(0usize) += 1;
+        }
+        let mono_per_proc = {
+            let mut m = std::collections::BTreeMap::new();
+            for &v in &mono.vertices {
+                *m.entry(sdg.vertex(v).proc).or_insert(0usize) += 1;
+            }
+            m
+        };
+        let scatter = slice
+            .variants
+            .iter()
+            .map(|v| {
+                (
+                    sdg.proc(v.proc).vertices.len(),
+                    v.vertices.len(),
+                    mono_per_proc.get(&v.proc).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+
+        out.push(SliceRecord {
+            program: name,
+            criterion: cv,
+            closure_size: closure.len(),
+            mono_size: mono.vertices.len(),
+            mono_extraneous: mono.extraneous.len(),
+            poly_size: slice.total_vertices(),
+            variant_counts: per_proc.values().copied().collect(),
+            scatter,
+            mono_time,
+            poly_time,
+            automata_time,
+            automata_bytes: prestats.peak_bytes + a6.transition_count() * 24,
+            sdg_bytes: sdg.approx_bytes(),
+            det_states: mrd_stats.determinized_states,
+            min_states: mrd_stats.minimized_states,
+            slice,
+        });
+    }
+    out
+}
+
+/// Geometric mean of strictly positive values (the paper's aggregation).
+pub fn geometric_mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v > 0.0 {
+            log_sum += v.ln();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (log_sum / n as f64).exp()
+}
+
+/// Sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Lines of code of a MiniC source (non-blank, non-comment).
+pub fn loc(source: &str) -> usize {
+    source
+        .lines()
+        .filter(|l| {
+            let t = l.trim();
+            !t.is_empty() && !t.starts_with("//")
+        })
+        .count()
+}

@@ -1,0 +1,310 @@
+//! Lowering calls through procedure pointers (§6.2 of the paper).
+//!
+//! Each indirect call `x = p(a, b)` is rewritten into a call of a
+//! synthesized dispatcher:
+//!
+//! ```c
+//! int __dispatch2(int (*p)(int, int), int a0, int a1) {
+//!     int __r;
+//!     if (p == f) { __r = f(a0, a1); }
+//!     else { __r = g(a0, a1); }
+//!     return __r;
+//! }
+//! ```
+//!
+//! so that specialization slicing — which only understands direct calls —
+//! automatically produces specialized dispatchers (`__dispatch2__1`) and
+//! specialized pointees (`f__1`, `g__1`), exactly as in the paper's §6.2
+//! example. The points-to sets are computed per pointer arity (a sound
+//! coarsening of Andersen's analysis: every function whose address is taken
+//! anywhere, grouped by type).
+
+use crate::SpecError;
+use specslice_lang::ast::{
+    Block, CallStmt, Callee, Expr, Function, Param, ParamMode, Program, RetKind, Stmt,
+    StmtKind, Type,
+};
+use specslice_lang::{normalize, sema};
+use std::collections::BTreeMap;
+
+/// Rewrites all indirect calls into dispatcher calls. Programs without
+/// indirect calls are returned unchanged (modulo renumbering).
+///
+/// # Errors
+///
+/// Fails if a pointer arity has an empty points-to set (no function of that
+/// type ever has its address taken) or if the rewritten program fails the
+/// semantic checker.
+pub fn lower_indirect_calls(program: &Program) -> Result<Program, SpecError> {
+    // Arities of indirect calls present.
+    let mut call_arities: BTreeMap<usize, ()> = BTreeMap::new();
+    program.visit_all(|_, s| {
+        if let StmtKind::Call(c) = &s.kind {
+            if matches!(c.callee, Callee::Indirect(_)) {
+                call_arities.insert(c.args.len(), ());
+            }
+        }
+    });
+    if call_arities.is_empty() {
+        return Ok(program.clone());
+    }
+
+    // Points-to candidates per arity: every function referenced by address.
+    let mut candidates: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    let note = |e: &Expr, program: &Program, candidates: &mut BTreeMap<usize, Vec<String>>| {
+        collect_funcrefs(e, &mut |name| {
+            if let Some(f) = program.function(name) {
+                let arity = f.params.len();
+                let entry = candidates.entry(arity).or_default();
+                if !entry.contains(&name.to_string()) {
+                    entry.push(name.to_string());
+                }
+            }
+        });
+    };
+    program.visit_all(|_, s| match &s.kind {
+        StmtKind::Decl { init: Some(e), .. } | StmtKind::Assign { value: e, .. } => {
+            note(e, program, &mut candidates)
+        }
+        StmtKind::Call(c) => {
+            for a in &c.args {
+                note(a, program, &mut candidates);
+            }
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+            note(cond, program, &mut candidates)
+        }
+        StmtKind::Return { value: Some(e) } => note(e, program, &mut candidates),
+        StmtKind::Printf { args, .. } => {
+            for a in args {
+                note(a, program, &mut candidates);
+            }
+        }
+        StmtKind::Exit { code } => note(code, program, &mut candidates),
+        _ => {}
+    });
+
+    // Synthesize one dispatcher per arity in use.
+    let mut out = program.clone();
+    for (&arity, _) in &call_arities {
+        let cands = candidates.get(&arity).cloned().unwrap_or_default();
+        if cands.is_empty() {
+            return Err(SpecError::new(format!(
+                "indirect call of arity {arity} has an empty points-to set"
+            )));
+        }
+        out.functions.push(make_dispatcher(arity, &cands));
+    }
+
+    // Rewrite indirect calls.
+    for f in &mut out.functions {
+        rewrite_block(&mut f.body);
+    }
+
+    let out = normalize::normalize(out);
+    sema::check(&out).map_err(|e| {
+        SpecError::new(format!("indirect-call lowering produced invalid code: {e}"))
+    })?;
+    Ok(out)
+}
+
+/// Name of the dispatcher for a given arity.
+pub fn dispatcher_name(arity: usize) -> String {
+    format!("__dispatch{arity}")
+}
+
+fn make_dispatcher(arity: usize, candidates: &[String]) -> Function {
+    let mut params = vec![Param {
+        name: "__fp".into(),
+        mode: ParamMode::FnPtr { arity },
+    }];
+    for i in 0..arity {
+        params.push(Param {
+            name: format!("__a{i}"),
+            mode: ParamMode::Value,
+        });
+    }
+    let args: Vec<Expr> = (0..arity).map(|i| Expr::Var(format!("__a{i}"))).collect();
+    let call_to = |f: &str| {
+        Stmt::new(
+            0,
+            StmtKind::Call(CallStmt {
+                callee: Callee::Named(f.to_string()),
+                args: args.clone(),
+                assign_to: Some("__r".into()),
+            }),
+        )
+    };
+    // if (__fp == f1) { __r = f1(..); } else { … else { __r = fk(..); } }
+    let mut chain = Block {
+        stmts: vec![call_to(candidates.last().expect("non-empty"))],
+    };
+    for f in candidates.iter().rev().skip(1) {
+        chain = Block {
+            stmts: vec![Stmt::new(
+                0,
+                StmtKind::If {
+                    cond: Expr::Binary(
+                        specslice_lang::ast::BinOp::Eq,
+                        Box::new(Expr::Var("__fp".into())),
+                        Box::new(Expr::FuncRef(f.clone())),
+                    ),
+                    then_block: Block {
+                        stmts: vec![call_to(f)],
+                    },
+                    else_block: Some(chain),
+                },
+            )],
+        };
+    }
+    let mut stmts = vec![Stmt::new(
+        0,
+        StmtKind::Decl {
+            name: "__r".into(),
+            ty: Type::Int,
+            init: None,
+        },
+    )];
+    stmts.extend(chain.stmts);
+    stmts.push(Stmt::new(
+        0,
+        StmtKind::Return {
+            value: Some(Expr::Var("__r".into())),
+        },
+    ));
+    Function {
+        name: dispatcher_name(arity),
+        ret: RetKind::Int,
+        params,
+        body: Block { stmts },
+        line: 0,
+    }
+}
+
+fn rewrite_block(b: &mut Block) {
+    b.visit_mut(&mut |s| {
+        if let StmtKind::Call(c) = &mut s.kind {
+            if let Callee::Indirect(v) = &c.callee {
+                let mut args = vec![Expr::Var(v.clone())];
+                args.append(&mut c.args);
+                c.callee = Callee::Named(dispatcher_name(args.len() - 1));
+                c.args = args;
+            }
+        }
+    });
+}
+
+fn collect_funcrefs(e: &Expr, f: &mut impl FnMut(&str)) {
+    match e {
+        Expr::FuncRef(name) => f(name),
+        Expr::Unary(_, inner) => collect_funcrefs(inner, f),
+        Expr::Binary(_, a, b) => {
+            collect_funcrefs(a, f);
+            collect_funcrefs(b, f);
+        }
+        Expr::Call(c) => {
+            for a in &c.args {
+                collect_funcrefs(a, f);
+            }
+        }
+        Expr::Int(_) | Expr::Var(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specslice_lang::frontend;
+
+    /// The paper's Fig. 15 program.
+    const FIG15: &str = r#"
+        int f(int a, int b) { return a + b; }
+        int g(int a, int b) { return a; }
+        int main() {
+            int (*p)(int, int);
+            int x;
+            int c;
+            scanf("%d", &c);
+            if (c > 0) { p = f; } else { p = g; }
+            x = p(1, 2);
+            printf("%d", x);
+        }
+    "#;
+
+    #[test]
+    fn fig15_lowering() {
+        let p = frontend(FIG15).unwrap();
+        let lowered = lower_indirect_calls(&p).unwrap();
+        // Dispatcher synthesized with fnptr + 2 args.
+        let d = lowered.function("__dispatch2").unwrap();
+        assert_eq!(d.params.len(), 3);
+        assert_eq!(d.params[0].mode, ParamMode::FnPtr { arity: 2 });
+        // The indirect call is gone.
+        let mut any_indirect = false;
+        lowered.visit_all(|_, s| {
+            if let StmtKind::Call(c) = &s.kind {
+                if matches!(c.callee, Callee::Indirect(_)) {
+                    any_indirect = true;
+                }
+            }
+        });
+        assert!(!any_indirect);
+        // main now calls the dispatcher, passing p first.
+        let mut found = false;
+        lowered.visit_all(|f, s| {
+            if f != "main" {
+                return;
+            }
+            if let StmtKind::Call(c) = &s.kind {
+                if c.callee == Callee::Named("__dispatch2".into()) {
+                    assert_eq!(c.args.len(), 3);
+                    assert_eq!(c.args[0], Expr::Var("p".into()));
+                    found = true;
+                }
+            }
+        });
+        assert!(found);
+        // Dispatcher dispatches on both candidates.
+        let d = lowered.function("__dispatch2").unwrap();
+        let mut refs = Vec::new();
+        d.body.visit(&mut |s| {
+            if let StmtKind::If { cond, .. } = &s.kind {
+                collect_funcrefs(cond, &mut |n| refs.push(n.to_string()));
+            }
+        });
+        assert_eq!(refs, vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn programs_without_indirect_calls_unchanged() {
+        let p = frontend("int main() { return 0; }").unwrap();
+        let lowered = lower_indirect_calls(&p).unwrap();
+        assert_eq!(p, lowered);
+    }
+
+    #[test]
+    fn empty_points_to_set_is_an_error() {
+        // p is declared and called but never assigned any function.
+        let p = frontend(
+            r#"
+            int main() {
+                int (*p)(int);
+                int x;
+                x = p(1);
+                return x;
+            }
+            "#,
+        )
+        .unwrap();
+        let err = lower_indirect_calls(&p).unwrap_err();
+        assert!(err.message.contains("points-to"), "{err}");
+    }
+
+    #[test]
+    fn lowered_program_builds_an_sdg() {
+        let p = frontend(FIG15).unwrap();
+        let lowered = lower_indirect_calls(&p).unwrap();
+        let sdg = specslice_sdg::build::build_sdg(&lowered).unwrap();
+        assert!(sdg.proc_named("__dispatch2").is_some());
+    }
+}

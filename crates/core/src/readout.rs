@@ -1,0 +1,303 @@
+//! Reading the specialized SDG out of the MRD automaton
+//! (Alg. 1, lines 9–24).
+//!
+//! Each non-initial state of the minimal reverse-deterministic automaton
+//! `A6` denotes one *specialized PDG*: its vertex set is the set of labels
+//! on transitions from the initial state, and each call-site-labeled
+//! transition `(q1, C, q2)` connects caller variant `q2` to callee variant
+//! `q1` at (the copy of) call site `C`.
+
+use crate::encode::Encoded;
+use crate::SpecError;
+use specslice_fsa::{is_reverse_deterministic, Nfa, StateId};
+use specslice_sdg::{CallSiteId, CalleeKind, ProcId, Sdg, VertexId, VertexKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One specialized procedure (a partition element of Defn. 2.10).
+#[derive(Clone, Debug)]
+pub struct VariantPdg {
+    /// The original procedure this specializes.
+    pub proc: ProcId,
+    /// Name of the specialized procedure (`p__1`, `p__2`, … — or the
+    /// original name when the procedure has a single variant).
+    pub name: String,
+    /// The `Elems` component: original SDG vertices included in this
+    /// specialization.
+    pub vertices: BTreeSet<VertexId>,
+    /// For each original call site appearing in this variant, the index (in
+    /// [`SpecSlice::variants`]) of the callee variant it must invoke.
+    pub calls: BTreeMap<CallSiteId, usize>,
+    /// The `A6` state this variant was read from (diagnostics).
+    pub state: StateId,
+}
+
+impl VariantPdg {
+    /// Parameter indices kept in this variant's signature: those whose
+    /// formal-in (or by-ref formal-out) vertex is included.
+    pub fn kept_params(&self, sdg: &Sdg) -> Vec<usize> {
+        let proc = sdg.proc(self.proc);
+        let mut kept = BTreeSet::new();
+        for &fi in &proc.formal_ins {
+            if self.vertices.contains(&fi) {
+                if let Some(specslice_sdg::InSlot::Param(i)) = sdg.in_slot(fi) {
+                    kept.insert(*i);
+                }
+            }
+        }
+        for &fo in &proc.formal_outs {
+            if self.vertices.contains(&fo) {
+                if let Some(specslice_sdg::OutSlot::RefParam(i)) = sdg.out_slot(fo) {
+                    kept.insert(*i);
+                }
+            }
+        }
+        kept.into_iter().collect()
+    }
+}
+
+/// The result of specialization slicing: a partition of the
+/// stack-configuration slice into specialized PDGs.
+#[derive(Clone, Debug)]
+pub struct SpecSlice {
+    /// All specialized procedures. `variants[main_variant]` is `main`'s.
+    pub variants: Vec<VariantPdg>,
+    /// Index of the `main` variant, `None` when the slice is empty.
+    pub main_variant: Option<usize>,
+    /// The MRD automaton the slice was read from.
+    pub a6: Nfa,
+}
+
+impl SpecSlice {
+    /// `true` when the criterion was unreachable and the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// The union of all variants' vertex sets (`Elems` of the whole slice).
+    pub fn elems(&self) -> BTreeSet<VertexId> {
+        self.variants
+            .iter()
+            .flat_map(|v| v.vertices.iter().copied())
+            .collect()
+    }
+
+    /// Total vertex count across variants (replicated vertices counted once
+    /// per variant) — the paper's specialization-slice size measure.
+    pub fn total_vertices(&self) -> usize {
+        self.variants.iter().map(|v| v.vertices.len()).sum()
+    }
+
+    /// The variants specializing procedure `name`.
+    pub fn variants_of_proc<'a>(&'a self, sdg: &Sdg, name: &str) -> Vec<&'a VariantPdg> {
+        let Some(p) = sdg.proc_by_name.get(name) else {
+            return Vec::new();
+        };
+        self.variants.iter().filter(|v| v.proc == *p).collect()
+    }
+
+    /// `Specializations(P)` of Eqn. (3): the distinct element-sets of `P`'s
+    /// variants.
+    pub fn specializations(&self, proc: ProcId) -> BTreeSet<BTreeSet<VertexId>> {
+        self.variants
+            .iter()
+            .filter(|v| v.proc == proc)
+            .map(|v| v.vertices.clone())
+            .collect()
+    }
+}
+
+/// Reads the specialized SDG out of `a6` (Alg. 1 lines 9–24) and validates
+/// the Cor. 3.19 no-parameter-mismatch property.
+pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecError> {
+    if a6.is_empty_language() {
+        return Ok(SpecSlice {
+            variants: Vec::new(),
+            main_variant: None,
+            a6: a6.clone(),
+        });
+    }
+    debug_assert!(is_reverse_deterministic(a6), "A6 must be MRD (Thm. 3.16)");
+
+    let q0 = a6.initial();
+    // Collect per-state vertex sets and per-state call transitions.
+    let mut vertex_sets: HashMap<StateId, BTreeSet<VertexId>> = HashMap::new();
+    let mut call_transitions: Vec<(StateId, CallSiteId, StateId)> = Vec::new();
+    for (from, label, to) in a6.transitions() {
+        let sym = label.ok_or_else(|| SpecError::new("A6 has ε-transitions"))?;
+        if from == q0 {
+            let v = enc.symbol_vertex(sym).ok_or_else(|| {
+                SpecError::new("initial-state transition labeled by a call site")
+            })?;
+            vertex_sets.entry(to).or_default().insert(v);
+        } else {
+            let c = enc.symbol_call_site(sym).ok_or_else(|| {
+                SpecError::new("non-initial transition labeled by a vertex symbol")
+            })?;
+            call_transitions.push((from, c, to));
+        }
+    }
+
+    // Determine each state's procedure.
+    let mut state_proc: HashMap<StateId, ProcId> = HashMap::new();
+    for (&state, verts) in &vertex_sets {
+        let mut procs: BTreeSet<ProcId> = verts.iter().map(|&v| sdg.vertex(v).proc).collect();
+        if procs.len() != 1 {
+            return Err(SpecError::new(format!(
+                "partition element mixes procedures: {procs:?} (Defn. 2.10(2) violated)"
+            )));
+        }
+        state_proc.insert(state, procs.pop_first().expect("non-empty"));
+    }
+    // States with no vertex transitions (possible for feature-removal
+    // complements): infer the procedure from adjacent call transitions.
+    for &(from, c, to) in &call_transitions {
+        let site = sdg.call_site(c);
+        if let CalleeKind::User(callee) = site.callee {
+            state_proc.entry(from).or_insert(callee);
+        }
+        state_proc.entry(to).or_insert(site.caller);
+    }
+
+    // Consistency: call transition (q1, C, q2) must have proc(q1) = callee(C)
+    // and proc(q2) = caller(C).
+    for &(from, c, to) in &call_transitions {
+        let site = sdg.call_site(c);
+        let CalleeKind::User(callee) = site.callee else {
+            return Err(SpecError::new(format!(
+                "call-site symbol {c:?} of a library call appeared on the stack"
+            )));
+        };
+        if state_proc.get(&from) != Some(&callee) || state_proc.get(&to) != Some(&site.caller)
+        {
+            return Err(SpecError::new(format!(
+                "inconsistent call transition at {c:?}: callee/caller procedures \
+                 do not match the original SDG"
+            )));
+        }
+    }
+
+    // Build variants in deterministic state order.
+    let mut states: Vec<StateId> = state_proc.keys().copied().collect();
+    states.sort();
+    let mut variant_of_state: HashMap<StateId, usize> = HashMap::new();
+    let mut variants: Vec<VariantPdg> = Vec::new();
+    // Per-proc counters for naming.
+    let mut per_proc_count: HashMap<ProcId, usize> = HashMap::new();
+    for &s in &states {
+        let proc = state_proc[&s];
+        *per_proc_count.entry(proc).or_insert(0) += 1;
+    }
+    let mut per_proc_seen: HashMap<ProcId, usize> = HashMap::new();
+    for &s in &states {
+        let proc = state_proc[&s];
+        let k = per_proc_seen.entry(proc).or_insert(0);
+        *k += 1;
+        let base = &sdg.proc(proc).name;
+        let name = if per_proc_count[&proc] == 1 || base == "main" {
+            base.clone()
+        } else {
+            format!("{base}__{k}")
+        };
+        variant_of_state.insert(s, variants.len());
+        variants.push(VariantPdg {
+            proc,
+            name,
+            vertices: vertex_sets.get(&s).cloned().unwrap_or_default(),
+            calls: BTreeMap::new(),
+            state: s,
+        });
+    }
+
+    // Connect variants along call transitions. Reverse determinism gives a
+    // unique callee per (caller variant, call site).
+    for &(from, c, to) in &call_transitions {
+        let caller_idx = variant_of_state[&to];
+        let callee_idx = variant_of_state[&from];
+        if let Some(&prev) = variants[caller_idx].calls.get(&c) {
+            if prev != callee_idx {
+                return Err(SpecError::new(format!(
+                    "call site {c:?} targets two different variants in one \
+                     caller copy (reverse determinism violated)"
+                )));
+            }
+        }
+        variants[caller_idx].calls.insert(c, callee_idx);
+    }
+
+    // Identify main's variant: proc(main) with final-state membership.
+    let finals = a6.finals();
+    let mut main_variant = None;
+    for (i, v) in variants.iter().enumerate() {
+        if finals.contains(&v.state) {
+            if v.proc != sdg.main {
+                return Err(SpecError::new(
+                    "final state does not correspond to main (ε-stack invariant broken)",
+                ));
+            }
+            if main_variant.is_some() {
+                return Err(SpecError::new("multiple main variants"));
+            }
+            main_variant = Some(i);
+        }
+    }
+
+    let slice = SpecSlice {
+        variants,
+        main_variant,
+        a6: a6.clone(),
+    };
+    validate_no_mismatches(sdg, &slice)?;
+    Ok(slice)
+}
+
+/// Cor. 3.19: in the specialized SDG, a kept formal always has the matching
+/// actual at every (specialized) call site, and vice versa.
+fn validate_no_mismatches(sdg: &Sdg, slice: &SpecSlice) -> Result<(), SpecError> {
+    for caller in &slice.variants {
+        for (&c, &callee_idx) in &caller.calls {
+            let callee = &slice.variants[callee_idx];
+            let site = sdg.call_site(c);
+            let callee_proc = sdg.proc(callee.proc);
+            for (&ai, &fi) in site.actual_ins.iter().zip(&callee_proc.formal_ins) {
+                let actual_in = caller.vertices.contains(&ai);
+                let formal_in = callee.vertices.contains(&fi);
+                if actual_in != formal_in {
+                    return Err(SpecError::new(format!(
+                        "parameter mismatch at {c:?} slot {:?}: actual={} formal={} \
+                         (Cor. 3.19 violated)",
+                        sdg.in_slot(fi),
+                        actual_in,
+                        formal_in
+                    )));
+                }
+            }
+            for (&ao, &fo) in site.actual_outs.iter().zip(&callee_proc.formal_outs) {
+                let actual_out = caller.vertices.contains(&ao);
+                let formal_out = callee.vertices.contains(&fo);
+                if actual_out != formal_out {
+                    return Err(SpecError::new(format!(
+                        "output mismatch at {c:?} slot {:?}: actual={} formal={}",
+                        sdg.out_slot(fo),
+                        actual_out,
+                        formal_out
+                    )));
+                }
+            }
+        }
+    }
+    // Every included user call vertex must have a callee binding.
+    for v in &slice.variants {
+        for &vid in &v.vertices {
+            if let VertexKind::Call { site, .. } = sdg.vertex(vid).kind {
+                if matches!(sdg.call_site(site).callee, CalleeKind::User(_))
+                    && !v.calls.contains_key(&site)
+                {
+                    return Err(SpecError::new(format!(
+                        "call vertex at {site:?} included with no callee variant"
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}

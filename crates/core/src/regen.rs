@@ -1,0 +1,522 @@
+//! Regenerating executable source from a specialization slice
+//! (Alg. 1, step 5 — "pretty-print the specialized SDG").
+//!
+//! Each [`VariantPdg`] becomes one MiniC function: statements whose anchor
+//! vertex is in the variant are kept, the signature keeps exactly the
+//! parameters whose formal vertices are kept, and every call site targets
+//! the callee *variant* chosen by the MRD automaton. The regenerated
+//! program is re-normalized and re-checked, so the output is executable by
+//! construction; origin maps (new statement → original statement, new
+//! parameter index → original index) support the §8.3 reslicing check.
+
+use crate::readout::{SpecSlice, VariantPdg};
+use crate::SpecError;
+use specslice_lang::ast::{
+    Block, CallStmt, Callee, Expr, Function, Param, Program, RetKind, Stmt, StmtId, StmtKind,
+};
+use specslice_lang::{normalize, pretty, sema};
+use specslice_sdg::{CallSiteId, OutSlot, Sdg, VertexId, VertexKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// A regenerated (specialized) program plus provenance maps.
+#[derive(Clone, Debug)]
+pub struct RegenOutput {
+    /// The specialized program (normalized and semantically checked).
+    pub program: Program,
+    /// Pretty-printed source text.
+    pub source: String,
+    /// New statement id → original statement id.
+    pub stmt_origin: HashMap<StmtId, StmtId>,
+    /// New function name → index of its variant in the input slice.
+    pub variant_of_function: HashMap<String, usize>,
+    /// New function name → (new param index → original param index).
+    pub param_maps: HashMap<String, Vec<usize>>,
+}
+
+/// Anchors: original statement → its anchor vertex, and statement → site.
+struct Anchors {
+    stmt_vertex: HashMap<StmtId, VertexId>,
+    stmt_site: HashMap<StmtId, CallSiteId>,
+}
+
+fn anchors(sdg: &Sdg) -> Anchors {
+    let mut stmt_vertex = HashMap::new();
+    let mut stmt_site = HashMap::new();
+    for v in sdg.vertex_ids() {
+        match sdg.vertex(v).kind {
+            VertexKind::Statement { stmt }
+            | VertexKind::Predicate { stmt }
+            | VertexKind::Jump { stmt } => {
+                stmt_vertex.insert(stmt, v);
+            }
+            VertexKind::Call { stmt, site } => {
+                stmt_vertex.insert(stmt, v);
+                stmt_site.insert(stmt, site);
+            }
+            _ => {}
+        }
+    }
+    Anchors {
+        stmt_vertex,
+        stmt_site,
+    }
+}
+
+/// Regenerates executable source for a specialization slice.
+///
+/// # Errors
+///
+/// Fails if the slice violates structural invariants (e.g. a statement kept
+/// under a dropped predicate) or if the regenerated program does not pass
+/// the MiniC semantic checker — both indicate internal bugs.
+pub fn regenerate(
+    sdg: &Sdg,
+    program: &Program,
+    slice: &SpecSlice,
+) -> Result<RegenOutput, SpecError> {
+    let anchors = anchors(sdg);
+    let mut functions = Vec::new();
+    let mut variant_of_function = HashMap::new();
+    let mut param_maps = HashMap::new();
+
+    // §6.2: functions whose address is taken keep their original name as an
+    // *empty stub* (the pointer-value space), so their variants are always
+    // suffixed even when unique.
+    let addr_taken = address_taken(program);
+    let mut names: Vec<String> = slice.variants.iter().map(|v| v.name.clone()).collect();
+    let mut per_proc_seen: HashMap<specslice_sdg::ProcId, usize> = HashMap::new();
+    for (i, v) in slice.variants.iter().enumerate() {
+        let base = &sdg.proc(v.proc).name;
+        let k = per_proc_seen.entry(v.proc).or_insert(0);
+        *k += 1;
+        if addr_taken.contains(base) {
+            names[i] = format!("{base}__{k}");
+        }
+    }
+
+    // Emit variants grouped by original function order.
+    let mut order: Vec<usize> = (0..slice.variants.len()).collect();
+    order.sort_by_key(|&i| (slice.variants[i].proc.0, i));
+
+    for &vi in &order {
+        let variant = &slice.variants[vi];
+        let original = &program.functions[variant.proc.index()];
+        let f = emit_variant(sdg, program, slice, variant, &names, vi, original, &anchors)?;
+        variant_of_function.insert(f.name.clone(), vi);
+        param_maps.insert(f.name.clone(), variant.kept_params(sdg));
+        functions.push(f);
+    }
+
+    // Address stubs: emptied originals retained for FuncRefs that survive.
+    let mut surviving_refs: BTreeSet<String> = BTreeSet::new();
+    for f in &functions {
+        f.body.visit(&mut |s| match &s.kind {
+            StmtKind::Decl { init: Some(e), .. } | StmtKind::Assign { value: e, .. } => {
+                collect_funcrefs_expr(e, &mut surviving_refs)
+            }
+            StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+                collect_funcrefs_expr(cond, &mut surviving_refs)
+            }
+            StmtKind::Return { value: Some(e) } => {
+                collect_funcrefs_expr(e, &mut surviving_refs)
+            }
+            StmtKind::Call(c) => {
+                for a in &c.args {
+                    collect_funcrefs_expr(a, &mut surviving_refs);
+                }
+            }
+            _ => {}
+        });
+    }
+    for name in &surviving_refs {
+        if let Some(orig) = program.function(name) {
+            functions.push(Function {
+                name: orig.name.clone(),
+                ret: orig.ret,
+                params: orig.params.clone(),
+                body: Block::default(),
+                line: orig.line,
+            });
+        }
+    }
+    if slice.main_variant.is_none() {
+        // Empty slice: still produce a runnable (empty) program.
+        functions.push(Function {
+            name: "main".into(),
+            ret: RetKind::Int,
+            params: Vec::new(),
+            body: Block::default(),
+            line: 0,
+        });
+    }
+
+    // Globals actually used by the emitted bodies, in original order.
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for f in &functions {
+        collect_vars_function(f, &mut used);
+    }
+    let globals: Vec<String> = program
+        .globals
+        .iter()
+        .filter(|g| used.contains(*g))
+        .cloned()
+        .collect();
+
+    let raw = Program { globals, functions };
+
+    // Collect original ids in visit pre-order, then renumber and zip.
+    let mut old_ids: Vec<StmtId> = Vec::new();
+    for f in &raw.functions {
+        f.body.visit(&mut |s| old_ids.push(s.id));
+    }
+    let normalized = normalize::normalize(raw);
+    sema::check(&normalized).map_err(|e| {
+        SpecError::new(format!("regenerated program failed checking: {e}"))
+    })?;
+    let mut new_ids: Vec<StmtId> = Vec::new();
+    for f in &normalized.functions {
+        f.body.visit(&mut |s| new_ids.push(s.id));
+    }
+    if new_ids.len() != old_ids.len() {
+        return Err(SpecError::new(
+            "normalization changed the regenerated program's shape",
+        ));
+    }
+    let stmt_origin: HashMap<StmtId, StmtId> = new_ids
+        .into_iter()
+        .zip(old_ids)
+        .filter(|(_, old)| *old != StmtId::UNASSIGNED)
+        .collect();
+
+    let source = pretty(&normalized);
+    Ok(RegenOutput {
+        program: normalized,
+        source,
+        stmt_origin,
+        variant_of_function,
+        param_maps,
+    })
+}
+
+fn emit_variant(
+    sdg: &Sdg,
+    program: &Program,
+    slice: &SpecSlice,
+    variant: &VariantPdg,
+    names: &[String],
+    variant_idx: usize,
+    original: &Function,
+    anchors: &Anchors,
+) -> Result<Function, SpecError> {
+    let kept = variant.kept_params(sdg);
+    let params: Vec<Param> = kept
+        .iter()
+        .map(|&i| original.params[i].clone())
+        .collect();
+
+    let body = emit_block(sdg, slice, variant, names, &original.body, anchors)?;
+
+    // Local declarations: every local name used in the body that is neither
+    // a kept parameter, a global, nor declared by a kept Decl statement.
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    collect_vars_block(&body, &mut used);
+    let mut declared: BTreeSet<String> = params.iter().map(|p| p.name.clone()).collect();
+    body.visit(&mut |s| {
+        if let StmtKind::Decl { name, .. } = &s.kind {
+            declared.insert(name.clone());
+        }
+    });
+    let mut decls: Vec<Stmt> = Vec::new();
+    // Walk original declarations in order so re-declared locals keep their
+    // (fn-pointer) types.
+    original.body.visit(&mut |s| {
+        if let StmtKind::Decl { name, ty, .. } = &s.kind {
+            if used.contains(name) && !declared.contains(name) && !program.is_global(name) {
+                declared.insert(name.clone());
+                decls.push(Stmt::new(
+                    s.line,
+                    StmtKind::Decl {
+                        name: name.clone(),
+                        ty: *ty,
+                        init: None,
+                    },
+                ));
+            }
+        }
+    });
+    // A dropped parameter whose name is still used by kept statements has
+    // become scratch storage (the slice needs neither its incoming nor its
+    // outgoing value): re-declare it as a local.
+    for (i, param) in original.params.iter().enumerate() {
+        if kept.contains(&i) || !used.contains(&param.name) || declared.contains(&param.name)
+        {
+            continue;
+        }
+        declared.insert(param.name.clone());
+        let ty = match param.mode {
+            specslice_lang::ast::ParamMode::FnPtr { arity } => {
+                specslice_lang::ast::Type::FnPtr { arity }
+            }
+            _ => specslice_lang::ast::Type::Int,
+        };
+        decls.push(Stmt::new(
+            original.line,
+            StmtKind::Decl {
+                name: param.name.clone(),
+                ty,
+                init: None,
+            },
+        ));
+    }
+    // Any remaining used-but-undeclared non-global name (e.g. a dropped
+    // parameter name that still appears in a kept by-ref argument of the
+    // caller) is a bug at this level.
+    for u in &used {
+        let is_fn = program.function(u).is_some() || slice.variants.iter().any(|v| v.name == *u);
+        if !declared.contains(u) && !program.is_global(u) && !is_fn {
+            return Err(SpecError::new(format!(
+                "variant `{}` uses undeclared `{u}`",
+                variant.name
+            )));
+        }
+    }
+    let mut stmts = decls;
+    stmts.extend(body.stmts);
+    Ok(Function {
+        name: names[variant_idx].clone(),
+        ret: original.ret,
+        params,
+        body: Block { stmts },
+        line: original.line,
+    })
+}
+
+fn emit_block(
+    sdg: &Sdg,
+    slice: &SpecSlice,
+    variant: &VariantPdg,
+    names: &[String],
+    block: &Block,
+    anchors: &Anchors,
+) -> Result<Block, SpecError> {
+    let mut out = Vec::new();
+    for s in &block.stmts {
+        let kept = anchors
+            .stmt_vertex
+            .get(&s.id)
+            .is_some_and(|v| variant.vertices.contains(v));
+        match &s.kind {
+            StmtKind::Decl { .. } => {
+                if kept {
+                    out.push(reid(s.id, s.line, s.kind.clone()));
+                }
+            }
+            StmtKind::Assign { .. }
+            | StmtKind::Printf { .. }
+            | StmtKind::Scanf { .. }
+            | StmtKind::Exit { .. }
+            | StmtKind::Return { .. }
+            | StmtKind::Break
+            | StmtKind::Continue => {
+                if kept {
+                    out.push(reid(s.id, s.line, s.kind.clone()));
+                }
+            }
+            StmtKind::Call(c) => {
+                if !kept {
+                    continue;
+                }
+                let site = anchors.stmt_site[&s.id];
+                if matches!(
+                    sdg.call_site(site).callee,
+                    specslice_sdg::CalleeKind::Library(_)
+                ) {
+                    out.push(reid(s.id, s.line, s.kind.clone()));
+                    continue;
+                }
+                let callee_idx = *variant.calls.get(&site).ok_or_else(|| {
+                    SpecError::new(format!(
+                        "variant `{}` keeps a call at {site:?} with no callee variant",
+                        variant.name
+                    ))
+                })?;
+                let callee_variant = &slice.variants[callee_idx];
+                let kept_params = callee_variant.kept_params(sdg);
+                let args: Vec<Expr> = kept_params
+                    .iter()
+                    .map(|&i| c.args[i].clone())
+                    .collect();
+                // Keep the result assignment only when the return actual-out
+                // survives in this variant.
+                let site_rec = sdg.call_site(site);
+                let ret_kept = sdg
+                    .actual_out_for_slot(site_rec, &OutSlot::Ret)
+                    .is_some_and(|ao| variant.vertices.contains(&ao));
+                let assign_to = if ret_kept { c.assign_to.clone() } else { None };
+                out.push(reid(
+                    s.id,
+                    s.line,
+                    StmtKind::Call(CallStmt {
+                        callee: Callee::Named(names[callee_idx].clone()),
+                        args,
+                        assign_to,
+                    }),
+                ));
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let then_b = emit_block(sdg, slice, variant, names, then_block, anchors)?;
+                let else_b = match else_block {
+                    Some(e) => Some(emit_block(sdg, slice, variant, names, e, anchors)?),
+                    None => None,
+                };
+                if kept {
+                    let else_out = match else_b {
+                        Some(b) if !b.stmts.is_empty() => Some(b),
+                        _ => None,
+                    };
+                    out.push(reid(
+                        s.id,
+                        s.line,
+                        StmtKind::If {
+                            cond: cond.clone(),
+                            then_block: then_b,
+                            else_block: else_out,
+                        },
+                    ));
+                } else if !then_b.stmts.is_empty()
+                    || else_b.as_ref().is_some_and(|b| !b.stmts.is_empty())
+                {
+                    return Err(SpecError::new(
+                        "statement kept under a dropped predicate (control \
+                         dependence violated)",
+                    ));
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let body_b = emit_block(sdg, slice, variant, names, body, anchors)?;
+                if kept {
+                    out.push(reid(
+                        s.id,
+                        s.line,
+                        StmtKind::While {
+                            cond: cond.clone(),
+                            body: body_b,
+                        },
+                    ));
+                } else if !body_b.stmts.is_empty() {
+                    return Err(SpecError::new(
+                        "loop body kept under a dropped loop predicate",
+                    ));
+                }
+            }
+        }
+    }
+    Ok(Block { stmts: out })
+}
+
+/// Builds a statement carrying the *original* statement id (used to recover
+/// provenance after renumbering).
+fn reid(old: StmtId, line: u32, kind: StmtKind) -> Stmt {
+    Stmt {
+        id: old,
+        line,
+        kind,
+    }
+}
+
+fn collect_vars_function(f: &Function, out: &mut BTreeSet<String>) {
+    collect_vars_block(&f.body, out);
+}
+
+fn collect_funcrefs_expr(e: &Expr, out: &mut BTreeSet<String>) {
+    match e {
+        Expr::FuncRef(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Unary(_, inner) => collect_funcrefs_expr(inner, out),
+        Expr::Binary(_, a, b) => {
+            collect_funcrefs_expr(a, out);
+            collect_funcrefs_expr(b, out);
+        }
+        Expr::Call(c) => {
+            for a in &c.args {
+                collect_funcrefs_expr(a, out);
+            }
+        }
+        Expr::Int(_) | Expr::Var(_) => {}
+    }
+}
+
+/// Function names whose address is taken anywhere in `p`.
+fn address_taken(p: &Program) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    p.visit_all(|_, s| match &s.kind {
+        StmtKind::Decl { init: Some(e), .. } | StmtKind::Assign { value: e, .. } => {
+            collect_funcrefs_expr(e, &mut out)
+        }
+        StmtKind::Call(c) => {
+            for a in &c.args {
+                collect_funcrefs_expr(a, &mut out);
+            }
+        }
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+            collect_funcrefs_expr(cond, &mut out)
+        }
+        StmtKind::Return { value: Some(e) } => collect_funcrefs_expr(e, &mut out),
+        StmtKind::Printf { args, .. } => {
+            for a in args {
+                collect_funcrefs_expr(a, &mut out);
+            }
+        }
+        StmtKind::Exit { code } => collect_funcrefs_expr(code, &mut out),
+        _ => {}
+    });
+    out
+}
+
+fn collect_vars_block(b: &Block, out: &mut BTreeSet<String>) {
+    b.visit(&mut |s| match &s.kind {
+        StmtKind::Decl { name, init, .. } => {
+            out.insert(name.clone());
+            if let Some(e) = init {
+                out.extend(e.vars());
+            }
+        }
+        StmtKind::Assign { name, value } => {
+            out.insert(name.clone());
+            out.extend(value.vars());
+        }
+        StmtKind::Call(c) => {
+            for a in &c.args {
+                out.extend(a.vars());
+            }
+            if let Some(t) = &c.assign_to {
+                out.insert(t.clone());
+            }
+            if let Callee::Indirect(v) = &c.callee {
+                out.insert(v.clone());
+            }
+        }
+        StmtKind::Printf { args, .. } => {
+            for a in args {
+                out.extend(a.vars());
+            }
+        }
+        StmtKind::Scanf {
+            targets, assign_to, ..
+        } => {
+            out.extend(targets.iter().cloned());
+            if let Some(t) = assign_to {
+                out.insert(t.clone());
+            }
+        }
+        StmtKind::Exit { code } => out.extend(code.vars()),
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => out.extend(cond.vars()),
+        StmtKind::Return { value: Some(e) } => out.extend(e.vars()),
+        _ => {}
+    });
+}

@@ -1,0 +1,131 @@
+//! The paper's worked examples as reusable constants.
+
+/// Fig. 1(a) / Fig. 14(a): the running example; slicing at the `printf`
+/// specializes `p` into `p_1(b)` and `p_2(a, b)`.
+pub const FIG1: &str = r#"
+int g1, g2, g3;
+void p(int a, int b) {
+    g1 = a;
+    g2 = b;
+    g3 = g2;
+}
+int main() {
+    g2 = 100;
+    p(g2, 2);
+    p(g2, 3);
+    p(4, g1 + g2);
+    printf("%d", g2);
+}
+"#;
+
+/// Fig. 2(a): direct recursion that specialization turns into mutual
+/// recursion (`r_1` ↔ `r_2`), with `s` split into `s_1`/`s_2`.
+pub const FIG2: &str = r#"
+int g1, g2;
+void s(int a, int b) {
+    g1 = b;
+    g2 = a;
+}
+int r(int k) {
+    if (k > 0) {
+        s(g1, g2);
+        r(k - 1);
+        s(g1, g2);
+    }
+}
+int main() {
+    g1 = 1;
+    g2 = 2;
+    r(3);
+    printf("%d\n", g1);
+}
+"#;
+
+/// The §1 "flawed method" example: a correct specialization slicer must not
+/// leave `int z = 3;` in the variant of `p` that only computes `g1`.
+pub const FLAWED: &str = r#"
+int g1, g2;
+void p(int a, int b) {
+    g1 = a;
+    int z = 3;
+    g2 = b + z;
+}
+int main() {
+    p(11, 4);
+    p(g2, 2);
+    printf("%d", g1);
+}
+"#;
+
+/// Fig. 15: function pointers and an indirect call (§6.2).
+pub const FIG15: &str = r#"
+int f(int a, int b) { return a + b; }
+int g(int a, int b) { return a; }
+int main() {
+    int (*p)(int, int);
+    int x;
+    int c;
+    scanf("%d", &c);
+    if (c > 0) { p = f; } else { p = g; }
+    x = p(1, 2);
+    printf("%d", x);
+}
+"#;
+
+/// Fig. 16(a): sum/product via a shared `add`; removing the product feature
+/// must keep `add` and drop `tally`'s `prod` parameter (§7).
+pub const FIG16: &str = r#"
+int add(int a, int b) {
+    int q;
+    q = a + b;
+    return q;
+}
+int mult(int a, int b) {
+    int i;
+    int ans;
+    i = 0;
+    ans = 0;
+    while (i < a) {
+        ans = add(ans, b);
+        i = add(i, 1);
+    }
+    return ans;
+}
+void tally(int& sum, int& prod, int N) {
+    int i;
+    i = 1;
+    while (i <= N) {
+        sum = add(sum, i);
+        prod = mult(prod, i);
+        i = add(i, 1);
+    }
+}
+int main() {
+    int sum;
+    int prod;
+    sum = 0;
+    prod = 1;
+    tally(sum, prod, 10);
+    printf("%d ", sum);
+    printf("%d ", prod);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specslice_lang::frontend;
+
+    #[test]
+    fn all_examples_pass_the_frontend() {
+        for (name, src) in [
+            ("fig1", FIG1),
+            ("fig2", FIG2),
+            ("flawed", FLAWED),
+            ("fig15", FIG15),
+            ("fig16", FIG16),
+        ] {
+            frontend(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

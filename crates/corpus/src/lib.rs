@@ -1,0 +1,218 @@
+//! The test-program corpus: MiniC emulations of the paper's twelve test
+//! programs (Fig. 17), the paper's worked examples, the Fig. 13 exponential
+//! family, and a seeded random-program generator for property-based tests.
+//!
+//! The original corpus (Siemens suite + wc/gzip/space/flex/go in C, analyzed
+//! with CodeSurfer) is not available; these emulations reproduce what the
+//! evaluation actually measures — SDG *shape*: procedures with partially
+//! relevant parameters, shared helpers called with different needs,
+//! recursion, library I/O, and realistic control flow. See DESIGN.md §2 for
+//! the substitution argument.
+//!
+//! # Example
+//!
+//! ```
+//! let programs = specslice_corpus::programs();
+//! assert_eq!(programs.len(), 12);
+//! let wc = specslice_corpus::by_name("wc").unwrap();
+//! let ast = specslice_lang::frontend(wc.source)?;
+//! assert!(ast.functions.len() >= 2);
+//! # Ok::<(), specslice_lang::LangError>(())
+//! ```
+
+pub mod examples;
+pub mod generate;
+
+pub use generate::{random_program, GenConfig};
+
+/// One corpus entry.
+#[derive(Clone, Copy, Debug)]
+pub struct CorpusProgram {
+    /// Program name (matches Fig. 17's first column).
+    pub name: &'static str,
+    /// MiniC source text.
+    pub source: &'static str,
+    /// A sample input on which the program terminates quickly.
+    pub sample_input: &'static [i64],
+    /// One-line description.
+    pub description: &'static str,
+}
+
+/// The twelve corpus programs, in the paper's Fig. 17 order.
+pub fn programs() -> Vec<CorpusProgram> {
+    vec![
+        CorpusProgram {
+            name: "tcas",
+            source: include_str!("../programs/tcas.mc"),
+            sample_input: &[601, 1, 1, 500, 400, 700, 1, 640, 500, 0, 0, 1],
+            description: "traffic collision avoidance advisory logic",
+        },
+        CorpusProgram {
+            name: "schedule2",
+            source: include_str!("../programs/schedule2.mc"),
+            sample_input: &[1, 10, 1, 20, 2, 30, 3, 4, 3, 4, 3, 0],
+            description: "process scheduler with aging",
+        },
+        CorpusProgram {
+            name: "schedule",
+            source: include_str!("../programs/schedule.mc"),
+            sample_input: &[1, 1, 10, 1, 2, 20, 2, 2, 1, 3, 3, 0],
+            description: "three-queue priority scheduler",
+        },
+        CorpusProgram {
+            name: "print_tokens",
+            source: include_str!("../programs/print_tokens.mc"),
+            sample_input: &[1, 1, 3, 2, 2, 3, 5, 1, 1, 5, 4, 0],
+            description: "lexical analyzer",
+        },
+        CorpusProgram {
+            name: "replace",
+            source: include_str!("../programs/replace.mc"),
+            sample_input: &[2, 2, 7, 1, 2, 2, 2, 1, 2, 0],
+            description: "pattern match and substitute",
+        },
+        CorpusProgram {
+            name: "print_tokens2",
+            source: include_str!("../programs/print_tokens2.mc"),
+            sample_input: &[1, 1, 3, 4, 5, 1, 5, 4, 2, 2, 6, 0],
+            description: "tokenizer with comment handling",
+        },
+        CorpusProgram {
+            name: "tot_info",
+            source: include_str!("../programs/tot_info.mc"),
+            sample_input: &[2, 2, 5, 6, 7, 8, 3, 2, 1, 2, 3, 4, 5, 6, 0],
+            description: "information-measure statistics",
+        },
+        CorpusProgram {
+            name: "wc",
+            source: include_str!("../programs/wc.mc"),
+            sample_input: &[1, 1, 0, 1, 2, 1, 1, 1, 0, 2],
+            description: "word count (the §5 speed-up experiment)",
+        },
+        CorpusProgram {
+            name: "gzip",
+            source: include_str!("../programs/gzip.mc"),
+            sample_input: &[6, 5, 5, 5, 5, 7, 8, 7, 8, 7, 7, 7, 9, 0],
+            description: "LZ77-flavored compressor",
+        },
+        CorpusProgram {
+            name: "space",
+            source: include_str!("../programs/space.mc"),
+            sample_input: &[2, 2, 3, 190, 4, 50, 3, 10, 4, 30, 2, 1, 3, 200, 4, 70, 7, 0],
+            description: "antenna-array configuration parser",
+        },
+        CorpusProgram {
+            name: "flex",
+            source: include_str!("../programs/flex.mc"),
+            sample_input: &[3, 1, 2, 2, 4, 3, 6, 5, 1, 9, 2, 4, 8, 3, 0],
+            description: "scanner-generator table builder + simulator",
+        },
+        CorpusProgram {
+            name: "go",
+            source: include_str!("../programs/go.mc"),
+            sample_input: &[5, 1, 2, 3, 4],
+            description: "game-tree position evaluator",
+        },
+    ]
+}
+
+/// Looks up a corpus program by name.
+pub fn by_name(name: &str) -> Option<CorpusProgram> {
+    programs().into_iter().find(|p| p.name == name)
+}
+
+/// Generates the Fig. 13 family member `P_k`: `k` recursive call sites,
+/// each zeroing a different temporary after the recursive call, giving
+/// `2^k − 1` specializations of `pk` when sliced from the final `printf`.
+pub fn pk_family(k: usize) -> String {
+    use std::fmt::Write;
+    assert!(k >= 1, "P_k needs k >= 1");
+    fn branch(i: usize, k: usize, s: &mut String) {
+        writeln!(s, "pk(m - 1);").unwrap();
+        for j in 1..=k {
+            if j == i {
+                writeln!(s, "t{j} = 0;").unwrap();
+            } else {
+                writeln!(s, "t{j} = g{j};").unwrap();
+            }
+        }
+    }
+    fn chain(i: usize, k: usize, s: &mut String) {
+        if i == k {
+            branch(i, k, s);
+        } else {
+            writeln!(s, "if (v == {i}) {{").unwrap();
+            branch(i, k, s);
+            writeln!(s, "}} else {{").unwrap();
+            chain(i + 1, k, s);
+            writeln!(s, "}}").unwrap();
+        }
+    }
+    let mut s = String::new();
+    let globals: Vec<String> = (1..=k).map(|i| format!("g{i}")).collect();
+    writeln!(s, "int {};", globals.join(", ")).unwrap();
+    writeln!(s, "void pk(int m) {{").unwrap();
+    writeln!(s, "int v;").unwrap();
+    (1..=k).for_each(|i| writeln!(s, "int t{i};").unwrap());
+    writeln!(s, "if (m == 0) {{ return; }}").unwrap();
+    writeln!(s, "v = scanf(\"%d\", &v);").unwrap();
+    chain(1, k, &mut s);
+    (1..=k).for_each(|j| writeln!(s, "g{j} = t{j};").unwrap());
+    writeln!(s, "}}").unwrap();
+    writeln!(s, "int main() {{").unwrap();
+    (1..=k).for_each(|i| writeln!(s, "g{i} = {i};").unwrap());
+    writeln!(s, "pk({k});").unwrap();
+    let sum: Vec<String> = (1..=k).map(|i| format!("g{i}")).collect();
+    writeln!(s, "printf(\"%d\\n\", {});", sum.join(" + ")).unwrap();
+    writeln!(s, "return 0;").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specslice_lang::frontend;
+
+    #[test]
+    fn all_programs_pass_the_frontend() {
+        for p in programs() {
+            frontend(p.source).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn corpus_has_twelve_entries_in_fig17_order() {
+        let names: Vec<&str> = programs().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "tcas",
+                "schedule2",
+                "schedule",
+                "print_tokens",
+                "replace",
+                "print_tokens2",
+                "tot_info",
+                "wc",
+                "gzip",
+                "space",
+                "flex",
+                "go"
+            ]
+        );
+    }
+
+    #[test]
+    fn pk_family_parses_for_small_k() {
+        for k in 1..=6 {
+            frontend(&pk_family(k)).unwrap_or_else(|e| panic!("P_{k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("wc").is_some());
+        assert!(by_name("doom").is_none());
+    }
+}

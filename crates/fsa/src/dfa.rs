@@ -1,0 +1,270 @@
+//! Deterministic finite automata (partial transition function) and the
+//! subset construction.
+
+use crate::nfa::{Nfa, StateId};
+use crate::Symbol;
+use std::collections::{BTreeSet, HashMap};
+
+/// A deterministic automaton with a *partial* transition function: a missing
+/// entry means the word is rejected (implicit dead state). This keeps large
+/// alphabets (one symbol per SDG vertex) tractable.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    n_states: u32,
+    initial: StateId,
+    finals: BTreeSet<StateId>,
+    /// Per-state sparse successor map.
+    trans: Vec<HashMap<Symbol, StateId>>,
+}
+
+impl Dfa {
+    /// Creates a DFA with a single initial state and no transitions.
+    pub fn new() -> Dfa {
+        Dfa {
+            n_states: 1,
+            initial: StateId(0),
+            finals: BTreeSet::new(),
+            trans: vec![HashMap::new()],
+        }
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Adds a fresh state.
+    pub fn add_state(&mut self) -> StateId {
+        let id = StateId(self.n_states);
+        self.n_states += 1;
+        self.trans.push(HashMap::new());
+        id
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.n_states as usize
+    }
+
+    /// Number of (explicit) transitions.
+    pub fn transition_count(&self) -> usize {
+        self.trans.iter().map(HashMap::len).sum()
+    }
+
+    /// Marks `q` accepting.
+    pub fn set_final(&mut self, q: StateId) {
+        self.finals.insert(q);
+    }
+
+    /// Whether `q` is accepting.
+    pub fn is_final(&self, q: StateId) -> bool {
+        self.finals.contains(&q)
+    }
+
+    /// The accepting states.
+    pub fn finals(&self) -> &BTreeSet<StateId> {
+        &self.finals
+    }
+
+    /// Sets `δ(from, sym) = to`, replacing any previous entry.
+    pub fn set_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
+        self.trans[from.index()].insert(sym, to);
+    }
+
+    /// Looks up `δ(from, sym)`.
+    pub fn step(&self, from: StateId, sym: Symbol) -> Option<StateId> {
+        self.trans[from.index()].get(&sym).copied()
+    }
+
+    /// The successor map of `q`.
+    pub fn transitions_from(&self, q: StateId) -> &HashMap<Symbol, StateId> {
+        &self.trans[q.index()]
+    }
+
+    /// Iterates over every transition `(from, sym, to)`.
+    pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
+        self.trans.iter().enumerate().flat_map(|(i, m)| {
+            m.iter().map(move |(&s, &t)| (StateId(i as u32), s, t))
+        })
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn accepts(&self, word: &[Symbol]) -> bool {
+        let mut q = self.initial;
+        for &sym in word {
+            match self.step(q, sym) {
+                Some(n) => q = n,
+                None => return false,
+            }
+        }
+        self.is_final(q)
+    }
+
+    /// Converts to an equivalent NFA (for composing with NFA-level ops).
+    pub fn to_nfa(&self) -> Nfa {
+        let mut n = Nfa::new();
+        // state i of the DFA maps to state i of the NFA; add the rest.
+        for _ in 1..self.state_count() {
+            n.add_state();
+        }
+        for (f, s, t) in self.transitions() {
+            n.add_transition(f, Some(s), t);
+        }
+        for &f in &self.finals {
+            n.set_final(f);
+        }
+        n
+    }
+
+    /// Determinizes `nfa` by the subset construction (ε-closures included).
+    ///
+    /// Only reachable subset states are materialized.
+    pub fn determinize(nfa: &Nfa) -> Dfa {
+        let mut dfa = Dfa::new();
+        let mut start = BTreeSet::new();
+        start.insert(nfa.initial());
+        let start = nfa.epsilon_closure(&start);
+
+        let mut subset_ids: HashMap<Vec<u32>, StateId> = HashMap::new();
+        let key = |s: &BTreeSet<StateId>| s.iter().map(|q| q.0).collect::<Vec<u32>>();
+
+        subset_ids.insert(key(&start), dfa.initial());
+        if start.iter().any(|&q| nfa.is_final(q)) {
+            dfa.set_final(dfa.initial());
+        }
+        let mut work: Vec<(BTreeSet<StateId>, StateId)> = vec![(start, dfa.initial())];
+
+        while let Some((subset, did)) = work.pop() {
+            // Group successor NFA states by symbol.
+            let mut by_sym: HashMap<Symbol, BTreeSet<StateId>> = HashMap::new();
+            for &q in &subset {
+                for &(l, t) in nfa.transitions_from(q) {
+                    if let Some(sym) = l {
+                        by_sym.entry(sym).or_default().insert(t);
+                    }
+                }
+            }
+            // Deterministic iteration order for reproducible state numbering.
+            let mut entries: Vec<(Symbol, BTreeSet<StateId>)> = by_sym.into_iter().collect();
+            entries.sort_by_key(|(s, _)| *s);
+            for (sym, targets) in entries {
+                let closure = nfa.epsilon_closure(&targets);
+                let k = key(&closure);
+                let target_id = match subset_ids.get(&k) {
+                    Some(&id) => id,
+                    None => {
+                        let id = dfa.add_state();
+                        subset_ids.insert(k, id);
+                        if closure.iter().any(|&q| nfa.is_final(q)) {
+                            dfa.set_final(id);
+                        }
+                        work.push((closure, id));
+                        id
+                    }
+                };
+                dfa.set_transition(did, sym, target_id);
+            }
+        }
+        dfa
+    }
+}
+
+impl Default for Dfa {
+    fn default() -> Self {
+        Dfa::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    /// NFA for (a|b)*b — classic determinization example.
+    fn ab_star_b() -> Nfa {
+        let a = sym(0);
+        let b = sym(1);
+        let mut n = Nfa::new();
+        let q0 = n.initial();
+        let q1 = n.add_state();
+        n.add_transition(q0, Some(a), q0);
+        n.add_transition(q0, Some(b), q0);
+        n.add_transition(q0, Some(b), q1);
+        n.set_final(q1);
+        n
+    }
+
+    #[test]
+    fn determinize_preserves_language() {
+        let n = ab_star_b();
+        let d = Dfa::determinize(&n);
+        for w in n.words(6, 200) {
+            assert!(d.accepts(&w), "{w:?}");
+        }
+        // And the DFA accepts nothing extra on short words.
+        let (a, b) = (sym(0), sym(1));
+        for w in [vec![], vec![a], vec![a, a], vec![b, a], vec![a, b, a]] {
+            assert_eq!(d.accepts(&w), n.accepts(&w), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn determinize_handles_epsilon() {
+        let a = sym(3);
+        let mut n = Nfa::new();
+        let q0 = n.initial();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.add_transition(q0, None, q1);
+        n.add_transition(q1, Some(a), q2);
+        n.set_final(q2);
+        let d = Dfa::determinize(&n);
+        assert!(d.accepts(&[a]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn determinization_is_deterministic_construction() {
+        let n = ab_star_b();
+        let d1 = Dfa::determinize(&n);
+        let d2 = Dfa::determinize(&n);
+        assert_eq!(d1.state_count(), d2.state_count());
+        let t1: Vec<_> = {
+            let mut v: Vec<_> = d1.transitions().collect();
+            v.sort();
+            v
+        };
+        let t2: Vec<_> = {
+            let mut v: Vec<_> = d2.transitions().collect();
+            v.sort();
+            v
+        };
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn to_nfa_round_trips_language() {
+        let n = ab_star_b();
+        let d = Dfa::determinize(&n);
+        let n2 = d.to_nfa();
+        for w in n.words(5, 100) {
+            assert!(n2.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn partial_function_rejects_unknown_symbols() {
+        let d = {
+            let mut d = Dfa::new();
+            let q1 = d.add_state();
+            d.set_transition(d.initial(), sym(1), q1);
+            d.set_final(q1);
+            d
+        };
+        assert!(d.accepts(&[sym(1)]));
+        assert!(!d.accepts(&[sym(2)]));
+    }
+}

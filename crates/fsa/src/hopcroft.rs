@@ -1,0 +1,278 @@
+//! DFA minimization by partition refinement.
+//!
+//! Works directly on *partial* DFAs: the automaton is first trimmed (states
+//! must be reachable and co-reachable), after which a missing transition can
+//! never be equivalent to a present one (a present transition leads to a live
+//! state, and no live state is equivalent to the implicit dead state). Plain
+//! Moore-style refinement over the sparse successor maps is therefore exact,
+//! and avoids materializing the `|Q| × |Σ|` complete transition table —
+//! essential here because slicing alphabets contain one symbol per SDG
+//! vertex.
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use crate::Symbol;
+use std::collections::HashMap;
+
+/// Returns the minimal partial DFA recognizing the same language as `dfa`.
+///
+/// The result is trim (every state reachable and co-reachable) except for the
+/// degenerate empty-language case, which yields a single non-accepting state.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let trimmed = trim(dfa);
+    if trimmed.finals().is_empty() {
+        return Dfa::new(); // empty language: one initial, non-final state
+    }
+    let n = trimmed.state_count();
+
+    // Initial partition: accepting vs non-accepting.
+    let mut class: Vec<u32> = (0..n)
+        .map(|i| u32::from(trimmed.is_final(StateId(i as u32))))
+        .collect();
+    let mut n_classes = if class.iter().any(|&c| c == 0) && class.iter().any(|&c| c == 1) {
+        2
+    } else {
+        1
+    };
+    if n_classes == 1 {
+        // normalize ids to 0
+        for c in class.iter_mut() {
+            *c = 0;
+        }
+    }
+
+    loop {
+        // Signature: (current class, sorted successor (symbol, class) pairs).
+        let mut sig_ids: HashMap<(u32, Vec<(Symbol, u32)>), u32> = HashMap::new();
+        let mut new_class = vec![0u32; n];
+        for i in 0..n {
+            let q = StateId(i as u32);
+            let mut succ: Vec<(Symbol, u32)> = trimmed
+                .transitions_from(q)
+                .iter()
+                .map(|(&s, &t)| (s, class[t.index()]))
+                .collect();
+            succ.sort_unstable();
+            let key = (class[i], succ);
+            let next_id = sig_ids.len() as u32;
+            let id = *sig_ids.entry(key).or_insert(next_id);
+            new_class[i] = id;
+        }
+        let new_n = sig_ids.len();
+        if new_n == n_classes {
+            class = new_class;
+            break;
+        }
+        n_classes = new_n;
+        class = new_class;
+    }
+
+    // Build the quotient automaton. Renumber classes so the initial state's
+    // class is 0 (the quotient DFA's initial state).
+    let init_class = class[trimmed.initial().index()];
+    let remap = |c: u32| -> u32 {
+        if c == init_class {
+            0
+        } else if c < init_class {
+            c + 1
+        } else {
+            c
+        }
+    };
+    let mut out = Dfa::new();
+    for _ in 1..n_classes {
+        out.add_state();
+    }
+    for i in 0..n {
+        let q = StateId(i as u32);
+        let cq = StateId(remap(class[i]));
+        if trimmed.is_final(q) {
+            out.set_final(cq);
+        }
+        for (&s, &t) in trimmed.transitions_from(q) {
+            out.set_transition(cq, s, StateId(remap(class[t.index()])));
+        }
+    }
+    out
+}
+
+/// Restricts a DFA to reachable and co-reachable states (the initial state is
+/// always kept).
+pub fn trim(dfa: &Dfa) -> Dfa {
+    let n = dfa.state_count();
+    let mut reach = vec![false; n];
+    reach[dfa.initial().index()] = true;
+    let mut work = vec![dfa.initial()];
+    while let Some(q) = work.pop() {
+        for (_, &t) in dfa.transitions_from(q) {
+            if !reach[t.index()] {
+                reach[t.index()] = true;
+                work.push(t);
+            }
+        }
+    }
+    let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for (f, _, t) in dfa.transitions() {
+        rev[t.index()].push(f);
+    }
+    let mut coreach = vec![false; n];
+    let mut work: Vec<StateId> = dfa.finals().iter().copied().collect();
+    for &f in dfa.finals() {
+        coreach[f.index()] = true;
+    }
+    while let Some(q) = work.pop() {
+        for &p in &rev[q.index()] {
+            if !coreach[p.index()] {
+                coreach[p.index()] = true;
+                work.push(p);
+            }
+        }
+    }
+
+    let keep = |q: StateId| reach[q.index()] && coreach[q.index()];
+    let mut map: HashMap<StateId, StateId> = HashMap::new();
+    let mut out = Dfa::new();
+    map.insert(dfa.initial(), out.initial());
+    for i in 0..n as u32 {
+        let q = StateId(i);
+        if q != dfa.initial() && keep(q) {
+            map.insert(q, out.add_state());
+        }
+    }
+    for (f, s, t) in dfa.transitions() {
+        if (f == dfa.initial() || keep(f)) && keep(t) {
+            if let (Some(&nf), Some(&nt)) = (map.get(&f), map.get(&t)) {
+                out.set_transition(nf, s, nt);
+            }
+        }
+    }
+    for &f in dfa.finals() {
+        if let Some(&nf) = map.get(&f) {
+            out.set_final(nf);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    /// DFA with two redundant accepting states for L = a(b)* .
+    fn redundant_dfa() -> Dfa {
+        let a = sym(0);
+        let b = sym(1);
+        let mut d = Dfa::new();
+        let q1 = d.add_state();
+        let q2 = d.add_state();
+        d.set_transition(d.initial(), a, q1);
+        d.set_transition(q1, b, q2);
+        d.set_transition(q2, b, q1);
+        d.set_final(q1);
+        d.set_final(q2);
+        d
+    }
+
+    #[test]
+    fn merges_equivalent_states() {
+        let d = redundant_dfa();
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 2);
+        let (a, b) = (sym(0), sym(1));
+        for w in [
+            vec![a],
+            vec![a, b],
+            vec![a, b, b],
+            vec![a, b, b, b],
+        ] {
+            assert!(m.accepts(&w), "{w:?}");
+        }
+        assert!(!m.accepts(&[b]));
+        assert!(!m.accepts(&[]));
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let m1 = minimize(&redundant_dfa());
+        let m2 = minimize(&m1);
+        assert_eq!(m1.state_count(), m2.state_count());
+        assert_eq!(m1.transition_count(), m2.transition_count());
+    }
+
+    #[test]
+    fn distinguishes_by_partiality() {
+        // q1 has an outgoing a-transition (to a live accepting state), q2 does
+        // not; they must not merge even though both are accepting.
+        let a = sym(0);
+        let b = sym(1);
+        let mut d = Dfa::new();
+        let q1 = d.add_state();
+        let q2 = d.add_state();
+        d.set_transition(d.initial(), a, q1);
+        d.set_transition(d.initial(), b, q2);
+        d.set_transition(q1, a, q2);
+        d.set_final(q1);
+        d.set_final(q2);
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 3);
+        assert!(m.accepts(&[a, a]));
+        assert!(!m.accepts(&[b, a]));
+    }
+
+    #[test]
+    fn empty_language_minimizes_to_one_state() {
+        let mut d = Dfa::new();
+        let q1 = d.add_state();
+        d.set_transition(d.initial(), sym(1), q1);
+        // no finals
+        let m = minimize(&d);
+        assert_eq!(m.state_count(), 1);
+        assert!(m.finals().is_empty());
+    }
+
+    #[test]
+    fn trim_drops_unreachable_and_dead() {
+        let a = sym(0);
+        let mut d = Dfa::new();
+        let q1 = d.add_state();
+        let dead = d.add_state();
+        let unreach = d.add_state();
+        d.set_transition(d.initial(), a, q1);
+        d.set_transition(q1, a, dead);
+        d.set_transition(unreach, a, q1);
+        d.set_final(q1);
+        let t = trim(&d);
+        assert_eq!(t.state_count(), 2);
+        assert!(t.accepts(&[a]));
+        assert!(!t.accepts(&[a, a]));
+    }
+
+    #[test]
+    fn agrees_with_subset_construction_language() {
+        // Random-ish NFA; check minimize(determinize(n)) ≡ n on enumerated words.
+        let a = sym(0);
+        let b = sym(1);
+        let mut n = Nfa::new();
+        let q0 = n.initial();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        n.add_transition(q0, Some(a), q0);
+        n.add_transition(q0, Some(a), q1);
+        n.add_transition(q1, Some(b), q2);
+        n.add_transition(q2, Some(a), q1);
+        n.set_final(q2);
+        let m = minimize(&Dfa::determinize(&n));
+        for w in n.words(6, 500) {
+            assert!(m.accepts(&w), "{w:?}");
+        }
+        // Sample of rejected words.
+        for w in [vec![], vec![a], vec![b], vec![a, b, a]] {
+            assert_eq!(m.accepts(&w), n.accepts(&w), "{w:?}");
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal reverse-deterministic (MRD) automaton construction — the
+//! automaton-theoretic core of the specialization-slicing algorithm
+//! (Alg. 1, lines 4–8; Obs. 3.11 and Thm. 3.16 of the paper).
+
+use crate::dfa::Dfa;
+use crate::hopcroft::minimize;
+use crate::nfa::{Nfa, StateId};
+use crate::ops::{remove_epsilon, reverse};
+use std::collections::HashMap;
+
+/// Computes the minimal reverse-deterministic automaton for `L(a1)`:
+///
+/// ```text
+/// A6 = removeEpsilonTransitions(reverse(minimize(determinize(reverse(A1)))))
+/// ```
+///
+/// The language is unchanged (`L(A6) = L(A1)`); only the *structure* becomes
+/// canonical: deterministic and minimal when read backwards from the unique
+/// final state. For stack-configuration-slice languages, the transitions out
+/// of the initial state of the result then spell out the solution of the
+/// configuration-partitioning problem (Thm. 3.17).
+///
+/// Also returns the intermediate determinized-reversed automaton's state
+/// count, which the evaluation section compares against the minimized size
+/// (§4.2's "determinize output shrinks by 4.4–34%" observation).
+pub fn mrd_with_stats(a1: &Nfa) -> (Nfa, MrdStats) {
+    let a2 = reverse(a1);
+    let a3 = Dfa::determinize(&a2);
+    let a4 = minimize(&a3);
+    let a5 = reverse(&a4.to_nfa());
+    let a6 = remove_epsilon(&a5);
+    let (a6, _) = a6.trimmed();
+    let stats = MrdStats {
+        input_states: a1.state_count(),
+        determinized_states: a3.state_count(),
+        minimized_states: a4.state_count(),
+        mrd_states: a6.state_count(),
+        mrd_transitions: a6.transition_count(),
+    };
+    (a6, stats)
+}
+
+/// Convenience wrapper around [`mrd_with_stats`] discarding the statistics.
+pub fn mrd(a1: &Nfa) -> Nfa {
+    mrd_with_stats(a1).0
+}
+
+/// Size observations made during the MRD pipeline (used by the `det-shrink`
+/// experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MrdStats {
+    /// States of the input automaton `A1`.
+    pub input_states: usize,
+    /// States after `determinize(reverse(A1))` (`A3`).
+    pub determinized_states: usize,
+    /// States after minimization (`A4`).
+    pub minimized_states: usize,
+    /// States of the final MRD automaton (`A6`).
+    pub mrd_states: usize,
+    /// Transitions of the final MRD automaton.
+    pub mrd_transitions: usize,
+}
+
+impl MrdStats {
+    /// Fractional shrink achieved by minimization relative to the
+    /// determinized automaton (the paper reports 4.4%–34%).
+    pub fn minimize_shrink(&self) -> f64 {
+        if self.determinized_states == 0 {
+            return 0.0;
+        }
+        1.0 - self.minimized_states as f64 / self.determinized_states as f64
+    }
+}
+
+/// Checks reverse determinism: read backwards from a unique final state, the
+/// automaton is deterministic — i.e. there is exactly one final state, and no
+/// two transitions with the same label enter the same state.
+pub fn is_reverse_deterministic(nfa: &Nfa) -> bool {
+    if nfa.finals().len() != 1 {
+        return false;
+    }
+    let mut seen: HashMap<(StateId, Option<crate::Symbol>), StateId> = HashMap::new();
+    for (from, l, to) in nfa.transitions() {
+        if l.is_none() {
+            return false; // ε would make backward reading nondeterministic
+        }
+        if let Some(&prev) = seen.get(&(to, l)) {
+            if prev != from {
+                return false;
+            }
+        }
+        seen.insert((to, l), from);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::equivalent;
+    use crate::Symbol;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    /// A deliberately redundant NFA for
+    /// L = { v C1, v C3, w C2 } ∪ { u } — the shape of Fig. 10(a): vertex
+    /// symbol then call-string.
+    fn fig10_like() -> Nfa {
+        let v = sym(0);
+        let w = sym(1);
+        let u = sym(2);
+        let (c1, c2, c3) = (sym(10), sym(11), sym(12));
+        let mut n = Nfa::new();
+        let q0 = n.initial();
+        // duplicate paths on purpose
+        let a1 = n.add_state();
+        let a2 = n.add_state();
+        let b = n.add_state();
+        let f = n.add_state();
+        n.add_transition(q0, Some(v), a1);
+        n.add_transition(q0, Some(v), a2);
+        n.add_transition(q0, Some(w), b);
+        n.add_transition(q0, Some(u), f);
+        n.add_transition(a1, Some(c1), f);
+        n.add_transition(a2, Some(c3), f);
+        n.add_transition(b, Some(c2), f);
+        n.set_final(f);
+        n
+    }
+
+    #[test]
+    fn mrd_preserves_language() {
+        let n = fig10_like();
+        let m = mrd(&n);
+        assert!(equivalent(&n, &m), "language changed by MRD pipeline");
+    }
+
+    #[test]
+    fn mrd_is_reverse_deterministic() {
+        let m = mrd(&fig10_like());
+        assert!(is_reverse_deterministic(&m));
+    }
+
+    #[test]
+    fn mrd_merges_same_context_vertices() {
+        // v C1 and v C3 share the suffix languages {C1, C3}; the MRD
+        // automaton routes both through one intermediate state (the
+        // "specialized procedure" state of the paper).
+        let m = mrd(&fig10_like());
+        // states: initial, final, state for {C1,C3}-contexts, state for {C2}.
+        assert_eq!(m.state_count(), 4);
+    }
+
+    #[test]
+    fn mrd_idempotent_language_and_size() {
+        let m1 = mrd(&fig10_like());
+        let m2 = mrd(&m1);
+        assert!(equivalent(&m1, &m2));
+        assert_eq!(m1.state_count(), m2.state_count());
+    }
+
+    #[test]
+    fn mrd_on_infinite_language() {
+        // L = r (CC)* C  ∪  m — recursion-shaped context language.
+        let r = sym(0);
+        let m_ = sym(1);
+        let c = sym(10);
+        let mut n = Nfa::new();
+        let q0 = n.initial();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        let f = n.add_state();
+        n.add_transition(q0, Some(r), q1);
+        n.add_transition(q1, Some(c), q2);
+        n.add_transition(q2, Some(c), q1);
+        n.add_transition(q2, None, f);
+        n.add_transition(q0, Some(m_), f);
+        n.set_final(f);
+        let out = mrd(&n);
+        assert!(is_reverse_deterministic(&out));
+        assert!(out.accepts(&[r, c]));
+        assert!(out.accepts(&[r, c, c, c]));
+        assert!(!out.accepts(&[r, c, c]));
+        assert!(out.accepts(&[m_]));
+        assert!(equivalent(&n, &out));
+    }
+
+    #[test]
+    fn stats_report_shrink() {
+        let (_, stats) = mrd_with_stats(&fig10_like());
+        assert!(stats.minimized_states <= stats.determinized_states);
+        assert!(stats.minimize_shrink() >= 0.0);
+    }
+
+    #[test]
+    fn reverse_determinism_detector() {
+        let mut n = Nfa::new();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        let f = n.add_state();
+        n.add_transition(n.initial(), Some(sym(0)), q1);
+        n.add_transition(n.initial(), Some(sym(0)), q2);
+        n.add_transition(q1, Some(sym(1)), f);
+        n.add_transition(q2, Some(sym(1)), f);
+        n.set_final(f);
+        // two 1-labeled transitions enter f from different states
+        assert!(!is_reverse_deterministic(&n));
+    }
+}

@@ -1,0 +1,252 @@
+//! A compact adjacency-list directed graph with stable integer node ids.
+
+use std::fmt;
+
+/// Identifier of a node inside a [`DiGraph`].
+///
+/// Node ids are dense indices assigned in insertion order; they are valid for
+/// the lifetime of the graph (nodes are never removed).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The position of this node in the graph's node table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A directed graph stored as forward and reverse adjacency lists.
+///
+/// Parallel edges are permitted (callers that need set semantics should use
+/// [`DiGraph::add_edge_unique`]). Nodes carry no payload; callers keep side
+/// tables indexed by [`NodeId`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    succ: Vec<Vec<NodeId>>,
+    pred: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        DiGraph {
+            succ: Vec::with_capacity(n),
+            pred: Vec::with_capacity(n),
+            edge_count: 0,
+        }
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn with_nodes(n: usize) -> Self {
+        DiGraph {
+            succ: vec![Vec::new(); n],
+            pred: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.succ.len() as u32);
+        self.succ.push(Vec::new());
+        self.pred.push(Vec::new());
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Number of edges (parallel edges counted individually).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Returns `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Iterates over all node ids in increasing order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.succ.len() as u32).map(NodeId)
+    }
+
+    /// Adds a directed edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        assert!(from.index() < self.succ.len(), "edge source out of range");
+        assert!(to.index() < self.succ.len(), "edge target out of range");
+        self.succ[from.index()].push(to);
+        self.pred[to.index()].push(from);
+        self.edge_count += 1;
+    }
+
+    /// Adds `from → to` unless an identical edge already exists.
+    ///
+    /// Returns `true` if the edge was inserted.
+    pub fn add_edge_unique(&mut self, from: NodeId, to: NodeId) -> bool {
+        if self.succ[from.index()].contains(&to) {
+            false
+        } else {
+            self.add_edge(from, to);
+            true
+        }
+    }
+
+    /// Returns `true` if an edge `from → to` exists.
+    pub fn has_edge(&self, from: NodeId, to: NodeId) -> bool {
+        self.succ[from.index()].contains(&to)
+    }
+
+    /// Successors of `n` in insertion order.
+    pub fn successors(&self, n: NodeId) -> &[NodeId] {
+        &self.succ[n.index()]
+    }
+
+    /// Predecessors of `n` in insertion order.
+    pub fn predecessors(&self, n: NodeId) -> &[NodeId] {
+        &self.pred[n.index()]
+    }
+
+    /// Iterates over all edges as `(from, to)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.succ.iter().enumerate().flat_map(|(i, outs)| {
+            outs.iter().map(move |&t| (NodeId(i as u32), t))
+        })
+    }
+
+    /// Builds the reverse graph (every edge flipped).
+    pub fn reversed(&self) -> DiGraph {
+        let mut g = DiGraph::with_nodes(self.node_count());
+        for (from, to) in self.edges() {
+            g.add_edge(to, from);
+        }
+        g
+    }
+
+    /// Returns a reverse-post-order (RPO) numbering of the nodes reachable
+    /// from `root`. Nodes not reachable from `root` are absent.
+    pub fn reverse_post_order(&self, root: NodeId) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.node_count());
+        let mut state = vec![0u8; self.node_count()]; // 0 unvisited, 1 open, 2 done
+        // Iterative DFS with an explicit stack of (node, next-successor-index).
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        state[root.index()] = 1;
+        while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+            if *i < self.succ[n.index()].len() {
+                let s = self.succ[n.index()][*i];
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[n.index()] = 2;
+                order.push(n);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (DiGraph, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn add_and_query_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        assert_eq!(g.successors(a), &[b, c]);
+        assert_eq!(g.predecessors(d), &[b, c]);
+    }
+
+    #[test]
+    fn unique_edge_insertion() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(g.add_edge_unique(a, b));
+        assert!(!g.add_edge_unique(a, b));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reversal_flips_all_edges() {
+        let (g, [a, b, _c, d]) = diamond();
+        let r = g.reversed();
+        assert!(r.has_edge(b, a));
+        assert!(r.has_edge(d, b));
+        assert_eq!(r.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn rpo_starts_at_root_and_respects_edges() {
+        let (g, [a, b, c, d]) = diamond();
+        let rpo = g.reverse_post_order(a);
+        assert_eq!(rpo[0], a);
+        assert_eq!(*rpo.last().unwrap(), d);
+        let pos =
+            |n: NodeId| rpo.iter().position(|&x| x == n).unwrap();
+        assert!(pos(a) < pos(b) && pos(a) < pos(c));
+        assert!(pos(b) < pos(d) && pos(c) < pos(d));
+    }
+
+    #[test]
+    fn rpo_skips_unreachable() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let _island = g.add_node();
+        g.add_edge(a, b);
+        assert_eq!(g.reverse_post_order(a).len(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_matches_counts() {
+        let (g, _) = diamond();
+        assert_eq!(g.edges().count(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Dominator trees via the iterative Cooper–Harvey–Kennedy algorithm.
+//!
+//! Postdominators — what control-dependence computation actually needs — are
+//! obtained by running the same algorithm on the reversed graph rooted at the
+//! exit node; see [`DominatorTree::postdominators`].
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The immediate-dominator relation of a rooted digraph.
+///
+/// Nodes unreachable from the root have no dominator information and report
+/// `None` from [`DominatorTree::idom`].
+#[derive(Clone, Debug)]
+pub struct DominatorTree {
+    root: NodeId,
+    /// `idom[n]` is the immediate dominator of `n`, `None` when `n` is the
+    /// root or unreachable.
+    idom: Vec<Option<NodeId>>,
+    /// RPO index per node (usize::MAX when unreachable).
+    order_index: Vec<usize>,
+}
+
+impl DominatorTree {
+    /// Computes the dominator tree of `g` rooted at `root`.
+    pub fn dominators(g: &DiGraph, root: NodeId) -> DominatorTree {
+        let rpo = g.reverse_post_order(root);
+        let mut order_index = vec![usize::MAX; g.node_count()];
+        for (i, &n) in rpo.iter().enumerate() {
+            order_index[n.index()] = i;
+        }
+        let mut idom: Vec<Option<NodeId>> = vec![None; g.node_count()];
+        idom[root.index()] = Some(root);
+
+        let intersect = |idom: &[Option<NodeId>], mut a: NodeId, mut b: NodeId| -> NodeId {
+            while a != b {
+                while order_index[a.index()] > order_index[b.index()] {
+                    a = idom[a.index()].expect("processed node has idom");
+                }
+                while order_index[b.index()] > order_index[a.index()] {
+                    b = idom[b.index()].expect("processed node has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &n in rpo.iter().skip(1) {
+                let mut new_idom: Option<NodeId> = None;
+                for &p in g.predecessors(n) {
+                    if order_index[p.index()] == usize::MAX {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed this round
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[n.index()] != Some(ni) {
+                        idom[n.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Normalize: the root's idom is reported as None.
+        idom[root.index()] = None;
+        DominatorTree {
+            root,
+            idom,
+            order_index,
+        }
+    }
+
+    /// Computes the *post*dominator tree of `g` with exit node `exit`:
+    /// dominators of the reversed graph rooted at `exit`.
+    pub fn postdominators(g: &DiGraph, exit: NodeId) -> DominatorTree {
+        DominatorTree::dominators(&g.reversed(), exit)
+    }
+
+    /// The root (entry for dominators, exit for postdominators).
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Immediate dominator of `n` (`None` for the root or unreachable nodes).
+    pub fn idom(&self, n: NodeId) -> Option<NodeId> {
+        self.idom.get(n.index()).copied().flatten()
+    }
+
+    /// Whether `n` is reachable from the root (and thus has dominator info).
+    pub fn is_reachable(&self, n: NodeId) -> bool {
+        n == self.root || self.idom[n.index()].is_some()
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    ///
+    /// For a postdominator tree this reads "`a` postdominates `b`".
+    pub fn dominates(&self, a: NodeId, b: NodeId) -> bool {
+        if !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+
+    /// Returns `true` if `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Iterates over `n` and its dominators up to the root.
+    pub fn ancestors(&self, n: NodeId) -> Ancestors<'_> {
+        Ancestors {
+            tree: self,
+            cur: if self.is_reachable(n) { Some(n) } else { None },
+        }
+    }
+
+    /// RPO index used internally; exposed for deterministic tie-breaking.
+    pub fn order_index(&self, n: NodeId) -> Option<usize> {
+        let i = self.order_index[n.index()];
+        (i != usize::MAX).then_some(i)
+    }
+}
+
+/// Iterator over a node's chain of dominators (see [`DominatorTree::ancestors`]).
+#[derive(Debug)]
+pub struct Ancestors<'a> {
+    tree: &'a DominatorTree,
+    cur: Option<NodeId>,
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.cur?;
+        self.cur = self.tree.idom(n);
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Classic CFG from the Cooper–Harvey–Kennedy paper (Figure 2).
+    fn chk_example() -> (DiGraph, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..6).map(|_| g.add_node()).collect();
+        // 6-node irreducible-ish example: edges as in the paper (renumbered).
+        g.add_edge(ns[5], ns[4]);
+        g.add_edge(ns[5], ns[3]);
+        g.add_edge(ns[4], ns[1]);
+        g.add_edge(ns[3], ns[2]);
+        g.add_edge(ns[2], ns[1]);
+        g.add_edge(ns[1], ns[2]);
+        g.add_edge(ns[1], ns[0]);
+        g.add_edge(ns[2], ns[0]);
+        (g, ns)
+    }
+
+    #[test]
+    fn chk_paper_example() {
+        let (g, ns) = chk_example();
+        let dt = DominatorTree::dominators(&g, ns[5]);
+        // In the CHK paper all non-root nodes have idom = root.
+        for i in 0..5 {
+            assert_eq!(dt.idom(ns[i]), Some(ns[5]), "idom of node {i}");
+        }
+        assert_eq!(dt.idom(ns[5]), None);
+    }
+
+    #[test]
+    fn straight_line_dominators() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let dt = DominatorTree::dominators(&g, a);
+        assert_eq!(dt.idom(c), Some(b));
+        assert_eq!(dt.idom(b), Some(a));
+        assert!(dt.dominates(a, c));
+        assert!(dt.strictly_dominates(a, c));
+        assert!(!dt.strictly_dominates(c, c));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        // a -> b, a -> c, b -> d, c -> d : d postdominates everything; the
+        // join d is the idom of a in the reversed graph.
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(b, d);
+        g.add_edge(c, d);
+        let pdt = DominatorTree::postdominators(&g, d);
+        assert_eq!(pdt.idom(a), Some(d));
+        assert_eq!(pdt.idom(b), Some(d));
+        assert_eq!(pdt.idom(c), Some(d));
+        assert!(pdt.dominates(d, a)); // d postdominates a
+        assert!(!pdt.dominates(b, a)); // b does not postdominate a
+    }
+
+    #[test]
+    fn loop_postdominators() {
+        // entry -> pred; pred -> body -> pred; pred -> exit.
+        let mut g = DiGraph::new();
+        let entry = g.add_node();
+        let pred = g.add_node();
+        let body = g.add_node();
+        let exit = g.add_node();
+        g.add_edge(entry, pred);
+        g.add_edge(pred, body);
+        g.add_edge(body, pred);
+        g.add_edge(pred, exit);
+        let pdt = DominatorTree::postdominators(&g, exit);
+        assert_eq!(pdt.idom(body), Some(pred));
+        assert_eq!(pdt.idom(pred), Some(exit));
+        assert!(pdt.dominates(pred, body));
+        assert!(!pdt.dominates(body, pred));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_idom() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let island = g.add_node();
+        let dt = DominatorTree::dominators(&g, a);
+        assert_eq!(dt.idom(island), None);
+        assert!(!dt.is_reachable(island));
+        assert!(!dt.dominates(a, island));
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let dt = DominatorTree::dominators(&g, a);
+        let chain: Vec<NodeId> = dt.ancestors(c).collect();
+        assert_eq!(chain, vec![c, b, a]);
+    }
+}

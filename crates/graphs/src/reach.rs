@@ -1,0 +1,87 @@
+//! Reachability helpers (forward/backward closures over node sets).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Returns the set of nodes reachable from `seeds` (inclusive), as a boolean
+/// table indexed by node.
+pub fn forward_closure(g: &DiGraph, seeds: impl IntoIterator<Item = NodeId>) -> Vec<bool> {
+    closure(g, seeds, |g, n| g.successors(n))
+}
+
+/// Returns the set of nodes that can reach `seeds` (inclusive).
+pub fn backward_closure(g: &DiGraph, seeds: impl IntoIterator<Item = NodeId>) -> Vec<bool> {
+    closure(g, seeds, |g, n| g.predecessors(n))
+}
+
+fn closure<'g>(
+    g: &'g DiGraph,
+    seeds: impl IntoIterator<Item = NodeId>,
+    next: impl Fn(&'g DiGraph, NodeId) -> &'g [NodeId],
+) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut work: Vec<NodeId> = Vec::new();
+    for s in seeds {
+        if !seen[s.index()] {
+            seen[s.index()] = true;
+            work.push(s);
+        }
+    }
+    while let Some(n) = work.pop() {
+        for &m in next(g, n) {
+            if !seen[m.index()] {
+                seen[m.index()] = true;
+                work.push(m);
+            }
+        }
+    }
+    seen
+}
+
+/// Collects the node ids marked `true` in a closure table.
+pub fn marked(table: &[bool]) -> Vec<NodeId> {
+    table
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(NodeId(i as u32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        let d = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(d, c);
+        let fwd = forward_closure(&g, [a]);
+        assert_eq!(marked(&fwd), vec![a, b, c]);
+        let bwd = backward_closure(&g, [c]);
+        assert_eq!(marked(&bwd), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn multiple_seeds() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, c);
+        let fwd = forward_closure(&g, [a, b]);
+        assert_eq!(marked(&fwd), vec![a, b, c]);
+    }
+
+    #[test]
+    fn empty_seed_set() {
+        let mut g = DiGraph::new();
+        g.add_node();
+        let fwd = forward_closure(&g, []);
+        assert!(marked(&fwd).is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Strongly connected components via Tarjan's algorithm (iterative).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The strongly-connected-component decomposition of a digraph.
+///
+/// Components are numbered in *reverse topological order* of the condensation
+/// (Tarjan emits callees before callers), which is exactly the order needed
+/// for bottom-up call-graph fixpoints.
+#[derive(Clone, Debug)]
+pub struct Sccs {
+    /// Component id per node.
+    component: Vec<usize>,
+    /// Members of each component.
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Sccs {
+    /// Computes SCCs of the whole graph (all nodes, reachable or not).
+    pub fn compute(g: &DiGraph) -> Sccs {
+        let n = g.node_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<NodeId> = Vec::new();
+        let mut component = vec![usize::MAX; n];
+        let mut members: Vec<Vec<NodeId>> = Vec::new();
+        let mut counter = 0usize;
+
+        // Explicit DFS frames: (node, next successor index).
+        let mut frames: Vec<(NodeId, usize)> = Vec::new();
+        for root in g.nodes() {
+            if index[root.index()] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root.index()] = counter;
+            low[root.index()] = counter;
+            counter += 1;
+            stack.push(root);
+            on_stack[root.index()] = true;
+
+            while let Some(&mut (v, ref mut i)) = frames.last_mut() {
+                if *i < g.successors(v).len() {
+                    let w = g.successors(v)[*i];
+                    *i += 1;
+                    if index[w.index()] == usize::MAX {
+                        index[w.index()] = counter;
+                        low[w.index()] = counter;
+                        counter += 1;
+                        stack.push(w);
+                        on_stack[w.index()] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w.index()] {
+                        low[v.index()] = low[v.index()].min(index[w.index()]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent.index()] = low[parent.index()].min(low[v.index()]);
+                    }
+                    if low[v.index()] == index[v.index()] {
+                        let cid = members.len();
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack non-empty");
+                            on_stack[w.index()] = false;
+                            component[w.index()] = cid;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        members.push(comp);
+                    }
+                }
+            }
+        }
+        Sccs { component, members }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the graph had no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Component id of `n`.
+    pub fn component_of(&self, n: NodeId) -> usize {
+        self.component[n.index()]
+    }
+
+    /// Members of component `c`.
+    pub fn members(&self, c: usize) -> &[NodeId] {
+        &self.members[c]
+    }
+
+    /// Iterates over components in reverse topological order (callees first).
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.members.iter().map(|v| v.as_slice())
+    }
+
+    /// Returns `true` if `n` is in a non-trivial cycle (an SCC of size > 1 or
+    /// a self-loop).
+    pub fn in_cycle(&self, g: &DiGraph, n: NodeId) -> bool {
+        self.members(self.component_of(n)).len() > 1 || g.has_edge(n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..5).map(|_| g.add_node()).collect();
+        // cycle {0,1}, bridge 1->2, cycle {2,3}, isolated 4
+        g.add_edge(ns[0], ns[1]);
+        g.add_edge(ns[1], ns[0]);
+        g.add_edge(ns[1], ns[2]);
+        g.add_edge(ns[2], ns[3]);
+        g.add_edge(ns[3], ns[2]);
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), 3);
+        assert_eq!(sccs.component_of(ns[0]), sccs.component_of(ns[1]));
+        assert_eq!(sccs.component_of(ns[2]), sccs.component_of(ns[3]));
+        assert_ne!(sccs.component_of(ns[0]), sccs.component_of(ns[2]));
+        // Reverse topological: the callee component {2,3} comes first.
+        assert!(sccs.component_of(ns[2]) < sccs.component_of(ns[0]));
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, a);
+        g.add_edge(a, b);
+        let sccs = Sccs::compute(&g);
+        assert!(sccs.in_cycle(&g, a));
+        assert!(!sccs.in_cycle(&g, b));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DiGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        let sccs = Sccs::compute(&g);
+        assert_eq!(sccs.len(), 3);
+        for comp in sccs.iter() {
+            assert_eq!(comp.len(), 1);
+        }
+    }
+}

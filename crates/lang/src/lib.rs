@@ -1,0 +1,91 @@
+//! MiniC: the small C-like language the specialization slicer operates on.
+//!
+//! MiniC stands in for the C + CodeSurfer/C frontend used by the paper. It
+//! covers every language feature the paper's algorithm and examples exercise:
+//!
+//! * global `int` variables, procedures with by-value and by-reference
+//!   (`int&`) parameters, `int`/`void` returns, direct and mutual recursion;
+//! * structured control flow (`if`/`else`, `while`) plus early `return`,
+//!   `break`, and `continue`;
+//! * library calls: `printf`, `scanf` (modeled as deterministic input), and
+//!   `exit`;
+//! * function pointers (`int (*p)(int,int)`), address-of-function assignment,
+//!   pointer equality tests, and indirect calls — the ingredients of the
+//!   paper's §6.2 transformation.
+//!
+//! The pipeline is: [`parse`] → [`normalize::normalize`] (hoists nested calls
+//! so each call is its own statement — the granularity at which SDG call
+//! vertices are created) → [`sema::check`] → the `specslice-sdg` crate.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     int g;
+//!     void inc(int x) { g = g + x; }
+//!     int main() { g = 0; inc(2); printf("%d", g); return 0; }
+//! "#;
+//! let program = specslice_lang::frontend(src)?;
+//! assert_eq!(program.functions.len(), 2);
+//! # Ok::<(), specslice_lang::LangError>(())
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod normalize;
+pub mod parser;
+pub mod pretty;
+pub mod sema;
+pub mod token;
+
+pub use ast::{Block, Callee, Expr, Function, Program, Stmt, StmtId, StmtKind};
+pub use lexer::lex;
+pub use parser::parse;
+pub use pretty::pretty;
+
+use std::fmt;
+
+/// Errors produced by the MiniC frontend (lexing, parsing, semantic checks).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LangError {
+    /// 1-based source line where the problem was detected (0 when unknown).
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LangError {
+    /// Creates an error attached to `line`.
+    pub fn new(line: u32, message: impl Into<String>) -> Self {
+        LangError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenience: parse, normalize, and semantically check a program.
+///
+/// This is the standard entry point used by the slicer and all tools.
+///
+/// # Errors
+///
+/// Returns the first lexing, parsing, or semantic error encountered.
+pub fn frontend(src: &str) -> Result<Program, LangError> {
+    let program = parse(src)?;
+    let program = normalize::normalize(program);
+    sema::check(&program)?;
+    Ok(program)
+}

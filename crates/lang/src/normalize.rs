@@ -1,0 +1,334 @@
+//! AST normalization: call hoisting, callee resolution, renumbering.
+//!
+//! The SDG layer requires every call to be its own statement (so that each
+//! call site gets exactly one call vertex with its actual-in/actual-out
+//! vertices). [`normalize`] establishes that invariant:
+//!
+//! * nested calls are hoisted into fresh `__tN` temporaries
+//!   (`x = f(g(a)) + 1` becomes `int __t0; __t0 = g(a); int __t1;
+//!   `__t1 = f(__t0); x = __t1 + 1;`),
+//! * a `while` whose condition contains a call is rewritten to
+//!   `while (1) { ...hoisted...; if (!cond) { break; } body }` so the call is
+//!   re-evaluated on every iteration (correct even with `continue`),
+//! * call targets are resolved: `Callee::Named` that does not name a function
+//!   becomes `Callee::Indirect`; `Expr::Var` naming a function becomes
+//!   [`Expr::FuncRef`],
+//! * statements get dense [`crate::ast::StmtId`]s.
+
+use crate::ast::*;
+use std::collections::HashSet;
+
+/// Normalizes a freshly-parsed program. Idempotent.
+pub fn normalize(mut program: Program) -> Program {
+    let fn_names: HashSet<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+    let mut tmp_counter = 0usize;
+    for f in &mut program.functions {
+        hoist_block(&mut f.body, &mut tmp_counter);
+    }
+    for f in &mut program.functions {
+        resolve_block(&mut f.body, &fn_names);
+    }
+    program.renumber();
+    program
+}
+
+/// Replaces nested calls in `e` by temps, emitting decl+call statements.
+fn hoist_expr(e: &mut Expr, line: u32, out: &mut Vec<Stmt>, tmp: &mut usize) {
+    match e {
+        Expr::Int(_) | Expr::Var(_) | Expr::FuncRef(_) => {}
+        Expr::Unary(_, inner) => hoist_expr(inner, line, out, tmp),
+        Expr::Binary(_, a, b) => {
+            hoist_expr(a, line, out, tmp);
+            hoist_expr(b, line, out, tmp);
+        }
+        Expr::Call(_) => {
+            // Take ownership of the call, hoist its own arguments first.
+            let Expr::Call(call) = std::mem::replace(e, Expr::Int(0)) else {
+                unreachable!()
+            };
+            let mut call = *call;
+            for a in &mut call.args {
+                hoist_expr(a, line, out, tmp);
+            }
+            let name = format!("__t{}", *tmp);
+            *tmp += 1;
+            out.push(Stmt::new(
+                line,
+                StmtKind::Decl {
+                    name: name.clone(),
+                    ty: Type::Int,
+                    init: None,
+                },
+            ));
+            call.assign_to = Some(name.clone());
+            out.push(Stmt::new(line, StmtKind::Call(call)));
+            *e = Expr::Var(name);
+        }
+    }
+}
+
+fn hoist_block(block: &mut Block, tmp: &mut usize) {
+    let mut out: Vec<Stmt> = Vec::new();
+    for mut s in block.stmts.drain(..) {
+        let line = s.line;
+        match &mut s.kind {
+            StmtKind::Decl { init, .. } => {
+                if let Some(e) = init {
+                    if let Expr::Call(_) = e {
+                        // `int x = f();` → `int x; x = f();`
+                        let Expr::Call(mut call) =
+                            std::mem::replace(e, Expr::Int(0))
+                        else {
+                            unreachable!()
+                        };
+                        for a in &mut call.args {
+                            hoist_expr(a, line, &mut out, tmp);
+                        }
+                        let StmtKind::Decl { name, ty, .. } = &s.kind else {
+                            unreachable!()
+                        };
+                        let (name, ty) = (name.clone(), *ty);
+                        out.push(Stmt::new(
+                            line,
+                            StmtKind::Decl {
+                                name: name.clone(),
+                                ty,
+                                init: None,
+                            },
+                        ));
+                        call.assign_to = Some(name);
+                        out.push(Stmt::new(line, StmtKind::Call(*call)));
+                        continue;
+                    }
+                    hoist_expr(e, line, &mut out, tmp);
+                }
+                out.push(s);
+            }
+            StmtKind::Assign { value, .. } => {
+                hoist_expr(value, line, &mut out, tmp);
+                out.push(s);
+            }
+            StmtKind::Call(call) => {
+                for a in &mut call.args {
+                    hoist_expr(a, line, &mut out, tmp);
+                }
+                out.push(s);
+            }
+            StmtKind::Printf { args, .. } => {
+                for a in args.iter_mut() {
+                    hoist_expr(a, line, &mut out, tmp);
+                }
+                out.push(s);
+            }
+            StmtKind::Scanf { .. } | StmtKind::Break | StmtKind::Continue => out.push(s),
+            StmtKind::Exit { code } => {
+                hoist_expr(code, line, &mut out, tmp);
+                out.push(s);
+            }
+            StmtKind::Return { value } => {
+                if let Some(e) = value {
+                    hoist_expr(e, line, &mut out, tmp);
+                }
+                out.push(s);
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                hoist_expr(cond, line, &mut out, tmp);
+                hoist_block(then_block, tmp);
+                if let Some(e) = else_block {
+                    hoist_block(e, tmp);
+                }
+                out.push(s);
+            }
+            StmtKind::While { cond, body } => {
+                hoist_block(body, tmp);
+                if cond.contains_call() {
+                    // while (C) B  →  while (1) { hoisted; if (!C) break; B }
+                    let mut pre: Vec<Stmt> = Vec::new();
+                    let mut c = std::mem::replace(cond, Expr::Int(1));
+                    hoist_expr(&mut c, line, &mut pre, tmp);
+                    let guard = Stmt::new(
+                        line,
+                        StmtKind::If {
+                            cond: Expr::Unary(UnOp::Not, Box::new(c)),
+                            then_block: Block {
+                                stmts: vec![Stmt::new(line, StmtKind::Break)],
+                            },
+                            else_block: None,
+                        },
+                    );
+                    let old_body = std::mem::take(body);
+                    let mut stmts = pre;
+                    stmts.push(guard);
+                    stmts.extend(old_body.stmts);
+                    *body = Block { stmts };
+                }
+                out.push(s);
+            }
+        }
+    }
+    block.stmts = out;
+}
+
+fn resolve_expr(e: &mut Expr, fns: &HashSet<String>) {
+    match e {
+        Expr::Int(_) | Expr::FuncRef(_) => {}
+        Expr::Var(v) => {
+            if fns.contains(v) {
+                let name = v.clone();
+                *e = Expr::FuncRef(name);
+            }
+        }
+        Expr::Unary(_, inner) => resolve_expr(inner, fns),
+        Expr::Binary(_, a, b) => {
+            resolve_expr(a, fns);
+            resolve_expr(b, fns);
+        }
+        Expr::Call(c) => resolve_call(c, fns),
+    }
+}
+
+fn resolve_call(c: &mut CallStmt, fns: &HashSet<String>) {
+    if let Callee::Named(n) = &c.callee {
+        if !fns.contains(n) {
+            c.callee = Callee::Indirect(n.clone());
+        }
+    }
+    for a in &mut c.args {
+        resolve_expr(a, fns);
+    }
+}
+
+fn resolve_block(block: &mut Block, fns: &HashSet<String>) {
+    block.visit_mut(&mut |s| match &mut s.kind {
+        StmtKind::Decl { init: Some(e), .. } => resolve_expr(e, fns),
+        StmtKind::Assign { value, .. } => resolve_expr(value, fns),
+        StmtKind::Call(c) => resolve_call(c, fns),
+        StmtKind::Printf { args, .. } => {
+            for a in args {
+                resolve_expr(a, fns);
+            }
+        }
+        StmtKind::Exit { code } => resolve_expr(code, fns),
+        StmtKind::If { cond, .. } => resolve_expr(cond, fns),
+        StmtKind::While { cond, .. } => resolve_expr(cond, fns),
+        StmtKind::Return { value: Some(e) } => resolve_expr(e, fns),
+        _ => {}
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn norm(src: &str) -> Program {
+        normalize(parse(src).unwrap())
+    }
+
+    /// Collects all statements of a function as a flat list.
+    fn stmts(p: &Program, f: &str) -> Vec<StmtKind> {
+        let mut out = Vec::new();
+        p.function(f).unwrap().body.visit(&mut |s| out.push(s.kind.clone()));
+        out
+    }
+
+    #[test]
+    fn no_calls_remain_in_expressions() {
+        let p = norm(
+            "int add(int a, int b) { return a + b; }
+             int main() { int x; x = add(add(1,2), add(3,4)) + 5; return x; }",
+        );
+        p.visit_all(|_, s| {
+            let check = |e: &Expr| assert!(!e.contains_call(), "call left in expr: {e:?}");
+            match &s.kind {
+                StmtKind::Assign { value, .. } => check(value),
+                StmtKind::Call(c) => c.args.iter().for_each(check),
+                StmtKind::Return { value: Some(e) } => check(e),
+                StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => check(cond),
+                _ => {}
+            }
+        });
+        // Two inner calls hoisted, outer call became a Call stmt at parse time.
+        let m = stmts(&p, "main");
+        let call_count = m
+            .iter()
+            .filter(|k| matches!(k, StmtKind::Call(_)))
+            .count();
+        assert_eq!(call_count, 3);
+    }
+
+    #[test]
+    fn while_condition_call_is_reevaluated() {
+        let p = norm(
+            "int dec(int a) { return a - 1; }
+             int main() { int x; x = 3; while (dec(x) > 0) { x = x - 1; } return x; }",
+        );
+        let m = stmts(&p, "main");
+        // The while loop now has constant condition 1 and a guarded break.
+        let found = m.iter().any(|k| {
+            matches!(k, StmtKind::While { cond, .. } if matches!(cond, Expr::Int(1)))
+        });
+        assert!(found, "while not rewritten: {m:?}");
+        let has_break_guard = m.iter().any(|k| {
+            matches!(k, StmtKind::If { cond, .. } if matches!(cond, Expr::Unary(UnOp::Not, _)))
+        });
+        assert!(has_break_guard);
+    }
+
+    #[test]
+    fn callee_resolution() {
+        let p = norm(
+            "int f(int a, int b) { return a; }
+             int main() {
+                int (*p)(int, int);
+                int x;
+                p = f;
+                x = p(1, 2);
+                return x;
+             }",
+        );
+        let m = stmts(&p, "main");
+        assert!(m.iter().any(|k| matches!(
+            k,
+            StmtKind::Assign { value: Expr::FuncRef(n), .. } if n == "f"
+        )));
+        assert!(m.iter().any(|k| matches!(
+            k,
+            StmtKind::Call(c) if c.callee == Callee::Indirect("p".into())
+        )));
+    }
+
+    #[test]
+    fn decl_with_call_init_is_split() {
+        let p = norm("int f() { return 1; } int main() { int x = f(); return x; }");
+        let m = stmts(&p, "main");
+        assert!(matches!(&m[0], StmtKind::Decl { init: None, .. }));
+        assert!(
+            matches!(&m[1], StmtKind::Call(c) if c.assign_to.as_deref() == Some("x"))
+        );
+    }
+
+    #[test]
+    fn ids_are_dense_after_normalize() {
+        let p = norm("int main() { int x; x = 1; if (x) { x = 2; } return x; }");
+        let mut ids = Vec::new();
+        p.visit_all(|_, s| ids.push(s.id.0));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..ids.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn idempotent() {
+        let p = norm(
+            "int f(int a) { return a; }
+             int main() { int x; x = f(f(2)); return x; }",
+        );
+        let again = normalize(p.clone());
+        assert_eq!(p, again);
+    }
+}

@@ -1,0 +1,693 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+use crate::LangError;
+
+/// Parses MiniC source into an AST.
+///
+/// The returned program is *not yet* normalized or checked; use
+/// [`crate::frontend`] for the full pipeline.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source line.
+pub fn parse(src: &str) -> Result<Program, LangError> {
+    let tokens = lex(src)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Argument forms accepted syntactically; validated per-callee later.
+/// The payloads of `Ref`/`Str` are kept for error reporting symmetry even
+/// though only their presence is checked today.
+enum PArg {
+    Expr(Expr),
+    #[allow(dead_code)]
+    Ref(String),
+    #[allow(dead_code)]
+    Str(String),
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), LangError> {
+        if self.peek() == &kind {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn error(&self, message: String) -> LangError {
+        LangError::new(self.line(), message)
+    }
+
+    // program := (global_decl | func)*
+    fn program(&mut self) -> Result<Program, LangError> {
+        let mut prog = Program::default();
+        while self.peek() != &TokenKind::Eof {
+            let ret = match self.peek() {
+                TokenKind::Int => RetKind::Int,
+                TokenKind::Void => RetKind::Void,
+                other => {
+                    return Err(self.error(format!(
+                        "expected `int` or `void` at top level, found {}",
+                        other.describe()
+                    )))
+                }
+            };
+            let line = self.line();
+            self.bump();
+            let name = self.expect_ident()?;
+            if self.peek() == &TokenKind::LParen {
+                // function definition
+                self.bump();
+                let params = self.params()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                prog.functions.push(Function {
+                    name,
+                    ret,
+                    params,
+                    body,
+                    line,
+                });
+            } else {
+                // global declaration list
+                if ret == RetKind::Void {
+                    return Err(self.error("global variables must have type `int`".into()));
+                }
+                prog.globals.push(name);
+                while self.eat(&TokenKind::Comma) {
+                    prog.globals.push(self.expect_ident()?);
+                }
+                self.expect(TokenKind::Semi)?;
+            }
+        }
+        Ok(prog)
+    }
+
+    // param := 'int' ['&'] ident | 'int' '(' '*' ident ')' '(' type_list ')'
+    fn params(&mut self) -> Result<Vec<Param>, LangError> {
+        let mut params = Vec::new();
+        if self.peek() == &TokenKind::RParen {
+            return Ok(params);
+        }
+        loop {
+            self.expect(TokenKind::Int)?;
+            if self.eat(&TokenKind::LParen) {
+                self.expect(TokenKind::Star)?;
+                let name = self.expect_ident()?;
+                self.expect(TokenKind::RParen)?;
+                let arity = self.fnptr_type_list()?;
+                params.push(Param {
+                    name,
+                    mode: ParamMode::FnPtr { arity },
+                });
+            } else if self.eat(&TokenKind::Amp) {
+                let name = self.expect_ident()?;
+                params.push(Param {
+                    name,
+                    mode: ParamMode::Ref,
+                });
+            } else {
+                let name = self.expect_ident()?;
+                params.push(Param {
+                    name,
+                    mode: ParamMode::Value,
+                });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    // '(' ('int' (',' 'int')*)? ')' — returns the arity
+    fn fnptr_type_list(&mut self) -> Result<usize, LangError> {
+        self.expect(TokenKind::LParen)?;
+        let mut arity = 0;
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                self.expect(TokenKind::Int)?;
+                arity += 1;
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(arity)
+    }
+
+    fn block(&mut self) -> Result<Block, LangError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(self.error("unexpected end of input inside block".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, LangError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Int => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    // int (*p)(int, int);
+                    self.expect(TokenKind::Star)?;
+                    let name = self.expect_ident()?;
+                    self.expect(TokenKind::RParen)?;
+                    let arity = self.fnptr_type_list()?;
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::new(
+                        line,
+                        StmtKind::Decl {
+                            name,
+                            ty: Type::FnPtr { arity },
+                            init: None,
+                        },
+                    ))
+                } else {
+                    let name = self.expect_ident()?;
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(TokenKind::Semi)?;
+                    Ok(Stmt::new(
+                        line,
+                        StmtKind::Decl {
+                            name,
+                            ty: Type::Int,
+                            init,
+                        },
+                    ))
+                }
+            }
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_block = self.block()?;
+                let else_block = if self.eat(&TokenKind::Else) {
+                    if self.peek() == &TokenKind::If {
+                        // `else if` chain: wrap the nested if in a block
+                        let nested = self.stmt()?;
+                        Some(Block {
+                            stmts: vec![nested],
+                        })
+                    } else {
+                        Some(self.block()?)
+                    }
+                } else {
+                    None
+                };
+                Ok(Stmt::new(
+                    line,
+                    StmtKind::If {
+                        cond,
+                        then_block,
+                        else_block,
+                    },
+                ))
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::new(line, StmtKind::While { cond, body }))
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(line, StmtKind::Return { value }))
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(line, StmtKind::Break))
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::new(line, StmtKind::Continue))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::Assign) {
+                    // x = expr ; — but `x = f(args);` keeps the call at top
+                    // level, and `x = scanf(...)` becomes a Scanf statement.
+                    if let TokenKind::Ident(callee) = self.peek().clone() {
+                        if self.peek2() == &TokenKind::LParen && callee == "scanf" {
+                            self.bump();
+                            self.bump();
+                            let stmt = self.finish_scanf(line, Some(name))?;
+                            return Ok(stmt);
+                        }
+                    }
+                    let value = self.expr()?;
+                    self.expect(TokenKind::Semi)?;
+                    // Lift a top-level call into a Call statement so that
+                    // `x = f(a)` has call granularity even before normalize.
+                    if let Expr::Call(call) = value {
+                        let mut call = *call;
+                        call.assign_to = Some(name);
+                        Ok(Stmt::new(line, StmtKind::Call(call)))
+                    } else {
+                        Ok(Stmt::new(line, StmtKind::Assign { name, value }))
+                    }
+                } else if self.eat(&TokenKind::LParen) {
+                    match name.as_str() {
+                        "printf" => self.finish_printf(line),
+                        "scanf" => self.finish_scanf(line, None),
+                        "exit" => {
+                            let code = self.expr()?;
+                            self.expect(TokenKind::RParen)?;
+                            self.expect(TokenKind::Semi)?;
+                            Ok(Stmt::new(line, StmtKind::Exit { code }))
+                        }
+                        _ => {
+                            let args = self.call_args()?;
+                            self.expect(TokenKind::Semi)?;
+                            let args = exprs_only(args, line)?;
+                            Ok(Stmt::new(
+                                line,
+                                StmtKind::Call(CallStmt {
+                                    callee: Callee::Named(name),
+                                    args,
+                                    assign_to: None,
+                                }),
+                            ))
+                        }
+                    }
+                } else {
+                    Err(self.error(format!(
+                        "expected `=` or `(` after identifier `{name}`"
+                    )))
+                }
+            }
+            other => Err(self.error(format!("unexpected {} at start of statement", other.describe()))),
+        }
+    }
+
+    // printf '(' string (',' expr)* ')' ';'   (opening paren consumed)
+    fn finish_printf(&mut self, line: u32) -> Result<Stmt, LangError> {
+        let format = match self.bump() {
+            TokenKind::Str(s) => s,
+            other => {
+                return Err(self.error(format!(
+                    "printf needs a format string, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let mut args = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            args.push(self.expr()?);
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::new(line, StmtKind::Printf { format, args }))
+    }
+
+    // scanf '(' string (',' '&' ident)* ')' ';'   (opening paren consumed)
+    fn finish_scanf(&mut self, line: u32, assign_to: Option<String>) -> Result<Stmt, LangError> {
+        let format = match self.bump() {
+            TokenKind::Str(s) => s,
+            other => {
+                return Err(self.error(format!(
+                    "scanf needs a format string, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let mut targets = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            self.expect(TokenKind::Amp)?;
+            targets.push(self.expect_ident()?);
+        }
+        self.expect(TokenKind::RParen)?;
+        self.expect(TokenKind::Semi)?;
+        Ok(Stmt::new(
+            line,
+            StmtKind::Scanf {
+                format,
+                targets,
+                assign_to,
+            },
+        ))
+    }
+
+    // args := ε | arg (',' arg)* — caller consumed '(' ; consumes ')'
+    fn call_args(&mut self) -> Result<Vec<PArg>, LangError> {
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                if self.eat(&TokenKind::Amp) {
+                    args.push(PArg::Ref(self.expect_ident()?));
+                } else if let TokenKind::Str(_) = self.peek() {
+                    if let TokenKind::Str(s) = self.bump() {
+                        args.push(PArg::Str(s));
+                    }
+                } else {
+                    args.push(PArg::Expr(self.expr()?));
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    // Precedence climbing.
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::PipePipe => (BinOp::Or, 1),
+                TokenKind::AmpAmp => (BinOp::And, 2),
+                TokenKind::Eq => (BinOp::Eq, 3),
+                TokenKind::Ne => (BinOp::Ne, 3),
+                TokenKind::Lt => (BinOp::Lt, 4),
+                TokenKind::Le => (BinOp::Le, 4),
+                TokenKind::Gt => (BinOp::Gt, 4),
+                TokenKind::Ge => (BinOp::Ge, 4),
+                TokenKind::Plus => (BinOp::Add, 5),
+                TokenKind::Minus => (BinOp::Sub, 5),
+                TokenKind::Star => (BinOp::Mul, 6),
+                TokenKind::Slash => (BinOp::Div, 6),
+                TokenKind::Percent => (BinOp::Rem, 6),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary_expr()?)))
+            }
+            TokenKind::Bang => {
+                self.bump();
+                Ok(Expr::Unary(UnOp::Not, Box::new(self.unary_expr()?)))
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, LangError> {
+        let line = self.line();
+        match self.bump() {
+            TokenKind::Number(n) => Ok(Expr::Int(n)),
+            TokenKind::Ident(name) => {
+                if self.peek() == &TokenKind::LParen {
+                    self.bump();
+                    let args = self.call_args()?;
+                    let args = exprs_only(args, line)?;
+                    Ok(Expr::Call(Box::new(CallStmt {
+                        callee: Callee::Named(name),
+                        args,
+                        assign_to: None,
+                    })))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(LangError::new(
+                line,
+                format!("expected expression, found {}", other.describe()),
+            )),
+        }
+    }
+}
+
+fn exprs_only(args: Vec<PArg>, line: u32) -> Result<Vec<Expr>, LangError> {
+    args.into_iter()
+        .map(|a| match a {
+            PArg::Expr(e) => Ok(e),
+            PArg::Ref(_) => Err(LangError::new(
+                line,
+                "`&` arguments are only allowed in scanf".to_string(),
+            )),
+            PArg::Str(_) => Err(LangError::new(
+                line,
+                "string arguments are only allowed as printf/scanf formats".to_string(),
+            )),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig1_program() {
+        let src = r#"
+            int g1, g2, g3;
+            void p(int a, int b) {
+                g1 = a;
+                g2 = b;
+                g3 = g2;
+            }
+            int main() {
+                g2 = 100;
+                p(g2, 2);
+                p(g2, 3);
+                p(4, g1+g2);
+                printf("%d", g2);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.globals, vec!["g1", "g2", "g3"]);
+        assert_eq!(prog.functions.len(), 2);
+        assert_eq!(prog.functions[0].name, "p");
+        assert_eq!(prog.functions[0].params.len(), 2);
+        assert_eq!(prog.functions[1].body.stmts.len(), 5);
+    }
+
+    #[test]
+    fn parses_ref_params_and_fnptr() {
+        let src = r#"
+            void tally(int& sum, int N) { sum = sum + N; }
+            int main() {
+                int (*p)(int, int);
+                int s;
+                s = 0;
+                tally(s, 10);
+                return 0;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.functions[0].params[0].mode, ParamMode::Ref);
+        assert_eq!(prog.functions[0].params[1].mode, ParamMode::Value);
+        match &prog.functions[1].body.stmts[0].kind {
+            StmtKind::Decl { ty, .. } => assert_eq!(*ty, Type::FnPtr { arity: 2 }),
+            other => panic!("expected decl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fnptr_param_parses() {
+        let src = "int indirect(int (*p)(int, int), int a, int b) { return a; }";
+        let prog = parse(src).unwrap();
+        assert_eq!(
+            prog.functions[0].params[0].mode,
+            ParamMode::FnPtr { arity: 2 }
+        );
+    }
+
+    #[test]
+    fn call_assignment_becomes_call_stmt() {
+        let src = "int f() { return 1; } int main() { int x; x = f(); return x; }";
+        let prog = parse(src).unwrap();
+        match &prog.functions[1].body.stmts[1].kind {
+            StmtKind::Call(c) => {
+                assert_eq!(c.assign_to.as_deref(), Some("x"));
+                assert_eq!(c.callee, Callee::Named("f".into()));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scanf_forms() {
+        let src = r#"
+            int main() {
+                int v;
+                scanf("%d", &v);
+                v = scanf("%d", &v);
+                return v;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        match &prog.functions[0].body.stmts[1].kind {
+            StmtKind::Scanf {
+                targets, assign_to, ..
+            } => {
+                assert_eq!(targets, &vec!["v".to_string()]);
+                assert!(assign_to.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match &prog.functions[0].body.stmts[2].kind {
+            StmtKind::Scanf { assign_to, .. } => {
+                assert_eq!(assign_to.as_deref(), Some("v"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let src = r#"
+            int main() {
+                int v;
+                v = 1;
+                if (v == 1) { v = 2; }
+                else if (v == 2) { v = 3; }
+                else { v = 4; }
+                return v;
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        match &prog.functions[0].body.stmts[2].kind {
+            StmtKind::If { else_block, .. } => {
+                let inner = &else_block.as_ref().unwrap().stmts[0];
+                assert!(matches!(inner.kind, StmtKind::If { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        let src = "int main() { int x; x = 1 + 2 * 3 < 4 && 5 == 6; return x; }";
+        let prog = parse(src).unwrap();
+        match &prog.functions[0].body.stmts[1].kind {
+            StmtKind::Assign { value, .. } => {
+                // top must be &&
+                assert!(matches!(value, Expr::Binary(BinOp::And, _, _)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn exit_and_break_continue() {
+        let src = r#"
+            int main() {
+                while (1) { break; }
+                while (0) { continue; }
+                exit(3);
+            }
+        "#;
+        let prog = parse(src).unwrap();
+        assert!(matches!(
+            prog.functions[0].body.stmts[2].kind,
+            StmtKind::Exit { .. }
+        ));
+    }
+
+    #[test]
+    fn error_messages_carry_lines() {
+        let err = parse("int main() {\n  x 5;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_stray_amp_arg() {
+        assert!(parse("void f(int a) {} int main() { int v; f(&v); }").is_err());
+    }
+
+    #[test]
+    fn nested_call_in_expression_parses() {
+        let src = "int add(int a, int b) { return a + b; } int main() { int x; x = add(add(1,2), 3); return x; }";
+        let prog = parse(src).unwrap();
+        match &prog.functions[1].body.stmts[1].kind {
+            StmtKind::Call(c) => assert!(c.args[0].contains_call()),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Pretty-printer: AST back to MiniC source text.
+//!
+//! Used both for corpus round-trip tests and to materialize specialization
+//! slices as compilable source (the paper's Alg. 1, step 5).
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Renders a whole program as MiniC source.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.globals.is_empty() {
+        let _ = writeln!(out, "int {};", program.globals.join(", "));
+        out.push('\n');
+    }
+    for (i, f) in program.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        pretty_function(f, &mut out);
+    }
+    out
+}
+
+/// Renders one function.
+pub fn pretty_function(f: &Function, out: &mut String) {
+    let ret = match f.ret {
+        RetKind::Void => "void",
+        RetKind::Int => "int",
+    };
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| match p.mode {
+            ParamMode::Value => format!("int {}", p.name),
+            ParamMode::Ref => format!("int& {}", p.name),
+            ParamMode::FnPtr { arity } => {
+                format!("int (*{})({})", p.name, int_list(arity))
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "{} {}({}) {{", ret, f.name, params.join(", "));
+    pretty_block(&f.body, 1, out);
+    out.push_str("}\n");
+}
+
+fn int_list(arity: usize) -> String {
+    vec!["int"; arity].join(", ")
+}
+
+fn indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push_str("    ");
+    }
+}
+
+fn pretty_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        pretty_stmt(s, depth, out);
+    }
+}
+
+fn pretty_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    indent(depth, out);
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => match ty {
+            Type::Int => match init {
+                Some(e) => {
+                    let _ = writeln!(out, "int {} = {};", name, pretty_expr(e));
+                }
+                None => {
+                    let _ = writeln!(out, "int {};", name);
+                }
+            },
+            Type::FnPtr { arity } => {
+                let _ = writeln!(out, "int (*{})({});", name, int_list(*arity));
+            }
+        },
+        StmtKind::Assign { name, value } => {
+            let _ = writeln!(out, "{} = {};", name, pretty_expr(value));
+        }
+        StmtKind::Call(c) => {
+            let args: Vec<String> = c.args.iter().map(pretty_expr).collect();
+            let target = match &c.assign_to {
+                Some(t) => format!("{t} = "),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "{}{}({});", target, c.callee.name(), args.join(", "));
+        }
+        StmtKind::Printf { format, args } => {
+            let mut parts = vec![format!("\"{}\"", escape(format))];
+            parts.extend(args.iter().map(pretty_expr));
+            let _ = writeln!(out, "printf({});", parts.join(", "));
+        }
+        StmtKind::Scanf {
+            format,
+            targets,
+            assign_to,
+        } => {
+            let mut parts = vec![format!("\"{}\"", escape(format))];
+            parts.extend(targets.iter().map(|t| format!("&{t}")));
+            let target = match assign_to {
+                Some(t) => format!("{t} = "),
+                None => String::new(),
+            };
+            let _ = writeln!(out, "{}scanf({});", target, parts.join(", "));
+        }
+        StmtKind::Exit { code } => {
+            let _ = writeln!(out, "exit({});", pretty_expr(code));
+        }
+        StmtKind::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
+            let _ = writeln!(out, "if ({}) {{", pretty_expr(cond));
+            pretty_block(then_block, depth + 1, out);
+            indent(depth, out);
+            match else_block {
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    pretty_block(e, depth + 1, out);
+                    indent(depth, out);
+                    out.push_str("}\n");
+                }
+                None => out.push_str("}\n"),
+            }
+        }
+        StmtKind::While { cond, body } => {
+            let _ = writeln!(out, "while ({}) {{", pretty_expr(cond));
+            pretty_block(body, depth + 1, out);
+            indent(depth, out);
+            out.push_str("}\n");
+        }
+        StmtKind::Return { value } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", pretty_expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        StmtKind::Break => out.push_str("break;\n"),
+        StmtKind::Continue => out.push_str("continue;\n"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\0' => out.push_str("\\0"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Renders an expression (fully parenthesizing compound subterms, which
+/// round-trips to the identical AST).
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(n) => {
+            if *n < 0 {
+                format!("({n})")
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Var(v) => v.clone(),
+        Expr::FuncRef(f) => f.clone(),
+        Expr::Unary(op, inner) => {
+            let sym = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("{}{}", sym, wrap(inner))
+        }
+        Expr::Binary(op, a, b) => {
+            format!("{} {} {}", wrap(a), op.symbol(), wrap(b))
+        }
+        Expr::Call(c) => {
+            let args: Vec<String> = c.args.iter().map(pretty_expr).collect();
+            format!("{}({})", c.callee.name(), args.join(", "))
+        }
+    }
+}
+
+fn wrap(e: &Expr) -> String {
+    match e {
+        Expr::Binary(..) => format!("({})", pretty_expr(e)),
+        _ => pretty_expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parser::parse;
+
+    /// Zeroes all source lines so structural comparison ignores layout.
+    fn erase_lines(p: &mut crate::ast::Program) {
+        for f in &mut p.functions {
+            f.line = 0;
+            f.body.visit_mut(&mut |s| s.line = 0);
+        }
+    }
+
+    fn roundtrip(src: &str) {
+        let mut p1 = normalize(parse(src).unwrap());
+        let text = pretty(&p1);
+        let mut p2 = normalize(parse(&text).unwrap());
+        erase_lines(&mut p1);
+        erase_lines(&mut p2);
+        assert_eq!(p1, p2, "round-trip changed the AST:\n{text}");
+    }
+
+    #[test]
+    fn roundtrip_fig1() {
+        roundtrip(
+            r#"
+            int g1, g2, g3;
+            void p(int a, int b) { g1 = a; g2 = b; g3 = g2; }
+            int main() {
+                g2 = 100;
+                p(g2, 2);
+                p(g2, 3);
+                p(4, g1+g2);
+                printf("%d", g2);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_control_flow() {
+        roundtrip(
+            r#"
+            int g;
+            int main() {
+                int i;
+                i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0) { g = g + i; } else { continue; }
+                    if (g > 100) { break; }
+                    i = i + 1;
+                }
+                return g;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_fnptr_and_library() {
+        roundtrip(
+            r#"
+            int f(int a, int b) { return a + b; }
+            int g(int a, int b) { return a; }
+            int main() {
+                int (*p)(int, int);
+                int x;
+                int v;
+                v = scanf("%d", &v);
+                if (v == 1) { p = f; } else { p = g; }
+                x = p(1, 2);
+                printf("%d\n", x);
+                exit(0);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_ref_params() {
+        roundtrip(
+            r#"
+            void tally(int& sum, int N) { sum = sum + N; }
+            int main() { int s; s = 0; tally(s, 10); printf("%d ", s); return 0; }
+            "#,
+        );
+    }
+
+    #[test]
+    fn escape_in_formats() {
+        let p = normalize(
+            parse(r#"int main() { printf("a\n\t\"b\""); return 0; }"#).unwrap(),
+        );
+        roundtrip(&pretty(&p));
+    }
+
+    #[test]
+    fn negative_literal_parenthesized() {
+        assert_eq!(pretty_expr(&Expr::Int(-3)), "(-3)");
+        let e = Expr::Binary(
+            crate::ast::BinOp::Sub,
+            Box::new(Expr::Int(1)),
+            Box::new(Expr::Int(-3)),
+        );
+        // "1 - (-3)" must re-lex unambiguously.
+        assert_eq!(pretty_expr(&e), "1 - (-3)");
+    }
+}

@@ -1,0 +1,653 @@
+//! Semantic checks for normalized MiniC programs.
+//!
+//! The dependence-graph layer identifies variables *by name* within a
+//! procedure, so the checker enforces a discipline that makes that sound:
+//! flat function scopes, no shadowing of globals or functions, and no
+//! aliasing between by-reference actuals and globals (the paper's
+//! `MayRef`/`MayMod` formulation makes the same no-alias assumption).
+
+use crate::ast::*;
+use crate::LangError;
+use std::collections::HashMap;
+
+/// Per-function signature used for call checking.
+#[derive(Clone, Debug)]
+pub struct Signature {
+    /// Return kind.
+    pub ret: RetKind,
+    /// Parameter modes in order.
+    pub params: Vec<ParamMode>,
+}
+
+/// Checks a *normalized* program (see [`crate::normalize::normalize`]).
+///
+/// # Errors
+///
+/// Returns the first semantic error found: duplicate/missing declarations,
+/// shadowing, type errors, call-shape errors (arity, by-ref actuals, function
+/// pointers), `break`/`continue` outside loops, missing `main`, or aliasing
+/// hazards (globals passed by reference).
+pub fn check(program: &Program) -> Result<(), LangError> {
+    let mut checker = Checker::new(program)?;
+    for f in &program.functions {
+        checker.check_function(f)?;
+    }
+    if program.main().is_none() {
+        return Err(LangError::new(0, "program has no `main` function"));
+    }
+    Ok(())
+}
+
+/// Collects the signatures of all functions (usable independently of
+/// [`check`], e.g. by the SDG builder).
+pub fn signatures(program: &Program) -> HashMap<String, Signature> {
+    program
+        .functions
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                Signature {
+                    ret: f.ret,
+                    params: f.params.iter().map(|p| p.mode).collect(),
+                },
+            )
+        })
+        .collect()
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    sigs: HashMap<String, Signature>,
+}
+
+/// Variable environment of one function: name → type.
+type Env = HashMap<String, Type>;
+
+impl<'p> Checker<'p> {
+    fn new(program: &'p Program) -> Result<Self, LangError> {
+        let mut seen = HashMap::new();
+        for f in &program.functions {
+            if seen.insert(f.name.clone(), ()).is_some() {
+                return Err(LangError::new(
+                    f.line,
+                    format!("duplicate function `{}`", f.name),
+                ));
+            }
+            if matches!(f.name.as_str(), "printf" | "scanf" | "exit") {
+                return Err(LangError::new(
+                    f.line,
+                    format!("`{}` is a reserved library procedure", f.name),
+                ));
+            }
+        }
+        let mut gseen = HashMap::new();
+        for g in &program.globals {
+            if gseen.insert(g.clone(), ()).is_some() {
+                return Err(LangError::new(0, format!("duplicate global `{g}`")));
+            }
+            if seen.contains_key(g) {
+                return Err(LangError::new(
+                    0,
+                    format!("global `{g}` has the same name as a function"),
+                ));
+            }
+        }
+        Ok(Checker {
+            program,
+            sigs: signatures(program),
+        })
+    }
+
+    fn check_function(&mut self, f: &Function) -> Result<(), LangError> {
+        let mut env: Env = Env::new();
+        for p in &f.params {
+            self.check_fresh_name(&p.name, f.line, &env)?;
+            let ty = match p.mode {
+                ParamMode::Value | ParamMode::Ref => Type::Int,
+                ParamMode::FnPtr { arity } => Type::FnPtr { arity },
+            };
+            env.insert(p.name.clone(), ty);
+        }
+        // Flat function scope: pre-collect all local declarations.
+        let mut decl_err: Option<LangError> = None;
+        f.body.visit(&mut |s| {
+            if decl_err.is_some() {
+                return;
+            }
+            if let StmtKind::Decl { name, ty, .. } = &s.kind {
+                if let Err(e) = self.check_fresh_name(name, s.line, &env) {
+                    decl_err = Some(e);
+                    return;
+                }
+                if env.insert(name.clone(), *ty).is_some() {
+                    decl_err = Some(LangError::new(
+                        s.line,
+                        format!("duplicate local `{name}` in `{}`", f.name),
+                    ));
+                }
+            }
+        });
+        if let Some(e) = decl_err {
+            return Err(e);
+        }
+        self.check_block(&f.body, f, &env, 0)
+    }
+
+    fn check_fresh_name(&self, name: &str, line: u32, env: &Env) -> Result<(), LangError> {
+        if self.sigs.contains_key(name) {
+            return Err(LangError::new(
+                line,
+                format!("`{name}` shadows a function name"),
+            ));
+        }
+        if self.program.is_global(name) {
+            return Err(LangError::new(
+                line,
+                format!("`{name}` shadows a global variable"),
+            ));
+        }
+        if env.contains_key(name) {
+            return Err(LangError::new(line, format!("duplicate name `{name}`")));
+        }
+        Ok(())
+    }
+
+    fn var_type(&self, name: &str, env: &Env, line: u32) -> Result<Type, LangError> {
+        if let Some(t) = env.get(name) {
+            return Ok(*t);
+        }
+        if self.program.is_global(name) {
+            return Ok(Type::Int);
+        }
+        Err(LangError::new(line, format!("undeclared variable `{name}`")))
+    }
+
+    fn expr_type(&self, e: &Expr, env: &Env, line: u32) -> Result<Type, LangError> {
+        match e {
+            Expr::Int(_) => Ok(Type::Int),
+            Expr::Var(v) => self.var_type(v, env, line),
+            Expr::FuncRef(f) => {
+                let sig = self.sigs.get(f).ok_or_else(|| {
+                    LangError::new(line, format!("unknown function `{f}`"))
+                })?;
+                if sig.ret != RetKind::Int
+                    || sig.params.iter().any(|m| *m != ParamMode::Value)
+                {
+                    return Err(LangError::new(
+                        line,
+                        format!(
+                            "cannot take the address of `{f}`: only `int` functions \
+                             with by-value `int` parameters can be pointed to"
+                        ),
+                    ));
+                }
+                Ok(Type::FnPtr {
+                    arity: sig.params.len(),
+                })
+            }
+            Expr::Unary(_, inner) => {
+                self.expect_int(inner, env, line)?;
+                Ok(Type::Int)
+            }
+            Expr::Binary(op, a, b) => {
+                let ta = self.expr_type(a, env, line)?;
+                let tb = self.expr_type(b, env, line)?;
+                match op {
+                    BinOp::Eq | BinOp::Ne => {
+                        if ta != tb {
+                            return Err(LangError::new(
+                                line,
+                                "comparison between incompatible types".to_string(),
+                            ));
+                        }
+                        Ok(Type::Int)
+                    }
+                    _ => {
+                        if ta != Type::Int || tb != Type::Int {
+                            return Err(LangError::new(
+                                line,
+                                format!("operator `{}` requires int operands", op.symbol()),
+                            ));
+                        }
+                        Ok(Type::Int)
+                    }
+                }
+            }
+            Expr::Call(_) => Err(LangError::new(
+                line,
+                "internal: call in expression position after normalization".to_string(),
+            )),
+        }
+    }
+
+    fn expect_int(&self, e: &Expr, env: &Env, line: u32) -> Result<(), LangError> {
+        if self.expr_type(e, env, line)? != Type::Int {
+            return Err(LangError::new(line, "expected an int expression".to_string()));
+        }
+        Ok(())
+    }
+
+    fn check_block(
+        &self,
+        b: &Block,
+        f: &Function,
+        env: &Env,
+        loop_depth: usize,
+    ) -> Result<(), LangError> {
+        for s in &b.stmts {
+            self.check_stmt(s, f, env, loop_depth)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(
+        &self,
+        s: &Stmt,
+        f: &Function,
+        env: &Env,
+        loop_depth: usize,
+    ) -> Result<(), LangError> {
+        let line = s.line;
+        match &s.kind {
+            StmtKind::Decl { name, ty, init } => {
+                if let Some(e) = init {
+                    let t = self.expr_type(e, env, line)?;
+                    if t != *ty {
+                        return Err(LangError::new(
+                            line,
+                            format!("initializer type mismatch for `{name}`"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Assign { name, value } => {
+                let tv = self.var_type(name, env, line)?;
+                let te = self.expr_type(value, env, line)?;
+                if tv != te {
+                    return Err(LangError::new(
+                        line,
+                        format!("assignment type mismatch for `{name}`"),
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::Call(c) => self.check_call(c, env, line),
+            StmtKind::Printf { args, .. } => {
+                for a in args {
+                    self.expect_int(a, env, line)?;
+                }
+                Ok(())
+            }
+            StmtKind::Scanf {
+                targets, assign_to, ..
+            } => {
+                for t in targets {
+                    if self.var_type(t, env, line)? != Type::Int {
+                        return Err(LangError::new(
+                            line,
+                            format!("scanf target `{t}` must be int"),
+                        ));
+                    }
+                }
+                if let Some(t) = assign_to {
+                    if self.var_type(t, env, line)? != Type::Int {
+                        return Err(LangError::new(
+                            line,
+                            format!("scanf result target `{t}` must be int"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            StmtKind::Exit { code } => self.expect_int(code, env, line),
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.expect_int(cond, env, line)?;
+                self.check_block(then_block, f, env, loop_depth)?;
+                if let Some(e) = else_block {
+                    self.check_block(e, f, env, loop_depth)?;
+                }
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                self.expect_int(cond, env, line)?;
+                self.check_block(body, f, env, loop_depth + 1)
+            }
+            StmtKind::Return { value } => match (f.ret, value) {
+                (RetKind::Void, Some(_)) => Err(LangError::new(
+                    line,
+                    format!("`{}` is void but returns a value", f.name),
+                )),
+                (_, Some(e)) => self.expect_int(e, env, line),
+                (_, None) => Ok(()),
+            },
+            StmtKind::Break => {
+                if loop_depth == 0 {
+                    Err(LangError::new(line, "`break` outside of a loop".to_string()))
+                } else {
+                    Ok(())
+                }
+            }
+            StmtKind::Continue => {
+                if loop_depth == 0 {
+                    Err(LangError::new(
+                        line,
+                        "`continue` outside of a loop".to_string(),
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn check_call(&self, c: &CallStmt, env: &Env, line: u32) -> Result<(), LangError> {
+        match &c.callee {
+            Callee::Named(name) => {
+                if name == "main" {
+                    return Err(LangError::new(line, "calling `main` is not allowed"));
+                }
+                let sig = self.sigs.get(name).ok_or_else(|| {
+                    LangError::new(line, format!("unknown function `{name}`"))
+                })?;
+                if sig.params.len() != c.args.len() {
+                    return Err(LangError::new(
+                        line,
+                        format!(
+                            "`{name}` expects {} argument(s), got {}",
+                            sig.params.len(),
+                            c.args.len()
+                        ),
+                    ));
+                }
+                let mut ref_actuals: Vec<&str> = Vec::new();
+                for (mode, arg) in sig.params.iter().zip(&c.args) {
+                    match mode {
+                        ParamMode::Value => self.expect_int(arg, env, line)?,
+                        ParamMode::Ref => match arg {
+                            Expr::Var(v) => {
+                                if self.var_type(v, env, line)? != Type::Int {
+                                    return Err(LangError::new(
+                                        line,
+                                        format!("by-ref actual `{v}` must be int"),
+                                    ));
+                                }
+                                if self.program.is_global(v) {
+                                    return Err(LangError::new(
+                                        line,
+                                        format!(
+                                            "global `{v}` passed by reference to `{name}` \
+                                             (would alias; not supported)"
+                                        ),
+                                    ));
+                                }
+                                if ref_actuals.contains(&v.as_str()) {
+                                    return Err(LangError::new(
+                                        line,
+                                        format!(
+                                            "`{v}` passed by reference twice in one call \
+                                             (would alias; not supported)"
+                                        ),
+                                    ));
+                                }
+                                ref_actuals.push(v);
+                            }
+                            _ => {
+                                return Err(LangError::new(
+                                    line,
+                                    format!("by-ref argument of `{name}` must be a variable"),
+                                ))
+                            }
+                        },
+                        ParamMode::FnPtr { arity } => {
+                            match self.expr_type(arg, env, line)? {
+                                Type::FnPtr { arity: a } if a == *arity => {}
+                                _ => {
+                                    return Err(LangError::new(
+                                        line,
+                                        format!(
+                                            "argument of `{name}` must be a function \
+                                             pointer of arity {arity}"
+                                        ),
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(t) = &c.assign_to {
+                    if sig.ret != RetKind::Int {
+                        return Err(LangError::new(
+                            line,
+                            format!("void function `{name}` used as a value"),
+                        ));
+                    }
+                    if self.var_type(t, env, line)? != Type::Int {
+                        return Err(LangError::new(
+                            line,
+                            format!("call result target `{t}` must be int"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Callee::Indirect(v) => {
+                let arity = match self.var_type(v, env, line)? {
+                    Type::FnPtr { arity } => arity,
+                    _ => {
+                        return Err(LangError::new(
+                            line,
+                            format!("`{v}` is not a function pointer"),
+                        ))
+                    }
+                };
+                if arity != c.args.len() {
+                    return Err(LangError::new(
+                        line,
+                        format!(
+                            "indirect call through `{v}` expects {arity} argument(s), got {}",
+                            c.args.len()
+                        ),
+                    ));
+                }
+                for a in &c.args {
+                    self.expect_int(a, env, line)?;
+                }
+                if let Some(t) = &c.assign_to {
+                    if self.var_type(t, env, line)? != Type::Int {
+                        return Err(LangError::new(
+                            line,
+                            format!("call result target `{t}` must be int"),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parser::parse;
+
+    fn sema(src: &str) -> Result<(), LangError> {
+        check(&normalize(parse(src).unwrap()))
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        sema(
+            r#"
+            int g;
+            int add(int a, int b) { return a + b; }
+            void bump(int& x) { x = x + 1; }
+            int main() {
+                int v;
+                v = add(1, 2);
+                bump(v);
+                g = v;
+                printf("%d", g);
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_undeclared_variable() {
+        let e = sema("int main() { x = 1; return 0; }").unwrap_err();
+        assert!(e.message.contains("undeclared"), "{e}");
+    }
+
+    #[test]
+    fn rejects_missing_main() {
+        let e = sema("int f() { return 1; }").unwrap_err();
+        assert!(e.message.contains("main"), "{e}");
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let e = sema("void f(int a) {} int main() { f(1, 2); return 0; }").unwrap_err();
+        assert!(e.message.contains("argument"), "{e}");
+    }
+
+    #[test]
+    fn rejects_global_shadowing() {
+        let e = sema("int g; int main() { int g; return 0; }").unwrap_err();
+        assert!(e.message.contains("shadows"), "{e}");
+    }
+
+    #[test]
+    fn rejects_global_by_ref() {
+        let e =
+            sema("int g; void f(int& x) { x = 1; } int main() { f(g); return 0; }").unwrap_err();
+        assert!(e.message.contains("alias"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_ref_actual() {
+        let e = sema(
+            "void f(int& x, int& y) { x = y; } int main() { int v; f(v, v); return 0; }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("alias"), "{e}");
+    }
+
+    #[test]
+    fn rejects_break_outside_loop() {
+        let e = sema("int main() { break; return 0; }").unwrap_err();
+        assert!(e.message.contains("break"), "{e}");
+    }
+
+    #[test]
+    fn rejects_void_value_use() {
+        let e = sema("void f() {} int main() { int x; x = f(); return 0; }").unwrap_err();
+        assert!(e.message.contains("void"), "{e}");
+    }
+
+    #[test]
+    fn rejects_ref_actual_that_is_expression() {
+        let e = sema("void f(int& x) { x = 1; } int main() { f(1 + 2); return 0; }")
+            .unwrap_err();
+        assert!(e.message.contains("variable"), "{e}");
+    }
+
+    #[test]
+    fn fnptr_flow_checks() {
+        sema(
+            r#"
+            int f(int a, int b) { return a + b; }
+            int main() {
+                int (*p)(int, int);
+                int x;
+                p = f;
+                x = p(1, 2);
+                return x;
+            }
+            "#,
+        )
+        .unwrap();
+        let e = sema(
+            r#"
+            int f(int a, int b) { return a; }
+            int main() {
+                int (*p)(int, int);
+                int x;
+                p = f;
+                x = p(1);
+                return x;
+            }
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("argument"), "{e}");
+    }
+
+    #[test]
+    fn rejects_address_of_ref_param_function() {
+        let e = sema(
+            r#"
+            int f(int& a) { a = 1; return a; }
+            int main() {
+                int (*p)(int);
+                p = f;
+                return 0;
+            }
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("address"), "{e}");
+    }
+
+    #[test]
+    fn rejects_return_value_in_void() {
+        let e = sema("void f() { return 1; } int main() { f(); return 0; }").unwrap_err();
+        assert!(e.message.contains("void"), "{e}");
+    }
+
+    #[test]
+    fn allows_int_function_without_return() {
+        // Fig. 2(a)'s `int r(int k)` has no return statement.
+        sema("int r(int k) { if (k > 0) { r(k - 1); } } int main() { r(3); return 0; }")
+            .unwrap();
+    }
+
+    #[test]
+    fn fnptr_comparison_types() {
+        sema(
+            r#"
+            int f(int a) { return a; }
+            int g(int a) { return a; }
+            int main() {
+                int (*p)(int);
+                p = f;
+                if (p == g) { return 1; }
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let e = sema(
+            r#"
+            int f(int a) { return a; }
+            int main() {
+                int (*p)(int);
+                p = f;
+                if (p == 3) { return 1; }
+                return 0;
+            }
+            "#,
+        )
+        .unwrap_err();
+        assert!(e.message.contains("incompatible"), "{e}");
+    }
+}

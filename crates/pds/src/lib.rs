@@ -1,0 +1,43 @@
+//! Pushdown systems and symbolic reachability (the paper's WALi substitute).
+//!
+//! A pushdown system (PDS, Defn. 3.1 of *Specialization Slicing*) is a triple
+//! `(P, Γ, Δ)` of control locations, stack symbols, and rules with at most
+//! two stack symbols on the right-hand side. Sets of configurations `(p, w)`
+//! are represented by [`PAutomaton`]s (Defn. 3.5); the saturation procedures
+//! [`prestar`] (Defn. 3.6) and [`poststar`] (Defn. 3.7) compute automata for
+//! `pre*(C)` and `post*(C)` — backward and forward reachability over the
+//! possibly-infinite transition relation.
+//!
+//! When the PDS encodes an SDG (see `specslice::encode`), `pre*` *is*
+//! stack-configuration slicing of the unrolled SDG, and `post*` is forward
+//! stack-configuration slicing (used by Alg. 2 feature removal).
+//!
+//! # Example: the counter PDS
+//!
+//! ```
+//! use specslice_pds::{Pds, PAutomaton, prestar, ControlLoc};
+//! use specslice_fsa::Symbol;
+//!
+//! // One control location; rules: <p, a> -> <p, ε>. pre*{(p, ε)} = (p, a*).
+//! let p = ControlLoc(0);
+//! let a = Symbol(0);
+//! let mut pds = Pds::new(1);
+//! pds.add_pop(p, a, p);
+//! let mut query = PAutomaton::new(1);
+//! let f = query.add_state();
+//! query.set_final(f);
+//! // accepts exactly (p, ε): final state reachable by the empty word
+//! query.set_final(query.control_state(p));
+//! let result = prestar(&pds, &query);
+//! assert!(result.accepts(p, &[a, a, a]));
+//! ```
+
+pub mod automaton;
+pub mod poststar;
+pub mod prestar;
+pub mod system;
+
+pub use automaton::{PAutomaton, PState};
+pub use poststar::poststar;
+pub use prestar::prestar;
+pub use system::{ControlLoc, Pds, Rhs, Rule};

@@ -1,0 +1,303 @@
+//! The `Poststar` saturation procedure (Defn. 3.7; Schwoon 2002, Alg. 2).
+//!
+//! Computes an automaton for `post*(C)`: all configurations reachable from
+//! `C` under the PDS transition relation. Used by Alg. 2 (feature removal)
+//! for forward stack-configuration slicing, and to build the language of all
+//! configurations reachable from `⟨entry_main, ε⟩` (valid calling contexts).
+
+use crate::automaton::{PAutomaton, PState};
+use crate::system::{Pds, Rhs};
+use specslice_fsa::Symbol;
+use std::collections::HashMap;
+
+/// Statistics from a [`poststar`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoststarStats {
+    /// Transitions in the saturated automaton (including ε).
+    pub transitions: usize,
+    /// States added in Phase I (one per distinct push-rule target pair).
+    pub phase1_states: usize,
+    /// Approximate peak bytes retained during saturation.
+    pub peak_bytes: usize,
+}
+
+/// Computes an automaton for `post*(L(query))`.
+///
+/// The result may contain ε-transitions; acceptance accounts for them.
+///
+/// # Panics
+///
+/// Panics if `query` has ε-transitions, transitions *into* control states,
+/// or fewer control states than the PDS (standard P-automaton preconditions).
+pub fn poststar(pds: &Pds, query: &PAutomaton) -> PAutomaton {
+    poststar_with_stats(pds, query).0
+}
+
+/// [`poststar`] plus run statistics.
+pub fn poststar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, PoststarStats) {
+    assert!(
+        query.control_count() >= pds.control_count(),
+        "query automaton lacks control states"
+    );
+    for (_, l, t) in query.transitions() {
+        assert!(l.is_some(), "poststar queries must be ε-free");
+        assert!(
+            !query.is_control_state(t),
+            "poststar queries must not have transitions into control states"
+        );
+    }
+
+    let mut aut = query.clone();
+
+    // Phase I: one fresh state per (p', γ') push-rule target pair.
+    let mut push_state: HashMap<(u32, Symbol), PState> = HashMap::new();
+    for rule in pds.rules() {
+        if let Rhs::Push(g1, _) = rule.rhs {
+            push_state
+                .entry((rule.to_loc.0, g1))
+                .or_insert_with(|| aut.add_state());
+        }
+    }
+    let phase1_states = push_state.len();
+
+    // Worklist algorithm over transitions. We maintain:
+    //   by_src: (state, symbol) → targets, for combining ε-transitions;
+    //   eps_into: state → control states with an ε-transition into it.
+    let mut worklist: Vec<(PState, Option<Symbol>, PState)> =
+        aut.transitions().collect();
+    let mut by_src: HashMap<(PState, Symbol), Vec<PState>> = HashMap::new();
+    for &(f, l, t) in &worklist {
+        if let Some(sym) = l {
+            by_src.entry((f, sym)).or_default().push(t);
+        }
+    }
+    let mut eps_into: HashMap<PState, Vec<PState>> = HashMap::new();
+
+    let mut peak_bytes = 0usize;
+    while let Some((f, l, t)) = worklist.pop() {
+        match l {
+            Some(sym) => {
+                if aut.is_control_state(f) {
+                    let p = crate::system::ControlLoc(f.0);
+                    for rule in pds.rules_for(p, sym).cloned().collect::<Vec<_>>() {
+                        let p2 = aut.control_state(rule.to_loc);
+                        match rule.rhs {
+                            Rhs::Pop => {
+                                if aut.add_transition(p2, None, t) {
+                                    worklist.push((p2, None, t));
+                                }
+                            }
+                            Rhs::Internal(g2) => {
+                                if aut.add_transition(p2, Some(g2), t) {
+                                    by_src.entry((p2, g2)).or_default().push(t);
+                                    worklist.push((p2, Some(g2), t));
+                                }
+                            }
+                            Rhs::Push(g1, g2) => {
+                                let mid = push_state[&(rule.to_loc.0, g1)];
+                                if aut.add_transition(p2, Some(g1), mid) {
+                                    by_src.entry((p2, g1)).or_default().push(mid);
+                                    worklist.push((p2, Some(g1), mid));
+                                }
+                                if aut.add_transition(mid, Some(g2), t) {
+                                    by_src.entry((mid, g2)).or_default().push(t);
+                                    worklist.push((mid, Some(g2), t));
+                                }
+                            }
+                        }
+                    }
+                }
+                // ε-combination: q' –ε→ f plus f –sym→ t gives q' –sym→ t.
+                if let Some(sources) = eps_into.get(&f) {
+                    for q2 in sources.clone() {
+                        if aut.add_transition(q2, Some(sym), t) {
+                            by_src.entry((q2, sym)).or_default().push(t);
+                            worklist.push((q2, Some(sym), t));
+                        }
+                    }
+                }
+            }
+            None => {
+                // f –ε→ t: combine with all t –sym→ u.
+                eps_into.entry(t).or_default().push(f);
+                let succ: Vec<(Symbol, PState)> = aut
+                    .transitions_from(t)
+                    .iter()
+                    .filter_map(|&(l2, u)| l2.map(|s| (s, u)))
+                    .collect();
+                for (sym, u) in succ {
+                    if aut.add_transition(f, Some(sym), u) {
+                        by_src.entry((f, sym)).or_default().push(u);
+                        worklist.push((f, Some(sym), u));
+                    }
+                }
+            }
+        }
+        peak_bytes = peak_bytes.max(
+            aut.approx_bytes()
+                + by_src.len() * 48
+                + eps_into.len() * 48
+                + worklist.len() * std::mem::size_of::<(PState, Option<Symbol>, PState)>(),
+        );
+    }
+
+    let stats = PoststarStats {
+        transitions: aut.transition_count(),
+        phase1_states,
+        peak_bytes,
+    };
+    (aut, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::ControlLoc;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    /// Rules: ⟨p,a⟩↪⟨p, a b⟩. post*{(p, a)} = (p, a b*).
+    #[test]
+    fn push_star() {
+        let p = ControlLoc(0);
+        let (a, b) = (sym(0), sym(1));
+        let mut pds = Pds::new(1);
+        pds.add_push(p, a, p, a, b);
+        let mut query = PAutomaton::new(1);
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), Some(a), f);
+        query.set_final(f);
+        let res = poststar(&pds, &query);
+        assert!(res.accepts(p, &[a]));
+        assert!(res.accepts(p, &[a, b]));
+        assert!(res.accepts(p, &[a, b, b, b]));
+        assert!(!res.accepts(p, &[b]));
+        assert!(!res.accepts(p, &[a, a]));
+    }
+
+    /// Pop to a different control location: ⟨p,a⟩↪⟨q,ε⟩.
+    /// post*{(p, a b)} ∋ (q, b).
+    #[test]
+    fn pop_moves_control() {
+        let p = ControlLoc(0);
+        let q = ControlLoc(1);
+        let (a, b) = (sym(0), sym(1));
+        let mut pds = Pds::new(2);
+        pds.add_pop(p, a, q);
+        let mut query = PAutomaton::new(2);
+        let m1 = query.add_state();
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), Some(a), m1);
+        query.add_transition(m1, Some(b), f);
+        query.set_final(f);
+        let res = poststar(&pds, &query);
+        assert!(res.accepts(p, &[a, b]));
+        assert!(res.accepts(q, &[b]));
+        assert!(!res.accepts(q, &[a]));
+        assert!(!res.accepts(p, &[b]));
+    }
+
+    /// Pop then continue: push and pop interplay.
+    /// Rules: ⟨p,a⟩↪⟨p,b c⟩, ⟨p,b⟩↪⟨q,ε⟩, ⟨q,c⟩↪⟨q,d⟩.
+    /// (p,a) ⇒ (p,bc) ⇒ (q,c) ⇒ (q,d).
+    #[test]
+    fn chained_reachability() {
+        let p = ControlLoc(0);
+        let q = ControlLoc(1);
+        let (a, b, c, d) = (sym(0), sym(1), sym(2), sym(3));
+        let mut pds = Pds::new(2);
+        pds.add_push(p, a, p, b, c);
+        pds.add_pop(p, b, q);
+        pds.add_internal(q, c, q, d);
+        let mut query = PAutomaton::new(2);
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), Some(a), f);
+        query.set_final(f);
+        let res = poststar(&pds, &query);
+        for (loc, stack) in [
+            (p, vec![a]),
+            (p, vec![b, c]),
+            (q, vec![c]),
+            (q, vec![d]),
+        ] {
+            assert!(res.accepts(loc, &stack), "({loc:?}, {stack:?})");
+        }
+        assert!(!res.accepts(p, &[c]));
+        assert!(!res.accepts(q, &[a]));
+    }
+
+    /// Cross-check with concrete exploration.
+    #[test]
+    fn agrees_with_concrete_search() {
+        let p = ControlLoc(0);
+        let q = ControlLoc(1);
+        let (a, b) = (sym(0), sym(1));
+        let mut pds = Pds::new(2);
+        pds.add_push(p, a, p, b, a);
+        pds.add_internal(p, b, q, a);
+        pds.add_pop(q, a, p);
+        // Start set: {(p, a)}.
+        let mut query = PAutomaton::new(2);
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), Some(a), f);
+        query.set_final(f);
+        let res = poststar(&pds, &query);
+
+        // Concrete BFS from (p, [a]) bounded by stack depth.
+        let mut reachable = std::collections::HashSet::new();
+        let mut work = vec![(p, vec![a])];
+        while let Some((l, st)) = work.pop() {
+            if st.len() > 5 || !reachable.insert((l, st.clone())) {
+                continue;
+            }
+            work.extend(pds.step(l, &st));
+        }
+        for loc in [p, q] {
+            for stack in [
+                vec![],
+                vec![a],
+                vec![b],
+                vec![a, a],
+                vec![b, a],
+                vec![a, b],
+                vec![b, a, a],
+            ] {
+                let concrete = reachable.contains(&(loc, stack.clone()));
+                assert_eq!(
+                    res.accepts(loc, &stack),
+                    concrete,
+                    "mismatch at ({loc:?}, {stack:?})"
+                );
+            }
+        }
+    }
+
+    /// pre* and post* are adjoint: c' ∈ pre*({c}) iff c ∈ post*({c'}).
+    #[test]
+    fn prestar_poststar_duality() {
+        let p = ControlLoc(0);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let mut pds = Pds::new(1);
+        pds.add_push(p, a, p, b, c);
+        pds.add_pop(p, b, p);
+        pds.add_internal(p, c, p, a);
+
+        // c' = (p, [a]); c = (p, [c]).
+        let mut from_cp = PAutomaton::new(1);
+        let f1 = from_cp.add_state();
+        from_cp.add_transition(from_cp.control_state(p), Some(a), f1);
+        from_cp.set_final(f1);
+        let post = poststar(&pds, &from_cp);
+
+        let mut from_c = PAutomaton::new(1);
+        let f2 = from_c.add_state();
+        from_c.add_transition(from_c.control_state(p), Some(c), f2);
+        from_c.set_final(f2);
+        let pre = crate::prestar::prestar(&pds, &from_c);
+
+        assert_eq!(post.accepts(p, &[c]), pre.accepts(p, &[a]));
+        assert!(post.accepts(p, &[c]));
+    }
+}

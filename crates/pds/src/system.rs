@@ -1,0 +1,230 @@
+//! Pushdown-system definitions (Defn. 3.1 of the paper).
+
+use specslice_fsa::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A PDS control location (`p`, `p_fo`, … in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ControlLoc(pub u32);
+
+impl ControlLoc {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ControlLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Right-hand side of a PDS rule: at most two stack symbols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rhs {
+    /// `⟨p', ε⟩` — a pop rule.
+    Pop,
+    /// `⟨p', γ'⟩` — an internal rule.
+    Internal(Symbol),
+    /// `⟨p', γ' γ''⟩` — a push rule (`γ'` becomes the new top of stack).
+    Push(Symbol, Symbol),
+}
+
+/// A PDS rule `⟨p, γ⟩ ↪ ⟨p', rhs⟩`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Rule {
+    /// Source control location `p`.
+    pub from_loc: ControlLoc,
+    /// Symbol popped from the top of the stack, `γ`.
+    pub from_sym: Symbol,
+    /// Target control location `p'`.
+    pub to_loc: ControlLoc,
+    /// Replacement for `γ`.
+    pub rhs: Rhs,
+}
+
+/// A pushdown system `(P, Γ, Δ)`.
+///
+/// `Γ` is implicit: the symbols mentioned by rules (plus whatever query
+/// automata use).
+#[derive(Clone, Debug, Default)]
+pub struct Pds {
+    n_controls: u32,
+    rules: Vec<Rule>,
+    /// Rules indexed by `(from_loc, from_sym)`.
+    by_lhs: HashMap<(ControlLoc, Symbol), Vec<usize>>,
+}
+
+impl Pds {
+    /// Creates a PDS with control locations `0..n_controls`.
+    pub fn new(n_controls: u32) -> Pds {
+        Pds {
+            n_controls,
+            rules: Vec::new(),
+            by_lhs: HashMap::new(),
+        }
+    }
+
+    /// Adds a control location, returning it.
+    pub fn add_control(&mut self) -> ControlLoc {
+        let c = ControlLoc(self.n_controls);
+        self.n_controls += 1;
+        c
+    }
+
+    /// Number of control locations.
+    pub fn control_count(&self) -> u32 {
+        self.n_controls
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules (`|Δ|`).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Adds a rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either control location is out of range.
+    pub fn add_rule(&mut self, rule: Rule) {
+        assert!(rule.from_loc.0 < self.n_controls, "from_loc out of range");
+        assert!(rule.to_loc.0 < self.n_controls, "to_loc out of range");
+        let idx = self.rules.len();
+        self.by_lhs
+            .entry((rule.from_loc, rule.from_sym))
+            .or_default()
+            .push(idx);
+        self.rules.push(rule);
+    }
+
+    /// Adds a pop rule `⟨p, γ⟩ ↪ ⟨p', ε⟩`.
+    pub fn add_pop(&mut self, p: ControlLoc, gamma: Symbol, p2: ControlLoc) {
+        self.add_rule(Rule {
+            from_loc: p,
+            from_sym: gamma,
+            to_loc: p2,
+            rhs: Rhs::Pop,
+        });
+    }
+
+    /// Adds an internal rule `⟨p, γ⟩ ↪ ⟨p', γ'⟩`.
+    pub fn add_internal(&mut self, p: ControlLoc, gamma: Symbol, p2: ControlLoc, gamma2: Symbol) {
+        self.add_rule(Rule {
+            from_loc: p,
+            from_sym: gamma,
+            to_loc: p2,
+            rhs: Rhs::Internal(gamma2),
+        });
+    }
+
+    /// Adds a push rule `⟨p, γ⟩ ↪ ⟨p', γ' γ''⟩`.
+    pub fn add_push(
+        &mut self,
+        p: ControlLoc,
+        gamma: Symbol,
+        p2: ControlLoc,
+        top: Symbol,
+        below: Symbol,
+    ) {
+        self.add_rule(Rule {
+            from_loc: p,
+            from_sym: gamma,
+            to_loc: p2,
+            rhs: Rhs::Push(top, below),
+        });
+    }
+
+    /// Rules whose left-hand side is `⟨p, γ⟩`.
+    pub fn rules_for(&self, p: ControlLoc, gamma: Symbol) -> impl Iterator<Item = &Rule> {
+        self.by_lhs
+            .get(&(p, gamma))
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.rules[i])
+    }
+
+    /// Applies one step of the transition relation `⇒` to a configuration,
+    /// returning all successor configurations. Exponential if iterated;
+    /// intended for tests and cross-checking the symbolic engines.
+    pub fn step(&self, loc: ControlLoc, stack: &[Symbol]) -> Vec<(ControlLoc, Vec<Symbol>)> {
+        let mut out = Vec::new();
+        let Some((&top, rest)) = stack.split_first() else {
+            return out;
+        };
+        for r in self.rules_for(loc, top) {
+            let mut new_stack: Vec<Symbol> = Vec::with_capacity(stack.len() + 1);
+            match r.rhs {
+                Rhs::Pop => {}
+                Rhs::Internal(g) => new_stack.push(g),
+                Rhs::Push(g1, g2) => {
+                    new_stack.push(g1);
+                    new_stack.push(g2);
+                }
+            }
+            new_stack.extend_from_slice(rest);
+            out.push((r.to_loc, new_stack));
+        }
+        out
+    }
+
+    /// Approximate retained heap size in bytes (used by the Fig. 22 memory
+    /// accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.rules.len() * std::mem::size_of::<Rule>()
+            + self.by_lhs.len()
+                * (std::mem::size_of::<(ControlLoc, Symbol)>() + std::mem::size_of::<Vec<usize>>())
+            + self
+                .by_lhs
+                .values()
+                .map(|v| v.len() * std::mem::size_of::<usize>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_indexing() {
+        let mut pds = Pds::new(2);
+        let (p, q) = (ControlLoc(0), ControlLoc(1));
+        let a = Symbol(0);
+        let b = Symbol(1);
+        pds.add_internal(p, a, p, b);
+        pds.add_pop(p, a, q);
+        pds.add_push(q, b, p, a, b);
+        assert_eq!(pds.rule_count(), 3);
+        assert_eq!(pds.rules_for(p, a).count(), 2);
+        assert_eq!(pds.rules_for(q, b).count(), 1);
+        assert_eq!(pds.rules_for(q, a).count(), 0);
+    }
+
+    #[test]
+    fn concrete_step() {
+        let mut pds = Pds::new(1);
+        let p = ControlLoc(0);
+        let (a, b, c) = (Symbol(0), Symbol(1), Symbol(2));
+        pds.add_push(p, a, p, b, c);
+        let succs = pds.step(p, &[a, a]);
+        assert_eq!(succs, vec![(p, vec![b, c, a])]);
+        // empty stack: no moves
+        assert!(pds.step(p, &[]).is_empty());
+    }
+
+    #[test]
+    fn add_control_extends_range() {
+        let mut pds = Pds::new(1);
+        let extra = pds.add_control();
+        assert_eq!(extra, ControlLoc(1));
+        assert_eq!(pds.control_count(), 2);
+    }
+}

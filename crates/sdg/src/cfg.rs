@@ -1,0 +1,359 @@
+//! Statement-level control-flow graphs with Ball–Horwitz augmented edges.
+//!
+//! Each function gets a CFG whose nodes are its statements (plus entry and
+//! exit). Two edge sets are kept:
+//!
+//! * **real** edges — actual control flow (used by the must-define and
+//!   reaching-definition analyses);
+//! * **augmented** edges — the Ball–Horwitz *fall-through* edges of jump
+//!   statements (`return`, `break`, `continue`, `exit`), plus the standard
+//!   `entry → exit` edge. Control dependence is computed on real ∪ augmented
+//!   edges, which makes jumps pseudo-predicates so that slices retain the
+//!   jumps that guard the statements they cut.
+
+use specslice_graphs::{DiGraph, NodeId};
+use specslice_lang::ast::{Block, Function, Stmt, StmtId, StmtKind};
+use std::collections::HashMap;
+
+/// A function's statement-level CFG.
+#[derive(Clone, Debug)]
+pub struct StmtCfg {
+    /// Real control-flow edges.
+    pub real: DiGraph,
+    /// Augmented fall-through edges `(from, to)`.
+    pub augmented: Vec<(NodeId, NodeId)>,
+    /// Entry node.
+    pub entry: NodeId,
+    /// Exit node.
+    pub exit: NodeId,
+    /// Statement of each node (`None` for entry/exit).
+    pub node_stmt: Vec<Option<StmtId>>,
+    /// Node of each statement (statements without vertices — plain
+    /// declarations — are absent).
+    pub stmt_node: HashMap<StmtId, NodeId>,
+}
+
+impl StmtCfg {
+    /// The combined graph (real + augmented edges) used for postdominators
+    /// and control dependence.
+    pub fn augmented_graph(&self) -> DiGraph {
+        let mut g = self.real.clone();
+        for &(f, t) in &self.augmented {
+            g.add_edge_unique(f, t);
+        }
+        g
+    }
+
+    /// The statement anchored at `n`, if any.
+    pub fn stmt(&self, n: NodeId) -> Option<StmtId> {
+        self.node_stmt.get(n.index()).copied().flatten()
+    }
+}
+
+/// A pending edge source: `(node, is_augmented)`.
+type Frontier = Vec<(NodeId, bool)>;
+
+struct Builder {
+    real: DiGraph,
+    augmented: Vec<(NodeId, NodeId)>,
+    node_stmt: Vec<Option<StmtId>>,
+    stmt_node: HashMap<StmtId, NodeId>,
+    exit: NodeId,
+}
+
+struct LoopCtx {
+    head: NodeId,
+    breaks: Frontier,
+}
+
+impl Builder {
+    fn add_node(&mut self, stmt: Option<StmtId>) -> NodeId {
+        let n = self.real.add_node();
+        self.node_stmt.push(stmt);
+        if let Some(s) = stmt {
+            self.stmt_node.insert(s, n);
+        }
+        n
+    }
+
+    fn connect(&mut self, frontier: &Frontier, to: NodeId) {
+        for &(src, aug) in frontier {
+            if aug {
+                if !self.augmented.contains(&(src, to)) {
+                    self.augmented.push((src, to));
+                }
+            } else {
+                self.real.add_edge_unique(src, to);
+            }
+        }
+    }
+
+    fn build_block(
+        &mut self,
+        block: &Block,
+        mut frontier: Frontier,
+        loops: &mut Vec<LoopCtx>,
+    ) -> Frontier {
+        for s in &block.stmts {
+            frontier = self.build_stmt(s, frontier, loops);
+        }
+        frontier
+    }
+
+    fn build_stmt(&mut self, s: &Stmt, frontier: Frontier, loops: &mut Vec<LoopCtx>) -> Frontier {
+        match &s.kind {
+            StmtKind::Decl { init: None, .. } => frontier, // no vertex, no node
+            StmtKind::Decl { init: Some(_), .. }
+            | StmtKind::Assign { .. }
+            | StmtKind::Call(_)
+            | StmtKind::Printf { .. }
+            | StmtKind::Scanf { .. } => {
+                let n = self.add_node(Some(s.id));
+                self.connect(&frontier, n);
+                vec![(n, false)]
+            }
+            StmtKind::Exit { .. } => {
+                // Terminates the program: real edge to exit, augmented
+                // fall-through to the next statement.
+                let n = self.add_node(Some(s.id));
+                self.connect(&frontier, n);
+                let exit = self.exit;
+                self.real.add_edge_unique(n, exit);
+                vec![(n, true)]
+            }
+            StmtKind::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                let pred = self.add_node(Some(s.id));
+                self.connect(&frontier, pred);
+                let mut out = self.build_block(then_block, vec![(pred, false)], loops);
+                match else_block {
+                    Some(e) => {
+                        let else_out = self.build_block(e, vec![(pred, false)], loops);
+                        out.extend(else_out);
+                    }
+                    None => out.push((pred, false)),
+                }
+                out
+            }
+            StmtKind::While { body, .. } => {
+                let head = self.add_node(Some(s.id));
+                self.connect(&frontier, head);
+                loops.push(LoopCtx {
+                    head,
+                    breaks: Vec::new(),
+                });
+                let body_out = self.build_block(body, vec![(head, false)], loops);
+                self.connect(&body_out, head);
+                let ctx = loops.pop().expect("loop context");
+                let mut out = vec![(head, false)];
+                out.extend(ctx.breaks);
+                out
+            }
+            StmtKind::Return { .. } => {
+                let n = self.add_node(Some(s.id));
+                self.connect(&frontier, n);
+                let exit = self.exit;
+                self.real.add_edge_unique(n, exit);
+                vec![(n, true)]
+            }
+            StmtKind::Break => {
+                let n = self.add_node(Some(s.id));
+                self.connect(&frontier, n);
+                loops
+                    .last_mut()
+                    .expect("break outside loop rejected by sema")
+                    .breaks
+                    .push((n, false));
+                vec![(n, true)]
+            }
+            StmtKind::Continue => {
+                let n = self.add_node(Some(s.id));
+                self.connect(&frontier, n);
+                let head = loops
+                    .last()
+                    .expect("continue outside loop rejected by sema")
+                    .head;
+                self.real.add_edge_unique(n, head);
+                vec![(n, true)]
+            }
+        }
+    }
+}
+
+/// Builds the statement-level CFG of `f`.
+pub fn build_stmt_cfg(f: &Function) -> StmtCfg {
+    let mut b = Builder {
+        real: DiGraph::new(),
+        augmented: Vec::new(),
+        node_stmt: Vec::new(),
+        stmt_node: HashMap::new(),
+        exit: NodeId(0), // placeholder, fixed below
+    };
+    let entry = b.add_node(None);
+    let exit = b.add_node(None);
+    b.exit = exit;
+    let mut loops = Vec::new();
+    let out = b.build_block(&f.body, vec![(entry, false)], &mut loops);
+    b.connect(&out, exit);
+    // Ball–Horwitz: entry has an augmented edge to exit so top-level
+    // statements become control-dependent on entry.
+    b.augmented.push((entry, exit));
+    StmtCfg {
+        real: b.real,
+        augmented: b.augmented,
+        entry,
+        exit,
+        node_stmt: b.node_stmt,
+        stmt_node: b.stmt_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specslice_lang::frontend;
+
+    fn cfg_of(src: &str, func: &str) -> (StmtCfg, specslice_lang::Program) {
+        let p = frontend(src).unwrap();
+        let f = p.function(func).unwrap().clone();
+        (build_stmt_cfg(&f), p)
+    }
+
+    #[test]
+    fn straight_line() {
+        let (cfg, _) = cfg_of(
+            "int main() { int x; x = 1; x = 2; return x; }",
+            "main",
+        );
+        // nodes: entry, exit, x=1, x=2, return
+        assert_eq!(cfg.real.node_count(), 5);
+        // return has a real edge to exit and an augmented fall-through that
+        // also targets exit (it is the last statement).
+        let ret = *cfg.stmt_node.values().max().unwrap();
+        assert!(cfg.real.has_edge(ret, cfg.exit));
+    }
+
+    #[test]
+    fn early_return_is_pseudo_predicate() {
+        let (cfg, p) = cfg_of(
+            "int g; int main() { int m; m = 0; if (m == 0) { return 1; } g = 5; return g; }",
+            "main",
+        );
+        // find the early return node: it must have a real edge to exit AND an
+        // augmented edge to the g = 5 node.
+        let mut ret_node = None;
+        let mut g5_node = None;
+        p.visit_all(|_, s| match &s.kind {
+            StmtKind::Return {
+                value: Some(specslice_lang::Expr::Int(1)),
+            } => ret_node = Some(cfg.stmt_node[&s.id]),
+            StmtKind::Assign { name, .. } if name == "g" => {
+                g5_node = Some(cfg.stmt_node[&s.id])
+            }
+            _ => {}
+        });
+        let (ret, g5) = (ret_node.unwrap(), g5_node.unwrap());
+        assert!(cfg.real.has_edge(ret, cfg.exit));
+        assert!(cfg.augmented.contains(&(ret, g5)));
+        // In the augmented graph the return has two successors.
+        let ag = cfg.augmented_graph();
+        assert_eq!(ag.successors(ret).len(), 2);
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let (cfg, p) = cfg_of(
+            "int main() { int i; i = 0; while (i < 3) { i = i + 1; } return i; }",
+            "main",
+        );
+        let mut head = None;
+        let mut body = None;
+        p.visit_all(|_, s| match &s.kind {
+            StmtKind::While { .. } => head = Some(cfg.stmt_node[&s.id]),
+            StmtKind::Assign { name, value, .. }
+                if name == "i" && !matches!(value, specslice_lang::Expr::Int(_)) =>
+            {
+                body = Some(cfg.stmt_node[&s.id])
+            }
+            _ => {}
+        });
+        let (head, body) = (head.unwrap(), body.unwrap());
+        assert!(cfg.real.has_edge(head, body));
+        assert!(cfg.real.has_edge(body, head)); // back edge
+    }
+
+    #[test]
+    fn break_and_continue_edges() {
+        let (cfg, p) = cfg_of(
+            r#"int main() {
+                int i;
+                i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 3) { break; }
+                    if (i == 2) { continue; }
+                    i = i + 10;
+                }
+                return i;
+            }"#,
+            "main",
+        );
+        let mut head = None;
+        let mut brk = None;
+        let mut cont = None;
+        let mut ret = None;
+        p.visit_all(|_, s| match &s.kind {
+            StmtKind::While { .. } => head = Some(cfg.stmt_node[&s.id]),
+            StmtKind::Break => brk = Some(cfg.stmt_node[&s.id]),
+            StmtKind::Continue => cont = Some(cfg.stmt_node[&s.id]),
+            StmtKind::Return { .. } => ret = Some(cfg.stmt_node[&s.id]),
+            _ => {}
+        });
+        let (head, brk, cont, ret) = (head.unwrap(), brk.unwrap(), cont.unwrap(), ret.unwrap());
+        // break: real edge to the statement after the loop (the return).
+        assert!(cfg.real.has_edge(brk, ret));
+        // continue: real edge back to the loop head.
+        assert!(cfg.real.has_edge(cont, head));
+        // both have augmented fall-through edges.
+        assert!(cfg.augmented.iter().any(|&(f, _)| f == brk));
+        assert!(cfg.augmented.iter().any(|&(f, _)| f == cont));
+    }
+
+    #[test]
+    fn exit_call_jumps_to_exit() {
+        let (cfg, p) = cfg_of(
+            "int main() { int x; x = 1; exit(x); x = 2; return x; }",
+            "main",
+        );
+        let mut exit_node = None;
+        p.visit_all(|_, s| {
+            if matches!(s.kind, StmtKind::Exit { .. }) {
+                exit_node = Some(cfg.stmt_node[&s.id]);
+            }
+        });
+        let e = exit_node.unwrap();
+        assert!(cfg.real.has_edge(e, cfg.exit));
+        assert!(cfg.augmented.iter().any(|&(f, _)| f == e));
+    }
+
+    #[test]
+    fn plain_declarations_have_no_node() {
+        let (cfg, p) = cfg_of("int main() { int x; x = 1; return x; }", "main");
+        let mut decl_id = None;
+        p.visit_all(|_, s| {
+            if matches!(s.kind, StmtKind::Decl { init: None, .. }) {
+                decl_id = Some(s.id);
+            }
+        });
+        assert!(!cfg.stmt_node.contains_key(&decl_id.unwrap()));
+    }
+
+    #[test]
+    fn entry_to_exit_augmented_edge_exists() {
+        let (cfg, _) = cfg_of("int main() { return 0; }", "main");
+        assert!(cfg.augmented.contains(&(cfg.entry, cfg.exit)));
+    }
+}

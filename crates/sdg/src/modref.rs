@@ -1,0 +1,551 @@
+//! Interprocedural MayMod / MustMod / upward-exposed-reference analysis.
+//!
+//! Decides which non-local locations get formal-in and formal-out vertices
+//! (Cooper–Kennedy-style GMOD/GREF, refined with MustMod as in the paper's
+//! SDG definition): a procedure `p` has
+//!
+//! * a formal-in for global `g` iff `g ∈ UERef(p) ∪ (MayMod(p) ∖ MustMod(p))`
+//!   — `g`'s incoming value may be observed, either by a use that no
+//!   definite write precedes, or because `p` may leave `g` untouched on some
+//!   path while writing it on another;
+//! * a formal-out for `g` iff `g ∈ MayMod(p)`.
+//!
+//! The `scanf` input stream is modeled as a synthetic global [`STDIN`] that
+//! every `scanf` both reads and writes, so executable slices preserve the
+//! relative order of input operations.
+
+use crate::cfg::StmtCfg;
+use specslice_graphs::NodeId;
+use specslice_lang::ast::{Expr, Function, ParamMode, Program, Stmt, StmtKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// The synthetic global modeling the `scanf` input stream.
+pub const STDIN: &str = "$stdin";
+
+/// The synthetic variable carrying return values (shared with the builder).
+pub const RET: &str = "$ret";
+
+/// A location visible across procedure boundaries.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// A global variable (including [`STDIN`]).
+    Global(String),
+    /// The `i`-th parameter (only meaningful for by-reference parameters).
+    Param(usize),
+}
+
+/// Per-procedure analysis results.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModRefInfo {
+    /// Locations the procedure may modify (transitively).
+    pub may_mod: BTreeSet<Location>,
+    /// Locations the procedure definitely modifies on every path to exit.
+    pub must_mod: BTreeSet<Location>,
+    /// Globals with an upward-exposed use (read before any definite write).
+    pub ue_ref: BTreeSet<String>,
+    /// Whether every path to exit passes a `return e;` — when false, the
+    /// return-value actual-out is only a *may*-definition of its target
+    /// (MiniC, like C89, allows int functions to return without a value).
+    pub must_ret: bool,
+}
+
+impl ModRefInfo {
+    /// Globals needing a formal-in vertex: `UERef ∪ (MayMod ∖ MustMod)`.
+    pub fn globals_in(&self) -> BTreeSet<String> {
+        let mut out = self.ue_ref.clone();
+        for loc in &self.may_mod {
+            if let Location::Global(g) = loc {
+                if !self.must_mod.contains(loc) {
+                    out.insert(g.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Globals needing a formal-out vertex: `MayMod` globals.
+    pub fn globals_out(&self) -> BTreeSet<String> {
+        self.may_mod
+            .iter()
+            .filter_map(|l| match l {
+                Location::Global(g) => Some(g.clone()),
+                Location::Param(_) => None,
+            })
+            .collect()
+    }
+
+    /// By-reference parameter indices the procedure may modify.
+    pub fn ref_params_out(&self) -> BTreeSet<usize> {
+        self.may_mod
+            .iter()
+            .filter_map(|l| match l {
+                Location::Param(i) => Some(*i),
+                Location::Global(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Whether the program performs any input (decides if [`STDIN`] exists).
+pub fn uses_scanf(program: &Program) -> bool {
+    let mut found = false;
+    program.visit_all(|_, s| {
+        if matches!(s.kind, StmtKind::Scanf { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Statement-level effects, parameterized by the current summaries.
+struct Effects {
+    may_defs: Vec<String>,
+    must_defs: Vec<String>,
+    uses: Vec<String>,
+}
+
+fn expr_vars(e: &Expr) -> Vec<String> {
+    e.vars()
+}
+
+fn stmt_effects(
+    s: &Stmt,
+    program: &Program,
+    summaries: &HashMap<String, ModRefInfo>,
+) -> Effects {
+    let mut eff = Effects {
+        may_defs: Vec::new(),
+        must_defs: Vec::new(),
+        uses: Vec::new(),
+    };
+    match &s.kind {
+        StmtKind::Decl { name, init: Some(e), .. } | StmtKind::Assign { name, value: e } => {
+            eff.may_defs.push(name.clone());
+            eff.must_defs.push(name.clone());
+            eff.uses.extend(expr_vars(e));
+        }
+        StmtKind::Decl { init: None, .. } => {}
+        StmtKind::Scanf {
+            targets, assign_to, ..
+        } => {
+            for t in targets {
+                eff.may_defs.push(t.clone());
+                eff.must_defs.push(t.clone());
+            }
+            if let Some(t) = assign_to {
+                eff.may_defs.push(t.clone());
+                eff.must_defs.push(t.clone());
+            }
+            eff.may_defs.push(STDIN.to_string());
+            eff.must_defs.push(STDIN.to_string());
+            eff.uses.push(STDIN.to_string());
+        }
+        StmtKind::Printf { args, .. } => {
+            for a in args {
+                eff.uses.extend(expr_vars(a));
+            }
+        }
+        StmtKind::Exit { code } => eff.uses.extend(expr_vars(code)),
+        StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
+            eff.uses.extend(expr_vars(cond));
+        }
+        StmtKind::Return { value } => {
+            if let Some(e) = value {
+                eff.uses.extend(expr_vars(e));
+                eff.may_defs.push(RET.to_string());
+                eff.must_defs.push(RET.to_string());
+            }
+        }
+        StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Call(c) => {
+            for a in &c.args {
+                eff.uses.extend(expr_vars(a));
+            }
+            if let Some(t) = &c.assign_to {
+                eff.may_defs.push(t.clone());
+                // The result is definitely assigned only when the callee
+                // definitely returns a value.
+                let callee_must_ret = summaries
+                    .get(c.callee.name())
+                    .map(|s| s.must_ret)
+                    .unwrap_or(false);
+                if callee_must_ret {
+                    eff.must_defs.push(t.clone());
+                }
+            }
+            let callee_name = c.callee.name();
+            if let Some(callee) = program.function(callee_name) {
+                let summary = summaries.get(callee_name).cloned().unwrap_or_default();
+                for loc in &summary.may_mod {
+                    match loc {
+                        Location::Global(g) => eff.may_defs.push(g.clone()),
+                        Location::Param(i) => {
+                            if let Some(Expr::Var(v)) = c.args.get(*i) {
+                                eff.may_defs.push(v.clone());
+                            }
+                        }
+                    }
+                }
+                for loc in &summary.must_mod {
+                    match loc {
+                        Location::Global(g) => eff.must_defs.push(g.clone()),
+                        Location::Param(i) => {
+                            if let Some(Expr::Var(v)) = c.args.get(*i) {
+                                eff.must_defs.push(v.clone());
+                            }
+                        }
+                    }
+                }
+                for g in &summary.ue_ref {
+                    eff.uses.push(g.clone());
+                }
+                let _ = callee; // arity/ref-ness validated by sema
+            }
+        }
+    }
+    eff
+}
+
+fn is_global(program: &Program, name: &str, has_stdin: bool) -> bool {
+    (has_stdin && name == STDIN) || program.is_global(name)
+}
+
+fn project(
+    program: &Program,
+    f: &Function,
+    names: impl IntoIterator<Item = String>,
+    has_stdin: bool,
+) -> BTreeSet<Location> {
+    let mut out = BTreeSet::new();
+    for n in names {
+        if is_global(program, &n, has_stdin) {
+            out.insert(Location::Global(n));
+        } else if let Some((i, _)) = f
+            .params
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.name == n && p.mode == ParamMode::Ref)
+        {
+            out.insert(Location::Param(i));
+        }
+    }
+    out
+}
+
+/// Runs the interprocedural fixpoint, returning per-procedure summaries.
+pub fn analyze(
+    program: &Program,
+    cfgs: &HashMap<String, StmtCfg>,
+) -> HashMap<String, ModRefInfo> {
+    let has_stdin = uses_scanf(program);
+    // Universe for the optimistic MustMod initialization.
+    let mut summaries: HashMap<String, ModRefInfo> = HashMap::new();
+    for f in &program.functions {
+        let mut top = BTreeSet::new();
+        for g in &program.globals {
+            top.insert(Location::Global(g.clone()));
+        }
+        if has_stdin {
+            top.insert(Location::Global(STDIN.to_string()));
+        }
+        for (i, p) in f.params.iter().enumerate() {
+            if p.mode == ParamMode::Ref {
+                top.insert(Location::Param(i));
+            }
+        }
+        summaries.insert(
+            f.name.clone(),
+            ModRefInfo {
+                may_mod: BTreeSet::new(),
+                must_mod: top,
+                ue_ref: BTreeSet::new(),
+                must_ret: true,
+            },
+        );
+    }
+
+    loop {
+        let mut changed = false;
+        for f in &program.functions {
+            let cfg = &cfgs[&f.name];
+            let next = analyze_proc(program, f, cfg, &summaries, has_stdin);
+            let cur = summaries.get_mut(&f.name).expect("summary present");
+            if *cur != next {
+                *cur = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            return summaries;
+        }
+    }
+}
+
+fn analyze_proc(
+    program: &Program,
+    f: &Function,
+    cfg: &StmtCfg,
+    summaries: &HashMap<String, ModRefInfo>,
+    has_stdin: bool,
+) -> ModRefInfo {
+    // Gather per-node effects.
+    let mut stmt_by_id: HashMap<specslice_lang::StmtId, &Stmt> = HashMap::new();
+    f.body.visit(&mut |s| {
+        stmt_by_id.insert(s.id, s);
+    });
+    let n = cfg.real.node_count();
+    let mut effects: Vec<Option<Effects>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let node = NodeId(i as u32);
+        effects.push(
+            cfg.stmt(node)
+                .and_then(|sid| stmt_by_id.get(&sid))
+                .map(|s| stmt_effects(s, program, summaries)),
+        );
+    }
+
+    // MayMod: flow-insensitive union.
+    let mut may_names: Vec<String> = Vec::new();
+    for e in effects.iter().flatten() {
+        may_names.extend(e.may_defs.iter().cloned());
+    }
+    let may_mod = project(program, f, may_names, has_stdin);
+
+    // Must-defined forward analysis over real edges. `None` = ⊤ (unvisited).
+    let mut inn: Vec<Option<BTreeSet<String>>> = vec![None; n];
+    inn[cfg.entry.index()] = Some(BTreeSet::new());
+    let order = cfg.real.reverse_post_order(cfg.entry);
+    loop {
+        let mut changed = false;
+        for &node in &order {
+            if node == cfg.entry {
+                continue;
+            }
+            // meet over predecessors' OUT sets
+            let mut acc: Option<BTreeSet<String>> = None;
+            for &p in cfg.real.predecessors(node) {
+                let Some(pin) = &inn[p.index()] else { continue };
+                let mut pout = pin.clone();
+                if let Some(e) = &effects[p.index()] {
+                    pout.extend(e.must_defs.iter().cloned());
+                }
+                acc = Some(match acc {
+                    None => pout,
+                    Some(a) => a.intersection(&pout).cloned().collect(),
+                });
+            }
+            if let Some(newin) = acc {
+                if inn[node.index()].as_ref() != Some(&newin) {
+                    inn[node.index()] = Some(newin);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let (must_mod, must_ret) = match &inn[cfg.exit.index()] {
+        Some(d) => (
+            project(program, f, d.iter().cloned(), has_stdin),
+            d.contains(RET),
+        ),
+        None => {
+            // Exit unreachable (e.g. infinite loop): every location is
+            // vacuously must-modified; keep the optimistic universe.
+            (
+                summaries
+                    .get(&f.name)
+                    .map(|s| s.must_mod.clone())
+                    .unwrap_or_default(),
+                true,
+            )
+        }
+    };
+
+    // Upward-exposed global references.
+    let mut ue_ref = BTreeSet::new();
+    for i in 0..n {
+        let Some(e) = &effects[i] else { continue };
+        let Some(d) = &inn[i] else { continue }; // unreachable node
+        for u in &e.uses {
+            if is_global(program, u, has_stdin) && !d.contains(u) {
+                ue_ref.insert(u.clone());
+            }
+        }
+    }
+
+    ModRefInfo {
+        may_mod,
+        must_mod,
+        ue_ref,
+        must_ret,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::build_stmt_cfg;
+    use specslice_lang::frontend;
+
+    fn run(src: &str) -> (specslice_lang::Program, HashMap<String, ModRefInfo>) {
+        let p = frontend(src).unwrap();
+        let cfgs: HashMap<String, StmtCfg> = p
+            .functions
+            .iter()
+            .map(|f| (f.name.clone(), build_stmt_cfg(f)))
+            .collect();
+        let s = analyze(&p, &cfgs);
+        (p, s)
+    }
+
+    fn g(name: &str) -> Location {
+        Location::Global(name.to_string())
+    }
+
+    #[test]
+    fn fig1_procedure_p() {
+        // p: g1 = a; g2 = b; g3 = g2;  — straight line.
+        let (_, s) = run(
+            r#"
+            int g1, g2, g3;
+            void p(int a, int b) { g1 = a; g2 = b; g3 = g2; }
+            int main() { g2 = 100; p(g2, 2); printf("%d", g2); return 0; }
+            "#,
+        );
+        let p = &s["p"];
+        assert_eq!(
+            p.may_mod,
+            [g("g1"), g("g2"), g("g3")].into_iter().collect()
+        );
+        assert_eq!(p.may_mod, p.must_mod);
+        // g2 is used in `g3 = g2` but defined just before on the only path.
+        assert!(p.ue_ref.is_empty());
+        // Hence formal-ins: no globals (matches Fig. 3: only a and b).
+        assert!(p.globals_in().is_empty());
+        assert_eq!(
+            p.globals_out(),
+            ["g1", "g2", "g3"].map(String::from).into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn early_return_breaks_must_mod() {
+        // The Fig. 13 pattern: `if (m == 0) return;` makes MustMod empty.
+        let (_, s) = run(
+            r#"
+            int g1;
+            void pk(int m) {
+                if (m == 0) { return; }
+                g1 = m;
+            }
+            int main() { pk(3); printf("%d", g1); return 0; }
+            "#,
+        );
+        let pk = &s["pk"];
+        assert_eq!(pk.may_mod, [g("g1")].into_iter().collect());
+        assert!(pk.must_mod.is_empty());
+        // g1 ∈ MayMod \ MustMod → needs a formal-in.
+        assert!(pk.globals_in().contains("g1"));
+    }
+
+    #[test]
+    fn transitive_mod_through_calls() {
+        let (_, s) = run(
+            r#"
+            int g;
+            void inner() { g = 1; }
+            void outer() { inner(); }
+            int main() { outer(); printf("%d", g); return 0; }
+            "#,
+        );
+        assert!(s["outer"].may_mod.contains(&g("g")));
+        assert!(s["outer"].must_mod.contains(&g("g")));
+        assert!(s["main"].may_mod.contains(&g("g")));
+    }
+
+    #[test]
+    fn ue_ref_via_calls_respects_must_defs() {
+        let (_, s) = run(
+            r#"
+            int g;
+            int reader() { return g; }
+            void caller1() { int x; x = reader(); }          // g upward-exposed
+            void caller2() { g = 1; int x; x = reader(); }   // g defined first
+            int main() { caller1(); caller2(); printf("%d", g); return 0; }
+            "#,
+        );
+        assert!(s["reader"].ue_ref.contains("g"));
+        assert!(s["caller1"].ue_ref.contains("g"));
+        assert!(!s["caller2"].ue_ref.contains("g"));
+    }
+
+    #[test]
+    fn ref_params_propagate_to_actuals() {
+        let (_, s) = run(
+            r#"
+            void bump(int& x) { x = x + 1; }
+            void twice(int& y) { bump(y); bump(y); }
+            int main() { int v; v = 0; twice(v); printf("%d", v); return 0; }
+            "#,
+        );
+        assert_eq!(s["bump"].may_mod, [Location::Param(0)].into_iter().collect());
+        assert_eq!(s["bump"].must_mod, [Location::Param(0)].into_iter().collect());
+        assert_eq!(s["twice"].may_mod, [Location::Param(0)].into_iter().collect());
+        // main modifies only a local → nothing escapes.
+        assert!(s["main"].may_mod.is_empty());
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let (_, s) = run(
+            r#"
+            int g1, g2;
+            void r(int k) {
+                if (k > 0) {
+                    g1 = g2;
+                    r(k - 1);
+                }
+            }
+            int main() { g2 = 1; r(3); printf("%d", g1); return 0; }
+            "#,
+        );
+        let r = &s["r"];
+        assert!(r.may_mod.contains(&g("g1")));
+        assert!(r.must_mod.is_empty()); // k == 0 path writes nothing
+        assert!(r.ue_ref.contains("g2"));
+        assert!(r.globals_in().contains("g1")); // may-but-not-must
+        assert!(r.globals_in().contains("g2")); // upward-exposed
+    }
+
+    #[test]
+    fn scanf_models_stdin() {
+        let (_, s) = run(
+            r#"
+            void read(int& v) { scanf("%d", &v); }
+            int main() { int a; read(a); printf("%d", a); return 0; }
+            "#,
+        );
+        assert!(s["read"].may_mod.contains(&g(STDIN)));
+        assert!(s["read"].ue_ref.contains(STDIN));
+        assert!(s["main"].may_mod.contains(&g(STDIN)));
+    }
+
+    #[test]
+    fn mutual_recursion_converges() {
+        let (_, s) = run(
+            r#"
+            int g;
+            void a(int k) { if (k > 0) { b(k - 1); } }
+            void b(int k) { g = k; if (k > 0) { a(k - 1); } }
+            int main() { a(2); printf("%d", g); return 0; }
+            "#,
+        );
+        assert!(s["a"].may_mod.contains(&g("g")));
+        assert!(s["b"].may_mod.contains(&g("g")));
+        assert!(s["b"].must_mod.contains(&g("g")));
+        assert!(s["a"].must_mod.is_empty());
+    }
+}

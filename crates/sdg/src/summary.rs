@@ -1,0 +1,186 @@
+//! Summary-edge computation (Horwitz–Reps–Binkley / RHSR worklist).
+//!
+//! A summary edge `actual-in → actual-out` at a call site records that the
+//! callee can transmit a dependence from that input to that output along a
+//! *same-level* realizable path. Summary edges make the two-phase closure
+//! slicer context-sensitive. (Alg. 1 of the paper does **not** need summary
+//! edges — the PDS encoding omits them — but the closure-slice baseline and
+//! Binkley's algorithm do.)
+
+use crate::model::*;
+use std::collections::{HashMap, HashSet};
+
+/// Adds all summary edges to `sdg`. Idempotent.
+pub fn add_summary_edges(sdg: &mut Sdg) {
+    // Path edge (v, fo): v reaches formal-out fo along a same-level path.
+    let mut pe: HashSet<(VertexId, VertexId)> = HashSet::new();
+    let mut paths_from: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    let mut worklist: Vec<(VertexId, VertexId)> = Vec::new();
+
+    let push = |pe: &mut HashSet<(VertexId, VertexId)>,
+                    paths_from: &mut HashMap<VertexId, Vec<VertexId>>,
+                    worklist: &mut Vec<(VertexId, VertexId)>,
+                    v: VertexId,
+                    fo: VertexId| {
+        if pe.insert((v, fo)) {
+            paths_from.entry(v).or_default().push(fo);
+            worklist.push((v, fo));
+        }
+    };
+
+    for proc in sdg.procs.clone() {
+        for fo in proc.formal_outs {
+            push(&mut pe, &mut paths_from, &mut worklist, fo, fo);
+        }
+    }
+
+    // Call sites indexed by callee for the formal-in step.
+    let mut sites_by_callee: HashMap<ProcId, Vec<CallSite>> = HashMap::new();
+    for site in sdg.call_sites.clone() {
+        if let CalleeKind::User(p) = site.callee {
+            sites_by_callee.entry(p).or_default().push(site);
+        }
+    }
+
+    while let Some((v, fo)) = worklist.pop() {
+        if let VertexKind::FormalIn { slot } = sdg.vertex(v).kind.clone() {
+            let p = sdg.vertex(v).proc;
+            let oslot = sdg.out_slot(fo).cloned().expect("fo is a formal-out");
+            if let Some(sites) = sites_by_callee.get(&p).cloned() {
+                for site in sites {
+                    let (Some(ai), Some(ao)) = (
+                        sdg.actual_in_for_slot(&site, &slot),
+                        sdg.actual_out_for_slot(&site, &oslot),
+                    ) else {
+                        continue;
+                    };
+                    sdg.add_edge(ai, ao, EdgeKind::Summary);
+                    // Propagate existing path edges across the new summary.
+                    if let Some(fos) = paths_from.get(&ao).cloned() {
+                        for fo2 in fos {
+                            push(&mut pe, &mut paths_from, &mut worklist, ai, fo2);
+                        }
+                    }
+                }
+            }
+        }
+        for &(u, k) in sdg.predecessors(v).to_vec().iter() {
+            if matches!(
+                k,
+                EdgeKind::Control | EdgeKind::Flow | EdgeKind::Summary | EdgeKind::LibActual
+            ) {
+                push(&mut pe, &mut paths_from, &mut worklist, u, fo);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_sdg;
+    use specslice_lang::frontend;
+
+    fn sdg_of(src: &str) -> Sdg {
+        build_sdg(&frontend(src).unwrap()).unwrap()
+    }
+
+    fn summary_edges(sdg: &Sdg) -> Vec<(VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for v in sdg.vertex_ids() {
+            for &(t, k) in sdg.successors(v) {
+                if k == EdgeKind::Summary {
+                    out.push((v, t));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn direct_transmission() {
+        let sdg = sdg_of(
+            r#"
+            int g;
+            void set(int a) { g = a; }
+            int main() { set(3); printf("%d", g); return 0; }
+            "#,
+        );
+        // set: formal-in a reaches formal-out g ⇒ summary ai(a) → ao(g).
+        let es = summary_edges(&sdg);
+        assert_eq!(es.len(), 1);
+        let (ai, ao) = es[0];
+        assert!(matches!(
+            sdg.vertex(ai).kind,
+            VertexKind::ActualIn {
+                slot: InSlot::Param(0),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &sdg.vertex(ao).kind,
+            VertexKind::ActualOut {
+                slot: OutSlot::Global(g),
+                ..
+            } if g == "g"
+        ));
+    }
+
+    #[test]
+    fn no_summary_without_dependence() {
+        let sdg = sdg_of(
+            r#"
+            int g;
+            void noop(int a) { int x; x = a; }
+            int main() { g = 1; noop(5); printf("%d", g); return 0; }
+            "#,
+        );
+        assert!(summary_edges(&sdg).is_empty());
+    }
+
+    #[test]
+    fn transitive_through_nested_calls() {
+        let sdg = sdg_of(
+            r#"
+            int g;
+            void inner(int x) { g = x; }
+            void outer(int y) { inner(y + 1); }
+            int main() { outer(2); printf("%d", g); return 0; }
+            "#,
+        );
+        let es = summary_edges(&sdg);
+        // inner's site in outer AND outer's site in main both get a → g edges.
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn recursive_summaries_converge() {
+        let sdg = sdg_of(
+            r#"
+            int g;
+            void r(int k) {
+                if (k > 0) { r(k - 1); }
+                g = k;
+            }
+            int main() { r(3); printf("%d", g); return 0; }
+            "#,
+        );
+        let es = summary_edges(&sdg);
+        // At the recursive site and the main site: k → g.
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut sdg = sdg_of(
+            r#"
+            int g;
+            void set(int a) { g = a; }
+            int main() { set(3); printf("%d", g); return 0; }
+            "#,
+        );
+        let before = sdg.edge_count();
+        add_summary_edges(&mut sdg);
+        assert_eq!(sdg.edge_count(), before);
+    }
+}

@@ -1,0 +1,207 @@
+//! End-to-end pipeline over the full corpus: frontend → SDG → all four
+//! slicers → regeneration → re-check → execution, with the semantic
+//! guarantee verified (specialized slices print the same values as the
+//! original at every criterion `printf`).
+
+use specslice::{specialize, Criterion};
+use specslice_lang::frontend;
+use specslice_sdg::build::build_sdg;
+use specslice_sdg::slice::{
+    backward_closure_slice, parameter_mismatches, weiser_executable_slice,
+};
+
+const FUEL: u64 = 5_000_000;
+
+#[test]
+fn corpus_programs_run_and_slice() {
+    for prog in specslice_corpus::programs() {
+        let ast = frontend(prog.source).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let sdg = build_sdg(&ast).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+
+        // Original execution.
+        let original = specslice_interp::run(&ast, prog.sample_input, FUEL)
+            .unwrap_or_else(|e| panic!("{} run: {e}", prog.name));
+        assert!(
+            !original.output.is_empty(),
+            "{}: program printed nothing",
+            prog.name
+        );
+
+        // Specialization slice w.r.t. every printf.
+        let criterion = Criterion::printf_actuals(&sdg);
+        let slice = specialize(&sdg, &criterion)
+            .unwrap_or_else(|e| panic!("{} specialize: {e}", prog.name));
+        assert!(!slice.is_empty(), "{}: empty slice", prog.name);
+
+        // Element-level soundness: Elems ⊆ closure slice.
+        let cv = sdg.printf_actual_in_vertices();
+        let outside = specslice::stats::elements_outside_closure(&sdg, &slice, &cv);
+        assert!(
+            outside.is_empty(),
+            "{}: vertices outside closure slice: {outside:?}",
+            prog.name
+        );
+        // Element-level completeness for all-contexts criteria.
+        let missing = specslice::stats::closure_not_covered(&sdg, &slice, &cv);
+        assert!(
+            missing.is_empty(),
+            "{}: closure vertices not covered: {missing:?}",
+            prog.name
+        );
+
+        // Regenerate and execute; full printf criterion ⇒ identical output.
+        let regen = specslice::regen::regenerate(&sdg, &ast, &slice)
+            .unwrap_or_else(|e| panic!("{} regen: {e}", prog.name));
+        // The regenerated source re-parses through the whole frontend.
+        let reparsed = frontend(&regen.source)
+            .unwrap_or_else(|e| panic!("{} reparse: {e}\n{}", prog.name, regen.source));
+        let sliced_run = specslice_interp::run(&reparsed, prog.sample_input, FUEL)
+            .unwrap_or_else(|e| panic!("{} sliced run: {e}\n{}", prog.name, regen.source));
+        assert_eq!(
+            original.output, sliced_run.output,
+            "{}: specialized slice diverged\n{}",
+            prog.name, regen.source
+        );
+        assert!(
+            sliced_run.steps <= original.steps,
+            "{}: slice slower than original ({} > {})",
+            prog.name,
+            sliced_run.steps,
+            original.steps
+        );
+    }
+}
+
+#[test]
+fn corpus_baselines_are_mismatch_free() {
+    for prog in specslice_corpus::programs() {
+        let ast = frontend(prog.source).unwrap();
+        let sdg = build_sdg(&ast).unwrap();
+        let cv = sdg.printf_actual_in_vertices();
+
+        let closure = backward_closure_slice(&sdg, &cv);
+        let mono = specslice_sdg::binkley::monovariant_executable_slice(&sdg, &cv);
+        let weiser = weiser_executable_slice(&sdg, &cv);
+
+        assert!(
+            parameter_mismatches(&sdg, &mono.vertices).is_empty(),
+            "{}: Binkley slice has mismatches",
+            prog.name
+        );
+        assert!(
+            parameter_mismatches(&sdg, &weiser).is_empty(),
+            "{}: Weiser slice has mismatches",
+            prog.name
+        );
+        // Binkley ⊇ closure; Weiser is at least as large as Binkley here.
+        assert!(mono.vertices.is_superset(&closure), "{}", prog.name);
+        assert!(weiser.len() >= mono.vertices.len(), "{}", prog.name);
+    }
+}
+
+#[test]
+fn corpus_variant_distribution_is_modest() {
+    // The paper's Fig. 18 observation: most procedures have one variant,
+    // and no explosion occurs on realistic programs.
+    let mut single = 0usize;
+    let mut multi = 0usize;
+    let mut max_variants = 0usize;
+    for prog in specslice_corpus::programs() {
+        let ast = frontend(prog.source).unwrap();
+        let sdg = build_sdg(&ast).unwrap();
+        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        let stats =
+            specslice::stats::slice_stats(&sdg, &slice, &sdg.printf_actual_in_vertices());
+        for (&n, &count) in &stats.variant_histogram {
+            if n == 1 {
+                single += count;
+            } else {
+                multi += count;
+            }
+        }
+        max_variants = max_variants.max(stats.max_variants);
+    }
+    assert!(single > 0);
+    assert!(
+        max_variants <= 8,
+        "unexpected specialization explosion: {max_variants}"
+    );
+    // Most procedures keep a single version (90.6% in the paper).
+    assert!(single >= multi, "single={single} multi={multi}");
+}
+
+#[test]
+fn bug_site_configuration_slicing_works() {
+    // A §8-style criterion: one (vertex, call-stack) configuration.
+    let prog = specslice_corpus::by_name("wc").unwrap();
+    let ast = frontend(prog.source).unwrap();
+    let sdg = build_sdg(&ast).unwrap();
+    // Pick the count_char entry under the call site in main's loop.
+    let count_char = sdg.proc_named("count_char").unwrap();
+    let site = sdg
+        .call_sites
+        .iter()
+        .find(|c| matches!(c.callee, specslice_sdg::CalleeKind::User(p) if p == count_char.id))
+        .unwrap();
+    let criterion = Criterion::configuration(count_char.entry, vec![site.id]);
+    let slice = specialize(&sdg, &criterion).unwrap();
+    assert!(!slice.is_empty());
+    // count_char has exactly one variant here.
+    assert_eq!(slice.variants_of_proc(&sdg, "count_char").len(), 1);
+}
+
+#[test]
+fn reslicing_check_on_small_programs() {
+    // §8.3 idempotence on the paper examples (whole-corpus reslicing is
+    // exercised by the experiments harness).
+    for src in [
+        specslice_corpus::examples::FIG1,
+        specslice_corpus::examples::FIG2,
+        specslice_corpus::examples::FLAWED,
+    ] {
+        let ast = frontend(src).unwrap();
+        let sdg = build_sdg(&ast).unwrap();
+        let criterion = Criterion::printf_actuals(&sdg);
+        let slice = specialize(&sdg, &criterion).unwrap();
+        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+        let report =
+            specslice::reslice::reslice_check(&sdg, &criterion, &slice, &regen).unwrap();
+        assert!(
+            report.languages_equal,
+            "reslice mismatch (unmapped: {:?})",
+            report.unmapped
+        );
+    }
+}
+
+#[test]
+fn feature_removal_on_corpus_program() {
+    // Remove the "total_chars" feature from wc: the char counter disappears
+    // but lines/words survive.
+    let prog = specslice_corpus::by_name("wc").unwrap();
+    let ast = frontend(prog.source).unwrap();
+    let sdg = build_sdg(&ast).unwrap();
+    let count_char = sdg.proc_named("count_char").unwrap();
+    // Criterion: the `total_chars = total_chars + 1` statement.
+    let tc_stmt = count_char
+        .vertices
+        .iter()
+        .copied()
+        .find(|&v| {
+            matches!(
+                sdg.vertex(v).kind,
+                specslice_sdg::VertexKind::Statement { .. }
+            )
+        })
+        .unwrap();
+    let slice =
+        specslice::feature_removal::remove_feature(&sdg, &Criterion::vertex(tc_stmt)).unwrap();
+    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    assert!(!regen.source.contains("total_chars"), "{}", regen.source);
+    // The other counters survive and the program still runs.
+    assert!(regen.source.contains("total_lines"), "{}", regen.source);
+    let run = specslice_interp::run(&regen.program, prog.sample_input, FUEL).unwrap();
+    let orig = specslice_interp::run(&ast, prog.sample_input, FUEL).unwrap();
+    // total_lines (first printf) agrees with the original.
+    assert_eq!(run.output[0], orig.output[0]);
+}

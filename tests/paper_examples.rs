@@ -1,0 +1,397 @@
+//! Golden tests: every worked example in the paper, end to end.
+
+use specslice::{specialize, Criterion};
+use specslice_lang::frontend;
+use specslice_sdg::build::build_sdg;
+use specslice_sdg::{Sdg, VertexKind};
+use std::collections::BTreeSet;
+
+/// Fig. 1(a) / Fig. 14(a).
+const FIG1: &str = r#"
+    int g1, g2, g3;
+    void p(int a, int b) {
+        g1 = a;
+        g2 = b;
+        g3 = g2;
+    }
+    int main() {
+        g2 = 100;
+        p(g2, 2);
+        p(g2, 3);
+        p(4, g1 + g2);
+        printf("%d", g2);
+    }
+"#;
+
+/// Fig. 2(a): recursion whose specialization needs mutual recursion.
+const FIG2: &str = r#"
+    int g1, g2;
+    void s(int a, int b) {
+        g1 = b;
+        g2 = a;
+    }
+    int r(int k) {
+        if (k > 0) {
+            s(g1, g2);
+            r(k - 1);
+            s(g1, g2);
+        }
+    }
+    int main() {
+        g1 = 1;
+        g2 = 2;
+        r(3);
+        printf("%d\n", g1);
+    }
+"#;
+
+/// The §1 "flawed method" example: `z = 3` must not survive in `p_1`.
+const FLAWED: &str = r#"
+    int g1, g2;
+    void p(int a, int b) {
+        g1 = a;
+        int z = 3;
+        g2 = b + z;
+    }
+    int main() {
+        p(11, 4);
+        p(g2, 2);
+        printf("%d", g1);
+    }
+"#;
+
+fn pipeline(src: &str) -> (specslice_lang::Program, Sdg) {
+    let program = frontend(src).unwrap();
+    let sdg = build_sdg(&program).unwrap();
+    (program, sdg)
+}
+
+#[test]
+fn fig1_two_specializations_of_p() {
+    let (_, sdg) = pipeline(FIG1);
+    let criterion = Criterion::printf_actuals(&sdg);
+    let slice = specialize(&sdg, &criterion).unwrap();
+
+    // Exactly two specializations of p (Ex. 2.7), one main.
+    let p = sdg.proc_named("p").unwrap();
+    let specs = slice.specializations(p.id);
+    assert_eq!(specs.len(), 2, "Specializations(p) must have 2 elements");
+    assert_eq!(slice.variants_of_proc(&sdg, "main").len(), 1);
+    assert_eq!(slice.variants.len(), 3);
+
+    // The small variant is {entry, formal-in b, g2 = b, formal-out g2}
+    // (the paper's {p1, p3, p5, p8}); the large one has 7 vertices
+    // ({p1, p2, p3, p4, p5, p8, p9}).
+    let mut sizes: Vec<usize> = specs.iter().map(|s| s.len()).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes, vec![4, 7]);
+
+    // Kept parameters: p__small keeps only b (index 1); p__big keeps a and b.
+    let variants = slice.variants_of_proc(&sdg, "p");
+    let mut keeps: Vec<Vec<usize>> = variants.iter().map(|v| v.kept_params(&sdg)).collect();
+    keeps.sort();
+    assert_eq!(keeps, vec![vec![0, 1], vec![1]]);
+}
+
+#[test]
+fn fig1_call_bindings_match_fig5() {
+    let (_, sdg) = pipeline(FIG1);
+    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let main_variant = &slice.variants[slice.main_variant.unwrap()];
+    // Calls at C1 and C3 (sites 0 and 2) go to the 1-parameter variant;
+    // C2 (site 1) goes to the 2-parameter variant.
+    let user_sites: Vec<_> = sdg
+        .call_sites
+        .iter()
+        .filter(|c| matches!(c.callee, specslice_sdg::CalleeKind::User(_)))
+        .map(|c| c.id)
+        .collect();
+    assert_eq!(user_sites.len(), 3);
+    let callee_of = |site| {
+        let idx = main_variant.calls[&site];
+        slice.variants[idx].kept_params(&sdg).len()
+    };
+    assert_eq!(callee_of(user_sites[0]), 1, "C1 -> p_1(b)");
+    assert_eq!(callee_of(user_sites[1]), 2, "C2 -> p_2(a, b)");
+    assert_eq!(callee_of(user_sites[2]), 1, "C3 -> p_1(b)");
+    // C1 and C3 call the *same* variant (the minimality of Defn. 2.10).
+    assert_eq!(
+        main_variant.calls[&user_sites[0]],
+        main_variant.calls[&user_sites[2]]
+    );
+}
+
+#[test]
+fn fig1_regenerated_source_matches_fig1b() {
+    let (program, sdg) = pipeline(FIG1);
+    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let regen = specslice::regen::regenerate(&sdg, &program, &slice).unwrap();
+    let src = &regen.source;
+    // Fig. 1(b): globals g1, g2 only (g3 dropped); two p variants; main
+    // calls p_1 twice and p_2 once.
+    assert!(src.contains("int g1, g2;"), "{src}");
+    assert!(!src.contains("g3"), "{src}");
+    assert!(src.contains("void p__1(int b)"), "{src}");
+    assert!(src.contains("void p__2(int a, int b)"), "{src}");
+    assert_eq!(src.matches("p__1(").count(), 3, "def + 2 calls: {src}");
+    assert_eq!(src.matches("p__2(").count(), 2, "def + 1 call: {src}");
+    assert!(src.contains("printf(\"%d\", g2);"), "{src}");
+    // And `g2 = 100` stays out (context-sensitivity, unlike Binkley/Weiser).
+    assert!(!src.contains("100"), "{src}");
+}
+
+#[test]
+fn fig2_recursion_becomes_mutual() {
+    let (program, sdg) = pipeline(FIG2);
+    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+
+    // s specialized into two versions, r into two versions, one main: 5.
+    assert_eq!(slice.variants_of_proc(&sdg, "s").len(), 2);
+    assert_eq!(slice.variants_of_proc(&sdg, "r").len(), 2);
+    assert_eq!(slice.variants.len(), 5);
+
+    // s variants keep one parameter each: {a} and {b}.
+    let mut s_keeps: Vec<Vec<usize>> = slice
+        .variants_of_proc(&sdg, "s")
+        .iter()
+        .map(|v| v.kept_params(&sdg))
+        .collect();
+    s_keeps.sort();
+    assert_eq!(s_keeps, vec![vec![0], vec![1]]);
+
+    // r variants both keep their single parameter, but call *each other*:
+    // direct recursion became mutual recursion.
+    let r_variants = slice.variants_of_proc(&sdg, "r");
+    let r_idx: Vec<usize> = r_variants
+        .iter()
+        .map(|v| {
+            slice
+                .variants
+                .iter()
+                .position(|w| std::ptr::eq(w, *v))
+                .unwrap()
+        })
+        .collect();
+    let rec_site = sdg
+        .call_sites
+        .iter()
+        .find(|c| {
+            matches!(c.callee, specslice_sdg::CalleeKind::User(p)
+                if sdg.proc(p).name == "r")
+                && sdg.proc(c.caller).name == "r"
+        })
+        .unwrap()
+        .id;
+    let callee_of_r0 = r_variants[0].calls[&rec_site];
+    let callee_of_r1 = r_variants[1].calls[&rec_site];
+    assert_eq!(callee_of_r0, r_idx[1], "r_1 recursively calls r_2");
+    assert_eq!(callee_of_r1, r_idx[0], "r_2 recursively calls r_1");
+
+    // Each r variant calls s twice, with *different* s variants in swapped
+    // order (Fig. 2(b)).
+    let s_sites: Vec<_> = sdg
+        .call_sites
+        .iter()
+        .filter(|c| {
+            matches!(c.callee, specslice_sdg::CalleeKind::User(p) if sdg.proc(p).name == "s")
+        })
+        .map(|c| c.id)
+        .collect();
+    assert_eq!(s_sites.len(), 2);
+    let (first, second) = (s_sites[0], s_sites[1]);
+    assert_ne!(
+        r_variants[0].calls[&first], r_variants[0].calls[&second],
+        "within one r variant the two s calls use different s variants"
+    );
+    assert_eq!(r_variants[0].calls[&first], r_variants[1].calls[&second]);
+    assert_eq!(r_variants[0].calls[&second], r_variants[1].calls[&first]);
+
+    // Regenerated source has the four specialized procedures.
+    let regen = specslice::regen::regenerate(&sdg, &program, &slice).unwrap();
+    for name in ["s__1", "s__2", "r__1", "r__2"] {
+        assert!(regen.source.contains(name), "{}", regen.source);
+    }
+}
+
+#[test]
+fn flawed_example_z_assignment_only_where_needed() {
+    // §1: the flawed algorithm leaves `z = 3` in p_1; the correct algorithm
+    // must produce one variant of p with `z = 3` (feeding g2 = b + z) and
+    // one without.
+    let (program, sdg) = pipeline(FLAWED);
+    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let variants = slice.variants_of_proc(&sdg, "p");
+    assert_eq!(variants.len(), 2);
+
+    // Find the `int z = 3` statement vertex (2nd plain statement of p).
+    let p = sdg.proc_named("p").unwrap();
+    let z3 = p
+        .vertices
+        .iter()
+        .copied()
+        .filter(|&v| matches!(sdg.vertex(v).kind, VertexKind::Statement { .. }))
+        .nth(1)
+        .unwrap();
+    let with_z: Vec<bool> = variants.iter().map(|v| v.vertices.contains(&z3)).collect();
+    assert_eq!(
+        with_z.iter().filter(|&&b| b).count(),
+        1,
+        "exactly one variant of p contains `int z = 3;`"
+    );
+
+    // In the regenerated text: the variant keeping g1 = a (p_1 of the paper)
+    // must not contain z.
+    let regen = specslice::regen::regenerate(&sdg, &program, &slice).unwrap();
+    let p1_body: String = regen
+        .source
+        .split("void ")
+        .find(|s| s.contains("g1 = a;") && !s.contains("g2 = b"))
+        .expect("a variant assigning only g1")
+        .to_string();
+    assert!(
+        !p1_body.contains('z'),
+        "EXTRA `z = 3` left in p_1 (the §1 flaw): {p1_body}"
+    );
+}
+
+/// Generates the Fig. 13 family member `P_k` (k recursive call sites, each
+/// zeroing a different temporary after the call).
+fn pk_program(k: usize) -> String {
+    use std::fmt::Write;
+    // Branch i: pk(m-1); t_j = g_j for j != i; t_i = 0.
+    fn branch(i: usize, k: usize, s: &mut String) {
+        writeln!(s, "pk(m - 1);").unwrap();
+        for j in 1..=k {
+            if j == i {
+                writeln!(s, "t{j} = 0;").unwrap();
+            } else {
+                writeln!(s, "t{j} = g{j};").unwrap();
+            }
+        }
+    }
+    fn chain(i: usize, k: usize, s: &mut String) {
+        if i == k {
+            branch(i, k, s);
+        } else {
+            writeln!(s, "if (v == {i}) {{").unwrap();
+            branch(i, k, s);
+            writeln!(s, "}} else {{").unwrap();
+            chain(i + 1, k, s);
+            writeln!(s, "}}").unwrap();
+        }
+    }
+    let mut s = String::new();
+    let globals: Vec<String> = (1..=k).map(|i| format!("g{i}")).collect();
+    writeln!(s, "int {};", globals.join(", ")).unwrap();
+    writeln!(s, "void pk(int m) {{").unwrap();
+    writeln!(s, "int v;").unwrap();
+    (1..=k).for_each(|i| writeln!(s, "int t{i};").unwrap());
+    writeln!(s, "if (m == 0) {{ return; }}").unwrap();
+    writeln!(s, "v = scanf(\"%d\", &v);").unwrap();
+    chain(1, k, &mut s);
+    (1..=k).for_each(|j| writeln!(s, "g{j} = t{j};").unwrap());
+    writeln!(s, "}}").unwrap();
+    writeln!(s, "int main() {{").unwrap();
+    (1..=k).for_each(|i| writeln!(s, "g{i} = {i};").unwrap());
+    writeln!(s, "pk({k});").unwrap();
+    let sum: Vec<String> = (1..=k).map(|i| format!("g{i}")).collect();
+    writeln!(s, "printf(\"%d\\n\", {});", sum.join(" + ")).unwrap();
+    writeln!(s, "return 0;").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
+#[test]
+fn fig13_exponential_specialization_growth() {
+    // §4.3: P_k yields one specialization of pk per *non-empty* subset of
+    // the globals whose actual-outs are needed — 2^k − 1. (The paper quotes
+    // the bound 2^k over the full power set; the empty specialization never
+    // materializes in a closure slice because a call needing no outputs is
+    // simply dropped. The growth is exponential either way.)
+    for k in 1..=4 {
+        let (_, sdg) = pipeline(&pk_program(k));
+        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        let n = slice.variants_of_proc(&sdg, "pk").len();
+        assert_eq!(
+            n,
+            (1 << k) - 1,
+            "P_{k} must have 2^{k} - 1 specializations, got {n}"
+        );
+    }
+}
+
+#[test]
+fn fig14_three_way_comparison() {
+    let (_, sdg) = pipeline(FIG1);
+    let criterion_verts = sdg.printf_actual_in_vertices();
+    let closure = specslice_sdg::slice::backward_closure_slice(&sdg, &criterion_verts);
+    let mono = specslice_sdg::binkley::monovariant_executable_slice(&sdg, &criterion_verts);
+    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+
+    // Polyvariant: elements (subset of) closure (soundness at element level).
+    let elems = slice.elems();
+    assert!(elems.is_subset(&closure));
+    // Monovariant adds extraneous elements (g2 = 100 etc.).
+    assert!(!mono.extraneous.is_empty());
+    assert!(mono.vertices.len() > closure.len());
+    // Polyvariant replicates: total > distinct.
+    assert!(slice.total_vertices() > elems.len());
+}
+
+#[test]
+fn fig15_function_pointers_specialize() {
+    let src = r#"
+        int f(int a, int b) { return a + b; }
+        int g(int a, int b) { return a; }
+        int main() {
+            int (*p)(int, int);
+            int x;
+            int c;
+            scanf("%d", &c);
+            if (c > 0) { p = f; } else { p = g; }
+            x = p(1, 2);
+            printf("%d", x);
+        }
+    "#;
+    let program = frontend(src).unwrap();
+    let lowered = specslice::indirect::lower_indirect_calls(&program).unwrap();
+    let sdg = build_sdg(&lowered).unwrap();
+    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+
+    // The dispatcher is specialized; g's variant drops parameter b
+    // (g only returns a), f's keeps both — the §6.2 outcome.
+    let g_variants = slice.variants_of_proc(&sdg, "g");
+    assert_eq!(g_variants.len(), 1);
+    assert_eq!(g_variants[0].kept_params(&sdg), vec![0], "g__1(int a)");
+    let f_variants = slice.variants_of_proc(&sdg, "f");
+    assert_eq!(f_variants.len(), 1);
+    assert_eq!(f_variants[0].kept_params(&sdg), vec![0, 1]);
+    assert_eq!(slice.variants_of_proc(&sdg, "__dispatch2").len(), 1);
+
+    let regen = specslice::regen::regenerate(&sdg, &lowered, &slice).unwrap();
+    assert!(regen.program.main().is_some());
+}
+
+#[test]
+fn specializations_are_distinct_sets() {
+    // Defn. 2.10(3): variants merged iff same Elems — so the per-proc
+    // specializations read out of A6 must be pairwise distinct.
+    for src in [FIG1, FIG2, FLAWED] {
+        let (_, sdg) = pipeline(src);
+        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        for proc in &sdg.procs {
+            let variants: Vec<&specslice::VariantPdg> = slice
+                .variants
+                .iter()
+                .filter(|v| v.proc == proc.id)
+                .collect();
+            let distinct: BTreeSet<_> = variants.iter().map(|v| &v.vertices).collect();
+            assert_eq!(
+                distinct.len(),
+                variants.len(),
+                "two variants of {} share Elems (minimality violated)",
+                proc.name
+            );
+        }
+    }
+}
