@@ -1,50 +1,48 @@
 //! Automaton-layer benchmarks: Prestar saturation and the MRD pipeline
 //! (the paper's Fig. 21 column 6 / Fig. 22 column 6 quantities).
+//! Run with: `cargo bench -p specslice-bench --bench automata`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Crit};
-use specslice::encode::{encode_sdg, MAIN_CONTROL};
-use specslice::{criteria, Criterion};
+use specslice::encode::MAIN_CONTROL;
+use specslice::{criteria, Criterion, Slicer};
+use specslice_bench::timer;
 use specslice_fsa::mrd;
-use specslice_lang::frontend;
 use specslice_pds::prestar;
-use specslice_sdg::build::build_sdg;
 
-fn bench_prestar(c: &mut Crit) {
-    let mut group = c.benchmark_group("prestar");
-    group.sample_size(20);
+fn main() {
+    println!("{}", timer::header());
+    bench_prestar();
+    bench_mrd();
+}
+
+fn bench_prestar() {
     for name in ["tcas", "gzip", "go"] {
         let prog = specslice_corpus::by_name(name).unwrap();
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let enc = encode_sdg(&sdg);
-        let criterion = Criterion::printf_actuals(&sdg);
-        let query = criteria::query_automaton(&sdg, &enc, &criterion).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("saturate", name),
-            &(&enc, &query),
-            |b, (enc, query)| b.iter(|| prestar(&enc.pds, query)),
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let enc = slicer.encoding();
+        let criterion = Criterion::printf_actuals(slicer.sdg());
+        let query = criteria::query_automaton(slicer.sdg(), enc, &criterion).unwrap();
+        println!(
+            "{}",
+            timer::run(&format!("prestar/saturate/{name}"), 20, || {
+                prestar(&enc.pds, &query)
+            })
+            .row()
         );
     }
-    group.finish();
 }
 
-fn bench_mrd(c: &mut Crit) {
-    let mut group = c.benchmark_group("mrd");
-    group.sample_size(20);
+fn bench_mrd() {
     for name in ["tcas", "gzip", "go"] {
         let prog = specslice_corpus::by_name(name).unwrap();
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let enc = encode_sdg(&sdg);
-        let criterion = Criterion::printf_actuals(&sdg);
-        let query = criteria::query_automaton(&sdg, &enc, &criterion).unwrap();
-        let a1 = prestar(&enc.pds, &query).to_nfa(MAIN_CONTROL).trimmed().0;
-        group.bench_with_input(BenchmarkId::new("pipeline", name), &a1, |b, a1| {
-            b.iter(|| mrd(a1))
-        });
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let enc = slicer.encoding();
+        let criterion = Criterion::printf_actuals(slicer.sdg());
+        let query = criteria::query_automaton(slicer.sdg(), enc, &criterion).unwrap();
+        let a1 = prestar(&enc.pds, &query).to_nfa(MAIN_CONTROL);
+        let (a1_trim, _) = a1.trimmed();
+        println!(
+            "{}",
+            timer::run(&format!("mrd/pipeline/{name}"), 20, || mrd::mrd(&a1_trim)).row()
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_prestar, bench_mrd);
-criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! The session-reuse benchmark behind the `Slicer` API: N independent
+//! cold `specialize` calls (each re-encoding the SDG and rebuilding the
+//! reachable automaton) vs one `Slicer` answering the same N criteria via
+//! `slice_batch` against its cached encoding.
+//!
+//! Run with: `cargo bench -p specslice-bench --bench session`
+
+use specslice::{specialize, Criterion, Slicer};
+use specslice_bench::timer;
+use specslice_sdg::Sdg;
+
+/// Per-printf all-contexts criteria — the paper's evaluation workload.
+fn per_printf_criteria(sdg: &Sdg) -> Vec<Criterion> {
+    sdg.printf_call_sites()
+        .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+        .collect()
+}
+
+fn main() {
+    println!("{}", timer::header());
+    let mut speedups = Vec::new();
+    for name in ["wc", "print_tokens", "schedule2", "tot_info", "gzip", "go"] {
+        let prog = specslice_corpus::by_name(name).unwrap();
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let criteria = per_printf_criteria(slicer.sdg());
+        let n = criteria.len();
+        if n < 2 {
+            continue;
+        }
+
+        // Baseline: N cold calls — every criterion pays for a fresh
+        // SDG→PDS encoding (and its own reachable automaton).
+        let sdg = slicer.sdg().clone();
+        let cold = timer::run(&format!("session/cold-specialize-x{n}/{name}"), 12, || {
+            criteria
+                .iter()
+                .map(|c| specialize(&sdg, c).unwrap())
+                .collect::<Vec<_>>()
+        });
+        println!("{}", cold.row());
+
+        // Session: the same N criteria against one cached encoding.
+        let batch = timer::run(&format!("session/slice-batch-x{n}/{name}"), 12, || {
+            slicer.slice_batch(&criteria).unwrap()
+        });
+        println!("{}", batch.row());
+
+        let speedup = cold.median.as_secs_f64() / batch.median.as_secs_f64();
+        println!("    -> session reuse speedup: {speedup:.2}x (median)");
+        speedups.push(speedup);
+    }
+    let gm = specslice_bench::geometric_mean(speedups.iter().copied());
+    println!("\ngeometric-mean session speedup over cold calls: {gm:.2}x");
+    assert!(
+        gm > 1.0,
+        "session reuse must beat repeated cold specialize calls"
+    );
+}

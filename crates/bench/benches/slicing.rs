@@ -1,59 +1,76 @@
 //! End-to-end slicing benchmarks (Fig. 21's measured quantities):
 //! monovariant vs polyvariant executable slicing per corpus program.
+//! Run with: `cargo bench -p specslice-bench --bench slicing`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Crit};
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
+use specslice_bench::timer;
 use specslice_lang::frontend;
 use specslice_sdg::build::build_sdg;
 
-fn bench_slicers(c: &mut Crit) {
-    let mut group = c.benchmark_group("slicing");
-    group.sample_size(20);
-    for name in ["tcas", "schedule", "wc", "gzip", "go"] {
-        let prog = specslice_corpus::by_name(name).unwrap();
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let cv = sdg.printf_actual_in_vertices();
-        group.bench_with_input(BenchmarkId::new("monovariant", name), &sdg, |b, sdg| {
-            b.iter(|| specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv))
-        });
-        group.bench_with_input(BenchmarkId::new("polyvariant", name), &sdg, |b, sdg| {
-            b.iter(|| specialize(sdg, &Criterion::AllContexts(cv.clone())).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("closure", name), &sdg, |b, sdg| {
-            b.iter(|| specslice_sdg::slice::backward_closure_slice(sdg, &cv))
-        });
-    }
-    group.finish();
+fn main() {
+    println!("{}", timer::header());
+    bench_slicers();
+    bench_sdg_build();
+    bench_pk_family();
 }
 
-fn bench_sdg_build(c: &mut Crit) {
-    let mut group = c.benchmark_group("sdg-build");
-    group.sample_size(20);
+fn bench_slicers() {
+    for name in ["tcas", "schedule", "wc", "gzip", "go"] {
+        let prog = specslice_corpus::by_name(name).unwrap();
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let sdg = slicer.sdg();
+        let cv = sdg.printf_actual_in_vertices();
+        println!(
+            "{}",
+            timer::run(&format!("slicing/monovariant/{name}"), 20, || {
+                specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv)
+            })
+            .row()
+        );
+        println!(
+            "{}",
+            timer::run(&format!("slicing/polyvariant/{name}"), 20, || {
+                slicer.slice(&Criterion::AllContexts(cv.clone())).unwrap()
+            })
+            .row()
+        );
+        println!(
+            "{}",
+            timer::run(&format!("slicing/closure/{name}"), 20, || {
+                specslice_sdg::slice::backward_closure_slice(sdg, &cv)
+            })
+            .row()
+        );
+    }
+}
+
+fn bench_sdg_build() {
     for name in ["tcas", "go"] {
         let prog = specslice_corpus::by_name(name).unwrap();
         let ast = frontend(prog.source).unwrap();
-        group.bench_with_input(BenchmarkId::new("build", name), &ast, |b, ast| {
-            b.iter(|| build_sdg(ast).unwrap())
-        });
+        println!(
+            "{}",
+            timer::run(&format!("sdg-build/{name}"), 20, || {
+                build_sdg(&ast).unwrap()
+            })
+            .row()
+        );
     }
-    group.finish();
 }
 
-fn bench_pk_family(c: &mut Crit) {
+fn bench_pk_family() {
     // Fig. 13: exponential growth in k.
-    let mut group = c.benchmark_group("pk-family");
-    group.sample_size(10);
     for k in [2usize, 4, 6] {
         let src = specslice_corpus::pk_family(k);
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        group.bench_with_input(BenchmarkId::new("specialize", k), &sdg, |b, sdg| {
-            b.iter(|| specialize(sdg, &Criterion::printf_actuals(sdg)).unwrap())
-        });
+        let slicer = Slicer::from_source(&src).unwrap();
+        println!(
+            "{}",
+            timer::run(&format!("pk-family/k={k}"), 10, || {
+                slicer
+                    .slice(&Criterion::printf_actuals(slicer.sdg()))
+                    .unwrap()
+            })
+            .row()
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_slicers, bench_sdg_build, bench_pk_family);
-criterion_main!(benches);

@@ -9,16 +9,36 @@
 //! wins, replication vs extraneous growth, no exponential blow-up — is the
 //! reproduction target (see EXPERIMENTS.md).
 
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
 use specslice_bench::{geometric_mean, loc, slice_program, std_dev, SliceRecord};
-use specslice_lang::frontend;
-use specslice_sdg::build::build_sdg;
-use specslice_sdg::CalleeKind;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
+const EXPERIMENT_IDS: &[&str] = &[
+    "tab1",
+    "fig1",
+    "fig2",
+    "fig13",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "det-shrink",
+    "wc-speedup",
+    "reslice",
+];
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which != "all" && !EXPERIMENT_IDS.contains(&which.as_str()) {
+        eprintln!(
+            "unknown experiment `{which}`; expected one of: all {}",
+            EXPERIMENT_IDS.join(" ")
+        );
+        std::process::exit(2);
+    }
     let run = |id: &str| which == "all" || which == id;
 
     if run("tab1") {
@@ -33,9 +53,17 @@ fn main() {
     if run("fig13") {
         fig13();
     }
-    let need_records = ["fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "det-shrink"]
-        .iter()
-        .any(|id| run(id));
+    let need_records = [
+        "fig17",
+        "fig18",
+        "fig19",
+        "fig20",
+        "fig21",
+        "fig22",
+        "det-shrink",
+    ]
+    .iter()
+    .any(|id| run(id));
     if need_records {
         let (table, records) = corpus_records();
         if run("fig17") {
@@ -77,10 +105,9 @@ fn header(title: &str) {
 /// Tab. I: the PDS encoding of Fig. 1(a)'s SDG.
 fn tab1() {
     header("Tab. I — PDS encoding of the Fig. 1(a) SDG (paper: 62 rules)");
-    let ast = frontend(specslice_corpus::examples::FIG1).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let enc = specslice::encode::encode_sdg(&sdg);
-    println!("{}", specslice::encode::dump_rules(&sdg, &enc));
+    let slicer = Slicer::from_source(specslice_corpus::examples::FIG1).unwrap();
+    let (sdg, enc) = (slicer.sdg(), slicer.encoding());
+    println!("{}", specslice::encode::dump_rules(sdg, enc));
     println!(
         "total rules: {} (paper: 62; ours adds §6.1 library-actual rules \
          and counts dependence edges of our builder)",
@@ -91,28 +118,29 @@ fn tab1() {
 /// Fig. 1/5: specializations of p.
 fn fig1() {
     header("Fig. 1/5 — specialization slice of the running example");
-    let ast = frontend(specslice_corpus::examples::FIG1).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let slicer = Slicer::from_source(specslice_corpus::examples::FIG1).unwrap();
+    let sdg = slicer.sdg();
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
     for v in &slice.variants {
         println!(
             "  {:<8} vertices={:<2} kept params={:?}",
             v.name,
             v.vertices.len(),
-            v.kept_params(&sdg)
+            v.kept_params(sdg)
         );
     }
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     println!("--- regenerated (paper Fig. 1(b)) ---\n{}", regen.source);
 }
 
 /// Fig. 2: recursion → mutual recursion.
 fn fig2() {
     header("Fig. 2 — direct recursion specializes into mutual recursion");
-    let ast = frontend(specslice_corpus::examples::FIG2).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let slicer = Slicer::from_source(specslice_corpus::examples::FIG2).unwrap();
+    let slice = slicer
+        .slice(&Criterion::printf_actuals(slicer.sdg()))
+        .unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     println!("{}", regen.source);
 }
 
@@ -125,12 +153,13 @@ fn fig13() {
     );
     for k in 1..=8 {
         let src = specslice_corpus::pk_family(k);
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
+        let slicer = Slicer::from_source(&src).unwrap();
         let t = Instant::now();
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        let slice = slicer
+            .slice(&Criterion::printf_actuals(slicer.sdg()))
+            .unwrap();
         let dt = t.elapsed();
-        let n = slice.variants_of_proc(&sdg, "pk").len();
+        let n = slice.variants_of_proc(slicer.sdg(), "pk").len();
         println!(
             "{:>3} {:>12} {:>12} {:>10} {:>10.1?}",
             k,
@@ -160,9 +189,9 @@ fn corpus_records() -> (Vec<Fig17Row>, Vec<SliceRecord>) {
     let mut rows = Vec::new();
     let mut records = Vec::new();
     for prog in specslice_corpus::programs() {
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let recs = slice_program(prog.name, &ast, &sdg);
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let recs = slice_program(prog.name, &slicer);
+        let sdg = slicer.sdg();
         rows.push(Fig17Row {
             name: prog.name,
             loc: loc(prog.source),
@@ -185,9 +214,8 @@ fn corpus_records() -> (Vec<Fig17Row>, Vec<SliceRecord>) {
         ("pk5", specslice_corpus::pk_family(5)),
     ];
     for (name, src) in extra {
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        records.extend(slice_program(name, &ast, &sdg));
+        let slicer = Slicer::from_source(&src).unwrap();
+        records.extend(slice_program(name, &slicer));
     }
     (rows, records)
 }
@@ -217,7 +245,12 @@ fn fig18(records: &[SliceRecord]) {
     let total: usize = hist.values().sum();
     println!("{:>10} {:>10} {:>8}", "#versions", "#procs", "%");
     for (n, c) in &hist {
-        println!("{:>10} {:>10} {:>7.1}%", n, c, 100.0 * *c as f64 / total as f64);
+        println!(
+            "{:>10} {:>10} {:>7.1}%",
+            n,
+            c,
+            100.0 * *c as f64 / total as f64
+        );
     }
     let single = hist.get(&1).copied().unwrap_or(0);
     println!(
@@ -236,8 +269,7 @@ fn fig19(records: &[SliceRecord]) {
     let mut mono_means = Vec::new();
     let mut poly_means = Vec::new();
     for prog in specslice_corpus::programs() {
-        let rs: Vec<&SliceRecord> =
-            records.iter().filter(|r| r.program == prog.name).collect();
+        let rs: Vec<&SliceRecord> = records.iter().filter(|r| r.program == prog.name).collect();
         if rs.is_empty() {
             continue;
         }
@@ -268,9 +300,7 @@ fn fig19(records: &[SliceRecord]) {
         geometric_mean(mono_means),
         geometric_mean(poly_means)
     );
-    println!(
-        "(mono adds EXTRANEOUS elements; poly only REPLICATES closure elements)"
-    );
+    println!("(mono adds EXTRANEOUS elements; poly only REPLICATES closure elements)");
 }
 
 fn fig20(records: &[SliceRecord]) {
@@ -306,8 +336,7 @@ fn fig21(records: &[SliceRecord]) {
     );
     let mut slowdowns = Vec::new();
     for prog in specslice_corpus::programs() {
-        let rs: Vec<&SliceRecord> =
-            records.iter().filter(|r| r.program == prog.name).collect();
+        let rs: Vec<&SliceRecord> = records.iter().filter(|r| r.program == prog.name).collect();
         if rs.is_empty() {
             continue;
         }
@@ -317,7 +346,10 @@ fn fig21(records: &[SliceRecord]) {
         let mono = avg(&|r| r.mono_time.as_micros() as f64);
         let poly = avg(&|r| r.poly_time.as_micros() as f64);
         let auto = avg(&|r| r.automata_time.as_micros() as f64);
-        println!("{:<15} {:>12.0} {:>12.0} {:>14.0}", prog.name, mono, poly, auto);
+        println!(
+            "{:<15} {:>12.0} {:>12.0} {:>14.0}",
+            prog.name, mono, poly, auto
+        );
         if mono > 0.0 {
             slowdowns.push(poly / mono.max(1.0));
         }
@@ -335,8 +367,7 @@ fn fig22(records: &[SliceRecord]) {
         "program", "SDG KB", "PDS+FSA peak KB"
     );
     for prog in specslice_corpus::programs() {
-        let rs: Vec<&SliceRecord> =
-            records.iter().filter(|r| r.program == prog.name).collect();
+        let rs: Vec<&SliceRecord> = records.iter().filter(|r| r.program == prog.name).collect();
         if rs.is_empty() {
             continue;
         }
@@ -378,8 +409,9 @@ fn det_shrink(records: &[SliceRecord]) {
 fn wc_speedup() {
     header("§5 — executable wc slices: runtime vs original (paper: 32.5%)");
     let prog = specslice_corpus::by_name("wc").unwrap();
-    let ast = frontend(prog.source).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
+    let slicer = Slicer::from_source(prog.source).unwrap();
+    let ast = slicer.program().unwrap();
+    let sdg = slicer.sdg();
     // A longer input so counting dominates.
     let mut input: Vec<i64> = Vec::new();
     for i in 0..400 {
@@ -389,16 +421,12 @@ fn wc_speedup() {
             _ => 1,
         });
     }
-    let original = specslice_interp::run(&ast, &input, 50_000_000).unwrap();
+    let original = specslice_interp::run(ast, &input, 50_000_000).unwrap();
     let mut ratios = Vec::new();
-    for site in sdg
-        .call_sites
-        .iter()
-        .filter(|c| matches!(c.callee, CalleeKind::Library(specslice_sdg::LibFn::Printf)))
-    {
+    for site in sdg.printf_call_sites() {
         let criterion = Criterion::AllContexts(site.actual_ins.clone());
-        let slice = specialize(&sdg, &criterion).unwrap();
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+        let slice = slicer.slice(&criterion).unwrap();
+        let regen = slicer.regenerate(&slice).unwrap();
         let run = specslice_interp::run(&regen.program, &input, 50_000_000).unwrap();
         let ratio = 100.0 * run.steps as f64 / original.steps as f64;
         println!(
@@ -418,16 +446,18 @@ fn reslice() {
     let mut ok = 0;
     let mut total = 0;
     for prog in specslice_corpus::programs() {
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let criterion = Criterion::printf_actuals(&sdg);
-        let slice = specialize(&sdg, &criterion).unwrap();
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let criterion = Criterion::printf_actuals(slicer.sdg());
+        let slice = slicer.slice(&criterion).unwrap();
+        let regen = slicer.regenerate(&slice).unwrap();
         total += 1;
-        match specslice::reslice::reslice_check(&sdg, &criterion, &slice, &regen) {
+        match slicer.reslice_check(&criterion, &slice, &regen) {
             Ok(rep) if rep.languages_equal => {
                 ok += 1;
-                println!("  {:<15} OK ({} symbols mapped)", prog.name, rep.mapped_symbols);
+                println!(
+                    "  {:<15} OK ({} symbols mapped)",
+                    prog.name, rep.mapped_symbols
+                );
             }
             Ok(rep) => println!(
                 "  {:<15} LANGUAGE MISMATCH (unmapped: {:?})",

@@ -1,14 +1,16 @@
-//! Shared harness for the experiment binary and Criterion benches: runs
-//! every slicing algorithm over every corpus program and collects the
-//! measurements the paper's Figs. 17–22 report.
+//! Shared harness for the experiment binary and benches: runs every slicing
+//! algorithm over every corpus program and collects the measurements the
+//! paper's Figs. 17–22 report. All polyvariant slicing goes through one
+//! [`Slicer`] session per program, so the SDG→PDS encoding is paid once per
+//! program, not once per criterion.
+
+pub mod timer;
 
 use specslice::encode::MAIN_CONTROL;
-use specslice::{criteria, encode, readout, Criterion, SpecSlice};
+use specslice::{criteria, Criterion, Slicer, SpecSlice};
 use specslice_fsa::mrd::mrd_with_stats;
-use specslice_lang::Program;
 use specslice_pds::prestar::prestar_with_stats;
-use specslice_sdg::slice::backward_closure_slice;
-use specslice_sdg::{CalleeKind, LibFn, Sdg, VertexId};
+use specslice_sdg::VertexId;
 use std::time::{Duration, Instant};
 
 /// One sliced criterion with timing and size measurements.
@@ -32,9 +34,9 @@ pub struct SliceRecord {
     pub scatter: Vec<(usize, usize, usize)>,
     /// Wall-clock of the monovariant algorithm.
     pub mono_time: Duration,
-    /// Wall-clock of the whole polyvariant pipeline.
+    /// Wall-clock of one session query (criterion → slice, cached encoding).
     pub poly_time: Duration,
-    /// Wall-clock of the PDS + FSA portion (Prestar + MRD).
+    /// Wall-clock of the PDS + FSA portion alone (Prestar + MRD).
     pub automata_time: Duration,
     /// Peak bytes of PDS/FSA structures (Fig. 22's column 6 analogue).
     pub automata_bytes: usize,
@@ -48,20 +50,12 @@ pub struct SliceRecord {
     pub slice: SpecSlice,
 }
 
-/// Runs all per-printf slices of one program, collecting records.
-pub fn slice_program(
-    name: &'static str,
-    program: &Program,
-    sdg: &Sdg,
-) -> Vec<SliceRecord> {
-    let _ = program;
+/// Runs all per-printf slices of one program through its session,
+/// collecting records.
+pub fn slice_program(name: &'static str, slicer: &Slicer) -> Vec<SliceRecord> {
+    let sdg = slicer.sdg();
     let mut out = Vec::new();
-    let printf_sites: Vec<_> = sdg
-        .call_sites
-        .iter()
-        .filter(|c| c.callee == CalleeKind::Library(LibFn::Printf))
-        .cloned()
-        .collect();
+    let printf_sites: Vec<_> = sdg.printf_call_sites().cloned().collect();
     for site in printf_sites {
         let cv: Vec<VertexId> = site.actual_ins.clone();
 
@@ -69,21 +63,24 @@ pub fn slice_program(
         let mono = specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv);
         let mono_time = t0.elapsed();
 
-        // Polyvariant pipeline with phase timing.
-        let t1 = Instant::now();
-        let enc = encode::encode_sdg(sdg);
+        // Polyvariant query against the cached session encoding.
         let criterion = Criterion::AllContexts(cv.clone());
-        let query = criteria::query_automaton(sdg, &enc, &criterion).expect("criterion");
-        let ta = Instant::now();
-        let (a1, prestats) = prestar_with_stats(&enc.pds, &query);
-        let a1_nfa = a1.to_nfa(MAIN_CONTROL);
-        let (a1_trim, _) = a1_nfa.trimmed();
-        let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
-        let automata_time = ta.elapsed();
-        let slice = readout::read_out(sdg, &enc, &a6).expect("read-out");
+        let t1 = Instant::now();
+        let (slice, stats) = slicer.slice_with_stats(&criterion).expect("criterion");
         let poly_time = t1.elapsed();
 
-        let closure = backward_closure_slice(sdg, &cv);
+        // Phase-level timing of the automaton stages alone (re-run against
+        // the same cached encoding; the paper's Fig. 21 column 6).
+        let enc = slicer.encoding();
+        let query = criteria::query_automaton(sdg, enc, &criterion).expect("criterion");
+        let ta = Instant::now();
+        let (a1, _) = prestar_with_stats(&enc.pds, &query);
+        let a1_nfa = a1.to_nfa(MAIN_CONTROL);
+        let (a1_trim, _) = a1_nfa.trimmed();
+        let (a6, _) = mrd_with_stats(&a1_trim);
+        let automata_time = ta.elapsed();
+
+        let closure = specslice_sdg::slice::backward_closure_slice(sdg, &cv);
         let mut per_proc = std::collections::BTreeMap::new();
         for v in &slice.variants {
             *per_proc.entry(v.proc).or_insert(0usize) += 1;
@@ -119,10 +116,10 @@ pub fn slice_program(
             mono_time,
             poly_time,
             automata_time,
-            automata_bytes: prestats.peak_bytes + a6.transition_count() * 24,
+            automata_bytes: stats.prestar_peak_bytes + a6.transition_count() * 24,
             sdg_bytes: sdg.approx_bytes(),
-            det_states: mrd_stats.determinized_states,
-            min_states: mrd_stats.minimized_states,
+            det_states: stats.mrd.determinized_states,
+            min_states: stats.mrd.minimized_states,
             slice,
         });
     }

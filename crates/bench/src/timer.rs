@@ -1,0 +1,78 @@
+//! A minimal wall-clock benchmark harness (the container has no third-party
+//! crates, so this stands in for Criterion). Fixed-count samples with a
+//! short warmup; reports min / median / mean so outliers are visible.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing summary.
+#[derive(Clone, Debug)]
+pub struct Summary {
+    /// Benchmark label.
+    pub name: String,
+    /// Timed iterations (after warmup).
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+impl Summary {
+    /// One formatted row (used by the bench binaries).
+    pub fn row(&self) -> String {
+        format!(
+            "{:<44} {:>12.1?} {:>12.1?} {:>12.1?}   ({} samples)",
+            self.name, self.min, self.median, self.mean, self.samples
+        )
+    }
+}
+
+/// Header line matching [`Summary::row`].
+pub fn header() -> String {
+    format!(
+        "{:<44} {:>12} {:>12} {:>12}",
+        "benchmark", "min", "median", "mean"
+    )
+}
+
+/// Times `f` for `samples` iterations after `samples / 4 + 1` warmup runs.
+/// The closure's result is passed through [`black_box`] so the work is not
+/// optimized away.
+pub fn run<R>(name: &str, samples: usize, mut f: impl FnMut() -> R) -> Summary {
+    assert!(samples > 0);
+    for _ in 0..samples / 4 + 1 {
+        black_box(f());
+    }
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    Summary {
+        name: name.to_string(),
+        samples,
+        min,
+        median,
+        mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_orders_stats() {
+        let s = run("noop", 8, || 1 + 1);
+        assert_eq!(s.samples, 8);
+        assert!(s.min <= s.median);
+    }
+}

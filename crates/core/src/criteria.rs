@@ -52,24 +52,24 @@ impl Criterion {
 
 /// Validates a configuration: the stack must be a realizable chain of call
 /// sites from the vertex's procedure out to `main`.
-fn validate_configuration(
-    sdg: &Sdg,
-    v: VertexId,
-    stack: &[CallSiteId],
-) -> Result<(), SpecError> {
+fn validate_configuration(sdg: &Sdg, v: VertexId, stack: &[CallSiteId]) -> Result<(), SpecError> {
     if v.index() >= sdg.vertex_count() {
-        return Err(SpecError::new(format!("criterion vertex {v:?} out of range")));
+        return Err(SpecError::bad_criterion(format!(
+            "criterion vertex {v:?} out of range"
+        )));
     }
     let mut cur = sdg.vertex(v).proc;
     for &c in stack {
         if c.index() >= sdg.call_sites.len() {
-            return Err(SpecError::new(format!("criterion call site {c:?} out of range")));
+            return Err(SpecError::bad_criterion(format!(
+                "criterion call site {c:?} out of range"
+            )));
         }
         let site = sdg.call_site(c);
         match site.callee {
             CalleeKind::User(callee) if callee == cur => {}
             _ => {
-                return Err(SpecError::new(format!(
+                return Err(SpecError::bad_criterion(format!(
                     "criterion stack invalid: {c:?} does not call `{}`",
                     sdg.proc(cur).name
                 )))
@@ -78,7 +78,7 @@ fn validate_configuration(
         cur = site.caller;
     }
     if cur != sdg.main {
-        return Err(SpecError::new(format!(
+        return Err(SpecError::bad_criterion(format!(
             "criterion stack does not bottom out in `main` (ends in `{}`)",
             sdg.proc(cur).name
         )));
@@ -86,7 +86,10 @@ fn validate_configuration(
     Ok(())
 }
 
-/// Builds the P-automaton `A0` for a criterion (Fig. 9-style).
+/// Builds the P-automaton `A0` for a criterion (Fig. 9-style), computing
+/// the reachable-configuration automaton on demand when the criterion needs
+/// it. Sessions ([`crate::Slicer`]) use [`query_automaton_reusing`] to share
+/// one cached reachable automaton across queries instead.
 ///
 /// # Errors
 ///
@@ -96,10 +99,22 @@ pub fn query_automaton(
     enc: &Encoded,
     criterion: &Criterion,
 ) -> Result<PAutomaton, SpecError> {
+    query_automaton_reusing(sdg, enc, None, criterion)
+}
+
+/// [`query_automaton`] with an optionally pre-computed
+/// [`reachable_configurations`] automaton (only all-contexts criteria
+/// consult it; passing `None` computes it on demand).
+pub fn query_automaton_reusing(
+    sdg: &Sdg,
+    enc: &Encoded,
+    reachable: Option<&Nfa>,
+    criterion: &Criterion,
+) -> Result<PAutomaton, SpecError> {
     match criterion {
         Criterion::Configurations(configs) => {
             if configs.is_empty() {
-                return Err(SpecError::new("empty criterion"));
+                return Err(SpecError::bad_criterion("empty criterion"));
             }
             let mut aut = PAutomaton::new(enc.pds.control_count());
             let p = aut.control_state(MAIN_CONTROL);
@@ -112,7 +127,11 @@ pub fn query_automaton(
                 syms.extend(stack.iter().map(|&c| enc.call_symbol(c)));
                 let mut cur = p;
                 for (i, &s) in syms.iter().enumerate() {
-                    let next = if i + 1 == syms.len() { f } else { aut.add_state() };
+                    let next = if i + 1 == syms.len() {
+                        f
+                    } else {
+                        aut.add_state()
+                    };
                     aut.add_transition(cur, Some(s), next);
                     cur = next;
                 }
@@ -121,16 +140,23 @@ pub fn query_automaton(
         }
         Criterion::AllContexts(verts) => {
             if verts.is_empty() {
-                return Err(SpecError::new("empty criterion"));
+                return Err(SpecError::bad_criterion("empty criterion"));
             }
             for &v in verts {
                 if v.index() >= sdg.vertex_count() {
-                    return Err(SpecError::new(format!(
+                    return Err(SpecError::bad_criterion(format!(
                         "criterion vertex {v:?} out of range"
                     )));
                 }
             }
-            let reachable = reachable_configurations(sdg, enc);
+            let computed;
+            let reachable = match reachable {
+                Some(r) => r,
+                None => {
+                    computed = reachable_configurations(sdg, enc);
+                    &computed
+                }
+            };
             // Shape automaton: verts · call-symbols*.
             let mut shape = Nfa::new();
             let f = shape.add_state();
@@ -141,7 +167,7 @@ pub fn query_automaton(
             for c in &sdg.call_sites {
                 shape.add_transition(f, Some(enc.call_symbol(c.id)), f);
             }
-            let inter = specslice_fsa::ops::intersect(&reachable, &shape);
+            let inter = specslice_fsa::ops::intersect(reachable, &shape);
             nfa_to_query(enc, &inter)
         }
         Criterion::Automaton(nfa) => nfa_to_query(enc, nfa),
@@ -173,14 +199,14 @@ fn nfa_to_query(enc: &Encoded, nfa: &Nfa) -> Result<PAutomaton, SpecError> {
     // DFA state i → automaton state: initial → control p, others → fresh.
     let mut map: Vec<Option<PState>> = vec![None; dfa.state_count()];
     map[dfa.initial().index()] = Some(aut.control_state(MAIN_CONTROL));
-    for i in 0..dfa.state_count() {
-        if map[i].is_none() {
-            map[i] = Some(aut.add_state());
+    for slot in map.iter_mut() {
+        if slot.is_none() {
+            *slot = Some(aut.add_state());
         }
     }
     for (from, sym, to) in dfa.transitions() {
         if to == dfa.initial() {
-            return Err(SpecError::new(
+            return Err(SpecError::bad_criterion(
                 "criterion automaton has a transition into its initial state \
                  (words must have the shape `vertex call-site*`)",
             ));
@@ -243,13 +269,14 @@ mod tests {
         let (sdg, enc) = setup(FIG1);
         let p = sdg.proc_named("p").unwrap();
         let site0 = sdg.call_sites[0].id; // first call to p, in main
-        // Valid: p's entry under C0.
+                                          // Valid: p's entry under C0.
         let ok = Criterion::configuration(p.entry, vec![site0]);
         assert!(query_automaton(&sdg, &enc, &ok).is_ok());
         // Invalid: stack does not bottom out in main (p vertex, no stack).
         let bad = Criterion::configuration(p.entry, vec![]);
         let err = query_automaton(&sdg, &enc, &bad).unwrap_err();
-        assert!(err.message.contains("main"), "{err}");
+        assert!(err.to_string().contains("main"), "{err}");
+        assert!(matches!(err, SpecError::BadCriterion { .. }), "{err:?}");
         // Invalid: call site that does not call p's proc.
         let printf_site = sdg
             .call_sites
@@ -277,10 +304,7 @@ mod tests {
             .map(|c| c.id)
             .collect();
         for &c in &user_sites {
-            assert!(q.accepts(
-                MAIN_CONTROL,
-                &[enc.vertex_symbol(g2b), enc.call_symbol(c)]
-            ));
+            assert!(q.accepts(MAIN_CONTROL, &[enc.vertex_symbol(g2b), enc.call_symbol(c)]));
         }
         // Stack of two user sites is not realizable (p does not call p).
         assert!(!q.accepts(
@@ -339,7 +363,7 @@ mod tests {
             .id;
         for depth in 0..4 {
             let mut word = vec![enc.vertex_symbol(r.entry)];
-            word.extend(std::iter::repeat(enc.call_symbol(rec_site)).take(depth));
+            word.extend(std::iter::repeat_n(enc.call_symbol(rec_site), depth));
             word.push(enc.call_symbol(main_site));
             assert!(q.accepts(MAIN_CONTROL, &word), "depth {depth}");
         }

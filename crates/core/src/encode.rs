@@ -17,9 +17,20 @@ use specslice_fsa::Symbol;
 use specslice_pds::{ControlLoc, Pds};
 use specslice_sdg::{CallSiteId, EdgeKind, Sdg, VertexId, VertexKind};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// The shared control location `p` of Fig. 8.
 pub const MAIN_CONTROL: ControlLoc = ControlLoc(0);
+
+/// Process-wide count of [`encode_sdg`] invocations. Exists so tests (and
+/// suspicious callers) can observe that a [`crate::Slicer`] session encodes
+/// its SDG exactly once no matter how many queries it answers.
+static ENCODE_CALLS: AtomicUsize = AtomicUsize::new(0);
+
+/// How many times [`encode_sdg`] has run in this process.
+pub fn encode_call_count() -> usize {
+    ENCODE_CALLS.load(Ordering::Relaxed)
+}
 
 /// The SDG-as-PDS encoding plus the symbol interning tables.
 #[derive(Clone, Debug)]
@@ -64,6 +75,7 @@ impl Encoded {
 
 /// Encodes `sdg` as a pushdown system following Fig. 8.
 pub fn encode_sdg(sdg: &Sdg) -> Encoded {
+    ENCODE_CALLS.fetch_add(1, Ordering::Relaxed);
     let n_vertices = sdg.vertex_count() as u32;
     let n_call_sites = sdg.call_sites.len() as u32;
     let mut pds = Pds::new(1); // control location p
@@ -228,10 +240,7 @@ mod tests {
         // 3 formal-outs → 3 pop rules; 9 parameter-out internal rules.
         assert_eq!(pops, 3, "one pop rule per formal-out of p");
         assert_eq!(pushes, 9, "3 call + 6 param-in push rules");
-        let pout_internals = rules
-            .iter()
-            .filter(|r| r.from_loc != MAIN_CONTROL)
-            .count();
+        let pout_internals = rules.iter().filter(|r| r.from_loc != MAIN_CONTROL).count();
         assert_eq!(pout_internals, 9, "3 formal-outs × 3 call sites");
     }
 

@@ -26,22 +26,37 @@ use specslice_sdg::Sdg;
 /// Removes the feature identified by the forward stack-configuration slice
 /// from `criterion`, returning the residual specialization slice.
 ///
+/// One-shot wrapper: encodes the SDG and computes the reachable automaton
+/// for this single call. Multi-query clients should use
+/// [`crate::Slicer::remove_feature`], which shares both across queries.
+///
 /// # Errors
 ///
 /// Fails on malformed criteria or internal invariant violations.
 pub fn remove_feature(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
     let enc = encode::encode_sdg(sdg);
-    let ac = criteria::query_automaton(sdg, &enc, criterion)?;
+    let reachable = criteria::reachable_configurations(sdg, &enc);
+    remove_feature_reusing(sdg, &enc, &reachable, criterion)
+}
+
+/// [`remove_feature`] against a session's cached encoding and reachable
+/// automaton (Alg. 2 always needs both).
+pub fn remove_feature_reusing(
+    sdg: &Sdg,
+    enc: &encode::Encoded,
+    reachable: &specslice_fsa::Nfa,
+    criterion: &Criterion,
+) -> Result<SpecSlice, SpecError> {
+    let ac = criteria::query_automaton_reusing(sdg, enc, Some(reachable), criterion)?;
     // A0 = Poststar(A_C): the feature, as a configuration language.
     let a0 = poststar(&enc.pds, &ac);
     let a0_nfa = a0.to_nfa(MAIN_CONTROL);
     // A1 = Reachable ∖ A0.
-    let reachable = criteria::reachable_configurations(sdg, &enc);
-    let a1 = difference(&reachable, &Dfa::determinize(&a0_nfa));
+    let a1 = difference(reachable, &Dfa::determinize(&a0_nfa));
     let (a1, _) = a1.trimmed();
     // Continue at line 4 of Alg. 1.
     let a6 = mrd(&a1);
-    readout::read_out(sdg, &enc, &a6)
+    readout::read_out(sdg, enc, &a6)
 }
 
 #[cfg(test)]

@@ -21,8 +21,8 @@
 
 use crate::SpecError;
 use specslice_lang::ast::{
-    Block, CallStmt, Callee, Expr, Function, Param, ParamMode, Program, RetKind, Stmt,
-    StmtKind, Type,
+    Block, CallStmt, Callee, Expr, Function, Param, ParamMode, Program, RetKind, Stmt, StmtKind,
+    Type,
 };
 use specslice_lang::{normalize, sema};
 use std::collections::BTreeMap;
@@ -86,11 +86,12 @@ pub fn lower_indirect_calls(program: &Program) -> Result<Program, SpecError> {
 
     // Synthesize one dispatcher per arity in use.
     let mut out = program.clone();
-    for (&arity, _) in &call_arities {
+    for &arity in call_arities.keys() {
         let cands = candidates.get(&arity).cloned().unwrap_or_default();
         if cands.is_empty() {
-            return Err(SpecError::new(format!(
-                "indirect call of arity {arity} has an empty points-to set"
+            return Err(SpecError::Sema(specslice_lang::LangError::sema(
+                0,
+                format!("indirect call of arity {arity} has an empty points-to set"),
             )));
         }
         out.functions.push(make_dispatcher(arity, &cands));
@@ -103,7 +104,10 @@ pub fn lower_indirect_calls(program: &Program) -> Result<Program, SpecError> {
 
     let out = normalize::normalize(out);
     sema::check(&out).map_err(|e| {
-        SpecError::new(format!("indirect-call lowering produced invalid code: {e}"))
+        SpecError::internal(
+            "indirect",
+            format!("indirect-call lowering produced invalid code: {e}"),
+        )
     })?;
     Ok(out)
 }
@@ -297,7 +301,7 @@ mod tests {
         )
         .unwrap();
         let err = lower_indirect_calls(&p).unwrap_err();
-        assert!(err.message.contains("points-to"), "{err}");
+        assert!(err.to_string().contains("points-to"), "{err}");
     }
 
     #[test]

@@ -26,12 +26,18 @@
 //! ([`indirect`]), the §8.3 reslicing self-check ([`reslice`]), and slice
 //! statistics ([`stats`]) used by the paper's evaluation.
 //!
-//! # Quickstart
+//! # Quickstart — the [`Slicer`] session
+//!
+//! A [`Slicer`] runs the frontend, SDG construction, and the SDG→PDS
+//! encoding **once**, then answers any number of slicing queries against the
+//! cached encoding — the per-program stages dominate the cost of a query, so
+//! multi-criterion clients should always share one session:
 //!
 //! ```
-//! use specslice::{specialize, Criterion};
+//! use specslice::{Criterion, Slicer};
 //!
-//! let src = r#"
+//! let slicer = Slicer::from_source(
+//!     r#"
 //!     int g1, g2, g3;
 //!     void p(int a, int b) { g1 = a; g2 = b; g3 = g2; }
 //!     int main() {
@@ -41,16 +47,26 @@
 //!         p(4, g1 + g2);
 //!         printf("%d", g2);
 //!     }
-//! "#;
-//! let program = specslice_lang::frontend(src)?;
-//! let sdg = specslice_sdg::build::build_sdg(&program)?;
-//! let criterion = Criterion::printf_actuals(&sdg);
-//! let slice = specialize(&sdg, &criterion)?;
+//!     "#,
+//! )?;
+//! let criterion = Criterion::printf_actuals(slicer.sdg());
+//! let slice = slicer.slice(&criterion)?;
 //! // Fig. 1(b): p is specialized into two variants.
-//! assert_eq!(slice.variants_of_proc(&sdg, "p").len(), 2);
-//! let regen = specslice::regen::regenerate(&sdg, &program, &slice)?;
+//! assert_eq!(slice.variants_of_proc(slicer.sdg(), "p").len(), 2);
+//! let regen = slicer.regenerate(&slice)?;
 //! assert!(regen.source.contains("void p__1"));
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//!
+//! // Batch queries reuse the cached encoding (and the reachable-stack
+//! // automaton) instead of re-encoding per criterion:
+//! let per_vertex: Vec<Criterion> = slicer
+//!     .sdg()
+//!     .printf_actual_in_vertices()
+//!     .into_iter()
+//!     .map(Criterion::vertex)
+//!     .collect();
+//! let batch = slicer.slice_batch(&per_vertex)?;
+//! assert_eq!(batch.slices.len(), per_vertex.len());
+//! # Ok::<(), specslice::SpecError>(())
 //! ```
 
 pub mod criteria;
@@ -60,26 +76,65 @@ pub mod indirect;
 pub mod readout;
 pub mod regen;
 pub mod reslice;
+pub mod slicer;
 pub mod stats;
 
 pub use criteria::Criterion;
 pub use readout::{SpecSlice, VariantPdg};
+pub use slicer::{BatchResult, Slicer, SlicerConfig};
 
-use specslice_fsa::mrd::{mrd_with_stats, MrdStats};
-use specslice_sdg::Sdg;
+// The facade re-exports everything a client needs to construct criteria and
+// inspect results, so depending on `specslice` alone suffices.
+pub use specslice_lang::{LangError, Program};
+pub use specslice_sdg::{
+    CallSiteId, CalleeKind, ProcId, Sdg, SdgError, Vertex, VertexId, VertexKind,
+};
+
+use specslice_fsa::mrd::MrdStats;
 use std::fmt;
 
-/// Errors from the specialization-slicing pipeline.
+/// Errors from the specialization-slicing pipeline, classified by stage.
+///
+/// Wrapped stage errors are reachable through [`std::error::Error::source`],
+/// so callers can render full chains (`anyhow`-style) or match on the stage.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SpecError {
-    /// Human-readable description.
-    pub message: String,
+pub enum SpecError {
+    /// The MiniC frontend rejected the source text (lexical or syntax
+    /// error).
+    Parse(LangError),
+    /// The MiniC semantic checker rejected the program.
+    Sema(LangError),
+    /// SDG construction failed.
+    SdgBuild(SdgError),
+    /// The slicing criterion is malformed (out-of-range vertex, unrealizable
+    /// stack, empty set, ill-shaped automaton).
+    BadCriterion {
+        /// What is wrong with the criterion.
+        reason: String,
+    },
+    /// An internal invariant was violated — always a bug in the slicer, not
+    /// in the caller's input (results are validated against Cor. 3.19
+    /// before being returned).
+    Internal {
+        /// The pipeline stage that failed (e.g. `"readout"`).
+        context: &'static str,
+        /// Description of the violated invariant.
+        message: String,
+    },
 }
 
 impl SpecError {
-    /// Creates an error.
-    pub fn new(message: impl Into<String>) -> Self {
-        SpecError {
+    /// Creates a [`SpecError::BadCriterion`].
+    pub fn bad_criterion(reason: impl Into<String>) -> Self {
+        SpecError::BadCriterion {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates a [`SpecError::Internal`] tagged with the failing stage.
+    pub fn internal(context: &'static str, message: impl Into<String>) -> Self {
+        SpecError::Internal {
+            context,
             message: message.into(),
         }
     }
@@ -87,26 +142,51 @@ impl SpecError {
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        match self {
+            SpecError::Parse(e) => write!(f, "frontend rejected the source: {e}"),
+            SpecError::Sema(e) => write!(f, "semantic check failed: {e}"),
+            SpecError::SdgBuild(e) => write!(f, "SDG construction failed: {e}"),
+            SpecError::BadCriterion { reason } => write!(f, "bad criterion: {reason}"),
+            SpecError::Internal { context, message } => {
+                write!(f, "internal error ({context}): {message}")
+            }
+        }
     }
 }
 
-impl std::error::Error for SpecError {}
-
-impl From<specslice_sdg::SdgError> for SpecError {
-    fn from(e: specslice_sdg::SdgError) -> Self {
-        SpecError::new(e.message)
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Parse(e) | SpecError::Sema(e) => Some(e),
+            SpecError::SdgBuild(e) => Some(e),
+            SpecError::BadCriterion { .. } | SpecError::Internal { .. } => None,
+        }
     }
 }
 
-impl From<specslice_lang::LangError> for SpecError {
-    fn from(e: specslice_lang::LangError) -> Self {
-        SpecError::new(e.to_string())
+impl From<SdgError> for SpecError {
+    fn from(e: SdgError) -> Self {
+        SpecError::SdgBuild(e)
+    }
+}
+
+impl From<LangError> for SpecError {
+    fn from(e: LangError) -> Self {
+        if e.is_sema() {
+            SpecError::Sema(e)
+        } else {
+            SpecError::Parse(e)
+        }
     }
 }
 
 /// Computes the specialization slice of `sdg` with respect to `criterion`
 /// (the paper's Alg. 1).
+///
+/// This is the one-shot convenience wrapper: it encodes the SDG as a
+/// pushdown system, answers the single query, and throws the encoding away.
+/// Any caller with more than one criterion should build a [`Slicer`] session
+/// instead and amortize the encoding across queries.
 ///
 /// # Errors
 ///
@@ -114,35 +194,13 @@ impl From<specslice_lang::LangError> for SpecError {
 /// internal invariant violations (which would indicate a bug — the result is
 /// validated against Cor. 3.19 before being returned).
 pub fn specialize(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
-    specialize_with_stats(sdg, criterion).map(|(s, _)| s)
-}
-
-/// [`specialize`] plus the automaton statistics the evaluation section
-/// reports (determinize/minimize sizes, Prestar sizes).
-pub fn specialize_with_stats(
-    sdg: &Sdg,
-    criterion: &Criterion,
-) -> Result<(SpecSlice, PipelineStats), SpecError> {
     let enc = encode::encode_sdg(sdg);
     let query = criteria::query_automaton(sdg, &enc, criterion)?;
-    let (a1, prestats) = specslice_pds::prestar::prestar_with_stats(&enc.pds, &query);
-    let a1_nfa = a1.to_nfa(encode::MAIN_CONTROL);
-    let (a1_trim, _) = a1_nfa.trimmed();
-    let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
-    let slice = readout::read_out(sdg, &enc, &a6)?;
-    let stats = PipelineStats {
-        pds_rules: enc.pds.rule_count(),
-        prestar_transitions: prestats.transitions,
-        prestar_peak_bytes: prestats.peak_bytes,
-        a1_states: a1_trim.state_count(),
-        a1_transitions: a1_trim.transition_count(),
-        mrd: mrd_stats,
-    };
-    Ok((slice, stats))
+    slicer::run_query(sdg, &enc, &query, true).map(|(s, _)| s)
 }
 
 /// Sizes observed along the Alg. 1 pipeline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct PipelineStats {
     /// `|Δ|` of the encoded PDS.
     pub pds_rules: usize,
@@ -156,4 +214,22 @@ pub struct PipelineStats {
     pub a1_transitions: usize,
     /// MRD pipeline statistics (`determinize` / `minimize` sizes).
     pub mrd: MrdStats,
+}
+
+impl PipelineStats {
+    /// Accumulates another query's stats into `self` (used by
+    /// [`Slicer::slice_batch`] aggregation). Per-query sizes are summed;
+    /// `pds_rules` describes the shared encoding and is kept as-is.
+    pub fn absorb(&mut self, other: &PipelineStats) {
+        self.pds_rules = self.pds_rules.max(other.pds_rules);
+        self.prestar_transitions += other.prestar_transitions;
+        self.prestar_peak_bytes = self.prestar_peak_bytes.max(other.prestar_peak_bytes);
+        self.a1_states += other.a1_states;
+        self.a1_transitions += other.a1_transitions;
+        self.mrd.input_states += other.mrd.input_states;
+        self.mrd.determinized_states += other.mrd.determinized_states;
+        self.mrd.minimized_states += other.mrd.minimized_states;
+        self.mrd.mrd_states += other.mrd.mrd_states;
+        self.mrd.mrd_transitions += other.mrd.mrd_transitions;
+    }
 }

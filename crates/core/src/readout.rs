@@ -109,6 +109,17 @@ impl SpecSlice {
 /// Reads the specialized SDG out of `a6` (Alg. 1 lines 9–24) and validates
 /// the Cor. 3.19 no-parameter-mismatch property.
 pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecError> {
+    read_out_with(sdg, enc, a6, true)
+}
+
+/// [`read_out`] with the Cor. 3.19 validation made optional
+/// (see [`crate::SlicerConfig::validate`]).
+pub fn read_out_with(
+    sdg: &Sdg,
+    enc: &Encoded,
+    a6: &Nfa,
+    validate: bool,
+) -> Result<SpecSlice, SpecError> {
     if a6.is_empty_language() {
         return Ok(SpecSlice {
             variants: Vec::new(),
@@ -123,15 +134,18 @@ pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecErr
     let mut vertex_sets: HashMap<StateId, BTreeSet<VertexId>> = HashMap::new();
     let mut call_transitions: Vec<(StateId, CallSiteId, StateId)> = Vec::new();
     for (from, label, to) in a6.transitions() {
-        let sym = label.ok_or_else(|| SpecError::new("A6 has ε-transitions"))?;
+        let sym = label.ok_or_else(|| SpecError::internal("readout", "A6 has ε-transitions"))?;
         if from == q0 {
             let v = enc.symbol_vertex(sym).ok_or_else(|| {
-                SpecError::new("initial-state transition labeled by a call site")
+                SpecError::internal("readout", "initial-state transition labeled by a call site")
             })?;
             vertex_sets.entry(to).or_default().insert(v);
         } else {
             let c = enc.symbol_call_site(sym).ok_or_else(|| {
-                SpecError::new("non-initial transition labeled by a vertex symbol")
+                SpecError::internal(
+                    "readout",
+                    "non-initial transition labeled by a vertex symbol",
+                )
             })?;
             call_transitions.push((from, c, to));
         }
@@ -142,9 +156,10 @@ pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecErr
     for (&state, verts) in &vertex_sets {
         let mut procs: BTreeSet<ProcId> = verts.iter().map(|&v| sdg.vertex(v).proc).collect();
         if procs.len() != 1 {
-            return Err(SpecError::new(format!(
-                "partition element mixes procedures: {procs:?} (Defn. 2.10(2) violated)"
-            )));
+            return Err(SpecError::internal(
+                "readout",
+                format!("partition element mixes procedures: {procs:?} (Defn. 2.10(2) violated)"),
+            ));
         }
         state_proc.insert(state, procs.pop_first().expect("non-empty"));
     }
@@ -163,16 +178,19 @@ pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecErr
     for &(from, c, to) in &call_transitions {
         let site = sdg.call_site(c);
         let CalleeKind::User(callee) = site.callee else {
-            return Err(SpecError::new(format!(
-                "call-site symbol {c:?} of a library call appeared on the stack"
-            )));
+            return Err(SpecError::internal(
+                "readout",
+                format!("call-site symbol {c:?} of a library call appeared on the stack"),
+            ));
         };
-        if state_proc.get(&from) != Some(&callee) || state_proc.get(&to) != Some(&site.caller)
-        {
-            return Err(SpecError::new(format!(
-                "inconsistent call transition at {c:?}: callee/caller procedures \
+        if state_proc.get(&from) != Some(&callee) || state_proc.get(&to) != Some(&site.caller) {
+            return Err(SpecError::internal(
+                "readout",
+                format!(
+                    "inconsistent call transition at {c:?}: callee/caller procedures \
                  do not match the original SDG"
-            )));
+                ),
+            ));
         }
     }
 
@@ -215,10 +233,13 @@ pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecErr
         let callee_idx = variant_of_state[&from];
         if let Some(&prev) = variants[caller_idx].calls.get(&c) {
             if prev != callee_idx {
-                return Err(SpecError::new(format!(
-                    "call site {c:?} targets two different variants in one \
+                return Err(SpecError::internal(
+                    "readout",
+                    format!(
+                        "call site {c:?} targets two different variants in one \
                      caller copy (reverse determinism violated)"
-                )));
+                    ),
+                ));
             }
         }
         variants[caller_idx].calls.insert(c, callee_idx);
@@ -230,12 +251,13 @@ pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecErr
     for (i, v) in variants.iter().enumerate() {
         if finals.contains(&v.state) {
             if v.proc != sdg.main {
-                return Err(SpecError::new(
+                return Err(SpecError::internal(
+                    "readout",
                     "final state does not correspond to main (ε-stack invariant broken)",
                 ));
             }
             if main_variant.is_some() {
-                return Err(SpecError::new("multiple main variants"));
+                return Err(SpecError::internal("readout", "multiple main variants"));
             }
             main_variant = Some(i);
         }
@@ -246,7 +268,9 @@ pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecErr
         main_variant,
         a6: a6.clone(),
     };
-    validate_no_mismatches(sdg, &slice)?;
+    if validate {
+        validate_no_mismatches(sdg, &slice)?;
+    }
     Ok(slice)
 }
 
@@ -262,25 +286,31 @@ fn validate_no_mismatches(sdg: &Sdg, slice: &SpecSlice) -> Result<(), SpecError>
                 let actual_in = caller.vertices.contains(&ai);
                 let formal_in = callee.vertices.contains(&fi);
                 if actual_in != formal_in {
-                    return Err(SpecError::new(format!(
-                        "parameter mismatch at {c:?} slot {:?}: actual={} formal={} \
+                    return Err(SpecError::internal(
+                        "readout",
+                        format!(
+                            "parameter mismatch at {c:?} slot {:?}: actual={} formal={} \
                          (Cor. 3.19 violated)",
-                        sdg.in_slot(fi),
-                        actual_in,
-                        formal_in
-                    )));
+                            sdg.in_slot(fi),
+                            actual_in,
+                            formal_in
+                        ),
+                    ));
                 }
             }
             for (&ao, &fo) in site.actual_outs.iter().zip(&callee_proc.formal_outs) {
                 let actual_out = caller.vertices.contains(&ao);
                 let formal_out = callee.vertices.contains(&fo);
                 if actual_out != formal_out {
-                    return Err(SpecError::new(format!(
-                        "output mismatch at {c:?} slot {:?}: actual={} formal={}",
-                        sdg.out_slot(fo),
-                        actual_out,
-                        formal_out
-                    )));
+                    return Err(SpecError::internal(
+                        "readout",
+                        format!(
+                            "output mismatch at {c:?} slot {:?}: actual={} formal={}",
+                            sdg.out_slot(fo),
+                            actual_out,
+                            formal_out
+                        ),
+                    ));
                 }
             }
         }
@@ -292,9 +322,10 @@ fn validate_no_mismatches(sdg: &Sdg, slice: &SpecSlice) -> Result<(), SpecError>
                 if matches!(sdg.call_site(site).callee, CalleeKind::User(_))
                     && !v.calls.contains_key(&site)
                 {
-                    return Err(SpecError::new(format!(
-                        "call vertex at {site:?} included with no callee variant"
-                    )));
+                    return Err(SpecError::internal(
+                        "readout",
+                        format!("call vertex at {site:?} included with no callee variant"),
+                    ));
                 }
             }
         }

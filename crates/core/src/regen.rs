@@ -117,9 +117,7 @@ pub fn regenerate(
             StmtKind::If { cond, .. } | StmtKind::While { cond, .. } => {
                 collect_funcrefs_expr(cond, &mut surviving_refs)
             }
-            StmtKind::Return { value: Some(e) } => {
-                collect_funcrefs_expr(e, &mut surviving_refs)
-            }
+            StmtKind::Return { value: Some(e) } => collect_funcrefs_expr(e, &mut surviving_refs),
             StmtKind::Call(c) => {
                 for a in &c.args {
                     collect_funcrefs_expr(a, &mut surviving_refs);
@@ -171,14 +169,15 @@ pub fn regenerate(
     }
     let normalized = normalize::normalize(raw);
     sema::check(&normalized).map_err(|e| {
-        SpecError::new(format!("regenerated program failed checking: {e}"))
+        SpecError::internal("regen", format!("regenerated program failed checking: {e}"))
     })?;
     let mut new_ids: Vec<StmtId> = Vec::new();
     for f in &normalized.functions {
         f.body.visit(&mut |s| new_ids.push(s.id));
     }
     if new_ids.len() != old_ids.len() {
-        return Err(SpecError::new(
+        return Err(SpecError::internal(
+            "regen",
             "normalization changed the regenerated program's shape",
         ));
     }
@@ -198,6 +197,7 @@ pub fn regenerate(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_variant(
     sdg: &Sdg,
     program: &Program,
@@ -209,10 +209,7 @@ fn emit_variant(
     anchors: &Anchors,
 ) -> Result<Function, SpecError> {
     let kept = variant.kept_params(sdg);
-    let params: Vec<Param> = kept
-        .iter()
-        .map(|&i| original.params[i].clone())
-        .collect();
+    let params: Vec<Param> = kept.iter().map(|&i| original.params[i].clone()).collect();
 
     let body = emit_block(sdg, slice, variant, names, &original.body, anchors)?;
 
@@ -248,8 +245,7 @@ fn emit_variant(
     // become scratch storage (the slice needs neither its incoming nor its
     // outgoing value): re-declare it as a local.
     for (i, param) in original.params.iter().enumerate() {
-        if kept.contains(&i) || !used.contains(&param.name) || declared.contains(&param.name)
-        {
+        if kept.contains(&i) || !used.contains(&param.name) || declared.contains(&param.name) {
             continue;
         }
         declared.insert(param.name.clone());
@@ -274,10 +270,10 @@ fn emit_variant(
     for u in &used {
         let is_fn = program.function(u).is_some() || slice.variants.iter().any(|v| v.name == *u);
         if !declared.contains(u) && !program.is_global(u) && !is_fn {
-            return Err(SpecError::new(format!(
-                "variant `{}` uses undeclared `{u}`",
-                variant.name
-            )));
+            return Err(SpecError::internal(
+                "regen",
+                format!("variant `{}` uses undeclared `{u}`", variant.name),
+            ));
         }
     }
     let mut stmts = decls;
@@ -335,17 +331,17 @@ fn emit_block(
                     continue;
                 }
                 let callee_idx = *variant.calls.get(&site).ok_or_else(|| {
-                    SpecError::new(format!(
-                        "variant `{}` keeps a call at {site:?} with no callee variant",
-                        variant.name
-                    ))
+                    SpecError::internal(
+                        "regen",
+                        format!(
+                            "variant `{}` keeps a call at {site:?} with no callee variant",
+                            variant.name
+                        ),
+                    )
                 })?;
                 let callee_variant = &slice.variants[callee_idx];
                 let kept_params = callee_variant.kept_params(sdg);
-                let args: Vec<Expr> = kept_params
-                    .iter()
-                    .map(|&i| c.args[i].clone())
-                    .collect();
+                let args: Vec<Expr> = kept_params.iter().map(|&i| c.args[i].clone()).collect();
                 // Keep the result assignment only when the return actual-out
                 // survives in this variant.
                 let site_rec = sdg.call_site(site);
@@ -390,7 +386,8 @@ fn emit_block(
                 } else if !then_b.stmts.is_empty()
                     || else_b.as_ref().is_some_and(|b| !b.stmts.is_empty())
                 {
-                    return Err(SpecError::new(
+                    return Err(SpecError::internal(
+                        "regen",
                         "statement kept under a dropped predicate (control \
                          dependence violated)",
                     ));
@@ -408,7 +405,8 @@ fn emit_block(
                         },
                     ));
                 } else if !body_b.stmts.is_empty() {
-                    return Err(SpecError::new(
+                    return Err(SpecError::internal(
+                        "regen",
                         "loop body kept under a dropped loop predicate",
                     ));
                 }

@@ -12,7 +12,7 @@
 use crate::criteria::{self, Criterion};
 use crate::encode::{self, Encoded};
 use crate::regen::RegenOutput;
-use crate::{specialize, SpecError, SpecSlice};
+use crate::{SpecError, SpecSlice};
 use specslice_fsa::ops::{equivalent, relabel, relabel_inverse};
 use specslice_fsa::Symbol;
 use specslice_lang::ast::StmtId;
@@ -33,6 +33,9 @@ pub struct ResliceReport {
 
 /// Runs the §8.3 reslicing check for a completed specialization slice.
 ///
+/// One-shot wrapper that re-encodes the original SDG; sessions use
+/// [`crate::Slicer::reslice_check`], which reuses the cached encoding.
+///
 /// # Errors
 ///
 /// Fails if the regenerated program cannot be rebuilt into an SDG or the
@@ -43,17 +46,28 @@ pub fn reslice_check(
     slice_s: &SpecSlice,
     regen: &RegenOutput,
 ) -> Result<ResliceReport, SpecError> {
-    let sdg_r = build_sdg(&regen.program)?;
     let enc_s = encode::encode_sdg(sdg_s);
+    reslice_check_reusing(sdg_s, &enc_s, criterion, slice_s, regen)
+}
+
+/// [`reslice_check`] against a session's cached encoding of the original
+/// program (the regenerated program `R` still gets a fresh encoding — it is
+/// a different program).
+pub fn reslice_check_reusing(
+    sdg_s: &Sdg,
+    enc_s: &Encoded,
+    criterion: &Criterion,
+    slice_s: &SpecSlice,
+    regen: &RegenOutput,
+) -> Result<ResliceReport, SpecError> {
+    let sdg_r = build_sdg(&regen.program)?;
     let enc_r = encode::encode_sdg(&sdg_r);
 
     // Build the symbol map, resolving Entry vertices via the slice.
-    let (mut map, unmapped) = symbol_map_with_slice(
-        sdg_s, &enc_s, &sdg_r, &enc_r, regen, slice_s,
-    )?;
+    let (mut map, unmapped) = symbol_map_with_slice(sdg_s, enc_s, &sdg_r, &enc_r, regen, slice_s)?;
 
     // C' = T⁻¹(C) ∩ Poststar[P_R](entry_main).
-    let query_s = criteria::query_automaton(sdg_s, &enc_s, criterion)?;
+    let query_s = criteria::query_automaton(sdg_s, enc_s, criterion)?;
     let c_nfa = query_s.to_nfa(encode::MAIN_CONTROL);
     // Preimages of each S symbol under the map.
     let mut preimages: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
@@ -65,13 +79,16 @@ pub fn reslice_check(
     let c_prime = specslice_fsa::ops::intersect(&inv, &reach_r);
     let (c_prime, _) = c_prime.trimmed();
     if c_prime.is_empty_language() {
-        return Err(SpecError::new(
+        return Err(SpecError::bad_criterion(
             "reslice criterion is empty after transduction",
         ));
     }
 
-    // Slice R and compare languages.
-    let slice_r = specialize(&sdg_r, &Criterion::Automaton(c_prime))?;
+    // Slice R (against the encoding already built above) and compare
+    // languages.
+    let query_r =
+        criteria::query_automaton_reusing(&sdg_r, &enc_r, None, &Criterion::Automaton(c_prime))?;
+    let (slice_r, _) = crate::slicer::run_query(&sdg_r, &enc_r, &query_r, true)?;
     // Map any leftover symbols to a fresh sink symbol so relabel is total.
     let sink = Symbol(u32::MAX);
     for (_, l, _) in slice_r.a6.transitions() {
@@ -145,9 +162,8 @@ fn raw_symbol_map(
         let stmt_s = regen.stmt_origin.get(&stmt_r)?;
         s_site_of_stmt.get(stmt_s).copied()
     };
-    let param_origin = |fname: &str, i: usize| -> Option<usize> {
-        regen.param_maps.get(fname)?.get(i).copied()
-    };
+    let param_origin =
+        |fname: &str, i: usize| -> Option<usize> { regen.param_maps.get(fname)?.get(i).copied() };
 
     let mut map: HashMap<Symbol, Symbol> = HashMap::new();
     let mut unmapped: Vec<String> = Vec::new();
@@ -172,8 +188,10 @@ fn raw_symbol_map(
             }
             VertexKind::ActualIn { site, slot } => r_site_to_s(*site).and_then(|s_site| {
                 let site_rec = sdg_s.call_site(s_site);
-                let is_lib =
-                    matches!(sdg_r.call_site(*site).callee, specslice_sdg::CalleeKind::Library(_));
+                let is_lib = matches!(
+                    sdg_r.call_site(*site).callee,
+                    specslice_sdg::CalleeKind::Library(_)
+                );
                 let slot_s = match slot {
                     // Library arguments are never renumbered; user-call
                     // params map through the callee variant's kept list.
@@ -189,8 +207,10 @@ fn raw_symbol_map(
             }),
             VertexKind::ActualOut { site, slot } => r_site_to_s(*site).and_then(|s_site| {
                 let site_rec = sdg_s.call_site(s_site);
-                let is_lib =
-                    matches!(sdg_r.call_site(*site).callee, specslice_sdg::CalleeKind::Library(_));
+                let is_lib = matches!(
+                    sdg_r.call_site(*site).callee,
+                    specslice_sdg::CalleeKind::Library(_)
+                );
                 let slot_s = match slot {
                     OutSlot::RefParam(i) if !is_lib => {
                         let callee_name = callee_name_r(sdg_r, *site);

@@ -1,0 +1,313 @@
+//! The [`Slicer`] session: one program, many slicing queries.
+//!
+//! Alg. 1's pipeline splits into *program-dependent* stages (frontend → SDG
+//! construction → PDS encoding → the reachable-configuration automaton) and
+//! *criterion-dependent* stages (query automaton → `Prestar` → MRD →
+//! read-out). The paper's entire evaluation slices each test program once
+//! per `printf` — a multi-criterion workload — and a naive client pays the
+//! program-dependent cost on every call. A `Slicer` runs those stages once
+//! at construction (the reachable automaton lazily, on the first criterion
+//! that needs it) and reuses them for every subsequent query, batch, feature
+//! removal, regeneration, or reslice check.
+
+use crate::criteria::{self, Criterion};
+use crate::encode::{self, Encoded, MAIN_CONTROL};
+use crate::readout::{self, SpecSlice};
+use crate::regen::{self, RegenOutput};
+use crate::reslice::{self, ResliceReport};
+use crate::{feature_removal, PipelineStats, SpecError};
+use specslice_fsa::mrd::mrd_with_stats;
+use specslice_fsa::Nfa;
+use specslice_lang::Program;
+use specslice_pds::prestar::prestar_with_stats;
+use specslice_pds::PAutomaton;
+use specslice_sdg::build::build_sdg;
+use specslice_sdg::Sdg;
+use std::cell::{Cell, OnceCell};
+
+/// Options for a [`Slicer`] session.
+///
+/// Options live here — not in per-call `_with_stats` / `_unchecked`
+/// function variants — so the call surface stays stable as knobs accrete.
+#[derive(Clone, Copy, Debug)]
+pub struct SlicerConfig {
+    /// Validate every read-out slice against the paper's Cor. 3.19
+    /// no-parameter-mismatch property (cheap; on by default). Turning it off
+    /// skips the post-hoc audit, not any part of the algorithm itself.
+    pub validate: bool,
+    /// Retain per-criterion [`PipelineStats`] in
+    /// [`BatchResult::per_criterion`]. Off keeps batch results lean on large
+    /// workloads; the (cheap, counter-read) aggregate is always computed,
+    /// and [`Slicer::slice_with_stats`] always returns stats.
+    pub collect_stats: bool,
+}
+
+impl Default for SlicerConfig {
+    fn default() -> Self {
+        SlicerConfig {
+            validate: true,
+            collect_stats: true,
+        }
+    }
+}
+
+/// The result of [`Slicer::slice_batch`]: per-criterion slices (in input
+/// order) plus stats.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// One specialization slice per input criterion, in order.
+    pub slices: Vec<SpecSlice>,
+    /// Per-criterion pipeline stats (empty when stats collection is off).
+    pub per_criterion: Vec<PipelineStats>,
+    /// Aggregate over `per_criterion` ([`PipelineStats::absorb`] semantics:
+    /// sums of per-query sizes, shared-encoding sizes kept once).
+    pub aggregate: PipelineStats,
+}
+
+/// A slicing session over one program: cached SDG, cached PDS encoding,
+/// lazily cached reachable-configuration automaton.
+///
+/// Construction runs everything that depends only on the program; every
+/// query method ([`slice`](Slicer::slice), [`slice_batch`](Slicer::slice_batch),
+/// [`remove_feature`](Slicer::remove_feature), …) reuses those caches. The
+/// session is cheap to keep alive and immutable — build one per program and
+/// share it across as many criteria as needed.
+#[derive(Debug)]
+pub struct Slicer {
+    program: Option<Program>,
+    sdg: Sdg,
+    enc: Encoded,
+    config: SlicerConfig,
+    /// `post*({⟨entry_main, ε⟩})` as an NFA — needed by all-contexts
+    /// criteria and feature removal; built on first use, then shared.
+    reachable: OnceCell<Nfa>,
+    reachable_builds: Cell<usize>,
+    queries_run: Cell<usize>,
+}
+
+impl Slicer {
+    /// Builds a session from MiniC source: frontend → SDG → PDS encoding,
+    /// all cached. Keeps the checked [`Program`] so
+    /// [`regenerate`](Slicer::regenerate) works.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Parse`] / [`SpecError::Sema`] from the frontend,
+    /// [`SpecError::SdgBuild`] from SDG construction.
+    pub fn from_source(src: &str) -> Result<Slicer, SpecError> {
+        Slicer::from_source_with(src, SlicerConfig::default())
+    }
+
+    /// [`from_source`](Slicer::from_source) with explicit options.
+    pub fn from_source_with(src: &str, config: SlicerConfig) -> Result<Slicer, SpecError> {
+        let program = specslice_lang::frontend(src)?;
+        Slicer::from_program_with(program, config)
+    }
+
+    /// Builds a session from an already-frontended program (normalized and
+    /// checked — e.g. the output of [`crate::indirect::lower_indirect_calls`]).
+    pub fn from_program(program: Program) -> Result<Slicer, SpecError> {
+        Slicer::from_program_with(program, SlicerConfig::default())
+    }
+
+    /// [`from_program`](Slicer::from_program) with explicit options.
+    pub fn from_program_with(program: Program, config: SlicerConfig) -> Result<Slicer, SpecError> {
+        let sdg = build_sdg(&program)?;
+        Ok(Slicer::assemble(Some(program), sdg, config))
+    }
+
+    /// Builds a session from a pre-built SDG. Source regeneration is
+    /// unavailable ([`regenerate`](Slicer::regenerate) reports
+    /// [`SpecError::Internal`]); everything else works.
+    pub fn from_sdg(sdg: Sdg) -> Result<Slicer, SpecError> {
+        Slicer::from_sdg_with(sdg, SlicerConfig::default())
+    }
+
+    /// [`from_sdg`](Slicer::from_sdg) with explicit options.
+    pub fn from_sdg_with(sdg: Sdg, config: SlicerConfig) -> Result<Slicer, SpecError> {
+        Ok(Slicer::assemble(None, sdg, config))
+    }
+
+    fn assemble(program: Option<Program>, sdg: Sdg, config: SlicerConfig) -> Slicer {
+        let enc = encode::encode_sdg(&sdg);
+        Slicer {
+            program,
+            sdg,
+            enc,
+            config,
+            reachable: OnceCell::new(),
+            reachable_builds: Cell::new(0),
+            queries_run: Cell::new(0),
+        }
+    }
+
+    /// The session's SDG.
+    pub fn sdg(&self) -> &Sdg {
+        &self.sdg
+    }
+
+    /// The checked program, when the session was built from source or AST.
+    pub fn program(&self) -> Option<&Program> {
+        self.program.as_ref()
+    }
+
+    /// The cached SDG→PDS encoding. The same instance is used by every
+    /// query of this session — it is built exactly once, at construction.
+    pub fn encoding(&self) -> &Encoded {
+        &self.enc
+    }
+
+    /// The session options.
+    pub fn config(&self) -> &SlicerConfig {
+        &self.config
+    }
+
+    /// How many times the reachable-configuration automaton was built
+    /// (0 until a criterion needs it, then 1 forever — it is cached).
+    pub fn reachable_builds(&self) -> usize {
+        self.reachable_builds.get()
+    }
+
+    /// Total queries answered by this session (slices, batch members, and
+    /// feature removals).
+    pub fn queries_run(&self) -> usize {
+        self.queries_run.get()
+    }
+
+    /// The cached `post*({⟨entry_main, ε⟩})` automaton.
+    fn reachable(&self) -> &Nfa {
+        self.reachable.get_or_init(|| {
+            self.reachable_builds.set(self.reachable_builds.get() + 1);
+            criteria::reachable_configurations(&self.sdg, &self.enc)
+        })
+    }
+
+    fn query(&self, criterion: &Criterion) -> Result<PAutomaton, SpecError> {
+        self.queries_run.set(self.queries_run.get() + 1);
+        let reachable = match criterion {
+            // Only all-contexts criteria consult the reachable automaton;
+            // don't force the cache for the others.
+            Criterion::AllContexts(_) => Some(self.reachable()),
+            _ => None,
+        };
+        criteria::query_automaton_reusing(&self.sdg, &self.enc, reachable, criterion)
+    }
+
+    /// Computes the specialization slice for `criterion` (Alg. 1), reusing
+    /// the session's cached encoding.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::BadCriterion`] for malformed criteria;
+    /// [`SpecError::Internal`] on invariant violations (a bug).
+    pub fn slice(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
+        let query = self.query(criterion)?;
+        run_query(&self.sdg, &self.enc, &query, self.config.validate).map(|(s, _)| s)
+    }
+
+    /// [`slice`](Slicer::slice) plus the automaton statistics the paper's
+    /// evaluation reports (always collected, regardless of
+    /// [`SlicerConfig::collect_stats`]).
+    pub fn slice_with_stats(
+        &self,
+        criterion: &Criterion,
+    ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+        let query = self.query(criterion)?;
+        run_query(&self.sdg, &self.enc, &query, self.config.validate)
+    }
+
+    /// Slices every criterion in `criteria`, sharing the per-program work
+    /// (encoding, reachable automaton) across the whole batch.
+    ///
+    /// Results come back in input order, one [`SpecSlice`] per criterion —
+    /// element `i` is identical to what `slice(&criteria[i])` returns. The
+    /// batch stops at the first error, identifying the offending criterion
+    /// by index in the message.
+    pub fn slice_batch(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
+        let mut slices = Vec::with_capacity(criteria.len());
+        let mut per_criterion = Vec::new();
+        let mut aggregate = PipelineStats::default();
+        for (i, criterion) in criteria.iter().enumerate() {
+            let query = self.query(criterion).map_err(|e| match e {
+                SpecError::BadCriterion { reason } => SpecError::BadCriterion {
+                    reason: format!("criterion #{i}: {reason}"),
+                },
+                other => other,
+            })?;
+            let (slice, stats) = run_query(&self.sdg, &self.enc, &query, self.config.validate)?;
+            slices.push(slice);
+            aggregate.absorb(&stats);
+            if self.config.collect_stats {
+                per_criterion.push(stats);
+            }
+        }
+        Ok(BatchResult {
+            slices,
+            per_criterion,
+            aggregate,
+        })
+    }
+
+    /// Removes the feature identified by the forward stack-configuration
+    /// slice from `criterion` (Alg. 2 / §7), reusing the cached encoding
+    /// *and* the cached reachable automaton (which Alg. 2 always needs).
+    pub fn remove_feature(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
+        self.queries_run.set(self.queries_run.get() + 1);
+        feature_removal::remove_feature_reusing(&self.sdg, &self.enc, self.reachable(), criterion)
+    }
+
+    /// Regenerates executable MiniC source for a slice of this session's
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Internal`] when the session was built with
+    /// [`from_sdg`](Slicer::from_sdg) (no program to regenerate from), or
+    /// when the slice violates regeneration invariants (a bug).
+    pub fn regenerate(&self, slice: &SpecSlice) -> Result<RegenOutput, SpecError> {
+        let program = self.program.as_ref().ok_or_else(|| {
+            SpecError::internal(
+                "regen",
+                "session was built from an SDG only; use Slicer::from_source / \
+                 from_program to enable source regeneration",
+            )
+        })?;
+        regen::regenerate(&self.sdg, program, slice)
+    }
+
+    /// Runs the §8.3 reslicing self-check for a completed slice of this
+    /// session, reusing the session's encoding for the original program.
+    pub fn reslice_check(
+        &self,
+        criterion: &Criterion,
+        slice: &SpecSlice,
+        regen: &RegenOutput,
+    ) -> Result<ResliceReport, SpecError> {
+        reslice::reslice_check_reusing(&self.sdg, &self.enc, criterion, slice, regen)
+    }
+}
+
+/// The criterion-dependent tail of Alg. 1: `Prestar` → trim → MRD →
+/// read-out. Shared by the session methods and the one-shot
+/// [`crate::specialize`].
+pub(crate) fn run_query(
+    sdg: &Sdg,
+    enc: &Encoded,
+    query: &PAutomaton,
+    validate: bool,
+) -> Result<(SpecSlice, PipelineStats), SpecError> {
+    let (a1, prestats) = prestar_with_stats(&enc.pds, query);
+    let a1_nfa = a1.to_nfa(MAIN_CONTROL);
+    let (a1_trim, _) = a1_nfa.trimmed();
+    let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
+    let slice = readout::read_out_with(sdg, enc, &a6, validate)?;
+    let stats = PipelineStats {
+        pds_rules: enc.pds.rule_count(),
+        prestar_transitions: prestats.transitions,
+        prestar_peak_bytes: prestats.peak_bytes,
+        a1_states: a1_trim.state_count(),
+        a1_transitions: a1_trim.transition_count(),
+        mrd: mrd_stats,
+    };
+    Ok((slice, stats))
+}

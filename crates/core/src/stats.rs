@@ -40,11 +40,7 @@ impl SliceStats {
 
 /// Computes statistics for `slice` against the closure slice from
 /// `criterion_vertices` (the element-level criterion).
-pub fn slice_stats(
-    sdg: &Sdg,
-    slice: &SpecSlice,
-    criterion_vertices: &[VertexId],
-) -> SliceStats {
+pub fn slice_stats(sdg: &Sdg, slice: &SpecSlice, criterion_vertices: &[VertexId]) -> SliceStats {
     let closure = backward_closure_slice(sdg, criterion_vertices);
     let elems = slice.elems();
 
@@ -53,7 +49,7 @@ pub fn slice_stats(
         *per_proc.entry(v.proc).or_insert(0) += 1;
     }
     let mut variant_histogram: BTreeMap<usize, usize> = BTreeMap::new();
-    for (_, n) in &per_proc {
+    for n in per_proc.values() {
         *variant_histogram.entry(*n).or_insert(0) += 1;
     }
     let max_variants = per_proc.values().copied().max().unwrap_or(0);
@@ -96,11 +92,7 @@ pub fn elements_outside_closure(
     criterion_vertices: &[VertexId],
 ) -> BTreeSet<VertexId> {
     let closure = backward_closure_slice(sdg, criterion_vertices);
-    slice
-        .elems()
-        .difference(&closure)
-        .copied()
-        .collect()
+    slice.elems().difference(&closure).copied().collect()
 }
 
 /// Checks element-level completeness for all-contexts criteria: every

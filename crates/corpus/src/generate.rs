@@ -9,8 +9,7 @@
 //! called from several sites, globals written by some callees and read by
 //! others, early returns, and `printf`/`scanf` I/O.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 use std::fmt::Write;
 
 /// Tuning knobs for [`random_program`].
@@ -105,9 +104,7 @@ impl Gen {
         self_sig: Option<&(String, usize, bool, bool)>,
     ) -> String {
         // Choose callee: previous function, or self (guarded).
-        let use_self = self.cfg.recursion
-            && self_sig.is_some()
-            && self.rng.gen_bool(0.3);
+        let use_self = self.cfg.recursion && self_sig.is_some() && self.rng.gen_bool(0.3);
         let (name, n_params, has_ref, returns) = if use_self {
             self_sig.expect("checked").clone()
         } else if self.sigs.is_empty() {
@@ -176,9 +173,7 @@ impl Gen {
                 *loop_counter += 1;
                 let bound = self.rng.gen_range(2..5);
                 let body = self.stmt(readable, locals, self_sig, loop_counter, 0);
-                format!(
-                    "{lc} = 0; while ({lc} < {bound}) {{ {body} {lc} = {lc} + 1; }}"
-                )
+                format!("{lc} = 0; while ({lc} < {bound}) {{ {body} {lc} = {lc} + 1; }}")
             }
             6 => {
                 let c = self.cond(readable);
@@ -240,11 +235,7 @@ impl Gen {
             let e = self.expr(&readable, 1);
             let _ = writeln!(body, "return {e};");
         }
-        let _ = writeln!(
-            self.out,
-            "{ret} {name}({}) {{\n{body}}}",
-            params.join(", ")
-        );
+        let _ = writeln!(self.out, "{ret} {name}({}) {{\n{body}}}", params.join(", "));
         self.sigs.push(sig);
     }
 

@@ -22,6 +22,7 @@
 
 pub mod examples;
 pub mod generate;
+pub mod rng;
 
 pub use generate::{random_program, GenConfig};
 

@@ -1,0 +1,98 @@
+//! A tiny deterministic PRNG (SplitMix64) standing in for the `rand` crate.
+//!
+//! The corpus only needs seeded, reproducible, uniform-ish draws for program
+//! generation — not cryptographic or statistical quality — so a vendored
+//! 20-line generator keeps the workspace dependency-free.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeded deterministic generator with the subset of the `rand::Rng` API the
+/// program generator uses.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The SplitMix64 step.
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from a range (panics if empty, like `rand`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> usize {
+        let (lo, hi_incl) = range.bounds();
+        assert!(lo <= hi_incl, "gen_range called with an empty range");
+        let span = (hi_incl - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+/// Ranges accepted by [`StdRng::gen_range`].
+pub trait SampleRange {
+    /// The inclusive `(low, high)` bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SampleRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.end > 0, "empty range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..9);
+            assert!((3..9).contains(&v));
+            let w = r.gen_range(1..=3);
+            assert!((1..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!r.gen_bool(0.0));
+            assert!(r.gen_bool(1.0));
+        }
+    }
+}

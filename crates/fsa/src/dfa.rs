@@ -83,9 +83,10 @@ impl Dfa {
 
     /// Iterates over every transition `(from, sym, to)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
-        self.trans.iter().enumerate().flat_map(|(i, m)| {
-            m.iter().map(move |(&s, &t)| (StateId(i as u32), s, t))
-        })
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(i, m)| m.iter().map(move |(&s, &t)| (StateId(i as u32), s, t)))
     }
 
     /// Whether the DFA accepts `word`.

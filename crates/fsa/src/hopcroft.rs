@@ -29,7 +29,7 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     let mut class: Vec<u32> = (0..n)
         .map(|i| u32::from(trimmed.is_final(StateId(i as u32))))
         .collect();
-    let mut n_classes = if class.iter().any(|&c| c == 0) && class.iter().any(|&c| c == 1) {
+    let mut n_classes = if class.contains(&0) && class.contains(&1) {
         2
     } else {
         1
@@ -104,7 +104,7 @@ pub fn trim(dfa: &Dfa) -> Dfa {
     reach[dfa.initial().index()] = true;
     let mut work = vec![dfa.initial()];
     while let Some(q) = work.pop() {
-        for (_, &t) in dfa.transitions_from(q) {
+        for &t in dfa.transitions_from(q).values() {
             if !reach[t.index()] {
                 reach[t.index()] = true;
                 work.push(t);
@@ -184,12 +184,7 @@ mod tests {
         let m = minimize(&d);
         assert_eq!(m.state_count(), 2);
         let (a, b) = (sym(0), sym(1));
-        for w in [
-            vec![a],
-            vec![a, b],
-            vec![a, b, b],
-            vec![a, b, b, b],
-        ] {
+        for w in [vec![a], vec![a, b], vec![a, b, b], vec![a, b, b, b]] {
             assert!(m.accepts(&w), "{w:?}");
         }
         assert!(!m.accepts(&[b]));

@@ -47,7 +47,7 @@ pub fn mrd(a1: &Nfa) -> Nfa {
 
 /// Size observations made during the MRD pipeline (used by the `det-shrink`
 /// experiment).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MrdStats {
     /// States of the input automaton `A1`.
     pub input_states: usize,

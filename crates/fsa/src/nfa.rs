@@ -104,9 +104,10 @@ impl Nfa {
 
     /// Iterates over every transition `(from, label, to)`.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Option<Symbol>, StateId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(i, ts)| {
-            ts.iter().map(move |&(l, t)| (StateId(i as u32), l, t))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ts)| ts.iter().map(move |&(l, t)| (StateId(i as u32), l, t)))
     }
 
     /// The set of symbols that occur on transitions.

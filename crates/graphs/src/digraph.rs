@@ -134,9 +134,10 @@ impl DiGraph {
 
     /// Iterates over all edges as `(from, to)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.succ.iter().enumerate().flat_map(|(i, outs)| {
-            outs.iter().map(move |&t| (NodeId(i as u32), t))
-        })
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(i, outs)| outs.iter().map(move |&t| (NodeId(i as u32), t)))
     }
 
     /// Builds the reverse graph (every edge flipped).
@@ -153,7 +154,7 @@ impl DiGraph {
     pub fn reverse_post_order(&self, root: NodeId) -> Vec<NodeId> {
         let mut order = Vec::with_capacity(self.node_count());
         let mut state = vec![0u8; self.node_count()]; // 0 unvisited, 1 open, 2 done
-        // Iterative DFS with an explicit stack of (node, next-successor-index).
+                                                      // Iterative DFS with an explicit stack of (node, next-successor-index).
         let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
         state[root.index()] = 1;
         while let Some(&mut (n, ref mut i)) = stack.last_mut() {
@@ -228,8 +229,7 @@ mod tests {
         let rpo = g.reverse_post_order(a);
         assert_eq!(rpo[0], a);
         assert_eq!(*rpo.last().unwrap(), d);
-        let pos =
-            |n: NodeId| rpo.iter().position(|&x| x == n).unwrap();
+        let pos = |n: NodeId| rpo.iter().position(|&x| x == n).unwrap();
         assert!(pos(a) < pos(b) && pos(a) < pos(c));
         assert!(pos(b) < pos(d) && pos(c) < pos(d));
     }

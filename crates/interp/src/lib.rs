@@ -337,9 +337,7 @@ impl<'p> Interp<'p> {
                     for (p, a) in func.params.iter().zip(&c.args) {
                         args.push(self.eval(a, frame, line)?);
                         ref_backs.push(match (p.mode, a) {
-                            (specslice_lang::ast::ParamMode::Ref, Expr::Var(v)) => {
-                                Some(v.clone())
-                            }
+                            (specslice_lang::ast::ParamMode::Ref, Expr::Var(v)) => Some(v.clone()),
                             _ => None,
                         });
                     }

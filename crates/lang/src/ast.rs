@@ -431,7 +431,11 @@ mod tests {
     fn expr_vars_dedup_in_order() {
         let e = Expr::Binary(
             BinOp::Add,
-            Box::new(Expr::Binary(BinOp::Mul, Box::new(var("b")), Box::new(var("a")))),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(var("b")),
+                Box::new(var("a")),
+            )),
             Box::new(var("b")),
         );
         assert_eq!(e.vars(), vec!["b".to_string(), "a".to_string()]);

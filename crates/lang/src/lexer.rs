@@ -40,7 +40,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 i += 2;
                 loop {
                     if i + 1 >= bytes.len() {
-                        return Err(LangError::new(start_line, "unterminated block comment"));
+                        return Err(LangError::lex(start_line, "unterminated block comment"));
                     }
                     if bytes[i] == b'\n' {
                         line += 1;
@@ -58,7 +58,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(LangError::new(start_line, "unterminated string literal"));
+                        return Err(LangError::lex(start_line, "unterminated string literal"));
                     }
                     match bytes[i] {
                         b'"' => {
@@ -74,7 +74,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                                 b'"' => '"',
                                 b'0' => '\0',
                                 other => {
-                                    return Err(LangError::new(
+                                    return Err(LangError::lex(
                                         line,
                                         format!("unknown escape `\\{}`", other as char),
                                     ))
@@ -83,7 +83,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                             i += 2;
                         }
                         b'\n' => {
-                            return Err(LangError::new(start_line, "newline in string literal"))
+                            return Err(LangError::lex(start_line, "newline in string literal"))
                         }
                         other => {
                             s.push(other as char);
@@ -99,16 +99,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     i += 1;
                 }
                 let text = &src[start..i];
-                let value: i64 = text
-                    .parse()
-                    .map_err(|_| LangError::new(line, format!("integer literal `{text}` too large")))?;
+                let value: i64 = text.parse().map_err(|_| {
+                    LangError::lex(line, format!("integer literal `{text}` too large"))
+                })?;
                 push!(TokenKind::Number(value));
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let word = &src[start..i];
@@ -155,7 +153,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                         b'/' => (TokenKind::Slash, 1),
                         b'%' => (TokenKind::Percent, 1),
                         other => {
-                            return Err(LangError::new(
+                            return Err(LangError::lex(
                                 line,
                                 format!("unexpected character `{}`", other as char),
                             ))

@@ -45,31 +45,94 @@ pub use pretty::pretty;
 
 use std::fmt;
 
-/// Errors produced by the MiniC frontend (lexing, parsing, semantic checks).
+/// Errors produced by the MiniC frontend, tagged by the stage that rejected
+/// the program (so downstream error types can classify without string
+/// matching).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct LangError {
-    /// 1-based source line where the problem was detected (0 when unknown).
-    pub line: u32,
-    /// Human-readable description.
-    pub message: String,
+pub enum LangError {
+    /// Lexical error (bad character, unterminated literal, …).
+    Lex {
+        /// 1-based source line (0 when unknown).
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error from the recursive-descent parser.
+    Parse {
+        /// 1-based source line (0 when unknown).
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Semantic error (undeclared names, arity mismatches, aliasing, …).
+    Sema {
+        /// 1-based source line (0 when unknown).
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl LangError {
-    /// Creates an error attached to `line`.
-    pub fn new(line: u32, message: impl Into<String>) -> Self {
-        LangError {
+    /// Creates a lexical error attached to `line`.
+    pub fn lex(line: u32, message: impl Into<String>) -> Self {
+        LangError::Lex {
             line,
             message: message.into(),
         }
+    }
+
+    /// Creates a syntax error attached to `line`.
+    pub fn parse(line: u32, message: impl Into<String>) -> Self {
+        LangError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Creates a semantic error attached to `line`.
+    pub fn sema(line: u32, message: impl Into<String>) -> Self {
+        LangError::Sema {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based source line (0 when unknown).
+    pub fn line(&self) -> u32 {
+        match self {
+            LangError::Lex { line, .. }
+            | LangError::Parse { line, .. }
+            | LangError::Sema { line, .. } => *line,
+        }
+    }
+
+    /// The message without the line prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            LangError::Lex { message, .. }
+            | LangError::Parse { message, .. }
+            | LangError::Sema { message, .. } => message,
+        }
+    }
+
+    /// `true` for semantic (as opposed to lexical/syntax) errors.
+    pub fn is_sema(&self) -> bool {
+        matches!(self, LangError::Sema { .. })
     }
 }
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.line == 0 {
-            write!(f, "{}", self.message)
+        let stage = match self {
+            LangError::Lex { .. } => "lex",
+            LangError::Parse { .. } => "parse",
+            LangError::Sema { .. } => "sema",
+        };
+        if self.line() == 0 {
+            write!(f, "{stage} error: {}", self.message())
         } else {
-            write!(f, "line {}: {}", self.line, self.message)
+            write!(f, "{stage} error: line {}: {}", self.line(), self.message())
         }
     }
 }

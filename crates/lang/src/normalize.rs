@@ -76,9 +76,7 @@ fn hoist_block(block: &mut Block, tmp: &mut usize) {
                 if let Some(e) = init {
                     if let Expr::Call(_) = e {
                         // `int x = f();` → `int x; x = f();`
-                        let Expr::Call(mut call) =
-                            std::mem::replace(e, Expr::Int(0))
-                        else {
+                        let Expr::Call(mut call) = std::mem::replace(e, Expr::Int(0)) else {
                             unreachable!()
                         };
                         for a in &mut call.args {
@@ -232,7 +230,10 @@ mod tests {
     /// Collects all statements of a function as a flat list.
     fn stmts(p: &Program, f: &str) -> Vec<StmtKind> {
         let mut out = Vec::new();
-        p.function(f).unwrap().body.visit(&mut |s| out.push(s.kind.clone()));
+        p.function(f)
+            .unwrap()
+            .body
+            .visit(&mut |s| out.push(s.kind.clone()));
         out
     }
 
@@ -254,10 +255,7 @@ mod tests {
         });
         // Two inner calls hoisted, outer call became a Call stmt at parse time.
         let m = stmts(&p, "main");
-        let call_count = m
-            .iter()
-            .filter(|k| matches!(k, StmtKind::Call(_)))
-            .count();
+        let call_count = m.iter().filter(|k| matches!(k, StmtKind::Call(_))).count();
         assert_eq!(call_count, 3);
     }
 
@@ -269,13 +267,13 @@ mod tests {
         );
         let m = stmts(&p, "main");
         // The while loop now has constant condition 1 and a guarded break.
-        let found = m.iter().any(|k| {
-            matches!(k, StmtKind::While { cond, .. } if matches!(cond, Expr::Int(1)))
-        });
+        let found = m
+            .iter()
+            .any(|k| matches!(k, StmtKind::While { cond, .. } if matches!(cond, Expr::Int(1))));
         assert!(found, "while not rewritten: {m:?}");
-        let has_break_guard = m.iter().any(|k| {
-            matches!(k, StmtKind::If { cond, .. } if matches!(cond, Expr::Unary(UnOp::Not, _)))
-        });
+        let has_break_guard = m.iter().any(
+            |k| matches!(k, StmtKind::If { cond, .. } if matches!(cond, Expr::Unary(UnOp::Not, _))),
+        );
         assert!(has_break_guard);
     }
 
@@ -307,9 +305,7 @@ mod tests {
         let p = norm("int f() { return 1; } int main() { int x = f(); return x; }");
         let m = stmts(&p, "main");
         assert!(matches!(&m[0], StmtKind::Decl { init: None, .. }));
-        assert!(
-            matches!(&m[1], StmtKind::Call(c) if c.assign_to.as_deref() == Some("x"))
-        );
+        assert!(matches!(&m[1], StmtKind::Call(c) if c.assign_to.as_deref() == Some("x")));
     }
 
     #[test]

@@ -85,7 +85,7 @@ impl Parser {
     }
 
     fn error(&self, message: String) -> LangError {
-        LangError::new(self.line(), message)
+        LangError::parse(self.line(), message)
     }
 
     // program := (global_decl | func)*
@@ -343,12 +343,13 @@ impl Parser {
                         }
                     }
                 } else {
-                    Err(self.error(format!(
-                        "expected `=` or `(` after identifier `{name}`"
-                    )))
+                    Err(self.error(format!("expected `=` or `(` after identifier `{name}`")))
                 }
             }
-            other => Err(self.error(format!("unexpected {} at start of statement", other.describe()))),
+            other => Err(self.error(format!(
+                "unexpected {} at start of statement",
+                other.describe()
+            ))),
         }
     }
 
@@ -494,7 +495,7 @@ impl Parser {
                 self.expect(TokenKind::RParen)?;
                 Ok(e)
             }
-            other => Err(LangError::new(
+            other => Err(LangError::parse(
                 line,
                 format!("expected expression, found {}", other.describe()),
             )),
@@ -506,11 +507,11 @@ fn exprs_only(args: Vec<PArg>, line: u32) -> Result<Vec<Expr>, LangError> {
     args.into_iter()
         .map(|a| match a {
             PArg::Expr(e) => Ok(e),
-            PArg::Ref(_) => Err(LangError::new(
+            PArg::Ref(_) => Err(LangError::parse(
                 line,
                 "`&` arguments are only allowed in scanf".to_string(),
             )),
-            PArg::Str(_) => Err(LangError::new(
+            PArg::Str(_) => Err(LangError::parse(
                 line,
                 "string arguments are only allowed as printf/scanf formats".to_string(),
             )),
@@ -673,7 +674,7 @@ mod tests {
     #[test]
     fn error_messages_carry_lines() {
         let err = parse("int main() {\n  x 5;\n}").unwrap_err();
-        assert_eq!(err.line, 2);
+        assert_eq!(err.line(), 2);
     }
 
     #[test]

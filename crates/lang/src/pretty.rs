@@ -286,9 +286,7 @@ mod tests {
 
     #[test]
     fn escape_in_formats() {
-        let p = normalize(
-            parse(r#"int main() { printf("a\n\t\"b\""); return 0; }"#).unwrap(),
-        );
+        let p = normalize(parse(r#"int main() { printf("a\n\t\"b\""); return 0; }"#).unwrap());
         roundtrip(&pretty(&p));
     }
 

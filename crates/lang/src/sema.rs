@@ -33,7 +33,7 @@ pub fn check(program: &Program) -> Result<(), LangError> {
         checker.check_function(f)?;
     }
     if program.main().is_none() {
-        return Err(LangError::new(0, "program has no `main` function"));
+        return Err(LangError::sema(0, "program has no `main` function"));
     }
     Ok(())
 }
@@ -69,13 +69,13 @@ impl<'p> Checker<'p> {
         let mut seen = HashMap::new();
         for f in &program.functions {
             if seen.insert(f.name.clone(), ()).is_some() {
-                return Err(LangError::new(
+                return Err(LangError::sema(
                     f.line,
                     format!("duplicate function `{}`", f.name),
                 ));
             }
             if matches!(f.name.as_str(), "printf" | "scanf" | "exit") {
-                return Err(LangError::new(
+                return Err(LangError::sema(
                     f.line,
                     format!("`{}` is a reserved library procedure", f.name),
                 ));
@@ -84,10 +84,10 @@ impl<'p> Checker<'p> {
         let mut gseen = HashMap::new();
         for g in &program.globals {
             if gseen.insert(g.clone(), ()).is_some() {
-                return Err(LangError::new(0, format!("duplicate global `{g}`")));
+                return Err(LangError::sema(0, format!("duplicate global `{g}`")));
             }
             if seen.contains_key(g) {
-                return Err(LangError::new(
+                return Err(LangError::sema(
                     0,
                     format!("global `{g}` has the same name as a function"),
                 ));
@@ -121,7 +121,7 @@ impl<'p> Checker<'p> {
                     return;
                 }
                 if env.insert(name.clone(), *ty).is_some() {
-                    decl_err = Some(LangError::new(
+                    decl_err = Some(LangError::sema(
                         s.line,
                         format!("duplicate local `{name}` in `{}`", f.name),
                     ));
@@ -136,19 +136,19 @@ impl<'p> Checker<'p> {
 
     fn check_fresh_name(&self, name: &str, line: u32, env: &Env) -> Result<(), LangError> {
         if self.sigs.contains_key(name) {
-            return Err(LangError::new(
+            return Err(LangError::sema(
                 line,
                 format!("`{name}` shadows a function name"),
             ));
         }
         if self.program.is_global(name) {
-            return Err(LangError::new(
+            return Err(LangError::sema(
                 line,
                 format!("`{name}` shadows a global variable"),
             ));
         }
         if env.contains_key(name) {
-            return Err(LangError::new(line, format!("duplicate name `{name}`")));
+            return Err(LangError::sema(line, format!("duplicate name `{name}`")));
         }
         Ok(())
     }
@@ -160,7 +160,10 @@ impl<'p> Checker<'p> {
         if self.program.is_global(name) {
             return Ok(Type::Int);
         }
-        Err(LangError::new(line, format!("undeclared variable `{name}`")))
+        Err(LangError::sema(
+            line,
+            format!("undeclared variable `{name}`"),
+        ))
     }
 
     fn expr_type(&self, e: &Expr, env: &Env, line: u32) -> Result<Type, LangError> {
@@ -168,13 +171,12 @@ impl<'p> Checker<'p> {
             Expr::Int(_) => Ok(Type::Int),
             Expr::Var(v) => self.var_type(v, env, line),
             Expr::FuncRef(f) => {
-                let sig = self.sigs.get(f).ok_or_else(|| {
-                    LangError::new(line, format!("unknown function `{f}`"))
-                })?;
-                if sig.ret != RetKind::Int
-                    || sig.params.iter().any(|m| *m != ParamMode::Value)
-                {
-                    return Err(LangError::new(
+                let sig = self
+                    .sigs
+                    .get(f)
+                    .ok_or_else(|| LangError::sema(line, format!("unknown function `{f}`")))?;
+                if sig.ret != RetKind::Int || sig.params.iter().any(|m| *m != ParamMode::Value) {
+                    return Err(LangError::sema(
                         line,
                         format!(
                             "cannot take the address of `{f}`: only `int` functions \
@@ -196,7 +198,7 @@ impl<'p> Checker<'p> {
                 match op {
                     BinOp::Eq | BinOp::Ne => {
                         if ta != tb {
-                            return Err(LangError::new(
+                            return Err(LangError::sema(
                                 line,
                                 "comparison between incompatible types".to_string(),
                             ));
@@ -205,7 +207,7 @@ impl<'p> Checker<'p> {
                     }
                     _ => {
                         if ta != Type::Int || tb != Type::Int {
-                            return Err(LangError::new(
+                            return Err(LangError::sema(
                                 line,
                                 format!("operator `{}` requires int operands", op.symbol()),
                             ));
@@ -214,7 +216,7 @@ impl<'p> Checker<'p> {
                     }
                 }
             }
-            Expr::Call(_) => Err(LangError::new(
+            Expr::Call(_) => Err(LangError::sema(
                 line,
                 "internal: call in expression position after normalization".to_string(),
             )),
@@ -223,7 +225,10 @@ impl<'p> Checker<'p> {
 
     fn expect_int(&self, e: &Expr, env: &Env, line: u32) -> Result<(), LangError> {
         if self.expr_type(e, env, line)? != Type::Int {
-            return Err(LangError::new(line, "expected an int expression".to_string()));
+            return Err(LangError::sema(
+                line,
+                "expected an int expression".to_string(),
+            ));
         }
         Ok(())
     }
@@ -254,7 +259,7 @@ impl<'p> Checker<'p> {
                 if let Some(e) = init {
                     let t = self.expr_type(e, env, line)?;
                     if t != *ty {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("initializer type mismatch for `{name}`"),
                         ));
@@ -266,7 +271,7 @@ impl<'p> Checker<'p> {
                 let tv = self.var_type(name, env, line)?;
                 let te = self.expr_type(value, env, line)?;
                 if tv != te {
-                    return Err(LangError::new(
+                    return Err(LangError::sema(
                         line,
                         format!("assignment type mismatch for `{name}`"),
                     ));
@@ -285,7 +290,7 @@ impl<'p> Checker<'p> {
             } => {
                 for t in targets {
                     if self.var_type(t, env, line)? != Type::Int {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("scanf target `{t}` must be int"),
                         ));
@@ -293,7 +298,7 @@ impl<'p> Checker<'p> {
                 }
                 if let Some(t) = assign_to {
                     if self.var_type(t, env, line)? != Type::Int {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("scanf result target `{t}` must be int"),
                         ));
@@ -319,7 +324,7 @@ impl<'p> Checker<'p> {
                 self.check_block(body, f, env, loop_depth + 1)
             }
             StmtKind::Return { value } => match (f.ret, value) {
-                (RetKind::Void, Some(_)) => Err(LangError::new(
+                (RetKind::Void, Some(_)) => Err(LangError::sema(
                     line,
                     format!("`{}` is void but returns a value", f.name),
                 )),
@@ -328,14 +333,17 @@ impl<'p> Checker<'p> {
             },
             StmtKind::Break => {
                 if loop_depth == 0 {
-                    Err(LangError::new(line, "`break` outside of a loop".to_string()))
+                    Err(LangError::sema(
+                        line,
+                        "`break` outside of a loop".to_string(),
+                    ))
                 } else {
                     Ok(())
                 }
             }
             StmtKind::Continue => {
                 if loop_depth == 0 {
-                    Err(LangError::new(
+                    Err(LangError::sema(
                         line,
                         "`continue` outside of a loop".to_string(),
                     ))
@@ -350,13 +358,14 @@ impl<'p> Checker<'p> {
         match &c.callee {
             Callee::Named(name) => {
                 if name == "main" {
-                    return Err(LangError::new(line, "calling `main` is not allowed"));
+                    return Err(LangError::sema(line, "calling `main` is not allowed"));
                 }
-                let sig = self.sigs.get(name).ok_or_else(|| {
-                    LangError::new(line, format!("unknown function `{name}`"))
-                })?;
+                let sig = self
+                    .sigs
+                    .get(name)
+                    .ok_or_else(|| LangError::sema(line, format!("unknown function `{name}`")))?;
                 if sig.params.len() != c.args.len() {
-                    return Err(LangError::new(
+                    return Err(LangError::sema(
                         line,
                         format!(
                             "`{name}` expects {} argument(s), got {}",
@@ -372,13 +381,13 @@ impl<'p> Checker<'p> {
                         ParamMode::Ref => match arg {
                             Expr::Var(v) => {
                                 if self.var_type(v, env, line)? != Type::Int {
-                                    return Err(LangError::new(
+                                    return Err(LangError::sema(
                                         line,
                                         format!("by-ref actual `{v}` must be int"),
                                     ));
                                 }
                                 if self.program.is_global(v) {
-                                    return Err(LangError::new(
+                                    return Err(LangError::sema(
                                         line,
                                         format!(
                                             "global `{v}` passed by reference to `{name}` \
@@ -387,7 +396,7 @@ impl<'p> Checker<'p> {
                                     ));
                                 }
                                 if ref_actuals.contains(&v.as_str()) {
-                                    return Err(LangError::new(
+                                    return Err(LangError::sema(
                                         line,
                                         format!(
                                             "`{v}` passed by reference twice in one call \
@@ -398,37 +407,35 @@ impl<'p> Checker<'p> {
                                 ref_actuals.push(v);
                             }
                             _ => {
-                                return Err(LangError::new(
+                                return Err(LangError::sema(
                                     line,
                                     format!("by-ref argument of `{name}` must be a variable"),
                                 ))
                             }
                         },
-                        ParamMode::FnPtr { arity } => {
-                            match self.expr_type(arg, env, line)? {
-                                Type::FnPtr { arity: a } if a == *arity => {}
-                                _ => {
-                                    return Err(LangError::new(
-                                        line,
-                                        format!(
-                                            "argument of `{name}` must be a function \
+                        ParamMode::FnPtr { arity } => match self.expr_type(arg, env, line)? {
+                            Type::FnPtr { arity: a } if a == *arity => {}
+                            _ => {
+                                return Err(LangError::sema(
+                                    line,
+                                    format!(
+                                        "argument of `{name}` must be a function \
                                              pointer of arity {arity}"
-                                        ),
-                                    ))
-                                }
+                                    ),
+                                ))
                             }
-                        }
+                        },
                     }
                 }
                 if let Some(t) = &c.assign_to {
                     if sig.ret != RetKind::Int {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("void function `{name}` used as a value"),
                         ));
                     }
                     if self.var_type(t, env, line)? != Type::Int {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("call result target `{t}` must be int"),
                         ));
@@ -440,14 +447,14 @@ impl<'p> Checker<'p> {
                 let arity = match self.var_type(v, env, line)? {
                     Type::FnPtr { arity } => arity,
                     _ => {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("`{v}` is not a function pointer"),
                         ))
                     }
                 };
                 if arity != c.args.len() {
-                    return Err(LangError::new(
+                    return Err(LangError::sema(
                         line,
                         format!(
                             "indirect call through `{v}` expects {arity} argument(s), got {}",
@@ -460,7 +467,7 @@ impl<'p> Checker<'p> {
                 }
                 if let Some(t) = &c.assign_to {
                     if self.var_type(t, env, line)? != Type::Int {
-                        return Err(LangError::new(
+                        return Err(LangError::sema(
                             line,
                             format!("call result target `{t}` must be int"),
                         ));
@@ -505,60 +512,57 @@ mod tests {
     #[test]
     fn rejects_undeclared_variable() {
         let e = sema("int main() { x = 1; return 0; }").unwrap_err();
-        assert!(e.message.contains("undeclared"), "{e}");
+        assert!(e.message().contains("undeclared"), "{e}");
     }
 
     #[test]
     fn rejects_missing_main() {
         let e = sema("int f() { return 1; }").unwrap_err();
-        assert!(e.message.contains("main"), "{e}");
+        assert!(e.message().contains("main"), "{e}");
     }
 
     #[test]
     fn rejects_arity_mismatch() {
         let e = sema("void f(int a) {} int main() { f(1, 2); return 0; }").unwrap_err();
-        assert!(e.message.contains("argument"), "{e}");
+        assert!(e.message().contains("argument"), "{e}");
     }
 
     #[test]
     fn rejects_global_shadowing() {
         let e = sema("int g; int main() { int g; return 0; }").unwrap_err();
-        assert!(e.message.contains("shadows"), "{e}");
+        assert!(e.message().contains("shadows"), "{e}");
     }
 
     #[test]
     fn rejects_global_by_ref() {
         let e =
             sema("int g; void f(int& x) { x = 1; } int main() { f(g); return 0; }").unwrap_err();
-        assert!(e.message.contains("alias"), "{e}");
+        assert!(e.message().contains("alias"), "{e}");
     }
 
     #[test]
     fn rejects_duplicate_ref_actual() {
-        let e = sema(
-            "void f(int& x, int& y) { x = y; } int main() { int v; f(v, v); return 0; }",
-        )
-        .unwrap_err();
-        assert!(e.message.contains("alias"), "{e}");
+        let e = sema("void f(int& x, int& y) { x = y; } int main() { int v; f(v, v); return 0; }")
+            .unwrap_err();
+        assert!(e.message().contains("alias"), "{e}");
     }
 
     #[test]
     fn rejects_break_outside_loop() {
         let e = sema("int main() { break; return 0; }").unwrap_err();
-        assert!(e.message.contains("break"), "{e}");
+        assert!(e.message().contains("break"), "{e}");
     }
 
     #[test]
     fn rejects_void_value_use() {
         let e = sema("void f() {} int main() { int x; x = f(); return 0; }").unwrap_err();
-        assert!(e.message.contains("void"), "{e}");
+        assert!(e.message().contains("void"), "{e}");
     }
 
     #[test]
     fn rejects_ref_actual_that_is_expression() {
-        let e = sema("void f(int& x) { x = 1; } int main() { f(1 + 2); return 0; }")
-            .unwrap_err();
-        assert!(e.message.contains("variable"), "{e}");
+        let e = sema("void f(int& x) { x = 1; } int main() { f(1 + 2); return 0; }").unwrap_err();
+        assert!(e.message().contains("variable"), "{e}");
     }
 
     #[test]
@@ -589,7 +593,7 @@ mod tests {
             "#,
         )
         .unwrap_err();
-        assert!(e.message.contains("argument"), "{e}");
+        assert!(e.message().contains("argument"), "{e}");
     }
 
     #[test]
@@ -605,20 +609,19 @@ mod tests {
             "#,
         )
         .unwrap_err();
-        assert!(e.message.contains("address"), "{e}");
+        assert!(e.message().contains("address"), "{e}");
     }
 
     #[test]
     fn rejects_return_value_in_void() {
         let e = sema("void f() { return 1; } int main() { f(); return 0; }").unwrap_err();
-        assert!(e.message.contains("void"), "{e}");
+        assert!(e.message().contains("void"), "{e}");
     }
 
     #[test]
     fn allows_int_function_without_return() {
         // Fig. 2(a)'s `int r(int k)` has no return statement.
-        sema("int r(int k) { if (k > 0) { r(k - 1); } } int main() { r(3); return 0; }")
-            .unwrap();
+        sema("int r(int k) { if (k > 0) { r(k - 1); } } int main() { r(3); return 0; }").unwrap();
     }
 
     #[test]
@@ -648,6 +651,6 @@ mod tests {
             "#,
         )
         .unwrap_err();
-        assert!(e.message.contains("incompatible"), "{e}");
+        assert!(e.message().contains("incompatible"), "{e}");
     }
 }

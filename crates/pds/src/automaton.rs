@@ -111,9 +111,10 @@ impl PAutomaton {
 
     /// Iterates over all transitions.
     pub fn transitions(&self) -> impl Iterator<Item = (PState, Option<Symbol>, PState)> + '_ {
-        self.out.iter().enumerate().flat_map(|(i, ts)| {
-            ts.iter().map(move |&(s, t)| (PState(i as u32), s, t))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ts)| ts.iter().map(move |&(s, t)| (PState(i as u32), s, t)))
     }
 
     /// Whether configuration `(p, word)` is accepted.

@@ -63,8 +63,7 @@ pub fn poststar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, Postst
     // Worklist algorithm over transitions. We maintain:
     //   by_src: (state, symbol) → targets, for combining ε-transitions;
     //   eps_into: state → control states with an ε-transition into it.
-    let mut worklist: Vec<(PState, Option<Symbol>, PState)> =
-        aut.transitions().collect();
+    let mut worklist: Vec<(PState, Option<Symbol>, PState)> = aut.transitions().collect();
     let mut by_src: HashMap<(PState, Symbol), Vec<PState>> = HashMap::new();
     for &(f, l, t) in &worklist {
         if let Some(sym) = l {
@@ -216,12 +215,7 @@ mod tests {
         query.add_transition(query.control_state(p), Some(a), f);
         query.set_final(f);
         let res = poststar(&pds, &query);
-        for (loc, stack) in [
-            (p, vec![a]),
-            (p, vec![b, c]),
-            (q, vec![c]),
-            (q, vec![d]),
-        ] {
+        for (loc, stack) in [(p, vec![a]), (p, vec![b, c]), (q, vec![c]), (q, vec![d])] {
             assert!(res.accepts(loc, &stack), "({loc:?}, {stack:?})");
         }
         assert!(!res.accepts(p, &[c]));

@@ -17,6 +17,9 @@ use crate::system::{Pds, Rhs};
 use specslice_fsa::Symbol;
 use std::collections::HashMap;
 
+/// Index of push rules keyed by the first RHS symbol's target pair.
+type PushIndex = HashMap<(PState, Symbol), Vec<(PState, Symbol, Symbol)>>;
+
 /// Statistics from a [`prestar`] run (peak sizes feed the Fig. 22 memory
 /// accounting).
 #[derive(Clone, Copy, Debug, Default)]
@@ -73,11 +76,11 @@ pub fn prestar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, Prestar
 
     // Pop rules fire unconditionally: ⟨p,γ⟩ ↪ ⟨p',ε⟩ gives p –γ→ p'.
     let push_new = |aut: &mut PAutomaton,
-                        worklist: &mut Vec<(PState, Symbol, PState)>,
-                        by_src_sym: &mut HashMap<(PState, Symbol), Vec<PState>>,
-                        from: PState,
-                        sym: Symbol,
-                        to: PState| {
+                    worklist: &mut Vec<(PState, Symbol, PState)>,
+                    by_src_sym: &mut HashMap<(PState, Symbol), Vec<PState>>,
+                    from: PState,
+                    sym: Symbol,
+                    to: PState| {
         if aut.add_transition(from, Some(sym), to) {
             by_src_sym.entry((from, sym)).or_default().push(to);
             worklist.push((from, sym, to));
@@ -102,7 +105,7 @@ pub fn prestar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, Prestar
     // Index internal and push rules by (p', γ') for matching on transitions
     // out of control states.
     let mut internal_by_rhs: HashMap<(PState, Symbol), Vec<(PState, Symbol)>> = HashMap::new();
-    let mut push_by_rhs: HashMap<(PState, Symbol), Vec<(PState, Symbol, Symbol)>> = HashMap::new();
+    let mut push_by_rhs: PushIndex = HashMap::new();
     for rule in pds.rules() {
         let p = aut.control_state(rule.from_loc);
         let p2 = aut.control_state(rule.to_loc);
@@ -112,10 +115,12 @@ pub fn prestar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, Prestar
                 .entry((p2, g2))
                 .or_default()
                 .push((p, rule.from_sym)),
-            Rhs::Push(g2, g3) => push_by_rhs
-                .entry((p2, g2))
-                .or_default()
-                .push((p, rule.from_sym, g3)),
+            Rhs::Push(g2, g3) => {
+                push_by_rhs
+                    .entry((p2, g2))
+                    .or_default()
+                    .push((p, rule.from_sym, g3))
+            }
         }
     }
 

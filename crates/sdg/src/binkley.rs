@@ -173,6 +173,10 @@ mod tests {
         let criterion = sdg.printf_actual_in_vertices();
         let mono = monovariant_executable_slice(&sdg, &criterion);
         assert!(parameter_mismatches(&sdg, &mono.vertices).is_empty());
-        assert!(mono.iterations >= 2, "expected cascade, got {}", mono.iterations);
+        assert!(
+            mono.iterations >= 2,
+            "expected cascade, got {}",
+            mono.iterations
+        );
     }
 }

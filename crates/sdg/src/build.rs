@@ -40,22 +40,26 @@ pub fn build_sdg(program: &Program) -> Result<Sdg, SdgError> {
     let mut err = None;
     program.visit_all(|f, s| {
         if s.id == specslice_lang::StmtId::UNASSIGNED {
-            err = Some(format!("statement in `{f}` lacks an id; run normalize"));
+            err = Some(SdgError::NotNormalized {
+                message: format!("statement in `{f}` lacks an id; run normalize"),
+            });
         }
         if let StmtKind::Call(c) = &s.kind {
             if matches!(c.callee, Callee::Indirect(_)) {
-                err = Some(format!(
-                    "`{f}` contains an indirect call; apply the indirect-call \
-                     transformation (specslice::indirect) before building the SDG"
-                ));
+                err = Some(SdgError::IndirectCall {
+                    message: format!(
+                        "`{f}` contains an indirect call; apply the indirect-call \
+                         transformation (specslice::indirect) before building the SDG"
+                    ),
+                });
             }
         }
     });
-    if let Some(m) = err {
-        return Err(SdgError::new(m));
+    if let Some(e) = err {
+        return Err(e);
     }
     if program.main().is_none() {
-        return Err(SdgError::new("program has no `main`"));
+        return Err(SdgError::NoMain);
     }
 
     let cfgs: HashMap<String, StmtCfg> = program
@@ -286,9 +290,7 @@ impl<'p> Builder<'p> {
             match &self.sdg.vertex(fo).kind {
                 VertexKind::FormalOut { slot } => match slot {
                     OutSlot::Ret => cfg.uses[n.index()].push(RET_VAR.to_string()),
-                    OutSlot::RefParam(i) => {
-                        cfg.uses[n.index()].push(f.params[*i].name.clone())
-                    }
+                    OutSlot::RefParam(i) => cfg.uses[n.index()].push(f.params[*i].name.clone()),
                     OutSlot::Global(g) => cfg.uses[n.index()].push(g.clone()),
                     OutSlot::ScanTarget(_) => {}
                 },
@@ -306,7 +308,13 @@ impl<'p> Builder<'p> {
 
         // Body.
         let mut loops = Vec::new();
-        let out = self.build_block(pid, &f.body, vec![(body_entry_pred, false)], &mut cfg, &mut loops)?;
+        let out = self.build_block(
+            pid,
+            &f.body,
+            vec![(body_entry_pred, false)],
+            &mut cfg,
+            &mut loops,
+        )?;
         let fo_head = cfg.fo_head;
         connect(&mut cfg, &out, fo_head);
         // Ball–Horwitz entry→exit edge.
@@ -360,12 +368,8 @@ impl<'p> Builder<'p> {
                 ..
             }
             | StmtKind::Assign { name, value: e } => {
-                let (_, n) = self.add_stmt_vertex(
-                    pid,
-                    VertexKind::Statement { stmt: s.id },
-                    cfg,
-                    &frontier,
-                );
+                let (_, n) =
+                    self.add_stmt_vertex(pid, VertexKind::Statement { stmt: s.id }, cfg, &frontier);
                 cfg.defs[n.index()].push(Def {
                     var: name.clone(),
                     kills: true,
@@ -405,12 +409,8 @@ impl<'p> Builder<'p> {
                     actual_ins.push(v);
                     fr = vec![(n, false)];
                 }
-                let (cv, cn) = self.add_stmt_vertex(
-                    pid,
-                    VertexKind::Call { stmt: s.id, site },
-                    cfg,
-                    &fr,
-                );
+                let (cv, cn) =
+                    self.add_stmt_vertex(pid, VertexKind::Call { stmt: s.id, site }, cfg, &fr);
                 self.sdg.call_sites.push(CallSite {
                     id: site,
                     caller: pid,
@@ -439,12 +439,8 @@ impl<'p> Builder<'p> {
                 );
                 actual_ins.push(fv);
                 fr = vec![(last_node(cfg), false)];
-                let (cv, cn) = self.add_stmt_vertex(
-                    pid,
-                    VertexKind::Call { stmt: s.id, site },
-                    cfg,
-                    &fr,
-                );
+                let (cv, cn) =
+                    self.add_stmt_vertex(pid, VertexKind::Call { stmt: s.id, site }, cfg, &fr);
                 cfg.uses[cn.index()].push(STDIN.to_string());
                 cfg.defs[cn.index()].push(Def {
                     var: STDIN.to_string(),
@@ -535,15 +531,10 @@ impl<'p> Builder<'p> {
                 then_block,
                 else_block,
             } => {
-                let (_, pn) = self.add_stmt_vertex(
-                    pid,
-                    VertexKind::Predicate { stmt: s.id },
-                    cfg,
-                    &frontier,
-                );
+                let (_, pn) =
+                    self.add_stmt_vertex(pid, VertexKind::Predicate { stmt: s.id }, cfg, &frontier);
                 cfg.uses[pn.index()].extend(cond.vars());
-                let mut out =
-                    self.build_block(pid, then_block, vec![(pn, false)], cfg, loops)?;
+                let mut out = self.build_block(pid, then_block, vec![(pn, false)], cfg, loops)?;
                 match else_block {
                     Some(e) => {
                         let e_out = self.build_block(pid, e, vec![(pn, false)], cfg, loops)?;
@@ -554,12 +545,8 @@ impl<'p> Builder<'p> {
                 Ok(out)
             }
             StmtKind::While { cond, body } => {
-                let (_, head) = self.add_stmt_vertex(
-                    pid,
-                    VertexKind::Predicate { stmt: s.id },
-                    cfg,
-                    &frontier,
-                );
+                let (_, head) =
+                    self.add_stmt_vertex(pid, VertexKind::Predicate { stmt: s.id }, cfg, &frontier);
                 cfg.uses[head.index()].extend(cond.vars());
                 loops.push(LoopCtx {
                     head,
@@ -760,8 +747,7 @@ impl<'p> Builder<'p> {
                     }
                     // c is control dependent on u.
                     if c != u {
-                        if let (Some(uv), Some(cv)) =
-                            (cfg.vertex[u.index()], cfg.vertex[c.index()])
+                        if let (Some(uv), Some(cv)) = (cfg.vertex[u.index()], cfg.vertex[c.index()])
                         {
                             if !is_param_vertex(&self.sdg, cv) {
                                 self.sdg.add_edge(uv, cv, EdgeKind::Control);
@@ -1069,10 +1055,9 @@ mod tests {
             .find(|&v| matches!(sdg.vertex(v).kind, VertexKind::Predicate { .. }))
             .unwrap();
         // The g = 2 statement is control dependent on the predicate.
-        let has_cd = sdg
-            .successors(pred)
-            .iter()
-            .any(|&(t, k)| k == EdgeKind::Control && matches!(sdg.vertex(t).kind, VertexKind::Statement { .. }));
+        let has_cd = sdg.successors(pred).iter().any(|&(t, k)| {
+            k == EdgeKind::Control && matches!(sdg.vertex(t).kind, VertexKind::Statement { .. })
+        });
         assert!(has_cd);
         // The predicate is control dependent on entry.
         assert!(sdg
@@ -1104,17 +1089,13 @@ mod tests {
             .find(|&v| matches!(sdg.vertex(v).kind, VertexKind::Jump { .. }))
             .unwrap();
         // g = 5 must be control dependent on the early return (Ball–Horwitz).
-        let g5 = main
-            .vertices
-            .iter()
-            .copied()
-            .find(|&v| {
-                matches!(sdg.vertex(v).kind, VertexKind::Statement { .. })
-                    && sdg
-                        .predecessors(v)
-                        .iter()
-                        .any(|&(f, k)| f == jump && k == EdgeKind::Control)
-            });
+        let g5 = main.vertices.iter().copied().find(|&v| {
+            matches!(sdg.vertex(v).kind, VertexKind::Statement { .. })
+                && sdg
+                    .predecessors(v)
+                    .iter()
+                    .any(|&(f, k)| f == jump && k == EdgeKind::Control)
+        });
         assert!(g5.is_some(), "no statement control-dependent on the return");
     }
 
@@ -1150,7 +1131,7 @@ mod tests {
         )
         .unwrap();
         let err = build_sdg(&p).unwrap_err();
-        assert!(err.message.contains("indirect"), "{err}");
+        assert!(err.message().contains("indirect"), "{err}");
     }
 
     #[test]
@@ -1205,9 +1186,6 @@ mod tests {
             .find(|c| matches!(c.callee, CalleeKind::User(_)))
             .unwrap();
         let ao = call.actual_outs[0];
-        assert!(sdg
-            .successors(ao)
-            .iter()
-            .any(|&(_, k)| k == EdgeKind::Flow));
+        assert!(sdg.successors(ao).iter().any(|&(_, k)| k == EdgeKind::Flow));
     }
 }

@@ -224,10 +224,7 @@ mod tests {
 
     #[test]
     fn straight_line() {
-        let (cfg, _) = cfg_of(
-            "int main() { int x; x = 1; x = 2; return x; }",
-            "main",
-        );
+        let (cfg, _) = cfg_of("int main() { int x; x = 1; x = 2; return x; }", "main");
         // nodes: entry, exit, x=1, x=2, return
         assert_eq!(cfg.real.node_count(), 5);
         // return has a real edge to exit and an augmented fall-through that
@@ -250,9 +247,7 @@ mod tests {
             StmtKind::Return {
                 value: Some(specslice_lang::Expr::Int(1)),
             } => ret_node = Some(cfg.stmt_node[&s.id]),
-            StmtKind::Assign { name, .. } if name == "g" => {
-                g5_node = Some(cfg.stmt_node[&s.id])
-            }
+            StmtKind::Assign { name, .. } if name == "g" => g5_node = Some(cfg.stmt_node[&s.id]),
             _ => {}
         });
         let (ret, g5) = (ret_node.unwrap(), g5_node.unwrap());

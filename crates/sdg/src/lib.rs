@@ -41,31 +41,57 @@ pub mod slice;
 pub mod summary;
 
 pub use model::{
-    CallSite, CallSiteId, CalleeKind, EdgeKind, InSlot, LibFn, OutSlot, Proc, ProcId, Sdg,
-    Vertex, VertexId, VertexKind,
+    CallSite, CallSiteId, CalleeKind, EdgeKind, InSlot, LibFn, OutSlot, Proc, ProcId, Sdg, Vertex,
+    VertexId, VertexKind,
 };
 
 use std::fmt;
 
 /// Errors raised while building dependence graphs.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct SdgError {
-    /// Human-readable description.
-    pub message: String,
+pub enum SdgError {
+    /// The program has no `main` procedure.
+    NoMain,
+    /// The program still contains an indirect call; the §6.2 lowering
+    /// (`specslice::indirect`) must run before SDG construction.
+    IndirectCall {
+        /// Description naming the offending function/pointer.
+        message: String,
+    },
+    /// The program was not normalized (statements lack ids).
+    NotNormalized {
+        /// Description naming the offending function.
+        message: String,
+    },
+    /// Any other structural failure while building the SDG.
+    Build {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl SdgError {
-    /// Creates an error.
+    /// Creates a generic build error.
     pub fn new(message: impl Into<String>) -> Self {
-        SdgError {
+        SdgError::Build {
             message: message.into(),
+        }
+    }
+
+    /// The message without classification.
+    pub fn message(&self) -> &str {
+        match self {
+            SdgError::NoMain => "program has no `main`",
+            SdgError::IndirectCall { message }
+            | SdgError::NotNormalized { message }
+            | SdgError::Build { message } => message,
         }
     }
 }
 
 impl fmt::Display for SdgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+        write!(f, "{}", self.message())
     }
 }
 

@@ -328,13 +328,19 @@ impl Sdg {
             .filter(move |c| c.callee == CalleeKind::User(p))
     }
 
+    /// The `printf` call sites, in site order — the per-criterion workload
+    /// of the paper's evaluation (one slice per printf).
+    pub fn printf_call_sites(&self) -> impl Iterator<Item = &CallSite> {
+        self.call_sites
+            .iter()
+            .filter(|c| c.callee == CalleeKind::Library(LibFn::Printf))
+    }
+
     /// The actual-in vertices of every `printf` call site — the criterion
     /// shape used throughout the paper ("slice with respect to the actual
     /// parameters of the call to printf").
     pub fn printf_actual_in_vertices(&self) -> Vec<VertexId> {
-        self.call_sites
-            .iter()
-            .filter(|c| c.callee == CalleeKind::Library(LibFn::Printf))
+        self.printf_call_sites()
             .flat_map(|c| c.actual_ins.iter().copied())
             .collect()
     }
@@ -342,17 +348,17 @@ impl Sdg {
     /// The actual-in vertex at call site `c` matching formal-in slot `slot`,
     /// if any.
     pub fn actual_in_for_slot(&self, c: &CallSite, slot: &InSlot) -> Option<VertexId> {
-        c.actual_ins.iter().copied().find(|&v| {
-            matches!(&self.vertex(v).kind, VertexKind::ActualIn { slot: s, .. } if s == slot)
-        })
+        c.actual_ins.iter().copied().find(
+            |&v| matches!(&self.vertex(v).kind, VertexKind::ActualIn { slot: s, .. } if s == slot),
+        )
     }
 
     /// The actual-out vertex at call site `c` matching formal-out slot
     /// `slot`, if any.
     pub fn actual_out_for_slot(&self, c: &CallSite, slot: &OutSlot) -> Option<VertexId> {
-        c.actual_outs.iter().copied().find(|&v| {
-            matches!(&self.vertex(v).kind, VertexKind::ActualOut { slot: s, .. } if s == slot)
-        })
+        c.actual_outs.iter().copied().find(
+            |&v| matches!(&self.vertex(v).kind, VertexKind::ActualOut { slot: s, .. } if s == slot),
+        )
     }
 
     /// The slot of a formal-in / actual-in vertex.
@@ -424,9 +430,7 @@ mod tests {
             proc: p,
         });
         let b = sdg.add_vertex(Vertex {
-            kind: VertexKind::Statement {
-                stmt: StmtId(0),
-            },
+            kind: VertexKind::Statement { stmt: StmtId(0) },
             proc: p,
         });
         sdg.add_edge(a, b, EdgeKind::Control);

@@ -108,18 +108,19 @@ fn expr_vars(e: &Expr) -> Vec<String> {
     e.vars()
 }
 
-fn stmt_effects(
-    s: &Stmt,
-    program: &Program,
-    summaries: &HashMap<String, ModRefInfo>,
-) -> Effects {
+fn stmt_effects(s: &Stmt, program: &Program, summaries: &HashMap<String, ModRefInfo>) -> Effects {
     let mut eff = Effects {
         may_defs: Vec::new(),
         must_defs: Vec::new(),
         uses: Vec::new(),
     };
     match &s.kind {
-        StmtKind::Decl { name, init: Some(e), .. } | StmtKind::Assign { name, value: e } => {
+        StmtKind::Decl {
+            name,
+            init: Some(e),
+            ..
+        }
+        | StmtKind::Assign { name, value: e } => {
             eff.may_defs.push(name.clone());
             eff.must_defs.push(name.clone());
             eff.uses.extend(expr_vars(e));
@@ -233,10 +234,7 @@ fn project(
 }
 
 /// Runs the interprocedural fixpoint, returning per-procedure summaries.
-pub fn analyze(
-    program: &Program,
-    cfgs: &HashMap<String, StmtCfg>,
-) -> HashMap<String, ModRefInfo> {
+pub fn analyze(program: &Program, cfgs: &HashMap<String, StmtCfg>) -> HashMap<String, ModRefInfo> {
     let has_stdin = uses_scanf(program);
     // Universe for the optimistic MustMod initialization.
     let mut summaries: HashMap<String, ModRefInfo> = HashMap::new();
@@ -408,18 +406,13 @@ mod tests {
     #[test]
     fn fig1_procedure_p() {
         // p: g1 = a; g2 = b; g3 = g2;  — straight line.
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             int g1, g2, g3;
             void p(int a, int b) { g1 = a; g2 = b; g3 = g2; }
             int main() { g2 = 100; p(g2, 2); printf("%d", g2); return 0; }
-            "#,
-        );
+            "#);
         let p = &s["p"];
-        assert_eq!(
-            p.may_mod,
-            [g("g1"), g("g2"), g("g3")].into_iter().collect()
-        );
+        assert_eq!(p.may_mod, [g("g1"), g("g2"), g("g3")].into_iter().collect());
         assert_eq!(p.may_mod, p.must_mod);
         // g2 is used in `g3 = g2` but defined just before on the only path.
         assert!(p.ue_ref.is_empty());
@@ -434,16 +427,14 @@ mod tests {
     #[test]
     fn early_return_breaks_must_mod() {
         // The Fig. 13 pattern: `if (m == 0) return;` makes MustMod empty.
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             int g1;
             void pk(int m) {
                 if (m == 0) { return; }
                 g1 = m;
             }
             int main() { pk(3); printf("%d", g1); return 0; }
-            "#,
-        );
+            "#);
         let pk = &s["pk"];
         assert_eq!(pk.may_mod, [g("g1")].into_iter().collect());
         assert!(pk.must_mod.is_empty());
@@ -453,14 +444,12 @@ mod tests {
 
     #[test]
     fn transitive_mod_through_calls() {
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             int g;
             void inner() { g = 1; }
             void outer() { inner(); }
             int main() { outer(); printf("%d", g); return 0; }
-            "#,
-        );
+            "#);
         assert!(s["outer"].may_mod.contains(&g("g")));
         assert!(s["outer"].must_mod.contains(&g("g")));
         assert!(s["main"].may_mod.contains(&g("g")));
@@ -468,15 +457,13 @@ mod tests {
 
     #[test]
     fn ue_ref_via_calls_respects_must_defs() {
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             int g;
             int reader() { return g; }
             void caller1() { int x; x = reader(); }          // g upward-exposed
             void caller2() { g = 1; int x; x = reader(); }   // g defined first
             int main() { caller1(); caller2(); printf("%d", g); return 0; }
-            "#,
-        );
+            "#);
         assert!(s["reader"].ue_ref.contains("g"));
         assert!(s["caller1"].ue_ref.contains("g"));
         assert!(!s["caller2"].ue_ref.contains("g"));
@@ -484,24 +471,30 @@ mod tests {
 
     #[test]
     fn ref_params_propagate_to_actuals() {
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             void bump(int& x) { x = x + 1; }
             void twice(int& y) { bump(y); bump(y); }
             int main() { int v; v = 0; twice(v); printf("%d", v); return 0; }
-            "#,
+            "#);
+        assert_eq!(
+            s["bump"].may_mod,
+            [Location::Param(0)].into_iter().collect()
         );
-        assert_eq!(s["bump"].may_mod, [Location::Param(0)].into_iter().collect());
-        assert_eq!(s["bump"].must_mod, [Location::Param(0)].into_iter().collect());
-        assert_eq!(s["twice"].may_mod, [Location::Param(0)].into_iter().collect());
+        assert_eq!(
+            s["bump"].must_mod,
+            [Location::Param(0)].into_iter().collect()
+        );
+        assert_eq!(
+            s["twice"].may_mod,
+            [Location::Param(0)].into_iter().collect()
+        );
         // main modifies only a local → nothing escapes.
         assert!(s["main"].may_mod.is_empty());
     }
 
     #[test]
     fn recursion_converges() {
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             int g1, g2;
             void r(int k) {
                 if (k > 0) {
@@ -510,8 +503,7 @@ mod tests {
                 }
             }
             int main() { g2 = 1; r(3); printf("%d", g1); return 0; }
-            "#,
-        );
+            "#);
         let r = &s["r"];
         assert!(r.may_mod.contains(&g("g1")));
         assert!(r.must_mod.is_empty()); // k == 0 path writes nothing
@@ -522,12 +514,10 @@ mod tests {
 
     #[test]
     fn scanf_models_stdin() {
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             void read(int& v) { scanf("%d", &v); }
             int main() { int a; read(a); printf("%d", a); return 0; }
-            "#,
-        );
+            "#);
         assert!(s["read"].may_mod.contains(&g(STDIN)));
         assert!(s["read"].ue_ref.contains(STDIN));
         assert!(s["main"].may_mod.contains(&g(STDIN)));
@@ -535,14 +525,12 @@ mod tests {
 
     #[test]
     fn mutual_recursion_converges() {
-        let (_, s) = run(
-            r#"
+        let (_, s) = run(r#"
             int g;
             void a(int k) { if (k > 0) { b(k - 1); } }
             void b(int k) { g = k; if (k > 0) { a(k - 1); } }
             int main() { a(2); printf("%d", g); return 0; }
-            "#,
-        );
+            "#);
         assert!(s["a"].may_mod.contains(&g("g")));
         assert!(s["b"].may_mod.contains(&g("g")));
         assert!(s["b"].must_mod.contains(&g("g")));

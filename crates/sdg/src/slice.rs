@@ -116,10 +116,7 @@ pub fn forward_closure_slice(sdg: &Sdg, criterion: &[VertexId]) -> BTreeSet<Vert
 
 /// Context-insensitive backward slice: transitive predecessors over every
 /// edge kind (summary edges add nothing here).
-pub fn context_insensitive_backward_slice(
-    sdg: &Sdg,
-    criterion: &[VertexId],
-) -> BTreeSet<VertexId> {
+pub fn context_insensitive_backward_slice(sdg: &Sdg, criterion: &[VertexId]) -> BTreeSet<VertexId> {
     reach_backward(sdg, criterion.iter().copied(), |k| k != EdgeKind::Summary)
 }
 
@@ -243,7 +240,10 @@ mod tests {
         };
         assert!(in_slice(fo(&OutSlot::Global("g1".into()))));
         assert!(in_slice(fo(&OutSlot::Global("g2".into()))));
-        assert!(!in_slice(fo(&OutSlot::Global("g3".into()))), "g3 is irrelevant");
+        assert!(
+            !in_slice(fo(&OutSlot::Global("g3".into()))),
+            "g3 is irrelevant"
+        );
 
         // g3 = g2 statement must be out.
         let stmts: Vec<VertexId> = p

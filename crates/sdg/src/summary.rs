@@ -18,10 +18,10 @@ pub fn add_summary_edges(sdg: &mut Sdg) {
     let mut worklist: Vec<(VertexId, VertexId)> = Vec::new();
 
     let push = |pe: &mut HashSet<(VertexId, VertexId)>,
-                    paths_from: &mut HashMap<VertexId, Vec<VertexId>>,
-                    worklist: &mut Vec<(VertexId, VertexId)>,
-                    v: VertexId,
-                    fo: VertexId| {
+                paths_from: &mut HashMap<VertexId, Vec<VertexId>>,
+                worklist: &mut Vec<(VertexId, VertexId)>,
+                v: VertexId,
+                fo: VertexId| {
         if pe.insert((v, fo)) {
             paths_from.entry(v).or_default().push(fo);
             worklist.push((v, fo));

@@ -2,36 +2,45 @@
 //! (vertex + call stack); slice to the smallest executable program that
 //! reproduces the value flowing there — including the Fig. 2 effect where
 //! direct recursion specializes into mutual recursion.
+//!
+//! Both criteria run against ONE `Slicer` session, so the SDG→PDS encoding
+//! is built once for the two queries.
 
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = specslice_corpus::examples::FIG2;
     println!("=== original (direct recursion) ===\n{source}");
 
-    let program = specslice_lang::frontend(source)?;
-    let sdg = specslice_sdg::build::build_sdg(&program)?;
+    let slicer = Slicer::from_source(source)?;
+    let sdg = slicer.sdg();
 
     // Criterion: the printf in main, every calling context.
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg))?;
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg))?;
     println!(
         "variants: {:?}",
-        slice.variants.iter().map(|v| v.name.as_str()).collect::<Vec<_>>()
+        slice
+            .variants
+            .iter()
+            .map(|v| v.name.as_str())
+            .collect::<Vec<_>>()
     );
 
-    let regen = specslice::regen::regenerate(&sdg, &program, &slice)?;
+    let regen = slicer.regenerate(&slice)?;
     println!("=== specialized (mutual recursion) ===\n{}", regen.source);
 
     // Also demonstrate a configuration criterion: r's entry under the
-    // outermost call only.
+    // outermost call only — same session, no re-encoding.
     let r = sdg.proc_named("r").expect("r exists");
     let main_site = sdg
         .call_sites
         .iter()
-        .find(|c| sdg.proc(c.caller).name == "main"
-            && matches!(c.callee, specslice_sdg::CalleeKind::User(p) if p == r.id))
+        .find(|c| {
+            sdg.proc(c.caller).name == "main"
+                && matches!(c.callee, specslice_sdg::CalleeKind::User(p) if p == r.id)
+        })
         .expect("main calls r");
-    let cfg_slice = specialize(&sdg, &Criterion::configuration(r.entry, vec![main_site.id]))?;
+    let cfg_slice = slicer.slice(&Criterion::configuration(r.entry, vec![main_site.id]))?;
     println!(
         "slicing on (r:entry, [C_main]) keeps {} variants",
         cfg_slice.variants.len()

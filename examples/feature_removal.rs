@@ -1,14 +1,14 @@
 //! Feature removal (§7 / Alg. 2): delete the "product" feature from the
 //! paper's Fig. 16 program while keeping the shared `add` helper alive.
 
-use specslice::Criterion;
+use specslice::{Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = specslice_corpus::examples::FIG16;
     println!("=== original (sum AND product) ===\n{source}");
 
-    let program = specslice_lang::frontend(source)?;
-    let sdg = specslice_sdg::build::build_sdg(&program)?;
+    let slicer = Slicer::from_source(source)?;
+    let sdg = slicer.sdg();
 
     // The feature = forward slice from `prod = 1` in main.
     let main = sdg.proc_named("main").expect("main");
@@ -16,18 +16,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .vertices
         .iter()
         .copied()
-        .filter(|&v| matches!(sdg.vertex(v).kind, specslice_sdg::VertexKind::Statement { .. }))
+        .filter(|&v| {
+            matches!(
+                sdg.vertex(v).kind,
+                specslice_sdg::VertexKind::Statement { .. }
+            )
+        })
         .nth(1)
         .expect("prod = 1");
     println!("removing forward slice of: {}", sdg.label(prod_init));
 
-    let slice = specslice::feature_removal::remove_feature(&sdg, &Criterion::vertex(prod_init))?;
-    let regen = specslice::regen::regenerate(&sdg, &program, &slice)?;
+    let slice = slicer.remove_feature(&Criterion::vertex(prod_init))?;
+    let regen = slicer.regenerate(&slice)?;
     println!("=== feature removed (sum only) ===\n{}", regen.source);
 
     // The sum still computes correctly.
-    let original = specslice_interp::run(&program, &[], 1_000_000)?;
-    let reduced = specslice_interp::run(&regen.program, &[], 1_000_000)?;
+    let program = slicer.program().expect("from source");
+    let original = specslice_interp::run(program, &[], 50_000_000)?;
+    let reduced = specslice_interp::run(&regen.program, &[], 50_000_000)?;
     assert_eq!(original.output[0], reduced.output[0], "sum preserved");
     println!(
         "sum preserved: {} (original also printed product {})",

@@ -2,27 +2,28 @@
 //! dispatcher, then specialize — pointees get specialized variants while
 //! the original (emptied) functions survive as the pointer-value space.
 
-use specslice::{specialize, Criterion};
+use specslice::{indirect, Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = specslice_corpus::examples::FIG15;
     println!("=== original (indirect call x = p(1, 2)) ===\n{source}");
 
     let program = specslice_lang::frontend(source)?;
-    let lowered = specslice::indirect::lower_indirect_calls(&program)?;
+    let lowered = indirect::lower_indirect_calls(&program)?;
     println!(
         "=== after §6.2 lowering ===\n{}",
         specslice_lang::pretty(&lowered)
     );
 
-    let sdg = specslice_sdg::build::build_sdg(&lowered)?;
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg))?;
-    let regen = specslice::regen::regenerate(&sdg, &lowered, &slice)?;
+    let slicer = Slicer::from_program(lowered)?;
+    let slice = slicer.slice(&Criterion::printf_actuals(slicer.sdg()))?;
+    let regen = slicer.regenerate(&slice)?;
     println!("=== specialization slice ===\n{}", regen.source);
 
     // Behavior is preserved for both pointer targets.
+    let lowered = slicer.program().expect("from program");
     for input in [[1i64], [0i64]] {
-        let a = specslice_interp::run(&lowered, &input, 100_000)?;
+        let a = specslice_interp::run(lowered, &input, 100_000)?;
         let b = specslice_interp::run(&regen.program, &input, 100_000)?;
         assert_eq!(a.output, b.output);
         println!("input {input:?} → {:?} (slice agrees)", a.output);

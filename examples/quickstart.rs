@@ -2,18 +2,17 @@
 //!
 //! Run with: `cargo run -p specslice --example quickstart`
 
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fig. 1(a): three calls to p, each needing different parameters.
     let source = specslice_corpus::examples::FIG1;
     println!("=== original program ===\n{source}");
 
-    // Frontend → SDG → specialization slice w.r.t. the printf's actuals.
-    let program = specslice_lang::frontend(source)?;
-    let sdg = specslice_sdg::build::build_sdg(&program)?;
-    let criterion = Criterion::printf_actuals(&sdg);
-    let slice = specialize(&sdg, &criterion)?;
+    // One session runs frontend → SDG → PDS encoding and caches them.
+    let slicer = Slicer::from_source(source)?;
+    let criterion = Criterion::printf_actuals(slicer.sdg());
+    let slice = slicer.slice(&criterion)?;
 
     println!("specialized procedures:");
     for v in &slice.variants {
@@ -21,16 +20,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<8} ({} vertices, params kept: {:?})",
             v.name,
             v.vertices.len(),
-            v.kept_params(&sdg)
+            v.kept_params(slicer.sdg())
         );
     }
 
     // Regenerate executable source (the paper's Fig. 1(b)).
-    let regen = specslice::regen::regenerate(&sdg, &program, &slice)?;
+    let regen = slicer.regenerate(&slice)?;
     println!("\n=== specialization slice ===\n{}", regen.source);
 
     // Both programs print the same criterion value.
-    let a = specslice_interp::run(&program, &[], 100_000)?;
+    let a = specslice_interp::run(slicer.program().expect("from source"), &[], 100_000)?;
     let b = specslice_interp::run(&regen.program, &[], 100_000)?;
     assert_eq!(a.output, b.output);
     println!("both print: {:?} — executable slice verified", a.output);

@@ -1,8 +1,6 @@
 //! Failure injection and boundary conditions across the public API.
 
-use specslice::{specialize, Criterion};
-use specslice_lang::frontend;
-use specslice_sdg::build::build_sdg;
+use specslice::{Criterion, Slicer};
 use specslice_sdg::VertexId;
 
 #[test]
@@ -14,13 +12,12 @@ fn unreachable_criterion_gives_empty_slice() {
         void dead(int a) { g = a; }
         int main() { g = 1; printf("%d", g); return 0; }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let dead = sdg.proc_named("dead").unwrap();
-    let slice = specialize(&sdg, &Criterion::vertex(dead.entry)).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let dead = slicer.sdg().proc_named("dead").unwrap();
+    let slice = slicer.slice(&Criterion::vertex(dead.entry)).unwrap();
     assert!(slice.is_empty());
     // And an empty slice still regenerates a runnable skeleton.
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.program.main().is_some());
     specslice_interp::run(&regen.program, &[], 1000).unwrap();
 }
@@ -28,13 +25,18 @@ fn unreachable_criterion_gives_empty_slice() {
 #[test]
 fn malformed_criteria_are_rejected() {
     let src = "int main() { printf(\"%d\", 1); return 0; }";
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
     // Out-of-range vertex.
-    assert!(specialize(&sdg, &Criterion::vertex(VertexId(10_000))).is_err());
+    let err = slicer
+        .slice(&Criterion::vertex(VertexId(10_000)))
+        .unwrap_err();
+    assert!(
+        matches!(err, specslice::SpecError::BadCriterion { .. }),
+        "{err:?}"
+    );
     // Empty sets.
-    assert!(specialize(&sdg, &Criterion::AllContexts(vec![])).is_err());
-    assert!(specialize(&sdg, &Criterion::Configurations(vec![])).is_err());
+    assert!(slicer.slice(&Criterion::AllContexts(vec![])).is_err());
+    assert!(slicer.slice(&Criterion::Configurations(vec![])).is_err());
 }
 
 #[test]
@@ -42,13 +44,16 @@ fn library_only_criterion() {
     // Criterion on the format actual-in only: still yields a slice keeping
     // the call (via the §6.1 LibActual linkage the call vertex needs).
     let src = "int main() { printf(\"hello\"); return 0; }";
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let fmt = sdg.printf_actual_in_vertices()[0];
-    let slice = specialize(&sdg, &Criterion::vertex(fmt)).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let fmt = slicer.sdg().printf_actual_in_vertices()[0];
+    let slice = slicer.slice(&Criterion::vertex(fmt)).unwrap();
     assert!(!slice.is_empty());
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
-    assert!(regen.source.contains("printf(\"hello\")"), "{}", regen.source);
+    let regen = slicer.regenerate(&slice).unwrap();
+    assert!(
+        regen.source.contains("printf(\"hello\")"),
+        "{}",
+        regen.source
+    );
 }
 
 #[test]
@@ -64,17 +69,19 @@ fn scanf_order_is_preserved_in_slices() {
             return 0;
         }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let ast = slicer.program().unwrap();
+    let slice = slicer
+        .slice(&Criterion::printf_actuals(slicer.sdg()))
+        .unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     assert_eq!(
         regen.source.matches("scanf").count(),
         2,
         "dropping the first scanf would shift the stream:\n{}",
         regen.source
     );
-    let a = specslice_interp::run(&ast, &[10, 20], 1000).unwrap();
+    let a = specslice_interp::run(ast, &[10, 20], 1000).unwrap();
     let b = specslice_interp::run(&regen.program, &[10, 20], 1000).unwrap();
     assert_eq!(a.output, b.output);
     assert_eq!(b.output, vec![20]);
@@ -96,13 +103,15 @@ fn exit_guard_survives_slicing() {
             return 0;
         }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let ast = slicer.program().unwrap();
+    let slice = slicer
+        .slice(&Criterion::printf_actuals(slicer.sdg()))
+        .unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.source.contains("exit(7)"), "{}", regen.source);
     for input in [[0i64], [5i64]] {
-        let a = specslice_interp::run(&ast, &input, 1000).unwrap();
+        let a = specslice_interp::run(ast, &input, 1000).unwrap();
         let b = specslice_interp::run(&regen.program, &input, 1000).unwrap();
         assert_eq!(a.output, b.output, "input {input:?}");
         assert_eq!(a.exit_code, b.exit_code, "input {input:?}");
@@ -126,13 +135,15 @@ fn break_and_continue_survive_when_relevant() {
             return 0;
         }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let ast = slicer.program().unwrap();
+    let slice = slicer
+        .slice(&Criterion::printf_actuals(slicer.sdg()))
+        .unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.source.contains("break"), "{}", regen.source);
     assert!(regen.source.contains("continue"), "{}", regen.source);
-    let a = specslice_interp::run(&ast, &[], 10_000).unwrap();
+    let a = specslice_interp::run(ast, &[], 10_000).unwrap();
     let b = specslice_interp::run(&regen.program, &[], 10_000).unwrap();
     assert_eq!(a.output, b.output);
     assert_eq!(a.output, vec![1 + 2 + 4 + 5]);
@@ -148,8 +159,8 @@ fn deep_configuration_criteria() {
         void outer(int c) { mid(c + 1); }
         int main() { outer(1); printf("%d", g); return 0; }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let sdg = slicer.sdg();
     let inner = sdg.proc_named("inner").unwrap();
     // Stack: inner called at mid's site, mid at outer's site, outer in main.
     let site_of = |caller: &str| {
@@ -163,13 +174,16 @@ fn deep_configuration_criteria() {
             .id
     };
     let stack = vec![site_of("mid"), site_of("outer"), site_of("main")];
-    let slice =
-        specialize(&sdg, &Criterion::configuration(inner.entry, stack)).unwrap();
+    let slice = slicer
+        .slice(&Criterion::configuration(inner.entry, stack))
+        .unwrap();
     assert!(!slice.is_empty());
-    assert_eq!(slice.variants_of_proc(&sdg, "inner").len(), 1);
+    assert_eq!(slice.variants_of_proc(sdg, "inner").len(), 1);
     // A wrong-order stack is rejected.
     let bad = vec![site_of("outer"), site_of("mid"), site_of("main")];
-    assert!(specialize(&sdg, &Criterion::configuration(inner.entry, bad)).is_err());
+    assert!(slicer
+        .slice(&Criterion::configuration(inner.entry, bad))
+        .is_err());
 }
 
 #[test]
@@ -190,11 +204,13 @@ fn while_true_loops_are_sliceable() {
             return 0;
         }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
-    let a = specslice_interp::run(&ast, &[], 10_000).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let ast = slicer.program().unwrap();
+    let slice = slicer
+        .slice(&Criterion::printf_actuals(slicer.sdg()))
+        .unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
+    let a = specslice_interp::run(ast, &[], 10_000).unwrap();
     let b = specslice_interp::run(&regen.program, &[], 10_000).unwrap();
     assert_eq!(a.output, b.output);
 }

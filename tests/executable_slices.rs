@@ -1,10 +1,7 @@
 //! Executable-slicing comparisons (§5): polyvariant vs. monovariant vs.
 //! Weiser, and the wc speed-up experiment's correctness backbone.
 
-use specslice::{specialize, Criterion};
-use specslice_lang::frontend;
-use specslice_sdg::build::build_sdg;
-use specslice_sdg::{CalleeKind, LibFn};
+use specslice::{Criterion, Slicer};
 
 const FUEL: u64 = 5_000_000;
 
@@ -13,15 +10,12 @@ const FUEL: u64 = 5_000_000;
 #[test]
 fn wc_single_printf_slices_speed_up() {
     let prog = specslice_corpus::by_name("wc").unwrap();
-    let ast = frontend(prog.source).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
-    let original = specslice_interp::run(&ast, prog.sample_input, FUEL).unwrap();
+    let slicer = Slicer::from_source(prog.source).unwrap();
+    let ast = slicer.program().unwrap();
+    let sdg = slicer.sdg();
+    let original = specslice_interp::run(ast, prog.sample_input, FUEL).unwrap();
 
-    let printf_sites: Vec<_> = sdg
-        .call_sites
-        .iter()
-        .filter(|c| c.callee == CalleeKind::Library(LibFn::Printf))
-        .collect();
+    let printf_sites: Vec<_> = sdg.printf_call_sites().collect();
     assert_eq!(printf_sites.len(), 3, "wc prints lines, words, chars");
 
     let mut any_speedup = false;
@@ -30,8 +24,8 @@ fn wc_single_printf_slices_speed_up() {
             // Criterion: this printf's actual-ins in all contexts.
             let verts: Vec<_> = site.actual_ins.clone();
             let criterion = Criterion::AllContexts(verts);
-            let slice = specialize(&sdg, &criterion).unwrap();
-            let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+            let slice = slicer.slice(&criterion).unwrap();
+            let regen = slicer.regenerate(&slice).unwrap();
             let run = specslice_interp::run(&regen.program, prog.sample_input, FUEL)
                 .unwrap_or_else(|e| panic!("sliced wc failed: {e}\n{}", regen.source));
             // Compare this printf's output stream by source line.
@@ -78,12 +72,12 @@ fn wc_single_printf_slices_speed_up() {
 #[test]
 fn size_relationships_across_corpus() {
     for prog in specslice_corpus::programs() {
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let sdg = slicer.sdg();
         let cv = sdg.printf_actual_in_vertices();
-        let closure = specslice_sdg::slice::backward_closure_slice(&sdg, &cv);
-        let mono = specslice_sdg::binkley::monovariant_executable_slice(&sdg, &cv);
-        let poly = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        let closure = specslice_sdg::slice::backward_closure_slice(sdg, &cv);
+        let mono = specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv);
+        let poly = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
 
         // Polyvariant distinct elements == closure (completeness+soundness);
         // total size ≥ closure (replication only).
@@ -119,15 +113,15 @@ fn monovariant_slices_execute() {
             return 0;
         }
     "#;
-    let ast = frontend(src).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
+    let slicer = Slicer::from_source(src).unwrap();
+    let sdg = slicer.sdg();
     let cv = sdg.printf_actual_in_vertices();
-    let mono = specslice_sdg::binkley::monovariant_executable_slice(&sdg, &cv);
-    let poly = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let mono = specslice_sdg::binkley::monovariant_executable_slice(sdg, &cv);
+    let poly = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
     assert!(mono.extraneous.is_empty());
     assert_eq!(poly.elems(), mono.vertices);
-    let regen = specslice::regen::regenerate(&sdg, &ast, &poly).unwrap();
-    let a = specslice_interp::run(&ast, &[7], FUEL).unwrap();
+    let regen = slicer.regenerate(&poly).unwrap();
+    let a = specslice_interp::run(slicer.program().unwrap(), &[7], FUEL).unwrap();
     let b = specslice_interp::run(&regen.program, &[7], FUEL).unwrap();
     assert_eq!(a.output, b.output);
 }
@@ -138,12 +132,13 @@ fn monovariant_slices_execute() {
 fn pk_family_slices_execute() {
     for k in 1..=3 {
         let src = specslice_corpus::pk_family(k);
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+        let slicer = Slicer::from_source(&src).unwrap();
+        let slice = slicer
+            .slice(&Criterion::printf_actuals(slicer.sdg()))
+            .unwrap();
+        let regen = slicer.regenerate(&slice).unwrap();
         let input: Vec<i64> = (0..k as i64 + 2).map(|i| i % k as i64 + 1).collect();
-        let a = specslice_interp::run(&ast, &input, FUEL).unwrap();
+        let a = specslice_interp::run(slicer.program().unwrap(), &input, FUEL).unwrap();
         let b = specslice_interp::run(&regen.program, &input, FUEL).unwrap();
         assert_eq!(a.output, b.output, "P_{k}\n{}", regen.source);
     }

@@ -3,23 +3,22 @@
 //! guarantee verified (specialized slices print the same values as the
 //! original at every criterion `printf`).
 
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
 use specslice_lang::frontend;
 use specslice_sdg::build::build_sdg;
-use specslice_sdg::slice::{
-    backward_closure_slice, parameter_mismatches, weiser_executable_slice,
-};
+use specslice_sdg::slice::{backward_closure_slice, parameter_mismatches, weiser_executable_slice};
 
 const FUEL: u64 = 5_000_000;
 
 #[test]
 fn corpus_programs_run_and_slice() {
     for prog in specslice_corpus::programs() {
-        let ast = frontend(prog.source).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
-        let sdg = build_sdg(&ast).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let slicer =
+            Slicer::from_source(prog.source).unwrap_or_else(|e| panic!("{}: {e}", prog.name));
+        let ast = slicer.program().expect("built from source");
 
         // Original execution.
-        let original = specslice_interp::run(&ast, prog.sample_input, FUEL)
+        let original = specslice_interp::run(ast, prog.sample_input, FUEL)
             .unwrap_or_else(|e| panic!("{} run: {e}", prog.name));
         assert!(
             !original.output.is_empty(),
@@ -28,21 +27,22 @@ fn corpus_programs_run_and_slice() {
         );
 
         // Specialization slice w.r.t. every printf.
-        let criterion = Criterion::printf_actuals(&sdg);
-        let slice = specialize(&sdg, &criterion)
+        let criterion = Criterion::printf_actuals(slicer.sdg());
+        let slice = slicer
+            .slice(&criterion)
             .unwrap_or_else(|e| panic!("{} specialize: {e}", prog.name));
         assert!(!slice.is_empty(), "{}: empty slice", prog.name);
 
         // Element-level soundness: Elems ⊆ closure slice.
-        let cv = sdg.printf_actual_in_vertices();
-        let outside = specslice::stats::elements_outside_closure(&sdg, &slice, &cv);
+        let cv = slicer.sdg().printf_actual_in_vertices();
+        let outside = specslice::stats::elements_outside_closure(slicer.sdg(), &slice, &cv);
         assert!(
             outside.is_empty(),
             "{}: vertices outside closure slice: {outside:?}",
             prog.name
         );
         // Element-level completeness for all-contexts criteria.
-        let missing = specslice::stats::closure_not_covered(&sdg, &slice, &cv);
+        let missing = specslice::stats::closure_not_covered(slicer.sdg(), &slice, &cv);
         assert!(
             missing.is_empty(),
             "{}: closure vertices not covered: {missing:?}",
@@ -50,7 +50,8 @@ fn corpus_programs_run_and_slice() {
         );
 
         // Regenerate and execute; full printf criterion ⇒ identical output.
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice)
+        let regen = slicer
+            .regenerate(&slice)
             .unwrap_or_else(|e| panic!("{} regen: {e}", prog.name));
         // The regenerated source re-parses through the whole frontend.
         let reparsed = frontend(&regen.source)
@@ -107,11 +108,15 @@ fn corpus_variant_distribution_is_modest() {
     let mut multi = 0usize;
     let mut max_variants = 0usize;
     for prog in specslice_corpus::programs() {
-        let ast = frontend(prog.source).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-        let stats =
-            specslice::stats::slice_stats(&sdg, &slice, &sdg.printf_actual_in_vertices());
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let slice = slicer
+            .slice(&Criterion::printf_actuals(slicer.sdg()))
+            .unwrap();
+        let stats = specslice::stats::slice_stats(
+            slicer.sdg(),
+            &slice,
+            &slicer.sdg().printf_actual_in_vertices(),
+        );
         for (&n, &count) in &stats.variant_histogram {
             if n == 1 {
                 single += count;
@@ -134,8 +139,8 @@ fn corpus_variant_distribution_is_modest() {
 fn bug_site_configuration_slicing_works() {
     // A §8-style criterion: one (vertex, call-stack) configuration.
     let prog = specslice_corpus::by_name("wc").unwrap();
-    let ast = frontend(prog.source).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
+    let slicer = Slicer::from_source(prog.source).unwrap();
+    let sdg = slicer.sdg();
     // Pick the count_char entry under the call site in main's loop.
     let count_char = sdg.proc_named("count_char").unwrap();
     let site = sdg
@@ -144,10 +149,10 @@ fn bug_site_configuration_slicing_works() {
         .find(|c| matches!(c.callee, specslice_sdg::CalleeKind::User(p) if p == count_char.id))
         .unwrap();
     let criterion = Criterion::configuration(count_char.entry, vec![site.id]);
-    let slice = specialize(&sdg, &criterion).unwrap();
+    let slice = slicer.slice(&criterion).unwrap();
     assert!(!slice.is_empty());
     // count_char has exactly one variant here.
-    assert_eq!(slice.variants_of_proc(&sdg, "count_char").len(), 1);
+    assert_eq!(slice.variants_of_proc(sdg, "count_char").len(), 1);
 }
 
 #[test]
@@ -159,13 +164,11 @@ fn reslicing_check_on_small_programs() {
         specslice_corpus::examples::FIG2,
         specslice_corpus::examples::FLAWED,
     ] {
-        let ast = frontend(src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let criterion = Criterion::printf_actuals(&sdg);
-        let slice = specialize(&sdg, &criterion).unwrap();
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
-        let report =
-            specslice::reslice::reslice_check(&sdg, &criterion, &slice, &regen).unwrap();
+        let slicer = Slicer::from_source(src).unwrap();
+        let criterion = Criterion::printf_actuals(slicer.sdg());
+        let slice = slicer.slice(&criterion).unwrap();
+        let regen = slicer.regenerate(&slice).unwrap();
+        let report = slicer.reslice_check(&criterion, &slice, &regen).unwrap();
         assert!(
             report.languages_equal,
             "reslice mismatch (unmapped: {:?})",
@@ -179,8 +182,8 @@ fn feature_removal_on_corpus_program() {
     // Remove the "total_chars" feature from wc: the char counter disappears
     // but lines/words survive.
     let prog = specslice_corpus::by_name("wc").unwrap();
-    let ast = frontend(prog.source).unwrap();
-    let sdg = build_sdg(&ast).unwrap();
+    let slicer = Slicer::from_source(prog.source).unwrap();
+    let sdg = slicer.sdg();
     let count_char = sdg.proc_named("count_char").unwrap();
     // Criterion: the `total_chars = total_chars + 1` statement.
     let tc_stmt = count_char
@@ -194,14 +197,13 @@ fn feature_removal_on_corpus_program() {
             )
         })
         .unwrap();
-    let slice =
-        specslice::feature_removal::remove_feature(&sdg, &Criterion::vertex(tc_stmt)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+    let slice = slicer.remove_feature(&Criterion::vertex(tc_stmt)).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     assert!(!regen.source.contains("total_chars"), "{}", regen.source);
     // The other counters survive and the program still runs.
     assert!(regen.source.contains("total_lines"), "{}", regen.source);
     let run = specslice_interp::run(&regen.program, prog.sample_input, FUEL).unwrap();
-    let orig = specslice_interp::run(&ast, prog.sample_input, FUEL).unwrap();
+    let orig = specslice_interp::run(slicer.program().unwrap(), prog.sample_input, FUEL).unwrap();
     // total_lines (first printf) agrees with the original.
     assert_eq!(run.output[0], orig.output[0]);
 }

@@ -1,9 +1,8 @@
 //! Golden tests: every worked example in the paper, end to end.
 
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
 use specslice_lang::frontend;
-use specslice_sdg::build::build_sdg;
-use specslice_sdg::{Sdg, VertexKind};
+use specslice_sdg::VertexKind;
 use std::collections::BTreeSet;
 
 /// Fig. 1(a) / Fig. 14(a).
@@ -60,23 +59,22 @@ const FLAWED: &str = r#"
     }
 "#;
 
-fn pipeline(src: &str) -> (specslice_lang::Program, Sdg) {
-    let program = frontend(src).unwrap();
-    let sdg = build_sdg(&program).unwrap();
-    (program, sdg)
+fn pipeline(src: &str) -> Slicer {
+    Slicer::from_source(src).unwrap()
 }
 
 #[test]
 fn fig1_two_specializations_of_p() {
-    let (_, sdg) = pipeline(FIG1);
-    let criterion = Criterion::printf_actuals(&sdg);
-    let slice = specialize(&sdg, &criterion).unwrap();
+    let slicer = pipeline(FIG1);
+    let sdg = slicer.sdg();
+    let criterion = Criterion::printf_actuals(sdg);
+    let slice = slicer.slice(&criterion).unwrap();
 
     // Exactly two specializations of p (Ex. 2.7), one main.
     let p = sdg.proc_named("p").unwrap();
     let specs = slice.specializations(p.id);
     assert_eq!(specs.len(), 2, "Specializations(p) must have 2 elements");
-    assert_eq!(slice.variants_of_proc(&sdg, "main").len(), 1);
+    assert_eq!(slice.variants_of_proc(sdg, "main").len(), 1);
     assert_eq!(slice.variants.len(), 3);
 
     // The small variant is {entry, formal-in b, g2 = b, formal-out g2}
@@ -87,16 +85,17 @@ fn fig1_two_specializations_of_p() {
     assert_eq!(sizes, vec![4, 7]);
 
     // Kept parameters: p__small keeps only b (index 1); p__big keeps a and b.
-    let variants = slice.variants_of_proc(&sdg, "p");
-    let mut keeps: Vec<Vec<usize>> = variants.iter().map(|v| v.kept_params(&sdg)).collect();
+    let variants = slice.variants_of_proc(sdg, "p");
+    let mut keeps: Vec<Vec<usize>> = variants.iter().map(|v| v.kept_params(sdg)).collect();
     keeps.sort();
     assert_eq!(keeps, vec![vec![0, 1], vec![1]]);
 }
 
 #[test]
 fn fig1_call_bindings_match_fig5() {
-    let (_, sdg) = pipeline(FIG1);
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let slicer = pipeline(FIG1);
+    let sdg = slicer.sdg();
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
     let main_variant = &slice.variants[slice.main_variant.unwrap()];
     // Calls at C1 and C3 (sites 0 and 2) go to the 1-parameter variant;
     // C2 (site 1) goes to the 2-parameter variant.
@@ -109,7 +108,7 @@ fn fig1_call_bindings_match_fig5() {
     assert_eq!(user_sites.len(), 3);
     let callee_of = |site| {
         let idx = main_variant.calls[&site];
-        slice.variants[idx].kept_params(&sdg).len()
+        slice.variants[idx].kept_params(sdg).len()
     };
     assert_eq!(callee_of(user_sites[0]), 1, "C1 -> p_1(b)");
     assert_eq!(callee_of(user_sites[1]), 2, "C2 -> p_2(a, b)");
@@ -123,9 +122,10 @@ fn fig1_call_bindings_match_fig5() {
 
 #[test]
 fn fig1_regenerated_source_matches_fig1b() {
-    let (program, sdg) = pipeline(FIG1);
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let regen = specslice::regen::regenerate(&sdg, &program, &slice).unwrap();
+    let slicer = pipeline(FIG1);
+    let sdg = slicer.sdg();
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     let src = &regen.source;
     // Fig. 1(b): globals g1, g2 only (g3 dropped); two p variants; main
     // calls p_1 twice and p_2 once.
@@ -142,26 +142,27 @@ fn fig1_regenerated_source_matches_fig1b() {
 
 #[test]
 fn fig2_recursion_becomes_mutual() {
-    let (program, sdg) = pipeline(FIG2);
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let slicer = pipeline(FIG2);
+    let sdg = slicer.sdg();
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
 
     // s specialized into two versions, r into two versions, one main: 5.
-    assert_eq!(slice.variants_of_proc(&sdg, "s").len(), 2);
-    assert_eq!(slice.variants_of_proc(&sdg, "r").len(), 2);
+    assert_eq!(slice.variants_of_proc(sdg, "s").len(), 2);
+    assert_eq!(slice.variants_of_proc(sdg, "r").len(), 2);
     assert_eq!(slice.variants.len(), 5);
 
     // s variants keep one parameter each: {a} and {b}.
     let mut s_keeps: Vec<Vec<usize>> = slice
-        .variants_of_proc(&sdg, "s")
+        .variants_of_proc(sdg, "s")
         .iter()
-        .map(|v| v.kept_params(&sdg))
+        .map(|v| v.kept_params(sdg))
         .collect();
     s_keeps.sort();
     assert_eq!(s_keeps, vec![vec![0], vec![1]]);
 
     // r variants both keep their single parameter, but call *each other*:
     // direct recursion became mutual recursion.
-    let r_variants = slice.variants_of_proc(&sdg, "r");
+    let r_variants = slice.variants_of_proc(sdg, "r");
     let r_idx: Vec<usize> = r_variants
         .iter()
         .map(|v| {
@@ -192,9 +193,9 @@ fn fig2_recursion_becomes_mutual() {
     let s_sites: Vec<_> = sdg
         .call_sites
         .iter()
-        .filter(|c| {
-            matches!(c.callee, specslice_sdg::CalleeKind::User(p) if sdg.proc(p).name == "s")
-        })
+        .filter(
+            |c| matches!(c.callee, specslice_sdg::CalleeKind::User(p) if sdg.proc(p).name == "s"),
+        )
         .map(|c| c.id)
         .collect();
     assert_eq!(s_sites.len(), 2);
@@ -207,7 +208,7 @@ fn fig2_recursion_becomes_mutual() {
     assert_eq!(r_variants[0].calls[&second], r_variants[1].calls[&first]);
 
     // Regenerated source has the four specialized procedures.
-    let regen = specslice::regen::regenerate(&sdg, &program, &slice).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     for name in ["s__1", "s__2", "r__1", "r__2"] {
         assert!(regen.source.contains(name), "{}", regen.source);
     }
@@ -218,9 +219,10 @@ fn flawed_example_z_assignment_only_where_needed() {
     // §1: the flawed algorithm leaves `z = 3` in p_1; the correct algorithm
     // must produce one variant of p with `z = 3` (feeding g2 = b + z) and
     // one without.
-    let (program, sdg) = pipeline(FLAWED);
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-    let variants = slice.variants_of_proc(&sdg, "p");
+    let slicer = pipeline(FLAWED);
+    let sdg = slicer.sdg();
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
+    let variants = slice.variants_of_proc(sdg, "p");
     assert_eq!(variants.len(), 2);
 
     // Find the `int z = 3` statement vertex (2nd plain statement of p).
@@ -241,7 +243,7 @@ fn flawed_example_z_assignment_only_where_needed() {
 
     // In the regenerated text: the variant keeping g1 = a (p_1 of the paper)
     // must not contain z.
-    let regen = specslice::regen::regenerate(&sdg, &program, &slice).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     let p1_body: String = regen
         .source
         .split("void ")
@@ -309,9 +311,10 @@ fn fig13_exponential_specialization_growth() {
     // materializes in a closure slice because a call needing no outputs is
     // simply dropped. The growth is exponential either way.)
     for k in 1..=4 {
-        let (_, sdg) = pipeline(&pk_program(k));
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-        let n = slice.variants_of_proc(&sdg, "pk").len();
+        let slicer = pipeline(&pk_program(k));
+        let sdg = slicer.sdg();
+        let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
+        let n = slice.variants_of_proc(sdg, "pk").len();
         assert_eq!(
             n,
             (1 << k) - 1,
@@ -322,11 +325,12 @@ fn fig13_exponential_specialization_growth() {
 
 #[test]
 fn fig14_three_way_comparison() {
-    let (_, sdg) = pipeline(FIG1);
+    let slicer = pipeline(FIG1);
+    let sdg = slicer.sdg();
     let criterion_verts = sdg.printf_actual_in_vertices();
-    let closure = specslice_sdg::slice::backward_closure_slice(&sdg, &criterion_verts);
-    let mono = specslice_sdg::binkley::monovariant_executable_slice(&sdg, &criterion_verts);
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let closure = specslice_sdg::slice::backward_closure_slice(sdg, &criterion_verts);
+    let mono = specslice_sdg::binkley::monovariant_executable_slice(sdg, &criterion_verts);
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
 
     // Polyvariant: elements (subset of) closure (soundness at element level).
     let elems = slice.elems();
@@ -355,20 +359,21 @@ fn fig15_function_pointers_specialize() {
     "#;
     let program = frontend(src).unwrap();
     let lowered = specslice::indirect::lower_indirect_calls(&program).unwrap();
-    let sdg = build_sdg(&lowered).unwrap();
-    let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+    let slicer = Slicer::from_program(lowered).unwrap();
+    let sdg = slicer.sdg();
+    let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
 
     // The dispatcher is specialized; g's variant drops parameter b
     // (g only returns a), f's keeps both — the §6.2 outcome.
-    let g_variants = slice.variants_of_proc(&sdg, "g");
+    let g_variants = slice.variants_of_proc(sdg, "g");
     assert_eq!(g_variants.len(), 1);
-    assert_eq!(g_variants[0].kept_params(&sdg), vec![0], "g__1(int a)");
-    let f_variants = slice.variants_of_proc(&sdg, "f");
+    assert_eq!(g_variants[0].kept_params(sdg), vec![0], "g__1(int a)");
+    let f_variants = slice.variants_of_proc(sdg, "f");
     assert_eq!(f_variants.len(), 1);
-    assert_eq!(f_variants[0].kept_params(&sdg), vec![0, 1]);
-    assert_eq!(slice.variants_of_proc(&sdg, "__dispatch2").len(), 1);
+    assert_eq!(f_variants[0].kept_params(sdg), vec![0, 1]);
+    assert_eq!(slice.variants_of_proc(sdg, "__dispatch2").len(), 1);
 
-    let regen = specslice::regen::regenerate(&sdg, &lowered, &slice).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.program.main().is_some());
 }
 
@@ -377,8 +382,9 @@ fn specializations_are_distinct_sets() {
     // Defn. 2.10(3): variants merged iff same Elems — so the per-proc
     // specializations read out of A6 must be pairwise distinct.
     for src in [FIG1, FIG2, FLAWED] {
-        let (_, sdg) = pipeline(src);
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        let slicer = pipeline(src);
+        let sdg = slicer.sdg();
+        let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
         for proc in &sdg.procs {
             let variants: Vec<&specslice::VariantPdg> = slice
                 .variants

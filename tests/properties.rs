@@ -4,14 +4,15 @@
 //! agreement of the two independent slicer implementations (HRB closure vs.
 //! `Elems(pre*)`), Cor. 3.19 mismatch-freedom, Defn. 2.10 minimality,
 //! Thm. 3.16 reverse determinism, and end-to-end executability.
+//!
+//! The harness is a deterministic seeded sweep (the container has no
+//! third-party crates, so `proptest` is replaced by explicit seed loops —
+//! same properties, reproducible by construction).
 
-use proptest::prelude::*;
-use specslice::{specialize, Criterion};
+use specslice::{Criterion, Slicer};
 use specslice_corpus::{random_program, GenConfig};
 use specslice_fsa::is_reverse_deterministic;
-use specslice_lang::frontend;
 use specslice_sdg::build::build_sdg;
-use specslice_sdg::slice::backward_closure_slice;
 use std::collections::BTreeSet;
 
 fn cfg() -> GenConfig {
@@ -23,39 +24,51 @@ fn cfg() -> GenConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Deterministic seed spread: aligned with proptest's old `0..10_000` range
+/// but explicitly enumerable for reproduction.
+fn seeds(n: u64, stride: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(move |i| (i * stride + 17) % 10_000)
+}
 
-    /// The two independent interprocedural slicers agree: the HRB two-phase
-    /// closure slice equals the vertex projection of the PDS
-    /// stack-configuration slice (for all-contexts criteria).
-    #[test]
-    fn closure_slice_equals_elems_of_prestar(seed in 0u64..10_000) {
+/// The two independent interprocedural slicers agree: the HRB two-phase
+/// closure slice equals the vertex projection of the PDS
+/// stack-configuration slice (for all-contexts criteria).
+#[test]
+fn closure_slice_equals_elems_of_prestar() {
+    for seed in seeds(48, 211) {
         let src = random_program(seed, cfg());
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let cv = sdg.printf_actual_in_vertices();
-        prop_assume!(!cv.is_empty());
-        let closure = backward_closure_slice(&sdg, &cv);
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
+        let slicer = Slicer::from_source(&src).unwrap();
+        let cv = slicer.sdg().printf_actual_in_vertices();
+        if cv.is_empty() {
+            continue;
+        }
+        let closure = specslice_sdg::slice::backward_closure_slice(slicer.sdg(), &cv);
+        let slice = slicer
+            .slice(&Criterion::printf_actuals(slicer.sdg()))
+            .unwrap();
         let elems = slice.elems();
-        prop_assert_eq!(
-            &elems, &closure,
-            "Elems(pre*) != HRB closure slice (seed {})\n{}", seed, src
+        assert_eq!(
+            elems, closure,
+            "Elems(pre*) != HRB closure slice (seed {seed})\n{src}"
         );
     }
+}
 
-    /// Thm. 3.16: the algorithm's automaton is reverse-deterministic, and
-    /// the partition is minimal (distinct Elems per variant, Defn. 2.10(3)).
-    #[test]
-    fn a6_is_mrd_and_partition_minimal(seed in 0u64..10_000) {
+/// Thm. 3.16: the algorithm's automaton is reverse-deterministic, and the
+/// partition is minimal (distinct Elems per variant, Defn. 2.10(3)).
+#[test]
+fn a6_is_mrd_and_partition_minimal() {
+    for seed in seeds(48, 307) {
         let src = random_program(seed, cfg());
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-        prop_assume!(!slice.is_empty());
-        prop_assert!(is_reverse_deterministic(&slice.a6));
-        for proc in &sdg.procs {
+        let slicer = Slicer::from_source(&src).unwrap();
+        let slice = slicer
+            .slice(&Criterion::printf_actuals(slicer.sdg()))
+            .unwrap();
+        if slice.is_empty() {
+            continue;
+        }
+        assert!(is_reverse_deterministic(&slice.a6), "seed {seed}");
+        for proc in &slicer.sdg().procs {
             let sets: Vec<&BTreeSet<specslice_sdg::VertexId>> = slice
                 .variants
                 .iter()
@@ -63,89 +76,112 @@ proptest! {
                 .map(|v| &v.vertices)
                 .collect();
             let distinct: BTreeSet<_> = sets.iter().collect();
-            prop_assert_eq!(distinct.len(), sets.len(), "duplicate Elems for {}", proc.name);
+            assert_eq!(
+                distinct.len(),
+                sets.len(),
+                "duplicate Elems for {} (seed {seed})",
+                proc.name
+            );
         }
     }
+}
 
-    /// End-to-end executability: the regenerated slice re-checks and prints
-    /// exactly what the original prints (criterion = all printfs), on three
-    /// different inputs.
-    #[test]
-    fn slices_behave_like_originals(seed in 0u64..5_000, x in 0i64..100) {
+/// End-to-end executability: the regenerated slice re-checks and prints
+/// exactly what the original prints (criterion = all printfs), on three
+/// different inputs.
+#[test]
+fn slices_behave_like_originals() {
+    for seed in seeds(24, 419) {
+        let x = (seed % 100) as i64;
         let src = random_program(seed, cfg());
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let cv = sdg.printf_actual_in_vertices();
-        prop_assume!(!cv.is_empty());
-        let slice = specialize(&sdg, &Criterion::printf_actuals(&sdg)).unwrap();
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
+        let slicer = Slicer::from_source(&src).unwrap();
+        let cv = slicer.sdg().printf_actual_in_vertices();
+        if cv.is_empty() {
+            continue;
+        }
+        let slice = slicer
+            .slice(&Criterion::printf_actuals(slicer.sdg()))
+            .unwrap();
+        let regen = slicer.regenerate(&slice).unwrap();
+        let ast = slicer.program().expect("built from source");
         for input in [vec![x], vec![x, x + 1], vec![3 * x % 7]] {
-            let a = specslice_interp::run(&ast, &input, 2_000_000);
+            let a = specslice_interp::run(ast, &input, 2_000_000);
             let b = specslice_interp::run(&regen.program, &input, 2_000_000);
             match (a, b) {
                 (Ok(ra), Ok(rb)) => {
-                    prop_assert_eq!(
-                        &ra.output, &rb.output,
-                        "divergence (seed {})\n{}\n=== slice ===\n{}",
-                        seed, src, regen.source
+                    assert_eq!(
+                        ra.output, rb.output,
+                        "divergence (seed {seed})\n{src}\n=== slice ===\n{}",
+                        regen.source
                     );
-                    prop_assert!(rb.steps <= ra.steps);
+                    assert!(rb.steps <= ra.steps, "seed {seed}");
                 }
                 // Fuel/arith errors must at least agree in kind.
                 (Err(_), Err(_)) => {}
                 (Ok(_), Err(e)) => {
-                    return Err(TestCaseError::fail(format!(
+                    panic!(
                         "slice fails where original succeeds: {e} (seed {seed})\n{}",
                         regen.source
-                    )));
+                    );
                 }
                 (Err(_), Ok(_)) => {} // slice may drop a failing computation
             }
         }
     }
+}
 
-    /// Feature removal (Alg. 2): the feature seed disappears and the result
-    /// stays inside the SDG's vertex universe.
-    #[test]
-    fn feature_removal_removes_the_seed(seed in 0u64..5_000) {
+/// Feature removal (Alg. 2): the feature seed disappears and the result
+/// stays inside the SDG's vertex universe.
+#[test]
+fn feature_removal_removes_the_seed() {
+    for seed in seeds(24, 523) {
         let src = random_program(seed, cfg());
-        let ast = frontend(&src).unwrap();
-        let sdg = build_sdg(&ast).unwrap();
-        let main = sdg.proc_named("main").unwrap();
+        let slicer = Slicer::from_source(&src).unwrap();
+        let main = slicer.sdg().proc_named("main").unwrap();
         let seed_vertex = main.vertices.iter().copied().find(|&v| {
-            matches!(sdg.vertex(v).kind, specslice_sdg::VertexKind::Statement { .. })
+            matches!(
+                slicer.sdg().vertex(v).kind,
+                specslice_sdg::VertexKind::Statement { .. }
+            )
         });
-        prop_assume!(seed_vertex.is_some());
-        let sv = seed_vertex.unwrap();
-        let slice =
-            specslice::feature_removal::remove_feature(&sdg, &Criterion::vertex(sv)).unwrap();
-        prop_assert!(!slice.elems().contains(&sv));
+        let Some(sv) = seed_vertex else { continue };
+        let slice = slicer.remove_feature(&Criterion::vertex(sv)).unwrap();
+        assert!(!slice.elems().contains(&sv), "seed {seed}");
         for v in slice.elems() {
-            prop_assert!(v.index() < sdg.vertex_count());
+            assert!(v.index() < slicer.sdg().vertex_count(), "seed {seed}");
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// §8.3 reslicing idempotence on random programs.
-    #[test]
-    fn reslice_languages_agree(seed in 0u64..2_000) {
-        let src = random_program(seed, GenConfig { recursion: false, ..cfg() });
-        let ast = frontend(&src).unwrap();
+/// §8.3 reslicing idempotence on random programs.
+#[test]
+fn reslice_languages_agree() {
+    for seed in seeds(16, 131).map(|s| s % 2_000) {
+        let src = random_program(
+            seed,
+            GenConfig {
+                recursion: false,
+                ..cfg()
+            },
+        );
+        let ast = specslice_lang::frontend(&src).unwrap();
         let sdg = build_sdg(&ast).unwrap();
-        let cv = sdg.printf_actual_in_vertices();
-        prop_assume!(!cv.is_empty());
-        let criterion = Criterion::printf_actuals(&sdg);
-        let slice = specialize(&sdg, &criterion).unwrap();
-        prop_assume!(!slice.is_empty());
-        let regen = specslice::regen::regenerate(&sdg, &ast, &slice).unwrap();
-        let report = specslice::reslice::reslice_check(&sdg, &criterion, &slice, &regen).unwrap();
-        prop_assert!(
+        let slicer = Slicer::from_sdg(sdg).unwrap();
+        let cv = slicer.sdg().printf_actual_in_vertices();
+        if cv.is_empty() {
+            continue;
+        }
+        let criterion = Criterion::printf_actuals(slicer.sdg());
+        let slice = slicer.slice(&criterion).unwrap();
+        if slice.is_empty() {
+            continue;
+        }
+        let regen = specslice::regen::regenerate(slicer.sdg(), &ast, &slice).unwrap();
+        let report = slicer.reslice_check(&criterion, &slice, &regen).unwrap();
+        assert!(
             report.languages_equal,
-            "reslice mismatch (seed {}, unmapped {:?})\n{}\n=== slice ===\n{}",
-            seed, report.unmapped, src, regen.source
+            "reslice mismatch (seed {seed}, unmapped {:?})\n{src}\n=== slice ===\n{}",
+            report.unmapped, regen.source
         );
     }
 }

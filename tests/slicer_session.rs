@@ -1,0 +1,282 @@
+//! The `Slicer` session contract: batch ≡ individual, cached encodings are
+//! never rebuilt, structured errors classify and chain.
+
+use specslice::{Criterion, Slicer, SlicerConfig, SpecError, SpecSlice};
+use specslice_corpus::{random_program, GenConfig};
+use specslice_sdg::build::build_sdg;
+use std::error::Error as _;
+use std::sync::Mutex;
+
+/// Serializes the tests of this binary: the encode-counter assertions read
+/// the process-wide `encode_call_count`, and every other test here bumps it
+/// by constructing `Slicer`s — parallel test threads would race the deltas.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Takes the serialization lock, surviving poisoning from a failed test.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Structural slice equality (SpecSlice intentionally has no PartialEq —
+/// the automaton field compares by language, not by representation).
+fn assert_same_slice(a: &SpecSlice, b: &SpecSlice, ctx: &str) {
+    assert_eq!(a.main_variant, b.main_variant, "{ctx}: main variant");
+    assert_eq!(a.variants.len(), b.variants.len(), "{ctx}: variant count");
+    for (va, vb) in a.variants.iter().zip(&b.variants) {
+        assert_eq!(va.proc, vb.proc, "{ctx}: variant proc");
+        assert_eq!(va.name, vb.name, "{ctx}: variant name");
+        assert_eq!(va.vertices, vb.vertices, "{ctx}: variant Elems");
+        assert_eq!(va.calls, vb.calls, "{ctx}: call bindings");
+    }
+}
+
+/// Per-printf criteria of a program — the paper's evaluation workload.
+fn per_printf_criteria(slicer: &Slicer) -> Vec<Criterion> {
+    slicer
+        .sdg()
+        .printf_call_sites()
+        .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+        .collect()
+}
+
+/// Property: `slice_batch(&[c1, …, cn])[i]` is identical to `slice(ci)`,
+/// across corpus programs and randomly generated ones, with mixed criterion
+/// forms.
+#[test]
+fn batch_equals_individual_slices() {
+    let _guard = serial();
+    // Corpus programs with their per-printf criteria.
+    for prog in specslice_corpus::programs() {
+        let slicer = Slicer::from_source(prog.source).unwrap();
+        let mut criteria = per_printf_criteria(&slicer);
+        // Mix in other criterion forms: all printfs at once, single vertex.
+        criteria.push(Criterion::printf_actuals(slicer.sdg()));
+        let any_vertex = slicer.sdg().printf_actual_in_vertices()[0];
+        criteria.push(Criterion::vertex(any_vertex));
+
+        let batch = slicer.slice_batch(&criteria).unwrap();
+        assert_eq!(batch.slices.len(), criteria.len());
+        for (i, criterion) in criteria.iter().enumerate() {
+            let single = slicer.slice(criterion).unwrap();
+            assert_same_slice(
+                &batch.slices[i],
+                &single,
+                &format!("{} criterion #{i}", prog.name),
+            );
+        }
+    }
+
+    // Random programs (seeded sweep).
+    let cfg = GenConfig {
+        n_globals: 3,
+        n_funcs: 4,
+        max_stmts: 6,
+        recursion: true,
+    };
+    for seed in (0..12).map(|i| i * 641 + 5) {
+        let src = random_program(seed, cfg);
+        let slicer = Slicer::from_source(&src).unwrap();
+        let criteria = per_printf_criteria(&slicer);
+        if criteria.is_empty() {
+            continue;
+        }
+        let batch = slicer.slice_batch(&criteria).unwrap();
+        for (i, criterion) in criteria.iter().enumerate() {
+            let single = slicer.slice(criterion).unwrap();
+            assert_same_slice(&batch.slices[i], &single, &format!("seed {seed} #{i}"));
+        }
+    }
+}
+
+/// A session reused across criteria never re-encodes the SDG as a PDS and
+/// builds the reachable automaton at most once. Observed two ways: the
+/// process-wide encode counter does not move, and the cached encoding is
+/// pointer-identical across queries.
+#[test]
+fn session_never_rebuilds_the_pds() {
+    let _guard = serial();
+    let prog = specslice_corpus::by_name("print_tokens").unwrap();
+    let slicer = Slicer::from_source(prog.source).unwrap();
+    let criteria = per_printf_criteria(&slicer);
+    assert!(criteria.len() >= 2, "needs a multi-criterion workload");
+
+    let enc_before = slicer.encoding() as *const _;
+    let encodes_before = specslice::encode::encode_call_count();
+    assert_eq!(slicer.reachable_builds(), 0, "reachable cache is lazy");
+
+    for criterion in &criteria {
+        slicer.slice(criterion).unwrap();
+    }
+    slicer.slice_batch(&criteria).unwrap();
+    let slice = slicer.slice(&criteria[0]).unwrap();
+    slicer.regenerate(&slice).unwrap();
+
+    let encodes_after = specslice::encode::encode_call_count();
+    assert_eq!(
+        encodes_after, encodes_before,
+        "a reused Slicer must never re-encode its SDG"
+    );
+    assert_eq!(
+        slicer.encoding() as *const _,
+        enc_before,
+        "cached encoding must be the same instance"
+    );
+    assert_eq!(
+        slicer.reachable_builds(),
+        1,
+        "reachable automaton is built exactly once for the whole session"
+    );
+    assert_eq!(slicer.queries_run(), 2 * criteria.len() + 1);
+}
+
+/// Feature removal and reslice checks also run against the session caches.
+#[test]
+fn session_covers_the_whole_pipeline() {
+    let _guard = serial();
+    let slicer = Slicer::from_source(specslice_corpus::examples::FIG16).unwrap();
+    let encodes_before = specslice::encode::encode_call_count();
+
+    let criterion = Criterion::printf_actuals(slicer.sdg());
+    let slice = slicer.slice(&criterion).unwrap();
+    let regen = slicer.regenerate(&slice).unwrap();
+    let report = slicer.reslice_check(&criterion, &slice, &regen).unwrap();
+    assert!(report.languages_equal);
+
+    let main = slicer.sdg().proc_named("main").unwrap();
+    let seed_stmt = main
+        .vertices
+        .iter()
+        .copied()
+        .find(|&v| {
+            matches!(
+                slicer.sdg().vertex(v).kind,
+                specslice_sdg::VertexKind::Statement { .. }
+            )
+        })
+        .unwrap();
+    let removed = slicer
+        .remove_feature(&Criterion::vertex(seed_stmt))
+        .unwrap();
+    assert!(!removed.elems().contains(&seed_stmt));
+
+    // The reslice check encodes the *regenerated* program (a different
+    // program — one fresh encoding is legitimate); the original program's
+    // encoding is reused throughout. So: exactly one new encode, from
+    // reslice_check's regenerated-program build.
+    let encodes_after = specslice::encode::encode_call_count();
+    assert_eq!(
+        encodes_after - encodes_before,
+        1,
+        "only the regenerated program may be (freshly) encoded"
+    );
+}
+
+/// Structured errors: stage classification and `source()` chaining.
+#[test]
+fn spec_error_classifies_and_chains() {
+    let _guard = serial();
+    // Parse errors wrap the LangError and expose it via source().
+    let err = Slicer::from_source("int main( {").unwrap_err();
+    assert!(matches!(err, SpecError::Parse(_)), "{err:?}");
+    let src_err = err.source().expect("parse errors chain their cause");
+    assert!(src_err.to_string().contains("expected"), "{src_err}");
+
+    // Semantic errors classify separately.
+    let err = Slicer::from_source("int main() { x = 1; return 0; }").unwrap_err();
+    assert!(matches!(err, SpecError::Sema(_)), "{err:?}");
+    assert!(err.source().is_some());
+
+    // SDG-stage errors (no main) classify and chain too.
+    let program =
+        specslice_lang::frontend("int f(int a) { return a; } int main() { return 0; }").unwrap();
+    let mut no_main = program;
+    no_main.functions.retain(|f| f.name != "main");
+    let err = Slicer::from_program(no_main).unwrap_err();
+    assert!(
+        matches!(err, SpecError::SdgBuild(specslice_sdg::SdgError::NoMain)),
+        "{err:?}"
+    );
+    assert!(err.source().is_some());
+
+    // Bad criteria carry a reason and no source.
+    let slicer = Slicer::from_source("int main() { printf(\"%d\", 1); return 0; }").unwrap();
+    let err = slicer
+        .slice(&Criterion::vertex(specslice_sdg::VertexId(9_999)))
+        .unwrap_err();
+    match &err {
+        SpecError::BadCriterion { reason } => assert!(reason.contains("out of range")),
+        other => panic!("expected BadCriterion, got {other:?}"),
+    }
+    assert!(err.source().is_none());
+}
+
+/// Batch errors name the offending criterion by index.
+#[test]
+fn batch_errors_identify_the_criterion() {
+    let _guard = serial();
+    let slicer = Slicer::from_source("int main() { printf(\"%d\", 1); return 0; }").unwrap();
+    let good = Criterion::printf_actuals(slicer.sdg());
+    let bad = Criterion::vertex(specslice_sdg::VertexId(9_999));
+    let err = slicer.slice_batch(&[good.clone(), good, bad]).unwrap_err();
+    match err {
+        SpecError::BadCriterion { reason } => {
+            assert!(reason.contains("#2"), "{reason}");
+        }
+        other => panic!("expected BadCriterion, got {other:?}"),
+    }
+}
+
+/// Config toggles: stats collection can be disabled for hot loops; the
+/// validation toggle only skips the audit, never changes results.
+#[test]
+fn config_controls_stats_and_validation() {
+    let _guard = serial();
+    let prog = specslice_corpus::by_name("replace").unwrap();
+    let audited = Slicer::from_source(prog.source).unwrap();
+    let unaudited = Slicer::from_source_with(
+        prog.source,
+        SlicerConfig {
+            validate: false,
+            collect_stats: false,
+        },
+    )
+    .unwrap();
+    let criteria = per_printf_criteria(&audited);
+
+    let with = audited.slice_batch(&criteria).unwrap();
+    let without = unaudited.slice_batch(&criteria).unwrap();
+    assert_eq!(with.per_criterion.len(), criteria.len());
+    assert!(
+        without.per_criterion.is_empty(),
+        "stats collection disabled"
+    );
+    assert!(with.aggregate.prestar_transitions > 0);
+    for (a, b) in with.slices.iter().zip(&without.slices) {
+        assert_same_slice(a, b, "validate toggle must not change slices");
+    }
+}
+
+/// Sessions built from a bare SDG slice fine but cannot regenerate source.
+#[test]
+fn from_sdg_sessions_slice_but_cannot_regenerate() {
+    let _guard = serial();
+    let program = specslice_lang::frontend(specslice_corpus::examples::FIG1).unwrap();
+    let sdg = build_sdg(&program).unwrap();
+    let slicer = Slicer::from_sdg(sdg).unwrap();
+    assert!(slicer.program().is_none());
+    let slice = slicer
+        .slice(&Criterion::printf_actuals(slicer.sdg()))
+        .unwrap();
+    assert_eq!(slice.variants_of_proc(slicer.sdg(), "p").len(), 2);
+    let err = slicer.regenerate(&slice).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SpecError::Internal {
+                context: "regen",
+                ..
+            }
+        ),
+        "{err:?}"
+    );
+}
