@@ -1,0 +1,227 @@
+//! Parallel batch slicing: the per-printf corpus workload answered by
+//! `Slicer::slice_batch` at 1, 2, and 4 worker threads (and the machine
+//! maximum, when larger).
+//!
+//! Run with: `cargo bench -p specslice-bench --bench parallel`
+//!
+//! Prints a per-program table, verifies that every thread count produces
+//! byte-identical slices, and emits a machine-readable JSON report to
+//! stdout (and to `$PARALLEL_BENCH_JSON` when set — the committed snapshot
+//! at `crates/bench/benches/data/parallel.json` was produced that way).
+//!
+//! On hosts with ≥ 4 cores the bench asserts a ≥ 1.5x geometric-mean
+//! speedup at 4 threads over 1; on smaller hosts (where 4 workers share
+//! fewer cores and no speedup is physically possible) it still verifies
+//! determinism and records the measured numbers.
+
+use specslice::{Criterion, Slicer, SlicerConfig};
+use specslice_bench::{geometric_mean, timer};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SAMPLES: usize = 10;
+
+/// Thread counts compared, in order. 1 is the sequential baseline.
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 4];
+    let avail = specslice_exec::available_parallelism();
+    if avail > 4 {
+        counts.push(avail);
+    }
+    counts
+}
+
+struct ProgramRow {
+    name: &'static str,
+    criteria: usize,
+    /// Median batch wall-clock per thread count (same order as
+    /// `thread_counts()`).
+    medians: Vec<Duration>,
+}
+
+fn main() {
+    let counts = thread_counts();
+    let host = specslice_exec::available_parallelism();
+    println!(
+        "parallel slice_batch, per-printf criteria, {} samples, host parallelism = {host}",
+        SAMPLES
+    );
+    println!("{}", timer::header());
+
+    let mut rows: Vec<ProgramRow> = Vec::new();
+    for prog in specslice_corpus::programs() {
+        // One session per thread count: sessions are immutable, so the only
+        // difference between them is the worker pool width.
+        let sessions: Vec<Slicer> = counts
+            .iter()
+            .map(|&t| {
+                Slicer::from_source_with(
+                    prog.source,
+                    SlicerConfig {
+                        collect_stats: false,
+                        num_threads: t,
+                        ..SlicerConfig::default()
+                    },
+                )
+                .expect("corpus program")
+            })
+            .collect();
+        let criteria: Vec<Criterion> = sessions[0]
+            .sdg()
+            .printf_call_sites()
+            .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+            .collect();
+        if criteria.is_empty() {
+            continue;
+        }
+
+        // Acceptance gate: byte-identical slice output at every thread
+        // count (the Debug rendering of a SpecSlice is fully deterministic).
+        let baseline = format!("{:?}", sessions[0].slice_batch(&criteria).unwrap().slices);
+        for (slicer, &t) in sessions.iter().zip(&counts).skip(1) {
+            let out = format!("{:?}", slicer.slice_batch(&criteria).unwrap().slices);
+            assert_eq!(
+                out, baseline,
+                "{}: slice_batch output diverged at {t} threads",
+                prog.name
+            );
+        }
+
+        let mut medians = Vec::new();
+        for (slicer, &t) in sessions.iter().zip(&counts) {
+            // Warm the lazily-built reachable automaton outside the timer so
+            // every thread count pays identical one-time costs.
+            slicer.slice_batch(&criteria).unwrap();
+            let n = criteria.len();
+            let s = timer::run(
+                &format!("parallel/batch-x{n}-t{t}/{}", prog.name),
+                SAMPLES,
+                || slicer.slice_batch(&criteria).unwrap(),
+            );
+            println!("{}", s.row());
+            medians.push(s.median);
+        }
+        rows.push(ProgramRow {
+            name: prog.name,
+            criteria: criteria.len(),
+            medians,
+        });
+    }
+
+    // Two aggregates per thread count: the geometric-mean of per-program
+    // speedups (every program weighted equally — including `tcas`, whose
+    // single-criterion batch cannot parallelize at all), and the corpus
+    // wall-clock ratio (total time to answer the whole 12-program
+    // workload), which is what a corpus-sweeping client experiences.
+    let mut geomeans = Vec::new();
+    let mut totals = Vec::new();
+    for (ci, &t) in counts.iter().enumerate() {
+        let gm = geometric_mean(
+            rows.iter()
+                .map(|r| r.medians[0].as_secs_f64() / r.medians[ci].as_secs_f64()),
+        );
+        let sum = |i: usize| -> f64 { rows.iter().map(|r| r.medians[i].as_secs_f64()).sum() };
+        let total = sum(0) / sum(ci);
+        println!(
+            "speedup at {t} threads vs 1: corpus wall-clock {total:.2}x, \
+             per-program geomean {gm:.2}x"
+        );
+        geomeans.push(gm);
+        totals.push(total);
+    }
+
+    let json = render_json(host, &counts, &rows, &geomeans, &totals);
+    println!("\n--- JSON report ---\n{json}");
+    if let Ok(path) = std::env::var("PARALLEL_BENCH_JSON") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create snapshot directory");
+        }
+        std::fs::write(&path, &json).expect("write JSON snapshot");
+        eprintln!("wrote {path}");
+    }
+
+    let idx4 = counts.iter().position(|&t| t == 4).expect("4 is benched");
+    if host >= 4 {
+        assert!(
+            totals[idx4] >= 1.5,
+            "4-thread slice_batch must be >= 1.5x over sequential on a \
+             >= 4-core host (measured {:.2}x corpus wall-clock)",
+            totals[idx4]
+        );
+    } else {
+        println!(
+            "host has {host} core(s) < 4: skipping the 4-thread >= 1.5x assertion \
+             (measured {:.2}x); determinism was verified above",
+            totals[idx4]
+        );
+    }
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free — no serde).
+fn render_json(
+    host: usize,
+    counts: &[usize],
+    rows: &[ProgramRow],
+    geomeans: &[f64],
+    totals: &[f64],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"parallel\",");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"per-printf slice_batch, 12-program corpus\","
+    );
+    let _ = writeln!(s, "  \"host_parallelism\": {host},");
+    if host < 4 {
+        let _ = writeln!(
+            s,
+            "  \"note\": \"host had {host} core(s): thread counts beyond it \
+             measure pool overhead, not parallel speedup; the >= 1.5x \
+             assertion arms on hosts with >= 4 cores\","
+        );
+    }
+    let _ = writeln!(s, "  \"samples\": {SAMPLES},");
+    let _ = writeln!(
+        s,
+        "  \"thread_counts\": [{}],",
+        counts
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"programs\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let medians = r
+            .medians
+            .iter()
+            .map(|d| format!("{:.1}", d.as_secs_f64() * 1e6))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let speedups = r
+            .medians
+            .iter()
+            .map(|d| format!("{:.2}", r.medians[0].as_secs_f64() / d.as_secs_f64()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "    {{\"name\": \"{}\", \"criteria\": {}, \"median_us\": [{medians}], \
+             \"speedup_vs_1\": [{speedups}]}}{comma}",
+            r.name, r.criteria
+        );
+    }
+    let _ = writeln!(s, "  ],");
+    let fmt = |v: &[f64]| {
+        v.iter()
+            .map(|g| format!("{g:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(s, "  \"geomean_speedup_vs_1\": [{}],", fmt(geomeans));
+    let _ = writeln!(s, "  \"corpus_wallclock_speedup_vs_1\": [{}]", fmt(totals));
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -12,7 +12,6 @@
 use specslice::{Criterion, Slicer};
 use specslice_bench::{geometric_mean, loc, slice_program, std_dev, SliceRecord};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 const EXPERIMENT_IDS: &[&str] = &[
     "tab1",
@@ -154,11 +153,10 @@ fn fig13() {
     for k in 1..=8 {
         let src = specslice_corpus::pk_family(k);
         let slicer = Slicer::from_source(&src).unwrap();
-        let t = Instant::now();
-        let slice = slicer
-            .slice(&Criterion::printf_actuals(slicer.sdg()))
+        // Timing from the pipeline's own accounting, like every driver.
+        let (slice, stats) = slicer
+            .slice_with_stats(&Criterion::printf_actuals(slicer.sdg()))
             .unwrap();
-        let dt = t.elapsed();
         let n = slice.variants_of_proc(slicer.sdg(), "pk").len();
         println!(
             "{:>3} {:>12} {:>12} {:>10} {:>10.1?}",
@@ -166,7 +164,7 @@ fn fig13() {
             n,
             format!("2^{k}-1 = {}", (1 << k) - 1),
             slice.total_vertices(),
-            dt
+            stats.query_time
         );
         assert_eq!(n, (1 << k) - 1);
     }
@@ -186,20 +184,38 @@ struct Fig17Row {
 }
 
 fn corpus_records() -> (Vec<Fig17Row>, Vec<SliceRecord>) {
-    let mut rows = Vec::new();
-    let mut records = Vec::new();
-    for prog in specslice_corpus::programs() {
+    // Programs are independent, so the corpus fans out one session per
+    // program across the available cores (per-criterion parallelism lives
+    // inside `slice_batch`; here the unit of work is a whole program).
+    // `Pool::map` returns in input order, so tables are stable.
+    let pool = specslice_exec::Pool::with_available_parallelism();
+    if pool.threads() > 1 {
+        println!(
+            "(corpus sweep parallelized over {} workers; timing columns in the \
+             figures below were measured on a machine loaded by the sweep itself \
+             — sizes and shapes are unaffected)",
+            pool.threads()
+        );
+    }
+    let progs = specslice_corpus::programs();
+    let per_program = pool.map(&progs, |_, prog| {
         let slicer = Slicer::from_source(prog.source).unwrap();
         let recs = slice_program(prog.name, &slicer);
         let sdg = slicer.sdg();
-        rows.push(Fig17Row {
+        let row = Fig17Row {
             name: prog.name,
             loc: loc(prog.source),
             procs: sdg.procs.len(),
             vertices: sdg.vertex_count(),
             call_sites: sdg.call_sites.len(),
             slices: recs.len(),
-        });
+        };
+        (row, recs)
+    });
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (row, recs) in per_program {
+        rows.push(row);
         records.extend(recs);
     }
     // The Fig. 18 / det-shrink aggregates also include the mismatch-rich
@@ -213,9 +229,11 @@ fn corpus_records() -> (Vec<Fig17Row>, Vec<SliceRecord>) {
         ("pk4", specslice_corpus::pk_family(4)),
         ("pk5", specslice_corpus::pk_family(5)),
     ];
-    for (name, src) in extra {
-        let slicer = Slicer::from_source(&src).unwrap();
-        records.extend(slice_program(name, &slicer));
+    for recs in pool.map(&extra, |_, (name, src)| {
+        let slicer = Slicer::from_source(src).unwrap();
+        slice_program(name, &slicer)
+    }) {
+        records.extend(recs);
     }
     (rows, records)
 }

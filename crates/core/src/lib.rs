@@ -68,6 +68,12 @@
 //! assert_eq!(batch.slices.len(), per_vertex.len());
 //! # Ok::<(), specslice::SpecError>(())
 //! ```
+//!
+//! Batches fan out across worker threads (see [`SlicerConfig::num_threads`]
+//! and `docs/ARCHITECTURE.md`); output is bit-for-bit identical at every
+//! thread count.
+
+#![warn(missing_docs)]
 
 pub mod criteria;
 pub mod encode;
@@ -82,6 +88,9 @@ pub mod stats;
 pub use criteria::Criterion;
 pub use readout::{SpecSlice, VariantPdg};
 pub use slicer::{BatchResult, Slicer, SlicerConfig};
+// Batch slicing reports per-worker accounting in [`BatchResult::per_thread`];
+// re-exported so clients can name the type without a `specslice-exec` dep.
+pub use specslice_exec::WorkerStats;
 
 // The facade re-exports everything a client needs to construct criteria and
 // inspect results, so depending on `specslice` alone suffices.
@@ -199,7 +208,7 @@ pub fn specialize(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecErr
     slicer::run_query(sdg, &enc, &query, true).map(|(s, _)| s)
 }
 
-/// Sizes observed along the Alg. 1 pipeline.
+/// Sizes (and wall-clock) observed along the Alg. 1 pipeline.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PipelineStats {
     /// `|Δ|` of the encoded PDS.
@@ -214,6 +223,12 @@ pub struct PipelineStats {
     pub a1_transitions: usize,
     /// MRD pipeline statistics (`determinize` / `minimize` sizes).
     pub mrd: MrdStats,
+    /// Wall-clock of the criterion-dependent pipeline for this query (query
+    /// automaton → `Prestar` → MRD → read-out), as measured by the worker
+    /// thread that answered it. Summed by [`PipelineStats::absorb`], so a
+    /// batch aggregate reports total CPU-side work — which exceeds batch
+    /// wall-clock exactly when parallel slicing helps.
+    pub query_time: std::time::Duration,
 }
 
 impl PipelineStats {
@@ -231,5 +246,22 @@ impl PipelineStats {
         self.mrd.minimized_states += other.mrd.minimized_states;
         self.mrd.mrd_states += other.mrd.mrd_states;
         self.mrd.mrd_transitions += other.mrd.mrd_transitions;
+        self.query_time += other.query_time;
+    }
+
+    /// One line of human-readable pipeline accounting. The examples and the
+    /// bench drivers all report through this, so their output stays
+    /// consistent with each other (and with the docs).
+    pub fn summary(&self) -> String {
+        format!(
+            "rules={} prestar={}t a1={}s/{}t mrd={}s/{}t time={:.1?}",
+            self.pds_rules,
+            self.prestar_transitions,
+            self.a1_states,
+            self.a1_transitions,
+            self.mrd.mrd_states,
+            self.mrd.mrd_transitions,
+            self.query_time,
+        )
     }
 }

@@ -106,6 +106,34 @@ impl SpecSlice {
     }
 }
 
+/// Reusable buffers for the read-out stage. Batch slicing hands one of
+/// these to each worker thread ([`crate::Slicer::slice_batch`]), so the
+/// per-criterion hot loop re-clears warm tables instead of re-allocating
+/// them — and, with several workers live at once, does not contend on the
+/// global allocator for its working set.
+#[derive(Debug, Default)]
+pub(crate) struct ReadoutScratch {
+    vertex_sets: HashMap<StateId, BTreeSet<VertexId>>,
+    call_transitions: Vec<(StateId, CallSiteId, StateId)>,
+    state_proc: HashMap<StateId, ProcId>,
+    states: Vec<StateId>,
+    variant_of_state: HashMap<StateId, usize>,
+    per_proc_count: HashMap<ProcId, usize>,
+    per_proc_seen: HashMap<ProcId, usize>,
+}
+
+impl ReadoutScratch {
+    fn clear(&mut self) {
+        self.vertex_sets.clear();
+        self.call_transitions.clear();
+        self.state_proc.clear();
+        self.states.clear();
+        self.variant_of_state.clear();
+        self.per_proc_count.clear();
+        self.per_proc_seen.clear();
+    }
+}
+
 /// Reads the specialized SDG out of `a6` (Alg. 1 lines 9–24) and validates
 /// the Cor. 3.19 no-parameter-mismatch property.
 pub fn read_out(sdg: &Sdg, enc: &Encoded, a6: &Nfa) -> Result<SpecSlice, SpecError> {
@@ -120,6 +148,17 @@ pub fn read_out_with(
     a6: &Nfa,
     validate: bool,
 ) -> Result<SpecSlice, SpecError> {
+    read_out_in(sdg, enc, a6, validate, &mut ReadoutScratch::default())
+}
+
+/// [`read_out_with`] against caller-owned scratch buffers.
+pub(crate) fn read_out_in(
+    sdg: &Sdg,
+    enc: &Encoded,
+    a6: &Nfa,
+    validate: bool,
+    scratch: &mut ReadoutScratch,
+) -> Result<SpecSlice, SpecError> {
     if a6.is_empty_language() {
         return Ok(SpecSlice {
             variants: Vec::new(),
@@ -129,10 +168,11 @@ pub fn read_out_with(
     }
     debug_assert!(is_reverse_deterministic(a6), "A6 must be MRD (Thm. 3.16)");
 
+    scratch.clear();
     let q0 = a6.initial();
     // Collect per-state vertex sets and per-state call transitions.
-    let mut vertex_sets: HashMap<StateId, BTreeSet<VertexId>> = HashMap::new();
-    let mut call_transitions: Vec<(StateId, CallSiteId, StateId)> = Vec::new();
+    let vertex_sets = &mut scratch.vertex_sets;
+    let call_transitions = &mut scratch.call_transitions;
     for (from, label, to) in a6.transitions() {
         let sym = label.ok_or_else(|| SpecError::internal("readout", "A6 has ε-transitions"))?;
         if from == q0 {
@@ -152,8 +192,8 @@ pub fn read_out_with(
     }
 
     // Determine each state's procedure.
-    let mut state_proc: HashMap<StateId, ProcId> = HashMap::new();
-    for (&state, verts) in &vertex_sets {
+    let state_proc = &mut scratch.state_proc;
+    for (&state, verts) in vertex_sets.iter() {
         let mut procs: BTreeSet<ProcId> = verts.iter().map(|&v| sdg.vertex(v).proc).collect();
         if procs.len() != 1 {
             return Err(SpecError::internal(
@@ -165,7 +205,7 @@ pub fn read_out_with(
     }
     // States with no vertex transitions (possible for feature-removal
     // complements): infer the procedure from adjacent call transitions.
-    for &(from, c, to) in &call_transitions {
+    for &(from, c, to) in call_transitions.iter() {
         let site = sdg.call_site(c);
         if let CalleeKind::User(callee) = site.callee {
             state_proc.entry(from).or_insert(callee);
@@ -175,7 +215,7 @@ pub fn read_out_with(
 
     // Consistency: call transition (q1, C, q2) must have proc(q1) = callee(C)
     // and proc(q2) = caller(C).
-    for &(from, c, to) in &call_transitions {
+    for &(from, c, to) in call_transitions.iter() {
         let site = sdg.call_site(c);
         let CalleeKind::User(callee) = site.callee else {
             return Err(SpecError::internal(
@@ -195,18 +235,19 @@ pub fn read_out_with(
     }
 
     // Build variants in deterministic state order.
-    let mut states: Vec<StateId> = state_proc.keys().copied().collect();
+    let states = &mut scratch.states;
+    states.extend(state_proc.keys().copied());
     states.sort();
-    let mut variant_of_state: HashMap<StateId, usize> = HashMap::new();
+    let variant_of_state = &mut scratch.variant_of_state;
     let mut variants: Vec<VariantPdg> = Vec::new();
     // Per-proc counters for naming.
-    let mut per_proc_count: HashMap<ProcId, usize> = HashMap::new();
-    for &s in &states {
+    let per_proc_count = &mut scratch.per_proc_count;
+    for &s in states.iter() {
         let proc = state_proc[&s];
         *per_proc_count.entry(proc).or_insert(0) += 1;
     }
-    let mut per_proc_seen: HashMap<ProcId, usize> = HashMap::new();
-    for &s in &states {
+    let per_proc_seen = &mut scratch.per_proc_seen;
+    for &s in states.iter() {
         let proc = state_proc[&s];
         let k = per_proc_seen.entry(proc).or_insert(0);
         *k += 1;
@@ -228,7 +269,7 @@ pub fn read_out_with(
 
     // Connect variants along call transitions. Reverse determinism gives a
     // unique callee per (caller variant, call site).
-    for &(from, c, to) in &call_transitions {
+    for &(from, c, to) in call_transitions.iter() {
         let caller_idx = variant_of_state[&to];
         let callee_idx = variant_of_state[&from];
         if let Some(&prev) = variants[caller_idx].calls.get(&c) {

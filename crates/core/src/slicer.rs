@@ -1,4 +1,4 @@
-//! The [`Slicer`] session: one program, many slicing queries.
+//! The [`Slicer`] session: one program, many slicing queries — in parallel.
 //!
 //! Alg. 1's pipeline splits into *program-dependent* stages (frontend → SDG
 //! construction → PDS encoding → the reachable-configuration automaton) and
@@ -9,13 +9,23 @@
 //! at construction (the reachable automaton lazily, on the first criterion
 //! that needs it) and reuses them for every subsequent query, batch, feature
 //! removal, regeneration, or reslice check.
+//!
+//! The criterion-dependent stages are *independent* across criteria and
+//! touch the session state read-only, so [`Slicer::slice_batch`] fans a
+//! batch out over a [`specslice_exec::Pool`] of worker threads (see
+//! [`SlicerConfig::num_threads`]). Each worker owns private scratch buffers
+//! for the read-out stage; the shared `Sdg`, PDS encoding, and reachable
+//! automaton are borrowed immutably by all workers. Results are assembled
+//! in input order, so batch output is bit-for-bit identical at every thread
+//! count.
 
 use crate::criteria::{self, Criterion};
 use crate::encode::{self, Encoded, MAIN_CONTROL};
-use crate::readout::{self, SpecSlice};
+use crate::readout::{self, ReadoutScratch, SpecSlice};
 use crate::regen::{self, RegenOutput};
 use crate::reslice::{self, ResliceReport};
 use crate::{feature_removal, PipelineStats, SpecError};
+use specslice_exec::{Pool, WorkerStats};
 use specslice_fsa::mrd::mrd_with_stats;
 use specslice_fsa::Nfa;
 use specslice_lang::Program;
@@ -23,7 +33,9 @@ use specslice_pds::prestar::prestar_with_stats;
 use specslice_pds::PAutomaton;
 use specslice_sdg::build::build_sdg;
 use specslice_sdg::Sdg;
-use std::cell::{Cell, OnceCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Options for a [`Slicer`] session.
 ///
@@ -40,6 +52,13 @@ pub struct SlicerConfig {
     /// workloads; the (cheap, counter-read) aggregate is always computed,
     /// and [`Slicer::slice_with_stats`] always returns stats.
     pub collect_stats: bool,
+    /// Worker threads used by [`Slicer::slice_batch`] (and
+    /// [`Slicer::slice_batch_results`]). Defaults to the machine's available
+    /// parallelism; `1` (or `0`) answers the batch sequentially on the
+    /// calling thread, exactly as single-criterion [`Slicer::slice`] calls
+    /// would. Results are bit-for-bit identical at every setting — the knob
+    /// only trades wall-clock for cores.
+    pub num_threads: usize,
 }
 
 impl Default for SlicerConfig {
@@ -47,6 +66,7 @@ impl Default for SlicerConfig {
         SlicerConfig {
             validate: true,
             collect_stats: true,
+            num_threads: specslice_exec::available_parallelism(),
         }
     }
 }
@@ -62,6 +82,10 @@ pub struct BatchResult {
     /// Aggregate over `per_criterion` ([`PipelineStats::absorb`] semantics:
     /// sums of per-query sizes, shared-encoding sizes kept once).
     pub aggregate: PipelineStats,
+    /// Per-worker-thread execution accounting for this batch: how many
+    /// criteria each worker answered, how many it stole, and how long it
+    /// was busy. One entry per worker that ran (a sequential batch has one).
+    pub per_thread: Vec<WorkerStats>,
 }
 
 /// A slicing session over one program: cached SDG, cached PDS encoding,
@@ -71,7 +95,9 @@ pub struct BatchResult {
 /// query method ([`slice`](Slicer::slice), [`slice_batch`](Slicer::slice_batch),
 /// [`remove_feature`](Slicer::remove_feature), …) reuses those caches. The
 /// session is cheap to keep alive and immutable — build one per program and
-/// share it across as many criteria as needed.
+/// share it across as many criteria as needed. It is also [`Sync`]: batch
+/// queries fan out across worker threads that borrow it concurrently, and
+/// clients may do the same with `&Slicer` or `Arc<Slicer>`.
 #[derive(Debug)]
 pub struct Slicer {
     program: Option<Program>,
@@ -80,10 +106,19 @@ pub struct Slicer {
     config: SlicerConfig,
     /// `post*({⟨entry_main, ε⟩})` as an NFA — needed by all-contexts
     /// criteria and feature removal; built on first use, then shared.
-    reachable: OnceCell<Nfa>,
-    reachable_builds: Cell<usize>,
-    queries_run: Cell<usize>,
+    reachable: OnceLock<Nfa>,
+    reachable_builds: AtomicUsize,
+    queries_run: AtomicUsize,
 }
+
+/// One outcome per batch criterion, in input order.
+type RawBatch = Vec<Result<(SpecSlice, PipelineStats), SpecError>>;
+
+/// The session is shared immutably across batch worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Slicer>();
+};
 
 impl Slicer {
     /// Builds a session from MiniC source: frontend → SDG → PDS encoding,
@@ -135,9 +170,9 @@ impl Slicer {
             sdg,
             enc,
             config,
-            reachable: OnceCell::new(),
-            reachable_builds: Cell::new(0),
-            queries_run: Cell::new(0),
+            reachable: OnceLock::new(),
+            reachable_builds: AtomicUsize::new(0),
+            queries_run: AtomicUsize::new(0),
         }
     }
 
@@ -163,27 +198,28 @@ impl Slicer {
     }
 
     /// How many times the reachable-configuration automaton was built
-    /// (0 until a criterion needs it, then 1 forever — it is cached).
+    /// (0 until a criterion needs it, then 1 forever — it is cached, and
+    /// the cache is race-free even when a parallel batch forces it).
     pub fn reachable_builds(&self) -> usize {
-        self.reachable_builds.get()
+        self.reachable_builds.load(Ordering::Relaxed)
     }
 
     /// Total queries answered by this session (slices, batch members, and
     /// feature removals).
     pub fn queries_run(&self) -> usize {
-        self.queries_run.get()
+        self.queries_run.load(Ordering::Relaxed)
     }
 
     /// The cached `post*({⟨entry_main, ε⟩})` automaton.
     fn reachable(&self) -> &Nfa {
         self.reachable.get_or_init(|| {
-            self.reachable_builds.set(self.reachable_builds.get() + 1);
+            self.reachable_builds.fetch_add(1, Ordering::Relaxed);
             criteria::reachable_configurations(&self.sdg, &self.enc)
         })
     }
 
     fn query(&self, criterion: &Criterion) -> Result<PAutomaton, SpecError> {
-        self.queries_run.set(self.queries_run.get() + 1);
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
         let reachable = match criterion {
             // Only all-contexts criteria consult the reachable automaton;
             // don't force the cache for the others.
@@ -191,6 +227,21 @@ impl Slicer {
             _ => None,
         };
         criteria::query_automaton_reusing(&self.sdg, &self.enc, reachable, criterion)
+    }
+
+    /// The full criterion-dependent pipeline for one criterion, against
+    /// caller-owned read-out scratch (one per batch worker).
+    fn answer_in(
+        &self,
+        criterion: &Criterion,
+        scratch: &mut ReadoutScratch,
+    ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+        let start = Instant::now();
+        let query = self.query(criterion)?;
+        let (slice, mut stats) =
+            run_query_in(&self.sdg, &self.enc, &query, self.config.validate, scratch)?;
+        stats.query_time = start.elapsed();
+        Ok((slice, stats))
     }
 
     /// Computes the specialization slice for `criterion` (Alg. 1), reusing
@@ -201,8 +252,8 @@ impl Slicer {
     /// [`SpecError::BadCriterion`] for malformed criteria;
     /// [`SpecError::Internal`] on invariant violations (a bug).
     pub fn slice(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
-        let query = self.query(criterion)?;
-        run_query(&self.sdg, &self.enc, &query, self.config.validate).map(|(s, _)| s)
+        self.answer_in(criterion, &mut ReadoutScratch::default())
+            .map(|(s, _)| s)
     }
 
     /// [`slice`](Slicer::slice) plus the automaton statistics the paper's
@@ -212,29 +263,88 @@ impl Slicer {
         &self,
         criterion: &Criterion,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-        let query = self.query(criterion)?;
-        run_query(&self.sdg, &self.enc, &query, self.config.validate)
+        self.answer_in(criterion, &mut ReadoutScratch::default())
+    }
+
+    /// Answers every criterion across the session's worker pool, returning
+    /// raw per-criterion results in input order plus per-worker accounting.
+    fn batch_raw(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
+        let pool = Pool::new(self.config.num_threads);
+        if pool.threads() > 1
+            && self.reachable.get().is_none()
+            && criteria
+                .iter()
+                .any(|c| matches!(c, Criterion::AllContexts(_)))
+        {
+            // Force the shared reachable automaton before fanning out, so
+            // the workers start against a warm cache instead of serializing
+            // on its initialization lock.
+            self.reachable();
+        }
+        pool.map_init_stats(
+            criteria,
+            ReadoutScratch::default,
+            |scratch, _, criterion| self.answer_in(criterion, scratch),
+        )
     }
 
     /// Slices every criterion in `criteria`, sharing the per-program work
-    /// (encoding, reachable automaton) across the whole batch.
+    /// (encoding, reachable automaton) across the whole batch and fanning
+    /// the criteria out over [`SlicerConfig::num_threads`] worker threads.
     ///
     /// Results come back in input order, one [`SpecSlice`] per criterion —
-    /// element `i` is identical to what `slice(&criteria[i])` returns. The
-    /// batch stops at the first error, identifying the offending criterion
-    /// by index in the message.
+    /// element `i` is identical to what `slice(&criteria[i])` returns, at
+    /// every thread count. On failure the *lowest-indexed* failing criterion
+    /// is reported (identified by index in the message), so errors are
+    /// deterministic too: a sequential batch stops at the first failure,
+    /// while a parallel batch answers everything in flight and then reports
+    /// the same lowest-indexed error. Use
+    /// [`slice_batch_results`](Slicer::slice_batch_results) to keep the
+    /// other criteria's answers when a batch may contain bad criteria.
+    ///
+    /// ```
+    /// use specslice::{Criterion, Slicer, SlicerConfig};
+    ///
+    /// let slicer = Slicer::from_source_with(
+    ///     r#"
+    ///     int g1, g2;
+    ///     void p(int a, int b) { g1 = a; g2 = b; }
+    ///     int main() { p(1, 2); printf("%d", g1); printf("%d", g2); }
+    ///     "#,
+    ///     SlicerConfig {
+    ///         num_threads: 2, // default: all available cores
+    ///         ..SlicerConfig::default()
+    ///     },
+    /// )?;
+    /// let criteria: Vec<Criterion> = slicer
+    ///     .sdg()
+    ///     .printf_actual_in_vertices()
+    ///     .into_iter()
+    ///     .map(Criterion::vertex)
+    ///     .collect();
+    /// let batch = slicer.slice_batch(&criteria)?;
+    /// assert_eq!(batch.slices.len(), criteria.len());
+    /// // Batch answers are identical to individual queries.
+    /// for (criterion, slice) in criteria.iter().zip(&batch.slices) {
+    ///     assert_eq!(slice.elems(), slicer.slice(criterion)?.elems());
+    /// }
+    /// # Ok::<(), specslice::SpecError>(())
+    /// ```
     pub fn slice_batch(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
+        if self.config.num_threads.min(criteria.len()) <= 1 {
+            // Sequential fast path with genuine fail-fast: nothing after the
+            // first failing criterion runs. The parallel path must answer
+            // everything already in flight, but converges on the same
+            // lowest-indexed error, so the two paths are indistinguishable
+            // to the caller (modulo counters on error).
+            return self.slice_batch_sequential(criteria);
+        }
+        let (results, per_thread) = self.batch_raw(criteria);
         let mut slices = Vec::with_capacity(criteria.len());
         let mut per_criterion = Vec::new();
         let mut aggregate = PipelineStats::default();
-        for (i, criterion) in criteria.iter().enumerate() {
-            let query = self.query(criterion).map_err(|e| match e {
-                SpecError::BadCriterion { reason } => SpecError::BadCriterion {
-                    reason: format!("criterion #{i}: {reason}"),
-                },
-                other => other,
-            })?;
-            let (slice, stats) = run_query(&self.sdg, &self.enc, &query, self.config.validate)?;
+        for (i, result) in results.into_iter().enumerate() {
+            let (slice, stats) = result.map_err(|e| annotate_with_index(e, i))?;
             slices.push(slice);
             aggregate.absorb(&stats);
             if self.config.collect_stats {
@@ -245,14 +355,59 @@ impl Slicer {
             slices,
             per_criterion,
             aggregate,
+            per_thread,
         })
+    }
+
+    /// The `num_threads <= 1` body of [`slice_batch`](Slicer::slice_batch):
+    /// one scratch, one pass, stop at the first error.
+    fn slice_batch_sequential(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
+        let start = Instant::now();
+        let mut scratch = ReadoutScratch::default();
+        let mut slices = Vec::with_capacity(criteria.len());
+        let mut per_criterion = Vec::new();
+        let mut aggregate = PipelineStats::default();
+        for (i, criterion) in criteria.iter().enumerate() {
+            let (slice, stats) = self
+                .answer_in(criterion, &mut scratch)
+                .map_err(|e| annotate_with_index(e, i))?;
+            slices.push(slice);
+            aggregate.absorb(&stats);
+            if self.config.collect_stats {
+                per_criterion.push(stats);
+            }
+        }
+        Ok(BatchResult {
+            slices,
+            per_criterion,
+            aggregate,
+            per_thread: vec![WorkerStats {
+                worker: 0,
+                items: criteria.len(),
+                steals: 0,
+                busy: start.elapsed(),
+            }],
+        })
+    }
+
+    /// [`slice_batch`](Slicer::slice_batch) without the fail-fast contract:
+    /// every criterion is answered and returned individually, so one
+    /// malformed criterion does not poison the rest of the batch. Results
+    /// are in input order; errors identify their criterion by index.
+    pub fn slice_batch_results(&self, criteria: &[Criterion]) -> Vec<Result<SpecSlice, SpecError>> {
+        let (results, _) = self.batch_raw(criteria);
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.map(|(s, _)| s).map_err(|e| annotate_with_index(e, i)))
+            .collect()
     }
 
     /// Removes the feature identified by the forward stack-configuration
     /// slice from `criterion` (Alg. 2 / §7), reusing the cached encoding
     /// *and* the cached reachable automaton (which Alg. 2 always needs).
     pub fn remove_feature(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
-        self.queries_run.set(self.queries_run.get() + 1);
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
         feature_removal::remove_feature_reusing(&self.sdg, &self.enc, self.reachable(), criterion)
     }
 
@@ -287,6 +442,23 @@ impl Slicer {
     }
 }
 
+/// Tags a failing batch member with its criterion index, for every error
+/// variant a query can produce (so "errors identify their criterion by
+/// index" holds for internal invariant violations too, where knowing the
+/// triggering criterion is exactly what debugging needs).
+fn annotate_with_index(e: SpecError, i: usize) -> SpecError {
+    match e {
+        SpecError::Internal { context, message } => SpecError::Internal {
+            context,
+            message: format!("criterion #{i}: {message}"),
+        },
+        SpecError::BadCriterion { reason } => SpecError::BadCriterion {
+            reason: format!("criterion #{i}: {reason}"),
+        },
+        other => other,
+    }
+}
+
 /// The criterion-dependent tail of Alg. 1: `Prestar` → trim → MRD →
 /// read-out. Shared by the session methods and the one-shot
 /// [`crate::specialize`].
@@ -296,11 +468,26 @@ pub(crate) fn run_query(
     query: &PAutomaton,
     validate: bool,
 ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+    // `query_time` stays zero here: its contract includes query-automaton
+    // construction, which only `Slicer::answer_in` wraps (and both callers
+    // of this function discard the stats anyway).
+    run_query_in(sdg, enc, query, validate, &mut ReadoutScratch::default())
+}
+
+/// [`run_query`] against caller-owned read-out scratch buffers, so a batch
+/// worker's hot loop reuses its tables across criteria.
+pub(crate) fn run_query_in(
+    sdg: &Sdg,
+    enc: &Encoded,
+    query: &PAutomaton,
+    validate: bool,
+    scratch: &mut ReadoutScratch,
+) -> Result<(SpecSlice, PipelineStats), SpecError> {
     let (a1, prestats) = prestar_with_stats(&enc.pds, query);
     let a1_nfa = a1.to_nfa(MAIN_CONTROL);
     let (a1_trim, _) = a1_nfa.trimmed();
     let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
-    let slice = readout::read_out_with(sdg, enc, &a6, validate)?;
+    let slice = readout::read_out_in(sdg, enc, &a6, validate, scratch)?;
     let stats = PipelineStats {
         pds_rules: enc.pds.rule_count(),
         prestar_transitions: prestats.transitions,
@@ -308,6 +495,7 @@ pub(crate) fn run_query(
         a1_states: a1_trim.state_count(),
         a1_transitions: a1_trim.transition_count(),
         mrd: mrd_stats,
+        query_time: std::time::Duration::ZERO,
     };
     Ok((slice, stats))
 }

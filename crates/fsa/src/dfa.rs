@@ -81,12 +81,23 @@ impl Dfa {
         &self.trans[q.index()]
     }
 
-    /// Iterates over every transition `(from, sym, to)`.
+    /// Iterates over every transition `(from, sym, to)`, in state order and
+    /// sorted by symbol within a state.
+    ///
+    /// The order is part of the contract: per-state successors live in
+    /// randomly-seeded `HashMap`s, and letting that order leak (e.g. into
+    /// [`Dfa::to_nfa`]'s insertion order, and from there into the MRD
+    /// automaton a `SpecSlice` carries) would make byte-identical pipeline
+    /// runs render differently from one process to the next. The sort costs
+    /// one allocation per state per call — order-insensitive hot loops
+    /// should iterate [`Dfa::transitions_from`] directly instead.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
-        self.trans
-            .iter()
-            .enumerate()
-            .flat_map(|(i, m)| m.iter().map(move |(&s, &t)| (StateId(i as u32), s, t)))
+        self.trans.iter().enumerate().flat_map(|(i, m)| {
+            let mut entries: Vec<(StateId, Symbol, StateId)> =
+                m.iter().map(|(&s, &t)| (StateId(i as u32), s, t)).collect();
+            entries.sort_unstable_by_key(|&(_, s, _)| s);
+            entries
+        })
     }
 
     /// Whether the DFA accepts `word`.

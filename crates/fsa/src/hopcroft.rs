@@ -111,9 +111,14 @@ pub fn trim(dfa: &Dfa) -> Dfa {
             }
         }
     }
+    // Iterate the raw successor maps: the reverse adjacency is a set-like
+    // structure, so this needn't pay for `Dfa::transitions`' sorted order.
     let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
-    for (f, _, t) in dfa.transitions() {
-        rev[t.index()].push(f);
+    for i in 0..n {
+        let q = StateId(i as u32);
+        for &t in dfa.transitions_from(q).values() {
+            rev[t.index()].push(q);
+        }
     }
     let mut coreach = vec![false; n];
     let mut work: Vec<StateId> = dfa.finals().iter().copied().collect();
@@ -139,10 +144,18 @@ pub fn trim(dfa: &Dfa) -> Dfa {
             map.insert(q, out.add_state());
         }
     }
-    for (f, s, t) in dfa.transitions() {
-        if (f == dfa.initial() || keep(f)) && keep(t) {
-            if let (Some(&nf), Some(&nt)) = (map.get(&f), map.get(&t)) {
-                out.set_transition(nf, s, nt);
+    // Order-insensitive rebuild (targets land in per-state maps), so again
+    // skip `Dfa::transitions`' sort.
+    for i in 0..n as u32 {
+        let f = StateId(i);
+        if !(f == dfa.initial() || keep(f)) {
+            continue;
+        }
+        for (&s, &t) in dfa.transitions_from(f) {
+            if keep(t) {
+                if let (Some(&nf), Some(&nt)) = (map.get(&f), map.get(&t)) {
+                    out.set_transition(nf, s, nt);
+                }
             }
         }
     }

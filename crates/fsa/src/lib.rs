@@ -10,7 +10,7 @@
 //! * product `intersect`, `difference` (`A ∩ ¬B` without materializing the
 //!   complement — needed because SDG alphabets are large), language
 //!   [`ops::equivalent`], emptiness;
-//! * the [`mrd`] pipeline: *minimal reverse-deterministic* automaton
+//! * the [`mod@mrd`] pipeline: *minimal reverse-deterministic* automaton
 //!   construction (`reverse ∘ minimize ∘ determinize ∘ reverse` plus
 //!   ε-removal), which is the heart of the specialization-slicing algorithm.
 //!

@@ -23,7 +23,7 @@ impl fmt::Debug for StateId {
 
 /// A nondeterministic finite automaton with a single initial state,
 /// optional ε-transitions (`label = None`), and any number of final states.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct Nfa {
     n_states: u32,
     finals: BTreeSet<StateId>,
@@ -31,6 +31,21 @@ pub struct Nfa {
     out: Vec<Vec<(Option<Symbol>, StateId)>>,
     /// Deduplication of transitions.
     seen: HashSet<(StateId, Option<Symbol>, StateId)>,
+}
+
+impl fmt::Debug for Nfa {
+    /// Deterministic rendering: states, finals, and transitions in
+    /// insertion order. The `seen` dedup set is omitted — it is backed by a
+    /// randomly-seeded hasher, and printing it would make equal automata
+    /// render differently across runs (clients fingerprint slices by their
+    /// Debug output to check cross-thread determinism).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Nfa")
+            .field("n_states", &self.n_states)
+            .field("finals", &self.finals)
+            .field("out", &self.out)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Nfa {

@@ -4,8 +4,8 @@
 //! `(P, Γ, Δ)` of control locations, stack symbols, and rules with at most
 //! two stack symbols on the right-hand side. Sets of configurations `(p, w)`
 //! are represented by [`PAutomaton`]s (Defn. 3.5); the saturation procedures
-//! [`prestar`] (Defn. 3.6) and [`poststar`] (Defn. 3.7) compute automata for
-//! `pre*(C)` and `post*(C)` — backward and forward reachability over the
+//! [`prestar()`] (Defn. 3.6) and [`poststar()`] (Defn. 3.7) compute automata
+//! for `pre*(C)` and `post*(C)` — backward and forward reachability over the
 //! possibly-infinite transition relation.
 //!
 //! When the PDS encodes an SDG (see `specslice::encode`), `pre*` *is*

@@ -4,7 +4,7 @@
 //! (SDG) the specialization-slicing algorithm consumes, entirely from
 //! scratch:
 //!
-//! * [`cfg`] — statement-level control-flow graphs with Ball–Horwitz
+//! * [`mod@cfg`] — statement-level control-flow graphs with Ball–Horwitz
 //!   augmented edges for `return`/`break`/`continue`/`exit`;
 //! * [`modref`] — interprocedural `MayMod` / `MustMod` / upward-exposed-ref
 //!   analysis that decides which globals get formal-in/formal-out vertices;
@@ -15,7 +15,7 @@
 //!   control dependence, reaching-definitions flow dependence, call /
 //!   parameter-in / parameter-out edges, §6.1 library-call closure edges;
 //! * [`summary`] — RHSR-style summary-edge computation;
-//! * [`slice`] — context-sensitive two-phase closure slicing (backward and
+//! * [`mod@slice`] — context-sensitive two-phase closure slicing (backward and
 //!   forward) plus a context-insensitive Weiser-style executable slicer;
 //! * [`binkley`] — Binkley's monovariant executable slicing baseline (§5).
 //!

@@ -15,8 +15,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slicer = Slicer::from_source(source)?;
     let sdg = slicer.sdg();
 
-    // Criterion: the printf in main, every calling context.
-    let slice = slicer.slice(&Criterion::printf_actuals(sdg))?;
+    // Criterion: the printf in main, every calling context. Timing and
+    // automaton sizes come from the pipeline's own accounting
+    // (`PipelineStats`), the same numbers the bench drivers report.
+    let (slice, stats) = slicer.slice_with_stats(&Criterion::printf_actuals(sdg))?;
+    println!(
+        "criterion 1/2 (printf actuals, all contexts): {}",
+        stats.summary()
+    );
     println!(
         "variants: {:?}",
         slice
@@ -40,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 && matches!(c.callee, specslice_sdg::CalleeKind::User(p) if p == r.id)
         })
         .expect("main calls r");
-    let cfg_slice = slicer.slice(&Criterion::configuration(r.entry, vec![main_site.id]))?;
+    let (cfg_slice, cfg_stats) =
+        slicer.slice_with_stats(&Criterion::configuration(r.entry, vec![main_site.id]))?;
+    println!(
+        "criterion 2/2 (r:entry under [C_main]): {}",
+        cfg_stats.summary()
+    );
     println!(
         "slicing on (r:entry, [C_main]) keeps {} variants",
         cfg_slice.variants.len()

@@ -238,6 +238,7 @@ fn config_controls_stats_and_validation() {
         SlicerConfig {
             validate: false,
             collect_stats: false,
+            ..SlicerConfig::default()
         },
     )
     .unwrap();
