@@ -24,7 +24,7 @@ fn bench_prestar() {
         println!(
             "{}",
             timer::run(&format!("prestar/saturate/{name}"), 20, || {
-                prestar(&enc.pds, &query)
+                prestar(&enc.pds, &query).expect("well-formed query")
             })
             .row()
         );
@@ -38,7 +38,9 @@ fn bench_mrd() {
         let enc = slicer.encoding();
         let criterion = Criterion::printf_actuals(slicer.sdg());
         let query = criteria::query_automaton(slicer.sdg(), enc, &criterion).unwrap();
-        let a1 = prestar(&enc.pds, &query).to_nfa(MAIN_CONTROL);
+        let a1 = prestar(&enc.pds, &query)
+            .expect("well-formed query")
+            .to_nfa(MAIN_CONTROL);
         let (a1_trim, _) = a1.trimmed();
         println!(
             "{}",

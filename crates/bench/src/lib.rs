@@ -78,7 +78,7 @@ pub fn slice_program(name: &'static str, slicer: &Slicer) -> Vec<SliceRecord> {
         let enc = slicer.encoding();
         let query = criteria::query_automaton(sdg, enc, &criterion).expect("criterion");
         let ta = Instant::now();
-        let (a1, _) = prestar_with_stats(&enc.pds, &query);
+        let (a1, _) = prestar_with_stats(&enc.pds, &query).expect("well-formed query");
         let a1_nfa = a1.to_nfa(MAIN_CONTROL);
         let (a1_trim, _) = a1_nfa.trimmed();
         let (a6, _) = mrd_with_stats(&a1_trim);

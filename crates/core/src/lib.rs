@@ -78,6 +78,7 @@
 pub mod criteria;
 pub mod encode;
 pub mod feature_removal;
+pub mod incremental;
 pub mod indirect;
 pub mod readout;
 pub mod regen;
@@ -86,17 +87,22 @@ pub mod slicer;
 pub mod stats;
 
 pub use criteria::Criterion;
+pub use incremental::EditReport;
 pub use readout::{SpecSlice, VariantPdg};
 pub use slicer::{BatchResult, Slicer, SlicerConfig};
 // Batch slicing reports per-worker accounting in [`BatchResult::per_thread`];
 // re-exported so clients can name the type without a `specslice-exec` dep.
 pub use specslice_exec::WorkerStats;
 
-// The facade re-exports everything a client needs to construct criteria and
-// inspect results, so depending on `specslice` alone suffices.
-pub use specslice_lang::{LangError, Program};
+// The facade re-exports everything a client needs to construct criteria,
+// describe program edits (including the AST types statement-level
+// [`ProgramEdit`]s are built from), and inspect results, so depending on
+// `specslice` alone suffices.
+pub use specslice_lang::{
+    ast, frontend, LangError, Program, ProgramDelta, ProgramEdit, Stmt, StmtId, StmtKind,
+};
 pub use specslice_sdg::{
-    CallSiteId, CalleeKind, ProcId, Sdg, SdgError, Vertex, VertexId, VertexKind,
+    CallSiteId, CalleeKind, ProcId, Sdg, SdgError, SdgPatch, Vertex, VertexId, VertexKind,
 };
 
 use specslice_fsa::mrd::MrdStats;

@@ -195,13 +195,23 @@ pub(crate) fn read_out_in(
     let state_proc = &mut scratch.state_proc;
     for (&state, verts) in vertex_sets.iter() {
         let mut procs: BTreeSet<ProcId> = verts.iter().map(|&v| sdg.vertex(v).proc).collect();
-        if procs.len() != 1 {
+        // Both failure shapes surface as values — an A6 state owned by zero
+        // or several procedures is an invariant violation to report with the
+        // offending state, never a panic inside a batch worker.
+        let Some(proc) = procs.pop_first() else {
             return Err(SpecError::internal(
                 "readout",
-                format!("partition element mixes procedures: {procs:?} (Defn. 2.10(2) violated)"),
+                format!("A6 state {state:?} maps to no owning procedure"),
+            ));
+        };
+        if !procs.is_empty() {
+            procs.insert(proc);
+            return Err(SpecError::internal(
+                "readout",
+                format!("A6 state {state:?} mixes procedures: {procs:?} (Defn. 2.10(2) violated)"),
             ));
         }
-        state_proc.insert(state, procs.pop_first().expect("non-empty"));
+        state_proc.insert(state, proc);
     }
     // States with no vertex transitions (possible for feature-removal
     // complements): infer the procedure from adjacent call transitions.

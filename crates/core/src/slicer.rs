@@ -32,9 +32,10 @@ use specslice_lang::Program;
 use specslice_pds::prestar::prestar_with_stats;
 use specslice_pds::PAutomaton;
 use specslice_sdg::build::build_sdg;
-use specslice_sdg::Sdg;
+use specslice_sdg::{CallSiteId, Sdg, VertexId};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 use std::time::Instant;
 
 /// Options for a [`Slicer`] session.
@@ -54,11 +55,20 @@ pub struct SlicerConfig {
     pub collect_stats: bool,
     /// Worker threads used by [`Slicer::slice_batch`] (and
     /// [`Slicer::slice_batch_results`]). Defaults to the machine's available
-    /// parallelism; `1` (or `0`) answers the batch sequentially on the
-    /// calling thread, exactly as single-criterion [`Slicer::slice`] calls
-    /// would. Results are bit-for-bit identical at every setting — the knob
-    /// only trades wall-clock for cores.
+    /// parallelism; `1` answers the batch sequentially on the calling
+    /// thread, exactly as single-criterion [`Slicer::slice`] calls would
+    /// (`0` is clamped to `1` at session construction, so a session's
+    /// effective width is always at least one worker). Results are
+    /// bit-for-bit identical at every setting — the knob only trades
+    /// wall-clock for cores.
     pub num_threads: usize,
+    /// Memoize criterion → slice results (on by default). Repeated criteria
+    /// — within one batch, across batches, or across
+    /// [`Slicer::apply_edit`]s — are answered from the cache without
+    /// re-running `Prestar`; after an edit, entries whose slice region the
+    /// edit cannot have touched are kept (identifier-remapped), so an
+    /// edit-reslice loop only recomputes the criteria the edit affected.
+    pub memoize: bool,
 }
 
 impl Default for SlicerConfig {
@@ -67,6 +77,7 @@ impl Default for SlicerConfig {
             validate: true,
             collect_stats: true,
             num_threads: specslice_exec::available_parallelism(),
+            memoize: true,
         }
     }
 }
@@ -100,15 +111,97 @@ pub struct BatchResult {
 /// clients may do the same with `&Slicer` or `Arc<Slicer>`.
 #[derive(Debug)]
 pub struct Slicer {
-    program: Option<Program>,
-    sdg: Sdg,
-    enc: Encoded,
-    config: SlicerConfig,
+    pub(crate) program: Option<Program>,
+    pub(crate) sdg: Sdg,
+    pub(crate) enc: Encoded,
+    pub(crate) config: SlicerConfig,
     /// `post*({⟨entry_main, ε⟩})` as an NFA — needed by all-contexts
     /// criteria and feature removal; built on first use, then shared.
-    reachable: OnceLock<Nfa>,
-    reachable_builds: AtomicUsize,
+    pub(crate) reachable: OnceLock<Nfa>,
+    pub(crate) reachable_builds: AtomicUsize,
     queries_run: AtomicUsize,
+    /// Criterion → canonical MRD automaton memo (see
+    /// [`SlicerConfig::memoize`]). Shared read-mostly across batch workers;
+    /// [`Slicer::apply_edit`] rewrites it wholesale under `&mut self`.
+    pub(crate) memo: RwLock<HashMap<MemoKey, MemoEntry>>,
+    memo_hits: AtomicUsize,
+}
+
+/// Canonical, order-independent memo key for a criterion. Criteria over raw
+/// automata are not memoized (their languages have no cheap canonical key).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum MemoKey {
+    /// Sorted, deduplicated vertex ids of an all-contexts criterion.
+    AllContexts(Vec<u32>),
+    /// Sorted, deduplicated `(vertex, stack)` configurations.
+    Configurations(Vec<(u32, Vec<u32>)>),
+}
+
+/// What the memo retains per criterion: the canonical MRD automaton (the
+/// expensive part of a query) plus the pipeline sizes observed when it was
+/// first computed. Read-out re-runs per hit — it is linear in the automaton
+/// and keeps scratch reuse and validation behavior identical to a miss.
+#[derive(Clone, Debug)]
+pub(crate) struct MemoEntry {
+    pub(crate) a6: Nfa,
+    pub(crate) stats: PipelineStats,
+}
+
+pub(crate) fn memo_key(criterion: &Criterion) -> Option<MemoKey> {
+    match criterion {
+        Criterion::AllContexts(verts) => {
+            let mut v: Vec<u32> = verts.iter().map(|v| v.0).collect();
+            v.sort_unstable();
+            v.dedup();
+            Some(MemoKey::AllContexts(v))
+        }
+        Criterion::Configurations(configs) => {
+            let mut v: Vec<(u32, Vec<u32>)> = configs
+                .iter()
+                .map(|(v, stack)| (v.0, stack.iter().map(|c| c.0).collect()))
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            Some(MemoKey::Configurations(v))
+        }
+        Criterion::Automaton(_) => None,
+    }
+}
+
+impl MemoKey {
+    /// Rewrites the key through an edit's identifier maps; `None` when any
+    /// referenced vertex or call site did not survive the edit.
+    pub(crate) fn remap(
+        &self,
+        vertex: impl Fn(VertexId) -> Option<VertexId>,
+        call_site: impl Fn(CallSiteId) -> Option<CallSiteId>,
+    ) -> Option<MemoKey> {
+        match self {
+            MemoKey::AllContexts(vs) => {
+                let mut out = Vec::with_capacity(vs.len());
+                for &v in vs {
+                    out.push(vertex(VertexId(v))?.0);
+                }
+                out.sort_unstable();
+                out.dedup();
+                Some(MemoKey::AllContexts(out))
+            }
+            MemoKey::Configurations(cs) => {
+                let mut out = Vec::with_capacity(cs.len());
+                for (v, stack) in cs {
+                    let nv = vertex(VertexId(*v))?.0;
+                    let mut ns = Vec::with_capacity(stack.len());
+                    for &c in stack {
+                        ns.push(call_site(CallSiteId(c))?.0);
+                    }
+                    out.push((nv, ns));
+                }
+                out.sort_unstable();
+                out.dedup();
+                Some(MemoKey::Configurations(out))
+            }
+        }
+    }
 }
 
 /// One outcome per batch criterion, in input order.
@@ -163,7 +256,11 @@ impl Slicer {
         Ok(Slicer::assemble(None, sdg, config))
     }
 
-    fn assemble(program: Option<Program>, sdg: Sdg, config: SlicerConfig) -> Slicer {
+    fn assemble(program: Option<Program>, sdg: Sdg, mut config: SlicerConfig) -> Slicer {
+        // A zero-width session is meaningless; clamp rather than letting the
+        // width reach the execution layer (whose own clamp is an
+        // implementation detail this API must not depend on).
+        config.num_threads = config.num_threads.max(1);
         let enc = encode::encode_sdg(&sdg);
         Slicer {
             program,
@@ -173,6 +270,8 @@ impl Slicer {
             reachable: OnceLock::new(),
             reachable_builds: AtomicUsize::new(0),
             queries_run: AtomicUsize::new(0),
+            memo: RwLock::new(HashMap::new()),
+            memo_hits: AtomicUsize::new(0),
         }
     }
 
@@ -210,6 +309,17 @@ impl Slicer {
         self.queries_run.load(Ordering::Relaxed)
     }
 
+    /// Queries answered from the criterion → slice memo without re-running
+    /// `Prestar` (see [`SlicerConfig::memoize`]).
+    pub fn memo_hits(&self) -> usize {
+        self.memo_hits.load(Ordering::Relaxed)
+    }
+
+    /// Criteria currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.memo.read().map(|m| m.len()).unwrap_or(0)
+    }
+
     /// The cached `post*({⟨entry_main, ε⟩})` automaton.
     fn reachable(&self) -> &Nfa {
         self.reachable.get_or_init(|| {
@@ -237,10 +347,43 @@ impl Slicer {
         scratch: &mut ReadoutScratch,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
         let start = Instant::now();
+        let key = if self.config.memoize {
+            memo_key(criterion)
+        } else {
+            None
+        };
+        // Memo hit: the canonical MRD automaton is cached, so only the
+        // (linear) read-out re-runs — `Prestar` and the determinize/minimize
+        // pipeline, the two super-linear stages, are skipped entirely.
+        if let Some(k) = &key {
+            let cached = self.memo.read().ok().and_then(|memo| memo.get(k).cloned());
+            if let Some(entry) = cached {
+                self.queries_run.fetch_add(1, Ordering::Relaxed);
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                let slice = readout::read_out_in(
+                    &self.sdg,
+                    &self.enc,
+                    &entry.a6,
+                    self.config.validate,
+                    scratch,
+                )?;
+                let mut stats = entry.stats;
+                stats.query_time = start.elapsed();
+                return Ok((slice, stats));
+            }
+        }
         let query = self.query(criterion)?;
         let (slice, mut stats) =
             run_query_in(&self.sdg, &self.enc, &query, self.config.validate, scratch)?;
         stats.query_time = start.elapsed();
+        if let Some(k) = key {
+            if let Ok(mut memo) = self.memo.write() {
+                memo.entry(k).or_insert_with(|| MemoEntry {
+                    a6: slice.a6.clone(),
+                    stats,
+                });
+            }
+        }
         Ok((slice, stats))
     }
 
@@ -483,7 +626,8 @@ pub(crate) fn run_query_in(
     validate: bool,
     scratch: &mut ReadoutScratch,
 ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-    let (a1, prestats) = prestar_with_stats(&enc.pds, query);
+    let (a1, prestats) = prestar_with_stats(&enc.pds, query)
+        .map_err(|e| SpecError::internal("prestar", e.to_string()))?;
     let a1_nfa = a1.to_nfa(MAIN_CONTROL);
     let (a1_trim, _) = a1_nfa.trimmed();
     let (a6, mrd_stats) = mrd_with_stats(&a1_trim);

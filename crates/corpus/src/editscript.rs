@@ -1,0 +1,159 @@
+//! Shared scripted-edit builders for the incremental re-slicing test suite
+//! and benchmark.
+//!
+//! `tests/incremental.rs` (the byte-identity property) and
+//! `benches/incremental.rs` (the edit-reslice speedup) must exercise the
+//! *same* edit shapes — a bench that drifts away from what the tests verify
+//! measures something unproven. The delta constructors live here, once, so
+//! the two drivers cannot diverge.
+
+use specslice_lang::ast::{BinOp, Expr, Stmt, StmtKind, Type};
+use specslice_lang::{Program, ProgramDelta, ProgramEdit, StmtId};
+
+/// The id of the first statement (in visit order) of function `func` that
+/// satisfies `pred`.
+pub fn find_stmt(
+    program: &Program,
+    func: &str,
+    pred: impl Fn(&StmtKind) -> bool,
+) -> Option<StmtId> {
+    let mut found = None;
+    program.visit_all(|f, s| {
+        if f == func && found.is_none() && pred(&s.kind) {
+            found = Some(s.id);
+        }
+    });
+    found
+}
+
+/// A delta wrapping the first assignment of `func` in `+ 0`: a structurally
+/// new statement (the PDG genuinely rebuilds) whose slice shapes stay
+/// comparable. `None` when `func` has no assignment.
+pub fn wrap_assignment(program: &Program, func: &str) -> Option<ProgramDelta> {
+    let id = find_stmt(program, func, |k| matches!(k, StmtKind::Assign { .. }))?;
+    let mut replacement = None;
+    program.visit_all(|_, s| {
+        if s.id == id {
+            if let StmtKind::Assign { name, value } = &s.kind {
+                replacement = Some(Stmt::new(
+                    s.line,
+                    StmtKind::Assign {
+                        name: name.clone(),
+                        value: Expr::Binary(
+                            BinOp::Add,
+                            Box::new(value.clone()),
+                            Box::new(Expr::Int(0)),
+                        ),
+                    },
+                ));
+            }
+        }
+    });
+    Some(ProgramDelta::single(ProgramEdit::ReplaceStmt {
+        id,
+        stmt: replacement?,
+    }))
+}
+
+/// A delta prepending `int <probe>; <probe> = <value>;` to `func`.
+pub fn insert_probe(func: &str, probe: &str, value: i64) -> ProgramDelta {
+    ProgramDelta {
+        edits: vec![
+            ProgramEdit::InsertStmt {
+                function: func.to_string(),
+                at: 0,
+                stmt: Stmt::new(
+                    0,
+                    StmtKind::Decl {
+                        name: probe.to_string(),
+                        ty: Type::Int,
+                        init: None,
+                    },
+                ),
+            },
+            ProgramEdit::InsertStmt {
+                function: func.to_string(),
+                at: 1,
+                stmt: Stmt::new(
+                    0,
+                    StmtKind::Assign {
+                        name: probe.to_string(),
+                        value: Expr::Int(value),
+                    },
+                ),
+            },
+        ],
+    }
+}
+
+/// A delta removing the probe assignment previously inserted into `func` by
+/// [`insert_probe`]. `None` when no such statement exists.
+pub fn remove_probe(program: &Program, func: &str, probe: &str) -> Option<ProgramDelta> {
+    let id = find_stmt(
+        program,
+        func,
+        |k| matches!(k, StmtKind::Assign { name, .. } if name == probe),
+    )?;
+    Some(ProgramDelta::single(ProgramEdit::RemoveStmt { id }))
+}
+
+/// A delta adding a dead (never-called) procedure named `name` with a small
+/// local-only body.
+pub fn add_dead_procedure(name: &str) -> ProgramDelta {
+    ProgramDelta::single(ProgramEdit::AddFunction(specslice_lang::Function {
+        name: name.to_string(),
+        ret: specslice_lang::ast::RetKind::Void,
+        params: vec![],
+        body: specslice_lang::Block {
+            stmts: vec![
+                Stmt::new(
+                    0,
+                    StmtKind::Decl {
+                        name: "z".into(),
+                        ty: Type::Int,
+                        init: None,
+                    },
+                ),
+                Stmt::new(
+                    0,
+                    StmtKind::Assign {
+                        name: "z".into(),
+                        value: Expr::Int(1),
+                    },
+                ),
+            ],
+        },
+        line: 0,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specslice_lang::frontend;
+
+    const SRC: &str = r#"
+        int g;
+        void p(int a) { g = a; }
+        int main() { p(3); printf("%d", g); return 0; }
+    "#;
+
+    #[test]
+    fn builders_apply_cleanly() {
+        let base = frontend(SRC).unwrap();
+        let p1 = wrap_assignment(&base, "p").unwrap().apply(&base).unwrap();
+        let p2 = insert_probe("p", "__probe", 7).apply(&p1).unwrap();
+        assert!(find_stmt(&p2, "p", |k| {
+            matches!(k, StmtKind::Assign { name, .. } if name == "__probe")
+        })
+        .is_some());
+        let p3 = remove_probe(&p2, "p", "__probe")
+            .unwrap()
+            .apply(&p2)
+            .unwrap();
+        let p4 = add_dead_procedure("__dead").apply(&p3).unwrap();
+        assert!(p4.function("__dead").is_some());
+        assert!(wrap_assignment(&base, "nope").is_none());
+        assert!(remove_probe(&base, "p", "__probe").is_none());
+    }
+}

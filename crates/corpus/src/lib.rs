@@ -20,6 +20,7 @@
 //! # Ok::<(), specslice_lang::LangError>(())
 //! ```
 
+pub mod editscript;
 pub mod examples;
 pub mod generate;
 pub mod rng;
@@ -170,6 +171,42 @@ pub fn pk_family(k: usize) -> String {
     s
 }
 
+/// Generates the `n`-feature grid program: `n` independent features, each
+/// with its own global accumulator, a leaf `step_i` writer, a `run_i`
+/// driver loop, and a `printf` reporting the accumulator. Per-printf slices
+/// touch only their own feature's procedures (plus `main`), so the grid is
+/// the canonical *multi-feature* workload: an edit inside feature `i`
+/// leaves every other feature's slice untouched — the situation incremental
+/// re-slicing (`Slicer::apply_edit`) is built for, and the shape large real
+/// programs actually have (the twelve Fig. 17 emulations are too small and
+/// dense for any edit to miss many slices).
+pub fn feature_grid(n: usize) -> String {
+    use std::fmt::Write;
+    assert!(n >= 1, "feature grid needs n >= 1");
+    let mut s = String::new();
+    let globals: Vec<String> = (1..=n).map(|i| format!("acc{i}")).collect();
+    writeln!(s, "int {};", globals.join(", ")).unwrap();
+    for i in 1..=n {
+        writeln!(s, "void step{i}(int x) {{ acc{i} = acc{i} + x * {i}; }}").unwrap();
+        writeln!(s, "void run{i}(int seed) {{").unwrap();
+        writeln!(s, "int t;").unwrap();
+        writeln!(s, "t = seed;").unwrap();
+        writeln!(s, "while (t > 0) {{ step{i}(t); t = t - 1; }}").unwrap();
+        writeln!(s, "}}").unwrap();
+    }
+    writeln!(s, "int main() {{").unwrap();
+    for i in 1..=n {
+        writeln!(s, "acc{i} = 0;").unwrap();
+        writeln!(s, "run{i}({});", i + 1).unwrap();
+    }
+    for i in 1..=n {
+        writeln!(s, "printf(\"%d\\n\", acc{i});").unwrap();
+    }
+    writeln!(s, "return 0;").unwrap();
+    writeln!(s, "}}").unwrap();
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +252,14 @@ mod tests {
     fn lookup_by_name() {
         assert!(by_name("wc").is_some());
         assert!(by_name("doom").is_none());
+    }
+
+    #[test]
+    fn feature_grid_parses_and_scales() {
+        for n in [1, 4, 16] {
+            let p = frontend(&feature_grid(n)).unwrap_or_else(|e| panic!("grid {n}: {e}"));
+            // main + (step, run) per feature.
+            assert_eq!(p.functions.len(), 1 + 2 * n);
+        }
     }
 }

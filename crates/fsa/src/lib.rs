@@ -42,7 +42,7 @@ pub mod nfa;
 pub mod ops;
 
 pub use dfa::Dfa;
-pub use mrd::{is_reverse_deterministic, mrd};
+pub use mrd::{canonicalize_mrd, is_reverse_deterministic, mrd};
 pub use nfa::{Nfa, StateId};
 
 use std::fmt;

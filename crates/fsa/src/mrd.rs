@@ -6,7 +6,8 @@ use crate::dfa::Dfa;
 use crate::hopcroft::minimize;
 use crate::nfa::{Nfa, StateId};
 use crate::ops::{remove_epsilon, reverse};
-use std::collections::HashMap;
+use crate::Symbol;
+use std::collections::{HashMap, VecDeque};
 
 /// Computes the minimal reverse-deterministic automaton for `L(a1)`:
 ///
@@ -30,6 +31,13 @@ pub fn mrd_with_stats(a1: &Nfa) -> (Nfa, MrdStats) {
     let a5 = reverse(&a4.to_nfa());
     let a6 = remove_epsilon(&a5);
     let (a6, _) = a6.trimmed();
+    // Canonical renumbering: the MRD automaton of a language is unique up to
+    // isomorphism, and this final pass picks one representative — so two
+    // pipelines that arrive at the same *language* through differently
+    // presented inputs (a fresh `Prestar` run vs. a symbol-remapped cached
+    // automaton, see `specslice`'s incremental re-slicing) emit bit-for-bit
+    // identical automata.
+    let a6 = canonicalize_mrd(&a6);
     let stats = MrdStats {
         input_states: a1.state_count(),
         determinized_states: a3.state_count(),
@@ -70,6 +78,101 @@ impl MrdStats {
         }
         1.0 - self.minimized_states as f64 / self.determinized_states as f64
     }
+}
+
+/// Renumbers a trim, ε-free, reverse-deterministic automaton into a
+/// presentation-independent canonical form.
+///
+/// Reverse determinism makes the automaton a partial DFA when read backwards
+/// from its unique final state, so a backward BFS that explores incoming
+/// transitions in symbol order visits states in an order determined by the
+/// *language* alone. States are renumbered in that order (the initial state
+/// keeps number 0, as [`Nfa`] requires) and transitions are re-inserted
+/// sorted, so two automata accepting the same language — however they were
+/// produced — canonicalize to identical values.
+///
+/// Inputs that do not satisfy the preconditions (no unique final state,
+/// ε-transitions, or states a backward search cannot reach) are returned
+/// unchanged: canonicalization is an optimization of *presentation*, never a
+/// change of language.
+pub fn canonicalize_mrd(a: &Nfa) -> Nfa {
+    let [final_state] = a.finals().iter().copied().collect::<Vec<_>>()[..] else {
+        return a.clone();
+    };
+    let n = a.state_count();
+    // Incoming transitions per state, sorted by (symbol, source) — the
+    // source component never decides anything when the automaton is truly
+    // reverse-deterministic, but keeps the traversal total otherwise.
+    let mut inc: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); n];
+    for (from, label, to) in a.transitions() {
+        let Some(sym) = label else {
+            return a.clone();
+        };
+        inc[to.index()].push((sym, from));
+    }
+    for v in &mut inc {
+        v.sort_unstable();
+    }
+
+    let mut newid: Vec<Option<u32>> = vec![None; n];
+    let mut next = 0u32;
+    let assign = |state: StateId, newid: &mut Vec<Option<u32>>, next: &mut u32| {
+        if newid[state.index()].is_none() {
+            // The initial state is pinned to 0; everything else gets the
+            // next backward-BFS discovery number.
+            let id = if state == a.initial() {
+                0
+            } else {
+                *next += 1;
+                *next
+            };
+            newid[state.index()] = Some(id);
+            true
+        } else {
+            false
+        }
+    };
+    assign(a.initial(), &mut newid, &mut next);
+    let mut queue = VecDeque::new();
+    if final_state != a.initial() {
+        assign(final_state, &mut newid, &mut next);
+    }
+    queue.push_back(final_state);
+    let mut visited = vec![false; n];
+    visited[final_state.index()] = true;
+    while let Some(t) = queue.pop_front() {
+        for &(_, from) in &inc[t.index()] {
+            assign(from, &mut newid, &mut next);
+            if !visited[from.index()] {
+                visited[from.index()] = true;
+                queue.push_back(from);
+            }
+        }
+    }
+    if newid.iter().any(Option::is_none) {
+        return a.clone(); // not trim: keep the input presentation
+    }
+
+    let mut out = Nfa::new();
+    for _ in 1..n {
+        out.add_state();
+    }
+    let mut ts: Vec<(u32, Symbol, u32)> = a
+        .transitions()
+        .map(|(f, l, t)| {
+            (
+                newid[f.index()].expect("assigned"),
+                l.expect("ε-free checked above"),
+                newid[t.index()].expect("assigned"),
+            )
+        })
+        .collect();
+    ts.sort_unstable();
+    for (f, s, t) in ts {
+        out.add_transition(StateId(f), Some(s), StateId(t));
+    }
+    out.set_final(StateId(newid[final_state.index()].expect("assigned")));
+    out
 }
 
 /// Checks reverse determinism: read backwards from a unique final state, the
@@ -192,6 +295,56 @@ mod tests {
         let (_, stats) = mrd_with_stats(&fig10_like());
         assert!(stats.minimized_states <= stats.determinized_states);
         assert!(stats.minimize_shrink() >= 0.0);
+    }
+
+    #[test]
+    fn canonicalize_is_presentation_independent() {
+        // Build the same language twice with different state numberings and
+        // insertion orders; after canonicalization both must render
+        // identically (Debug output is deterministic by construction).
+        let m1 = mrd(&fig10_like());
+        // A shuffled presentation: same language, permuted construction.
+        let v = sym(0);
+        let w = sym(1);
+        let u = sym(2);
+        let (c1, c2, c3) = (sym(10), sym(11), sym(12));
+        let mut n = Nfa::new();
+        let q0 = n.initial();
+        let f = n.add_state();
+        let b = n.add_state();
+        let a = n.add_state();
+        n.set_final(f);
+        n.add_transition(b, Some(c2), f);
+        n.add_transition(q0, Some(u), f);
+        n.add_transition(a, Some(c3), f);
+        n.add_transition(q0, Some(w), b);
+        n.add_transition(a, Some(c1), f);
+        n.add_transition(q0, Some(v), a);
+        let m2 = mrd(&n);
+        assert!(equivalent(&m1, &m2));
+        assert_eq!(format!("{m1:?}"), format!("{m2:?}"));
+    }
+
+    #[test]
+    fn canonicalize_after_symbol_remap_matches_direct_pipeline() {
+        // remap-then-canonicalize equals building with the target symbols
+        // from scratch — the property `specslice`'s slice memo relies on.
+        let base = fig10_like();
+        let shift = |s: Symbol| Some(Symbol(s.0 + 5));
+        let remapped = mrd(&base).remap_symbols(shift).unwrap();
+        let direct = mrd(&base.remap_symbols(shift).unwrap());
+        let recanon = canonicalize_mrd(&remapped);
+        assert_eq!(format!("{recanon:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn canonicalize_preserves_degenerate_inputs() {
+        // Empty language: no final state — returned unchanged.
+        let empty = Nfa::new();
+        assert_eq!(
+            format!("{:?}", canonicalize_mrd(&empty)),
+            format!("{empty:?}")
+        );
     }
 
     #[test]

@@ -225,6 +225,28 @@ impl Nfa {
         results
     }
 
+    /// Rewrites every transition label through `map`, preserving the state
+    /// structure (ε-transitions pass through unchanged). Returns `None` when
+    /// `map` has no image for some symbol — the caller's mapping does not
+    /// cover this automaton's alphabet, so no faithful relabeling exists.
+    pub fn remap_symbols(&self, map: impl Fn(Symbol) -> Option<Symbol>) -> Option<Nfa> {
+        let mut out = Nfa::new();
+        for _ in 1..self.state_count() {
+            out.add_state();
+        }
+        for (from, label, to) in self.transitions() {
+            let label = match label {
+                None => None,
+                Some(s) => Some(map(s)?),
+            };
+            out.add_transition(from, label, to);
+        }
+        for &f in &self.finals {
+            out.set_final(f);
+        }
+        Some(out)
+    }
+
     /// Restricts the automaton to states both reachable from the initial
     /// state and co-reachable to a final state ("trim"). State ids are
     /// renumbered; the mapping old→new is returned alongside.

@@ -1,0 +1,521 @@
+//! Program deltas: first-class edits between two MiniC programs.
+//!
+//! Re-slicing workloads are dominated by *small* edits — a statement
+//! inserted here, a procedure body tweaked there — yet a [`crate::Program`]
+//! is an immutable snapshot. A [`ProgramDelta`] names the difference between
+//! two snapshots as a list of [`ProgramEdit`]s, either built directly by a
+//! client (an IDE buffer knows exactly what changed) or recovered after the
+//! fact by [`ProgramDelta::diff`]. The `specslice` session layer consumes
+//! deltas to patch its cached analyses instead of rebuilding them (see
+//! `Slicer::apply_edit` in the `specslice` crate).
+//!
+//! [`ProgramDelta::apply`] re-runs normalization and the semantic checker on
+//! the edited program, so the result is always a valid frontend output — a
+//! delta can *fail* to apply (it may delete a variable that is still used),
+//! but it can never produce an unchecked program.
+
+use crate::ast::{Block, Function, Program, Stmt, StmtId};
+use crate::{normalize, sema, LangError};
+use std::collections::BTreeSet;
+
+/// One edit step of a [`ProgramDelta`].
+///
+/// Statement-level edits address existing statements by their dense
+/// [`StmtId`] (stable within the *base* program the delta applies to);
+/// insertions address a position in a function's top-level block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramEdit {
+    /// Declares a new global `int` variable.
+    AddGlobal(String),
+    /// Removes a global variable (fails to apply while still referenced).
+    RemoveGlobal(String),
+    /// Adds a whole new function definition.
+    AddFunction(Function),
+    /// Removes the function with the given name.
+    RemoveFunction(String),
+    /// Replaces the function of the same name with a new definition.
+    ReplaceFunction(Function),
+    /// Inserts a statement into `function`'s top-level block at index `at`
+    /// (clamped to the block length, so `usize::MAX` appends).
+    InsertStmt {
+        /// Enclosing function name.
+        function: String,
+        /// Top-level statement index to insert before.
+        at: usize,
+        /// The statement to insert (fresh statements need no [`StmtId`]).
+        stmt: Stmt,
+    },
+    /// Removes the statement with id `id` (wherever it is nested).
+    RemoveStmt {
+        /// Id of the statement to remove, in the base program's numbering.
+        id: StmtId,
+    },
+    /// Replaces the statement with id `id` by `stmt`.
+    ReplaceStmt {
+        /// Id of the statement to replace, in the base program's numbering.
+        id: StmtId,
+        /// The replacement statement.
+        stmt: Stmt,
+    },
+}
+
+/// An ordered list of edits turning one program into another.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramDelta {
+    /// The edits, applied in order.
+    pub edits: Vec<ProgramEdit>,
+}
+
+impl ProgramDelta {
+    /// A delta with no edits (applying it re-normalizes and re-checks only).
+    pub fn empty() -> ProgramDelta {
+        ProgramDelta::default()
+    }
+
+    /// Builds a delta from a single edit.
+    pub fn single(edit: ProgramEdit) -> ProgramDelta {
+        ProgramDelta { edits: vec![edit] }
+    }
+
+    /// `true` when the delta contains no edits.
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+
+    /// Computes a function-granular delta turning `old` into `new`:
+    /// global additions/removals, plus one
+    /// [`AddFunction`](ProgramEdit::AddFunction) /
+    /// [`RemoveFunction`](ProgramEdit::RemoveFunction) /
+    /// [`ReplaceFunction`](ProgramEdit::ReplaceFunction) per function whose
+    /// definition differs (ignoring statement ids and line numbers, which
+    /// carry no meaning across snapshots).
+    ///
+    /// `diff(old, new).apply(old)` reproduces `new` up to statement
+    /// renumbering whenever both programs define their functions in the same
+    /// relative order.
+    pub fn diff(old: &Program, new: &Program) -> ProgramDelta {
+        let mut edits = Vec::new();
+        for g in &old.globals {
+            if !new.globals.contains(g) {
+                edits.push(ProgramEdit::RemoveGlobal(g.clone()));
+            }
+        }
+        for g in &new.globals {
+            if !old.globals.contains(g) {
+                edits.push(ProgramEdit::AddGlobal(g.clone()));
+            }
+        }
+        for f in &old.functions {
+            if new.function(&f.name).is_none() {
+                edits.push(ProgramEdit::RemoveFunction(f.name.clone()));
+            }
+        }
+        for f in &new.functions {
+            match old.function(&f.name) {
+                None => edits.push(ProgramEdit::AddFunction(f.clone())),
+                Some(of) => {
+                    if !functions_equal_modulo_ids(of, f) {
+                        edits.push(ProgramEdit::ReplaceFunction(f.clone()));
+                    }
+                }
+            }
+        }
+        ProgramDelta { edits }
+    }
+
+    /// Applies the delta to `base`, returning the edited program after
+    /// re-normalization (call hoisting, callee resolution, renumbering) and
+    /// semantic checking.
+    ///
+    /// # Errors
+    ///
+    /// [`LangError::Sema`] when an edit references an unknown function,
+    /// statement, or global, or when the edited program fails the checker.
+    pub fn apply(&self, base: &Program) -> Result<Program, LangError> {
+        let mut program = base.clone();
+        for edit in &self.edits {
+            apply_edit(&mut program, edit)?;
+        }
+        let program = normalize::normalize(program);
+        sema::check(&program)?;
+        Ok(program)
+    }
+
+    /// The names of functions this delta touches directly, resolved against
+    /// the base program (statement edits are attributed to their enclosing
+    /// function). Added and removed functions are included by name.
+    pub fn touched_functions(&self, base: &Program) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        for edit in &self.edits {
+            match edit {
+                ProgramEdit::AddGlobal(_) | ProgramEdit::RemoveGlobal(_) => {}
+                ProgramEdit::AddFunction(f) | ProgramEdit::ReplaceFunction(f) => {
+                    out.insert(f.name.clone());
+                }
+                ProgramEdit::RemoveFunction(n) => {
+                    out.insert(n.clone());
+                }
+                ProgramEdit::InsertStmt { function, .. } => {
+                    out.insert(function.clone());
+                }
+                ProgramEdit::RemoveStmt { id } | ProgramEdit::ReplaceStmt { id, .. } => {
+                    if let Some(f) = owning_function(base, *id) {
+                        out.insert(f);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `true` when the delta edits the global-variable list (which forces a
+    /// whole-program reanalysis downstream: every procedure's formal-in/out
+    /// layout may depend on the set of globals).
+    pub fn touches_globals(&self) -> bool {
+        self.edits
+            .iter()
+            .any(|e| matches!(e, ProgramEdit::AddGlobal(_) | ProgramEdit::RemoveGlobal(_)))
+    }
+}
+
+/// The function containing statement `id` in `program`, if any.
+pub fn owning_function(program: &Program, id: StmtId) -> Option<String> {
+    let mut out = None;
+    program.visit_all(|f, s| {
+        if s.id == id && out.is_none() {
+            out = Some(f.to_string());
+        }
+    });
+    out
+}
+
+fn apply_edit(program: &mut Program, edit: &ProgramEdit) -> Result<(), LangError> {
+    match edit {
+        ProgramEdit::AddGlobal(g) => {
+            if program.globals.contains(g) {
+                return Err(LangError::sema(0, format!("global `{g}` already exists")));
+            }
+            program.globals.push(g.clone());
+            Ok(())
+        }
+        ProgramEdit::RemoveGlobal(g) => {
+            let before = program.globals.len();
+            program.globals.retain(|x| x != g);
+            if program.globals.len() == before {
+                return Err(LangError::sema(0, format!("no global `{g}` to remove")));
+            }
+            Ok(())
+        }
+        ProgramEdit::AddFunction(f) => {
+            if program.function(&f.name).is_some() {
+                return Err(LangError::sema(
+                    f.line,
+                    format!("function `{}` already exists", f.name),
+                ));
+            }
+            program.functions.push(f.clone());
+            Ok(())
+        }
+        ProgramEdit::RemoveFunction(name) => {
+            let before = program.functions.len();
+            program.functions.retain(|f| f.name != *name);
+            if program.functions.len() == before {
+                return Err(LangError::sema(
+                    0,
+                    format!("no function `{name}` to remove"),
+                ));
+            }
+            Ok(())
+        }
+        ProgramEdit::ReplaceFunction(f) => {
+            match program.functions.iter_mut().find(|g| g.name == f.name) {
+                Some(slot) => {
+                    *slot = f.clone();
+                    Ok(())
+                }
+                None => Err(LangError::sema(
+                    f.line,
+                    format!("no function `{}` to replace", f.name),
+                )),
+            }
+        }
+        ProgramEdit::InsertStmt { function, at, stmt } => {
+            let f = program
+                .functions
+                .iter_mut()
+                .find(|f| f.name == *function)
+                .ok_or_else(|| {
+                    LangError::sema(0, format!("no function `{function}` to insert into"))
+                })?;
+            let at = (*at).min(f.body.stmts.len());
+            f.body.stmts.insert(at, stmt.clone());
+            Ok(())
+        }
+        ProgramEdit::RemoveStmt { id } => {
+            if !edit_stmt_by_id(program, *id, &mut |stmts, i| {
+                stmts.remove(i);
+            }) {
+                return Err(LangError::sema(0, format!("no statement {id:?} to remove")));
+            }
+            Ok(())
+        }
+        ProgramEdit::ReplaceStmt { id, stmt } => {
+            if !edit_stmt_by_id(program, *id, &mut |stmts, i| {
+                stmts[i] = stmt.clone();
+            }) {
+                return Err(LangError::sema(
+                    0,
+                    format!("no statement {id:?} to replace"),
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Finds the statement with id `id` and hands its enclosing statement list
+/// (plus its index) to `op`. Returns `false` when no such statement exists.
+fn edit_stmt_by_id(
+    program: &mut Program,
+    id: StmtId,
+    op: &mut dyn FnMut(&mut Vec<Stmt>, usize),
+) -> bool {
+    fn walk(block: &mut Block, id: StmtId, op: &mut dyn FnMut(&mut Vec<Stmt>, usize)) -> bool {
+        if let Some(i) = block.stmts.iter().position(|s| s.id == id) {
+            op(&mut block.stmts, i);
+            return true;
+        }
+        for s in &mut block.stmts {
+            let found = match &mut s.kind {
+                crate::ast::StmtKind::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    walk(then_block, id, op) || else_block.as_mut().is_some_and(|e| walk(e, id, op))
+                }
+                crate::ast::StmtKind::While { body, .. } => walk(body, id, op),
+                _ => false,
+            };
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+    for f in &mut program.functions {
+        if walk(&mut f.body, id, op) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Structural function equality ignoring statement ids and source lines
+/// (neither survives renumbering, so neither means anything across
+/// snapshots).
+pub fn functions_equal_modulo_ids(a: &Function, b: &Function) -> bool {
+    let strip = |f: &Function| -> Function {
+        let mut f = f.clone();
+        f.line = 0;
+        f.body.visit_mut(&mut |s| {
+            s.id = StmtId::UNASSIGNED;
+            s.line = 0;
+        });
+        f
+    };
+    strip(a) == strip(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, StmtKind};
+    use crate::frontend;
+
+    const BASE: &str = r#"
+        int g;
+        void set(int a) { g = a; }
+        int main() { set(3); printf("%d", g); return 0; }
+    "#;
+
+    fn assign(name: &str, v: i64) -> Stmt {
+        Stmt::new(
+            0,
+            StmtKind::Assign {
+                name: name.into(),
+                value: Expr::Int(v),
+            },
+        )
+    }
+
+    #[test]
+    fn diff_of_identical_programs_is_empty() {
+        let p = frontend(BASE).unwrap();
+        let q = frontend(BASE).unwrap();
+        assert!(ProgramDelta::diff(&p, &q).is_empty());
+    }
+
+    #[test]
+    fn diff_detects_function_replacement() {
+        let p = frontend(BASE).unwrap();
+        let q = frontend(&BASE.replace("g = a;", "g = a + 1;")).unwrap();
+        let d = ProgramDelta::diff(&p, &q);
+        assert_eq!(d.edits.len(), 1);
+        assert!(matches!(&d.edits[0], ProgramEdit::ReplaceFunction(f) if f.name == "set"));
+        assert_eq!(d.touched_functions(&p), BTreeSet::from(["set".to_string()]));
+    }
+
+    #[test]
+    fn diff_roundtrips_through_apply() {
+        let p = frontend(BASE).unwrap();
+        let q = frontend(
+            r#"
+            int g, h;
+            void set(int a) { g = a; h = a; }
+            void extra() { h = 0; }
+            int main() { set(3); extra(); printf("%d", g + h); return 0; }
+            "#,
+        )
+        .unwrap();
+        let d = ProgramDelta::diff(&p, &q);
+        let applied = d.apply(&p).unwrap();
+        // Same functions, same bodies (modulo renumbering), same globals.
+        assert_eq!(applied.globals, q.globals);
+        assert_eq!(applied.functions.len(), q.functions.len());
+        for f in &q.functions {
+            let af = applied.function(&f.name).expect("function present");
+            assert!(functions_equal_modulo_ids(af, f), "{} differs", f.name);
+        }
+        // And the resulting delta to `q` is now empty (function order may
+        // differ when functions are added, so compare per-function).
+        assert!(ProgramDelta::diff(&applied, &q)
+            .edits
+            .iter()
+            .all(|e| !matches!(e, ProgramEdit::ReplaceFunction(_))));
+    }
+
+    #[test]
+    fn insert_and_remove_statements() {
+        let p = frontend(BASE).unwrap();
+        let d = ProgramDelta::single(ProgramEdit::InsertStmt {
+            function: "set".into(),
+            at: usize::MAX,
+            stmt: assign("g", 9),
+        });
+        let q = d.apply(&p).unwrap();
+        let set = q.function("set").unwrap();
+        assert_eq!(set.body.stmts.len(), 2);
+
+        // Remove it again by id.
+        let id = set.body.stmts[1].id;
+        let r = ProgramDelta::single(ProgramEdit::RemoveStmt { id })
+            .apply(&q)
+            .unwrap();
+        assert!(functions_equal_modulo_ids(
+            r.function("set").unwrap(),
+            p.function("set").unwrap()
+        ));
+    }
+
+    #[test]
+    fn replace_statement_by_id() {
+        let p = frontend(BASE).unwrap();
+        let id = p.function("set").unwrap().body.stmts[0].id;
+        let q = ProgramDelta::single(ProgramEdit::ReplaceStmt {
+            id,
+            stmt: assign("g", 7),
+        })
+        .apply(&p)
+        .unwrap();
+        let set = q.function("set").unwrap();
+        assert!(matches!(
+            &set.body.stmts[0].kind,
+            StmtKind::Assign {
+                value: Expr::Int(7),
+                ..
+            }
+        ));
+        assert_eq!(
+            ProgramDelta::single(ProgramEdit::ReplaceStmt {
+                id,
+                stmt: assign("g", 7),
+            })
+            .touched_functions(&p),
+            BTreeSet::from(["set".to_string()])
+        );
+    }
+
+    #[test]
+    fn apply_rejects_bad_edits() {
+        let p = frontend(BASE).unwrap();
+        // Unknown function.
+        assert!(
+            ProgramDelta::single(ProgramEdit::RemoveFunction("nope".into()))
+                .apply(&p)
+                .is_err()
+        );
+        // Unknown statement id.
+        assert!(
+            ProgramDelta::single(ProgramEdit::RemoveStmt { id: StmtId(9999) })
+                .apply(&p)
+                .is_err()
+        );
+        // Removing a global that is still used fails sema.
+        assert!(ProgramDelta::single(ProgramEdit::RemoveGlobal("g".into()))
+            .apply(&p)
+            .is_err());
+        // Duplicate global.
+        assert!(ProgramDelta::single(ProgramEdit::AddGlobal("g".into()))
+            .apply(&p)
+            .is_err());
+    }
+
+    #[test]
+    fn inserted_calls_are_normalized() {
+        // An inserted statement with a nested call gets hoisted by apply's
+        // re-normalization, so the SDG layer sees one call per statement.
+        let p = frontend(
+            r#"
+            int g;
+            int id(int x) { return x; }
+            int main() { g = 1; printf("%d", g); return 0; }
+            "#,
+        )
+        .unwrap();
+        let q = ProgramDelta::single(ProgramEdit::InsertStmt {
+            function: "main".into(),
+            at: 1,
+            stmt: Stmt::new(
+                0,
+                StmtKind::Assign {
+                    name: "g".into(),
+                    value: Expr::Binary(
+                        crate::ast::BinOp::Add,
+                        Box::new(Expr::Call(Box::new(crate::ast::CallStmt {
+                            callee: crate::ast::Callee::Named("id".into()),
+                            args: vec![Expr::Int(2)],
+                            assign_to: None,
+                        }))),
+                        Box::new(Expr::Int(1)),
+                    ),
+                },
+            ),
+        })
+        .apply(&p)
+        .unwrap();
+        let mut has_expr_call = false;
+        q.visit_all(|_, s| {
+            if let StmtKind::Assign { value, .. } = &s.kind {
+                has_expr_call |= value.contains_call();
+            }
+        });
+        assert!(!has_expr_call, "apply must re-normalize nested calls");
+    }
+
+    #[test]
+    fn globals_edits_are_flagged() {
+        assert!(ProgramDelta::single(ProgramEdit::AddGlobal("z".into())).touches_globals());
+        assert!(!ProgramDelta::single(ProgramEdit::RemoveFunction("f".into())).touches_globals());
+    }
+}

@@ -31,6 +31,7 @@
 //! ```
 
 pub mod ast;
+pub mod delta;
 pub mod lexer;
 pub mod normalize;
 pub mod parser;
@@ -39,6 +40,7 @@ pub mod sema;
 pub mod token;
 
 pub use ast::{Block, Callee, Expr, Function, Program, Stmt, StmtId, StmtKind};
+pub use delta::{ProgramDelta, ProgramEdit};
 pub use lexer::lex;
 pub use parser::parse;
 pub use pretty::pretty;

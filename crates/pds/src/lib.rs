@@ -28,7 +28,7 @@
 //! query.set_final(f);
 //! // accepts exactly (p, ε): final state reachable by the empty word
 //! query.set_final(query.control_state(p));
-//! let result = prestar(&pds, &query);
+//! let result = prestar(&pds, &query).expect("well-formed query");
 //! assert!(result.accepts(p, &[a, a, a]));
 //! ```
 
@@ -41,3 +41,48 @@ pub use automaton::{PAutomaton, PState};
 pub use poststar::poststar;
 pub use prestar::prestar;
 pub use system::{ControlLoc, Pds, Rhs, Rule};
+
+use std::fmt;
+
+/// Errors from the symbolic reachability engines.
+///
+/// Saturation runs inside worker threads of batch-slicing clients; a
+/// malformed query must surface as a value the caller can route, never as a
+/// panic that poisons the worker pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PdsError {
+    /// The query automaton contains an ε-transition. Saturation matches
+    /// rules against *labeled* transitions only, so an ε-move surviving into
+    /// the run would silently drop configurations; the engines refuse it
+    /// up front instead.
+    EpsilonInQuery {
+        /// Number of ε-transitions found.
+        count: usize,
+    },
+    /// The query automaton has fewer control states than the PDS has
+    /// control locations, so some rules could never anchor.
+    MissingControls {
+        /// Control states of the query automaton.
+        query: u32,
+        /// Control locations of the PDS.
+        pds: u32,
+    },
+}
+
+impl fmt::Display for PdsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdsError::EpsilonInQuery { count } => write!(
+                f,
+                "query automaton has {count} ε-transition(s); saturation requires ε-free queries"
+            ),
+            PdsError::MissingControls { query, pds } => write!(
+                f,
+                "query automaton has {query} control state(s) but the PDS has {pds} \
+                 control location(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PdsError {}

@@ -289,7 +289,7 @@ mod tests {
         let f2 = from_c.add_state();
         from_c.add_transition(from_c.control_state(p), Some(c), f2);
         from_c.set_final(f2);
-        let pre = crate::prestar::prestar(&pds, &from_c);
+        let pre = crate::prestar::prestar(&pds, &from_c).unwrap();
 
         assert_eq!(post.accepts(p, &[c]), pre.accepts(p, &[a]));
         assert!(post.accepts(p, &[c]));

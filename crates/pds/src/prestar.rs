@@ -14,6 +14,7 @@
 
 use crate::automaton::{PAutomaton, PState};
 use crate::system::{Pds, Rhs};
+use crate::PdsError;
 use specslice_fsa::Symbol;
 use std::collections::HashMap;
 
@@ -37,29 +38,39 @@ pub struct PrestarStats {
 /// The query automaton must not have ε-transitions (queries built by
 /// `specslice` never do).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `query` has ε-transitions or fewer control states than `pds`.
-pub fn prestar(pds: &Pds, query: &PAutomaton) -> PAutomaton {
-    prestar_with_stats(pds, query).0
+/// [`PdsError::EpsilonInQuery`] if an ε-transition survives into saturation,
+/// [`PdsError::MissingControls`] if `query` has fewer control states than
+/// `pds` has control locations. Both indicate a malformed query and are
+/// returned (not panicked), so batch workers stay alive.
+pub fn prestar(pds: &Pds, query: &PAutomaton) -> Result<PAutomaton, PdsError> {
+    prestar_with_stats(pds, query).map(|(aut, _)| aut)
 }
 
 /// [`prestar`] plus run statistics.
-pub fn prestar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, PrestarStats) {
-    assert!(
-        query.control_count() >= pds.control_count(),
-        "query automaton lacks control states"
-    );
-    assert!(
-        query.transitions().all(|(_, l, _)| l.is_some()),
-        "prestar queries must be ε-free"
-    );
+pub fn prestar_with_stats(
+    pds: &Pds,
+    query: &PAutomaton,
+) -> Result<(PAutomaton, PrestarStats), PdsError> {
+    if query.control_count() < pds.control_count() {
+        return Err(PdsError::MissingControls {
+            query: query.control_count(),
+            pds: pds.control_count(),
+        });
+    }
+    let epsilon_count = query.transitions().filter(|(_, l, _)| l.is_none()).count();
+    if epsilon_count > 0 {
+        return Err(PdsError::EpsilonInQuery {
+            count: epsilon_count,
+        });
+    }
 
     let mut aut = query.clone();
-    // Worklist of transitions to process.
+    // Worklist of transitions to process (all labeled — checked above).
     let mut worklist: Vec<(PState, Symbol, PState)> = aut
         .transitions()
-        .map(|(f, l, t)| (f, l.expect("ε-free"), t))
+        .filter_map(|(f, l, t)| l.map(|sym| (f, sym, t)))
         .collect();
 
     // Index of current transitions by (source, symbol) → targets, maintained
@@ -163,7 +174,7 @@ pub fn prestar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, Prestar
         query_transitions: query.transition_count(),
         peak_bytes,
     };
-    (aut, stats)
+    Ok((aut, stats))
 }
 
 #[cfg(test)]
@@ -173,6 +184,31 @@ mod tests {
 
     fn sym(i: u32) -> Symbol {
         Symbol(i)
+    }
+
+    /// A query with an ε-transition must be rejected with a structured
+    /// error, not a panic (this used to crash batch worker threads).
+    #[test]
+    fn epsilon_query_is_a_structured_error() {
+        let p = ControlLoc(0);
+        let mut pds = Pds::new(1);
+        pds.add_pop(p, sym(0), p);
+        let mut query = PAutomaton::new(1);
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), None, f);
+        query.set_final(f);
+        let err = prestar(&pds, &query).unwrap_err();
+        assert_eq!(err, PdsError::EpsilonInQuery { count: 1 });
+        assert!(err.to_string().contains("ε-free"), "{err}");
+    }
+
+    /// A query lacking control states is likewise a structured error.
+    #[test]
+    fn missing_controls_is_a_structured_error() {
+        let pds = Pds::new(3);
+        let query = PAutomaton::new(1);
+        let err = prestar_with_stats(&pds, &query).unwrap_err();
+        assert_eq!(err, PdsError::MissingControls { query: 1, pds: 3 });
     }
 
     /// pre* on the "unbounded pop" PDS: rules ⟨p,a⟩↪⟨p,ε⟩;
@@ -185,7 +221,7 @@ mod tests {
         pds.add_pop(p, a, p);
         let mut query = PAutomaton::new(1);
         query.set_final(query.control_state(p));
-        let res = prestar(&pds, &query);
+        let res = prestar(&pds, &query).unwrap();
         for n in 0..5 {
             assert!(res.accepts(p, &vec![a; n]), "a^{n}");
         }
@@ -204,7 +240,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(p), Some(c), f);
         query.set_final(f);
-        let res = prestar(&pds, &query);
+        let res = prestar(&pds, &query).unwrap();
         assert!(res.accepts(p, &[a]));
         assert!(res.accepts(p, &[b]));
         assert!(res.accepts(p, &[c]));
@@ -224,7 +260,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(p), Some(c), f);
         query.set_final(f);
-        let res = prestar(&pds, &query);
+        let res = prestar(&pds, &query).unwrap();
         assert!(res.accepts(p, &[a]));
         assert!(res.accepts(p, &[b, c]));
         assert!(res.accepts(p, &[c]));
@@ -250,7 +286,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(p), Some(r), f);
         query.set_final(f);
-        let res = prestar(&pds, &query);
+        let res = prestar(&pds, &query).unwrap();
         // (p, r) is the criterion itself.
         assert!(res.accepts(p, &[r]));
         // (p, s) ⇒ (p, r C): reaches criterion configurations only if the
@@ -279,7 +315,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(q), Some(a), f);
         query.set_final(f);
-        let res = prestar(&pds, &query);
+        let res = prestar(&pds, &query).unwrap();
 
         // Concrete bounded search.
         let reaches = |loc: ControlLoc, stack: &[Symbol]| -> bool {

@@ -30,13 +30,8 @@ use std::collections::HashMap;
 /// Synthetic variable carrying a function's return value to its formal-out.
 pub const RET_VAR: &str = "$ret";
 
-/// Builds the SDG of a normalized, checked program.
-///
-/// # Errors
-///
-/// Fails if the program has no `main`, contains indirect calls (run the
-/// `specslice` §6.2 transformation first), or has unnumbered statements.
-pub fn build_sdg(program: &Program) -> Result<Sdg, SdgError> {
+/// Structural validation shared by the full builder and the patcher.
+pub(crate) fn validate_program(program: &Program) -> Result<(), SdgError> {
     let mut err = None;
     program.visit_all(|f, s| {
         if s.id == specslice_lang::StmtId::UNASSIGNED {
@@ -61,15 +56,68 @@ pub fn build_sdg(program: &Program) -> Result<Sdg, SdgError> {
     if program.main().is_none() {
         return Err(SdgError::NoMain);
     }
+    Ok(())
+}
 
+/// Runs the interprocedural mod/ref analysis for `program`.
+pub(crate) fn analyze_modref(program: &Program) -> HashMap<String, ModRefInfo> {
     let cfgs: HashMap<String, StmtCfg> = program
         .functions
         .iter()
         .map(|f| (f.name.clone(), build_stmt_cfg(f)))
         .collect();
-    let summaries = modref::analyze(program, &cfgs);
+    modref::analyze(program, &cfgs)
+}
 
-    Builder::new(program, summaries).build()
+/// Builds the SDG of a normalized, checked program.
+///
+/// # Errors
+///
+/// Fails if the program has no `main`, contains indirect calls (run the
+/// `specslice` §6.2 transformation first), or has unnumbered statements.
+pub fn build_sdg(program: &Program) -> Result<Sdg, SdgError> {
+    validate_program(program)?;
+    let summaries = analyze_modref(program);
+    Builder::new(program, summaries, None).build()
+}
+
+/// How one procedure's dependence edges are obtained when rebuilding an SDG
+/// against a [`ReusePlan`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CopyMode {
+    /// The procedure's id in the *old* SDG.
+    pub old_pid: ProcId,
+    /// Whether the old summary edges at this procedure's call sites are
+    /// still valid (true only when no transitive callee changed).
+    pub with_summary: bool,
+}
+
+/// Instructions for [`build_sdg_reusing`]: which procedures' intra-PDG
+/// dependence edges can be copied from `old` instead of being recomputed,
+/// and which procedures' formal-outs must seed the summary-edge worklist.
+pub(crate) struct ReusePlan<'a> {
+    /// The SDG built for the pre-edit program.
+    pub old: &'a Sdg,
+    /// Per-procedure (by name) copy instructions; procedures absent from
+    /// this map are rebuilt from scratch.
+    pub copy: HashMap<String, CopyMode>,
+    /// Procedures (by name) whose path-edge facts must be re-derived.
+    pub summary_seeds: std::collections::BTreeSet<String>,
+}
+
+/// [`build_sdg`] with precomputed mod/ref summaries and a reuse plan: the
+/// vertex skeleton is always rebuilt (vertex numbering must match a fresh
+/// build exactly), but control/flow/§6.1 dependence — the expensive
+/// postdominator and reaching-definitions passes — is copied by ordinal
+/// correspondence for every procedure the plan covers, and summary edges are
+/// recomputed only from the plan's seeds.
+pub(crate) fn build_sdg_reusing(
+    program: &Program,
+    summaries: HashMap<String, ModRefInfo>,
+    plan: &ReusePlan<'_>,
+) -> Result<Sdg, SdgError> {
+    validate_program(program)?;
+    Builder::new(program, summaries, Some(plan)).build()
 }
 
 /// Per-procedure slot layout derived from the signature and mod/ref results.
@@ -128,6 +176,7 @@ struct Builder<'p> {
     summaries: HashMap<String, ModRefInfo>,
     layouts: HashMap<String, SlotLayout>,
     sdg: Sdg,
+    plan: Option<&'p ReusePlan<'p>>,
 }
 
 /// Vertex-level CFG under construction for one procedure.
@@ -163,7 +212,11 @@ struct LoopCtx {
 }
 
 impl<'p> Builder<'p> {
-    fn new(program: &'p Program, summaries: HashMap<String, ModRefInfo>) -> Self {
+    fn new(
+        program: &'p Program,
+        summaries: HashMap<String, ModRefInfo>,
+        plan: Option<&'p ReusePlan<'p>>,
+    ) -> Self {
         let layouts = program
             .functions
             .iter()
@@ -174,6 +227,7 @@ impl<'p> Builder<'p> {
             summaries,
             layouts,
             sdg: Sdg::default(),
+            plan,
         }
     }
 
@@ -218,23 +272,92 @@ impl<'p> Builder<'p> {
         }
         self.sdg.main = self.sdg.proc_by_name["main"];
 
-        // Phase B: per-procedure bodies, control and flow dependence.
+        // Phase B: per-procedure bodies, control and flow dependence
+        // (dependence recomputation is skipped for plan-covered procedures).
         for i in 0..self.program.functions.len() {
             self.build_proc(ProcId(i as u32))?;
         }
 
-        // Phase C: interprocedural edges.
-        self.connect_call_sites();
-
-        // Record per-proc vertex membership.
+        // Record per-proc vertex membership (before the interprocedural
+        // phase, so a reuse plan can copy edges by ordinal correspondence).
         for v in self.sdg.vertex_ids() {
             let p = self.sdg.vertex(v).proc;
             self.sdg.procs[p.index()].vertices.push(v);
         }
 
+        // Copy reused intra-procedural edges, in ProcId order (keeps edge
+        // insertion order deterministic across runs).
+        if let Some(plan) = self.plan {
+            for i in 0..self.sdg.procs.len() {
+                let name = self.sdg.procs[i].name.clone();
+                if let Some(&mode) = plan.copy.get(&name) {
+                    self.copy_proc_edges(ProcId(i as u32), mode, plan.old)?;
+                }
+            }
+        }
+
+        // Phase C: interprocedural edges.
+        self.connect_call_sites();
+
         // Summary edges for the context-sensitive closure slicer.
-        crate::summary::add_summary_edges(&mut self.sdg);
+        match self.plan {
+            None => crate::summary::add_summary_edges(&mut self.sdg),
+            Some(plan) => {
+                let seeds: std::collections::BTreeSet<ProcId> = plan
+                    .summary_seeds
+                    .iter()
+                    .filter_map(|n| self.sdg.proc_by_name.get(n).copied())
+                    .collect();
+                crate::summary::add_summary_edges_for(&mut self.sdg, &seeds);
+            }
+        }
+        self.sdg.modref = self.summaries.clone();
         Ok(self.sdg)
+    }
+
+    /// Copies the old SDG's intra-procedural dependence edges (control,
+    /// flow, §6.1 — and summary, when the callees are unchanged too) onto
+    /// the freshly built vertex skeleton of one unchanged procedure. The
+    /// `k`-th vertex created for a procedure is the same program point in
+    /// both builds, so the copy is a plain ordinal zip.
+    fn copy_proc_edges(
+        &mut self,
+        new_pid: ProcId,
+        mode: CopyMode,
+        old: &Sdg,
+    ) -> Result<(), SdgError> {
+        let old_vs = old.proc(mode.old_pid).vertices.clone();
+        let new_vs = self.sdg.proc(new_pid).vertices.clone();
+        if old_vs.len() != new_vs.len() {
+            return Err(SdgError::new(format!(
+                "reuse plan stale: `{}` has {} vertices, previously {}",
+                self.sdg.proc(new_pid).name,
+                new_vs.len(),
+                old_vs.len()
+            )));
+        }
+        let map: HashMap<VertexId, VertexId> =
+            old_vs.iter().copied().zip(new_vs.iter().copied()).collect();
+        for (&ov, &nv) in old_vs.iter().zip(&new_vs) {
+            for &(ot, kind) in old.successors(ov) {
+                let copyable = matches!(
+                    kind,
+                    EdgeKind::Control | EdgeKind::Flow | EdgeKind::LibActual
+                ) || (mode.with_summary && kind == EdgeKind::Summary);
+                if !copyable {
+                    continue;
+                }
+                let Some(&nt) = map.get(&ot) else {
+                    return Err(SdgError::new(format!(
+                        "reuse plan stale: `{}` has an intra-procedural {kind:?} edge \
+                         leaving the procedure",
+                        self.sdg.proc(new_pid).name
+                    )));
+                };
+                self.sdg.add_edge(nv, nt, kind);
+            }
+        }
+        Ok(())
     }
 
     fn func(&self, pid: ProcId) -> &'p Function {
@@ -320,8 +443,16 @@ impl<'p> Builder<'p> {
         // Ball–Horwitz entry→exit edge.
         cfg.augmented.push((entry, exit));
 
-        self.control_dependence(pid, &cfg);
-        self.flow_dependence(&cfg);
+        // Plan-covered procedures keep their old dependence edges (copied in
+        // bulk once every vertex exists); only the vertex skeleton above —
+        // which fixes program-wide vertex numbering — had to be rebuilt.
+        let reused = self
+            .plan
+            .is_some_and(|plan| plan.copy.contains_key(&f.name));
+        if !reused {
+            self.control_dependence(pid, &cfg);
+            self.flow_dependence(&cfg);
+        }
         Ok(())
     }
 

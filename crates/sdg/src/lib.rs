@@ -37,6 +37,7 @@ pub mod build;
 pub mod cfg;
 pub mod model;
 pub mod modref;
+pub mod patch;
 pub mod slice;
 pub mod summary;
 
@@ -44,6 +45,8 @@ pub use model::{
     CallSite, CallSiteId, CalleeKind, EdgeKind, InSlot, LibFn, OutSlot, Proc, ProcId, Sdg, Vertex,
     VertexId, VertexKind,
 };
+pub use modref::ModRefInfo;
+pub use patch::{patch_sdg, SdgPatch};
 
 use std::fmt;
 

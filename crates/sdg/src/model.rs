@@ -251,6 +251,12 @@ pub struct Sdg {
     pub main: ProcId,
     /// Number of edges (by kind, for stats).
     pub edge_counts: HashMap<EdgeKind, usize>,
+    /// The interprocedural mod/ref summaries the builder derived the
+    /// formal-in/out layouts from, keyed by procedure name. Retained so the
+    /// incremental patcher ([`crate::patch`]) can tell which procedures'
+    /// layouts and call-site effects survived an edit (empty for hand-built
+    /// SDGs, which the patcher treats as fully dirty).
+    pub modref: HashMap<String, crate::modref::ModRefInfo>,
 }
 
 impl Sdg {

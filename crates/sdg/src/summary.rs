@@ -8,10 +8,23 @@
 //! Binkley's algorithm do.)
 
 use crate::model::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Adds all summary edges to `sdg`. Idempotent.
 pub fn add_summary_edges(sdg: &mut Sdg) {
+    let all: BTreeSet<ProcId> = sdg.procs.iter().map(|p| p.id).collect();
+    add_summary_edges_for(sdg, &all);
+}
+
+/// Adds the summary edges derivable from same-level paths to the formal-outs
+/// of `seeds` only.
+///
+/// This is the incremental-patch entry point: after an edit, summary edges
+/// of *unchanged* call sites are copied from the old SDG, and only the
+/// procedures whose transitive callees changed (plus their direct callees,
+/// whose path facts feed them) need their path edges re-derived. Seeding
+/// every procedure is exactly [`add_summary_edges`]. Idempotent.
+pub fn add_summary_edges_for(sdg: &mut Sdg, seeds: &BTreeSet<ProcId>) {
     // Path edge (v, fo): v reaches formal-out fo along a same-level path.
     let mut pe: HashSet<(VertexId, VertexId)> = HashSet::new();
     let mut paths_from: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
@@ -29,6 +42,9 @@ pub fn add_summary_edges(sdg: &mut Sdg) {
     };
 
     for proc in sdg.procs.clone() {
+        if !seeds.contains(&proc.id) {
+            continue;
+        }
         for fo in proc.formal_outs {
             push(&mut pe, &mut paths_from, &mut worklist, fo, fo);
         }

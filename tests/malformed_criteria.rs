@@ -1,0 +1,171 @@
+//! Malformed criteria must surface as `Err` from every query entry point —
+//! `slice`, `slice_batch`, `slice_batch_results`, `remove_feature` — at
+//! every thread count, and must never panic a worker or poison the rest of
+//! a batch. Also covers the `num_threads == 0` configuration regression.
+
+use specslice::{CallSiteId, Criterion, Slicer, SlicerConfig, SpecSlice, VertexId};
+
+const SRC: &str = r#"
+    int g1, g2;
+    void p(int a, int b) { g1 = a; g2 = b; }
+    int main() {
+        g2 = 100;
+        p(g2, 2);
+        p(g2, 3);
+        printf("%d", g1);
+        printf("%d", g2);
+        return 0;
+    }
+"#;
+
+fn session(num_threads: usize) -> Slicer {
+    Slicer::from_source_with(
+        SRC,
+        SlicerConfig {
+            num_threads,
+            ..SlicerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The malformed criteria under test, with a name for failure messages.
+fn bad_criteria(slicer: &Slicer) -> Vec<(&'static str, Criterion)> {
+    let p = slicer.sdg().proc_named("p").unwrap();
+    let printf_site = slicer.sdg().printf_call_sites().next().unwrap().id;
+    vec![
+        (
+            "unknown vertex (out of range)",
+            Criterion::vertex(VertexId(u32::MAX / 2)),
+        ),
+        ("empty all-contexts set", Criterion::AllContexts(vec![])),
+        ("empty configuration set", Criterion::Configurations(vec![])),
+        (
+            "unknown call site in stack",
+            Criterion::configuration(p.entry, vec![CallSiteId(9999)]),
+        ),
+        (
+            "stack through a procedure that is not the callee",
+            Criterion::configuration(p.entry, vec![printf_site]),
+        ),
+        (
+            "stack not bottoming out in main",
+            Criterion::configuration(p.entry, vec![]),
+        ),
+    ]
+}
+
+#[test]
+fn every_entry_point_rejects_malformed_criteria() {
+    for threads in [1usize, 2, 4] {
+        let slicer = session(threads);
+        for (what, criterion) in bad_criteria(&slicer) {
+            assert!(
+                slicer.slice(&criterion).is_err(),
+                "slice accepted {what} at {threads} threads"
+            );
+            assert!(
+                slicer.slice_with_stats(&criterion).is_err(),
+                "slice_with_stats accepted {what} at {threads} threads"
+            );
+            assert!(
+                slicer
+                    .slice_batch(std::slice::from_ref(&criterion))
+                    .is_err(),
+                "slice_batch accepted {what} at {threads} threads"
+            );
+            let results = slicer.slice_batch_results(std::slice::from_ref(&criterion));
+            assert!(
+                results[0].is_err(),
+                "slice_batch_results accepted {what} at {threads} threads"
+            );
+            assert!(
+                slicer.remove_feature(&criterion).is_err(),
+                "remove_feature accepted {what} at {threads} threads"
+            );
+        }
+    }
+}
+
+/// A bad criterion inside a parallel batch reports the lowest failing index
+/// and leaves the good criteria untouched in the non-fail-fast variant.
+#[test]
+fn mixed_batches_fail_deterministically_without_poisoning_workers() {
+    for threads in [1usize, 2, 4] {
+        let slicer = session(threads);
+        let good: Vec<Criterion> = slicer
+            .sdg()
+            .printf_actual_in_vertices()
+            .into_iter()
+            .map(Criterion::vertex)
+            .collect();
+        assert!(good.len() >= 2);
+        for (what, bad) in bad_criteria(&slicer) {
+            // bad in the middle: fail-fast reports its index.
+            let mut batch = good.clone();
+            batch.insert(1, bad.clone());
+            let err = slicer.slice_batch(&batch).unwrap_err();
+            assert!(
+                err.to_string().contains("criterion #1"),
+                "{what} at {threads} threads: {err}"
+            );
+            // non-fail-fast: everything else still answers, identically to
+            // a clean batch.
+            let results = slicer.slice_batch_results(&batch);
+            assert!(results[1].is_err(), "{what} at {threads} threads");
+            let clean: Vec<SpecSlice> = slicer.slice_batch(&good).unwrap().slices;
+            let kept: Vec<&SpecSlice> = results
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != 1)
+                .map(|(_, r)| r.as_ref().unwrap())
+                .collect();
+            for (a, b) in clean.iter().zip(kept) {
+                assert_eq!(format!("{a:?}"), format!("{b:?}"), "{what}");
+            }
+        }
+    }
+}
+
+/// Criteria over raw automata with an ill-shaped language are rejected too.
+#[test]
+fn ill_shaped_automaton_criteria_are_rejected() {
+    let slicer = session(2);
+    // A language whose words loop back into the initial state (violates the
+    // `vertex call-site*` shape).
+    let mut nfa = specslice_fsa::Nfa::new();
+    let q0 = nfa.initial();
+    let sym = specslice_fsa::Symbol(0);
+    nfa.add_transition(q0, Some(sym), q0);
+    nfa.set_final(q0);
+    let criterion = Criterion::Automaton(nfa);
+    assert!(slicer.slice(&criterion).is_err());
+    assert!(slicer
+        .slice_batch(std::slice::from_ref(&criterion))
+        .is_err());
+    assert!(slicer.slice_batch_results(&[criterion])[0].is_err());
+}
+
+/// `num_threads: 0` regression: clamped to one worker at construction, the
+/// session answers batches sequentially instead of handing a zero width to
+/// the execution layer.
+#[test]
+fn zero_thread_config_is_clamped_to_one() {
+    let slicer = session(0);
+    assert_eq!(slicer.config().num_threads, 1);
+    let criteria: Vec<Criterion> = slicer
+        .sdg()
+        .printf_actual_in_vertices()
+        .into_iter()
+        .map(Criterion::vertex)
+        .collect();
+    let batch = slicer.slice_batch(&criteria).unwrap();
+    assert_eq!(batch.slices.len(), criteria.len());
+    assert_eq!(batch.per_thread.len(), 1, "sequential batch: one worker");
+    // Identical answers to an explicit single-thread session.
+    let one = session(1);
+    assert_eq!(
+        format!("{:?}", batch.slices),
+        format!("{:?}", one.slice_batch(&criteria).unwrap().slices)
+    );
+}
