@@ -1,0 +1,258 @@
+//! The unified query-path benchmark: per-criterion `Prestar` → MRD →
+//! read-out over the corpus and feature-grid workloads, with deterministic
+//! pipeline counters alongside the wall-clock numbers.
+//!
+//! Run with: `cargo bench -p specslice-bench --bench query`
+//!
+//! Every workload is answered with memoization *off* and one worker thread,
+//! so each criterion pays the full criterion-dependent pipeline — this is
+//! the hot path that batch parallelism and the incremental memo multiply,
+//! and the one the dense-ID representation targets.
+//!
+//! The bench emits a machine-readable JSON report to stdout (and to
+//! `$BENCH_QUERY_JSON` when set — the committed snapshot at
+//! `BENCH_query.json` in the repository root was produced that way). The
+//! report has two kinds of fields:
+//!
+//! * **deterministic counters** (`"counters"`): Prestar rule applications,
+//!   saturated-transition counts, peak worklist depth, automaton
+//!   state/transition counts along the MRD chain, and slice sizes. These
+//!   are pure functions of the workload — identical on every machine, at
+//!   every thread count, in smoke and full mode — so CI's `bench-gate` job
+//!   diffs them against the committed snapshot to catch silent changes to
+//!   the query pipeline's work;
+//! * **wall-clock** (`"median_total_us"`, `"us_per_criterion"`,
+//!   `"geomean_us_per_criterion"`): machine-dependent, recorded for the
+//!   perf trajectory but never gated on.
+//!
+//! `BENCH_QUERY_SMOKE=1` runs one sample per workload (the workload set is
+//! unchanged, so the counters still match the snapshot).
+//!
+//! The bench also re-answers each workload through `slice_batch` at 1, 2,
+//! and 4 worker threads and asserts the rendered slices are byte-identical
+//! — the acceptance gate the dense rewrite must preserve.
+
+use specslice::{Criterion, Slicer, SlicerConfig};
+use specslice_bench::{geometric_mean, timer};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var("BENCH_QUERY_SMOKE").is_ok()
+}
+
+fn samples() -> usize {
+    if smoke() {
+        1
+    } else {
+        10
+    }
+}
+
+/// Sessions answer every criterion cold: no memo, no stats retention, one
+/// worker — the measurement isolates the per-criterion query pipeline.
+fn config() -> SlicerConfig {
+    SlicerConfig {
+        collect_stats: false,
+        memoize: false,
+        num_threads: 1,
+        ..SlicerConfig::default()
+    }
+}
+
+/// The deterministic per-workload counters the CI bench-gate compares.
+/// Everything here is a pure function of the program + criteria — no
+/// wall-clock, no allocator sizes, no thread counts.
+#[derive(Clone, Copy, Debug, Default)]
+struct Counters {
+    pds_rules: usize,
+    prestar_transitions: usize,
+    prestar_rule_applications: usize,
+    prestar_peak_worklist: usize,
+    a1_states: usize,
+    a1_transitions: usize,
+    det_states: usize,
+    min_states: usize,
+    mrd_states: usize,
+    mrd_transitions: usize,
+    slice_vertices: usize,
+    variants: usize,
+}
+
+struct WorkloadRow {
+    name: String,
+    criteria: usize,
+    counters: Counters,
+    median_total: Duration,
+}
+
+/// The benched workloads: the twelve corpus emulations plus three
+/// feature-grid sizes, each sliced once per printf call site (the paper's
+/// multi-criterion workload).
+fn workloads() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = specslice_corpus::programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    for n in [12, 24, 40] {
+        out.push((format!("grid{n}"), specslice_corpus::feature_grid(n)));
+    }
+    out
+}
+
+fn main() {
+    let samples = samples();
+    let host = specslice_exec::available_parallelism();
+    println!(
+        "query-path bench, per-printf criteria, memoize off, {samples} sample(s), \
+         host parallelism = {host}"
+    );
+    println!("{}", timer::header());
+
+    let mut rows: Vec<WorkloadRow> = Vec::new();
+    for (name, source) in workloads() {
+        let slicer = Slicer::from_source_with(&source, config()).expect("workload program");
+        let criteria: Vec<Criterion> = slicer
+            .sdg()
+            .printf_call_sites()
+            .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+            .collect();
+        if criteria.is_empty() {
+            continue;
+        }
+
+        // Acceptance gate: byte-identical slices at 1, 2, and 4 worker
+        // threads (SpecSlice's Debug rendering is fully deterministic).
+        let baseline = format!("{:?}", slicer.slice_batch(&criteria).unwrap().slices);
+        for t in [2usize, 4] {
+            let parallel = Slicer::from_source_with(
+                &source,
+                SlicerConfig {
+                    num_threads: t,
+                    ..config()
+                },
+            )
+            .expect("workload program");
+            let out = format!("{:?}", parallel.slice_batch(&criteria).unwrap().slices);
+            assert_eq!(out, baseline, "{name}: slices diverged at {t} threads");
+        }
+
+        // Deterministic counters, summed over the workload's criteria.
+        let mut counters = Counters {
+            pds_rules: slicer.encoding().pds.rule_count(),
+            ..Counters::default()
+        };
+        for criterion in &criteria {
+            let (slice, stats) = slicer.slice_with_stats(criterion).expect("criterion");
+            counters.prestar_transitions += stats.prestar_transitions;
+            counters.prestar_rule_applications += stats.prestar_rule_applications;
+            counters.prestar_peak_worklist += stats.prestar_peak_worklist;
+            counters.a1_states += stats.a1_states;
+            counters.a1_transitions += stats.a1_transitions;
+            counters.det_states += stats.mrd.determinized_states;
+            counters.min_states += stats.mrd.minimized_states;
+            counters.mrd_states += stats.mrd.mrd_states;
+            counters.mrd_transitions += stats.mrd.mrd_transitions;
+            counters.slice_vertices += slice.total_vertices();
+            counters.variants += slice.variants.len();
+        }
+
+        // Wall-clock: answer the whole criterion list, cold, per sample.
+        let s = timer::run(
+            &format!("query/{}-x{}", name, criteria.len()),
+            samples,
+            || {
+                for criterion in &criteria {
+                    slicer.slice(criterion).unwrap();
+                }
+            },
+        );
+        println!("{}", s.row());
+        rows.push(WorkloadRow {
+            name,
+            criteria: criteria.len(),
+            counters,
+            median_total: s.median,
+        });
+    }
+
+    let geomean_us = geometric_mean(
+        rows.iter()
+            .map(|r| r.median_total.as_secs_f64() * 1e6 / r.criteria as f64),
+    );
+    println!("geomean per-criterion query time: {geomean_us:.1} us");
+
+    let json = render_json(samples, host, &rows, geomean_us);
+    println!("\n--- JSON report ---\n{json}");
+    if let Ok(path) = std::env::var("BENCH_QUERY_JSON") {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(dir).expect("create snapshot directory");
+        }
+        std::fs::write(&path, &json).expect("write JSON snapshot");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free — no serde). The
+/// `"counters"` objects must stay byte-stable across machines: they hold
+/// only deterministic pipeline counts, formatted with fixed key order.
+fn render_json(samples: usize, host: usize, rows: &[WorkloadRow], geomean_us: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"query\",");
+    let _ = writeln!(
+        s,
+        "  \"workload\": \"per-printf cold queries, corpus + feature grids\","
+    );
+    let _ = writeln!(s, "  \"samples\": {samples},");
+    let _ = writeln!(s, "  \"host_parallelism\": {host},");
+    let _ = writeln!(s, "  \"workloads\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let c = &r.counters;
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"criteria\": {},", r.criteria);
+        let _ = writeln!(s, "      \"counters\": {{");
+        let _ = writeln!(s, "        \"pds_rules\": {},", c.pds_rules);
+        let _ = writeln!(
+            s,
+            "        \"prestar_transitions\": {},",
+            c.prestar_transitions
+        );
+        let _ = writeln!(
+            s,
+            "        \"prestar_rule_applications\": {},",
+            c.prestar_rule_applications
+        );
+        let _ = writeln!(
+            s,
+            "        \"prestar_peak_worklist\": {},",
+            c.prestar_peak_worklist
+        );
+        let _ = writeln!(s, "        \"a1_states\": {},", c.a1_states);
+        let _ = writeln!(s, "        \"a1_transitions\": {},", c.a1_transitions);
+        let _ = writeln!(s, "        \"det_states\": {},", c.det_states);
+        let _ = writeln!(s, "        \"min_states\": {},", c.min_states);
+        let _ = writeln!(s, "        \"mrd_states\": {},", c.mrd_states);
+        let _ = writeln!(s, "        \"mrd_transitions\": {},", c.mrd_transitions);
+        let _ = writeln!(s, "        \"slice_vertices\": {},", c.slice_vertices);
+        let _ = writeln!(s, "        \"variants\": {}", c.variants);
+        let _ = writeln!(s, "      }},");
+        let _ = writeln!(
+            s,
+            "      \"median_total_us\": {:.1},",
+            r.median_total.as_secs_f64() * 1e6
+        );
+        let _ = writeln!(
+            s,
+            "      \"us_per_criterion\": {:.1}",
+            r.median_total.as_secs_f64() * 1e6 / r.criteria as f64
+        );
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"geomean_us_per_criterion\": {geomean_us:.1}");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -186,7 +186,15 @@ pub fn reachable_configurations(sdg: &Sdg, enc: &Encoded) -> Nfa {
         Some(enc.vertex_symbol(entry)),
         f,
     );
-    let post = specslice_pds::poststar(&enc.pds, &ae);
+    // The entry query is built right here — one labeled transition out of a
+    // control state into a fresh final state — so every `post*`
+    // precondition holds by construction.
+    let (post, _) = specslice_pds::poststar::poststar_indexed_with_stats(
+        &enc.index,
+        &ae,
+        &mut specslice_pds::SaturationScratch::default(),
+    )
+    .expect("entry query satisfies the post* preconditions by construction");
     post.to_nfa(MAIN_CONTROL)
 }
 

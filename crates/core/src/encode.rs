@@ -14,7 +14,7 @@
 //! Summary edges are *not* encoded (they are unnecessary for Alg. 1).
 
 use specslice_fsa::Symbol;
-use specslice_pds::{ControlLoc, Pds, Rhs};
+use specslice_pds::{ControlLoc, Pds, Rhs, RuleIndex};
 use specslice_sdg::{CallSiteId, EdgeKind, Sdg, SdgPatch, VertexId, VertexKind};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,10 +33,20 @@ pub fn encode_call_count() -> usize {
 }
 
 /// The SDG-as-PDS encoding plus the symbol interning tables.
+///
+/// Symbols and control locations are interned into contiguous `u32` ranges
+/// here, at encode time: vertex symbols are `0..n_vertices`, call-site
+/// symbols `n_vertices..n_vertices + n_call_sites`, and control locations
+/// `0` (`p`) followed by one dense id per formal-out (`p_fo`). Every
+/// downstream stage — saturation, the automaton chain, read-out — works on
+/// those dense ids; [`Encoded::index`] is the prebuilt CSR rule index the
+/// saturation engines share across all of a session's queries.
 #[derive(Clone, Debug)]
 pub struct Encoded {
     /// The pushdown system.
     pub pds: Pds,
+    /// The per-PDS saturation rule index (built once, immutable).
+    pub index: RuleIndex,
     /// Number of SDG vertices (vertex symbols are `0..n_vertices`).
     pub n_vertices: u32,
     /// Number of call sites (call-site symbols are `n_vertices..`).
@@ -102,8 +112,10 @@ pub fn encode_sdg(sdg: &Sdg) -> Encoded {
     }
     add_interprocedural_rules(&mut pds, sdg, &fo_controls, n_vertices);
 
+    let index = RuleIndex::new(&pds);
     Encoded {
         pds,
+        index,
         n_vertices,
         n_call_sites,
         fo_controls,
@@ -174,14 +186,22 @@ fn add_interprocedural_rules(
         }
     }
     // Pop rules ⟨p, fo⟩ ↪ ⟨p_fo, ε⟩, one per formal-out vertex that has at
-    // least one parameter-out edge.
-    for (&fo, &pfo) in fo_controls {
+    // least one parameter-out edge — in vertex order, so the rule list (and
+    // with it every order-sensitive saturation *counter*, like peak
+    // worklist depth) is identical from process to process. Iterating the
+    // randomly-seeded `fo_controls` map here used to vary the rule order
+    // per run; results were unaffected (saturation is confluent) but the
+    // benchmark's deterministic-counter gate would have tripped on noise.
+    for v in sdg.vertex_ids() {
+        let Some(&pfo) = fo_controls.get(&v) else {
+            continue;
+        };
         let has_param_out = sdg
-            .successors(fo)
+            .successors(v)
             .iter()
             .any(|&(_, k)| k == EdgeKind::ParamOut);
         if has_param_out {
-            pds.add_pop(MAIN_CONTROL, enc_sym(fo), pfo);
+            pds.add_pop(MAIN_CONTROL, enc_sym(v), pfo);
             added += 1;
         }
     }
@@ -272,9 +292,11 @@ pub fn patch_encoding(old: &Encoded, sdg: &Sdg, patch: &SdgPatch) -> (Encoded, E
     // through the exact derivation `encode_sdg` uses.
     stats.rules_rebuilt += add_interprocedural_rules(&mut pds, sdg, &fo_controls, n_vertices);
 
+    let index = RuleIndex::new(&pds);
     (
         Encoded {
             pds,
+            index,
             n_vertices,
             n_call_sites,
             fo_controls,

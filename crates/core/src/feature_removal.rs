@@ -20,7 +20,8 @@ use crate::readout::{self, SpecSlice};
 use crate::SpecError;
 use specslice_fsa::ops::difference;
 use specslice_fsa::{mrd, Dfa};
-use specslice_pds::poststar;
+use specslice_pds::poststar::poststar_indexed_with_stats;
+use specslice_pds::SaturationScratch;
 use specslice_sdg::Sdg;
 
 /// Removes the feature identified by the forward stack-configuration slice
@@ -48,8 +49,12 @@ pub fn remove_feature_reusing(
     criterion: &Criterion,
 ) -> Result<SpecSlice, SpecError> {
     let ac = criteria::query_automaton_reusing(sdg, enc, Some(reachable), criterion)?;
-    // A0 = Poststar(A_C): the feature, as a configuration language.
-    let a0 = poststar(&enc.pds, &ac);
+    // A0 = Poststar(A_C): the feature, as a configuration language. The
+    // query came out of `query_automaton_reusing`, which guarantees the
+    // post* preconditions — a violation here is a slicer bug, reported as a
+    // structured internal error rather than a worker-killing panic.
+    let (a0, _) = poststar_indexed_with_stats(&enc.index, &ac, &mut SaturationScratch::default())
+        .map_err(|e| SpecError::internal("poststar", e.to_string()))?;
     let a0_nfa = a0.to_nfa(MAIN_CONTROL);
     // A1 = Reachable ∖ A0.
     let a1 = difference(reachable, &Dfa::determinize(&a0_nfa));

@@ -223,6 +223,11 @@ pub struct PipelineStats {
     pub prestar_transitions: usize,
     /// Peak bytes retained during Prestar (Fig. 22 accounting).
     pub prestar_peak_bytes: usize,
+    /// Saturation-rule firings during Prestar — a deterministic work
+    /// measure (independent of machine, thread count, and worklist order).
+    pub prestar_rule_applications: usize,
+    /// Peak Prestar worklist depth (deterministic for a given build).
+    pub prestar_peak_worklist: usize,
     /// States of the trimmed `A1`.
     pub a1_states: usize,
     /// Transitions of the trimmed `A1`.
@@ -245,6 +250,8 @@ impl PipelineStats {
         self.pds_rules = self.pds_rules.max(other.pds_rules);
         self.prestar_transitions += other.prestar_transitions;
         self.prestar_peak_bytes = self.prestar_peak_bytes.max(other.prestar_peak_bytes);
+        self.prestar_rule_applications += other.prestar_rule_applications;
+        self.prestar_peak_worklist = self.prestar_peak_worklist.max(other.prestar_peak_worklist);
         self.a1_states += other.a1_states;
         self.a1_transitions += other.a1_transitions;
         self.mrd.input_states += other.mrd.input_states;

@@ -13,11 +13,13 @@
 //! The criterion-dependent stages are *independent* across criteria and
 //! touch the session state read-only, so [`Slicer::slice_batch`] fans a
 //! batch out over a [`specslice_exec::Pool`] of worker threads (see
-//! [`SlicerConfig::num_threads`]). Each worker owns private scratch buffers
-//! for the read-out stage; the shared `Sdg`, PDS encoding, and reachable
-//! automaton are borrowed immutably by all workers. Results are assembled
-//! in input order, so batch output is bit-for-bit identical at every thread
-//! count.
+//! [`SlicerConfig::num_threads`]). Each worker owns a private
+//! `QueryScratch` — the saturation rows/worklists and read-out tables of
+//! the whole criterion-dependent pipeline — allocated once per thread and
+//! reset between criteria; the shared `Sdg`, PDS encoding (with its
+//! prebuilt rule index), and reachable automaton are borrowed immutably by
+//! all workers. Results are assembled in input order, so batch output is
+//! bit-for-bit identical at every thread count.
 
 use crate::criteria::{self, Criterion};
 use crate::encode::{self, Encoded, MAIN_CONTROL};
@@ -29,8 +31,8 @@ use specslice_exec::{Pool, WorkerStats};
 use specslice_fsa::mrd::mrd_with_stats;
 use specslice_fsa::Nfa;
 use specslice_lang::Program;
-use specslice_pds::prestar::prestar_with_stats;
-use specslice_pds::PAutomaton;
+use specslice_pds::prestar::prestar_indexed_with_stats;
+use specslice_pds::{PAutomaton, SaturationScratch};
 use specslice_sdg::build::build_sdg;
 use specslice_sdg::{CallSiteId, Sdg, VertexId};
 use std::collections::HashMap;
@@ -55,7 +57,9 @@ pub struct SlicerConfig {
     pub collect_stats: bool,
     /// Worker threads used by [`Slicer::slice_batch`] (and
     /// [`Slicer::slice_batch_results`]). Defaults to the machine's available
-    /// parallelism; `1` answers the batch sequentially on the calling
+    /// parallelism, overridable for sweeps via the `SPECSLICE_NUM_THREADS`
+    /// environment variable (see [`specslice_exec::default_threads`]);
+    /// `1` answers the batch sequentially on the calling
     /// thread, exactly as single-criterion [`Slicer::slice`] calls would
     /// (`0` is clamped to `1` at session construction, so a session's
     /// effective width is always at least one worker). Results are
@@ -76,7 +80,7 @@ impl Default for SlicerConfig {
         SlicerConfig {
             validate: true,
             collect_stats: true,
-            num_threads: specslice_exec::available_parallelism(),
+            num_threads: specslice_exec::default_threads(),
             memoize: true,
         }
     }
@@ -206,6 +210,19 @@ impl MemoKey {
 
 /// One outcome per batch criterion, in input order.
 type RawBatch = Vec<Result<(SpecSlice, PipelineStats), SpecError>>;
+
+/// The per-worker working memory of the criterion-dependent pipeline:
+/// saturation rows/worklists plus read-out tables. One `QueryScratch` is
+/// allocated per worker thread (or per sequential loop) and reset — not
+/// reallocated — between criteria, so the hot loop runs against warm
+/// buffers and never contends on the global allocator for its working set.
+#[derive(Debug, Default)]
+pub(crate) struct QueryScratch {
+    /// `Prestar` saturation buffers (dense rows, worklist, pending table).
+    pub(crate) sat: SaturationScratch,
+    /// Read-out stage tables.
+    pub(crate) readout: ReadoutScratch,
+}
 
 /// The session is shared immutably across batch worker threads.
 const _: () = {
@@ -340,11 +357,11 @@ impl Slicer {
     }
 
     /// The full criterion-dependent pipeline for one criterion, against
-    /// caller-owned read-out scratch (one per batch worker).
+    /// caller-owned query scratch (one per batch worker).
     fn answer_in(
         &self,
         criterion: &Criterion,
-        scratch: &mut ReadoutScratch,
+        scratch: &mut QueryScratch,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
         let start = Instant::now();
         let key = if self.config.memoize {
@@ -365,7 +382,7 @@ impl Slicer {
                     &self.enc,
                     &entry.a6,
                     self.config.validate,
-                    scratch,
+                    &mut scratch.readout,
                 )?;
                 let mut stats = entry.stats;
                 stats.query_time = start.elapsed();
@@ -395,7 +412,7 @@ impl Slicer {
     /// [`SpecError::BadCriterion`] for malformed criteria;
     /// [`SpecError::Internal`] on invariant violations (a bug).
     pub fn slice(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
-        self.answer_in(criterion, &mut ReadoutScratch::default())
+        self.answer_in(criterion, &mut QueryScratch::default())
             .map(|(s, _)| s)
     }
 
@@ -406,7 +423,7 @@ impl Slicer {
         &self,
         criterion: &Criterion,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-        self.answer_in(criterion, &mut ReadoutScratch::default())
+        self.answer_in(criterion, &mut QueryScratch::default())
     }
 
     /// Answers every criterion across the session's worker pool, returning
@@ -424,11 +441,9 @@ impl Slicer {
             // on its initialization lock.
             self.reachable();
         }
-        pool.map_init_stats(
-            criteria,
-            ReadoutScratch::default,
-            |scratch, _, criterion| self.answer_in(criterion, scratch),
-        )
+        pool.map_init_stats(criteria, QueryScratch::default, |scratch, _, criterion| {
+            self.answer_in(criterion, scratch)
+        })
     }
 
     /// Slices every criterion in `criteria`, sharing the per-program work
@@ -506,7 +521,7 @@ impl Slicer {
     /// one scratch, one pass, stop at the first error.
     fn slice_batch_sequential(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
         let start = Instant::now();
-        let mut scratch = ReadoutScratch::default();
+        let mut scratch = QueryScratch::default();
         let mut slices = Vec::with_capacity(criteria.len());
         let mut per_criterion = Vec::new();
         let mut aggregate = PipelineStats::default();
@@ -614,28 +629,30 @@ pub(crate) fn run_query(
     // `query_time` stays zero here: its contract includes query-automaton
     // construction, which only `Slicer::answer_in` wraps (and both callers
     // of this function discard the stats anyway).
-    run_query_in(sdg, enc, query, validate, &mut ReadoutScratch::default())
+    run_query_in(sdg, enc, query, validate, &mut QueryScratch::default())
 }
 
-/// [`run_query`] against caller-owned read-out scratch buffers, so a batch
-/// worker's hot loop reuses its tables across criteria.
+/// [`run_query`] against caller-owned scratch buffers, so a batch worker's
+/// hot loop reuses its saturation rows and read-out tables across criteria.
 pub(crate) fn run_query_in(
     sdg: &Sdg,
     enc: &Encoded,
     query: &PAutomaton,
     validate: bool,
-    scratch: &mut ReadoutScratch,
+    scratch: &mut QueryScratch,
 ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-    let (a1, prestats) = prestar_with_stats(&enc.pds, query)
+    let (a1, prestats) = prestar_indexed_with_stats(&enc.index, query, &mut scratch.sat)
         .map_err(|e| SpecError::internal("prestar", e.to_string()))?;
     let a1_nfa = a1.to_nfa(MAIN_CONTROL);
     let (a1_trim, _) = a1_nfa.trimmed();
     let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
-    let slice = readout::read_out_in(sdg, enc, &a6, validate, scratch)?;
+    let slice = readout::read_out_in(sdg, enc, &a6, validate, &mut scratch.readout)?;
     let stats = PipelineStats {
         pds_rules: enc.pds.rule_count(),
         prestar_transitions: prestats.transitions,
         prestar_peak_bytes: prestats.peak_bytes,
+        prestar_rule_applications: prestats.rule_applications,
+        prestar_peak_worklist: prestats.peak_worklist,
         a1_states: a1_trim.state_count(),
         a1_transitions: a1_trim.transition_count(),
         mrd: mrd_stats,

@@ -42,6 +42,27 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// The default worker-thread count for slicing sessions: the
+/// `SPECSLICE_NUM_THREADS` environment variable when set to an integer
+/// (`0` clamps to `1`, matching `SlicerConfig::num_threads` semantics),
+/// otherwise [`available_parallelism`].
+///
+/// The variable exists for test sweeps and CI: exporting
+/// `SPECSLICE_NUM_THREADS=1|2|4` runs every default-configured session at
+/// that width without touching code (output is bit-for-bit identical at
+/// every setting — the knob only trades wall-clock for cores). Explicitly
+/// configured widths are never overridden; unparsable values fall back to
+/// the hardware default.
+pub fn default_threads() -> usize {
+    match std::env::var("SPECSLICE_NUM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => available_parallelism(),
+        },
+        Err(_) => available_parallelism(),
+    }
+}
+
 /// What one worker did during a [`Pool::map_init_stats`] call — how many
 /// items it answered, how many it had to steal, and how long it was busy.
 /// Exposed so callers (e.g. `specslice`'s batch slicer) can report

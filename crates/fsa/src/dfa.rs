@@ -1,20 +1,25 @@
 //! Deterministic finite automata (partial transition function) and the
 //! subset construction.
 
+use crate::hash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
 use crate::Symbol;
-use std::collections::{BTreeSet, HashMap};
 
 /// A deterministic automaton with a *partial* transition function: a missing
 /// entry means the word is rejected (implicit dead state). This keeps large
 /// alphabets (one symbol per SDG vertex) tractable.
+///
+/// Successors are stored as flat per-state rows sorted by symbol — a dense
+/// cache-friendly layout the query path iterates without per-call sorting
+/// or hashing ([`Dfa::step`] is a binary search, [`Dfa::transitions`] a
+/// plain walk).
 #[derive(Clone, Debug)]
 pub struct Dfa {
     n_states: u32,
     initial: StateId,
-    finals: BTreeSet<StateId>,
-    /// Per-state sparse successor map.
-    trans: Vec<HashMap<Symbol, StateId>>,
+    finals: std::collections::BTreeSet<StateId>,
+    /// Per-state successor row, sorted by symbol (each symbol at most once).
+    trans: Vec<Vec<(Symbol, StateId)>>,
 }
 
 impl Dfa {
@@ -23,8 +28,8 @@ impl Dfa {
         Dfa {
             n_states: 1,
             initial: StateId(0),
-            finals: BTreeSet::new(),
-            trans: vec![HashMap::new()],
+            finals: std::collections::BTreeSet::new(),
+            trans: vec![Vec::new()],
         }
     }
 
@@ -37,7 +42,7 @@ impl Dfa {
     pub fn add_state(&mut self) -> StateId {
         let id = StateId(self.n_states);
         self.n_states += 1;
-        self.trans.push(HashMap::new());
+        self.trans.push(Vec::new());
         id
     }
 
@@ -48,7 +53,7 @@ impl Dfa {
 
     /// Number of (explicit) transitions.
     pub fn transition_count(&self) -> usize {
-        self.trans.iter().map(HashMap::len).sum()
+        self.trans.iter().map(Vec::len).sum()
     }
 
     /// Marks `q` accepting.
@@ -62,42 +67,47 @@ impl Dfa {
     }
 
     /// The accepting states.
-    pub fn finals(&self) -> &BTreeSet<StateId> {
+    pub fn finals(&self) -> &std::collections::BTreeSet<StateId> {
         &self.finals
     }
 
-    /// Sets `δ(from, sym) = to`, replacing any previous entry.
+    /// Sets `δ(from, sym) = to`, replacing any previous entry. Appending in
+    /// ascending symbol order is O(1); out-of-order inserts shift the row.
     pub fn set_transition(&mut self, from: StateId, sym: Symbol, to: StateId) {
-        self.trans[from.index()].insert(sym, to);
+        let row = &mut self.trans[from.index()];
+        if row.last().is_none_or(|&(s, _)| s < sym) {
+            row.push((sym, to));
+            return;
+        }
+        match row.binary_search_by_key(&sym, |&(s, _)| s) {
+            Ok(i) => row[i].1 = to,
+            Err(i) => row.insert(i, (sym, to)),
+        }
     }
 
     /// Looks up `δ(from, sym)`.
     pub fn step(&self, from: StateId, sym: Symbol) -> Option<StateId> {
-        self.trans[from.index()].get(&sym).copied()
+        let row = &self.trans[from.index()];
+        row.binary_search_by_key(&sym, |&(s, _)| s)
+            .ok()
+            .map(|i| row[i].1)
     }
 
-    /// The successor map of `q`.
-    pub fn transitions_from(&self, q: StateId) -> &HashMap<Symbol, StateId> {
+    /// The successor row of `q`, sorted by symbol.
+    pub fn transitions_from(&self, q: StateId) -> &[(Symbol, StateId)] {
         &self.trans[q.index()]
     }
 
     /// Iterates over every transition `(from, sym, to)`, in state order and
-    /// sorted by symbol within a state.
-    ///
-    /// The order is part of the contract: per-state successors live in
-    /// randomly-seeded `HashMap`s, and letting that order leak (e.g. into
-    /// [`Dfa::to_nfa`]'s insertion order, and from there into the MRD
-    /// automaton a `SpecSlice` carries) would make byte-identical pipeline
-    /// runs render differently from one process to the next. The sort costs
-    /// one allocation per state per call — order-insensitive hot loops
-    /// should iterate [`Dfa::transitions_from`] directly instead.
+    /// sorted by symbol within a state. The order falls out of the storage
+    /// layout (rows are kept sorted), so — unlike the former map-backed
+    /// representation — this allocates nothing and is safe to use in hot
+    /// loops as well as in deterministic output paths.
     pub fn transitions(&self) -> impl Iterator<Item = (StateId, Symbol, StateId)> + '_ {
-        self.trans.iter().enumerate().flat_map(|(i, m)| {
-            let mut entries: Vec<(StateId, Symbol, StateId)> =
-                m.iter().map(|(&s, &t)| (StateId(i as u32), s, t)).collect();
-            entries.sort_unstable_by_key(|&(_, s, _)| s);
-            entries
-        })
+        self.trans
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |&(s, t)| (StateId(i as u32), s, t)))
     }
 
     /// Whether the DFA accepts `word`.
@@ -130,47 +140,83 @@ impl Dfa {
 
     /// Determinizes `nfa` by the subset construction (ε-closures included).
     ///
-    /// Only reachable subset states are materialized.
+    /// Only reachable subset states are materialized. Subsets are sorted
+    /// dense `u32` vectors (keys in a fast hash map), ε-closure runs over a
+    /// reusable visited bitmap, and successors are grouped by sorting one
+    /// flat pair list per subset — no per-subset trees or nested maps.
     pub fn determinize(nfa: &Nfa) -> Dfa {
+        let n = nfa.state_count();
         let mut dfa = Dfa::new();
-        let mut start = BTreeSet::new();
-        start.insert(nfa.initial());
-        let start = nfa.epsilon_closure(&start);
+        let mut mark = vec![false; n];
 
-        let mut subset_ids: HashMap<Vec<u32>, StateId> = HashMap::new();
-        let key = |s: &BTreeSet<StateId>| s.iter().map(|q| q.0).collect::<Vec<u32>>();
+        // ε-closes `set` (sorted, duplicate-free) in place, keeping it
+        // sorted and duplicate-free; `mark` is scratch, false on entry/exit.
+        let close = |set: &mut Vec<StateId>, mark: &mut [bool]| {
+            let mut stack: Vec<StateId> = set.clone();
+            for &q in set.iter() {
+                mark[q.index()] = true;
+            }
+            while let Some(q) = stack.pop() {
+                for &(l, t) in nfa.transitions_from(q) {
+                    if l.is_none() && !mark[t.index()] {
+                        mark[t.index()] = true;
+                        set.push(t);
+                        stack.push(t);
+                    }
+                }
+            }
+            set.sort_unstable();
+            for &q in set.iter() {
+                mark[q.index()] = false;
+            }
+        };
 
+        let key = |s: &[StateId]| s.iter().map(|q| q.0).collect::<Vec<u32>>();
+
+        let mut start = vec![nfa.initial()];
+        close(&mut start, &mut mark);
+
+        let mut subset_ids: FxHashMap<Vec<u32>, StateId> = FxHashMap::default();
         subset_ids.insert(key(&start), dfa.initial());
         if start.iter().any(|&q| nfa.is_final(q)) {
             dfa.set_final(dfa.initial());
         }
-        let mut work: Vec<(BTreeSet<StateId>, StateId)> = vec![(start, dfa.initial())];
+        let mut work: Vec<(Vec<StateId>, StateId)> = vec![(start, dfa.initial())];
+        let mut pairs: Vec<(Symbol, StateId)> = Vec::new();
 
         while let Some((subset, did)) = work.pop() {
-            // Group successor NFA states by symbol.
-            let mut by_sym: HashMap<Symbol, BTreeSet<StateId>> = HashMap::new();
+            // Flatten all labeled successors, then group by symbol: one sort
+            // replaces the per-subset symbol map. Sorting also fixes the
+            // symbol order, keeping state numbering deterministic.
+            pairs.clear();
             for &q in &subset {
                 for &(l, t) in nfa.transitions_from(q) {
                     if let Some(sym) = l {
-                        by_sym.entry(sym).or_default().insert(t);
+                        pairs.push((sym, t));
                     }
                 }
             }
-            // Deterministic iteration order for reproducible state numbering.
-            let mut entries: Vec<(Symbol, BTreeSet<StateId>)> = by_sym.into_iter().collect();
-            entries.sort_by_key(|(s, _)| *s);
-            for (sym, targets) in entries {
-                let closure = nfa.epsilon_closure(&targets);
-                let k = key(&closure);
+            pairs.sort_unstable();
+            pairs.dedup();
+            let mut i = 0;
+            while i < pairs.len() {
+                let sym = pairs[i].0;
+                let mut targets: Vec<StateId> = Vec::new();
+                while i < pairs.len() && pairs[i].0 == sym {
+                    targets.push(pairs[i].1);
+                    i += 1;
+                }
+                close(&mut targets, &mut mark);
+                let k = key(&targets);
                 let target_id = match subset_ids.get(&k) {
                     Some(&id) => id,
                     None => {
                         let id = dfa.add_state();
                         subset_ids.insert(k, id);
-                        if closure.iter().any(|&q| nfa.is_final(q)) {
+                        if targets.iter().any(|&q| nfa.is_final(q)) {
                             dfa.set_final(id);
                         }
-                        work.push((closure, id));
+                        work.push((targets, id));
                         id
                     }
                 };
@@ -244,16 +290,8 @@ mod tests {
         let d1 = Dfa::determinize(&n);
         let d2 = Dfa::determinize(&n);
         assert_eq!(d1.state_count(), d2.state_count());
-        let t1: Vec<_> = {
-            let mut v: Vec<_> = d1.transitions().collect();
-            v.sort();
-            v
-        };
-        let t2: Vec<_> = {
-            let mut v: Vec<_> = d2.transitions().collect();
-            v.sort();
-            v
-        };
+        let t1: Vec<_> = d1.transitions().collect();
+        let t2: Vec<_> = d2.transitions().collect();
         assert_eq!(t1, t2);
     }
 
@@ -278,5 +316,22 @@ mod tests {
         };
         assert!(d.accepts(&[sym(1)]));
         assert!(!d.accepts(&[sym(2)]));
+    }
+
+    #[test]
+    fn rows_stay_sorted_under_out_of_order_inserts() {
+        let mut d = Dfa::new();
+        let q1 = d.add_state();
+        let q2 = d.add_state();
+        d.set_transition(d.initial(), sym(5), q1);
+        d.set_transition(d.initial(), sym(1), q2);
+        d.set_transition(d.initial(), sym(3), q1);
+        // Replacement keeps a single entry per symbol.
+        d.set_transition(d.initial(), sym(3), q2);
+        let row = d.transitions_from(d.initial());
+        assert_eq!(row, &[(sym(1), q2), (sym(3), q2), (sym(5), q1)]);
+        assert_eq!(d.step(d.initial(), sym(3)), Some(q2));
+        assert_eq!(d.step(d.initial(), sym(2)), None);
+        assert_eq!(d.transition_count(), 3);
     }
 }

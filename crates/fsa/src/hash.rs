@@ -1,0 +1,123 @@
+//! A fast, deterministic hasher for the automaton hot paths (an in-tree
+//! stand-in for `rustc-hash`, the way `specslice_corpus::rng` stands in for
+//! `rand`).
+//!
+//! The slicing pipeline hashes nothing adversarial — keys are interned
+//! `u32` state/symbol ids and small tuples of them — so the DoS-resistant,
+//! randomly-seeded SipHash behind `std`'s default `HashMap` buys nothing
+//! here and costs a large constant factor on every transition insert and
+//! lookup. This multiply-rotate hash (the `FxHasher` scheme from the Rust
+//! compiler, itself from Firefox) is a handful of instructions per word.
+//!
+//! Determinism note: the hash function is fixed (no per-process seed), but
+//! nothing in the pipeline may *iterate* one of these maps into an output —
+//! the same rule that already applied to the `std` maps they replace.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash scheme (a 64-bit cousin of the
+/// golden-ratio constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: one `u64`, folded word-at-a-time.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (zero-sized, `Default`).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by the fast deterministic hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by the fast deterministic hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<(u32, u32), Vec<u32>> = FxHashMap::default();
+        m.entry((1, 2)).or_default().push(3);
+        m.entry((1, 2)).or_default().push(4);
+        assert_eq!(m[&(1, 2)], vec![3, 4]);
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let h = |v: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(v);
+            hasher.finish()
+        };
+        assert_eq!(h(42), h(42));
+        // Nearby keys must not collide (sanity, not a statistical test).
+        let hashes: FxHashSet<u64> = (0..10_000u64).map(h).collect();
+        assert_eq!(hashes.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_tail_is_hashed() {
+        let h = |bytes: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        };
+        assert_ne!(h(b"abcdefgh-x"), h(b"abcdefgh-y"));
+    }
+}

@@ -4,15 +4,15 @@
 //! must be reachable and co-reachable), after which a missing transition can
 //! never be equivalent to a present one (a present transition leads to a live
 //! state, and no live state is equivalent to the implicit dead state). Plain
-//! Moore-style refinement over the sparse successor maps is therefore exact,
+//! Moore-style refinement over the sparse successor rows is therefore exact,
 //! and avoids materializing the `|Q| × |Σ|` complete transition table —
 //! essential here because slicing alphabets contain one symbol per SDG
 //! vertex.
 
 use crate::dfa::Dfa;
+use crate::hash::FxHashMap;
 use crate::nfa::StateId;
 use crate::Symbol;
-use std::collections::HashMap;
 
 /// Returns the minimal partial DFA recognizing the same language as `dfa`.
 ///
@@ -42,17 +42,18 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     }
 
     loop {
-        // Signature: (current class, sorted successor (symbol, class) pairs).
-        let mut sig_ids: HashMap<(u32, Vec<(Symbol, u32)>), u32> = HashMap::new();
+        // Signature: (current class, successor (symbol, class) pairs). The
+        // successor rows are stored sorted by symbol, so the signature is
+        // canonical without a per-state sort.
+        let mut sig_ids: FxHashMap<(u32, Vec<(Symbol, u32)>), u32> = FxHashMap::default();
         let mut new_class = vec![0u32; n];
         for i in 0..n {
             let q = StateId(i as u32);
-            let mut succ: Vec<(Symbol, u32)> = trimmed
+            let succ: Vec<(Symbol, u32)> = trimmed
                 .transitions_from(q)
                 .iter()
-                .map(|(&s, &t)| (s, class[t.index()]))
+                .map(|&(s, t)| (s, class[t.index()]))
                 .collect();
-            succ.sort_unstable();
             let key = (class[i], succ);
             let next_id = sig_ids.len() as u32;
             let id = *sig_ids.entry(key).or_insert(next_id);
@@ -83,13 +84,20 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     for _ in 1..n_classes {
         out.add_state();
     }
+    // One representative per class suffices: states share a class only when
+    // their (symbol → class) successor maps and acceptance agree, so copying
+    // every member would re-set identical transitions.
+    let mut rep: Vec<Option<StateId>> = vec![None; n_classes];
     for i in 0..n {
-        let q = StateId(i as u32);
-        let cq = StateId(remap(class[i]));
+        rep[class[i] as usize].get_or_insert(StateId(i as u32));
+    }
+    for (c, r) in rep.iter().enumerate() {
+        let q = r.expect("every class has a member");
+        let cq = StateId(remap(c as u32));
         if trimmed.is_final(q) {
             out.set_final(cq);
         }
-        for (&s, &t) in trimmed.transitions_from(q) {
+        for &(s, t) in trimmed.transitions_from(q) {
             out.set_transition(cq, s, StateId(remap(class[t.index()])));
         }
     }
@@ -104,19 +112,17 @@ pub fn trim(dfa: &Dfa) -> Dfa {
     reach[dfa.initial().index()] = true;
     let mut work = vec![dfa.initial()];
     while let Some(q) = work.pop() {
-        for &t in dfa.transitions_from(q).values() {
+        for &(_, t) in dfa.transitions_from(q) {
             if !reach[t.index()] {
                 reach[t.index()] = true;
                 work.push(t);
             }
         }
     }
-    // Iterate the raw successor maps: the reverse adjacency is a set-like
-    // structure, so this needn't pay for `Dfa::transitions`' sorted order.
     let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
     for i in 0..n {
         let q = StateId(i as u32);
-        for &t in dfa.transitions_from(q).values() {
+        for &(_, t) in dfa.transitions_from(q) {
             rev[t.index()].push(q);
         }
     }
@@ -135,32 +141,33 @@ pub fn trim(dfa: &Dfa) -> Dfa {
     }
 
     let keep = |q: StateId| reach[q.index()] && coreach[q.index()];
-    let mut map: HashMap<StateId, StateId> = HashMap::new();
+    let mut map: Vec<Option<StateId>> = vec![None; n];
     let mut out = Dfa::new();
-    map.insert(dfa.initial(), out.initial());
+    map[dfa.initial().index()] = Some(out.initial());
     for i in 0..n as u32 {
         let q = StateId(i);
         if q != dfa.initial() && keep(q) {
-            map.insert(q, out.add_state());
+            map[q.index()] = Some(out.add_state());
         }
     }
-    // Order-insensitive rebuild (targets land in per-state maps), so again
-    // skip `Dfa::transitions`' sort.
+    // Rows are sorted by symbol, and kept targets map in id order, so the
+    // rebuilt rows append in sorted order (O(1) per transition).
     for i in 0..n as u32 {
         let f = StateId(i);
         if !(f == dfa.initial() || keep(f)) {
             continue;
         }
-        for (&s, &t) in dfa.transitions_from(f) {
+        let nf = map[f.index()].expect("kept states are mapped");
+        for &(s, t) in dfa.transitions_from(f) {
             if keep(t) {
-                if let (Some(&nf), Some(&nt)) = (map.get(&f), map.get(&t)) {
+                if let Some(nt) = map[t.index()] {
                     out.set_transition(nf, s, nt);
                 }
             }
         }
     }
     for &f in dfa.finals() {
-        if let Some(&nf) = map.get(&f) {
+        if let Some(nf) = map[f.index()] {
             out.set_final(nf);
         }
     }

@@ -36,12 +36,14 @@
 //! ```
 
 pub mod dfa;
+pub mod hash;
 pub mod hopcroft;
 pub mod mrd;
 pub mod nfa;
 pub mod ops;
 
 pub use dfa::Dfa;
+pub use hash::{FxHashMap, FxHashSet};
 pub use mrd::{canonicalize_mrd, is_reverse_deterministic, mrd};
 pub use nfa::{Nfa, StateId};
 

@@ -3,11 +3,12 @@
 //! (Alg. 1, lines 4–8; Obs. 3.11 and Thm. 3.16 of the paper).
 
 use crate::dfa::Dfa;
+use crate::hash::FxHashMap;
 use crate::hopcroft::minimize;
 use crate::nfa::{Nfa, StateId};
 use crate::ops::{remove_epsilon, reverse};
 use crate::Symbol;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Computes the minimal reverse-deterministic automaton for `L(a1)`:
 ///
@@ -182,7 +183,7 @@ pub fn is_reverse_deterministic(nfa: &Nfa) -> bool {
     if nfa.finals().len() != 1 {
         return false;
     }
-    let mut seen: HashMap<(StateId, Option<crate::Symbol>), StateId> = HashMap::new();
+    let mut seen: FxHashMap<(StateId, Option<crate::Symbol>), StateId> = FxHashMap::default();
     for (from, l, to) in nfa.transitions() {
         if l.is_none() {
             return false; // ε would make backward reading nondeterministic

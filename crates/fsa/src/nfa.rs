@@ -1,7 +1,8 @@
 //! Nondeterministic finite automata with ε-transitions.
 
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::Symbol;
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 /// Identifier of an automaton state.
@@ -29,8 +30,9 @@ pub struct Nfa {
     finals: BTreeSet<StateId>,
     /// Outgoing transitions per state: `(label, target)`.
     out: Vec<Vec<(Option<Symbol>, StateId)>>,
-    /// Deduplication of transitions.
-    seen: HashSet<(StateId, Option<Symbol>, StateId)>,
+    /// Deduplication of transitions (fast deterministic hasher — this set is
+    /// consulted on every insert in the query hot path).
+    seen: FxHashSet<(StateId, Option<Symbol>, StateId)>,
 }
 
 impl fmt::Debug for Nfa {
@@ -250,7 +252,7 @@ impl Nfa {
     /// Restricts the automaton to states both reachable from the initial
     /// state and co-reachable to a final state ("trim"). State ids are
     /// renumbered; the mapping old→new is returned alongside.
-    pub fn trimmed(&self) -> (Nfa, HashMap<StateId, StateId>) {
+    pub fn trimmed(&self) -> (Nfa, FxHashMap<StateId, StateId>) {
         let n = self.state_count();
         let mut reach = vec![false; n];
         let mut work = vec![self.initial()];
@@ -284,7 +286,7 @@ impl Nfa {
         let keep = |q: StateId| reach[q.index()] && coreach[q.index()];
 
         let mut out = Nfa::new();
-        let mut map: HashMap<StateId, StateId> = HashMap::new();
+        let mut map: FxHashMap<StateId, StateId> = FxHashMap::default();
         map.insert(self.initial(), out.initial());
         // The initial state is always kept (it may be dead; then language is ∅).
         for q in (0..n as u32).map(StateId) {

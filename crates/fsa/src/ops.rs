@@ -2,9 +2,10 @@
 //! intersection, difference, equivalence, relabeling.
 
 use crate::dfa::Dfa;
+use crate::hash::FxHashMap;
 use crate::nfa::{Nfa, StateId};
 use crate::Symbol;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Reverses an automaton: `L(reverse(A)) = { wᴿ | w ∈ L(A) }`.
 ///
@@ -57,8 +58,22 @@ pub fn remove_epsilon(nfa: &Nfa) -> Nfa {
 pub fn intersect(a: &Nfa, b: &Nfa) -> Nfa {
     let a = remove_epsilon(a);
     let b = remove_epsilon(b);
+    // Sorted successor rows of `b`, built once: product states re-visit the
+    // same `b` state many times, and a binary-searched row replaces the
+    // symbol map the old implementation rebuilt on every visit.
+    let b_rows: Vec<Vec<(Symbol, StateId)>> = (0..b.state_count() as u32)
+        .map(|i| {
+            let mut row: Vec<(Symbol, StateId)> = b
+                .transitions_from(StateId(i))
+                .iter()
+                .filter_map(|&(l, t)| l.map(|s| (s, t)))
+                .collect();
+            row.sort_unstable();
+            row
+        })
+        .collect();
     let mut out = Nfa::new();
-    let mut ids: HashMap<(StateId, StateId), StateId> = HashMap::new();
+    let mut ids: FxHashMap<(StateId, StateId), StateId> = FxHashMap::default();
     let start = (a.initial(), b.initial());
     ids.insert(start, out.initial());
     if a.is_final(a.initial()) && b.is_final(b.initial()) {
@@ -67,19 +82,14 @@ pub fn intersect(a: &Nfa, b: &Nfa) -> Nfa {
     let mut work = vec![start];
     while let Some((qa, qb)) = work.pop() {
         let from = ids[&(qa, qb)];
-        // Index b's transitions by symbol for this state.
-        let mut b_by_sym: HashMap<Symbol, Vec<StateId>> = HashMap::new();
-        for &(l, t) in b.transitions_from(qb) {
-            if let Some(s) = l {
-                b_by_sym.entry(s).or_default().push(t);
-            }
-        }
+        let row = &b_rows[qb.index()];
         for &(l, ta) in a.transitions_from(qa) {
             let Some(sym) = l else { continue };
-            let Some(tbs) = b_by_sym.get(&sym) else {
-                continue;
-            };
-            for &tb in tbs {
+            let lo = row.partition_point(|&(s, _)| s < sym);
+            for &(s, tb) in &row[lo..] {
+                if s != sym {
+                    break;
+                }
                 let key = (ta, tb);
                 let to = match ids.get(&key) {
                     Some(&id) => id,
@@ -109,7 +119,7 @@ pub fn intersect(a: &Nfa, b: &Nfa) -> Nfa {
 pub fn difference(a: &Nfa, b: &Dfa) -> Nfa {
     let a = remove_epsilon(a);
     let mut out = Nfa::new();
-    let mut ids: HashMap<(StateId, Option<StateId>), StateId> = HashMap::new();
+    let mut ids: FxHashMap<(StateId, Option<StateId>), StateId> = FxHashMap::default();
     let start = (a.initial(), Some(b.initial()));
     ids.insert(start, out.initial());
     let accepts = |qa: StateId, qb: Option<StateId>, a: &Nfa, b: &Dfa| {

@@ -4,8 +4,8 @@
 //! accepts `w` starting from the state of `p`.
 
 use crate::system::ControlLoc;
-use specslice_fsa::{Nfa, Symbol};
-use std::collections::{BTreeSet, HashSet};
+use specslice_fsa::{FxHashSet, Nfa, Symbol};
+use std::collections::BTreeSet;
 
 /// A state of a [`PAutomaton`]. States `0..n_controls` coincide with PDS
 /// control locations; further states are added by queries and saturation.
@@ -28,7 +28,7 @@ pub struct PAutomaton {
     n_states: u32,
     finals: BTreeSet<PState>,
     out: Vec<Vec<(Option<Symbol>, PState)>>,
-    seen: HashSet<(PState, Option<Symbol>, PState)>,
+    seen: FxHashSet<(PState, Option<Symbol>, PState)>,
 }
 
 impl PAutomaton {
@@ -40,7 +40,7 @@ impl PAutomaton {
             n_states: n_controls,
             finals: BTreeSet::new(),
             out: vec![Vec::new(); n_controls as usize],
-            seen: HashSet::new(),
+            seen: FxHashSet::default(),
         }
     }
 

@@ -1,0 +1,302 @@
+//! Precomputed rule indexes for the saturation engines.
+//!
+//! `Prestar`/`Poststar` match rules against automaton transitions millions
+//! of times per multi-criterion workload, but the *rules* never change
+//! between queries over one pushdown system. A [`RuleIndex`] is built once
+//! per PDS (sessions cache it alongside the encoding) and holds every
+//! lookup table saturation needs as CSR-style flat vectors over the
+//! interned symbol alphabet:
+//!
+//! * internal rules `⟨p, γ⟩ ↪ ⟨p', γ'⟩` grouped by `γ'` (matched when
+//!   `Prestar` pops a transition out of `p'` labeled `γ'`);
+//! * push rules `⟨p, γ⟩ ↪ ⟨p', γ' γ''⟩` grouped by `γ'` (same match, plus
+//!   the pending second hop on `γ''`);
+//! * every rule grouped by its left-hand-side symbol `γ` (matched when
+//!   `Poststar` pops a transition out of control state `p` labeled `γ`);
+//! * the pop-rule list (`Prestar`'s unconditional seeds);
+//! * the dense numbering of distinct push-rule target pairs `(p', γ')`
+//!   (`Poststar`'s Phase-I states), with each push rule's pair id stored in
+//!   its CSR payload so Phase II never hashes.
+//!
+//! A CSR row lookup is two array reads — no hashing, no per-query
+//! rebuilding, and (unlike the former `HashMap<…, Vec<…>>` tables) no
+//! cloning of match lists to satisfy the borrow checker in the hot loop.
+
+use crate::system::{ControlLoc, Pds, Rhs};
+use specslice_fsa::{FxHashMap, Symbol};
+
+/// A compressed sparse row table: `row(k)` is the payload slice of key `k`,
+/// keys are dense `u32`s (here: interned stack symbols).
+#[derive(Clone, Debug)]
+struct Csr<T> {
+    offsets: Vec<u32>,
+    payload: Vec<T>,
+}
+
+impl<T> Default for Csr<T> {
+    fn default() -> Self {
+        Csr {
+            offsets: Vec::new(),
+            payload: Vec::new(),
+        }
+    }
+}
+
+impl<T: Copy> Csr<T> {
+    /// Builds the table with a stable sort on the key, so insertion order is
+    /// preserved within each row.
+    fn build(n_keys: u32, entries: &[(u32, T)]) -> Csr<T> {
+        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+        order.sort_by_key(|&i| entries[i as usize].0);
+        let mut offsets = vec![0u32; n_keys as usize + 1];
+        for &(k, _) in entries {
+            offsets[k as usize + 1] += 1;
+        }
+        for i in 0..n_keys as usize {
+            offsets[i + 1] += offsets[i];
+        }
+        let payload = order.iter().map(|&i| entries[i as usize].1).collect();
+        Csr { offsets, payload }
+    }
+
+    /// The payload slice of key `k` (empty when `k` is out of range).
+    #[inline]
+    fn row(&self, k: u32) -> &[T] {
+        let k = k as usize;
+        if k + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.payload[self.offsets[k] as usize..self.offsets[k + 1] as usize]
+    }
+}
+
+/// An internal rule `⟨p, γ⟩ ↪ ⟨p', γ'⟩`, stored under key `γ'`.
+#[derive(Clone, Copy, Debug)]
+pub struct InternalMatch {
+    /// `p'` — the control location the matched transition must leave.
+    pub to_loc: ControlLoc,
+    /// `p` — source control location of the inferred transition.
+    pub from_loc: ControlLoc,
+    /// `γ` — label of the inferred transition.
+    pub from_sym: Symbol,
+}
+
+/// A push rule `⟨p, γ⟩ ↪ ⟨p', γ' γ''⟩`, stored under key `γ'`.
+#[derive(Clone, Copy, Debug)]
+pub struct PushMatch {
+    /// `p'` — the control location the first-hop transition must leave.
+    pub to_loc: ControlLoc,
+    /// `p` — source control location of the inferred transition.
+    pub from_loc: ControlLoc,
+    /// `γ` — label of the inferred transition.
+    pub from_sym: Symbol,
+    /// `γ''` — symbol of the second hop still to match.
+    pub below: Symbol,
+}
+
+/// Any rule, stored under its left-hand-side symbol `γ` (the `Poststar`
+/// orientation).
+#[derive(Clone, Copy, Debug)]
+pub struct LhsRule {
+    /// `p` — the control location the matched transition must leave.
+    pub from_loc: ControlLoc,
+    /// `p'` — target control location.
+    pub to_loc: ControlLoc,
+    /// The rule's right-hand side.
+    pub rhs: Rhs,
+    /// For push rules: the dense id of the `(p', γ')` target pair —
+    /// `Poststar`'s Phase-I state for this rule. [`u32::MAX`] otherwise.
+    pub push_pair: u32,
+}
+
+/// The per-PDS saturation lookup tables. Build once with
+/// [`RuleIndex::new`], share (immutably) across every query.
+#[derive(Clone, Debug, Default)]
+pub struct RuleIndex {
+    n_controls: u32,
+    n_symbols: u32,
+    pops: Vec<(ControlLoc, Symbol, ControlLoc)>,
+    internal_by_rhs: Csr<InternalMatch>,
+    push_by_rhs: Csr<PushMatch>,
+    by_lhs: Csr<LhsRule>,
+    push_pairs: Vec<(ControlLoc, Symbol)>,
+    rule_count: usize,
+}
+
+impl RuleIndex {
+    /// Indexes every rule of `pds`.
+    pub fn new(pds: &Pds) -> RuleIndex {
+        let n_symbols = pds.symbol_bound();
+        let mut pops = Vec::new();
+        let mut internal: Vec<(u32, InternalMatch)> = Vec::new();
+        let mut push: Vec<(u32, PushMatch)> = Vec::new();
+        let mut lhs: Vec<(u32, LhsRule)> = Vec::new();
+        let mut push_pairs: Vec<(ControlLoc, Symbol)> = Vec::new();
+        let mut pair_ids: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for rule in pds.rules() {
+            let mut push_pair = u32::MAX;
+            match rule.rhs {
+                Rhs::Pop => pops.push((rule.from_loc, rule.from_sym, rule.to_loc)),
+                Rhs::Internal(g2) => internal.push((
+                    g2.0,
+                    InternalMatch {
+                        to_loc: rule.to_loc,
+                        from_loc: rule.from_loc,
+                        from_sym: rule.from_sym,
+                    },
+                )),
+                Rhs::Push(g1, g2) => {
+                    // Dense pair ids in first-encounter (rule) order — the
+                    // same numbering the saturation's Phase-I states use.
+                    push_pair = *pair_ids.entry((rule.to_loc.0, g1.0)).or_insert_with(|| {
+                        push_pairs.push((rule.to_loc, g1));
+                        (push_pairs.len() - 1) as u32
+                    });
+                    push.push((
+                        g1.0,
+                        PushMatch {
+                            to_loc: rule.to_loc,
+                            from_loc: rule.from_loc,
+                            from_sym: rule.from_sym,
+                            below: g2,
+                        },
+                    ));
+                }
+            }
+            lhs.push((
+                rule.from_sym.0,
+                LhsRule {
+                    from_loc: rule.from_loc,
+                    to_loc: rule.to_loc,
+                    rhs: rule.rhs,
+                    push_pair,
+                },
+            ));
+        }
+        RuleIndex {
+            n_controls: pds.control_count(),
+            n_symbols,
+            pops,
+            internal_by_rhs: Csr::build(n_symbols, &internal),
+            push_by_rhs: Csr::build(n_symbols, &push),
+            by_lhs: Csr::build(n_symbols, &lhs),
+            push_pairs,
+            rule_count: pds.rule_count(),
+        }
+    }
+
+    /// Control locations of the indexed PDS.
+    pub fn control_count(&self) -> u32 {
+        self.n_controls
+    }
+
+    /// One past the largest symbol any indexed rule mentions.
+    pub fn symbol_bound(&self) -> u32 {
+        self.n_symbols
+    }
+
+    /// Number of indexed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rule_count
+    }
+
+    /// The pop rules `⟨p, γ⟩ ↪ ⟨p', ε⟩` as `(p, γ, p')` triples.
+    pub fn pops(&self) -> &[(ControlLoc, Symbol, ControlLoc)] {
+        &self.pops
+    }
+
+    /// Internal rules whose right-hand-side symbol is `sym`. Callers filter
+    /// on [`InternalMatch::to_loc`].
+    #[inline]
+    pub fn internal_by_rhs(&self, sym: Symbol) -> &[InternalMatch] {
+        self.internal_by_rhs.row(sym.0)
+    }
+
+    /// Push rules whose first right-hand-side symbol is `sym`. Callers
+    /// filter on [`PushMatch::to_loc`].
+    #[inline]
+    pub fn push_by_rhs(&self, sym: Symbol) -> &[PushMatch] {
+        self.push_by_rhs.row(sym.0)
+    }
+
+    /// Every rule whose left-hand-side symbol is `sym`. Callers filter on
+    /// [`LhsRule::from_loc`].
+    #[inline]
+    pub fn rules_for_lhs(&self, sym: Symbol) -> &[LhsRule] {
+        self.by_lhs.row(sym.0)
+    }
+
+    /// The distinct push-rule target pairs `(p', γ')`, in dense-id order.
+    pub fn push_pairs(&self) -> &[(ControlLoc, Symbol)] {
+        &self.push_pairs
+    }
+
+    /// Approximate retained bytes of the index tables.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pops.len() * size_of::<(ControlLoc, Symbol, ControlLoc)>()
+            + self.internal_by_rhs.payload.len() * size_of::<InternalMatch>()
+            + self.push_by_rhs.payload.len() * size_of::<PushMatch>()
+            + self.by_lhs.payload.len() * size_of::<LhsRule>()
+            + (self.internal_by_rhs.offsets.len()
+                + self.push_by_rhs.offsets.len()
+                + self.by_lhs.offsets.len())
+                * size_of::<u32>()
+            + self.push_pairs.len() * size_of::<(ControlLoc, Symbol)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Pds;
+
+    fn sym(i: u32) -> Symbol {
+        Symbol(i)
+    }
+
+    #[test]
+    fn csr_groups_preserve_order_and_bounds() {
+        let entries = vec![(2u32, 'a'), (0, 'b'), (2, 'c'), (1, 'd')];
+        let csr = Csr::build(3, &entries);
+        assert_eq!(csr.row(0), &['b']);
+        assert_eq!(csr.row(1), &['d']);
+        assert_eq!(csr.row(2), &['a', 'c']);
+        assert_eq!(csr.row(3), &[] as &[char]);
+        assert_eq!(csr.row(99), &[] as &[char]);
+        let empty: Csr<char> = Csr::build(0, &[]);
+        assert_eq!(empty.row(0), &[] as &[char]);
+    }
+
+    #[test]
+    fn index_matches_rule_inventory() {
+        let (p, q) = (ControlLoc(0), ControlLoc(1));
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let mut pds = Pds::new(2);
+        pds.add_internal(p, a, p, b);
+        pds.add_pop(p, a, q);
+        pds.add_push(q, b, p, a, c);
+        pds.add_push(q, c, p, a, b); // same (p, a) target pair
+        let idx = RuleIndex::new(&pds);
+        assert_eq!(idx.control_count(), 2);
+        assert_eq!(idx.symbol_bound(), 3);
+        assert_eq!(idx.rule_count(), 4);
+        assert_eq!(idx.pops(), &[(p, a, q)]);
+        // Internal rule stored under its RHS symbol b.
+        assert_eq!(idx.internal_by_rhs(b).len(), 1);
+        assert_eq!(idx.internal_by_rhs(b)[0].from_sym, a);
+        assert!(idx.internal_by_rhs(a).is_empty());
+        // Both pushes stored under first RHS symbol a, sharing one pair id.
+        let pushes = idx.push_by_rhs(a);
+        assert_eq!(pushes.len(), 2);
+        assert_eq!(pushes[0].below, c);
+        assert_eq!(pushes[1].below, b);
+        assert_eq!(idx.push_pairs(), &[(p, a)]);
+        // LHS rows: symbol a has the internal + pop, b has one push.
+        assert_eq!(idx.rules_for_lhs(a).len(), 2);
+        assert_eq!(idx.rules_for_lhs(b).len(), 1);
+        assert_eq!(idx.rules_for_lhs(b)[0].push_pair, 0);
+        // Out-of-alphabet symbols simply match nothing.
+        assert!(idx.rules_for_lhs(sym(77)).is_empty());
+    }
+}

@@ -33,13 +33,17 @@
 //! ```
 
 pub mod automaton;
+pub mod index;
 pub mod poststar;
 pub mod prestar;
+pub mod scratch;
 pub mod system;
 
 pub use automaton::{PAutomaton, PState};
+pub use index::RuleIndex;
 pub use poststar::poststar;
 pub use prestar::prestar;
+pub use scratch::SaturationScratch;
 pub use system::{ControlLoc, Pds, Rhs, Rule};
 
 use std::fmt;
@@ -67,6 +71,14 @@ pub enum PdsError {
         /// Control locations of the PDS.
         pds: u32,
     },
+    /// The query automaton has transitions into control states, violating
+    /// the `post*` P-automaton precondition (Schwoon 2002): saturation
+    /// treats control states as pure sources, so such transitions would be
+    /// silently ignored rather than explored.
+    TransitionIntoControl {
+        /// Number of offending transitions.
+        count: usize,
+    },
 }
 
 impl fmt::Display for PdsError {
@@ -80,6 +92,11 @@ impl fmt::Display for PdsError {
                 f,
                 "query automaton has {query} control state(s) but the PDS has {pds} \
                  control location(s)"
+            ),
+            PdsError::TransitionIntoControl { count } => write!(
+                f,
+                "query automaton has {count} transition(s) into control states; \
+                 post* requires control states to be pure sources"
             ),
         }
     }

@@ -4,11 +4,19 @@
 //! `C` under the PDS transition relation. Used by Alg. 2 (feature removal)
 //! for forward stack-configuration slicing, and to build the language of all
 //! configurations reachable from `⟨entry_main, ε⟩` (valid calling contexts).
+//!
+//! Like `Prestar`, the engine runs on dense structures: rules come from a
+//! prebuilt [`RuleIndex`] (including the dense numbering of Phase-I states,
+//! one per distinct push-rule target pair), and the growing relation lives
+//! in a reusable [`SaturationScratch`]. After Phase I the state space is
+//! fixed, so every id stays below a known bound.
 
 use crate::automaton::{PAutomaton, PState};
+use crate::index::RuleIndex;
+use crate::scratch::SaturationScratch;
 use crate::system::{Pds, Rhs};
+use crate::PdsError;
 use specslice_fsa::Symbol;
-use std::collections::HashMap;
 
 /// Statistics from a [`poststar`] run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -19,133 +27,185 @@ pub struct PoststarStats {
     pub phase1_states: usize,
     /// Approximate peak bytes retained during saturation.
     pub peak_bytes: usize,
+    /// Saturation firings: rule matches plus ε-combinations, counting
+    /// duplicate candidates. A pure function of the PDS + query for a given
+    /// engine build — identical on every machine and at every thread count.
+    pub rule_applications: usize,
+    /// Deepest the worklist ever got.
+    pub peak_worklist: usize,
 }
 
 /// Computes an automaton for `post*(L(query))`.
 ///
 /// The result may contain ε-transitions; acceptance accounts for them.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `query` has ε-transitions, transitions *into* control states,
-/// or fewer control states than the PDS (standard P-automaton preconditions).
-pub fn poststar(pds: &Pds, query: &PAutomaton) -> PAutomaton {
-    poststar_with_stats(pds, query).0
+/// [`PdsError::EpsilonInQuery`] if `query` has ε-transitions,
+/// [`PdsError::TransitionIntoControl`] if it has transitions *into* control
+/// states, [`PdsError::MissingControls`] if it has fewer control states
+/// than the PDS has control locations — the standard P-automaton
+/// preconditions, surfaced as values (they used to be `assert!`s, which
+/// crashed batch worker threads on malformed queries).
+pub fn poststar(pds: &Pds, query: &PAutomaton) -> Result<PAutomaton, PdsError> {
+    poststar_with_stats(pds, query).map(|(aut, _)| aut)
 }
 
 /// [`poststar`] plus run statistics.
-pub fn poststar_with_stats(pds: &Pds, query: &PAutomaton) -> (PAutomaton, PoststarStats) {
-    assert!(
-        query.control_count() >= pds.control_count(),
-        "query automaton lacks control states"
-    );
-    for (_, l, t) in query.transitions() {
-        assert!(l.is_some(), "poststar queries must be ε-free");
-        assert!(
-            !query.is_control_state(t),
-            "poststar queries must not have transitions into control states"
-        );
+pub fn poststar_with_stats(
+    pds: &Pds,
+    query: &PAutomaton,
+) -> Result<(PAutomaton, PoststarStats), PdsError> {
+    let idx = RuleIndex::new(pds);
+    poststar_indexed_with_stats(&idx, query, &mut SaturationScratch::default())
+}
+
+/// [`poststar_with_stats`] against a prebuilt rule index and caller-owned
+/// scratch — the session hot path.
+pub fn poststar_indexed_with_stats(
+    idx: &RuleIndex,
+    query: &PAutomaton,
+    scratch: &mut SaturationScratch,
+) -> Result<(PAutomaton, PoststarStats), PdsError> {
+    if query.control_count() < idx.control_count() {
+        return Err(PdsError::MissingControls {
+            query: query.control_count(),
+            pds: idx.control_count(),
+        });
+    }
+    let epsilon_count = query.transitions().filter(|(_, l, _)| l.is_none()).count();
+    if epsilon_count > 0 {
+        return Err(PdsError::EpsilonInQuery {
+            count: epsilon_count,
+        });
+    }
+    let into_control = query
+        .transitions()
+        .filter(|&(_, _, t)| query.is_control_state(t))
+        .count();
+    if into_control > 0 {
+        return Err(PdsError::TransitionIntoControl {
+            count: into_control,
+        });
     }
 
-    let mut aut = query.clone();
+    // Phase I: one fresh state per distinct (p', γ') push-rule target pair,
+    // numbered densely after the query's states (the numbering lives in the
+    // rule index, so Phase II looks pairs up without hashing).
+    let n_query_states = query.state_count() as u32;
+    let phase1_states = idx.push_pairs().len();
+    let n_states = n_query_states + phase1_states as u32;
+    scratch.reset(n_states);
+    let SaturationScratch {
+        rows,
+        out,
+        worklist,
+        eps_into,
+        tmp_pairs,
+        ..
+    } = scratch;
 
-    // Phase I: one fresh state per (p', γ') push-rule target pair.
-    let mut push_state: HashMap<(u32, Symbol), PState> = HashMap::new();
-    for rule in pds.rules() {
-        if let Rhs::Push(g1, _) = rule.rhs {
-            push_state
-                .entry((rule.to_loc.0, g1))
-                .or_insert_with(|| aut.add_state());
+    // Labels are encoded `γ + 1`, with 0 for ε (post* creates ε-transitions
+    // via pop rules).
+    fn add(
+        rows: &mut crate::scratch::RowTable,
+        out: &mut [Vec<(u32, u32)>],
+        worklist: &mut Vec<(u32, u32, u32)>,
+        from: u32,
+        label: u32,
+        to: u32,
+    ) {
+        if rows.insert(from, label, to) {
+            out[from as usize].push((label, to));
+            worklist.push((from, label, to));
         }
     }
-    let phase1_states = push_state.len();
-
-    // Worklist algorithm over transitions. We maintain:
-    //   by_src: (state, symbol) → targets, for combining ε-transitions;
-    //   eps_into: state → control states with an ε-transition into it.
-    let mut worklist: Vec<(PState, Option<Symbol>, PState)> = aut.transitions().collect();
-    let mut by_src: HashMap<(PState, Symbol), Vec<PState>> = HashMap::new();
-    for &(f, l, t) in &worklist {
-        if let Some(sym) = l {
-            by_src.entry((f, sym)).or_default().push(t);
-        }
-    }
-    let mut eps_into: HashMap<PState, Vec<PState>> = HashMap::new();
-
-    let mut peak_bytes = 0usize;
-    while let Some((f, l, t)) = worklist.pop() {
-        match l {
-            Some(sym) => {
-                if aut.is_control_state(f) {
-                    let p = crate::system::ControlLoc(f.0);
-                    for rule in pds.rules_for(p, sym).cloned().collect::<Vec<_>>() {
-                        let p2 = aut.control_state(rule.to_loc);
-                        match rule.rhs {
-                            Rhs::Pop => {
-                                if aut.add_transition(p2, None, t) {
-                                    worklist.push((p2, None, t));
-                                }
-                            }
-                            Rhs::Internal(g2) => {
-                                if aut.add_transition(p2, Some(g2), t) {
-                                    by_src.entry((p2, g2)).or_default().push(t);
-                                    worklist.push((p2, Some(g2), t));
-                                }
-                            }
-                            Rhs::Push(g1, g2) => {
-                                let mid = push_state[&(rule.to_loc.0, g1)];
-                                if aut.add_transition(p2, Some(g1), mid) {
-                                    by_src.entry((p2, g1)).or_default().push(mid);
-                                    worklist.push((p2, Some(g1), mid));
-                                }
-                                if aut.add_transition(mid, Some(g2), t) {
-                                    by_src.entry((mid, g2)).or_default().push(t);
-                                    worklist.push((mid, Some(g2), t));
-                                }
-                            }
-                        }
-                    }
-                }
-                // ε-combination: q' –ε→ f plus f –sym→ t gives q' –sym→ t.
-                if let Some(sources) = eps_into.get(&f) {
-                    for q2 in sources.clone() {
-                        if aut.add_transition(q2, Some(sym), t) {
-                            by_src.entry((q2, sym)).or_default().push(t);
-                            worklist.push((q2, Some(sym), t));
-                        }
-                    }
-                }
-            }
-            None => {
-                // f –ε→ t: combine with all t –sym→ u.
-                eps_into.entry(t).or_default().push(f);
-                let succ: Vec<(Symbol, PState)> = aut
-                    .transitions_from(t)
-                    .iter()
-                    .filter_map(|&(l2, u)| l2.map(|s| (s, u)))
-                    .collect();
-                for (sym, u) in succ {
-                    if aut.add_transition(f, Some(sym), u) {
-                        by_src.entry((f, sym)).or_default().push(u);
-                        worklist.push((f, Some(sym), u));
-                    }
-                }
-            }
-        }
-        peak_bytes = peak_bytes.max(
-            aut.approx_bytes()
-                + by_src.len() * 48
-                + eps_into.len() * 48
-                + worklist.len() * std::mem::size_of::<(PState, Option<Symbol>, PState)>(),
-        );
-    }
-
-    let stats = PoststarStats {
-        transitions: aut.transition_count(),
-        phase1_states,
-        peak_bytes,
+    let enc = |sym: Symbol| {
+        debug_assert!(sym.0 < u32::MAX, "symbol id overflows the ε encoding");
+        sym.0 + 1
     };
-    (aut, stats)
+
+    for (f, l, t) in query.transitions() {
+        let sym = l.expect("ε-freedom checked above");
+        add(rows, out, worklist, f.0, enc(sym), t.0);
+    }
+
+    let n_controls = idx.control_count();
+    let mut rule_applications = 0usize;
+    let mut peak_worklist = 0usize;
+    while let Some((f, label, t)) = {
+        peak_worklist = peak_worklist.max(worklist.len());
+        worklist.pop()
+    } {
+        if label != 0 {
+            let sym = Symbol(label - 1);
+            // Rules fire on transitions out of control states.
+            if f < n_controls {
+                for r in idx.rules_for_lhs(sym) {
+                    if r.from_loc.0 != f {
+                        continue;
+                    }
+                    rule_applications += 1;
+                    match r.rhs {
+                        Rhs::Pop => add(rows, out, worklist, r.to_loc.0, 0, t),
+                        Rhs::Internal(g2) => add(rows, out, worklist, r.to_loc.0, enc(g2), t),
+                        Rhs::Push(g1, g2) => {
+                            let mid = n_query_states + r.push_pair;
+                            add(rows, out, worklist, r.to_loc.0, enc(g1), mid);
+                            add(rows, out, worklist, mid, enc(g2), t);
+                        }
+                    }
+                }
+            }
+            // ε-combination: q' –ε→ f plus f –sym→ t gives q' –sym→ t.
+            // `add` never touches `eps_into`, so the row is iterated in
+            // place (unlike the ε-branch below, which snapshots `out[t]`
+            // because `add` appends to `out`).
+            for &q2 in eps_into[f as usize].iter() {
+                rule_applications += 1;
+                add(rows, out, worklist, q2, label, t);
+            }
+        } else {
+            // f –ε→ t: combine with all labeled t –sym→ u.
+            eps_into[t as usize].push(f);
+            tmp_pairs.clear();
+            tmp_pairs.extend(out[t as usize].iter().filter(|&&(l2, _)| l2 != 0));
+            for &(l2, u) in tmp_pairs.iter() {
+                rule_applications += 1;
+                add(rows, out, worklist, f, l2, u);
+            }
+        }
+    }
+
+    // Materialize: the query, the Phase-I states, then every inferred
+    // transition in deterministic (state-major, insertion) order.
+    let mut aut = query.clone();
+    for _ in 0..phase1_states {
+        aut.add_state();
+    }
+    for (state, row) in out.iter().enumerate() {
+        for &(label, to) in row {
+            let l = if label == 0 {
+                None
+            } else {
+                Some(Symbol(label - 1))
+            };
+            aut.add_transition(PState(state as u32), l, PState(to));
+        }
+    }
+
+    let transitions = aut.transition_count();
+    let stats = PoststarStats {
+        transitions,
+        phase1_states,
+        peak_bytes: transitions * 36
+            + rows.len() * 48
+            + eps_into.iter().map(|v| v.len() * 4 + 24).sum::<usize>()
+            + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
+        rule_applications,
+        peak_worklist,
+    };
+    Ok((aut, stats))
 }
 
 #[cfg(test)]
@@ -168,7 +228,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(p), Some(a), f);
         query.set_final(f);
-        let res = poststar(&pds, &query);
+        let res = poststar(&pds, &query).unwrap();
         assert!(res.accepts(p, &[a]));
         assert!(res.accepts(p, &[a, b]));
         assert!(res.accepts(p, &[a, b, b, b]));
@@ -191,7 +251,7 @@ mod tests {
         query.add_transition(query.control_state(p), Some(a), m1);
         query.add_transition(m1, Some(b), f);
         query.set_final(f);
-        let res = poststar(&pds, &query);
+        let res = poststar(&pds, &query).unwrap();
         assert!(res.accepts(p, &[a, b]));
         assert!(res.accepts(q, &[b]));
         assert!(!res.accepts(q, &[a]));
@@ -214,7 +274,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(p), Some(a), f);
         query.set_final(f);
-        let res = poststar(&pds, &query);
+        let res = poststar(&pds, &query).unwrap();
         for (loc, stack) in [(p, vec![a]), (p, vec![b, c]), (q, vec![c]), (q, vec![d])] {
             assert!(res.accepts(loc, &stack), "({loc:?}, {stack:?})");
         }
@@ -237,7 +297,7 @@ mod tests {
         let f = query.add_state();
         query.add_transition(query.control_state(p), Some(a), f);
         query.set_final(f);
-        let res = poststar(&pds, &query);
+        let res = poststar(&pds, &query).unwrap();
 
         // Concrete BFS from (p, [a]) bounded by stack depth.
         let mut reachable = std::collections::HashSet::new();
@@ -283,7 +343,7 @@ mod tests {
         let f1 = from_cp.add_state();
         from_cp.add_transition(from_cp.control_state(p), Some(a), f1);
         from_cp.set_final(f1);
-        let post = poststar(&pds, &from_cp);
+        let post = poststar(&pds, &from_cp).unwrap();
 
         let mut from_c = PAutomaton::new(1);
         let f2 = from_c.add_state();
@@ -293,5 +353,61 @@ mod tests {
 
         assert_eq!(post.accepts(p, &[c]), pre.accepts(p, &[a]));
         assert!(post.accepts(p, &[c]));
+    }
+
+    /// Malformed queries surface as structured errors, never as panics —
+    /// the same contract `prestar` has had since the batch-worker fixes
+    /// (mirrors `tests/malformed_criteria.rs` at the PDS layer).
+    #[test]
+    fn epsilon_query_is_a_structured_error() {
+        let p = ControlLoc(0);
+        let mut pds = Pds::new(1);
+        pds.add_pop(p, sym(0), p);
+        let mut query = PAutomaton::new(1);
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), None, f);
+        query.set_final(f);
+        let err = poststar(&pds, &query).unwrap_err();
+        assert_eq!(err, PdsError::EpsilonInQuery { count: 1 });
+        assert!(err.to_string().contains("ε-free"), "{err}");
+    }
+
+    #[test]
+    fn missing_controls_is_a_structured_error() {
+        let pds = Pds::new(3);
+        let query = PAutomaton::new(1);
+        let err = poststar_with_stats(&pds, &query).unwrap_err();
+        assert_eq!(err, PdsError::MissingControls { query: 1, pds: 3 });
+    }
+
+    #[test]
+    fn transition_into_control_state_is_a_structured_error() {
+        let p = ControlLoc(0);
+        let q = ControlLoc(1);
+        let mut pds = Pds::new(2);
+        pds.add_pop(p, sym(0), q);
+        // Two offending transitions: control → control, and interior →
+        // control.
+        let mut query = PAutomaton::new(2);
+        let m = query.add_state();
+        query.add_transition(query.control_state(p), Some(sym(0)), query.control_state(q));
+        query.add_transition(query.control_state(p), Some(sym(1)), m);
+        query.add_transition(m, Some(sym(2)), query.control_state(q));
+        query.set_final(m);
+        let err = poststar(&pds, &query).unwrap_err();
+        assert_eq!(err, PdsError::TransitionIntoControl { count: 2 });
+        assert!(err.to_string().contains("control"), "{err}");
+    }
+
+    /// Error precedence mirrors the old assertion order (ε before
+    /// into-control), so diagnostics stay stable.
+    #[test]
+    fn epsilon_reported_before_into_control() {
+        let p = ControlLoc(0);
+        let pds = Pds::new(1);
+        let mut query = PAutomaton::new(1);
+        query.add_transition(query.control_state(p), None, query.control_state(p));
+        let err = poststar(&pds, &query).unwrap_err();
+        assert_eq!(err, PdsError::EpsilonInQuery { count: 1 });
     }
 }

@@ -10,19 +10,26 @@
 //! ```
 //!
 //! The implementation is the standard worklist algorithm with partial-match
-//! caching for push rules, running in `O(|Q|² · |Δ|)` time.
+//! caching for push rules, running in `O(|Q|² · |Δ|)` time — but on dense
+//! structures: rules are matched through a prebuilt [`RuleIndex`] (two
+//! array reads per lookup, shared across every query over one PDS), the
+//! growing transition relation lives in bitset-deduped per-`(state, symbol)`
+//! rows inside a reusable [`SaturationScratch`], and `pre*` never adds
+//! automaton states, so the whole run works on `u32` ids below a fixed
+//! bound. Saturation is confluent — the result is the unique least fixpoint
+//! over the query's state set — so none of this changes the answer, only
+//! how fast it arrives.
 
 use crate::automaton::{PAutomaton, PState};
-use crate::system::{Pds, Rhs};
+use crate::index::RuleIndex;
+use crate::scratch::SaturationScratch;
+use crate::system::Pds;
 use crate::PdsError;
 use specslice_fsa::Symbol;
-use std::collections::HashMap;
 
-/// Index of push rules keyed by the first RHS symbol's target pair.
-type PushIndex = HashMap<(PState, Symbol), Vec<(PState, Symbol, Symbol)>>;
-
-/// Statistics from a [`prestar`] run (peak sizes feed the Fig. 22 memory
-/// accounting).
+/// Statistics from a [`prestar`] run (sizes feed the Fig. 22 memory
+/// accounting; the counters feed the query benchmark's deterministic
+/// drift gate).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct PrestarStats {
     /// Transitions in the saturated automaton.
@@ -31,9 +38,23 @@ pub struct PrestarStats {
     pub query_transitions: usize,
     /// Approximate peak bytes retained by the saturation data structures.
     pub peak_bytes: usize,
+    /// Saturation-rule firings: every time a PDS rule matched transitions
+    /// and produced a candidate transition (new or duplicate). A pure
+    /// function of the PDS + query for a given engine build — identical on
+    /// every machine and at every thread count, which is what lets the
+    /// query benchmark gate on it.
+    pub rule_applications: usize,
+    /// Deepest the worklist ever got (measured at the top of each
+    /// iteration).
+    pub peak_worklist: usize,
 }
 
 /// Computes an automaton for `pre*(L(query))`.
+///
+/// One-shot convenience: indexes the rules and allocates scratch for this
+/// single call. Multi-query clients index once ([`RuleIndex::new`]) and
+/// reuse a per-thread [`SaturationScratch`] via
+/// [`prestar_indexed_with_stats`].
 ///
 /// The query automaton must not have ε-transitions (queries built by
 /// `specslice` never do).
@@ -53,10 +74,21 @@ pub fn prestar_with_stats(
     pds: &Pds,
     query: &PAutomaton,
 ) -> Result<(PAutomaton, PrestarStats), PdsError> {
-    if query.control_count() < pds.control_count() {
+    let idx = RuleIndex::new(pds);
+    prestar_indexed_with_stats(&idx, query, &mut SaturationScratch::default())
+}
+
+/// [`prestar_with_stats`] against a prebuilt rule index and caller-owned
+/// scratch — the session hot path.
+pub fn prestar_indexed_with_stats(
+    idx: &RuleIndex,
+    query: &PAutomaton,
+    scratch: &mut SaturationScratch,
+) -> Result<(PAutomaton, PrestarStats), PdsError> {
+    if query.control_count() < idx.control_count() {
         return Err(PdsError::MissingControls {
             query: query.control_count(),
-            pds: pds.control_count(),
+            pds: idx.control_count(),
         });
     }
     let epsilon_count = query.transitions().filter(|(_, l, _)| l.is_none()).count();
@@ -66,113 +98,114 @@ pub fn prestar_with_stats(
         });
     }
 
-    let mut aut = query.clone();
-    // Worklist of transitions to process (all labeled — checked above).
-    let mut worklist: Vec<(PState, Symbol, PState)> = aut
-        .transitions()
-        .filter_map(|(f, l, t)| l.map(|sym| (f, sym, t)))
-        .collect();
+    let n_states = query.state_count() as u32;
+    scratch.reset(n_states);
+    let SaturationScratch {
+        rows,
+        out,
+        worklist,
+        pending,
+        tmp,
+        tmp_pairs,
+        ..
+    } = scratch;
 
-    // Index of current transitions by (source, symbol) → targets, maintained
-    // incrementally alongside `aut`.
-    let mut by_src_sym: HashMap<(PState, Symbol), Vec<PState>> = HashMap::new();
-    for &(f, s, t) in &worklist {
-        by_src_sym.entry((f, s)).or_default().push(t);
-    }
-
-    // For push rules ⟨p,γ⟩ ↪ ⟨p',γ'γ''⟩ we must find paths p' –γ'→ q1 –γ''→ q2.
-    // `pending[(q1, γ'')]` records (p, γ) pairs waiting for a q1 –γ''→ q2
-    // transition to complete the match.
-    let mut pending: HashMap<(PState, Symbol), Vec<(PState, Symbol)>> = HashMap::new();
-
-    // Pop rules fire unconditionally: ⟨p,γ⟩ ↪ ⟨p',ε⟩ gives p –γ→ p'.
-    let push_new = |aut: &mut PAutomaton,
-                    worklist: &mut Vec<(PState, Symbol, PState)>,
-                    by_src_sym: &mut HashMap<(PState, Symbol), Vec<PState>>,
-                    from: PState,
-                    sym: Symbol,
-                    to: PState| {
-        if aut.add_transition(from, Some(sym), to) {
-            by_src_sym.entry((from, sym)).or_default().push(to);
-            worklist.push((from, sym, to));
-        }
-    };
-
-    for rule in pds.rules() {
-        if rule.rhs == Rhs::Pop {
-            let from = aut.control_state(rule.from_loc);
-            let to = aut.control_state(rule.to_loc);
-            push_new(
-                &mut aut,
-                &mut worklist,
-                &mut by_src_sym,
-                from,
-                rule.from_sym,
-                to,
-            );
+    // Labels are encoded `γ + 1` (0 would be ε; pre* transitions are all
+    // labeled). A transition enters the worklist exactly once: when its
+    // target first enters its `(state, symbol)` row.
+    fn add(
+        rows: &mut crate::scratch::RowTable,
+        out: &mut [Vec<(u32, u32)>],
+        worklist: &mut Vec<(u32, u32, u32)>,
+        from: u32,
+        sym: Symbol,
+        to: u32,
+    ) {
+        debug_assert!(sym.0 < u32::MAX, "symbol id overflows the ε encoding");
+        let label = sym.0 + 1;
+        if rows.insert(from, label, to) {
+            out[from as usize].push((label, to));
+            worklist.push((from, label, to));
         }
     }
 
-    // Index internal and push rules by (p', γ') for matching on transitions
-    // out of control states.
-    let mut internal_by_rhs: HashMap<(PState, Symbol), Vec<(PState, Symbol)>> = HashMap::new();
-    let mut push_by_rhs: PushIndex = HashMap::new();
-    for rule in pds.rules() {
-        let p = aut.control_state(rule.from_loc);
-        let p2 = aut.control_state(rule.to_loc);
-        match rule.rhs {
-            Rhs::Pop => {}
-            Rhs::Internal(g2) => internal_by_rhs
-                .entry((p2, g2))
-                .or_default()
-                .push((p, rule.from_sym)),
-            Rhs::Push(g2, g3) => {
-                push_by_rhs
-                    .entry((p2, g2))
-                    .or_default()
-                    .push((p, rule.from_sym, g3))
-            }
-        }
+    // Seeds: the query's transitions, then the pop rules (which fire
+    // unconditionally: ⟨p, γ⟩ ↪ ⟨p', ε⟩ gives p –γ→ p').
+    for (f, l, t) in query.transitions() {
+        let sym = l.expect("ε-freedom checked above");
+        add(rows, out, worklist, f.0, sym, t.0);
+    }
+    let mut rule_applications = idx.pops().len();
+    for &(p, gamma, p2) in idx.pops() {
+        add(rows, out, worklist, p.0, gamma, p2.0);
     }
 
-    let mut peak_bytes = 0usize;
-    while let Some((f, sym, t)) = worklist.pop() {
-        // Internal rules ⟨p,γ⟩ ↪ ⟨p',γ'⟩ with (p', γ') = (f, sym):
-        if let Some(matches) = internal_by_rhs.get(&(f, sym)) {
-            for &(p, gamma) in matches.clone().iter() {
-                push_new(&mut aut, &mut worklist, &mut by_src_sym, p, gamma, t);
-            }
-        }
-        // Push rules ⟨p,γ⟩ ↪ ⟨p',γ'γ''⟩ with (p', γ') = (f, sym): we have the
-        // first hop p' –γ'→ t; need t –γ''→ q2 (now or later).
-        if let Some(matches) = push_by_rhs.get(&(f, sym)) {
-            for &(p, gamma, g3) in matches.clone().iter() {
-                if let Some(q2s) = by_src_sym.get(&(t, g3)) {
-                    for q2 in q2s.clone() {
-                        push_new(&mut aut, &mut worklist, &mut by_src_sym, p, gamma, q2);
-                    }
+    let n_controls = idx.control_count();
+    let mut peak_worklist = 0usize;
+    while let Some((f, label, t)) = {
+        peak_worklist = peak_worklist.max(worklist.len());
+        worklist.pop()
+    } {
+        let sym = Symbol(label - 1);
+        // Rules match transitions out of control states only — states
+        // `0..n_controls` coincide with control locations, so one compare
+        // skips the rule tables entirely for interior states.
+        if f < n_controls {
+            // Internal rules ⟨p,γ⟩ ↪ ⟨p',γ'⟩ with (p', γ') = (f, sym):
+            for m in idx.internal_by_rhs(sym) {
+                if m.to_loc.0 != f {
+                    continue;
                 }
-                pending.entry((t, g3)).or_default().push((p, gamma));
+                rule_applications += 1;
+                add(rows, out, worklist, m.from_loc.0, m.from_sym, t);
+            }
+            // Push rules ⟨p,γ⟩ ↪ ⟨p',γ'γ''⟩ with (p', γ') = (f, sym): we
+            // have the first hop p' –γ'→ t; need t –γ''→ q2 (now or later).
+            for m in idx.push_by_rhs(sym) {
+                if m.to_loc.0 != f {
+                    continue;
+                }
+                debug_assert!(m.below.0 < u32::MAX);
+                let below = m.below.0 + 1;
+                tmp.clear();
+                tmp.extend_from_slice(rows.targets(t, below));
+                for &q2 in tmp.iter() {
+                    rule_applications += 1;
+                    add(rows, out, worklist, m.from_loc.0, m.from_sym, q2);
+                }
+                pending.push(t, below, (m.from_loc.0, m.from_sym.0));
             }
         }
         // Complete earlier partial matches waiting on (f, sym).
-        if let Some(waiters) = pending.get(&(f, sym)) {
-            for &(p, gamma) in waiters.clone().iter() {
-                push_new(&mut aut, &mut worklist, &mut by_src_sym, p, gamma, t);
-            }
+        tmp_pairs.clear();
+        tmp_pairs.extend_from_slice(pending.waiters(f, label));
+        for &(p, gamma) in tmp_pairs.iter() {
+            rule_applications += 1;
+            add(rows, out, worklist, p, Symbol(gamma), t);
         }
-        peak_bytes = peak_bytes.max(
-            aut.approx_bytes()
-                + pending.len() * 48
-                + by_src_sym.len() * 48
-                + worklist.len() * std::mem::size_of::<(PState, Symbol, PState)>(),
-        );
     }
 
+    // Materialize the saturated automaton: the query plus every inferred
+    // transition, in deterministic (state-major, insertion) order.
+    let mut aut = query.clone();
+    for (state, row) in out.iter().enumerate() {
+        for &(label, to) in row {
+            aut.add_transition(PState(state as u32), Some(Symbol(label - 1)), PState(to));
+        }
+    }
+
+    // The structures only grow during saturation, so the peak is the final
+    // footprint plus the deepest worklist.
+    let transitions = aut.transition_count();
     let stats = PrestarStats {
-        transitions: aut.transition_count(),
+        transitions,
         query_transitions: query.transition_count(),
-        peak_bytes,
+        peak_bytes: transitions * 36
+            + rows.len() * 48
+            + pending.len() * 48
+            + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
+        rule_applications,
+        peak_worklist,
     };
     Ok((aut, stats))
 }
@@ -348,6 +381,50 @@ mod tests {
                     "mismatch at ({loc:?}, {stack:?})"
                 );
             }
+        }
+    }
+
+    /// The indexed entry point with a reused scratch answers a sequence of
+    /// different queries identically to the one-shot wrapper — the property
+    /// the session hot path relies on.
+    #[test]
+    fn scratch_reuse_is_invisible() {
+        let p = ControlLoc(0);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let mut pds = Pds::new(1);
+        pds.add_push(p, a, p, b, c);
+        pds.add_pop(p, b, p);
+        pds.add_internal(p, c, p, a);
+        let idx = RuleIndex::new(&pds);
+        let mut scratch = SaturationScratch::default();
+        for target in [a, b, c, a, c] {
+            let mut query = PAutomaton::new(1);
+            let f = query.add_state();
+            query.add_transition(query.control_state(p), Some(target), f);
+            query.set_final(f);
+            let (fresh, fresh_stats) = prestar_with_stats(&pds, &query).unwrap();
+            let (reused, reused_stats) =
+                prestar_indexed_with_stats(&idx, &query, &mut scratch).unwrap();
+            for word in [
+                vec![],
+                vec![a],
+                vec![b],
+                vec![c],
+                vec![a, c],
+                vec![b, c],
+                vec![c, c],
+            ] {
+                assert_eq!(
+                    fresh.accepts(p, &word),
+                    reused.accepts(p, &word),
+                    "target {target:?}, word {word:?}"
+                );
+            }
+            assert_eq!(fresh_stats.transitions, reused_stats.transitions);
+            assert_eq!(
+                fresh_stats.rule_applications,
+                reused_stats.rule_applications
+            );
         }
     }
 }

@@ -1,7 +1,6 @@
 //! Pushdown-system definitions (Defn. 3.1 of the paper).
 
 use specslice_fsa::Symbol;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A PDS control location (`p`, `p_fo`, … in the paper).
@@ -53,8 +52,10 @@ pub struct Rule {
 pub struct Pds {
     n_controls: u32,
     rules: Vec<Rule>,
-    /// Rules indexed by `(from_loc, from_sym)`.
-    by_lhs: HashMap<(ControlLoc, Symbol), Vec<usize>>,
+    /// One past the largest stack symbol mentioned by any rule (0 when there
+    /// are no rules) — the dense alphabet bound used by
+    /// [`crate::RuleIndex`]'s CSR tables.
+    symbol_bound: u32,
 }
 
 impl Pds {
@@ -63,7 +64,7 @@ impl Pds {
         Pds {
             n_controls,
             rules: Vec::new(),
-            by_lhs: HashMap::new(),
+            symbol_bound: 0,
         }
     }
 
@@ -89,6 +90,12 @@ impl Pds {
         self.rules.len()
     }
 
+    /// One past the largest stack symbol any rule mentions. Query automata
+    /// may use larger symbols; those simply never match a rule.
+    pub fn symbol_bound(&self) -> u32 {
+        self.symbol_bound
+    }
+
     /// Adds a rule.
     ///
     /// # Panics
@@ -97,11 +104,16 @@ impl Pds {
     pub fn add_rule(&mut self, rule: Rule) {
         assert!(rule.from_loc.0 < self.n_controls, "from_loc out of range");
         assert!(rule.to_loc.0 < self.n_controls, "to_loc out of range");
-        let idx = self.rules.len();
-        self.by_lhs
-            .entry((rule.from_loc, rule.from_sym))
-            .or_default()
-            .push(idx);
+        let mut touch = |s: Symbol| self.symbol_bound = self.symbol_bound.max(s.0 + 1);
+        touch(rule.from_sym);
+        match rule.rhs {
+            Rhs::Pop => {}
+            Rhs::Internal(g) => touch(g),
+            Rhs::Push(g1, g2) => {
+                touch(g1);
+                touch(g2);
+            }
+        }
         self.rules.push(rule);
     }
 
@@ -143,12 +155,14 @@ impl Pds {
     }
 
     /// Rules whose left-hand side is `⟨p, γ⟩`.
+    ///
+    /// A linear scan: fine for tests and for [`Pds::step`]'s concrete
+    /// exploration. The saturation engines never call this — they match
+    /// rules through a [`crate::RuleIndex`]'s CSR tables instead.
     pub fn rules_for(&self, p: ControlLoc, gamma: Symbol) -> impl Iterator<Item = &Rule> {
-        self.by_lhs
-            .get(&(p, gamma))
-            .into_iter()
-            .flatten()
-            .map(|&i| &self.rules[i])
+        self.rules
+            .iter()
+            .filter(move |r| r.from_loc == p && r.from_sym == gamma)
     }
 
     /// Applies one step of the transition relation `⇒` to a configuration,
@@ -179,13 +193,6 @@ impl Pds {
     /// accounting).
     pub fn approx_bytes(&self) -> usize {
         self.rules.len() * std::mem::size_of::<Rule>()
-            + self.by_lhs.len()
-                * (std::mem::size_of::<(ControlLoc, Symbol)>() + std::mem::size_of::<Vec<usize>>())
-            + self
-                .by_lhs
-                .values()
-                .map(|v| v.len() * std::mem::size_of::<usize>())
-                .sum::<usize>()
     }
 }
 
