@@ -16,7 +16,10 @@
 //!
 //! * **deterministic counters** (`"counters"`): Prestar rule applications,
 //!   saturated-transition counts, peak worklist depth, automaton
-//!   state/transition counts along the MRD chain, and slice sizes. These
+//!   state/transition counts along the MRD chain, slice sizes, and the
+//!   variant-store counters of a whole-program `specialize_program` pass
+//!   (interned variants, cross-criterion dedup hits, flat-row bytes,
+//!   merged function count, regenerated source bytes). These
 //!   are pure functions of the workload — identical on every machine, at
 //!   every thread count, in smoke and full mode — so CI's `bench-gate` job
 //!   diffs them against the committed snapshot to catch silent changes to
@@ -77,6 +80,16 @@ struct Counters {
     mrd_transitions: usize,
     slice_vertices: usize,
     variants: usize,
+    /// Variant-store counters from the whole-program specialization pass
+    /// (`specialize_program` over the per-printf criteria plus, when there
+    /// are several, the all-printfs union criterion): distinct interned
+    /// variants, cross-criterion dedup hits, flat-row bytes retained, the
+    /// merged function count, and the merged source size.
+    interned_variants: usize,
+    dedup_hits: usize,
+    store_row_bytes: usize,
+    merged_functions: usize,
+    regen_bytes: usize,
 }
 
 struct WorkloadRow {
@@ -154,7 +167,62 @@ fn main() {
             counters.mrd_states += stats.mrd.mrd_states;
             counters.mrd_transitions += stats.mrd.mrd_transitions;
             counters.slice_vertices += slice.total_vertices();
-            counters.variants += slice.variants.len();
+            counters.variants += slice.variant_count();
+        }
+
+        // Whole-program specialization: the per-printf criteria merged into
+        // one output (plus the all-printfs union criterion when the program
+        // has several printfs — the canonical overlapping-criteria shape,
+        // which is what makes cross-criterion dedup observable even on the
+        // share-nothing feature grids). A fresh session keeps the store
+        // counters attributable to this pass alone; all counters recorded
+        // here are deterministic, and the merged output is asserted
+        // byte-identical at 1, 2, and 4 worker threads.
+        {
+            let mut spec_criteria = criteria.clone();
+            if criteria.len() > 1 {
+                spec_criteria.push(Criterion::printf_actuals(slicer.sdg()));
+            }
+            let spec_session =
+                Slicer::from_source_with(&source, config()).expect("workload program");
+            let spec = spec_session
+                .specialize_program(&spec_criteria)
+                .expect("specialize_program");
+            let st = spec_session.store_stats();
+            counters.interned_variants = st.interned;
+            counters.dedup_hits = st.dedup_hits;
+            counters.store_row_bytes = st.row_bytes;
+            counters.merged_functions = spec.functions.len();
+            counters.regen_bytes = spec.regen.source.len();
+            if name.starts_with("grid") {
+                assert!(
+                    st.dedup_hits > 0,
+                    "{name}: union criterion must dedup against per-feature slices"
+                );
+                // The grids take no input, so the merged program (driver
+                // main included) must run end to end in the interpreter.
+                specslice_interp::run(&spec.regen.program, &[], 50_000_000)
+                    .unwrap_or_else(|e| panic!("{name}: merged program failed to run: {e}"));
+            }
+            let spec_baseline = format!("{}\n{:?}", spec.regen.source, spec.per_criterion);
+            for t in [2usize, 4] {
+                let parallel = Slicer::from_source_with(
+                    &source,
+                    SlicerConfig {
+                        num_threads: t,
+                        ..config()
+                    },
+                )
+                .expect("workload program");
+                let spec_t = parallel
+                    .specialize_program(&spec_criteria)
+                    .expect("specialize_program");
+                assert_eq!(
+                    spec_baseline,
+                    format!("{}\n{:?}", spec_t.regen.source, spec_t.per_criterion),
+                    "{name}: merged program diverged at {t} threads"
+                );
+            }
         }
 
         // Wall-clock: answer the whole criterion list, cold, per sample.
@@ -237,7 +305,12 @@ fn render_json(samples: usize, host: usize, rows: &[WorkloadRow], geomean_us: f6
         let _ = writeln!(s, "        \"mrd_states\": {},", c.mrd_states);
         let _ = writeln!(s, "        \"mrd_transitions\": {},", c.mrd_transitions);
         let _ = writeln!(s, "        \"slice_vertices\": {},", c.slice_vertices);
-        let _ = writeln!(s, "        \"variants\": {}", c.variants);
+        let _ = writeln!(s, "        \"variants\": {},", c.variants);
+        let _ = writeln!(s, "        \"interned_variants\": {},", c.interned_variants);
+        let _ = writeln!(s, "        \"dedup_hits\": {},", c.dedup_hits);
+        let _ = writeln!(s, "        \"store_row_bytes\": {},", c.store_row_bytes);
+        let _ = writeln!(s, "        \"merged_functions\": {},", c.merged_functions);
+        let _ = writeln!(s, "        \"regen_bytes\": {}", c.regen_bytes);
         let _ = writeln!(s, "      }},");
         let _ = writeln!(
             s,

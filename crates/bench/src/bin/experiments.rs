@@ -120,7 +120,7 @@ fn fig1() {
     let slicer = Slicer::from_source(specslice_corpus::examples::FIG1).unwrap();
     let sdg = slicer.sdg();
     let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
-    for v in &slice.variants {
+    for v in &slice.variants() {
         println!(
             "  {:<8} vertices={:<2} kept params={:?}",
             v.name,

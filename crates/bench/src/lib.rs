@@ -86,8 +86,8 @@ pub fn slice_program(name: &'static str, slicer: &Slicer) -> Vec<SliceRecord> {
 
         let closure = specslice_sdg::slice::backward_closure_slice(sdg, &cv);
         let mut per_proc = std::collections::BTreeMap::new();
-        for v in &slice.variants {
-            *per_proc.entry(v.proc).or_insert(0usize) += 1;
+        for meta in slice.metas() {
+            *per_proc.entry(meta.proc).or_insert(0usize) += 1;
         }
         let mono_per_proc = {
             let mut m = std::collections::BTreeMap::new();
@@ -97,13 +97,14 @@ pub fn slice_program(name: &'static str, slicer: &Slicer) -> Vec<SliceRecord> {
             m
         };
         let scatter = slice
-            .variants
+            .metas()
             .iter()
-            .map(|v| {
+            .zip(slice.variant_ids())
+            .map(|(meta, &id)| {
                 (
-                    sdg.proc(v.proc).vertices.len(),
-                    v.vertices.len(),
-                    mono_per_proc.get(&v.proc).copied().unwrap_or(0),
+                    sdg.proc(meta.proc).vertices.len(),
+                    slice.store().row_len(id),
+                    mono_per_proc.get(&meta.proc).copied().unwrap_or(0),
                 )
             })
             .collect();

@@ -17,12 +17,14 @@
 use crate::criteria::{self, Criterion};
 use crate::encode::{self, MAIN_CONTROL};
 use crate::readout::{self, SpecSlice};
+use crate::store::VariantStore;
 use crate::SpecError;
 use specslice_fsa::ops::difference;
 use specslice_fsa::{mrd, Dfa};
 use specslice_pds::poststar::poststar_indexed_with_stats;
 use specslice_pds::SaturationScratch;
 use specslice_sdg::Sdg;
+use std::sync::Arc;
 
 /// Removes the feature identified by the forward stack-configuration slice
 /// from `criterion`, returning the residual specialization slice.
@@ -37,16 +39,24 @@ use specslice_sdg::Sdg;
 pub fn remove_feature(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
     let enc = encode::encode_sdg(sdg);
     let reachable = criteria::reachable_configurations(sdg, &enc);
-    remove_feature_reusing(sdg, &enc, &reachable, criterion)
+    remove_feature_reusing(
+        sdg,
+        &enc,
+        &reachable,
+        criterion,
+        &Arc::new(VariantStore::new()),
+    )
 }
 
-/// [`remove_feature`] against a session's cached encoding and reachable
-/// automaton (Alg. 2 always needs both).
+/// [`remove_feature`] against a session's cached encoding, reachable
+/// automaton (Alg. 2 always needs both), and variant store (the residual
+/// slice's content is interned there).
 pub fn remove_feature_reusing(
     sdg: &Sdg,
     enc: &encode::Encoded,
     reachable: &specslice_fsa::Nfa,
     criterion: &Criterion,
+    store: &Arc<VariantStore>,
 ) -> Result<SpecSlice, SpecError> {
     let ac = criteria::query_automaton_reusing(sdg, enc, Some(reachable), criterion)?;
     // A0 = Poststar(A_C): the feature, as a configuration language. The
@@ -61,7 +71,14 @@ pub fn remove_feature_reusing(
     let (a1, _) = a1.trimmed();
     // Continue at line 4 of Alg. 1.
     let a6 = mrd(&a1);
-    readout::read_out(sdg, enc, &a6)
+    readout::read_out_in(
+        sdg,
+        enc,
+        &a6,
+        true,
+        &mut readout::ReadoutScratch::default(),
+        store,
+    )
 }
 
 #[cfg(test)]
@@ -137,7 +154,7 @@ mod tests {
         assert_eq!(kept, vec![0, 2], "tally keeps sum and N, drops prod");
 
         // `prod = 1` and the prod printf are gone from main.
-        let main_variant = &slice.variants[slice.main_variant.unwrap()];
+        let main_variant = slice.variant(slice.main_variant.unwrap());
         assert!(!main_variant.vertices.contains(&prod_init));
 
         // The program regenerates, re-checks, and its tally has 2 params.
@@ -201,7 +218,7 @@ mod tests {
             .nth(1)
             .unwrap();
         let slice = remove_feature(&sdg, &Criterion::vertex(dead)).unwrap();
-        let main_variant = &slice.variants[slice.main_variant.unwrap()];
+        let main_variant = slice.variant(slice.main_variant.unwrap());
         // Everything except `dead = 2` survives.
         assert!(!main_variant.vertices.contains(&dead));
         assert!(main_variant.vertices.contains(&main.entry));

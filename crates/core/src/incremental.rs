@@ -18,11 +18,14 @@
 //!    whenever the edit cannot have changed it — i.e. no rebuilt procedure
 //!    is call-reachable from `main` — and dropped for lazy rebuild
 //!    otherwise;
-//! 5. memo entries are kept (identifier-remapped and re-canonicalized)
-//!    unless the edit's *impact region* — every procedure call-reachable
-//!    from a rebuilt one — intersects the procedures their slice mentions.
+//! 5. memo entries are kept (identifier-remapped, re-canonicalized, and
+//!    re-read-out once into the session's fresh [`VariantStore`] — the
+//!    superseded store's rows are keyed by pre-edit vertex ids) unless the
+//!    edit's *impact region* — every procedure call-reachable from a
+//!    rebuilt one — intersects the procedures their slice mentions.
 //!    Unaffected criteria are then answered without re-running `post*`,
-//!    `Prestar`, or the MRD pipeline.
+//!    `Prestar`, the MRD pipeline, or the read-out: a hit clones the
+//!    cached `VariantId` rows.
 //!
 //! The contract is exact: after `apply_edit`, every query answers
 //! byte-for-byte what a fresh `Slicer` on the edited program would answer
@@ -31,14 +34,16 @@
 //! changes cost, never results.
 
 use crate::encode;
-use crate::slicer::{MemoEntry, MemoKey, Slicer};
+use crate::readout::{self, ReadoutScratch};
+use crate::slicer::{CachedSlice, MemoEntry, MemoKey, Slicer};
+use crate::store::VariantStore;
 use crate::SpecError;
 use specslice_fsa::{canonicalize_mrd, Nfa, Symbol};
 use specslice_lang::{Program, ProgramDelta};
 use specslice_sdg::build::build_sdg;
 use specslice_sdg::{patch_sdg, CallSiteId, CalleeKind, ProcId, Sdg, SdgPatch, VertexId};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// What one [`Slicer::apply_edit`] call reused versus recomputed.
 #[derive(Clone, Debug, Default)]
@@ -202,20 +207,53 @@ impl Slicer {
 
         // Migrate the memo: remap identifiers, keep what the impact region
         // provably spares, re-canonicalize so a memo hit is byte-identical
-        // to a fresh computation on the edited program.
+        // to a fresh computation on the edited program. The edit also
+        // replaces the session's variant store (the old store's rows are
+        // keyed by pre-edit vertex ids; slices already returned keep their
+        // own handle to it), so each surviving entry's cached rows are
+        // rebuilt by re-reading the migrated automaton out into the fresh
+        // store — still skipping `Prestar` and the MRD pipeline, the two
+        // super-linear stages. Entries are migrated in key order so the
+        // fresh store's interned ids are process-deterministic.
+        let new_store = Arc::new(VariantStore::new());
         let old_memo = {
             let mut guard = self.memo.write().unwrap_or_else(|e| e.into_inner());
             std::mem::take(&mut *guard)
         };
+        let mut old_entries: Vec<(MemoKey, MemoEntry)> = old_memo.into_iter().collect();
+        old_entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut scratch = ReadoutScratch::default();
         let mut kept: HashMap<MemoKey, MemoEntry> = HashMap::new();
         let mut dropped = 0usize;
-        for (key, entry) in old_memo {
+        for (key, entry) in old_entries {
             let survives = mentions(&key, &entry.a6).is_disjoint(&impact);
             let migrated = survives
                 .then(|| {
                     let nk = key.remap(|v| patch.map_vertex(v), |c| patch.map_call_site(c))?;
                     let a6 = canonicalize_mrd(&entry.a6.remap_symbols(sym_map)?);
-                    Some((nk, MemoEntry { a6, ..entry }))
+                    // Read out against a throwaway store first: a read-out
+                    // that fails halfway must not strand the rows it
+                    // already interned in the session's fresh store.
+                    let staging = Arc::new(VariantStore::new());
+                    let slice = readout::read_out_in(
+                        &patch.sdg,
+                        &enc,
+                        &a6,
+                        self.config.validate,
+                        &mut scratch,
+                        &staging,
+                    )
+                    .ok()?
+                    .reintern_into(&new_store);
+                    let cached = CachedSlice::of(&slice);
+                    Some((
+                        nk,
+                        MemoEntry {
+                            a6,
+                            cached,
+                            ..entry
+                        },
+                    ))
                 })
                 .flatten();
             match migrated {
@@ -259,6 +297,7 @@ impl Slicer {
         self.program = Some(new_program);
         self.sdg = patch.sdg;
         self.enc = enc;
+        self.store = new_store;
         self.reachable = reachable;
         *self.memo.write().unwrap_or_else(|e| e.into_inner()) = kept;
         report
@@ -277,6 +316,7 @@ impl Slicer {
         self.program = Some(new_program);
         self.sdg = sdg;
         self.enc = enc;
+        self.store = Arc::new(VariantStore::new());
         self.reachable = OnceLock::new();
         self.memo.write().unwrap_or_else(|e| e.into_inner()).clear();
         Ok(EditReport {

@@ -18,8 +18,12 @@
 //! 3. run `Prestar` — *stack-configuration slicing* of the possibly
 //!    infinite unrolled SDG;
 //! 4. build the minimal reverse-deterministic automaton (`specslice_fsa::mrd`);
-//! 5. [`readout`] the specialized SDG from the automaton, and [`regen`]erate
-//!    executable MiniC source.
+//! 5. [`readout`] the specialized SDG from the automaton — variant content
+//!    is interned into the session's [`VariantStore`] — and [`regen`]erate
+//!    executable MiniC source; for a whole criterion *set*,
+//!    [`Slicer::specialize_program`] merges every criterion's variants
+//!    (deduplicated by content interning) into one specialized program
+//!    ([`mod@specialize`]).
 //!
 //! Also implemented: feature removal via forward stack-configuration slicing
 //! ([`feature_removal`], Alg. 2), the §6.2 indirect-call transformation
@@ -84,12 +88,16 @@ pub mod readout;
 pub mod regen;
 pub mod reslice;
 pub mod slicer;
+pub mod specialize;
 pub mod stats;
+pub mod store;
 
 pub use criteria::Criterion;
 pub use incremental::EditReport;
-pub use readout::{SpecSlice, VariantPdg};
+pub use readout::{SpecSlice, VariantMeta, VariantPdg};
 pub use slicer::{BatchResult, Slicer, SlicerConfig};
+pub use specialize::{MergedFunction, SpecializedProgram};
+pub use store::{StoreStats, VariantId, VariantStore};
 // Batch slicing reports per-worker accounting in [`BatchResult::per_thread`];
 // re-exported so clients can name the type without a `specslice-exec` dep.
 pub use specslice_exec::WorkerStats;
@@ -211,7 +219,8 @@ impl From<LangError> for SpecError {
 pub fn specialize(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
     let enc = encode::encode_sdg(sdg);
     let query = criteria::query_automaton(sdg, &enc, criterion)?;
-    slicer::run_query(sdg, &enc, &query, true).map(|(s, _)| s)
+    let store = std::sync::Arc::new(VariantStore::new());
+    slicer::run_query(sdg, &enc, &query, true, &store).map(|(s, _)| s)
 }
 
 /// Sizes (and wall-clock) observed along the Alg. 1 pipeline.

@@ -1,22 +1,31 @@
-//! Regenerating executable source from a specialization slice
+//! Regenerating executable source from specialized variants
 //! (Alg. 1, step 5 — "pretty-print the specialized SDG").
 //!
-//! Each [`VariantPdg`] becomes one MiniC function: statements whose anchor
-//! vertex is in the variant are kept, the signature keeps exactly the
-//! parameters whose formal vertices are kept, and every call site targets
-//! the callee *variant* chosen by the MRD automaton. The regenerated
-//! program is re-normalized and re-checked, so the output is executable by
-//! construction; origin maps (new statement → original statement, new
-//! parameter index → original index) support the §8.3 reslicing check.
+//! Each emitted variant becomes one MiniC function: statements whose anchor
+//! vertex is in the variant's (interned, sorted) vertex row are kept, the
+//! signature keeps exactly the parameters whose formal vertices are kept,
+//! and every call site targets the callee *variant* chosen by the MRD
+//! automaton. The regenerated program is re-normalized and re-checked, so
+//! the output is executable by construction; origin maps (new statement →
+//! original statement, new parameter index → original index) support the
+//! §8.3 reslicing check.
+//!
+//! Two producers share the emitter: [`regenerate`] turns one [`SpecSlice`]
+//! into a program, and the whole-program driver
+//! ([`crate::Slicer::specialize_program`]) emits the merged variant set of
+//! many criteria at once — each deduplicated variant is emitted (and
+//! pretty-printed) exactly once, no matter how many criteria demanded it,
+//! and a synthesized `main` drives the per-criterion `main` variants when
+//! the criteria disagree about `main`.
 
-use crate::readout::{SpecSlice, VariantPdg};
+use crate::readout::{kept_params_row, SpecSlice};
 use crate::SpecError;
 use specslice_lang::ast::{
     Block, CallStmt, Callee, Expr, Function, Param, Program, RetKind, Stmt, StmtId, StmtKind,
 };
 use specslice_lang::{normalize, pretty, sema};
-use specslice_sdg::{CallSiteId, OutSlot, Sdg, VertexId, VertexKind};
-use std::collections::{BTreeSet, HashMap};
+use specslice_sdg::{CallSiteId, OutSlot, ProcId, Sdg, VertexId, VertexKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// A regenerated (specialized) program plus provenance maps.
 #[derive(Clone, Debug)]
@@ -27,10 +36,44 @@ pub struct RegenOutput {
     pub source: String,
     /// New statement id → original statement id.
     pub stmt_origin: HashMap<StmtId, StmtId>,
-    /// New function name → index of its variant in the input slice.
+    /// New function name → index of its variant in the emitted set (for
+    /// [`regenerate`]: the variant's index in the input slice; for
+    /// `specialize_program`: the merged function index).
     pub variant_of_function: HashMap<String, usize>,
     /// New function name → (new param index → original param index).
     pub param_maps: HashMap<String, Vec<usize>>,
+}
+
+/// One function to emit: a named variant with its (sorted, dense) vertex
+/// row and its resolved callee indices (into the same emit list).
+#[derive(Clone, Debug)]
+pub(crate) struct EmitFn {
+    /// The emitted function's name.
+    pub(crate) name: String,
+    /// The original procedure it specializes.
+    pub(crate) proc: ProcId,
+    /// Sorted dense vertex row (the variant's `Elems`).
+    pub(crate) row: Vec<u32>,
+    /// Original call site → index (into the emit list) of the callee.
+    pub(crate) calls: BTreeMap<CallSiteId, usize>,
+}
+
+impl EmitFn {
+    fn contains(&self, v: VertexId) -> bool {
+        self.row.binary_search(&v.0).is_ok()
+    }
+}
+
+/// How the emitted program gets its entry point.
+#[derive(Clone, Debug)]
+pub(crate) enum EmitMain {
+    /// Empty slice: emit a runnable empty `main`.
+    Empty,
+    /// One `main` variant (named `main`) — the single-criterion shape.
+    Single(usize),
+    /// Several `main` variants (named `main__k`): synthesize a `main` that
+    /// invokes each listed one in order.
+    Driver(Vec<usize>),
 }
 
 /// Anchors: original statement → its anchor vertex, and statement → site.
@@ -74,37 +117,118 @@ pub fn regenerate(
     program: &Program,
     slice: &SpecSlice,
 ) -> Result<RegenOutput, SpecError> {
+    // §6.2: functions whose address is taken keep their original name as an
+    // *empty stub* (the pointer-value space), so their variants are always
+    // suffixed even when unique.
+    let addr_taken = address_taken(program);
+    let mut per_proc_seen: HashMap<ProcId, usize> = HashMap::new();
+    let mut fns: Vec<EmitFn> = Vec::with_capacity(slice.variant_count());
+    for (i, meta) in slice.metas().iter().enumerate() {
+        let base = &sdg.proc(meta.proc).name;
+        let k = per_proc_seen.entry(meta.proc).or_insert(0);
+        *k += 1;
+        let name = if addr_taken.contains(base) {
+            crate::readout::variant_name(base, 0, *k, true)
+        } else {
+            meta.name.clone()
+        };
+        fns.push(EmitFn {
+            name,
+            proc: meta.proc,
+            row: slice.row_dense(i),
+            calls: meta.calls.clone(),
+        });
+    }
+    let main = match slice.main_variant {
+        Some(i) => EmitMain::Single(i),
+        None => EmitMain::Empty,
+    };
+    emit_program(sdg, program, &fns, &main)
+}
+
+/// Emits one executable program from a set of specialized variants: the
+/// shared back half of [`regenerate`] and
+/// [`crate::Slicer::specialize_program`].
+pub(crate) fn emit_program(
+    sdg: &Sdg,
+    program: &Program,
+    fns: &[EmitFn],
+    main: &EmitMain,
+) -> Result<RegenOutput, SpecError> {
     let anchors = anchors(sdg);
     let mut functions = Vec::new();
     let mut variant_of_function = HashMap::new();
     let mut param_maps = HashMap::new();
 
-    // §6.2: functions whose address is taken keep their original name as an
-    // *empty stub* (the pointer-value space), so their variants are always
-    // suffixed even when unique.
-    let addr_taken = address_taken(program);
-    let mut names: Vec<String> = slice.variants.iter().map(|v| v.name.clone()).collect();
-    let mut per_proc_seen: HashMap<specslice_sdg::ProcId, usize> = HashMap::new();
-    for (i, v) in slice.variants.iter().enumerate() {
-        let base = &sdg.proc(v.proc).name;
-        let k = per_proc_seen.entry(v.proc).or_insert(0);
-        *k += 1;
-        if addr_taken.contains(base) {
-            names[i] = format!("{base}__{k}");
-        }
-    }
-
     // Emit variants grouped by original function order.
-    let mut order: Vec<usize> = (0..slice.variants.len()).collect();
-    order.sort_by_key(|&i| (slice.variants[i].proc.0, i));
+    let mut order: Vec<usize> = (0..fns.len()).collect();
+    order.sort_by_key(|&i| (fns[i].proc.0, i));
 
     for &vi in &order {
-        let variant = &slice.variants[vi];
-        let original = &program.functions[variant.proc.index()];
-        let f = emit_variant(sdg, program, slice, variant, &names, vi, original, &anchors)?;
+        let original = &program.functions[fns[vi].proc.index()];
+        let f = emit_fn(sdg, program, fns, vi, original, &anchors)?;
         variant_of_function.insert(f.name.clone(), vi);
-        param_maps.insert(f.name.clone(), variant.kept_params(sdg));
+        param_maps.insert(
+            f.name.clone(),
+            kept_params_row(sdg, fns[vi].proc, &fns[vi].row),
+        );
         functions.push(f);
+    }
+
+    match main {
+        EmitMain::Empty => {
+            // Empty slice: still produce a runnable (empty) program.
+            functions.push(Function {
+                name: "main".into(),
+                ret: RetKind::Int,
+                params: Vec::new(),
+                body: Block::default(),
+                line: 0,
+            });
+        }
+        EmitMain::Single(mi) => {
+            // The entry variant keeps the name `main` — with one legitimate
+            // exception: a program that takes `main`'s address forces the
+            // §6.2 rename to `main__1`, and the surviving-FuncRef stub pass
+            // below re-emits an (empty) `main` as the pointer-value space.
+            if fns[*mi].name != "main" && !address_taken(program).contains("main") {
+                return Err(SpecError::internal(
+                    "regen",
+                    format!(
+                        "single-main emission requires the entry variant to keep the \
+                         name `main` (got `{}`)",
+                        fns[*mi].name
+                    ),
+                ));
+            }
+        }
+        EmitMain::Driver(mains) => {
+            // The criteria disagree about `main`: every `main` variant is a
+            // suffixed function, and a synthesized entry point runs each in
+            // order. (Globals persist across the calls — the driver
+            // documents and exercises every variant, it does not replay
+            // each criterion's program from a pristine heap.)
+            let stmts = mains
+                .iter()
+                .map(|&mi| {
+                    Stmt::new(
+                        0,
+                        StmtKind::Call(CallStmt {
+                            callee: Callee::Named(fns[mi].name.clone()),
+                            args: Vec::new(),
+                            assign_to: None,
+                        }),
+                    )
+                })
+                .collect();
+            functions.push(Function {
+                name: "main".into(),
+                ret: RetKind::Int,
+                params: Vec::new(),
+                body: Block { stmts },
+                line: 0,
+            });
+        }
     }
 
     // Address stubs: emptied originals retained for FuncRefs that survive.
@@ -136,16 +260,6 @@ pub fn regenerate(
                 line: orig.line,
             });
         }
-    }
-    if slice.main_variant.is_none() {
-        // Empty slice: still produce a runnable (empty) program.
-        functions.push(Function {
-            name: "main".into(),
-            ret: RetKind::Int,
-            params: Vec::new(),
-            body: Block::default(),
-            line: 0,
-        });
     }
 
     // Globals actually used by the emitted bodies, in original order.
@@ -187,7 +301,10 @@ pub fn regenerate(
         .filter(|(_, old)| *old != StmtId::UNASSIGNED)
         .collect();
 
-    let source = pretty(&normalized);
+    // Render into one pre-sized buffer; each deduplicated variant is
+    // printed exactly once, however many criteria demanded it.
+    let mut source = String::with_capacity(1024);
+    pretty::pretty_program_into(&normalized, &mut source);
     Ok(RegenOutput {
         program: normalized,
         source,
@@ -197,21 +314,19 @@ pub fn regenerate(
     })
 }
 
-#[allow(clippy::too_many_arguments)]
-fn emit_variant(
+fn emit_fn(
     sdg: &Sdg,
     program: &Program,
-    slice: &SpecSlice,
-    variant: &VariantPdg,
-    names: &[String],
-    variant_idx: usize,
+    fns: &[EmitFn],
+    vi: usize,
     original: &Function,
     anchors: &Anchors,
 ) -> Result<Function, SpecError> {
-    let kept = variant.kept_params(sdg);
+    let this = &fns[vi];
+    let kept = kept_params_row(sdg, this.proc, &this.row);
     let params: Vec<Param> = kept.iter().map(|&i| original.params[i].clone()).collect();
 
-    let body = emit_block(sdg, slice, variant, names, &original.body, anchors)?;
+    let body = emit_block(sdg, fns, vi, &original.body, anchors)?;
 
     // Local declarations: every local name used in the body that is neither
     // a kept parameter, a global, nor declared by a kept Decl statement.
@@ -268,18 +383,18 @@ fn emit_variant(
     // parameter name that still appears in a kept by-ref argument of the
     // caller) is a bug at this level.
     for u in &used {
-        let is_fn = program.function(u).is_some() || slice.variants.iter().any(|v| v.name == *u);
+        let is_fn = program.function(u).is_some() || fns.iter().any(|f| f.name == *u);
         if !declared.contains(u) && !program.is_global(u) && !is_fn {
             return Err(SpecError::internal(
                 "regen",
-                format!("variant `{}` uses undeclared `{u}`", variant.name),
+                format!("variant `{}` uses undeclared `{u}`", this.name),
             ));
         }
     }
     let mut stmts = decls;
     stmts.extend(body.stmts);
     Ok(Function {
-        name: names[variant_idx].clone(),
+        name: this.name.clone(),
         ret: original.ret,
         params,
         body: Block { stmts },
@@ -289,18 +404,18 @@ fn emit_variant(
 
 fn emit_block(
     sdg: &Sdg,
-    slice: &SpecSlice,
-    variant: &VariantPdg,
-    names: &[String],
+    fns: &[EmitFn],
+    vi: usize,
     block: &Block,
     anchors: &Anchors,
 ) -> Result<Block, SpecError> {
+    let this = &fns[vi];
     let mut out = Vec::new();
     for s in &block.stmts {
         let kept = anchors
             .stmt_vertex
             .get(&s.id)
-            .is_some_and(|v| variant.vertices.contains(v));
+            .is_some_and(|&v| this.contains(v));
         match &s.kind {
             StmtKind::Decl { .. } => {
                 if kept {
@@ -330,30 +445,30 @@ fn emit_block(
                     out.push(reid(s.id, s.line, s.kind.clone()));
                     continue;
                 }
-                let callee_idx = *variant.calls.get(&site).ok_or_else(|| {
+                let callee_idx = *this.calls.get(&site).ok_or_else(|| {
                     SpecError::internal(
                         "regen",
                         format!(
                             "variant `{}` keeps a call at {site:?} with no callee variant",
-                            variant.name
+                            this.name
                         ),
                     )
                 })?;
-                let callee_variant = &slice.variants[callee_idx];
-                let kept_params = callee_variant.kept_params(sdg);
+                let callee = &fns[callee_idx];
+                let kept_params = kept_params_row(sdg, callee.proc, &callee.row);
                 let args: Vec<Expr> = kept_params.iter().map(|&i| c.args[i].clone()).collect();
                 // Keep the result assignment only when the return actual-out
                 // survives in this variant.
                 let site_rec = sdg.call_site(site);
                 let ret_kept = sdg
                     .actual_out_for_slot(site_rec, &OutSlot::Ret)
-                    .is_some_and(|ao| variant.vertices.contains(&ao));
+                    .is_some_and(|ao| this.contains(ao));
                 let assign_to = if ret_kept { c.assign_to.clone() } else { None };
                 out.push(reid(
                     s.id,
                     s.line,
                     StmtKind::Call(CallStmt {
-                        callee: Callee::Named(names[callee_idx].clone()),
+                        callee: Callee::Named(callee.name.clone()),
                         args,
                         assign_to,
                     }),
@@ -364,9 +479,9 @@ fn emit_block(
                 then_block,
                 else_block,
             } => {
-                let then_b = emit_block(sdg, slice, variant, names, then_block, anchors)?;
+                let then_b = emit_block(sdg, fns, vi, then_block, anchors)?;
                 let else_b = match else_block {
-                    Some(e) => Some(emit_block(sdg, slice, variant, names, e, anchors)?),
+                    Some(e) => Some(emit_block(sdg, fns, vi, e, anchors)?),
                     None => None,
                 };
                 if kept {
@@ -394,7 +509,7 @@ fn emit_block(
                 }
             }
             StmtKind::While { cond, body } => {
-                let body_b = emit_block(sdg, slice, variant, names, body, anchors)?;
+                let body_b = emit_block(sdg, fns, vi, body, anchors)?;
                 if kept {
                     out.push(reid(
                         s.id,
@@ -450,7 +565,7 @@ fn collect_funcrefs_expr(e: &Expr, out: &mut BTreeSet<String>) {
 }
 
 /// Function names whose address is taken anywhere in `p`.
-fn address_taken(p: &Program) -> BTreeSet<String> {
+pub(crate) fn address_taken(p: &Program) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     p.visit_all(|_, s| match &s.kind {
         StmtKind::Decl { init: Some(e), .. } | StmtKind::Assign { value: e, .. } => {

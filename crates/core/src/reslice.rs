@@ -85,10 +85,13 @@ pub fn reslice_check_reusing(
     }
 
     // Slice R (against the encoding already built above) and compare
-    // languages.
+    // languages. R is a different program, so its slice content goes into a
+    // transient store — the session store only ever holds rows keyed by the
+    // original program's vertex ids.
     let query_r =
         criteria::query_automaton_reusing(&sdg_r, &enc_r, None, &Criterion::Automaton(c_prime))?;
-    let (slice_r, _) = crate::slicer::run_query(&sdg_r, &enc_r, &query_r, true)?;
+    let store_r = std::sync::Arc::new(crate::store::VariantStore::new());
+    let (slice_r, _) = crate::slicer::run_query(&sdg_r, &enc_r, &query_r, true, &store_r)?;
     // Map any leftover symbols to a fresh sink symbol so relabel is total.
     let sink = Symbol(u32::MAX);
     for (_, l, _) in slice_r.a6.transitions() {
@@ -120,7 +123,7 @@ fn symbol_map_with_slice(
         if matches!(sdg_r.vertex(v).kind, VertexKind::Entry) {
             let name = &sdg_r.proc(sdg_r.vertex(v).proc).name;
             if let Some(&vi) = regen.variant_of_function.get(name) {
-                let s_proc = slice_s.variants[vi].proc;
+                let s_proc = slice_s.meta(vi).proc;
                 map.insert(
                     enc_r.vertex_symbol(v),
                     enc_s.vertex_symbol(sdg_s.proc(s_proc).entry),

@@ -15,17 +15,20 @@
 //! batch out over a [`specslice_exec::Pool`] of worker threads (see
 //! [`SlicerConfig::num_threads`]). Each worker owns a private
 //! `QueryScratch` — the saturation rows/worklists and read-out tables of
-//! the whole criterion-dependent pipeline — allocated once per thread and
-//! reset between criteria; the shared `Sdg`, PDS encoding (with its
-//! prebuilt rule index), and reachable automaton are borrowed immutably by
-//! all workers. Results are assembled in input order, so batch output is
-//! bit-for-bit identical at every thread count.
+//! the whole criterion-dependent pipeline, plus a private [`VariantStore`]
+//! shard its read-outs intern into; the shared `Sdg`, PDS encoding (with
+//! its prebuilt rule index), and reachable automaton are borrowed immutably
+//! by all workers. Results are assembled in input order and *adopted* into
+//! the session's variant store in that order, so batch output — including
+//! the store's interned ids and dedup counters — is bit-for-bit identical
+//! at every thread count.
 
 use crate::criteria::{self, Criterion};
 use crate::encode::{self, Encoded, MAIN_CONTROL};
-use crate::readout::{self, ReadoutScratch, SpecSlice};
+use crate::readout::{self, ReadoutScratch, SpecSlice, VariantMeta};
 use crate::regen::{self, RegenOutput};
 use crate::reslice::{self, ResliceReport};
+use crate::store::{StoreStats, VariantId, VariantStore};
 use crate::{feature_removal, PipelineStats, SpecError};
 use specslice_exec::{Pool, WorkerStats};
 use specslice_fsa::mrd::mrd_with_stats;
@@ -37,7 +40,7 @@ use specslice_sdg::build::build_sdg;
 use specslice_sdg::{CallSiteId, Sdg, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 /// Options for a [`Slicer`] session.
@@ -69,9 +72,12 @@ pub struct SlicerConfig {
     /// Memoize criterion → slice results (on by default). Repeated criteria
     /// — within one batch, across batches, or across
     /// [`Slicer::apply_edit`]s — are answered from the cache without
-    /// re-running `Prestar`; after an edit, entries whose slice region the
-    /// edit cannot have touched are kept (identifier-remapped), so an
-    /// edit-reslice loop only recomputes the criteria the edit affected.
+    /// re-running `Prestar` *or* the read-out: the memo keeps the canonical
+    /// MRD automaton plus the slice's interned [`VariantId`] rows, so a hit
+    /// only clones ids and metadata. After an edit, entries whose slice
+    /// region the edit cannot have touched are kept (identifier-remapped
+    /// and re-interned into the fresh store), so an edit-reslice loop only
+    /// recomputes the criteria the edit affected.
     pub memoize: bool,
 }
 
@@ -104,7 +110,8 @@ pub struct BatchResult {
 }
 
 /// A slicing session over one program: cached SDG, cached PDS encoding,
-/// lazily cached reachable-configuration automaton.
+/// lazily cached reachable-configuration automaton, and the shared
+/// [`VariantStore`] every slice's content is interned into.
 ///
 /// Construction runs everything that depends only on the program; every
 /// query method ([`slice`](Slicer::slice), [`slice_batch`](Slicer::slice_batch),
@@ -119,21 +126,25 @@ pub struct Slicer {
     pub(crate) sdg: Sdg,
     pub(crate) enc: Encoded,
     pub(crate) config: SlicerConfig,
+    /// The session variant store: every slice this session returns interns
+    /// its variant content here (batch workers intern into private shards
+    /// first; results are re-interned in input order).
+    pub(crate) store: Arc<VariantStore>,
     /// `post*({⟨entry_main, ε⟩})` as an NFA — needed by all-contexts
     /// criteria and feature removal; built on first use, then shared.
     pub(crate) reachable: OnceLock<Nfa>,
     pub(crate) reachable_builds: AtomicUsize,
     queries_run: AtomicUsize,
-    /// Criterion → canonical MRD automaton memo (see
-    /// [`SlicerConfig::memoize`]). Shared read-mostly across batch workers;
-    /// [`Slicer::apply_edit`] rewrites it wholesale under `&mut self`.
+    /// Criterion → cached-slice memo (see [`SlicerConfig::memoize`]).
+    /// Shared read-mostly across batch workers; [`Slicer::apply_edit`]
+    /// rewrites it wholesale under `&mut self`.
     pub(crate) memo: RwLock<HashMap<MemoKey, MemoEntry>>,
     memo_hits: AtomicUsize,
 }
 
 /// Canonical, order-independent memo key for a criterion. Criteria over raw
 /// automata are not memoized (their languages have no cheap canonical key).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) enum MemoKey {
     /// Sorted, deduplicated vertex ids of an all-contexts criterion.
     AllContexts(Vec<u32>),
@@ -141,13 +152,34 @@ pub(crate) enum MemoKey {
     Configurations(Vec<(u32, Vec<u32>)>),
 }
 
-/// What the memo retains per criterion: the canonical MRD automaton (the
-/// expensive part of a query) plus the pipeline sizes observed when it was
-/// first computed. Read-out re-runs per hit — it is linear in the automaton
-/// and keeps scratch reuse and validation behavior identical to a miss.
+/// A slice as the memo retains it: the interned content ids plus the
+/// positional metadata — everything [`SpecSlice`] owns except the store
+/// handle and the automaton. A memo hit clones this and is done; no
+/// read-out runs.
+#[derive(Clone, Debug)]
+pub(crate) struct CachedSlice {
+    pub(crate) ids: Vec<VariantId>,
+    pub(crate) metas: Vec<VariantMeta>,
+    pub(crate) main_variant: Option<usize>,
+}
+
+impl CachedSlice {
+    pub(crate) fn of(slice: &SpecSlice) -> CachedSlice {
+        CachedSlice {
+            ids: slice.variant_ids().to_vec(),
+            metas: slice.metas().to_vec(),
+            main_variant: slice.main_variant,
+        }
+    }
+}
+
+/// What the memo retains per criterion: the canonical MRD automaton, the
+/// cached slice (session-store [`VariantId`] rows), and the pipeline sizes
+/// observed when the entry was first computed.
 #[derive(Clone, Debug)]
 pub(crate) struct MemoEntry {
     pub(crate) a6: Nfa,
+    pub(crate) cached: CachedSlice,
     pub(crate) stats: PipelineStats,
 }
 
@@ -208,20 +240,47 @@ impl MemoKey {
     }
 }
 
+/// One criterion's raw outcome, before the session adopts it: the slice
+/// (possibly still shard-interned), its stats, and what the memo should do
+/// with it.
+pub(crate) struct Answer {
+    slice: SpecSlice,
+    stats: PipelineStats,
+    key: Option<MemoKey>,
+    from_memo: bool,
+}
+
 /// One outcome per batch criterion, in input order.
-type RawBatch = Vec<Result<(SpecSlice, PipelineStats), SpecError>>;
+type RawBatch = Vec<Result<Answer, SpecError>>;
 
 /// The per-worker working memory of the criterion-dependent pipeline:
-/// saturation rows/worklists plus read-out tables. One `QueryScratch` is
-/// allocated per worker thread (or per sequential loop) and reset — not
-/// reallocated — between criteria, so the hot loop runs against warm
-/// buffers and never contends on the global allocator for its working set.
-#[derive(Debug, Default)]
+/// saturation rows/worklists, read-out tables, and a private
+/// [`VariantStore`] shard the worker's read-outs intern into. One
+/// `QueryScratch` is allocated per worker thread (or per sequential loop)
+/// and reset — not reallocated — between criteria, so the hot loop runs
+/// against warm buffers and never contends on the global allocator (or the
+/// session store's lock) for its working set.
+#[derive(Debug)]
 pub(crate) struct QueryScratch {
     /// `Prestar` saturation buffers (dense rows, worklist, pending table).
     pub(crate) sat: SaturationScratch,
     /// Read-out stage tables.
     pub(crate) readout: ReadoutScratch,
+    /// The worker's private intern shard. Slices produced against it are
+    /// re-interned into the session store when the batch is adopted, in
+    /// input order — which is what makes session ids thread-count-
+    /// independent.
+    pub(crate) shard: Arc<VariantStore>,
+}
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        QueryScratch {
+            sat: SaturationScratch::default(),
+            readout: ReadoutScratch::default(),
+            shard: Arc::new(VariantStore::new()),
+        }
+    }
 }
 
 /// The session is shared immutably across batch worker threads.
@@ -284,6 +343,7 @@ impl Slicer {
             sdg,
             enc,
             config,
+            store: Arc::new(VariantStore::new()),
             reachable: OnceLock::new(),
             reachable_builds: AtomicUsize::new(0),
             queries_run: AtomicUsize::new(0),
@@ -313,6 +373,19 @@ impl Slicer {
         &self.config
     }
 
+    /// The session's variant store. Every slice this session returns
+    /// interns its variant content here; [`Slicer::apply_edit`] replaces it
+    /// (old slices keep their own handle to the superseded store).
+    pub fn variant_store(&self) -> &Arc<VariantStore> {
+        &self.store
+    }
+
+    /// Deterministic counters of the session store (interned variants,
+    /// intern calls, cross-criterion dedup hits, flat-row bytes).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
     /// How many times the reachable-configuration automaton was built
     /// (0 until a criterion needs it, then 1 forever — it is cached, and
     /// the cache is race-free even when a parallel batch forces it).
@@ -327,7 +400,7 @@ impl Slicer {
     }
 
     /// Queries answered from the criterion → slice memo without re-running
-    /// `Prestar` (see [`SlicerConfig::memoize`]).
+    /// `Prestar` or the read-out (see [`SlicerConfig::memoize`]).
     pub fn memo_hits(&self) -> usize {
         self.memo_hits.load(Ordering::Relaxed)
     }
@@ -357,51 +430,107 @@ impl Slicer {
     }
 
     /// The full criterion-dependent pipeline for one criterion, against
-    /// caller-owned query scratch (one per batch worker).
+    /// caller-owned query scratch (one per batch worker). Read-out interns
+    /// into `store` — the session store on direct paths, the worker's
+    /// private shard inside parallel batches.
     fn answer_in(
         &self,
         criterion: &Criterion,
         scratch: &mut QueryScratch,
-    ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+        store: &Arc<VariantStore>,
+    ) -> Result<Answer, SpecError> {
         let start = Instant::now();
         let key = if self.config.memoize {
             memo_key(criterion)
         } else {
             None
         };
-        // Memo hit: the canonical MRD automaton is cached, so only the
-        // (linear) read-out re-runs — `Prestar` and the determinize/minimize
-        // pipeline, the two super-linear stages, are skipped entirely.
+        // Memo hit: the canonical MRD automaton *and* the read-out result
+        // (interned rows + metadata) are cached — the whole criterion
+        // pipeline is skipped and the hit just clones ids.
         if let Some(k) = &key {
-            let cached = self.memo.read().ok().and_then(|memo| memo.get(k).cloned());
-            if let Some(entry) = cached {
+            let cached = self.memo.read().ok().and_then(|memo| {
+                memo.get(k)
+                    .map(|e| (e.a6.clone(), e.cached.clone(), e.stats))
+            });
+            if let Some((a6, cached, mut stats)) = cached {
                 self.queries_run.fetch_add(1, Ordering::Relaxed);
                 self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                let slice = readout::read_out_in(
-                    &self.sdg,
-                    &self.enc,
-                    &entry.a6,
-                    self.config.validate,
-                    &mut scratch.readout,
-                )?;
-                let mut stats = entry.stats;
+                let slice = SpecSlice::from_parts(
+                    self.store.clone(),
+                    cached.ids,
+                    cached.metas,
+                    cached.main_variant,
+                    a6,
+                );
                 stats.query_time = start.elapsed();
-                return Ok((slice, stats));
-            }
-        }
-        let query = self.query(criterion)?;
-        let (slice, mut stats) =
-            run_query_in(&self.sdg, &self.enc, &query, self.config.validate, scratch)?;
-        stats.query_time = start.elapsed();
-        if let Some(k) = key {
-            if let Ok(mut memo) = self.memo.write() {
-                memo.entry(k).or_insert_with(|| MemoEntry {
-                    a6: slice.a6.clone(),
+                return Ok(Answer {
+                    slice,
                     stats,
+                    key,
+                    from_memo: true,
                 });
             }
         }
-        Ok((slice, stats))
+        let query = self.query(criterion)?;
+        let (slice, mut stats) = run_query_in(
+            &self.sdg,
+            &self.enc,
+            &query,
+            self.config.validate,
+            scratch,
+            store,
+        )?;
+        stats.query_time = start.elapsed();
+        Ok(Answer {
+            slice,
+            stats,
+            key,
+            from_memo: false,
+        })
+    }
+
+    /// Adopts one answer into the session: re-interns shard-produced slices
+    /// into the session store and installs the memo entry. Called in input
+    /// order for batches, which pins session-store ids (and counters) to
+    /// the input sequence regardless of thread count.
+    ///
+    /// A freshly computed answer whose key is *already* memoized — a
+    /// duplicate criterion inside one parallel batch, where workers cannot
+    /// see each other's in-flight results — is answered from the memo
+    /// instead of being re-interned, exactly as the sequential loop (which
+    /// installs entries as it goes) would have answered it. Without this,
+    /// the store's intern/dedup counters would depend on the thread count.
+    fn adopt(&self, answer: Answer) -> (SpecSlice, PipelineStats) {
+        if let (Some(k), false) = (&answer.key, answer.from_memo) {
+            let cached = self.memo.read().ok().and_then(|memo| {
+                memo.get(k)
+                    .map(|e| (e.a6.clone(), e.cached.clone(), e.stats))
+            });
+            if let Some((a6, cached, mut stats)) = cached {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                let slice = SpecSlice::from_parts(
+                    self.store.clone(),
+                    cached.ids,
+                    cached.metas,
+                    cached.main_variant,
+                    a6,
+                );
+                stats.query_time = answer.stats.query_time;
+                return (slice, stats);
+            }
+        }
+        let slice = answer.slice.reintern_into(&self.store);
+        if let (Some(k), false) = (answer.key, answer.from_memo) {
+            if let Ok(mut memo) = self.memo.write() {
+                memo.entry(k).or_insert_with(|| MemoEntry {
+                    a6: slice.a6.clone(),
+                    cached: CachedSlice::of(&slice),
+                    stats: answer.stats,
+                });
+            }
+        }
+        (slice, answer.stats)
     }
 
     /// Computes the specialization slice for `criterion` (Alg. 1), reusing
@@ -412,8 +541,7 @@ impl Slicer {
     /// [`SpecError::BadCriterion`] for malformed criteria;
     /// [`SpecError::Internal`] on invariant violations (a bug).
     pub fn slice(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
-        self.answer_in(criterion, &mut QueryScratch::default())
-            .map(|(s, _)| s)
+        self.slice_with_stats(criterion).map(|(s, _)| s)
     }
 
     /// [`slice`](Slicer::slice) plus the automaton statistics the paper's
@@ -423,7 +551,8 @@ impl Slicer {
         &self,
         criterion: &Criterion,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-        self.answer_in(criterion, &mut QueryScratch::default())
+        let answer = self.answer_in(criterion, &mut QueryScratch::default(), &self.store)?;
+        Ok(self.adopt(answer))
     }
 
     /// Answers every criterion across the session's worker pool, returning
@@ -442,7 +571,8 @@ impl Slicer {
             self.reachable();
         }
         pool.map_init_stats(criteria, QueryScratch::default, |scratch, _, criterion| {
-            self.answer_in(criterion, scratch)
+            let shard = scratch.shard.clone();
+            self.answer_in(criterion, scratch, &shard)
         })
     }
 
@@ -502,7 +632,8 @@ impl Slicer {
         let mut per_criterion = Vec::new();
         let mut aggregate = PipelineStats::default();
         for (i, result) in results.into_iter().enumerate() {
-            let (slice, stats) = result.map_err(|e| annotate_with_index(e, i))?;
+            let answer = result.map_err(|e| annotate_with_index(e, i))?;
+            let (slice, stats) = self.adopt(answer);
             slices.push(slice);
             aggregate.absorb(&stats);
             if self.config.collect_stats {
@@ -526,9 +657,10 @@ impl Slicer {
         let mut per_criterion = Vec::new();
         let mut aggregate = PipelineStats::default();
         for (i, criterion) in criteria.iter().enumerate() {
-            let (slice, stats) = self
-                .answer_in(criterion, &mut scratch)
+            let answer = self
+                .answer_in(criterion, &mut scratch, &self.store)
                 .map_err(|e| annotate_with_index(e, i))?;
+            let (slice, stats) = self.adopt(answer);
             slices.push(slice);
             aggregate.absorb(&stats);
             if self.config.collect_stats {
@@ -557,7 +689,10 @@ impl Slicer {
         results
             .into_iter()
             .enumerate()
-            .map(|(i, r)| r.map(|(s, _)| s).map_err(|e| annotate_with_index(e, i)))
+            .map(|(i, r)| {
+                r.map(|answer| self.adopt(answer).0)
+                    .map_err(|e| annotate_with_index(e, i))
+            })
             .collect()
     }
 
@@ -566,7 +701,13 @@ impl Slicer {
     /// *and* the cached reachable automaton (which Alg. 2 always needs).
     pub fn remove_feature(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
         self.queries_run.fetch_add(1, Ordering::Relaxed);
-        feature_removal::remove_feature_reusing(&self.sdg, &self.enc, self.reachable(), criterion)
+        feature_removal::remove_feature_reusing(
+            &self.sdg,
+            &self.enc,
+            self.reachable(),
+            criterion,
+            &self.store,
+        )
     }
 
     /// Regenerates executable MiniC source for a slice of this session's
@@ -619,17 +760,25 @@ fn annotate_with_index(e: SpecError, i: usize) -> SpecError {
 
 /// The criterion-dependent tail of Alg. 1: `Prestar` → trim → MRD →
 /// read-out. Shared by the session methods and the one-shot
-/// [`crate::specialize`].
+/// [`crate::specialize`]. The slice's content is interned into `store`.
 pub(crate) fn run_query(
     sdg: &Sdg,
     enc: &Encoded,
     query: &PAutomaton,
     validate: bool,
+    store: &Arc<VariantStore>,
 ) -> Result<(SpecSlice, PipelineStats), SpecError> {
     // `query_time` stays zero here: its contract includes query-automaton
     // construction, which only `Slicer::answer_in` wraps (and both callers
     // of this function discard the stats anyway).
-    run_query_in(sdg, enc, query, validate, &mut QueryScratch::default())
+    run_query_in(
+        sdg,
+        enc,
+        query,
+        validate,
+        &mut QueryScratch::default(),
+        store,
+    )
 }
 
 /// [`run_query`] against caller-owned scratch buffers, so a batch worker's
@@ -640,13 +789,14 @@ pub(crate) fn run_query_in(
     query: &PAutomaton,
     validate: bool,
     scratch: &mut QueryScratch,
+    store: &Arc<VariantStore>,
 ) -> Result<(SpecSlice, PipelineStats), SpecError> {
     let (a1, prestats) = prestar_indexed_with_stats(&enc.index, query, &mut scratch.sat)
         .map_err(|e| SpecError::internal("prestar", e.to_string()))?;
     let a1_nfa = a1.to_nfa(MAIN_CONTROL);
     let (a1_trim, _) = a1_nfa.trimmed();
     let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
-    let slice = readout::read_out_in(sdg, enc, &a6, validate, &mut scratch.readout)?;
+    let slice = readout::read_out_in(sdg, enc, &a6, validate, &mut scratch.readout, store)?;
     let stats = PipelineStats {
         pds_rules: enc.pds.rule_count(),
         prestar_transitions: prestats.transitions,

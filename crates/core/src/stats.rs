@@ -45,8 +45,8 @@ pub fn slice_stats(sdg: &Sdg, slice: &SpecSlice, criterion_vertices: &[VertexId]
     let elems = slice.elems();
 
     let mut per_proc: BTreeMap<ProcId, usize> = BTreeMap::new();
-    for v in &slice.variants {
-        *per_proc.entry(v.proc).or_insert(0) += 1;
+    for meta in slice.metas() {
+        *per_proc.entry(meta.proc).or_insert(0) += 1;
     }
     let mut variant_histogram: BTreeMap<usize, usize> = BTreeMap::new();
     for n in per_proc.values() {
@@ -61,14 +61,16 @@ pub fn slice_stats(sdg: &Sdg, slice: &SpecSlice, criterion_vertices: &[VertexId]
         }
         m
     };
+    let store = slice.store();
     let per_variant_sizes = slice
-        .variants
+        .metas()
         .iter()
-        .map(|v| {
+        .zip(slice.variant_ids())
+        .map(|(meta, &id)| {
             (
-                v.proc,
-                v.vertices.len(),
-                closure_per_proc.get(&v.proc).copied().unwrap_or(0),
+                meta.proc,
+                store.row_len(id),
+                closure_per_proc.get(&meta.proc).copied().unwrap_or(0),
             )
         })
         .collect();

@@ -1,0 +1,269 @@
+//! The session-level variant store: interned, deduplicated specialized-PDG
+//! content.
+//!
+//! Every specialized procedure a session reads out of an MRD automaton is
+//! canonically *content* — an owning procedure plus the sorted set of
+//! original SDG vertices it keeps. Multi-criterion workloads produce the
+//! same content over and over: two criteria that need the same projection
+//! of a shared helper each demand a variant with the identical vertex row.
+//! A [`VariantStore`] interns that content once: rows live in one CSR-style
+//! flat table (`offsets` + `verts`, dense `u32` vertex ids, sorted), and a
+//! [`VariantId`] is a dense index into it. A `SpecSlice` then carries
+//! `Vec<VariantId>` instead of owning one `BTreeSet<VertexId>` per variant,
+//! and the whole-program driver ([`crate::Slicer::specialize_program`])
+//! dedups variants *across* criteria by comparing interned ids instead of
+//! comparing sets.
+//!
+//! The store is append-only and shared (`Arc<VariantStore>`): readers take
+//! a short read lock, interning takes a write lock. Batch workers intern
+//! into private per-worker shard stores and the session re-interns the
+//! results in input order, so the session store's ids (and its counters)
+//! are identical at every thread count.
+
+use specslice_fsa::hash::FxHasher;
+use specslice_fsa::FxHashMap;
+use specslice_sdg::{ProcId, VertexId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::hash::Hasher;
+use std::sync::RwLock;
+
+/// Dense identifier of an interned variant (owning procedure + sorted
+/// vertex row) in a [`VariantStore`].
+///
+/// Ids name *content*: two variants with the same owning procedure and the
+/// same vertex set get the same id, no matter which criterion (or how many
+/// criteria) produced them. Ids are store-relative — comparing ids from two
+/// different stores is meaningless.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VariantId(pub u32);
+
+impl VariantId {
+    /// Dense index of the variant.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VariantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "var{}", self.0)
+    }
+}
+
+/// Deterministic counters describing a [`VariantStore`]'s contents and its
+/// interning history. All fields are pure functions of the sequence of
+/// intern calls, so they are identical on every machine and (because batch
+/// results are adopted in input order) at every thread count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct variants interned (the store's length).
+    pub interned: usize,
+    /// Total intern calls answered.
+    pub intern_calls: usize,
+    /// Intern calls that found existing content (`intern_calls − interned`
+    /// whenever every distinct row was first interned here).
+    pub dedup_hits: usize,
+    /// Bytes of the flat vertex-row table (4 bytes per kept vertex, each
+    /// distinct row stored once).
+    pub row_bytes: usize,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    /// Owning procedure per variant.
+    procs: Vec<ProcId>,
+    /// CSR offsets into `verts`; `offsets[id]..offsets[id + 1]` is the row.
+    offsets: Vec<u32>,
+    /// Flat, per-row-sorted dense vertex ids.
+    verts: Vec<u32>,
+    /// Content hash → candidate ids (full row compare on lookup).
+    dedup: FxHashMap<u64, Vec<u32>>,
+    intern_calls: usize,
+    dedup_hits: usize,
+}
+
+/// An append-only interner of specialized-PDG content; see the module docs.
+#[derive(Debug)]
+pub struct VariantStore {
+    inner: RwLock<StoreInner>,
+}
+
+impl Default for VariantStore {
+    fn default() -> Self {
+        VariantStore::new()
+    }
+}
+
+fn content_hash(proc: ProcId, row: &[u32]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(proc.0);
+    h.write_u32(row.len() as u32);
+    for &v in row {
+        h.write_u32(v);
+    }
+    h.finish()
+}
+
+impl VariantStore {
+    /// Creates an empty store.
+    pub fn new() -> VariantStore {
+        VariantStore {
+            inner: RwLock::new(StoreInner {
+                procs: Vec::new(),
+                offsets: vec![0],
+                verts: Vec::new(),
+                dedup: FxHashMap::default(),
+                intern_calls: 0,
+                dedup_hits: 0,
+            }),
+        }
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, StoreInner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Interns one variant's content: the owning procedure plus its
+    /// **sorted** dense vertex row. Returns the content's id — existing
+    /// when the same content was interned before (a *dedup hit*), fresh
+    /// otherwise.
+    pub fn intern(&self, proc: ProcId, row: &[u32]) -> VariantId {
+        debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be sorted");
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        inner.intern_calls += 1;
+        let hash = content_hash(proc, row);
+        if let Some(candidates) = inner.dedup.get(&hash) {
+            for &id in candidates {
+                let (lo, hi) = (inner.offsets[id as usize], inner.offsets[id as usize + 1]);
+                if inner.procs[id as usize] == proc && inner.verts[lo as usize..hi as usize] == *row
+                {
+                    inner.dedup_hits += 1;
+                    return VariantId(id);
+                }
+            }
+        }
+        let id = inner.procs.len() as u32;
+        inner.procs.push(proc);
+        inner.verts.extend_from_slice(row);
+        let end = inner.verts.len() as u32;
+        inner.offsets.push(end);
+        inner.dedup.entry(hash).or_default().push(id);
+        VariantId(id)
+    }
+
+    /// Number of distinct variants interned.
+    pub fn len(&self) -> usize {
+        self.read().procs.len()
+    }
+
+    /// `true` when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The owning procedure of variant `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not interned in this store.
+    pub fn proc(&self, id: VariantId) -> ProcId {
+        self.read().procs[id.index()]
+    }
+
+    /// The variant's sorted dense vertex row.
+    pub fn row_dense(&self, id: VariantId) -> Vec<u32> {
+        let inner = self.read();
+        let (lo, hi) = (inner.offsets[id.index()], inner.offsets[id.index() + 1]);
+        inner.verts[lo as usize..hi as usize].to_vec()
+    }
+
+    /// The variant's vertices as [`VertexId`]s, ascending.
+    pub fn row(&self, id: VariantId) -> Vec<VertexId> {
+        let inner = self.read();
+        let (lo, hi) = (inner.offsets[id.index()], inner.offsets[id.index() + 1]);
+        inner.verts[lo as usize..hi as usize]
+            .iter()
+            .map(|&v| VertexId(v))
+            .collect()
+    }
+
+    /// Number of vertices in the variant's row.
+    pub fn row_len(&self, id: VariantId) -> usize {
+        let inner = self.read();
+        (inner.offsets[id.index() + 1] - inner.offsets[id.index()]) as usize
+    }
+
+    /// Whether the variant's row contains `v` (binary search — the rows are
+    /// sorted).
+    pub fn contains(&self, id: VariantId, v: VertexId) -> bool {
+        let inner = self.read();
+        let (lo, hi) = (inner.offsets[id.index()], inner.offsets[id.index() + 1]);
+        inner.verts[lo as usize..hi as usize]
+            .binary_search(&v.0)
+            .is_ok()
+    }
+
+    /// The variant's vertex set — the compatibility shim behind
+    /// [`crate::readout::VariantPdg::vertices`]. Prefer [`VariantStore::row`]
+    /// / [`VariantStore::contains`] in new code: they stay on the flat
+    /// table.
+    pub fn vertex_set(&self, id: VariantId) -> BTreeSet<VertexId> {
+        self.row(id).into_iter().collect()
+    }
+
+    /// Current [`StoreStats`].
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.read();
+        StoreStats {
+            interned: inner.procs.len(),
+            intern_calls: inner.intern_calls,
+            dedup_hits: inner.dedup_hits,
+            row_bytes: inner.verts.len() * std::mem::size_of::<u32>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups_by_content() {
+        let store = VariantStore::new();
+        let p0 = ProcId(0);
+        let p1 = ProcId(1);
+        let a = store.intern(p0, &[1, 3, 5]);
+        let b = store.intern(p0, &[1, 3, 5]);
+        let c = store.intern(p1, &[1, 3, 5]); // same row, other proc
+        let d = store.intern(p0, &[1, 3]);
+        assert_eq!(a, b, "identical content shares one id");
+        assert_ne!(a, c, "owning procedure is part of the content");
+        assert_ne!(a, d);
+        assert_eq!(store.len(), 3);
+        let stats = store.stats();
+        assert_eq!(stats.intern_calls, 4);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.row_bytes, (3 + 3 + 2) * 4);
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let store = VariantStore::new();
+        let id = store.intern(ProcId(2), &[0, 7, 9]);
+        let empty = store.intern(ProcId(2), &[]);
+        assert_eq!(store.proc(id), ProcId(2));
+        assert_eq!(store.row_dense(id), vec![0, 7, 9]);
+        assert_eq!(store.row(id), vec![VertexId(0), VertexId(7), VertexId(9)]);
+        assert_eq!(store.row_len(id), 3);
+        assert!(store.contains(id, VertexId(7)));
+        assert!(!store.contains(id, VertexId(8)));
+        assert_eq!(store.row_len(empty), 0);
+        assert_eq!(
+            store.vertex_set(id),
+            [VertexId(0), VertexId(7), VertexId(9)]
+                .into_iter()
+                .collect()
+        );
+    }
+}

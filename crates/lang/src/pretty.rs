@@ -9,6 +9,15 @@ use std::fmt::Write;
 /// Renders a whole program as MiniC source.
 pub fn pretty(program: &Program) -> String {
     let mut out = String::new();
+    pretty_program_into(program, &mut out);
+    out
+}
+
+/// Renders a whole program into a caller-owned buffer. Emitters that render
+/// many programs (or pre-size the buffer — e.g. the slice-regeneration
+/// layer) use this to keep the output in one allocation instead of letting
+/// `String` growth re-copy the text.
+pub fn pretty_program_into(program: &Program, out: &mut String) {
     if !program.globals.is_empty() {
         let _ = writeln!(out, "int {};", program.globals.join(", "));
         out.push('\n');
@@ -17,9 +26,8 @@ pub fn pretty(program: &Program) -> String {
         if i > 0 {
             out.push('\n');
         }
-        pretty_function(f, &mut out);
+        pretty_function(f, out);
     }
-    out
 }
 
 /// Renders one function.

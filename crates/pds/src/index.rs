@@ -226,6 +226,27 @@ impl RuleIndex {
         self.by_lhs.row(sym.0)
     }
 
+    /// The full rules whose left-hand side is `⟨p, γ⟩`, reconstructed from
+    /// the CSR row of `γ` (insertion order within the row). This is the
+    /// indexed form of [`crate::Pds::rules_for`]; the saturation engines
+    /// use the rawer [`RuleIndex::rules_for_lhs`] directly.
+    pub fn rules_for(
+        &self,
+        p: ControlLoc,
+        gamma: Symbol,
+    ) -> impl Iterator<Item = crate::system::Rule> + '_ {
+        self.by_lhs
+            .row(gamma.0)
+            .iter()
+            .filter(move |r| r.from_loc == p)
+            .map(move |r| crate::system::Rule {
+                from_loc: r.from_loc,
+                from_sym: gamma,
+                to_loc: r.to_loc,
+                rhs: r.rhs,
+            })
+    }
+
     /// The distinct push-rule target pairs `(p', γ')`, in dense-id order.
     pub fn push_pairs(&self) -> &[(ControlLoc, Symbol)] {
         &self.push_pairs

@@ -1,7 +1,9 @@
 //! Pushdown-system definitions (Defn. 3.1 of the paper).
 
+use crate::index::RuleIndex;
 use specslice_fsa::Symbol;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A PDS control location (`p`, `p_fo`, … in the paper).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -56,6 +58,10 @@ pub struct Pds {
     /// are no rules) — the dense alphabet bound used by
     /// [`crate::RuleIndex`]'s CSR tables.
     symbol_bound: u32,
+    /// Lazily built CSR index backing [`Pds::rules_for`] / [`Pds::step`]
+    /// (the saturation engines use the session-cached [`RuleIndex`]
+    /// instead). Invalidated by [`Pds::add_rule`].
+    own_index: OnceLock<RuleIndex>,
 }
 
 impl Pds {
@@ -65,6 +71,7 @@ impl Pds {
             n_controls,
             rules: Vec::new(),
             symbol_bound: 0,
+            own_index: OnceLock::new(),
         }
     }
 
@@ -115,6 +122,8 @@ impl Pds {
             }
         }
         self.rules.push(rule);
+        // The cached lookup index (if any) no longer covers this rule.
+        self.own_index.take();
     }
 
     /// Adds a pop rule `⟨p, γ⟩ ↪ ⟨p', ε⟩`.
@@ -156,13 +165,16 @@ impl Pds {
 
     /// Rules whose left-hand side is `⟨p, γ⟩`.
     ///
-    /// A linear scan: fine for tests and for [`Pds::step`]'s concrete
-    /// exploration. The saturation engines never call this — they match
-    /// rules through a [`crate::RuleIndex`]'s CSR tables instead.
-    pub fn rules_for(&self, p: ControlLoc, gamma: Symbol) -> impl Iterator<Item = &Rule> {
-        self.rules
-            .iter()
-            .filter(move |r| r.from_loc == p && r.from_sym == gamma)
+    /// Answered from a lazily built (and [`Pds::add_rule`]-invalidated)
+    /// [`RuleIndex`] — one CSR row read plus a control-location filter —
+    /// instead of the former O(|Δ|) scan over every rule, so test and
+    /// debug drivers that iterate configurations ([`Pds::step`]) match the
+    /// saturation engines' lookup cost. Within one `(p, γ)` row, rules come
+    /// back in insertion order, exactly as the scan returned them.
+    pub fn rules_for(&self, p: ControlLoc, gamma: Symbol) -> impl Iterator<Item = Rule> + '_ {
+        self.own_index
+            .get_or_init(|| RuleIndex::new(self))
+            .rules_for(p, gamma)
     }
 
     /// Applies one step of the transition relation `⇒` to a configuration,

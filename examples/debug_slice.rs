@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "variants: {:?}",
         slice
-            .variants
+            .metas()
             .iter()
             .map(|v| v.name.as_str())
             .collect::<Vec<_>>()
@@ -54,7 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "slicing on (r:entry, [C_main]) keeps {} variants",
-        cfg_slice.variants.len()
+        cfg_slice.variant_count()
+    );
+
+    // Both slices interned their variant content into the session's store;
+    // identical projections across criteria are stored (and counted) once.
+    let st = slicer.store_stats();
+    println!(
+        "variant store: {} interned / {} intern calls ({} dedup hits), {} row bytes",
+        st.interned, st.intern_calls, st.dedup_hits, st.row_bytes
     );
     Ok(())
 }

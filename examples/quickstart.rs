@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let slice = slicer.slice(&criterion)?;
 
     println!("specialized procedures:");
-    for v in &slice.variants {
+    for v in &slice.variants() {
         println!(
             "  {:<8} ({} vertices, params kept: {:?})",
             v.name,

@@ -75,7 +75,7 @@ fn fig1_two_specializations_of_p() {
     let specs = slice.specializations(p.id);
     assert_eq!(specs.len(), 2, "Specializations(p) must have 2 elements");
     assert_eq!(slice.variants_of_proc(sdg, "main").len(), 1);
-    assert_eq!(slice.variants.len(), 3);
+    assert_eq!(slice.variant_count(), 3);
 
     // The small variant is {entry, formal-in b, g2 = b, formal-out g2}
     // (the paper's {p1, p3, p5, p8}); the large one has 7 vertices
@@ -96,7 +96,7 @@ fn fig1_call_bindings_match_fig5() {
     let slicer = pipeline(FIG1);
     let sdg = slicer.sdg();
     let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
-    let main_variant = &slice.variants[slice.main_variant.unwrap()];
+    let main_variant = slice.variant(slice.main_variant.unwrap());
     // Calls at C1 and C3 (sites 0 and 2) go to the 1-parameter variant;
     // C2 (site 1) goes to the 2-parameter variant.
     let user_sites: Vec<_> = sdg
@@ -108,7 +108,7 @@ fn fig1_call_bindings_match_fig5() {
     assert_eq!(user_sites.len(), 3);
     let callee_of = |site| {
         let idx = main_variant.calls[&site];
-        slice.variants[idx].kept_params(sdg).len()
+        slice.variant(idx).kept_params(sdg).len()
     };
     assert_eq!(callee_of(user_sites[0]), 1, "C1 -> p_1(b)");
     assert_eq!(callee_of(user_sites[1]), 2, "C2 -> p_2(a, b)");
@@ -149,7 +149,7 @@ fn fig2_recursion_becomes_mutual() {
     // s specialized into two versions, r into two versions, one main: 5.
     assert_eq!(slice.variants_of_proc(sdg, "s").len(), 2);
     assert_eq!(slice.variants_of_proc(sdg, "r").len(), 2);
-    assert_eq!(slice.variants.len(), 5);
+    assert_eq!(slice.variant_count(), 5);
 
     // s variants keep one parameter each: {a} and {b}.
     let mut s_keeps: Vec<Vec<usize>> = slice
@@ -163,15 +163,12 @@ fn fig2_recursion_becomes_mutual() {
     // r variants both keep their single parameter, but call *each other*:
     // direct recursion became mutual recursion.
     let r_variants = slice.variants_of_proc(sdg, "r");
-    let r_idx: Vec<usize> = r_variants
+    let r_idx: Vec<usize> = slice
+        .metas()
         .iter()
-        .map(|v| {
-            slice
-                .variants
-                .iter()
-                .position(|w| std::ptr::eq(w, *v))
-                .unwrap()
-        })
+        .enumerate()
+        .filter(|(_, m)| m.proc == sdg.proc_named("r").unwrap().id)
+        .map(|(i, _)| i)
         .collect();
     let rec_site = sdg
         .call_sites
@@ -386,11 +383,7 @@ fn specializations_are_distinct_sets() {
         let sdg = slicer.sdg();
         let slice = slicer.slice(&Criterion::printf_actuals(sdg)).unwrap();
         for proc in &sdg.procs {
-            let variants: Vec<&specslice::VariantPdg> = slice
-                .variants
-                .iter()
-                .filter(|v| v.proc == proc.id)
-                .collect();
+            let variants: Vec<specslice::VariantPdg> = slice.variants_of_proc(sdg, &proc.name);
             let distinct: BTreeSet<_> = variants.iter().map(|v| &v.vertices).collect();
             assert_eq!(
                 distinct.len(),

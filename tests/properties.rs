@@ -69,11 +69,11 @@ fn a6_is_mrd_and_partition_minimal() {
         }
         assert!(is_reverse_deterministic(&slice.a6), "seed {seed}");
         for proc in &slicer.sdg().procs {
-            let sets: Vec<&BTreeSet<specslice_sdg::VertexId>> = slice
-                .variants
+            let sets: Vec<BTreeSet<specslice_sdg::VertexId>> = slice
+                .variants()
                 .iter()
                 .filter(|v| v.proc == proc.id)
-                .map(|v| &v.vertices)
+                .map(|v| v.vertices.clone())
                 .collect();
             let distinct: BTreeSet<_> = sets.iter().collect();
             assert_eq!(

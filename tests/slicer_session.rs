@@ -21,8 +21,8 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
 /// the automaton field compares by language, not by representation).
 fn assert_same_slice(a: &SpecSlice, b: &SpecSlice, ctx: &str) {
     assert_eq!(a.main_variant, b.main_variant, "{ctx}: main variant");
-    assert_eq!(a.variants.len(), b.variants.len(), "{ctx}: variant count");
-    for (va, vb) in a.variants.iter().zip(&b.variants) {
+    assert_eq!(a.variant_count(), b.variant_count(), "{ctx}: variant count");
+    for (va, vb) in a.variants().iter().zip(&b.variants()) {
         assert_eq!(va.proc, vb.proc, "{ctx}: variant proc");
         assert_eq!(va.name, vb.name, "{ctx}: variant name");
         assert_eq!(va.vertices, vb.vertices, "{ctx}: variant Elems");

@@ -1,0 +1,265 @@
+//! Whole-program specialization (`Slicer::specialize_program`):
+//! cross-criterion dedup, per-criterion projection fidelity, thread-count
+//! determinism, executability of the merged output, and the structured
+//! validation of empty / duplicate criterion lists (the companion of
+//! `malformed_criteria.rs` for the merge driver).
+
+use specslice::{Criterion, Slicer, SlicerConfig, SpecError, SpecializedProgram};
+
+const FUEL: u64 = 5_000_000;
+
+fn session(src: &str, num_threads: usize) -> Slicer {
+    Slicer::from_source_with(
+        src,
+        SlicerConfig {
+            num_threads,
+            ..SlicerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// One criterion per printf call site — the paper's evaluation workload.
+fn per_printf_criteria(slicer: &Slicer) -> Vec<Criterion> {
+    slicer
+        .sdg()
+        .printf_call_sites()
+        .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+        .collect()
+}
+
+/// A deterministic fingerprint of the merged output (source text plus the
+/// provenance tables) for cross-thread-count comparison.
+fn fingerprint(spec: &SpecializedProgram) -> String {
+    format!(
+        "{}\n{:?}\n{:?}",
+        spec.regen.source,
+        spec.functions
+            .iter()
+            .map(|f| (&f.name, &f.origin, &f.demanded_by))
+            .collect::<Vec<_>>(),
+        spec.per_criterion,
+    )
+}
+
+#[test]
+fn empty_criterion_list_is_rejected() {
+    let slicer = session("int g; int main() { g = 1; printf(\"%d\", g); }", 1);
+    let err = slicer.specialize_program(&[]).unwrap_err();
+    assert!(matches!(err, SpecError::BadCriterion { .. }), "{err:?}");
+    assert!(err.to_string().contains("at least one criterion"), "{err}");
+}
+
+#[test]
+fn duplicate_criteria_are_rejected_canonically() {
+    let slicer = session("int g; int main() { g = 1; printf(\"%d\", g + g); }", 1);
+    let verts = slicer.sdg().printf_actual_in_vertices();
+    // Exact duplicate.
+    let c = Criterion::AllContexts(verts.clone());
+    let err = slicer
+        .specialize_program(&[c.clone(), c.clone()])
+        .unwrap_err();
+    assert!(matches!(err, SpecError::BadCriterion { .. }), "{err:?}");
+    assert!(err.to_string().contains("#1 repeats #0"), "{err}");
+    // Canonical duplicate: same vertex set, different order/repetition.
+    let mut reordered = verts.clone();
+    reordered.reverse();
+    reordered.push(verts[0]);
+    let err = slicer
+        .specialize_program(&[c, Criterion::AllContexts(reordered)])
+        .unwrap_err();
+    assert!(err.to_string().contains("duplicate criteria"), "{err}");
+}
+
+#[test]
+fn sdg_only_sessions_cannot_specialize() {
+    let src = "int g; int main() { g = 2; printf(\"%d\", g); }";
+    let program = specslice_lang::frontend(src).unwrap();
+    let sdg = specslice_sdg::build::build_sdg(&program).unwrap();
+    let slicer = Slicer::from_sdg(sdg).unwrap();
+    let criterion = Criterion::printf_actuals(slicer.sdg());
+    let err = slicer.specialize_program(&[criterion]).unwrap_err();
+    assert!(matches!(err, SpecError::Internal { .. }), "{err:?}");
+}
+
+#[test]
+fn bad_member_criteria_are_annotated_with_their_index() {
+    let slicer = session("int g; int main() { g = 1; printf(\"%d\", g); }", 1);
+    let good = Criterion::printf_actuals(slicer.sdg());
+    let bad = Criterion::vertex(specslice::VertexId(u32::MAX / 2));
+    let err = slicer.specialize_program(&[good, bad]).unwrap_err();
+    assert!(err.to_string().contains("criterion #1"), "{err}");
+}
+
+/// With a single criterion, the merged program is exactly the solo
+/// regeneration — same variants, same names, byte-identical source.
+#[test]
+fn single_criterion_specialization_matches_solo_regeneration() {
+    let slicer = session(specslice_corpus::examples::FIG1, 1);
+    let criterion = Criterion::printf_actuals(slicer.sdg());
+    let spec = slicer
+        .specialize_program(std::slice::from_ref(&criterion))
+        .unwrap();
+    let solo = slicer
+        .regenerate(&slicer.slice(&criterion).unwrap())
+        .unwrap();
+    assert!(!spec.driver_main);
+    assert_eq!(spec.regen.source, solo.source);
+    assert_eq!(
+        spec.per_criterion,
+        vec![(0..spec.functions.len()).collect::<Vec<_>>()]
+    );
+}
+
+/// The main property (corpus + feature grid): merged variant count never
+/// exceeds the per-criterion sum, each criterion's projection is exactly
+/// its solo slice (content-compared through the variant store, and the
+/// retained slices are byte-identical to solo `slice` calls), the merged
+/// output is byte-identical at 1/2/4 worker threads, and both the merged
+/// program and every per-criterion regeneration stay executable.
+#[test]
+fn merged_programs_dedup_and_project_faithfully() {
+    let mut workloads: Vec<(String, String, Vec<i64>)> = specslice_corpus::programs()
+        .into_iter()
+        .map(|p| {
+            (
+                p.name.to_string(),
+                p.source.to_string(),
+                p.sample_input.to_vec(),
+            )
+        })
+        .collect();
+    workloads.push(("grid12".into(), specslice_corpus::feature_grid(12), vec![]));
+
+    for (name, source, input) in workloads {
+        let slicer = session(&source, 1);
+        let criteria = per_printf_criteria(&slicer);
+        if criteria.is_empty() {
+            continue;
+        }
+        let spec = slicer.specialize_program(&criteria).unwrap();
+
+        // Dedup: the merge never invents variants and never exceeds the sum.
+        assert!(
+            spec.merged_variant_count() <= spec.total_criterion_variants,
+            "{name}: merged {} > total {}",
+            spec.merged_variant_count(),
+            spec.total_criterion_variants
+        );
+        assert_eq!(
+            spec.reused_variants,
+            spec.total_criterion_variants - spec.merged_variant_count(),
+            "{name}"
+        );
+
+        // Projection fidelity: criterion i's merged functions carry exactly
+        // the content of its solo slice.
+        let store = slicer.variant_store();
+        for (i, criterion) in criteria.iter().enumerate() {
+            let solo = slicer.slice(criterion).unwrap();
+            assert_eq!(
+                format!("{solo:?}"),
+                format!("{:?}", spec.criterion_slices[i]),
+                "{name}: retained slice #{i} diverged from solo slice"
+            );
+            let mut solo_content: Vec<(u32, Vec<u32>)> = solo
+                .metas()
+                .iter()
+                .zip(solo.variant_ids())
+                .map(|(m, &id)| (m.proc.0, store.row_dense(id)))
+                .collect();
+            solo_content.sort();
+            solo_content.dedup();
+            let mut merged_content: Vec<(u32, Vec<u32>)> = spec.per_criterion[i]
+                .iter()
+                .map(|&f| {
+                    (
+                        spec.functions[f].proc.0,
+                        store.row_dense(spec.functions[f].variant),
+                    )
+                })
+                .collect();
+            merged_content.sort();
+            assert_eq!(
+                solo_content, merged_content,
+                "{name}: projection #{i} content diverged"
+            );
+            // Every projection regenerates and runs.
+            let regen = slicer.regenerate(&spec.criterion_slices[i]).unwrap();
+            specslice_interp::run(&regen.program, &input, FUEL).unwrap_or_else(|e| {
+                panic!(
+                    "{name}: projection #{i} failed to run: {e}\n{}",
+                    regen.source
+                )
+            });
+        }
+
+        // The merged program is checked by construction; it must also run.
+        // (Multi-main merges execute each main variant in criterion order;
+        // scanf reads past the provided input yield 0, the interpreter's
+        // EOF convention, so the drivers terminate on the corpus loops.)
+        let mains = spec.criterion_slices.len().max(1);
+        let mut driver_input = Vec::new();
+        for _ in 0..mains {
+            driver_input.extend_from_slice(&input);
+        }
+        specslice_interp::run(&spec.regen.program, &driver_input, FUEL).unwrap_or_else(|e| {
+            panic!(
+                "{name}: merged program failed to run: {e}\n{}",
+                spec.regen.source
+            )
+        });
+
+        // Thread-count determinism: byte-identical merged output at 2 and 4
+        // workers.
+        let baseline = fingerprint(&spec);
+        for threads in [2usize, 4] {
+            let parallel = session(&source, threads);
+            let spec_t = parallel.specialize_program(&criteria).unwrap();
+            assert_eq!(
+                baseline,
+                fingerprint(&spec_t),
+                "{name}: merged output diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// The feature grid shares nothing between features, so per-feature slices
+/// alone do not dedup; adding the whole-program criterion (all printfs at
+/// once) makes every feature's `run`/`step` projection appear twice — once
+/// demanded solo, once by the union — and the merge must fold those by
+/// content interning. The merged output stays executable, and its output
+/// is the concatenation of the per-criterion outputs (each grid main
+/// variant re-initializes its own accumulators).
+#[test]
+fn feature_grid_dedups_across_overlapping_criteria() {
+    let source = specslice_corpus::feature_grid(12);
+    let slicer = session(&source, 2);
+    let mut criteria = per_printf_criteria(&slicer);
+    criteria.push(Criterion::printf_actuals(slicer.sdg()));
+    let spec = slicer.specialize_program(&criteria).unwrap();
+
+    assert!(
+        spec.reused_variants > 0,
+        "union criterion must dedup against per-feature criteria"
+    );
+    let st = slicer.store_stats();
+    assert!(st.dedup_hits > 0, "store must observe cross-criterion hits");
+    assert!(spec.driver_main, "13 criteria demand 13 main variants");
+
+    let merged = specslice_interp::run(&spec.regen.program, &[], FUEL).unwrap();
+    let mut expected = Vec::new();
+    for slice in &spec.criterion_slices {
+        let regen = slicer.regenerate(slice).unwrap();
+        expected.extend(
+            specslice_interp::run(&regen.program, &[], FUEL)
+                .unwrap()
+                .output,
+        );
+    }
+    assert_eq!(
+        merged.output, expected,
+        "merged grid output must concatenate the per-criterion outputs"
+    );
+}
