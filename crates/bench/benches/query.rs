@@ -34,6 +34,12 @@
 //! The bench also re-answers each workload through `slice_batch` at 1, 2,
 //! and 4 worker threads and asserts the rendered slices are byte-identical
 //! — the acceptance gate the dense rewrite must preserve.
+//!
+//! A final section drives the same queries through the `specslice-server`
+//! daemon over a TCP loopback connection, measuring the full client →
+//! frame → dispatch → memo-hit → frame → client round trip on a warm
+//! session. Those numbers land under the report's top-level `"server"` key
+//! — wall-clock only, so the bench-gate's counter diff never sees them.
 
 use specslice::{Criterion, Slicer, SlicerConfig};
 use specslice_bench::{geometric_mean, timer};
@@ -250,21 +256,103 @@ fn main() {
     );
     println!("geomean per-criterion query time: {geomean_us:.1} us");
 
-    let json = render_json(samples, host, &rows, geomean_us);
+    println!("\nserver round trip (warm session, TCP loopback):");
+    println!("{}", timer::header());
+    let server_rows = bench_server(samples);
+
+    let json = render_json(samples, host, &rows, &server_rows, geomean_us);
     println!("\n--- JSON report ---\n{json}");
     if let Ok(path) = std::env::var("BENCH_QUERY_JSON") {
-        if let Some(dir) = std::path::Path::new(&path).parent() {
+        // Cargo runs bench binaries with cwd = the *package* directory;
+        // relative paths are meant against the workspace root (that is
+        // where the committed snapshot lives), so anchor them there.
+        let path = {
+            let p = std::path::PathBuf::from(&path);
+            if p.is_absolute() {
+                p
+            } else {
+                std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join(p)
+            }
+        };
+        if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).expect("create snapshot directory");
         }
         std::fs::write(&path, &json).expect("write JSON snapshot");
-        eprintln!("wrote {path}");
+        eprintln!("wrote {}", path.display());
     }
+}
+
+/// One server round-trip row: the full client→daemon→client cost of a
+/// `slice` request answered from a warm session's memo. Pure wall-clock —
+/// this measures wire + dispatch overhead, not pipeline work.
+struct ServerRow {
+    name: String,
+    median_round_trip: Duration,
+}
+
+/// Opens a handful of corpus programs on an in-process daemon and times
+/// repeated `slice` round trips over TCP loopback. The first (warmup)
+/// iteration populates the session memo, so the timed iterations measure
+/// the daemon's serving overhead on the memoized path — the latency a
+/// long-lived editor session actually sees.
+fn bench_server(samples: usize) -> Vec<ServerRow> {
+    use specslice_server::{serve, Bind, Client, Json, ServerConfig};
+
+    let mut config = ServerConfig::new(Bind::Tcp("127.0.0.1:0".to_string()));
+    config.threads = Some(1);
+    let handle = serve(config).expect("bind loopback daemon");
+    let mut client = Client::connect_tcp(&handle.addr).expect("connect");
+    let mut rows = Vec::new();
+    for name in ["tcas", "schedule2", "go"] {
+        let program = specslice_corpus::by_name(name).expect("corpus program");
+        let opened = client
+            .request("open", [("source", Json::str(program.source))])
+            .expect("open");
+        let sid = opened
+            .get("session")
+            .and_then(Json::as_str)
+            .expect("session id")
+            .to_string();
+        let criterion = Json::obj([("kind", Json::str("printf_actuals"))]);
+        let s = timer::run(
+            &format!("server/{name}-slice-round-trip"),
+            samples.max(3),
+            || {
+                client
+                    .request(
+                        "slice",
+                        [
+                            ("session", Json::str(sid.clone())),
+                            ("criterion", criterion.clone()),
+                        ],
+                    )
+                    .expect("slice round trip")
+            },
+        );
+        println!("{}", s.row());
+        rows.push(ServerRow {
+            name: name.to_string(),
+            median_round_trip: s.median,
+        });
+    }
+    handle.stop();
+    rows
 }
 
 /// Hand-rolled JSON (the workspace is dependency-free — no serde). The
 /// `"counters"` objects must stay byte-stable across machines: they hold
 /// only deterministic pipeline counts, formatted with fixed key order.
-fn render_json(samples: usize, host: usize, rows: &[WorkloadRow], geomean_us: f64) -> String {
+/// The `"server"` section is wall-clock only and lives outside
+/// `"workloads"`, so the CI bench-gate's counter diff never touches it.
+fn render_json(
+    samples: usize,
+    host: usize,
+    rows: &[WorkloadRow],
+    server_rows: &[ServerRow],
+    geomean_us: f64,
+) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"bench\": \"query\",");
@@ -325,6 +413,21 @@ fn render_json(samples: usize, host: usize, rows: &[WorkloadRow], geomean_us: f6
         let _ = writeln!(s, "    }}{comma}");
     }
     let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"server\": {{");
+    let _ = writeln!(s, "    \"transport\": \"tcp-loopback\",");
+    let _ = writeln!(s, "    \"session\": \"warm (memoized slice)\",");
+    let _ = writeln!(s, "    \"workloads\": [");
+    for (i, r) in server_rows.iter().enumerate() {
+        let comma = if i + 1 == server_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            s,
+            "      {{\"name\": \"{}\", \"median_round_trip_us\": {:.1}}}{comma}",
+            r.name,
+            r.median_round_trip.as_secs_f64() * 1e6
+        );
+    }
+    let _ = writeln!(s, "    ]");
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"geomean_us_per_criterion\": {geomean_us:.1}");
     let _ = writeln!(s, "}}");
     s

@@ -81,6 +81,20 @@ impl Encoded {
     pub fn all_symbols(&self) -> impl Iterator<Item = Symbol> {
         (0..self.n_vertices + self.n_call_sites).map(Symbol)
     }
+
+    /// Estimated resident bytes of the encoding: the PDS rule table, the
+    /// prebuilt CSR saturation index over it, and the formal-out control
+    /// map. Deterministic (a pure function of rule and vertex counts), so
+    /// the server's session budget computed from it is reproducible.
+    pub fn approx_bytes(&self) -> usize {
+        let rules = self.pds.rule_count();
+        // A rule is ~20 bytes; the index re-materializes each rule into its
+        // per-RHS/LHS CSR rows (~24 bytes a rule) plus dense offset tables
+        // over the symbol space (~8 bytes a symbol).
+        rules * (20 + 24)
+            + (self.n_vertices + self.n_call_sites) as usize * 8
+            + self.fo_controls.len() * 24
+    }
 }
 
 /// Encodes `sdg` as a pushdown system following Fig. 8.

@@ -87,6 +87,7 @@ pub mod indirect;
 pub mod readout;
 pub mod regen;
 pub mod reslice;
+pub mod session_io;
 pub mod slicer;
 pub mod specialize;
 pub mod stats;
@@ -95,6 +96,7 @@ pub mod store;
 pub use criteria::Criterion;
 pub use incremental::EditReport;
 pub use readout::{SpecSlice, VariantMeta, VariantPdg};
+pub use session_io::{MemoExport, MemoExportVariant, MemoKeyExport};
 pub use slicer::{BatchResult, Slicer, SlicerConfig};
 pub use specialize::{MergedFunction, SpecializedProgram};
 pub use store::{StoreStats, VariantId, VariantStore};
@@ -269,6 +271,19 @@ impl PipelineStats {
         self.mrd.mrd_states += other.mrd.mrd_states;
         self.mrd.mrd_transitions += other.mrd.mrd_transitions;
         self.query_time += other.query_time;
+    }
+
+    /// Estimated resident bytes of the *retained* artifacts these stats
+    /// describe — the canonical MRD automaton a memoized query keeps alive
+    /// (its variant rows are accounted by [`StoreStats::approx_bytes`]
+    /// instead, since rows live in the shared store). Deterministic: a pure
+    /// function of the counters, so the server's eviction budget computed
+    /// from it is reproducible across runs and machines.
+    pub fn approx_bytes(&self) -> usize {
+        // Per MRD state: an out-transition vector header (~24) plus finals/
+        // dedup bookkeeping; per transition: (label, target) plus its dedup
+        // set entry (~12 + 12).
+        self.mrd.mrd_states * 32 + self.mrd.mrd_transitions * 24
     }
 
     /// One line of human-readable pipeline accounting. The examples and the

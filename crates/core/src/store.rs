@@ -69,6 +69,18 @@ pub struct StoreStats {
     pub row_bytes: usize,
 }
 
+impl StoreStats {
+    /// Estimated resident bytes of the store these stats describe: the flat
+    /// row table plus per-variant bookkeeping (owning proc, CSR offset, and
+    /// a dedup-map slot). Deterministic — a pure function of the counters —
+    /// so eviction decisions based on it (the server's session budget) are
+    /// reproducible across runs and machines.
+    pub fn approx_bytes(&self) -> usize {
+        // proc (4) + offset (4) + dedup key/candidate slot (~24).
+        self.row_bytes + self.interned * 32
+    }
+}
+
 #[derive(Debug)]
 struct StoreInner {
     /// Owning procedure per variant.

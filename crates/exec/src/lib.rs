@@ -42,24 +42,92 @@ pub fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// A present-but-invalid `SPECSLICE_NUM_THREADS` value: what was set, why
+/// it was rejected, and the width the process was clamped to instead.
+///
+/// A silently ignored misconfiguration is the worst kind — a CI sweep that
+/// exports `SPECSLICE_NUM_THREADS=O` (the letter) would happily "pass" at
+/// the hardware default. [`configured_threads`] surfaces this as a value;
+/// [`default_threads`] additionally logs it (once per process) and clamps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadConfigError {
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: String,
+    /// The worker width used instead: `1` for a parsed-but-zero value
+    /// (matching `SlicerConfig::num_threads` clamping), the hardware
+    /// default for anything unparsable.
+    pub clamped_to: usize,
+}
+
+impl std::fmt::Display for ThreadConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid SPECSLICE_NUM_THREADS={:?}: {}; clamped to {}",
+            self.value, self.reason, self.clamped_to
+        )
+    }
+}
+
+impl std::error::Error for ThreadConfigError {}
+
+/// Strictly parses a worker-thread count: a positive integer (surrounding
+/// whitespace tolerated). `0` is rejected — a zero-width pool is always a
+/// configuration mistake, even though downstream layers would clamp it.
+pub fn parse_thread_count(value: &str) -> Result<usize, ThreadConfigError> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(ThreadConfigError {
+            value: value.to_string(),
+            reason: "thread count must be at least 1".to_string(),
+            clamped_to: 1,
+        }),
+        Ok(n) => Ok(n),
+        Err(e) => Err(ThreadConfigError {
+            value: value.to_string(),
+            reason: format!("not a positive integer ({e})"),
+            clamped_to: available_parallelism(),
+        }),
+    }
+}
+
+/// Reads `SPECSLICE_NUM_THREADS` strictly: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a valid positive integer, and a structured
+/// [`ThreadConfigError`] for a present-but-invalid value (instead of the
+/// silent fallback this function's callers historically applied). Servers
+/// and CLIs should call this once at startup and surface the error.
+pub fn configured_threads() -> Result<Option<usize>, ThreadConfigError> {
+    match std::env::var("SPECSLICE_NUM_THREADS") {
+        Ok(v) => parse_thread_count(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
 /// The default worker-thread count for slicing sessions: the
-/// `SPECSLICE_NUM_THREADS` environment variable when set to an integer
-/// (`0` clamps to `1`, matching `SlicerConfig::num_threads` semantics),
-/// otherwise [`available_parallelism`].
+/// `SPECSLICE_NUM_THREADS` environment variable when set to a valid
+/// positive integer, otherwise [`available_parallelism`].
 ///
 /// The variable exists for test sweeps and CI: exporting
 /// `SPECSLICE_NUM_THREADS=1|2|4` runs every default-configured session at
 /// that width without touching code (output is bit-for-bit identical at
 /// every setting — the knob only trades wall-clock for cores). Explicitly
-/// configured widths are never overridden; unparsable values fall back to
-/// the hardware default.
+/// configured widths are never overridden.
+///
+/// A present-but-invalid value is **not** silently ignored: the structured
+/// [`ThreadConfigError`] is logged to stderr (once per process) and its
+/// [`clamped_to`](ThreadConfigError::clamped_to) width is used — `1` for
+/// `0`, the hardware default for unparsable text. Callers that want the
+/// error as a value use [`configured_threads`].
 pub fn default_threads() -> usize {
-    match std::env::var("SPECSLICE_NUM_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) => n.max(1),
-            Err(_) => available_parallelism(),
-        },
-        Err(_) => available_parallelism(),
+    match configured_threads() {
+        Ok(Some(n)) => n,
+        Ok(None) => available_parallelism(),
+        Err(e) => {
+            static LOGGED: std::sync::Once = std::sync::Once::new();
+            LOGGED.call_once(|| eprintln!("specslice-exec: {e}"));
+            e.clamped_to
+        }
     }
 }
 
@@ -333,6 +401,31 @@ mod tests {
         assert_eq!(out, items);
         let total: usize = stats.iter().map(|s| s.items).sum();
         assert_eq!(total, items.len());
+    }
+
+    #[test]
+    fn thread_count_parsing_is_strict() {
+        // Valid widths parse (whitespace tolerated).
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 2 "), Ok(2));
+        // `0` is rejected with a structured error that clamps to 1 — the
+        // historical behavior was a silent `max(1)`.
+        let zero = parse_thread_count("0").unwrap_err();
+        assert_eq!(zero.clamped_to, 1);
+        assert!(zero.reason.contains("at least 1"), "{zero}");
+        // Unparsable text is rejected, clamping to the hardware default
+        // (never 0) — historically a silent fallback.
+        for bad in ["abc", "-1", "2.5", ""] {
+            let err = parse_thread_count(bad).unwrap_err();
+            assert_eq!(err.value, bad);
+            assert_eq!(err.clamped_to, available_parallelism(), "{bad:?}");
+            assert!(err.clamped_to >= 1);
+            // The rendering names the variable and the clamp, so a log line
+            // alone is actionable.
+            let msg = err.to_string();
+            assert!(msg.contains("SPECSLICE_NUM_THREADS"), "{msg}");
+            assert!(msg.contains("clamped"), "{msg}");
+        }
     }
 
     #[test]

@@ -59,6 +59,33 @@ pub enum ProgramEdit {
     },
 }
 
+impl ProgramEdit {
+    /// Builds an [`AddFunction`](ProgramEdit::AddFunction) edit from the
+    /// function's source text — the wire-facing constructor: remote clients
+    /// (the `specslice-server` protocol) ship function bodies as text, not
+    /// as AST values.
+    ///
+    /// # Errors
+    ///
+    /// Any syntax error, or source that is not exactly one function
+    /// definition (see [`crate::parser::parse_function`]).
+    pub fn add_function_src(src: &str) -> Result<ProgramEdit, LangError> {
+        crate::parser::parse_function(src).map(ProgramEdit::AddFunction)
+    }
+
+    /// Builds a [`ReplaceFunction`](ProgramEdit::ReplaceFunction) edit from
+    /// the replacement's source text; the function of the same name in the
+    /// base program is replaced when the edit applies.
+    ///
+    /// # Errors
+    ///
+    /// Any syntax error, or source that is not exactly one function
+    /// definition.
+    pub fn replace_function_src(src: &str) -> Result<ProgramEdit, LangError> {
+        crate::parser::parse_function(src).map(ProgramEdit::ReplaceFunction)
+    }
+}
+
 /// An ordered list of edits turning one program into another.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProgramDelta {

@@ -42,7 +42,7 @@ pub mod token;
 pub use ast::{Block, Callee, Expr, Function, Program, Stmt, StmtId, StmtKind};
 pub use delta::{ProgramDelta, ProgramEdit};
 pub use lexer::lex;
-pub use parser::parse;
+pub use parser::{parse, parse_function};
 pub use pretty::pretty;
 
 use std::fmt;

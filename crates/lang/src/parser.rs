@@ -18,6 +18,40 @@ pub fn parse(src: &str) -> Result<Program, LangError> {
     Parser { tokens, pos: 0 }.program()
 }
 
+/// Parses exactly one function definition — the wire-facing entry point
+/// for function-granular program edits (a remote client ships replacement
+/// bodies as source text, not as AST values).
+///
+/// The returned function is *not yet* normalized or checked — it is meant
+/// to ride inside a [`crate::ProgramEdit`], whose application re-runs
+/// normalization and the semantic checker on the whole edited program (so
+/// calls to functions defined elsewhere resolve there, not here).
+///
+/// # Errors
+///
+/// Any syntax error, plus a syntax-stage [`LangError`] when the source
+/// contains anything besides a single function definition (globals, a
+/// second function, or nothing at all).
+pub fn parse_function(src: &str) -> Result<Function, LangError> {
+    let program = parse(src)?;
+    if !program.globals.is_empty() {
+        return Err(LangError::Parse {
+            line: 0,
+            message: "expected a single function definition, found global declarations".to_string(),
+        });
+    }
+    match <[Function; 1]>::try_from(program.functions) {
+        Ok([f]) => Ok(f),
+        Err(fs) => Err(LangError::Parse {
+            line: 0,
+            message: format!(
+                "expected exactly one function definition, found {}",
+                fs.len()
+            ),
+        }),
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,

@@ -1,0 +1,166 @@
+//! A small blocking client for the daemon — used by the example, the tests,
+//! and the bench harness. One request in flight at a time (the protocol
+//! allows pipelining via request ids; this client doesn't need it).
+
+use crate::json::Json;
+use crate::proto::{
+    read_frame_bytes, write_frame, FrameError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION,
+};
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Frame(FrameError),
+    /// Stream write failure.
+    Io(std::io::Error),
+    /// The server answered `ok: false`; the structured error payload rides
+    /// along verbatim.
+    Server(Json),
+    /// The response was not the shape the client expected.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "frame error: {e}"),
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server(payload) => write!(f, "server error: {}", payload.to_text()),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A connected, handshaken client over any blocking byte stream.
+pub struct Client<S: Read + Write> {
+    stream: S,
+    next_id: i64,
+    max_frame: usize,
+}
+
+impl Client<TcpStream> {
+    /// Connects over TCP and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, or handshake failures.
+    pub fn connect_tcp(addr: &str) -> Result<Client<TcpStream>, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response protocol: never Nagle-delay a request frame.
+        stream.set_nodelay(true)?;
+        Client::handshake(stream)
+    }
+}
+
+#[cfg(unix)]
+impl Client<UnixStream> {
+    /// Connects over a unix socket and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection, framing, or handshake failures.
+    pub fn connect_unix(path: &Path) -> Result<Client<UnixStream>, ClientError> {
+        let stream = UnixStream::connect(path)?;
+        Client::handshake(stream)
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Wraps an already-connected stream and performs the `hello` handshake.
+    ///
+    /// # Errors
+    ///
+    /// Framing or handshake failures.
+    pub fn handshake(stream: S) -> Result<Client<S>, ClientError> {
+        let mut client = Client {
+            stream,
+            next_id: 0,
+            max_frame: DEFAULT_MAX_FRAME,
+        };
+        let resp = client.request(
+            "hello",
+            [("version", Json::Int(i64::from(PROTOCOL_VERSION)))],
+        )?;
+        match resp.get("version").and_then(Json::as_i64) {
+            Some(v) if v == i64::from(PROTOCOL_VERSION) => Ok(client),
+            other => Err(ClientError::Protocol(format!(
+                "server protocol version {other:?}, client speaks {PROTOCOL_VERSION}"
+            ))),
+        }
+    }
+
+    /// Sends one request and returns the parsed response object on `ok`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or [`ClientError::Server`] carrying the error
+    /// payload when the server answers `ok: false`.
+    pub fn request(
+        &mut self,
+        op: &str,
+        params: impl IntoIterator<Item = (&'static str, Json)>,
+    ) -> Result<Json, ClientError> {
+        let bytes = self.request_bytes(op, params)?;
+        let text = std::str::from_utf8(&bytes)
+            .map_err(|e| ClientError::Protocol(format!("response is not UTF-8: {e}")))?;
+        let resp = Json::parse(text)
+            .map_err(|e| ClientError::Protocol(format!("response is not JSON: {e}")))?;
+        match resp.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(resp),
+            Some(false) => Err(ClientError::Server(
+                resp.get("error").cloned().unwrap_or(Json::Null),
+            )),
+            None => Err(ClientError::Protocol("response has no `ok`".to_string())),
+        }
+    }
+
+    /// Sends one request and returns the raw response frame payload —
+    /// exactly the bytes the server wrote, for byte-identity comparisons.
+    /// Server-side errors are *not* decoded (the bytes come back either
+    /// way).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn request_bytes(
+        &mut self,
+        op: &str,
+        params: impl IntoIterator<Item = (&'static str, Json)>,
+    ) -> Result<Vec<u8>, ClientError> {
+        self.next_id += 1;
+        let mut req = match Json::obj(params) {
+            Json::Object(m) => m,
+            _ => unreachable!(),
+        };
+        req.insert("op".to_string(), Json::str(op));
+        req.insert("id".to_string(), Json::Int(self.next_id));
+        write_frame(&mut self.stream, &Json::Object(req))?;
+        Ok(read_frame_bytes(&mut self.stream, self.max_frame)?)
+    }
+
+    /// The underlying stream (for tests that need to poke the raw protocol).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,520 @@
+//! A minimal JSON encoder/decoder — the wire format of the server's
+//! protocol, in-tree in the style of the workspace's other shims
+//! (`specslice_corpus::rng` for `rand`, `specslice_bench::timer` for
+//! Criterion): the container has no third-party crates, and the protocol
+//! needs only a small, strict, *deterministic* subset of JSON.
+//!
+//! Determinism matters more than ergonomics here: object members are kept
+//! in a `BTreeMap`, so a [`Json`] value always serializes to the same
+//! bytes — which is what lets the protocol tests assert that concurrent
+//! multi-client responses are *byte-identical* to a sequential replay, and
+//! lets the bench snapshot wire-byte counters that hold on every machine.
+//!
+//! The decoder is strict (no trailing garbage, no unescaped control
+//! characters, `\uXXXX` escapes with surrogate pairs) and defends the
+//! server against hostile input with a nesting-depth limit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Protocol payloads are a few
+/// levels deep; a thousand-bracket frame is an attack, not a request.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+///
+/// Numbers distinguish integers from floats so that ids and counters
+/// round-trip exactly: `Int` covers every number the protocol itself emits,
+/// `Float` is kept for completeness (e.g. wall-clock fields in stats).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (no decimal point or exponent in the source).
+    Int(i64),
+    /// A non-integral number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object. Ordered map ⇒ deterministic serialization.
+    Object(BTreeMap<String, Json>),
+}
+
+/// A JSON syntax error: byte offset plus description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Builds an object from key/value pairs (the protocol's response
+    /// builders read better with this than with `BTreeMap` plumbing).
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an array from anything yielding values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// The member `key` of an object (`None` for other shapes).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as a `u32`, when in range.
+    pub fn as_u32(&self) -> Option<u32> {
+        self.as_i64().and_then(|n| u32::try_from(n).ok())
+    }
+
+    /// The integer payload as a `usize`, when in range.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_i64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON value from `src` (the whole input must be consumed,
+    /// modulo surrounding whitespace).
+    pub fn parse(src: &str) -> Result<Json, JsonError> {
+        let bytes = src.as_bytes();
+        let mut p = Parser { bytes, pos: 0 };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// Serializes the value (compact, deterministic: object members in key
+    /// order, integers without decimal points).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(n) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{n}"));
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+                    // `{}` prints integral floats without a point; keep the
+                    // float-ness visible so it parses back as a Float.
+                    if x.fract() == 0.0 && !out.ends_with(['e', '.']) {
+                        let tail: String = out
+                            .chars()
+                            .rev()
+                            .take_while(|c| c.is_ascii_digit() || *c == '-')
+                            .collect();
+                        if !tail.is_empty() {
+                            out.push_str(".0");
+                        }
+                    }
+                } else {
+                    // JSON has no NaN/Inf; emit null rather than invalid text.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// [`Json::write`] into a fresh string.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Array(items));
+                        }
+                        _ => return Err(self.err("expected `,` or `]`")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members = BTreeMap::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Object(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.value(depth + 1)?;
+                    members.insert(key, value);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Object(members));
+                        }
+                        _ => return Err(self.err("expected `,` or `}`")),
+                    }
+                }
+            }
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character {:?}", b as char))),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| self.err(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| self.err(format!("integer out of range `{text}`")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid \\u escape")),
+                            }
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so the
+                    // bytes are valid UTF-8; find the scalar's width).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits, advancing past them.
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) -> String {
+        Json::parse(src).unwrap().to_text()
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(round_trip("null"), "null");
+        assert_eq!(round_trip("true"), "true");
+        assert_eq!(round_trip("false"), "false");
+        assert_eq!(round_trip("42"), "42");
+        assert_eq!(round_trip("-7"), "-7");
+        assert_eq!(round_trip("1.5"), "1.5");
+        assert_eq!(
+            round_trip("\"hi\\n\\\"there\\\"\""),
+            "\"hi\\n\\\"there\\\"\""
+        );
+    }
+
+    #[test]
+    fn objects_serialize_in_key_order() {
+        let v = Json::parse(r#"{"b":1, "a":[2,3], "c":{"z":null}}"#).unwrap();
+        assert_eq!(v.to_text(), r#"{"a":[2,3],"b":1,"c":{"z":null}}"#);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(Json::parse(r#""A""#).unwrap(), Json::Str("A".into()));
+        // Surrogate pair: 😀 U+1F600.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err());
+        assert!(Json::parse(r#""\ude00""#).is_err());
+        // Non-ASCII passes through and re-escapes only what JSON requires.
+        assert_eq!(round_trip("\"héllo\""), "\"héllo\"");
+    }
+
+    #[test]
+    fn strictness() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("42 junk").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"\u{1}\"").is_err());
+        assert!(Json::parse("01e").is_err());
+        assert!(Json::parse(&format!("{}1{}", "[".repeat(100), "]".repeat(100))).is_err());
+    }
+
+    #[test]
+    fn float_formatting_stays_float() {
+        assert_eq!(Json::Float(2.0).to_text(), "2.0");
+        assert_eq!(Json::Float(0.5).to_text(), "0.5");
+        assert_eq!(Json::Float(f64::NAN).to_text(), "null");
+        let t = Json::Float(1e300).to_text();
+        assert!(Json::parse(&t).is_ok(), "{t}");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"n":3,"s":"x","b":true,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(Json::as_u32), Some(3));
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            v.get("a").and_then(Json::as_array).map(|a| a.len()),
+            Some(1)
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Int(-1).as_u32(), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! `specslice-server` — a long-lived slicing daemon with persistent,
+//! warm-startable sessions.
+//!
+//! The library behind the `specslice-server` binary. It layers a service on
+//! top of the `specslice` pipeline:
+//!
+//! * [`proto`] — the framed wire protocol: length-prefixed JSON frames, a
+//!   version handshake, structured error payloads (one kind per
+//!   [`specslice::SpecError`] variant plus server-side kinds), and
+//!   frame-size limits enforced before allocation.
+//! * [`json`] — the in-tree, dependency-free JSON subset the protocol uses;
+//!   its writer is deterministic (ordered object members), which is what
+//!   makes query responses byte-comparable across thread counts and warm
+//!   vs. cold sessions.
+//! * [`session`] — the session manager: one `Sync` [`specslice::Slicer`]
+//!   per program content hash, shared by all connections; queries run
+//!   concurrently under read locks while edits serialize under the write
+//!   lock; cold sessions are LRU-evicted under a byte budget estimated by
+//!   [`specslice::Slicer::approx_bytes`].
+//! * [`snapshot`] — the persistence layer: a checksummed little-endian
+//!   binary image of each session's normalized source and criterion→slice
+//!   memo, written on eviction/shutdown and imported on open, so a
+//!   restarted daemon answers its first repeated query from the memo.
+//! * [`server`] / [`client`] — the accept loop + dispatcher, and a small
+//!   blocking client used by the example, tests, and bench harness.
+//!
+//! Everything is std-only: `TcpListener`/`UnixListener` for transport, the
+//! in-tree JSON for encoding — no third-party dependencies, matching the
+//! rest of the workspace.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+pub mod session;
+pub mod snapshot;
+
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use proto::{FrameError, DEFAULT_MAX_FRAME, PROTOCOL_VERSION};
+pub use server::{run, serve, Bind, Handle, ServerConfig};
+pub use session::{Session, SessionManager};
+pub use snapshot::{Snapshot, SnapshotError, FORMAT_VERSION};

@@ -1,0 +1,281 @@
+//! The framed wire protocol: length-prefixed JSON over a byte stream.
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame   := length payload
+//! length  := u32 (little-endian) — byte length of `payload`
+//! payload := one JSON value (UTF-8, no trailing bytes)
+//! ```
+//!
+//! Requests and responses are JSON objects. Every request carries an `"op"`
+//! string and a caller-chosen `"id"` (echoed verbatim in the response, so
+//! clients may pipeline). Responses carry `"ok": true` plus op-specific
+//! members, or `"ok": false` plus an [`error payload`](error_payload).
+//!
+//! The first exchange on a connection must be the version handshake: the
+//! client sends `{"op":"hello","id":…,"version":1}` and the server answers
+//! with its own `"version"`. A version mismatch or a non-`hello` first
+//! request is rejected with a `proto` error and the connection is closed.
+//!
+//! Frames larger than the negotiated limit ([`DEFAULT_MAX_FRAME`] unless the
+//! server is configured otherwise) are rejected *before* the payload is read,
+//! so a hostile length prefix cannot make the server allocate.
+
+use crate::json::Json;
+use specslice::SpecError;
+use std::io::{self, Read, Write};
+
+/// Protocol version spoken by this build. Bumped on incompatible changes to
+/// the frame grammar or request/response shapes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default upper bound on a frame's payload size (16 MiB). Programs and
+/// slices in the corpus are far smaller; the bound exists to stop a bad
+/// length prefix from driving allocation.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// A protocol-level failure while reading a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly between frames.
+    Eof,
+    /// I/O error on the underlying stream.
+    Io(io::Error),
+    /// The length prefix exceeds the frame-size limit.
+    TooLarge {
+        /// Declared payload size.
+        declared: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// The payload is not valid UTF-8 or not valid JSON.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "frame of {declared} bytes exceeds limit of {limit} bytes"
+                )
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Reads one frame's raw payload bytes.
+///
+/// # Errors
+///
+/// [`FrameError::Eof`] on clean close before the length prefix,
+/// [`FrameError::Io`] on stream errors (including truncation mid-frame),
+/// [`FrameError::TooLarge`] when the prefix exceeds `max_frame`.
+pub fn read_frame_bytes(stream: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(FrameError::Eof),
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    let declared = u32::from_le_bytes(len_buf) as usize;
+    if declared > max_frame {
+        return Err(FrameError::TooLarge {
+            declared,
+            limit: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    stream.read_exact(&mut payload).map_err(FrameError::Io)?;
+    Ok(payload)
+}
+
+/// Reads one frame and parses its payload as JSON.
+///
+/// # Errors
+///
+/// Everything [`read_frame_bytes`] returns, plus [`FrameError::Malformed`]
+/// for non-UTF-8 or non-JSON payloads.
+pub fn read_frame(stream: &mut impl Read, max_frame: usize) -> Result<Json, FrameError> {
+    let payload = read_frame_bytes(stream, max_frame)?;
+    let text = std::str::from_utf8(&payload)
+        .map_err(|e| FrameError::Malformed(format!("payload is not UTF-8: {e}")))?;
+    Json::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+/// Serializes `value` and writes it as one frame — in a single `write_all`,
+/// so a small frame goes out as one TCP segment instead of a length segment
+/// followed by a Nagle-delayed payload segment.
+///
+/// # Errors
+///
+/// Propagates stream errors.
+pub fn write_frame(stream: &mut impl Write, value: &Json) -> io::Result<()> {
+    let text = value.to_text();
+    let len = u32::try_from(text.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32 length",
+        )
+    })?;
+    let mut frame = Vec::with_capacity(4 + text.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(text.as_bytes());
+    stream.write_all(&frame)?;
+    stream.flush()
+}
+
+/// Error kinds carried in `"error":{"kind":…}` payloads. One kind per
+/// [`SpecError`] variant, plus server-side kinds for protocol, configuration,
+/// snapshot, and session-lookup failures.
+pub mod kind {
+    /// Lexical/syntax error from the MiniC frontend.
+    pub const PARSE: &str = "parse";
+    /// Semantic error from the MiniC checker.
+    pub const SEMA: &str = "sema";
+    /// SDG construction failure.
+    pub const SDG_BUILD: &str = "sdg_build";
+    /// Malformed slicing criterion.
+    pub const BAD_CRITERION: &str = "bad_criterion";
+    /// Internal invariant violation in the slicer.
+    pub const INTERNAL: &str = "internal";
+    /// Malformed request, unknown op, or handshake violation.
+    pub const PROTO: &str = "proto";
+    /// Invalid server or environment configuration.
+    pub const CONFIG: &str = "config";
+    /// Snapshot file rejected (truncated, corrupt, wrong version, …).
+    pub const SNAPSHOT: &str = "snapshot";
+    /// The request names a session the server does not hold.
+    pub const UNKNOWN_SESSION: &str = "unknown_session";
+}
+
+/// Builds the `"error"` member of a failure response: `{"kind", "message"}`
+/// plus `"line"` for frontend errors and `"context"` for internal ones.
+pub fn error_payload(kind: &str, message: impl Into<String>) -> Json {
+    Json::obj([
+        ("kind", Json::str(kind)),
+        ("message", Json::Str(message.into())),
+    ])
+}
+
+/// Maps a [`SpecError`] to its structured error payload.
+pub fn spec_error_payload(e: &SpecError) -> Json {
+    match e {
+        SpecError::Parse(le) => with_line(kind::PARSE, le),
+        SpecError::Sema(le) => with_line(kind::SEMA, le),
+        SpecError::SdgBuild(se) => error_payload(kind::SDG_BUILD, se.to_string()),
+        SpecError::BadCriterion { reason } => error_payload(kind::BAD_CRITERION, reason.clone()),
+        SpecError::Internal { context, message } => Json::obj([
+            ("kind", Json::str(kind::INTERNAL)),
+            ("context", Json::str(*context)),
+            ("message", Json::str(message.clone())),
+        ]),
+    }
+}
+
+fn with_line(kind: &str, le: &specslice::LangError) -> Json {
+    Json::obj([
+        ("kind", Json::str(kind)),
+        ("line", Json::Int(i64::from(le.line()))),
+        ("message", Json::str(le.message())),
+    ])
+}
+
+/// Builds a failure response echoing `id`.
+pub fn error_response(id: &Json, error: Json) -> Json {
+    Json::obj([
+        ("id", id.clone()),
+        ("ok", Json::Bool(false)),
+        ("error", error),
+    ])
+}
+
+/// Builds a success response echoing `id`, merging `members` into the
+/// response object.
+pub fn ok_response(id: &Json, members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut obj = match Json::obj(members) {
+        Json::Object(m) => m,
+        _ => unreachable!(),
+    };
+    obj.insert("id".to_string(), id.clone());
+    obj.insert("ok".to_string(), Json::Bool(true));
+    Json::Object(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let v = Json::obj([("op", Json::str("hello")), ("version", Json::Int(1))]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &v).unwrap();
+        assert_eq!(&buf[..4], &(buf.len() as u32 - 4).to_le_bytes());
+        let got = read_frame(&mut Cursor::new(&buf), DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(got, v);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        match read_frame(&mut Cursor::new(&buf), 1024) {
+            Err(FrameError::TooLarge { declared, limit }) => {
+                assert_eq!(declared, u32::MAX as usize);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_eof() {
+        assert!(matches!(
+            read_frame(&mut Cursor::new(Vec::new()), 1024),
+            Err(FrameError::Eof)
+        ));
+        // Length prefix promising more bytes than present ⇒ Io, not Eof.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"tru");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf), 1024),
+            Err(FrameError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(b"not jso");
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf), 1024),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn spec_error_mapping() {
+        let e = SpecError::bad_criterion("empty");
+        let p = spec_error_payload(&e);
+        assert_eq!(p.get("kind").and_then(Json::as_str), Some("bad_criterion"));
+        let e = SpecError::internal("readout", "boom");
+        let p = spec_error_payload(&e);
+        assert_eq!(p.get("kind").and_then(Json::as_str), Some("internal"));
+        assert_eq!(p.get("context").and_then(Json::as_str), Some("readout"));
+        let e = SpecError::from(specslice::LangError::parse(3, "bad token"));
+        let p = spec_error_payload(&e);
+        assert_eq!(p.get("kind").and_then(Json::as_str), Some("parse"));
+        assert_eq!(p.get("line").and_then(Json::as_i64), Some(3));
+    }
+}

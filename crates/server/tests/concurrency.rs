@@ -1,0 +1,340 @@
+//! End-to-end concurrency: N client threads hammer one session with mixed
+//! `slice` / `slice_batch` / `remove_feature` requests while another
+//! connection applies an edit between phases. Every raw response frame must
+//! be byte-identical to a sequential replay on a fresh server — and must
+//! stay byte-identical across server thread widths 1, 2, and 4, which is
+//! the determinism contract the wire format promises.
+
+use specslice_server::proto::{read_frame_bytes, DEFAULT_MAX_FRAME};
+use specslice_server::{serve, Bind, Client, Json, ServerConfig};
+use std::io::Write;
+
+const PROGRAM: &str = r#"
+    int total;
+    int count;
+    void add(int x) { total = total + x; count = count + 1; }
+    int avg() { if (count == 0) { return 0; } return total / count; }
+    int main() {
+        int i;
+        i = 0;
+        total = 0;
+        count = 0;
+        while (i < 5) { add(i); i = i + 1; }
+        printf("%d\n", avg());
+        return 0;
+    }
+"#;
+
+const EDITED_ADD: &str = "void add(int x) { total = total + x + 0; count = count + 1; }";
+
+const WORKERS: usize = 4;
+const ROUNDS: usize = 3;
+
+fn printf_criterion() -> Json {
+    Json::obj([("kind", Json::str("printf_actuals"))])
+}
+
+fn all_contexts(vertices: &[u32]) -> Json {
+    Json::obj([
+        ("kind", Json::str("all_contexts")),
+        (
+            "vertices",
+            Json::arr(vertices.iter().map(|&v| Json::Int(i64::from(v)))),
+        ),
+    ])
+}
+
+/// One request a worker will send: `(op, params)`.
+type Op = (&'static str, Vec<(&'static str, Json)>);
+
+/// The deterministic request script for worker `w` against `session`. Each
+/// worker mixes single slices, batches, and feature removals over criteria
+/// that differ per worker, so concurrent requests genuinely interleave
+/// distinct pipeline queries.
+fn worker_script(w: usize, session: &str) -> Vec<Op> {
+    let sid = || ("session", Json::str(session));
+    let mut ops: Vec<Op> = Vec::new();
+    for round in 0..ROUNDS {
+        let v = (w * ROUNDS + round) as u32 + 1;
+        ops.push(("slice", vec![sid(), ("criterion", printf_criterion())]));
+        ops.push(("slice", vec![sid(), ("criterion", all_contexts(&[v]))]));
+        ops.push((
+            "slice_batch",
+            vec![
+                sid(),
+                (
+                    "criteria",
+                    Json::arr([printf_criterion(), all_contexts(&[v, v + 1])]),
+                ),
+            ],
+        ));
+        ops.push((
+            "remove_feature",
+            vec![sid(), ("criterion", all_contexts(&[1]))],
+        ));
+    }
+    ops
+}
+
+/// Connects a fresh client and plays `ops`, returning each raw response
+/// frame. Request ids are per-connection counters, so as long as replay
+/// opens connections with the same request order, the ids — and therefore
+/// the full frames — line up byte-for-byte.
+fn play(addr: &str, ops: Vec<Op>) -> Vec<Vec<u8>> {
+    let mut client = Client::connect_tcp(addr).expect("connect");
+    ops.into_iter()
+        .map(|(op, params)| client.request_bytes(op, params).expect("request"))
+        .collect()
+}
+
+struct RunOutput {
+    phase_a: Vec<Vec<Vec<u8>>>,
+    phase_b: Vec<Vec<Vec<u8>>>,
+    edited_session: String,
+}
+
+fn start(threads: usize) -> (specslice_server::Handle, String) {
+    let mut config = ServerConfig::new(Bind::Tcp("127.0.0.1:0".to_string()));
+    config.threads = Some(threads);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr.clone();
+    (handle, addr)
+}
+
+fn open_session(client: &mut Client<std::net::TcpStream>) -> String {
+    let opened = client
+        .request("open", [("source", Json::str(PROGRAM))])
+        .expect("open");
+    opened
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("session id")
+        .to_string()
+}
+
+fn apply_the_edit(client: &mut Client<std::net::TcpStream>, session: &str) -> String {
+    let edited = client
+        .request(
+            "apply_edit",
+            [
+                ("session", Json::str(session)),
+                (
+                    "edits",
+                    Json::arr([Json::obj([
+                        ("kind", Json::str("replace_function")),
+                        ("source", Json::str(EDITED_ADD)),
+                    ])]),
+                ),
+            ],
+        )
+        .expect("apply_edit");
+    edited
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("new session id")
+        .to_string()
+}
+
+/// Phase B alternates between the pre-edit id (which must resolve through
+/// the alias) and the post-edit id; both address the same edited session.
+fn phase_b_session<'a>(w: usize, old: &'a str, new: &'a str) -> &'a str {
+    if w.is_multiple_of(2) {
+        old
+    } else {
+        new
+    }
+}
+
+/// The concurrent run: workers hammer in parallel within each phase, with
+/// the edit applied at the barrier between phases.
+fn concurrent_run(threads: usize) -> RunOutput {
+    let (handle, addr) = start(threads);
+    let mut main = Client::connect_tcp(&addr).expect("connect main");
+    let session = open_session(&mut main);
+
+    let spawn_phase = |scripts: Vec<Vec<Op>>| -> Vec<Vec<Vec<u8>>> {
+        let threads: Vec<_> = scripts
+            .into_iter()
+            .map(|ops| {
+                let addr = addr.clone();
+                std::thread::spawn(move || play(&addr, ops))
+            })
+            .collect();
+        threads
+            .into_iter()
+            .map(|t| t.join().expect("worker"))
+            .collect()
+    };
+
+    let phase_a = spawn_phase((0..WORKERS).map(|w| worker_script(w, &session)).collect());
+    let edited_session = apply_the_edit(&mut main, &session);
+    let phase_b = spawn_phase(
+        (0..WORKERS)
+            .map(|w| worker_script(w, phase_b_session(w, &session, &edited_session)))
+            .collect(),
+    );
+
+    handle.stop();
+    RunOutput {
+        phase_a,
+        phase_b,
+        edited_session,
+    }
+}
+
+/// The sequential replay: identical connection structure and request order,
+/// but one worker at a time on a single-threaded server.
+fn sequential_replay() -> RunOutput {
+    let (handle, addr) = start(1);
+    let mut main = Client::connect_tcp(&addr).expect("connect main");
+    let session = open_session(&mut main);
+
+    let phase_a = (0..WORKERS)
+        .map(|w| play(&addr, worker_script(w, &session)))
+        .collect();
+    let edited_session = apply_the_edit(&mut main, &session);
+    let phase_b = (0..WORKERS)
+        .map(|w| {
+            play(
+                &addr,
+                worker_script(w, phase_b_session(w, &session, &edited_session)),
+            )
+        })
+        .collect();
+
+    handle.stop();
+    RunOutput {
+        phase_a,
+        phase_b,
+        edited_session,
+    }
+}
+
+fn assert_identical(tag: &str, got: &RunOutput, want: &RunOutput) {
+    assert_eq!(
+        got.edited_session, want.edited_session,
+        "{tag}: edit re-keyed to a different session id"
+    );
+    for (phase, got_phase, want_phase) in [
+        ("A", &got.phase_a, &want.phase_a),
+        ("B", &got.phase_b, &want.phase_b),
+    ] {
+        for (w, (g, s)) in got_phase.iter().zip(want_phase).enumerate() {
+            assert_eq!(g.len(), s.len(), "{tag}: phase {phase} worker {w} count");
+            for (i, (gb, sb)) in g.iter().zip(s).enumerate() {
+                assert_eq!(
+                    gb,
+                    sb,
+                    "{tag}: phase {phase} worker {w} response {i} differs:\n  concurrent: {}\n  sequential: {}",
+                    String::from_utf8_lossy(gb),
+                    String::from_utf8_lossy(sb),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn concurrent_responses_are_byte_identical_to_sequential_replay() {
+    let baseline = sequential_replay();
+    for threads in [1, 2, 4] {
+        let got = concurrent_run(threads);
+        assert_identical(&format!("threads={threads}"), &got, &baseline);
+    }
+}
+
+/// A connection spraying malformed frames must get structured `proto`
+/// errors without desynchronizing its own stream or poisoning the shared
+/// session for anyone else.
+#[test]
+fn malformed_requests_do_not_poison_the_session() {
+    let (handle, addr) = start(2);
+    let mut main = Client::connect_tcp(&addr).expect("connect main");
+    let session = open_session(&mut main);
+
+    let strip_id = |bytes: &[u8]| {
+        let v = Json::parse(std::str::from_utf8(bytes).unwrap()).unwrap();
+        match v {
+            Json::Object(mut m) => {
+                m.remove("id");
+                Json::Object(m).to_text()
+            }
+            other => other.to_text(),
+        }
+    };
+    let baseline = strip_id(
+        &main
+            .request_bytes(
+                "slice",
+                [
+                    ("session", Json::str(&session)),
+                    ("criterion", printf_criterion()),
+                ],
+            )
+            .expect("baseline slice"),
+    );
+
+    // Hammer the session from two clean workers while a third connection
+    // alternates garbage frames with valid requests.
+    let hammers: Vec<_> = (0..2)
+        .map(|w| {
+            let addr = addr.clone();
+            let session = session.clone();
+            std::thread::spawn(move || play(&addr, worker_script(w, &session)))
+        })
+        .collect();
+
+    let mut vandal = Client::connect_tcp(&addr).expect("connect vandal");
+    for _ in 0..5 {
+        // A well-framed payload that is not JSON: the server must answer a
+        // structured error and keep the connection.
+        let garbage = b"{this is not json";
+        let stream = vandal.stream_mut();
+        stream
+            .write_all(&(garbage.len() as u32).to_le_bytes())
+            .unwrap();
+        stream.write_all(garbage).unwrap();
+        stream.flush().unwrap();
+        let reply = read_frame_bytes(stream, DEFAULT_MAX_FRAME).expect("error reply");
+        let reply = Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            reply
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("proto")
+        );
+        // The same connection keeps working afterwards.
+        let ok = strip_id(
+            &vandal
+                .request_bytes(
+                    "slice",
+                    [
+                        ("session", Json::str(&session)),
+                        ("criterion", printf_criterion()),
+                    ],
+                )
+                .expect("post-garbage slice"),
+        );
+        assert_eq!(ok, baseline, "session answered differently after garbage");
+    }
+
+    for h in hammers {
+        h.join().expect("hammer worker");
+    }
+    // And the session still answers everyone else identically.
+    let again = strip_id(
+        &main
+            .request_bytes(
+                "slice",
+                [
+                    ("session", Json::str(&session)),
+                    ("criterion", printf_criterion()),
+                ],
+            )
+            .expect("final slice"),
+    );
+    assert_eq!(again, baseline);
+    handle.stop();
+}

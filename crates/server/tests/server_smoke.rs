@@ -1,0 +1,146 @@
+//! The smoke scenario CI runs against the external binary, in-process: a
+//! daemon on a unix socket serves corpus programs, snapshots on shutdown,
+//! and the restarted daemon answers the first repeated query per program
+//! from the imported memo — byte-identically.
+
+#![cfg(unix)]
+
+use specslice_server::{serve, Bind, Client, Json, ServerConfig};
+use std::path::PathBuf;
+
+/// A corpus subset keeps the in-process smoke fast; the CI job runs the
+/// external-binary flavor over the full corpus.
+const SMOKE_PROGRAMS: [&str; 3] = ["tcas", "schedule", "replace"];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("specslice-smoke-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn strip_id(bytes: &[u8]) -> String {
+    let v = Json::parse(std::str::from_utf8(bytes).unwrap()).unwrap();
+    match v {
+        Json::Object(mut m) => {
+            m.remove("id");
+            Json::Object(m).to_text()
+        }
+        other => other.to_text(),
+    }
+}
+
+fn printf_criterion() -> Json {
+    Json::obj([("kind", Json::str("printf_actuals"))])
+}
+
+#[test]
+fn corpus_warm_restart_over_unix_socket() {
+    let dir = temp_dir("corpus");
+    let sock = dir.join("daemon.sock");
+    let snap = dir.join("snapshots");
+    let programs: Vec<_> = SMOKE_PROGRAMS
+        .iter()
+        .map(|name| specslice_corpus::by_name(name).expect("corpus program"))
+        .collect();
+
+    let mut config = ServerConfig::new(Bind::Unix(sock.clone()));
+    config.snapshot_dir = Some(snap.clone());
+    config.threads = Some(2);
+
+    // Cold cycle: open + slice each program, then `shutdown` (snapshots).
+    let handle = serve(config.clone()).expect("bind");
+    let mut client = Client::connect_unix(&sock).expect("connect");
+    let mut expected = Vec::new();
+    for p in &programs {
+        let opened = client
+            .request("open", [("source", Json::str(p.source))])
+            .expect("open");
+        assert_eq!(opened.get("warm").and_then(Json::as_bool), Some(false));
+        let sid = opened
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        let bytes = client
+            .request_bytes(
+                "slice",
+                [
+                    ("session", Json::str(&sid)),
+                    ("criterion", printf_criterion()),
+                ],
+            )
+            .expect("cold slice");
+        expected.push((sid, bytes));
+    }
+    let down = client.request("shutdown", []).expect("shutdown");
+    assert_eq!(
+        down.get("snapshots_written").and_then(Json::as_i64),
+        Some(programs.len() as i64)
+    );
+    handle.wait();
+
+    // Warm cycle: every program restores its memo and answers the repeated
+    // query byte-identically without re-running the pipeline.
+    let handle = serve(config).expect("re-bind");
+    let mut client = Client::connect_unix(&sock).expect("reconnect");
+    for (p, (sid, want)) in programs.iter().zip(&expected) {
+        let opened = client
+            .request("open", [("source", Json::str(p.source))])
+            .expect("warm open");
+        assert_eq!(
+            opened.get("warm").and_then(Json::as_bool),
+            Some(true),
+            "{}: {}",
+            p.name,
+            opened.to_text()
+        );
+        assert!(
+            opened
+                .get("memo_imported")
+                .and_then(Json::as_i64)
+                .unwrap_or(0)
+                >= 1
+        );
+        assert_eq!(
+            opened.get("session").and_then(Json::as_str),
+            Some(sid.as_str()),
+            "{}: session id changed across restart",
+            p.name
+        );
+        let got = client
+            .request_bytes(
+                "slice",
+                [
+                    ("session", Json::str(sid)),
+                    ("criterion", printf_criterion()),
+                ],
+            )
+            .expect("warm slice");
+        assert_eq!(
+            strip_id(&got),
+            strip_id(want),
+            "{}: warm slice differs",
+            p.name
+        );
+        let stats = client
+            .request("stats", [("session", Json::str(sid))])
+            .expect("stats");
+        let hits = stats
+            .get("session_stats")
+            .and_then(|s| s.get("memo_hits"))
+            .and_then(Json::as_i64)
+            .unwrap_or(0);
+        assert!(hits >= 1, "{}: warm query missed the memo", p.name);
+    }
+    // Global counters agree: every open this cycle was a warm start.
+    let stats = client.request("stats", []).expect("global stats");
+    assert_eq!(
+        stats.get("warm_starts").and_then(Json::as_i64),
+        Some(programs.len() as i64)
+    );
+    assert_eq!(stats.get("cold_opens").and_then(Json::as_i64), Some(0));
+    handle.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

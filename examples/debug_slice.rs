@@ -64,5 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "variant store: {} interned / {} intern calls ({} dedup hits), {} row bytes",
         st.interned, st.intern_calls, st.dedup_hits, st.row_bytes
     );
+
+    // The per-stage byte estimates behind `Slicer::approx_bytes` — the same
+    // accounting the server's LRU eviction budget charges a session with.
+    println!(
+        "resident estimate: {} bytes (sdg {}, store {}, mrd automata {} + {})",
+        slicer.approx_bytes(),
+        sdg.approx_bytes(),
+        st.approx_bytes(),
+        stats.approx_bytes(),
+        cfg_stats.approx_bytes(),
+    );
     Ok(())
 }

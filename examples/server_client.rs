@@ -1,0 +1,451 @@
+//! Quickstart for the `specslice-server` daemon: open a session, slice,
+//! edit, re-slice, read stats — then restart the server and show the warm
+//! start answering the repeated query from the persisted memo.
+//!
+//! Two modes:
+//!
+//! * **no arguments** — everything in-process: the example starts a daemon
+//!   on a unix socket in a temp directory, runs the cold phase, shuts the
+//!   daemon down (which snapshots), starts a fresh daemon on the same
+//!   snapshot directory, and runs the warm phase. This is the
+//!   `cargo run --example server_client` path.
+//! * **`--server BIN --unix SOCK --snapshot-dir DIR [--threads N]
+//!   [--corpus]`** — the same scenario against an *external* daemon binary,
+//!   spawning and respawning it; `--corpus` additionally cycles every
+//!   corpus program through the cold → snapshot → warm loop. This is what
+//!   CI's `server-smoke` job runs: the real binary, a real socket, and a
+//!   real process restart.
+//!
+//! The example asserts the smoke-test acceptance criteria and exits
+//! non-zero on failure: the warm session must report `memo_imported > 0`
+//! and its first repeated query must be a memo hit (`memo_hits >= 1`),
+//! with a byte-identical slice response.
+
+use specslice_server::{serve, Bind, Client, Json, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+const PROGRAM: &str = r#"
+    int total;
+    int count;
+    void add(int x) { total = total + x; count = count + 1; }
+    int avg() { if (count == 0) { return 0; } return total / count; }
+    int main() {
+        int i;
+        i = 0;
+        total = 0;
+        count = 0;
+        while (i < 5) { add(i); i = i + 1; }
+        printf("%d\n", avg());
+        return 0;
+    }
+"#;
+
+const EDITED_AVG: &str = "int avg() { if (count == 0) { return 0 - 1; } return total / count; }";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("server_client: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Response body with the echoed `id` normalized out — request-id counters
+/// differ between connections, everything else must not.
+fn strip_id(bytes: &[u8]) -> String {
+    let v = Json::parse(std::str::from_utf8(bytes).unwrap()).unwrap();
+    match v {
+        Json::Object(mut m) => {
+            m.remove("id");
+            Json::Object(m).to_text()
+        }
+        other => other.to_text(),
+    }
+}
+
+fn get_i64(v: &Json, path: &[&str]) -> i64 {
+    let mut cur = v;
+    for p in path {
+        cur = cur
+            .get(p)
+            .unwrap_or_else(|| fail(&format!("response missing `{p}`: {}", v.to_text())));
+    }
+    cur.as_i64()
+        .unwrap_or_else(|| fail(&format!("`{}` is not an integer", path.join("."))))
+}
+
+/// The cold phase: open, slice, edit, re-slice, stats. Returns the session
+/// id after the edit and the raw bytes of the post-edit slice response.
+fn cold_phase(client: &mut Client<impl Read + Write>, source: &str) -> (String, Vec<u8>) {
+    let opened = client
+        .request("open", [("source", Json::str(source))])
+        .unwrap_or_else(|e| fail(&format!("open: {e}")));
+    let session = opened
+        .get("session")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    println!(
+        "opened session {session}: {} vertices, warm={}",
+        get_i64(&opened, &["vertices"]),
+        opened.get("warm").and_then(Json::as_bool).unwrap()
+    );
+
+    let criterion = Json::obj([("kind", Json::str("printf_actuals"))]);
+    let sliced = client
+        .request(
+            "slice",
+            [
+                ("session", Json::str(session.clone())),
+                ("criterion", criterion.clone()),
+            ],
+        )
+        .unwrap_or_else(|e| fail(&format!("slice: {e}")));
+    let n_variants = sliced
+        .get("slice")
+        .and_then(|s| s.get("variants"))
+        .and_then(Json::as_array)
+        .map(|a| a.len())
+        .unwrap_or_else(|| fail("slice response has no variants"));
+    println!("cold slice: {n_variants} variants");
+
+    // Edit: replace `avg` (the slice's callee), then re-slice. The edit
+    // re-keys the session; keep using the id the server returns.
+    let edited = client
+        .request(
+            "apply_edit",
+            [
+                ("session", Json::str(session.clone())),
+                (
+                    "edits",
+                    Json::arr([Json::obj([
+                        ("kind", Json::str("replace_function")),
+                        ("source", Json::str(EDITED_AVG)),
+                    ])]),
+                ),
+            ],
+        )
+        .unwrap_or_else(|e| fail(&format!("apply_edit: {e}")));
+    let session = edited
+        .get("session")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    println!(
+        "edit applied: memo kept {} / dropped {}, session re-keyed to {session}",
+        get_i64(&edited, &["report", "memo_kept"]),
+        get_i64(&edited, &["report", "memo_dropped"]),
+    );
+
+    let resliced_bytes = client
+        .request_bytes(
+            "slice",
+            [
+                ("session", Json::str(session.clone())),
+                ("criterion", criterion),
+            ],
+        )
+        .unwrap_or_else(|e| fail(&format!("re-slice: {e}")));
+
+    let stats = client
+        .request("stats", [("session", Json::str(session.clone()))])
+        .unwrap_or_else(|e| fail(&format!("stats: {e}")));
+    println!(
+        "cold stats: queries_run={}, memo_len={}, bytes={}",
+        get_i64(&stats, &["session_stats", "queries_run"]),
+        get_i64(&stats, &["session_stats", "memo_len"]),
+        get_i64(&stats, &["session_stats", "bytes"]),
+    );
+
+    (session, resliced_bytes)
+}
+
+/// The warm phase: re-open the edited program after a server restart and
+/// assert the memo came back from the snapshot.
+fn warm_phase(client: &mut Client<impl Read + Write>, edited_source: &str, expected_bytes: &[u8]) {
+    let opened = client
+        .request("open", [("source", Json::str(edited_source))])
+        .unwrap_or_else(|e| fail(&format!("warm open: {e}")));
+    let session = opened
+        .get("session")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    if opened.get("warm").and_then(Json::as_bool) != Some(true) {
+        fail(&format!("expected a warm open, got {}", opened.to_text()));
+    }
+    let imported = get_i64(&opened, &["memo_imported"]);
+    if imported < 1 {
+        fail(&format!(
+            "warm open imported {imported} memo entries, expected >= 1"
+        ));
+    }
+    println!("warm open: imported {imported} memo entries from the snapshot");
+
+    let warm_bytes = client
+        .request_bytes(
+            "slice",
+            [
+                ("session", Json::str(session.clone())),
+                (
+                    "criterion",
+                    Json::obj([("kind", Json::str("printf_actuals"))]),
+                ),
+            ],
+        )
+        .unwrap_or_else(|e| fail(&format!("warm slice: {e}")));
+    if strip_id(&warm_bytes) != strip_id(expected_bytes) {
+        fail("warm slice response differs from the pre-restart response");
+    }
+    println!("warm slice is byte-identical to the pre-restart slice");
+
+    let stats = client
+        .request("stats", [("session", Json::str(session))])
+        .unwrap_or_else(|e| fail(&format!("warm stats: {e}")));
+    let memo_hits = get_i64(&stats, &["session_stats", "memo_hits"]);
+    if memo_hits < 1 {
+        fail(&format!(
+            "first repeated query after restart ran the pipeline (memo_hits={memo_hits})"
+        ));
+    }
+    println!("warm start verified: memo_hits={memo_hits} on the first repeated query");
+}
+
+/// Opens and slices every corpus program on the cold server, returning the
+/// raw slice responses to hold the warm phase to.
+fn corpus_cold(client: &mut Client<impl Read + Write>) -> Vec<(&'static str, Vec<u8>)> {
+    specslice_corpus::programs()
+        .iter()
+        .map(|p| {
+            let opened = client
+                .request("open", [("source", Json::str(p.source))])
+                .unwrap_or_else(|e| fail(&format!("open {}: {e}", p.name)));
+            let session = opened
+                .get("session")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            let bytes = client
+                .request_bytes(
+                    "slice",
+                    [
+                        ("session", Json::str(session)),
+                        (
+                            "criterion",
+                            Json::obj([("kind", Json::str("printf_actuals"))]),
+                        ),
+                    ],
+                )
+                .unwrap_or_else(|e| fail(&format!("slice {}: {e}", p.name)));
+            println!(
+                "corpus {}: opened ({} vertices), sliced",
+                p.name,
+                get_i64(&opened, &["vertices"])
+            );
+            (p.name, bytes)
+        })
+        .collect()
+}
+
+/// Re-opens every corpus program on the restarted server and asserts each
+/// one warm-starts: memo imported, byte-identical slice, memo hit.
+fn corpus_warm(client: &mut Client<impl Read + Write>, expected: &[(&'static str, Vec<u8>)]) {
+    for (program, want) in specslice_corpus::programs().iter().zip(expected) {
+        let opened = client
+            .request("open", [("source", Json::str(program.source))])
+            .unwrap_or_else(|e| fail(&format!("warm open {}: {e}", program.name)));
+        let session = opened
+            .get("session")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        if opened.get("warm").and_then(Json::as_bool) != Some(true)
+            || get_i64(&opened, &["memo_imported"]) < 1
+        {
+            fail(&format!(
+                "corpus {} did not warm-start: {}",
+                program.name,
+                opened.to_text()
+            ));
+        }
+        let got = client
+            .request_bytes(
+                "slice",
+                [
+                    ("session", Json::str(session.clone())),
+                    (
+                        "criterion",
+                        Json::obj([("kind", Json::str("printf_actuals"))]),
+                    ),
+                ],
+            )
+            .unwrap_or_else(|e| fail(&format!("warm slice {}: {e}", program.name)));
+        if strip_id(&got) != strip_id(&want.1) {
+            fail(&format!("corpus {}: warm slice differs", program.name));
+        }
+        let stats = client
+            .request("stats", [("session", Json::str(session))])
+            .unwrap_or_else(|e| fail(&format!("warm stats {}: {e}", program.name)));
+        let hits = get_i64(&stats, &["session_stats", "memo_hits"]);
+        if hits < 1 {
+            fail(&format!(
+                "corpus {}: repeated query missed the memo after restart",
+                program.name
+            ));
+        }
+        println!(
+            "corpus {}: warm start verified (memo_hits={hits})",
+            program.name
+        );
+    }
+}
+
+/// The edited program's full source, as the warm phase must submit it. Any
+/// formatting works — sessions are keyed by *normalized* source.
+fn edited_source() -> String {
+    PROGRAM.replace(
+        "int avg() { if (count == 0) { return 0; } return total / count; }",
+        EDITED_AVG,
+    )
+}
+
+// ---------------------------------------------------------------- in-process
+
+fn run_in_process() {
+    let dir = std::env::temp_dir().join(format!("specslice-example-{}", std::process::id()));
+    let snap = dir.join("snapshots");
+    std::fs::create_dir_all(&snap).unwrap();
+    let sock = dir.join("daemon.sock");
+
+    println!("== cold server ==");
+    let mut config = ServerConfig::new(Bind::Unix(sock.clone()));
+    config.snapshot_dir = Some(snap.clone());
+    let handle = serve(config.clone()).unwrap_or_else(|e| fail(&format!("bind: {e}")));
+    let mut client = Client::connect_unix(&sock).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let (_session, expected) = cold_phase(&mut client, PROGRAM);
+    let edited = edited_source();
+    client
+        .request("shutdown", [])
+        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    handle.wait();
+
+    println!("== restarted server ==");
+    let handle = serve(config).unwrap_or_else(|e| fail(&format!("re-bind: {e}")));
+    let mut client =
+        Client::connect_unix(&sock).unwrap_or_else(|e| fail(&format!("reconnect: {e}")));
+    warm_phase(&mut client, &edited, &expected);
+    client
+        .request("shutdown", [])
+        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    handle.wait();
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("OK");
+}
+
+// ------------------------------------------------------------ external mode
+
+struct Daemon {
+    child: Child,
+}
+
+impl Daemon {
+    fn spawn(server_bin: &str, sock: &PathBuf, snap: &PathBuf, threads: Option<&str>) -> Daemon {
+        let mut cmd = Command::new(server_bin);
+        cmd.arg("--unix")
+            .arg(sock)
+            .arg("--snapshot-dir")
+            .arg(snap)
+            .stdout(Stdio::piped());
+        if let Some(t) = threads {
+            cmd.arg("--threads").arg(t);
+        }
+        let mut child = cmd
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("spawn {server_bin}: {e}")));
+        // Wait for the readiness line.
+        let stdout = child.stdout.take().unwrap();
+        let mut lines = BufReader::new(stdout).lines();
+        match lines.next() {
+            Some(Ok(line)) if line.contains("listening on") => {}
+            other => fail(&format!("daemon did not report readiness: {other:?}")),
+        }
+        // Keep draining stdout in the background so the daemon never blocks
+        // on a full pipe.
+        std::thread::spawn(move || for _ in lines {});
+        Daemon { child }
+    }
+
+    fn wait(mut self) {
+        let status = self.child.wait().expect("daemon wait");
+        if !status.success() {
+            fail(&format!("daemon exited with {status}"));
+        }
+    }
+}
+
+fn run_external(
+    server_bin: &str,
+    sock: PathBuf,
+    snap: PathBuf,
+    threads: Option<String>,
+    corpus: bool,
+) {
+    std::fs::create_dir_all(&snap).unwrap();
+
+    println!("== cold server (external) ==");
+    let daemon = Daemon::spawn(server_bin, &sock, &snap, threads.as_deref());
+    let mut client = Client::connect_unix(&sock).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    let (_session, expected) = cold_phase(&mut client, PROGRAM);
+    let corpus_expected = if corpus {
+        corpus_cold(&mut client)
+    } else {
+        Vec::new()
+    };
+    let edited = edited_source();
+    client
+        .request("shutdown", [])
+        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    daemon.wait();
+
+    println!("== restarted server (external) ==");
+    let daemon = Daemon::spawn(server_bin, &sock, &snap, threads.as_deref());
+    let mut client =
+        Client::connect_unix(&sock).unwrap_or_else(|e| fail(&format!("reconnect: {e}")));
+    warm_phase(&mut client, &edited, &expected);
+    if corpus {
+        corpus_warm(&mut client, &corpus_expected);
+    }
+    client
+        .request("shutdown", [])
+        .unwrap_or_else(|e| fail(&format!("shutdown: {e}")));
+    daemon.wait();
+    println!("OK");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut server_bin = None;
+    let mut sock = None;
+    let mut snap = None;
+    let mut threads = None;
+    let mut corpus = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--server" => server_bin = Some(value("--server")),
+            "--unix" => sock = Some(PathBuf::from(value("--unix"))),
+            "--snapshot-dir" => snap = Some(PathBuf::from(value("--snapshot-dir"))),
+            "--threads" => threads = Some(value("--threads")),
+            "--corpus" => corpus = true,
+            other => fail(&format!("unknown flag `{other}`")),
+        }
+    }
+    match (server_bin, sock, snap) {
+        (None, None, None) => run_in_process(),
+        (Some(bin), Some(sock), Some(snap)) => run_external(&bin, sock, snap, threads, corpus),
+        _ => fail("external mode needs --server, --unix, and --snapshot-dir together"),
+    }
+}
