@@ -176,6 +176,14 @@ pub fn query_automaton_reusing(
 
 /// The language of all configurations reachable from `⟨entry_main, ε⟩` —
 /// i.e. every `(v, w)` of the unrolled SDG whose stack is realizable.
+///
+/// The result is determinized and minimized: it is built once per session
+/// but consumed per criterion (all-contexts queries intersect with it and
+/// re-determinize the product), so every state shaved here is shaved from
+/// each of those downstream subset constructions. With a deterministic
+/// left operand and the deterministic `verts · Γ_c*` shape on the right,
+/// the product is itself deterministic and the per-criterion determinize
+/// degenerates to a linear walk.
 pub fn reachable_configurations(sdg: &Sdg, enc: &Encoded) -> Nfa {
     let mut ae = PAutomaton::new(enc.pds.control_count());
     let f = ae.add_state();
@@ -195,7 +203,8 @@ pub fn reachable_configurations(sdg: &Sdg, enc: &Encoded) -> Nfa {
         &mut specslice_pds::SaturationScratch::default(),
     )
     .expect("entry query satisfies the post* preconditions by construction");
-    post.to_nfa(MAIN_CONTROL)
+    let nfa = post.to_nfa(MAIN_CONTROL);
+    specslice_fsa::hopcroft::minimize(&Dfa::determinize(&nfa)).to_nfa()
 }
 
 /// Converts an arbitrary NFA into a query P-automaton: determinize +

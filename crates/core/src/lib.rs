@@ -97,7 +97,7 @@ pub use criteria::Criterion;
 pub use incremental::EditReport;
 pub use readout::{SpecSlice, VariantMeta, VariantPdg};
 pub use session_io::{MemoExport, MemoExportVariant, MemoKeyExport};
-pub use slicer::{BatchResult, Slicer, SlicerConfig};
+pub use slicer::{BatchResult, Slicer, SlicerConfig, Solver};
 pub use specialize::{MergedFunction, SpecializedProgram};
 pub use store::{StoreStats, VariantId, VariantStore};
 // Batch slicing reports per-worker accounting in [`BatchResult::per_thread`];
@@ -245,6 +245,19 @@ pub struct PipelineStats {
     pub a1_transitions: usize,
     /// MRD pipeline statistics (`determinize` / `minimize` sizes).
     pub mrd: MrdStats,
+    /// `Prestar` saturations this query paid for. Under the per-criterion
+    /// solver every computed query runs its own (`1`); under the one-pass
+    /// solver one member of each criterion group carries its group's shared
+    /// saturation and the rest report `0`, so a batch aggregate counts
+    /// *distinct* saturations run — the number the one-pass solver exists
+    /// to shrink. Memo hits replay the stats recorded when the entry was
+    /// computed.
+    pub saturations_run: usize,
+    /// Criteria answered by this query's saturation (its criterion-group
+    /// width; `1` under the per-criterion solver, `0` on non-carrying group
+    /// members). Aggregated as a max, so a batch aggregate reports the
+    /// widest single saturation in the batch.
+    pub criteria_per_saturation: usize,
     /// Wall-clock of the criterion-dependent pipeline for this query (query
     /// automaton → `Prestar` → MRD → read-out), as measured by the worker
     /// thread that answered it. Summed by [`PipelineStats::absorb`], so a
@@ -270,6 +283,10 @@ impl PipelineStats {
         self.mrd.minimized_states += other.mrd.minimized_states;
         self.mrd.mrd_states += other.mrd.mrd_states;
         self.mrd.mrd_transitions += other.mrd.mrd_transitions;
+        self.saturations_run += other.saturations_run;
+        self.criteria_per_saturation = self
+            .criteria_per_saturation
+            .max(other.criteria_per_saturation);
         self.query_time += other.query_time;
     }
 

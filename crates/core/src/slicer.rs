@@ -32,16 +32,73 @@ use crate::store::{StoreStats, VariantId, VariantStore};
 use crate::{feature_removal, PipelineStats, SpecError};
 use specslice_exec::{Pool, WorkerStats};
 use specslice_fsa::mrd::mrd_with_stats;
-use specslice_fsa::Nfa;
+use specslice_fsa::{Nfa, StateId};
 use specslice_lang::Program;
-use specslice_pds::prestar::prestar_indexed_with_stats;
-use specslice_pds::{PAutomaton, SaturationScratch};
+use specslice_pds::prestar::{prestar_indexed_with_stats, prestar_multi_indexed_with_stats};
+use specslice_pds::{CriterionSet, PAutomaton, PState, SaturationScratch};
 use specslice_sdg::build::build_sdg;
 use specslice_sdg::{CallSiteId, Sdg, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+/// Multi-criterion solving strategy for [`Slicer::slice_batch`] (and
+/// everything built on it: [`Slicer::slice_batch_results`],
+/// `specialize_program`, `apply_edit` re-slicing).
+///
+/// Both solvers produce **byte-identical** output — slices, memo contents,
+/// store ids and counters — at every thread count; they differ only in how
+/// many `Prestar` saturations a batch costs (visible in
+/// [`PipelineStats::saturations_run`]) and therefore in wall-clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Solver {
+    /// One full `Prestar` + MRD chain per criterion — the reference
+    /// pipeline, kept alive as the fallback and as the oracle the
+    /// differential tests compare [`Solver::OnePass`] against.
+    PerCriterion,
+    /// Group criteria by owning procedure and run *one* bitset-labeled
+    /// saturation per group (up to 64 criteria each), projecting the
+    /// per-criterion `A1`s out of the shared result afterwards — so a
+    /// 40-criterion grid batch costs ~1 saturation instead of 40.
+    OnePass,
+}
+
+impl Solver {
+    /// Parses a `SPECSLICE_SOLVER` value.
+    pub fn parse(value: &str) -> Option<Solver> {
+        match value.trim() {
+            "per-criterion" => Some(Solver::PerCriterion),
+            "one-pass" => Some(Solver::OnePass),
+            _ => None,
+        }
+    }
+}
+
+/// The default batch solver: the `SPECSLICE_SOLVER` environment variable
+/// (`per-criterion` | `one-pass`) when set to a valid value, otherwise
+/// [`Solver::OnePass`].
+///
+/// The variable exists for test sweeps and CI (mirroring
+/// `SPECSLICE_NUM_THREADS`): both settings produce byte-identical output,
+/// so a matrix leg can run the whole suite under either solver without
+/// touching code. A present-but-invalid value is logged to stderr (once
+/// per process) and ignored.
+pub fn default_solver() -> Solver {
+    match std::env::var("SPECSLICE_SOLVER") {
+        Ok(v) => Solver::parse(&v).unwrap_or_else(|| {
+            static LOGGED: std::sync::Once = std::sync::Once::new();
+            LOGGED.call_once(|| {
+                eprintln!(
+                    "specslice: invalid SPECSLICE_SOLVER={v:?} \
+                     (expected \"per-criterion\" or \"one-pass\"); using one-pass"
+                );
+            });
+            Solver::OnePass
+        }),
+        Err(_) => Solver::OnePass,
+    }
+}
 
 /// Options for a [`Slicer`] session.
 ///
@@ -79,6 +136,12 @@ pub struct SlicerConfig {
     /// and re-interned into the fresh store), so an edit-reslice loop only
     /// recomputes the criteria the edit affected.
     pub memoize: bool,
+    /// Multi-criterion solving strategy (see [`Solver`]). Defaults to
+    /// [`Solver::OnePass`], overridable for sweeps via the
+    /// `SPECSLICE_SOLVER` environment variable (see [`default_solver`]).
+    /// Output is byte-identical under both settings — the knob only trades
+    /// saturations (and wall-clock) for the reference pipeline.
+    pub solver: Solver,
 }
 
 impl Default for SlicerConfig {
@@ -88,6 +151,7 @@ impl Default for SlicerConfig {
             collect_stats: true,
             num_threads: specslice_exec::default_threads(),
             memoize: true,
+            solver: default_solver(),
         }
     }
 }
@@ -140,6 +204,11 @@ pub struct Slicer {
     /// rewrites it wholesale under `&mut self`.
     pub(crate) memo: RwLock<HashMap<MemoKey, MemoEntry>>,
     memo_hits: AtomicUsize,
+    /// Warm [`QueryScratch`]es recycled across calls: sequential batches
+    /// (and single-criterion queries) check one out and return it, so a
+    /// session answering many small batches — the server's steady state —
+    /// pays the table-growth warm-up once, not per call.
+    scratch_pool: Mutex<Vec<QueryScratch>>,
 }
 
 /// Canonical, order-independent memo key for a criterion. Criteria over raw
@@ -349,6 +418,7 @@ impl Slicer {
             queries_run: AtomicUsize::new(0),
             memo: RwLock::new(HashMap::new()),
             memo_hits: AtomicUsize::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
         }
     }
 
@@ -399,6 +469,28 @@ impl Slicer {
         self.queries_run.load(Ordering::Relaxed)
     }
 
+    /// Checks a warm scratch out of the session pool (or makes a fresh
+    /// one). Pair with [`Slicer::put_scratch`]; an early-error path that
+    /// drops the scratch instead merely forfeits the warm buffers.
+    fn take_scratch(&self) -> QueryScratch {
+        self.scratch_pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
+    }
+
+    /// Returns a scratch to the session pool. The pool is bounded by the
+    /// configured worker count — enough for every concurrent caller of the
+    /// sequential paths a session realistically sees.
+    fn put_scratch(&self, scratch: QueryScratch) {
+        if let Ok(mut pool) = self.scratch_pool.lock() {
+            if pool.len() < self.config.num_threads.max(1) {
+                pool.push(scratch);
+            }
+        }
+    }
+
     /// Queries answered from the criterion → slice memo without re-running
     /// `Prestar` or the read-out (see [`SlicerConfig::memoize`]).
     pub fn memo_hits(&self) -> usize {
@@ -429,6 +521,39 @@ impl Slicer {
         criteria::query_automaton_reusing(&self.sdg, &self.enc, reachable, criterion)
     }
 
+    /// Answers a memoized criterion: clones the cached ids/automaton and
+    /// bumps the query/hit counters exactly as a computed answer would.
+    /// `start` is when the caller began handling this criterion (the hit's
+    /// `query_time`).
+    fn answer_from_memo(&self, key: &MemoKey, start: Instant) -> Option<Answer> {
+        let cached = self.memo.read().ok().and_then(|memo| {
+            memo.get(key)
+                .map(|e| (e.a6.clone(), e.cached.clone(), e.stats))
+        });
+        let (a6, cached, mut stats) = cached?;
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
+        self.memo_hits.fetch_add(1, Ordering::Relaxed);
+        let slice = SpecSlice::from_parts(
+            self.store.clone(),
+            cached.ids,
+            cached.metas,
+            cached.main_variant,
+            a6,
+        );
+        stats.query_time = start.elapsed();
+        // A replayed answer ran no saturation of its own; the recorded
+        // sizes describe the cached pipeline, but the run counters must
+        // reflect *this* query's work.
+        stats.saturations_run = 0;
+        stats.criteria_per_saturation = 0;
+        Some(Answer {
+            slice,
+            stats,
+            key: Some(key.clone()),
+            from_memo: true,
+        })
+    }
+
     /// The full criterion-dependent pipeline for one criterion, against
     /// caller-owned query scratch (one per batch worker). Read-out interns
     /// into `store` — the session store on direct paths, the worker's
@@ -449,27 +574,8 @@ impl Slicer {
         // (interned rows + metadata) are cached — the whole criterion
         // pipeline is skipped and the hit just clones ids.
         if let Some(k) = &key {
-            let cached = self.memo.read().ok().and_then(|memo| {
-                memo.get(k)
-                    .map(|e| (e.a6.clone(), e.cached.clone(), e.stats))
-            });
-            if let Some((a6, cached, mut stats)) = cached {
-                self.queries_run.fetch_add(1, Ordering::Relaxed);
-                self.memo_hits.fetch_add(1, Ordering::Relaxed);
-                let slice = SpecSlice::from_parts(
-                    self.store.clone(),
-                    cached.ids,
-                    cached.metas,
-                    cached.main_variant,
-                    a6,
-                );
-                stats.query_time = start.elapsed();
-                return Ok(Answer {
-                    slice,
-                    stats,
-                    key,
-                    from_memo: true,
-                });
+            if let Some(answer) = self.answer_from_memo(k, start) {
+                return Ok(answer);
             }
         }
         let query = self.query(criterion)?;
@@ -517,6 +623,11 @@ impl Slicer {
                     a6,
                 );
                 stats.query_time = answer.stats.query_time;
+                // Adopting over an existing entry (a duplicate-key batch
+                // member) replays the cached answer: no saturation of its
+                // own to count.
+                stats.saturations_run = 0;
+                stats.criteria_per_saturation = 0;
                 return (slice, stats);
             }
         }
@@ -551,29 +662,247 @@ impl Slicer {
         &self,
         criterion: &Criterion,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-        let answer = self.answer_in(criterion, &mut QueryScratch::default(), &self.store)?;
+        let mut scratch = self.take_scratch();
+        let answer = self.answer_in(criterion, &mut scratch, &self.store)?;
+        self.put_scratch(scratch);
         Ok(self.adopt(answer))
     }
 
     /// Answers every criterion across the session's worker pool, returning
     /// raw per-criterion results in input order plus per-worker accounting.
     fn batch_raw(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
-        let pool = Pool::new(self.config.num_threads);
-        if pool.threads() > 1
-            && self.reachable.get().is_none()
+        match self.config.solver {
+            Solver::PerCriterion => self.batch_raw_per_criterion(criteria),
+            Solver::OnePass => self.batch_raw_onepass(criteria),
+        }
+    }
+
+    /// Forces the shared reachable automaton before fanning a batch out, so
+    /// the workers start against a warm cache instead of serializing on its
+    /// initialization lock.
+    fn warm_reachable_for(&self, criteria: &[Criterion]) {
+        if self.reachable.get().is_none()
             && criteria
                 .iter()
                 .any(|c| matches!(c, Criterion::AllContexts(_)))
         {
-            // Force the shared reachable automaton before fanning out, so
-            // the workers start against a warm cache instead of serializing
-            // on its initialization lock.
             self.reachable();
+        }
+    }
+
+    /// [`batch_raw`](Slicer::batch_raw) under [`Solver::PerCriterion`]:
+    /// each criterion is an independent pool item.
+    fn batch_raw_per_criterion(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
+        let pool = Pool::new(self.config.num_threads);
+        if pool.threads() > 1 {
+            self.warm_reachable_for(criteria);
         }
         pool.map_init_stats(criteria, QueryScratch::default, |scratch, _, criterion| {
             let shard = scratch.shard.clone();
             self.answer_in(criterion, scratch, &shard)
         })
+    }
+
+    /// [`batch_raw`](Slicer::batch_raw) under [`Solver::OnePass`]: the pool
+    /// items are criterion *groups* (weighted by member count, so
+    /// per-worker accounting still counts criteria), and each group runs
+    /// one shared saturation via [`Slicer::answer_group`].
+    fn batch_raw_onepass(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
+        let groups = plan_groups(&self.sdg, criteria);
+        let pool = Pool::new(self.config.num_threads);
+        if pool.threads() > 1 {
+            self.warm_reachable_for(criteria);
+        }
+        let (chunks, per_thread) = pool.map_init_stats_weighted(
+            &groups,
+            QueryScratch::default,
+            Vec::len,
+            |scratch, _, group| {
+                let shard = scratch.shard.clone();
+                self.answer_group(criteria, group, scratch, &shard)
+            },
+        );
+        // Scatter the group results back to input order.
+        let mut slots: Vec<Option<Result<Answer, SpecError>>> =
+            criteria.iter().map(|_| None).collect();
+        for chunk in chunks {
+            for (i, result) in chunk {
+                debug_assert!(slots[i].is_none(), "criterion {i} answered twice");
+                slots[i] = Some(result);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|slot| slot.expect("every criterion belongs to exactly one group"))
+            .collect();
+        (results, per_thread)
+    }
+
+    /// Answers one criterion group: memo hits peel off individually, the
+    /// remaining members share a single multi-criterion saturation whose
+    /// result is projected per member. A group that shrinks to one pending
+    /// member falls back to the solo pipeline.
+    ///
+    /// The memo is only *read* here (the batch adopts answers — and
+    /// installs entries — afterwards, in input order), so group results are
+    /// independent of worker scheduling.
+    fn answer_group(
+        &self,
+        criteria: &[Criterion],
+        members: &[usize],
+        scratch: &mut QueryScratch,
+        store: &Arc<VariantStore>,
+    ) -> Vec<(usize, Result<Answer, SpecError>)> {
+        let mut out = Vec::with_capacity(members.len());
+        let mut pending: Vec<(usize, Option<MemoKey>, Instant, PAutomaton)> = Vec::new();
+        for &i in members {
+            let criterion = &criteria[i];
+            let start = Instant::now();
+            let key = if self.config.memoize {
+                memo_key(criterion)
+            } else {
+                None
+            };
+            if let Some(k) = &key {
+                if let Some(answer) = self.answer_from_memo(k, start) {
+                    out.push((i, Ok(answer)));
+                    continue;
+                }
+            }
+            match self.query(criterion) {
+                Ok(query) => pending.push((i, key, start, query)),
+                Err(e) => out.push((i, Err(e))),
+            }
+        }
+        match pending.len() {
+            0 => return out,
+            1 => {
+                // A lone pending member gains nothing from the union
+                // machinery; run the reference pipeline.
+                let (i, key, start, query) = pending.pop().expect("len checked");
+                let result = run_query_in(
+                    &self.sdg,
+                    &self.enc,
+                    &query,
+                    self.config.validate,
+                    scratch,
+                    store,
+                )
+                .map(|(slice, mut stats)| {
+                    stats.query_time = start.elapsed();
+                    Answer {
+                        slice,
+                        stats,
+                        key,
+                        from_memo: false,
+                    }
+                });
+                out.push((i, result));
+                return out;
+            }
+            _ => {}
+        }
+
+        let group_width = pending.len();
+        let sat_start = Instant::now();
+        let queries: Vec<&PAutomaton> = pending.iter().map(|(_, _, _, q)| q).collect();
+        let multi =
+            match prestar_multi_indexed_with_stats(&self.enc.index, &queries, &mut scratch.sat) {
+                Ok(multi) => multi,
+                Err(e) => {
+                    // A malformed union (engine invariant) fails the whole
+                    // group; per-member query construction errors were
+                    // already peeled off above.
+                    let e = SpecError::internal("prestar", e.to_string());
+                    out.extend(pending.into_iter().map(|(i, ..)| (i, Err(e.clone()))));
+                    return out;
+                }
+            };
+        // Split the union automaton into the member `A1`s in ONE pass over
+        // its transitions — one mask lookup each, scattered to every member
+        // in the mask — instead of a full masked sweep per member (which is
+        // quadratic in the group width). The saturated automaton is
+        // consumed in P-state form directly (state `s` → NFA state `s + 1`,
+        // MAIN_CONTROL's row duplicated onto the fresh initial 0 — exactly
+        // `PAutomaton::to_nfa`'s mapping), so no union NFA is materialized.
+        let n_union_states = multi.automaton.state_count();
+        let pmain = multi.automaton.control_state(MAIN_CONTROL);
+        let mut member_a1: Vec<Nfa> = (0..group_width)
+            .map(|_| {
+                let mut a1 = Nfa::new();
+                for _ in 0..n_union_states {
+                    a1.add_state();
+                }
+                a1
+            })
+            .collect();
+        for (from, l, to) in multi.automaton.transitions() {
+            let Some(sym) = l else {
+                continue; // pre* output is ε-free
+            };
+            for slot in multi.mask(from, sym, to).members() {
+                let a1 = &mut member_a1[slot];
+                a1.add_transition(StateId(from.0 + 1), l, StateId(to.0 + 1));
+                if from == pmain {
+                    a1.add_transition(a1.initial(), l, StateId(to.0 + 1));
+                }
+            }
+        }
+        for (slot, (i, key, _, _)) in pending.iter().enumerate() {
+            let member_start = Instant::now();
+            let mut a1_nfa = std::mem::take(&mut member_a1[slot]);
+            for &f in &multi.member_finals[slot] {
+                a1_nfa.set_final(multi.automaton.nfa_state_of(f));
+            }
+            if multi.member_finals[slot].contains(&PState(MAIN_CONTROL.0)) {
+                a1_nfa.set_final(a1_nfa.initial());
+            }
+            let (a1_trim, _) = a1_nfa.trimmed();
+            let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
+            let result = readout::read_out_in(
+                &self.sdg,
+                &self.enc,
+                &a6,
+                self.config.validate,
+                &mut scratch.readout,
+                store,
+            )
+            .map(|slice| {
+                // The group's shared saturation is attributed to its first
+                // pending member (deterministic at every thread count); the
+                // others report zero prestar work.
+                let first = slot == 0;
+                let stats = PipelineStats {
+                    pds_rules: self.enc.pds.rule_count(),
+                    prestar_transitions: if first { multi.stats.transitions } else { 0 },
+                    prestar_peak_bytes: if first { multi.stats.peak_bytes } else { 0 },
+                    prestar_rule_applications: if first {
+                        multi.stats.rule_applications
+                    } else {
+                        0
+                    },
+                    prestar_peak_worklist: if first { multi.stats.peak_worklist } else { 0 },
+                    a1_states: a1_trim.state_count(),
+                    a1_transitions: a1_trim.transition_count(),
+                    mrd: mrd_stats,
+                    saturations_run: if first { 1 } else { 0 },
+                    criteria_per_saturation: if first { group_width } else { 0 },
+                    query_time: if first {
+                        sat_start.elapsed()
+                    } else {
+                        member_start.elapsed()
+                    },
+                };
+                Answer {
+                    slice,
+                    stats,
+                    key: key.clone(),
+                    from_memo: false,
+                }
+            });
+            out.push((*i, result));
+        }
+        out
     }
 
     /// Slices every criterion in `criteria`, sharing the per-program work
@@ -621,11 +950,15 @@ impl Slicer {
     pub fn slice_batch(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
         if self.config.num_threads.min(criteria.len()) <= 1 {
             // Sequential fast path with genuine fail-fast: nothing after the
-            // first failing criterion runs. The parallel path must answer
-            // everything already in flight, but converges on the same
-            // lowest-indexed error, so the two paths are indistinguishable
-            // to the caller (modulo counters on error).
-            return self.slice_batch_sequential(criteria);
+            // first failing criterion (per-criterion solver) or failing
+            // criterion *group* (one-pass solver) runs. The parallel path
+            // must answer everything already in flight, but converges on
+            // the same lowest-indexed error, so the two paths are
+            // indistinguishable to the caller (modulo counters on error).
+            return match self.config.solver {
+                Solver::PerCriterion => self.slice_batch_sequential(criteria),
+                Solver::OnePass => self.slice_batch_sequential_onepass(criteria),
+            };
         }
         let (results, per_thread) = self.batch_raw(criteria);
         let mut slices = Vec::with_capacity(criteria.len());
@@ -652,7 +985,7 @@ impl Slicer {
     /// one scratch, one pass, stop at the first error.
     fn slice_batch_sequential(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
         let start = Instant::now();
-        let mut scratch = QueryScratch::default();
+        let mut scratch = self.take_scratch();
         let mut slices = Vec::with_capacity(criteria.len());
         let mut per_criterion = Vec::new();
         let mut aggregate = PipelineStats::default();
@@ -660,6 +993,68 @@ impl Slicer {
             let answer = self
                 .answer_in(criterion, &mut scratch, &self.store)
                 .map_err(|e| annotate_with_index(e, i))?;
+            let (slice, stats) = self.adopt(answer);
+            slices.push(slice);
+            aggregate.absorb(&stats);
+            if self.config.collect_stats {
+                per_criterion.push(stats);
+            }
+        }
+        self.put_scratch(scratch);
+        Ok(BatchResult {
+            slices,
+            per_criterion,
+            aggregate,
+            per_thread: vec![WorkerStats {
+                worker: 0,
+                items: criteria.len(),
+                steals: 0,
+                busy: start.elapsed(),
+            }],
+        })
+    }
+
+    /// The `num_threads <= 1` body of [`slice_batch`](Slicer::slice_batch)
+    /// under [`Solver::OnePass`]: groups are processed in plan order with
+    /// one scratch, stopping at the first group that contains a failure
+    /// (group-granular fail-fast — members of the failing group's shared
+    /// saturation are necessarily in flight together). Answers are adopted
+    /// in input order afterwards, exactly as the parallel path does, so
+    /// successful batches are byte-identical at every width.
+    fn slice_batch_sequential_onepass(
+        &self,
+        criteria: &[Criterion],
+    ) -> Result<BatchResult, SpecError> {
+        let start = Instant::now();
+        let groups = plan_groups(&self.sdg, criteria);
+        let mut scratch = self.take_scratch();
+        let mut slots: Vec<Option<Result<Answer, SpecError>>> =
+            criteria.iter().map(|_| None).collect();
+        for group in &groups {
+            let shard = scratch.shard.clone();
+            let results = self.answer_group(criteria, group, &mut scratch, &shard);
+            let failed = results.iter().any(|(_, r)| r.is_err());
+            for (i, result) in results {
+                slots[i] = Some(result);
+            }
+            if failed {
+                // Report the lowest-indexed failure answered so far.
+                for (i, slot) in slots.into_iter().enumerate() {
+                    if let Some(Err(e)) = slot {
+                        return Err(annotate_with_index(e, i));
+                    }
+                }
+                unreachable!("a failed group reported no error");
+            }
+        }
+        self.put_scratch(scratch);
+        let mut slices = Vec::with_capacity(criteria.len());
+        let mut per_criterion = Vec::new();
+        let mut aggregate = PipelineStats::default();
+        for slot in slots {
+            let answer = slot
+                .expect("every criterion belongs to exactly one group")
+                .expect("failures returned above");
             let (slice, stats) = self.adopt(answer);
             slices.push(slice);
             aggregate.absorb(&stats);
@@ -741,6 +1136,55 @@ impl Slicer {
     }
 }
 
+/// Plans the one-pass solver's criterion groups: a partition of
+/// `0..criteria.len()` where each group shares one saturation.
+///
+/// Criteria are grouped by the sorted set of procedures owning their
+/// vertices — criteria rooted in the same procedure(s) saturate
+/// near-identical state, which is exactly the redundancy the shared
+/// saturation eliminates; unrelated criteria would only bloat each other's
+/// union automaton. Raw-automaton criteria and criteria naming an
+/// out-of-range vertex (rejected later, during query construction) get
+/// singleton groups. Groups keep input order (first appearance), members
+/// stay in input order, and groups wider than [`CriterionSet::MAX_MEMBERS`]
+/// roll over — so the plan is a pure function of the criterion list, and
+/// batch output stays thread-count-independent.
+fn plan_groups(sdg: &Sdg, criteria: &[Criterion]) -> Vec<Vec<usize>> {
+    let vertex_bound = sdg.vertex_count() as u32;
+    let proc_key = |verts: &mut dyn Iterator<Item = u32>| -> Option<Vec<u32>> {
+        let mut procs = Vec::new();
+        for v in verts {
+            if v >= vertex_bound {
+                return None;
+            }
+            procs.push(sdg.vertex(VertexId(v)).proc.0);
+        }
+        procs.sort_unstable();
+        procs.dedup();
+        Some(procs)
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut open: HashMap<Vec<u32>, usize> = HashMap::new();
+    for (i, criterion) in criteria.iter().enumerate() {
+        let key = match criterion {
+            Criterion::AllContexts(verts) => proc_key(&mut verts.iter().map(|v| v.0)),
+            Criterion::Configurations(configs) => proc_key(&mut configs.iter().map(|(v, _)| v.0)),
+            Criterion::Automaton(_) => None,
+        };
+        match key {
+            None => groups.push(vec![i]),
+            Some(key) => match open.get(&key) {
+                Some(&g) if groups[g].len() < CriterionSet::MAX_MEMBERS => groups[g].push(i),
+                _ => {
+                    open.insert(key, groups.len());
+                    groups.push(vec![i]);
+                }
+            },
+        }
+    }
+    groups
+}
+
 /// Tags a failing batch member with its criterion index, for every error
 /// variant a query can produce (so "errors identify their criterion by
 /// index" holds for internal invariant violations too, where knowing the
@@ -806,6 +1250,8 @@ pub(crate) fn run_query_in(
         a1_states: a1_trim.state_count(),
         a1_transitions: a1_trim.transition_count(),
         mrd: mrd_stats,
+        saturations_run: 1,
+        criteria_per_saturation: 1,
         query_time: std::time::Duration::ZERO,
     };
     Ok((slice, stats))

@@ -26,19 +26,38 @@ use std::collections::VecDeque;
 /// count, which the evaluation section compares against the minimized size
 /// (§4.2's "determinize output shrinks by 4.4–34%" observation).
 pub fn mrd_with_stats(a1: &Nfa) -> (Nfa, MrdStats) {
-    let a2 = reverse(a1);
-    let a3 = Dfa::determinize(&a2);
+    // `determinize(reverse(a1))`, fused — the reversed NFA is never
+    // materialized. ε-transitions in `a1` (possible for library callers;
+    // the slicer's inputs are ε-free) take the general two-pass sequence.
+    let a3 = match determinize_reversed(a1) {
+        Some(a3) => a3,
+        None => Dfa::determinize(&reverse(a1)),
+    };
     let a4 = minimize(&a3);
-    let a5 = reverse(&a4.to_nfa());
-    let a6 = remove_epsilon(&a5);
-    let (a6, _) = a6.trimmed();
-    // Canonical renumbering: the MRD automaton of a language is unique up to
-    // isomorphism, and this final pass picks one representative — so two
-    // pipelines that arrive at the same *language* through differently
+    // `reverse → remove_epsilon → trim → canonicalize` over `a4`, fused:
+    // `a4` is trim (a `minimize` guarantee), so in the common case the
+    // reversed automaton needs no ε-bridge, no ε-removal, and no trim pass —
+    // and because the canonical renumbering is a backward BFS of the
+    // reversal (= a forward BFS of `a4`), the canonical form can be written
+    // down directly, skipping the intermediate automaton entirely. The
+    // fallback runs the original pass sequence for the degenerate shapes
+    // (empty language, ε ∈ L) where `canonicalize_mrd`'s precondition
+    // bail-outs keep the input presentation.
+    //
+    // Canonical renumbering: the MRD automaton of a language is unique up
+    // to isomorphism, and the canonical pass picks one representative — so
+    // two pipelines that arrive at the same *language* through differently
     // presented inputs (a fresh `Prestar` run vs. a symbol-remapped cached
     // automaton, see `specslice`'s incremental re-slicing) emit bit-for-bit
     // identical automata.
-    let a6 = canonicalize_mrd(&a6);
+    let a6 = match reverse_trim_canonical(&a4) {
+        Some(a6) => a6,
+        None => {
+            let a5 = reverse(&a4.to_nfa());
+            let a6 = remove_epsilon(&a5);
+            canonicalize_mrd(&a6.trimmed().0)
+        }
+    };
     let stats = MrdStats {
         input_states: a1.state_count(),
         determinized_states: a3.state_count(),
@@ -52,6 +71,198 @@ pub fn mrd_with_stats(a1: &Nfa) -> (Nfa, MrdStats) {
 /// Convenience wrapper around [`mrd_with_stats`] discarding the statistics.
 pub fn mrd(a1: &Nfa) -> Nfa {
     mrd_with_stats(a1).0
+}
+
+/// The *canonical* trimmed ε-free reversal of a trim DFA, or `None` for
+/// the degenerate shapes (no final state, or an accepting initial state —
+/// i.e. ε ∈ L) that need the general ε-bridged reversal plus a trim and a
+/// canonicalize pass.
+///
+/// Equal, bit for bit, to
+/// `canonicalize_mrd(&remove_epsilon(reverse(dfa.to_nfa())).trimmed().0)`:
+///
+/// - The ε-bridge from the fresh initial to the old finals is flattened on
+///   the spot by giving the fresh initial a copy of every transition into a
+///   final, reversed; the states that survive the trim are exactly those
+///   with an original path of length ≥ 1 to a final (a final with no
+///   outgoing edges exists in the reversal only through the fresh
+///   initial's copies).
+/// - The canonical numbering is computed directly on `dfa`:
+///   `canonicalize_mrd`'s backward BFS from the reversal's unique final
+///   state over symbol-sorted incoming transitions *is* a forward BFS over
+///   `dfa` from its initial state over symbol-sorted rows (the reversal
+///   flips every edge), with the reversal's fresh initial pinned to 0 and
+///   its final — the image of `dfa`'s initial — numbered 1. The fresh
+///   initial also shows up as a BFS source (once per edge into a `dfa`
+///   final) but its number is already pinned, so it never disturbs the
+///   discovery order.
+///
+/// Every trimmed state is discovered: a kept state lies on a path
+/// initial → q → final whose prefix states are all kept (each has a ≥
+/// 1-edge path to a final through q), so the forward BFS reaches q through
+/// kept states. The defensive check below bails to the general path rather
+/// than rely on that argument at runtime.
+fn reverse_trim_canonical(dfa: &Dfa) -> Option<Nfa> {
+    if dfa.finals().is_empty() || dfa.is_final(dfa.initial()) {
+        return None;
+    }
+    let n = dfa.state_count();
+    // Keep set: states with a ≥ 1-edge path to a final (backward closure
+    // over predecessor edges, seeded from the finals' predecessors). In a
+    // trim DFA this is every non-final state plus any final that reaches a
+    // final again.
+    let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
+    for (f, _, t) in dfa.transitions() {
+        preds[t.index()].push(f);
+    }
+    let mut keep = vec![false; n];
+    let mut work: Vec<StateId> = Vec::new();
+    for &f in dfa.finals() {
+        for &q in &preds[f.index()] {
+            if !keep[q.index()] {
+                keep[q.index()] = true;
+                work.push(q);
+            }
+        }
+    }
+    while let Some(q) = work.pop() {
+        for &p in &preds[q.index()] {
+            if !keep[p.index()] {
+                keep[p.index()] = true;
+                work.push(p);
+            }
+        }
+    }
+    if !keep[dfa.initial().index()] {
+        // No edge into a final is reachable through the initial state —
+        // possible only for shapes the checks above should have excluded;
+        // bail to the general path rather than reason about it.
+        return None;
+    }
+    // Canonical ids, indexed by `dfa` state (the reversal's fresh initial
+    // is 0 and never appears here): breadth-first from `dfa`'s initial
+    // (the reversal's final, number 1), following symbol-sorted rows into
+    // kept states.
+    const UNASSIGNED: u32 = u32::MAX;
+    let mut canon: Vec<u32> = vec![UNASSIGNED; n];
+    canon[dfa.initial().index()] = 1;
+    let mut next = 1u32;
+    let mut queue = VecDeque::new();
+    queue.push_back(dfa.initial());
+    let mut kept_edges = 0usize;
+    while let Some(f) = queue.pop_front() {
+        for &(_, t) in dfa.transitions_from(f) {
+            kept_edges += 1 + usize::from(dfa.is_final(t));
+            if keep[t.index()] && canon[t.index()] == UNASSIGNED {
+                next += 1;
+                canon[t.index()] = next;
+                queue.push_back(t);
+            }
+        }
+    }
+    if keep.iter().zip(&canon).any(|(&k, &c)| k && c == UNASSIGNED) {
+        // A kept state the forward BFS cannot reach — possible only for
+        // shapes the checks above should have excluded; bail to the
+        // general path rather than reason about it.
+        return None;
+    }
+    // Emit the reversed transitions under the canonical numbering, sorted —
+    // exactly the presentation `canonicalize_mrd` produces.
+    let mut ts: Vec<(u32, Symbol, u32)> = Vec::with_capacity(kept_edges);
+    for (f, s, t) in dfa.transitions() {
+        if !keep[f.index()] {
+            continue; // a final that never reaches another accepting path
+        }
+        if keep[t.index()] {
+            ts.push((canon[t.index()], s, canon[f.index()]));
+        }
+        if dfa.is_final(t) {
+            ts.push((0, s, canon[f.index()]));
+        }
+    }
+    ts.sort_unstable();
+    let mut out = Nfa::new();
+    for _ in 1..=next {
+        out.add_state();
+    }
+    for (f, s, t) in ts {
+        out.add_transition(StateId(f), Some(s), StateId(t));
+    }
+    out.set_final(StateId(1));
+    Some(out)
+}
+
+/// `Dfa::determinize(&reverse(a1))` in one pass: the subset construction
+/// runs directly over `a1`'s transposed adjacency, so the reversed NFA —
+/// and the ε-bridge from its fresh initial to `a1`'s finals, the only ε
+/// the reversal introduces — is never materialized. Returns `None` when
+/// `a1` itself has ε-transitions (the general two-pass sequence handles
+/// those).
+///
+/// Bit-identical to the unfused sequence: subsets correspond 1:1 (original
+/// state ids here, shifted ids there, with a sentinel standing in for the
+/// reversal's fresh initial — which only ever appears in the start subset,
+/// contributes no successors, and is never accepting), successor pairs
+/// sort identically either way (the shift is monotone), and the worklist
+/// is driven the same — so even the output's state numbering matches.
+fn determinize_reversed(a1: &Nfa) -> Option<Dfa> {
+    let n = a1.state_count();
+    let mut inc: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); n];
+    for (f, l, t) in a1.transitions() {
+        let s = l?;
+        inc[t.index()].push((s, f));
+    }
+    const SENTINEL: u32 = u32::MAX;
+    let mut dfa = Dfa::new();
+    let initial = a1.initial().0;
+    // Subsets are sorted dense id vectors; `finals()` iterates ascending
+    // and the sentinel sorts last, so the start subset is sorted too.
+    let mut start: Vec<u32> = a1.finals().iter().map(|q| q.0).collect();
+    start.push(SENTINEL);
+    let mut subset_ids: FxHashMap<Vec<u32>, StateId> = FxHashMap::default();
+    subset_ids.insert(start.clone(), dfa.initial());
+    if start.contains(&initial) {
+        dfa.set_final(dfa.initial());
+    }
+    let mut work: Vec<(Vec<u32>, StateId)> = vec![(start, dfa.initial())];
+    let mut pairs: Vec<(Symbol, StateId)> = Vec::new();
+    while let Some((subset, did)) = work.pop() {
+        // Flatten all reversed successors, then group by symbol — exactly
+        // `determinize`'s one-sort grouping.
+        pairs.clear();
+        for &q in &subset {
+            if q != SENTINEL {
+                pairs.extend(inc[q as usize].iter().copied());
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut i = 0;
+        while i < pairs.len() {
+            let sym = pairs[i].0;
+            let mut targets: Vec<u32> = Vec::new();
+            while i < pairs.len() && pairs[i].0 == sym {
+                targets.push(pairs[i].1 .0);
+                i += 1;
+            }
+            // `pairs` is sorted and deduplicated, so `targets` is too; no
+            // target has an ε-edge in the reversal, so no closure either.
+            let target_id = match subset_ids.get(&targets) {
+                Some(&id) => id,
+                None => {
+                    let id = dfa.add_state();
+                    if targets.contains(&initial) {
+                        dfa.set_final(id);
+                    }
+                    subset_ids.insert(targets.clone(), id);
+                    work.push((targets, id));
+                    id
+                }
+            };
+            dfa.set_transition(did, sym, target_id);
+        }
+    }
+    Some(dfa)
 }
 
 /// Size observations made during the MRD pipeline (used by the `det-shrink`

@@ -22,17 +22,29 @@ impl fmt::Debug for StateId {
     }
 }
 
+/// Row length beyond which transition dedup switches from a linear scan of
+/// the source state's row to a hashed triple set. The query pipeline builds
+/// thousands of tiny automata (MRD chains run seven passes over automata
+/// with a handful of states), and for those the hash set's growth-and-rehash
+/// cost dwarfs the handful of comparisons a row scan needs; only automata
+/// with genuinely wide rows (saturation outputs, the reachable automaton)
+/// ever pay for hashing.
+const LINEAR_DEDUP_MAX: usize = 32;
+
 /// A nondeterministic finite automaton with a single initial state,
 /// optional ε-transitions (`label = None`), and any number of final states.
 #[derive(Clone, Default)]
 pub struct Nfa {
     n_states: u32,
+    n_transitions: usize,
     finals: BTreeSet<StateId>,
     /// Outgoing transitions per state: `(label, target)`.
     out: Vec<Vec<(Option<Symbol>, StateId)>>,
-    /// Deduplication of transitions (fast deterministic hasher — this set is
-    /// consulted on every insert in the query hot path).
-    seen: FxHashSet<(StateId, Option<Symbol>, StateId)>,
+    /// Deduplication of transitions (fast deterministic hasher). `None`
+    /// while every row is short enough for an exact linear scan; built
+    /// lazily from the rows the first time one crosses
+    /// [`LINEAR_DEDUP_MAX`].
+    seen: Option<FxHashSet<(StateId, Option<Symbol>, StateId)>>,
 }
 
 impl fmt::Debug for Nfa {
@@ -78,7 +90,7 @@ impl Nfa {
 
     /// Number of transitions (including ε).
     pub fn transition_count(&self) -> usize {
-        self.seen.len()
+        self.n_transitions
     }
 
     /// Marks `q` as accepting.
@@ -101,17 +113,39 @@ impl Nfa {
     pub fn add_transition(&mut self, from: StateId, label: Option<Symbol>, to: StateId) -> bool {
         assert!(from.index() < self.out.len(), "from-state out of range");
         assert!(to.index() < self.out.len(), "to-state out of range");
-        if self.seen.insert((from, label, to)) {
+        let is_new = match &mut self.seen {
+            Some(seen) => seen.insert((from, label, to)),
+            None => {
+                let row = &self.out[from.index()];
+                if row.len() < LINEAR_DEDUP_MAX {
+                    !row.iter().any(|&(l, t)| l == label && t == to)
+                } else {
+                    // A row outgrew the linear scan: hash every existing
+                    // transition once and stay hashed from here on.
+                    let mut seen = FxHashSet::default();
+                    seen.reserve(self.n_transitions + 1);
+                    seen.extend(self.transitions());
+                    let is_new = seen.insert((from, label, to));
+                    self.seen = Some(seen);
+                    is_new
+                }
+            }
+        };
+        if is_new {
             self.out[from.index()].push((label, to));
-            true
-        } else {
-            false
+            self.n_transitions += 1;
         }
+        is_new
     }
 
     /// Whether a given transition exists.
     pub fn has_transition(&self, from: StateId, label: Option<Symbol>, to: StateId) -> bool {
-        self.seen.contains(&(from, label, to))
+        match &self.seen {
+            Some(seen) => seen.contains(&(from, label, to)),
+            None => self.out[from.index()]
+                .iter()
+                .any(|&(l, t)| l == label && t == to),
+        }
     }
 
     /// Outgoing transitions of `q`.

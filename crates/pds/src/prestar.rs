@@ -22,10 +22,10 @@
 
 use crate::automaton::{PAutomaton, PState};
 use crate::index::RuleIndex;
-use crate::scratch::SaturationScratch;
+use crate::scratch::{CriterionSet, SaturationScratch};
 use crate::system::Pds;
 use crate::PdsError;
-use specslice_fsa::Symbol;
+use specslice_fsa::{FxHashMap, Symbol};
 
 /// Statistics from a [`prestar`] run (sizes feed the Fig. 22 memory
 /// accounting; the counters feed the query benchmark's deterministic
@@ -210,6 +210,274 @@ pub fn prestar_indexed_with_stats(
     Ok((aut, stats))
 }
 
+/// The result of one multi-criterion saturation
+/// ([`prestar_multi_indexed_with_stats`]): the saturation of the *union*
+/// of the member queries, with every transition labeled by the set of
+/// members whose solo `pre*` would have derived it.
+#[derive(Debug)]
+pub struct MultiPrestar {
+    /// The saturated union automaton. Its states are the shared control
+    /// states followed by each member's fresh states in member order.
+    pub automaton: PAutomaton,
+    /// Member `i`'s final states, remapped into the union state space.
+    pub member_finals: Vec<Vec<PState>>,
+    /// Per-transition criterion masks, keyed `(from, symbol, to)`.
+    masks: FxHashMap<(u32, u32, u32), u64>,
+    /// Statistics of the single shared saturation.
+    pub stats: PrestarStats,
+}
+
+impl MultiPrestar {
+    /// The members whose solo saturation contains `from –sym→ to`.
+    pub fn mask(&self, from: PState, sym: Symbol, to: PState) -> CriterionSet {
+        CriterionSet(self.masks.get(&(from.0, sym.0, to.0)).copied().unwrap_or(0))
+    }
+}
+
+/// One-pass `pre*` for up to [`CriterionSet::MAX_MEMBERS`] criterion
+/// queries over the same PDS.
+///
+/// Builds the union of the member query automata (control states shared,
+/// fresh states disjoint) and runs a single bitset-labeled saturation over
+/// it: member `i`'s query transitions seed with mask `{i}`, pop-rule seeds
+/// (which fire for every member) seed with the full mask, internal rules
+/// propagate their premise's mask, and push rules intersect the masks of
+/// their two hops — derivations whose intersection is empty are dropped.
+/// Masks OR-accumulate; a transition re-enters the worklist whenever its
+/// mask grows, so the run reaches the least fixpoint of the labeled
+/// system.
+///
+/// Because member queries never share fresh states and their transitions
+/// all leave control states (never enter them), a transition carries bit
+/// `i` **iff** it appears in member `i`'s solo saturation — so projecting
+/// the result through [`MultiPrestar::mask`] reproduces each solo
+/// [`prestar`] automaton exactly, at the cost of ~one saturation for the
+/// whole batch.
+///
+/// # Errors
+///
+/// [`PdsError::BadBatchWidth`] for empty or >64-member batches,
+/// [`PdsError::MissingControls`] / [`PdsError::EpsilonInQuery`] as for
+/// [`prestar`] (checked per member).
+pub fn prestar_multi_indexed_with_stats(
+    idx: &RuleIndex,
+    queries: &[&PAutomaton],
+    scratch: &mut SaturationScratch,
+) -> Result<MultiPrestar, PdsError> {
+    let k = queries.len();
+    if k == 0 || k > CriterionSet::MAX_MEMBERS {
+        return Err(PdsError::BadBatchWidth { members: k });
+    }
+    let n_controls = idx.control_count();
+    let mut query_transitions = 0usize;
+    for query in queries {
+        if query.control_count() < n_controls {
+            return Err(PdsError::MissingControls {
+                query: query.control_count(),
+                pds: n_controls,
+            });
+        }
+        let epsilon_count = query.transitions().filter(|(_, l, _)| l.is_none()).count();
+        if epsilon_count > 0 {
+            return Err(PdsError::EpsilonInQuery {
+                count: epsilon_count,
+            });
+        }
+        query_transitions += query.transition_count();
+    }
+
+    // The union state space: shared control states, then each member's
+    // fresh states in member order. `offsets[i] + (s - controls_i)` maps
+    // member i's fresh state s into the union.
+    let mut union = PAutomaton::new(n_controls);
+    let mut offsets = Vec::with_capacity(k);
+    let mut member_finals = Vec::with_capacity(k);
+    for query in queries {
+        let controls = query.control_count();
+        let offset = union.state_count() as u32;
+        offsets.push(offset);
+        for _ in controls..query.state_count() as u32 {
+            union.add_state();
+        }
+        let remap = |s: PState| {
+            if s.0 < n_controls {
+                s
+            } else {
+                PState(offset + (s.0 - controls))
+            }
+        };
+        member_finals.push(query.finals().iter().map(|&f| remap(f)).collect::<Vec<_>>());
+    }
+
+    let n_states = union.state_count() as u32;
+    scratch.reset(n_states);
+    let SaturationScratch {
+        rows,
+        out,
+        worklist,
+        masks,
+        pending_multi,
+        tmp_masked,
+        tmp_waiters,
+        ..
+    } = scratch;
+
+    // As in the solo engine, labels are encoded `γ + 1`. A transition
+    // enters the worklist when its target first enters its row *or* when
+    // its criterion mask grows — reprocessing with the larger mask is what
+    // propagates late-arriving membership through already-fired rules.
+    fn add(
+        rows: &mut crate::scratch::RowTable,
+        out: &mut [Vec<(u32, u32)>],
+        worklist: &mut Vec<(u32, u32, u32)>,
+        masks: &mut crate::scratch::MaskTable,
+        (from, sym, to): (u32, Symbol, u32),
+        mask: u64,
+    ) {
+        debug_assert!(
+            mask != 0,
+            "masked derivations must be filtered by the caller"
+        );
+        debug_assert!(sym.0 < u32::MAX, "symbol id overflows the ε encoding");
+        let label = sym.0 + 1;
+        if rows.insert(from, label, to) {
+            out[from as usize].push((label, to));
+        }
+        if masks.or(from, label, to, mask) {
+            worklist.push((from, label, to));
+        }
+    }
+
+    // Seeds: each member's query transitions under its singleton mask,
+    // then the pop rules under the full mask (they fire unconditionally
+    // for every member).
+    let full = CriterionSet::all(k).0;
+    for (i, query) in queries.iter().enumerate() {
+        let offset = offsets[i];
+        let controls = query.control_count();
+        let mask = CriterionSet::singleton(i).0;
+        for (f, l, t) in query.transitions() {
+            let sym = l.expect("ε-freedom checked above");
+            let remap = |s: PState| {
+                if s.0 < n_controls {
+                    s.0
+                } else {
+                    offset + (s.0 - controls)
+                }
+            };
+            add(rows, out, worklist, masks, (remap(f), sym, remap(t)), mask);
+        }
+    }
+    let mut rule_applications = idx.pops().len();
+    for &(p, gamma, p2) in idx.pops() {
+        add(rows, out, worklist, masks, (p.0, gamma, p2.0), full);
+    }
+
+    let mut peak_worklist = 0usize;
+    while let Some((f, label, t)) = {
+        peak_worklist = peak_worklist.max(worklist.len());
+        worklist.pop()
+    } {
+        let sym = Symbol(label - 1);
+        // Process under the transition's *current* mask: growth after this
+        // pop re-queues it.
+        let t_mask = masks.get(f, label, t);
+        if f < n_controls {
+            // Internal rules propagate the premise's mask unchanged.
+            for m in idx.internal_by_rhs(sym) {
+                if m.to_loc.0 != f {
+                    continue;
+                }
+                rule_applications += 1;
+                add(
+                    rows,
+                    out,
+                    worklist,
+                    masks,
+                    (m.from_loc.0, m.from_sym, t),
+                    t_mask,
+                );
+            }
+            // Push rules need two hops; the derived transition belongs to
+            // exactly the members both hops belong to.
+            for m in idx.push_by_rhs(sym) {
+                if m.to_loc.0 != f {
+                    continue;
+                }
+                debug_assert!(m.below.0 < u32::MAX);
+                let below = m.below.0 + 1;
+                tmp_masked.clear();
+                tmp_masked.extend(
+                    rows.targets(t, below)
+                        .iter()
+                        .map(|&q2| (q2, masks.get(t, below, q2))),
+                );
+                for &(q2, hop2_mask) in tmp_masked.iter() {
+                    rule_applications += 1;
+                    let mask = t_mask & hop2_mask;
+                    if mask != 0 {
+                        add(
+                            rows,
+                            out,
+                            worklist,
+                            masks,
+                            (m.from_loc.0, m.from_sym, q2),
+                            mask,
+                        );
+                    }
+                }
+                pending_multi.push(t, below, (m.from_loc.0, m.from_sym.0, f, label));
+            }
+        }
+        // Complete earlier partial matches waiting on (f, sym): intersect
+        // with the first hop's current mask, looked up by its identity.
+        tmp_waiters.clear();
+        tmp_waiters.extend_from_slice(pending_multi.waiters(f, label));
+        for &(p, gamma, hop1_from, hop1_label) in tmp_waiters.iter() {
+            rule_applications += 1;
+            let hop1_mask = masks.get(hop1_from, hop1_label, f);
+            let mask = hop1_mask & t_mask;
+            if mask != 0 {
+                add(rows, out, worklist, masks, (p, Symbol(gamma), t), mask);
+            }
+        }
+    }
+
+    // Materialize the saturated union and its mask map in deterministic
+    // (state-major, insertion) order. Seeds flowed through `add`, so `out`
+    // already contains the query transitions.
+    let mut aut = union;
+    let mut mask_map = FxHashMap::default();
+    for (state, row) in out.iter().enumerate() {
+        for &(label, to) in row {
+            aut.add_transition(PState(state as u32), Some(Symbol(label - 1)), PState(to));
+            mask_map.insert(
+                (state as u32, label - 1, to),
+                masks.get(state as u32, label, to),
+            );
+        }
+    }
+
+    let transitions = aut.transition_count();
+    let stats = PrestarStats {
+        transitions,
+        query_transitions,
+        peak_bytes: transitions * 36
+            + rows.len() * 48
+            + pending_multi.len() * 48
+            + masks.len() * 24
+            + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
+        rule_applications,
+        peak_worklist,
+    };
+    Ok(MultiPrestar {
+        automaton: aut,
+        member_finals,
+        masks: mask_map,
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +650,149 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Builds member `i`'s projection of a multi-criterion run: same state
+    /// space, only the transitions whose mask contains `i`, member finals.
+    fn project_member(multi: &MultiPrestar, i: usize) -> PAutomaton {
+        let n_controls = multi.automaton.control_count();
+        let mut proj = PAutomaton::new(n_controls);
+        for _ in n_controls..multi.automaton.state_count() as u32 {
+            proj.add_state();
+        }
+        for (f, l, t) in multi.automaton.transitions() {
+            let sym = l.expect("pre* output is ε-free");
+            if multi.mask(f, sym, t).contains(i) {
+                proj.add_transition(f, Some(sym), t);
+            }
+        }
+        for &f in &multi.member_finals[i] {
+            proj.set_final(f);
+        }
+        proj
+    }
+
+    /// A word pool covering the alphabet up to length 3.
+    fn words(alphabet: &[Symbol]) -> Vec<Vec<Symbol>> {
+        let mut out = vec![vec![]];
+        for _ in 0..3 {
+            let mut next = Vec::new();
+            for w in &out {
+                for &s in alphabet {
+                    let mut w2 = w.clone();
+                    w2.push(s);
+                    next.push(w2);
+                }
+            }
+            out.extend(next);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The masked union saturation, projected per member, accepts exactly
+    /// the language of each member's solo saturation — on a PDS exercising
+    /// pop, internal, and push rules across two control locations.
+    #[test]
+    fn multi_projections_match_solo_runs() {
+        let p = ControlLoc(0);
+        let q = ControlLoc(1);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let mut pds = Pds::new(2);
+        pds.add_push(p, a, p, b, a);
+        pds.add_push(p, b, q, c, b);
+        pds.add_internal(p, b, q, a);
+        pds.add_internal(q, c, p, a);
+        pds.add_pop(q, a, p);
+        pds.add_pop(p, c, q);
+        let idx = RuleIndex::new(&pds);
+
+        // Four member queries of different shapes, including a chain and a
+        // control-state final.
+        let mut queries = Vec::new();
+        for target in [(p, a), (q, a), (q, c)] {
+            let mut query = PAutomaton::new(2);
+            let f = query.add_state();
+            query.add_transition(query.control_state(target.0), Some(target.1), f);
+            query.set_final(f);
+            queries.push(query);
+        }
+        let mut chain = PAutomaton::new(2);
+        let m1 = chain.add_state();
+        let m2 = chain.add_state();
+        chain.add_transition(chain.control_state(p), Some(b), m1);
+        chain.add_transition(m1, Some(a), m2);
+        chain.set_final(m2);
+        chain.set_final(chain.control_state(q));
+        queries.push(chain);
+
+        let refs: Vec<&PAutomaton> = queries.iter().collect();
+        let mut scratch = SaturationScratch::default();
+        let multi = prestar_multi_indexed_with_stats(&idx, &refs, &mut scratch).unwrap();
+        assert!(multi.stats.transitions > 0);
+        assert_eq!(multi.member_finals.len(), refs.len());
+
+        for (i, query) in queries.iter().enumerate() {
+            let solo = prestar(&pds, query).unwrap();
+            let proj = project_member(&multi, i);
+            for loc in [p, q] {
+                for word in words(&[a, b, c]) {
+                    assert_eq!(
+                        solo.accepts(loc, &word),
+                        proj.accepts(loc, &word),
+                        "member {i}, ({loc:?}, {word:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A singleton batch carries the full mask on every transition, and the
+    /// projection is the solo saturation itself.
+    #[test]
+    fn singleton_batch_mask_is_total() {
+        let p = ControlLoc(0);
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let mut pds = Pds::new(1);
+        pds.add_push(p, a, p, b, c);
+        pds.add_pop(p, b, p);
+        let mut query = PAutomaton::new(1);
+        let f = query.add_state();
+        query.add_transition(query.control_state(p), Some(c), f);
+        query.set_final(f);
+        let idx = RuleIndex::new(&pds);
+        let mut scratch = SaturationScratch::default();
+        let multi = prestar_multi_indexed_with_stats(&idx, &[&query], &mut scratch).unwrap();
+        let solo = prestar(&pds, &query).unwrap();
+        assert_eq!(multi.automaton.transition_count(), solo.transition_count());
+        for (f, l, t) in multi.automaton.transitions() {
+            assert_eq!(multi.mask(f, l.unwrap(), t), CriterionSet::singleton(0));
+        }
+    }
+
+    /// Bad batch widths and malformed members surface as structured errors.
+    #[test]
+    fn multi_validates_inputs() {
+        let pds = Pds::new(1);
+        let idx = RuleIndex::new(&pds);
+        let mut scratch = SaturationScratch::default();
+        let err = prestar_multi_indexed_with_stats(&idx, &[], &mut scratch).unwrap_err();
+        assert_eq!(err, PdsError::BadBatchWidth { members: 0 });
+        assert!(err.to_string().contains("1..=64"), "{err}");
+
+        let query = PAutomaton::new(1);
+        let too_many: Vec<&PAutomaton> = (0..65).map(|_| &query).collect();
+        let err = prestar_multi_indexed_with_stats(&idx, &too_many, &mut scratch).unwrap_err();
+        assert_eq!(err, PdsError::BadBatchWidth { members: 65 });
+
+        let mut eps = PAutomaton::new(1);
+        let f = eps.add_state();
+        eps.add_transition(eps.control_state(ControlLoc(0)), None, f);
+        eps.set_final(f);
+        let err =
+            prestar_multi_indexed_with_stats(&idx, &[&query, &eps], &mut scratch).unwrap_err();
+        assert_eq!(err, PdsError::EpsilonInQuery { count: 1 });
     }
 
     /// The indexed entry point with a reused scratch answers a sequence of

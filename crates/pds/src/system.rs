@@ -172,9 +172,31 @@ impl Pds {
     /// saturation engines' lookup cost. Within one `(p, γ)` row, rules come
     /// back in insertion order, exactly as the scan returned them.
     pub fn rules_for(&self, p: ControlLoc, gamma: Symbol) -> impl Iterator<Item = Rule> + '_ {
-        self.own_index
+        let indexed = self
+            .own_index
             .get_or_init(|| RuleIndex::new(self))
-            .rules_for(p, gamma)
+            .rules_for(p, gamma);
+        // Cross-check the CSR row against the straightforward linear scan
+        // it replaced: the two must agree rule-for-rule, in insertion
+        // order. Guards the index's LHS grouping against drift as rules
+        // grow structure (debug/test builds only — the scan is O(|Δ|)).
+        #[cfg(debug_assertions)]
+        {
+            let from_index: Vec<Rule> = indexed.collect();
+            let from_scan: Vec<Rule> = self
+                .rules
+                .iter()
+                .filter(|r| r.from_loc == p && r.from_sym == gamma)
+                .copied()
+                .collect();
+            assert_eq!(
+                from_index, from_scan,
+                "RuleIndex CSR row for ({p:?}, {gamma:?}) diverges from a linear rule scan"
+            );
+            from_scan.into_iter()
+        }
+        #[cfg(not(debug_assertions))]
+        indexed
     }
 
     /// Applies one step of the transition relation `⇒` to a configuration,
@@ -225,6 +247,48 @@ mod tests {
         assert_eq!(pds.rules_for(p, a).count(), 2);
         assert_eq!(pds.rules_for(q, b).count(), 1);
         assert_eq!(pds.rules_for(q, a).count(), 0);
+    }
+
+    /// `rules_for` must agree with a linear scan over the rule list —
+    /// same rules, same (insertion) order — for every LHS, including after
+    /// an index-invalidating `add_rule` and for sparse/unused symbols.
+    /// The CSR row groups by symbol first and filters the control location
+    /// after; this pins that reconstruction against drift.
+    #[test]
+    fn rules_for_matches_linear_scan() {
+        let mut pds = Pds::new(3);
+        let locs = [ControlLoc(0), ControlLoc(1), ControlLoc(2)];
+        // Interleave LHS groups so CSR rows stitch non-adjacent insertions.
+        for round in 0..3u32 {
+            for (i, &p) in locs.iter().enumerate() {
+                let gamma = Symbol((round + i as u32) % 4);
+                match round {
+                    0 => pds.add_internal(p, gamma, locs[(i + 1) % 3], Symbol(5)),
+                    1 => pds.add_pop(p, gamma, locs[(i + 2) % 3]),
+                    _ => pds.add_push(p, gamma, p, Symbol(6), gamma),
+                }
+            }
+        }
+        let check = |pds: &Pds| {
+            for &p in &locs {
+                for g in 0..7u32 {
+                    let gamma = Symbol(g);
+                    let from_index: Vec<Rule> = pds.rules_for(p, gamma).collect();
+                    let from_scan: Vec<Rule> = pds
+                        .rules()
+                        .iter()
+                        .filter(|r| r.from_loc == p && r.from_sym == gamma)
+                        .copied()
+                        .collect();
+                    assert_eq!(from_index, from_scan, "({p:?}, {gamma:?})");
+                }
+            }
+        };
+        check(&pds);
+        // Appending a rule drops the cached index; the rebuilt one must
+        // still match the scan.
+        pds.add_internal(locs[1], Symbol(3), locs[0], Symbol(0));
+        check(&pds);
     }
 
     #[test]

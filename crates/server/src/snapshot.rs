@@ -23,7 +23,8 @@
 //!              u32 state, u32 row_len (u32 vertex)×row_len)
 //! str      := u32 len, then len bytes of UTF-8
 //! main     := u32     variant index; 0xFFFF_FFFF encodes "no main variant"
-//! stats    := 13 × u64  (PipelineStats sizes + MrdStats + query µs)
+//! stats    := 15 × u64  (PipelineStats sizes + MrdStats + saturation
+//!             counters + query µs)
 //! checksum := u64     FNV-1a over every preceding byte
 //! ```
 //!
@@ -46,8 +47,9 @@ use std::time::Duration;
 /// Leading magic bytes of a snapshot file.
 pub const MAGIC: &[u8; 8] = b"SSLSNAP\0";
 
-/// Current snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 widened the stats block with
+/// the `saturations_run` / `criteria_per_saturation` counters.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Sentinel for "no main variant".
 const NO_MAIN: u32 = u32::MAX;
@@ -248,6 +250,8 @@ fn encode_stats(e: &mut Enc, s: &PipelineStats) {
         s.mrd.minimized_states,
         s.mrd.mrd_states,
         s.mrd.mrd_transitions,
+        s.saturations_run,
+        s.criteria_per_saturation,
     ] {
         e.u64(v as u64);
     }
@@ -494,6 +498,8 @@ fn decode_stats(d: &mut Dec<'_>) -> Result<PipelineStats, SnapshotError> {
     let minimized_states = read("stats.mrd.minimized_states")?;
     let mrd_states = read("stats.mrd.mrd_states")?;
     let mrd_transitions = read("stats.mrd.mrd_transitions")?;
+    let saturations_run = read("stats.saturations_run")?;
+    let criteria_per_saturation = read("stats.criteria_per_saturation")?;
     let micros = d.u64("stats.query_micros")?;
     Ok(PipelineStats {
         pds_rules,
@@ -510,6 +516,8 @@ fn decode_stats(d: &mut Dec<'_>) -> Result<PipelineStats, SnapshotError> {
             mrd_states,
             mrd_transitions,
         },
+        saturations_run,
+        criteria_per_saturation,
         query_time: Duration::from_micros(micros),
     })
 }
@@ -586,6 +594,8 @@ mod tests {
                     mrd_states: 4,
                     mrd_transitions: 8,
                 },
+                saturations_run: 1,
+                criteria_per_saturation: 3,
                 query_time: Duration::from_micros(1234),
             },
         }]

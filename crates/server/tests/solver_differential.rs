@@ -1,0 +1,238 @@
+//! Solver differential over the wire: the same request script against two
+//! daemons — one forced to the per-criterion solver, one to the one-pass
+//! multi-criterion solver — must produce byte-identical response frames.
+//! The wire format's determinism contract does not get a solver escape
+//! hatch. Also: the snapshot round trip must hold under one-pass, since
+//! batch-produced memo entries are what shutdown persists.
+
+use specslice::Solver;
+use specslice_server::{serve, Bind, Client, Json, ServerConfig};
+use std::path::PathBuf;
+
+const PROGRAM: &str = r#"
+    int total;
+    int count;
+    void add(int x) { total = total + x; count = count + 1; }
+    int avg() { if (count == 0) { return 0; } return total / count; }
+    int main() {
+        int i;
+        i = 0;
+        total = 0;
+        count = 0;
+        while (i < 5) { add(i); i = i + 1; }
+        printf("%d\n", avg());
+        printf("%d\n", total);
+        return 0;
+    }
+"#;
+
+fn printf_criterion() -> Json {
+    Json::obj([("kind", Json::str("printf_actuals"))])
+}
+
+fn all_contexts(vertices: &[u32]) -> Json {
+    Json::obj([
+        ("kind", Json::str("all_contexts")),
+        (
+            "vertices",
+            Json::arr(vertices.iter().map(|&v| Json::Int(i64::from(v)))),
+        ),
+    ])
+}
+
+fn start(solver: Solver, threads: usize) -> (specslice_server::Handle, String) {
+    let mut config = ServerConfig::new(Bind::Tcp("127.0.0.1:0".to_string()));
+    config.threads = Some(threads);
+    config.solver = Some(solver);
+    let handle = serve(config).expect("bind");
+    let addr = handle.addr.clone();
+    (handle, addr)
+}
+
+fn open_session(client: &mut Client<std::net::TcpStream>) -> String {
+    let opened = client
+        .request("open", [("source", Json::str(PROGRAM))])
+        .expect("open");
+    opened
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("session id")
+        .to_string()
+}
+
+/// The request script: batches of every width the grouping planner cares
+/// about (singleton, same-procedure pair, cross-procedure mix, repeated
+/// criteria across requests that exercise the memo), a single `slice`, and
+/// a `specialize_program` over the union.
+fn script(session: &str) -> Vec<(&'static str, Vec<(&'static str, Json)>)> {
+    let sid = || ("session", Json::str(session));
+    let batch = |criteria: Vec<Json>| ("criteria", Json::arr(criteria));
+    vec![
+        ("slice_batch", vec![sid(), batch(vec![printf_criterion()])]),
+        (
+            "slice_batch",
+            vec![
+                sid(),
+                batch(vec![
+                    printf_criterion(),
+                    all_contexts(&[1]),
+                    all_contexts(&[2]),
+                    all_contexts(&[3]),
+                ]),
+            ],
+        ),
+        ("slice", vec![sid(), ("criterion", all_contexts(&[2]))]),
+        (
+            "slice_batch",
+            vec![
+                sid(),
+                batch(vec![
+                    all_contexts(&[1, 2]),
+                    printf_criterion(),
+                    all_contexts(&[4]),
+                ]),
+            ],
+        ),
+        (
+            "specialize_program",
+            vec![
+                sid(),
+                batch(vec![
+                    printf_criterion(),
+                    all_contexts(&[1]),
+                    all_contexts(&[3]),
+                ]),
+            ],
+        ),
+    ]
+}
+
+fn play(solver: Solver, threads: usize) -> Vec<Vec<u8>> {
+    let (handle, addr) = start(solver, threads);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let session = open_session(&mut client);
+    let frames = script(&session)
+        .into_iter()
+        .map(|(op, params)| client.request_bytes(op, params).expect("request"))
+        .collect();
+    handle.stop();
+    frames
+}
+
+#[test]
+fn solver_choice_does_not_change_response_frames() {
+    let baseline = play(Solver::PerCriterion, 1);
+    for threads in [1, 2, 4] {
+        let got = play(Solver::OnePass, threads);
+        assert_eq!(got.len(), baseline.len());
+        for (i, (g, b)) in got.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                g,
+                b,
+                "threads={threads}: response {i} differs across solvers:\n  one-pass:      {}\n  per-criterion: {}",
+                String::from_utf8_lossy(g),
+                String::from_utf8_lossy(b),
+            );
+        }
+    }
+}
+
+/// Snapshot → restart under the one-pass solver: the batch answered cold
+/// populates the memo, shutdown persists it, and the restarted daemon must
+/// answer the same batch warm with a byte-identical frame.
+#[test]
+fn one_pass_snapshot_round_trip_is_byte_identical() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("specslice-srv-onepass-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let batch_request = |client: &mut Client<std::net::TcpStream>, session: &str| {
+        client
+            .request_bytes(
+                "slice_batch",
+                [
+                    ("session", Json::str(session)),
+                    (
+                        "criteria",
+                        Json::arr([
+                            printf_criterion(),
+                            all_contexts(&[1]),
+                            all_contexts(&[2]),
+                            all_contexts(&[3]),
+                        ]),
+                    ),
+                ],
+            )
+            .expect("slice_batch")
+    };
+
+    let boot = || {
+        let mut config = ServerConfig::new(Bind::Tcp("127.0.0.1:0".to_string()));
+        config.snapshot_dir = Some(dir.clone());
+        config.threads = Some(2);
+        config.solver = Some(Solver::OnePass);
+        let handle = serve(config).expect("bind");
+        let addr = handle.addr.clone();
+        (handle, addr)
+    };
+
+    let (handle, addr) = boot();
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let opened = client
+        .request("open", [("source", Json::str(PROGRAM))])
+        .expect("open");
+    assert_eq!(opened.get("warm").and_then(Json::as_bool), Some(false));
+    let sid = opened
+        .get("session")
+        .and_then(Json::as_str)
+        .expect("session id")
+        .to_string();
+    let cold = batch_request(&mut client, &sid);
+    let down = client.request("shutdown", []).expect("shutdown");
+    assert!(
+        down.get("snapshots_written")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            >= 1,
+        "shutdown wrote no snapshots: {}",
+        down.to_text()
+    );
+    handle.wait();
+
+    let (handle, addr) = boot();
+    let mut client = Client::connect_tcp(&addr).expect("reconnect");
+    let opened = client
+        .request("open", [("source", Json::str(PROGRAM))])
+        .expect("warm open");
+    assert_eq!(
+        opened.get("warm").and_then(Json::as_bool),
+        Some(true),
+        "restart was not warm: {}",
+        opened.to_text()
+    );
+    assert!(
+        opened
+            .get("memo_imported")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            >= 4,
+        "expected all four batch entries back: {}",
+        opened.to_text()
+    );
+    let warm = batch_request(&mut client, &sid);
+    assert_eq!(warm, cold, "batch answer changed across restart");
+
+    let stats = client
+        .request("stats", [("session", Json::str(&sid))])
+        .expect("stats");
+    let hits = stats
+        .get("session_stats")
+        .and_then(|s| s.get("memo_hits"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    assert!(hits >= 4, "expected memo hits after restart, got {hits}");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

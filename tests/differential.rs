@@ -1,0 +1,241 @@
+//! The solver differential contract: the one-pass multi-criterion solver
+//! must be observationally indistinguishable from the per-criterion oracle.
+//! Byte-identical slices, byte-identical memo contents (stats excluded —
+//! the whole point of one-pass is that the saturation accounting differs),
+//! byte-identical specialized programs, across every corpus program, the
+//! three feature grids, thread widths 1/2/4, and a seeded random sweep of
+//! criterion subsets.
+
+use specslice::{Criterion, Slicer, SlicerConfig, Solver, SpecError};
+use specslice_corpus::rng::StdRng;
+use specslice_sdg::VertexId;
+
+fn session(src: &str, num_threads: usize, solver: Solver) -> Slicer {
+    Slicer::from_source_with(
+        src,
+        SlicerConfig {
+            num_threads,
+            solver,
+            ..SlicerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Per-printf criteria — the paper's evaluation workload.
+fn per_printf_criteria(slicer: &Slicer) -> Vec<Criterion> {
+    slicer
+        .sdg()
+        .printf_call_sites()
+        .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+        .collect()
+}
+
+/// `SpecSlice` holds only deterministic structure, so Debug is a faithful
+/// byte-level fingerprint.
+fn fingerprint(slices: &[specslice::SpecSlice]) -> String {
+    format!("{slices:?}")
+}
+
+/// Memo fingerprint *excluding* stats: keys, canonical A6 automata,
+/// variant metadata and content rows, and the main-variant index must all
+/// agree between solvers; the recorded saturation sizes legitimately
+/// differ (one union saturation vs many solo ones).
+fn memo_fingerprint(slicer: &Slicer) -> String {
+    slicer
+        .export_memo()
+        .iter()
+        .map(|e| {
+            format!(
+                "{:?} | {:?} | {:?} | {:?}\n",
+                e.key, e.a6, e.variants, e.main_variant
+            )
+        })
+        .collect()
+}
+
+/// The twelve corpus programs plus the three feature grids the benchmarks
+/// measure.
+fn workloads() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = specslice_corpus::programs()
+        .into_iter()
+        .map(|p| (p.name.to_string(), p.source.to_string()))
+        .collect();
+    for n in [12, 24, 40] {
+        out.push((format!("grid{n}"), specslice_corpus::feature_grid(n)));
+    }
+    out
+}
+
+/// Corpus + grids through both solvers at 1/2/4 threads: slices, memo
+/// contents, and the merged specialized program must be byte-identical.
+#[test]
+fn one_pass_matches_per_criterion_oracle() {
+    for (name, src) in workloads() {
+        let oracle = session(&src, 1, Solver::PerCriterion);
+        let per_printf = per_printf_criteria(&oracle);
+        let mut criteria = per_printf.clone();
+        criteria.push(Criterion::printf_actuals(oracle.sdg()));
+        let batch = oracle.slice_batch(&criteria).unwrap();
+        let oracle_sats = batch.aggregate.saturations_run;
+        assert!(
+            oracle_sats >= 1 && oracle_sats <= criteria.len(),
+            "{name}: oracle ran {oracle_sats} saturations for {} criteria",
+            criteria.len()
+        );
+        let want_slices = fingerprint(&batch.slices);
+        let want_memo = memo_fingerprint(&oracle);
+        // Specialize over the per-printf set only: for single-printf
+        // programs the union criterion duplicates the lone member, which
+        // `specialize_program` rejects by design.
+        let want_spec = oracle.specialize_program(&per_printf).unwrap();
+
+        for threads in [1, 2, 4] {
+            let slicer = session(&src, threads, Solver::OnePass);
+            let batch = slicer.slice_batch(&criteria).unwrap();
+            let sats = batch.aggregate.saturations_run;
+            assert!(
+                sats <= oracle_sats,
+                "{name}: one-pass at {threads} threads ran {sats} saturations, \
+                 more than the oracle's {oracle_sats}"
+            );
+            if name.starts_with("grid") {
+                // Grid printfs all live in `main`: the whole batch collapses
+                // into ⌈n/64⌉ groups (64 is the bitset's member capacity).
+                assert_eq!(
+                    sats,
+                    criteria.len().div_ceil(64),
+                    "{name}: grid batch did not collapse into full-width groups"
+                );
+                assert_eq!(
+                    batch.aggregate.criteria_per_saturation,
+                    criteria.len().min(64)
+                );
+            }
+            assert_eq!(
+                fingerprint(&batch.slices),
+                want_slices,
+                "{name}: one-pass slices diverged at {threads} threads"
+            );
+            assert_eq!(
+                memo_fingerprint(&slicer),
+                want_memo,
+                "{name}: one-pass memo diverged at {threads} threads"
+            );
+            let spec = slicer.specialize_program(&per_printf).unwrap();
+            assert_eq!(
+                spec.source(),
+                want_spec.source(),
+                "{name}: specialized program diverged at {threads} threads"
+            );
+            assert_eq!(
+                spec.merged_variant_count(),
+                want_spec.merged_variant_count(),
+                "{name}: merged variant count diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+/// Seeded random criterion subsets: singleton vertices, cross-procedure
+/// all-contexts mixes, and the full union, drawn reproducibly from the
+/// corpus PRNG. Every batch must agree across solvers.
+#[test]
+fn random_criterion_subsets_agree_across_solvers() {
+    let mut rng = StdRng::seed_from_u64(0x5_11CE);
+    for name in ["wc", "gzip", "replace"] {
+        let prog = specslice_corpus::by_name(name).unwrap();
+        let oracle = session(prog.source, 1, Solver::PerCriterion);
+        let one_pass = session(prog.source, 4, Solver::OnePass);
+        // Draw from statement/predicate vertices — the vertex kinds that
+        // are well-formed slicing criteria (the idiom `properties.rs`
+        // established for random seeds).
+        let eligible: Vec<VertexId> = (0..oracle.sdg().vertex_count() as u32)
+            .map(VertexId)
+            .filter(|&v| {
+                matches!(
+                    oracle.sdg().vertex(v).kind,
+                    specslice_sdg::VertexKind::Statement { .. }
+                        | specslice_sdg::VertexKind::Predicate { .. }
+                )
+            })
+            .collect();
+        assert!(eligible.len() >= 8, "{name}: too few statement vertices");
+        let draw = |rng: &mut StdRng| eligible[rng.gen_range(0..eligible.len())];
+
+        for round in 0..8 {
+            let mut criteria: Vec<Criterion> = Vec::new();
+            // A few random singletons (one vertex each, scattered across
+            // the program — grouping sees mixed owning procedures).
+            for _ in 0..rng.gen_range(1..=4usize) {
+                criteria.push(Criterion::vertex(draw(&mut rng)));
+            }
+            // A cross-procedure mix: several vertices in one criterion.
+            let width = rng.gen_range(2..=5usize);
+            let vs: Vec<VertexId> = (0..width).map(|_| draw(&mut rng)).collect();
+            criteria.push(Criterion::AllContexts(vs));
+            // Occasionally the full printf union on top.
+            if rng.gen_bool(0.5) {
+                criteria.push(Criterion::printf_actuals(oracle.sdg()));
+            }
+
+            let want = fingerprint(&oracle.slice_batch(&criteria).unwrap().slices);
+            let got = fingerprint(&one_pass.slice_batch(&criteria).unwrap().slices);
+            assert_eq!(got, want, "{name}: random round {round} diverged");
+        }
+    }
+}
+
+/// The duplicate-criteria guard in `specialize_program` rejects the same
+/// input with the same error under both solvers — the validation layer sits
+/// above solver dispatch and must not be bypassed by grouping.
+#[test]
+fn duplicate_criteria_rejected_identically() {
+    let prog = specslice_corpus::by_name("wc").unwrap();
+    for solver in [Solver::PerCriterion, Solver::OnePass] {
+        let slicer = session(prog.source, 2, solver);
+        let good = per_printf_criteria(&slicer);
+        let criteria = vec![good[0].clone(), good[1].clone(), good[0].clone()];
+        let err = slicer.specialize_program(&criteria).unwrap_err();
+        match err {
+            SpecError::BadCriterion { reason } => {
+                assert!(reason.contains("duplicate"), "{solver:?}: {reason}");
+                assert!(reason.contains("#2"), "{solver:?}: {reason}");
+            }
+            other => panic!("{solver:?}: expected BadCriterion, got {other:?}"),
+        }
+    }
+}
+
+/// Criterion order within a batch is reflected positionally, not through
+/// group planning: a permuted batch returns the permuted slices under both
+/// solvers.
+#[test]
+fn permuted_batches_answer_positionally() {
+    let prog = specslice_corpus::by_name("print_tokens").unwrap();
+    let oracle = session(prog.source, 1, Solver::PerCriterion);
+    let one_pass = session(prog.source, 2, Solver::OnePass);
+    let criteria = per_printf_criteria(&oracle);
+    assert!(criteria.len() >= 3);
+    let mut permuted = criteria.clone();
+    permuted.rotate_left(1);
+
+    let want: Vec<String> = oracle
+        .slice_batch(&permuted)
+        .unwrap()
+        .slices
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect();
+    let got: Vec<String> = one_pass
+        .slice_batch(&permuted)
+        .unwrap()
+        .slices
+        .iter()
+        .map(|s| format!("{s:?}"))
+        .collect();
+    assert_eq!(got, want);
+    // And the rotation really did permute the answers.
+    let straight = one_pass.slice_batch(&criteria).unwrap().slices;
+    assert_eq!(format!("{:?}", straight[0]), got[criteria.len() - 1]);
+}

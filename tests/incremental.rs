@@ -377,6 +377,78 @@ fn random_programs_survive_edits_at_every_thread_count() {
     }
 }
 
+/// One-pass incremental re-slicing: a feature-grid session under
+/// [`Solver::OnePass`] runs an edit script through `apply_edit`, and each
+/// re-slice must (a) keep every untouched feature's memo entry and answer
+/// it as a hit, (b) pay exactly one fresh saturation for the dropped
+/// criteria (they all live in `main`, so they re-group), and (c) stay
+/// byte-identical to a *fresh per-criterion* session on the edited program
+/// — the incremental one-pass path diffed against the cold oracle.
+#[test]
+fn one_pass_edit_script_matches_fresh_per_criterion_sessions() {
+    use specslice::Solver;
+    let src = specslice_corpus::feature_grid(12);
+    let mut slicer = Slicer::from_source_with(
+        &src,
+        SlicerConfig {
+            num_threads: 2,
+            solver: Solver::OnePass,
+            ..SlicerConfig::default()
+        },
+    )
+    .unwrap();
+    let criteria = per_printf(&slicer);
+    assert!(criteria.len() >= 12);
+    let batch = slicer.slice_batch(&criteria).unwrap();
+    assert_eq!(
+        batch.aggregate.saturations_run, 1,
+        "grid batch must share one saturation"
+    );
+    assert_eq!(slicer.memo_len(), criteria.len());
+
+    for func in ["step3", "step7", "run11"] {
+        let program = slicer.program().unwrap().clone();
+        let delta = editscript::wrap_assignment(&program, func)
+            .unwrap_or_else(|| panic!("`{func}` has no assignment to wrap"));
+        let report = slicer.apply_edit(&delta).unwrap();
+        assert!(!report.full_rebuild, "{func}: {report:?}");
+        // Exactly one feature's slice touches the edited procedure.
+        assert_eq!(report.memo_dropped, 1, "{func}: {report:?}");
+        assert_eq!(report.memo_kept, criteria.len() - 1, "{func}: {report:?}");
+
+        let hits_before = slicer.memo_hits();
+        let batch = slicer.slice_batch(&criteria).unwrap();
+        // Kept entries replay from the memo; the lone dropped criterion
+        // re-saturates solo.
+        assert_eq!(
+            slicer.memo_hits() - hits_before,
+            criteria.len() - 1,
+            "{func}: kept entries must answer as memo hits"
+        );
+        assert_eq!(
+            batch.aggregate.saturations_run, 1,
+            "{func}: only the invalidated criterion re-saturates"
+        );
+
+        // Diff against a fresh per-criterion session on the edited program.
+        let fresh = Slicer::from_program_with(
+            slicer.program().unwrap().clone(),
+            SlicerConfig {
+                num_threads: 1,
+                solver: Solver::PerCriterion,
+                ..SlicerConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            format!("{:?}", batch.slices),
+            format!("{:?}", fresh.slice_batch(&criteria).unwrap().slices),
+            "{func}: incremental one-pass diverged from the cold oracle"
+        );
+        assert_eq!(slicer.memo_len(), criteria.len(), "{func}: memo refilled");
+    }
+}
+
 /// `ProgramDelta::diff`-driven editing: rewrite a whole function body from
 /// new source and re-slice.
 #[test]
