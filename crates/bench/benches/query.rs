@@ -24,7 +24,10 @@
 //!   state/transition counts along the MRD chain, slice sizes, and the
 //!   variant-store counters of a whole-program `specialize_program` pass
 //!   (interned variants, cross-criterion dedup hits, flat-row bytes,
-//!   merged function count, regenerated source bytes). These
+//!   merged function count, regenerated source bytes), and the forward
+//!   mirror — every criterion re-answered as a `post*` query plus one
+//!   `chop` from `main`'s first statement to the all-printfs criterion
+//!   (`forward_*` / `chop_*` keys). These
 //!   are pure functions of the workload — identical on every machine, at
 //!   every thread count, in smoke and full mode — so CI's `bench-gate` job
 //!   diffs them against the committed snapshot to catch silent changes to
@@ -109,6 +112,20 @@ struct Counters {
     /// group planning, so the bench-gate diffs them like any other counter.
     saturations_run: usize,
     criteria_per_saturation: usize,
+    /// Forward-query counters: every workload criterion re-answered as a
+    /// `post*` query through the same cached encoding. Saturated-transition
+    /// and rule-application counts measure the forward pipeline's work the
+    /// way the `prestar_*` fields measure the backward one's.
+    forward_transitions: usize,
+    forward_rule_applications: usize,
+    forward_slice_vertices: usize,
+    forward_variants: usize,
+    /// Chop counters: one chop per workload, from the first statement of
+    /// `main` to the all-printfs criterion (the canonical source→sink
+    /// question). Sizes of the intersected result — pure functions of the
+    /// workload like everything above.
+    chop_vertices: usize,
+    chop_variants: usize,
 }
 
 struct WorkloadRow {
@@ -116,6 +133,22 @@ struct WorkloadRow {
     criteria: usize,
     counters: Counters,
     median_total: Duration,
+}
+
+/// The chop source every workload uses: the first statement vertex of
+/// `main` (deterministic — vertex ids are construction-ordered).
+fn chop_source(slicer: &Slicer) -> Option<Criterion> {
+    let main = slicer.sdg().proc_named("main")?;
+    main.vertices
+        .iter()
+        .copied()
+        .find(|&v| {
+            matches!(
+                slicer.sdg().vertex(v).kind,
+                specslice_sdg::VertexKind::Statement { .. }
+            )
+        })
+        .map(Criterion::vertex)
 }
 
 /// The benched workloads: the twelve corpus emulations plus three
@@ -156,6 +189,10 @@ fn main() {
         // Acceptance gate: byte-identical slices at 1, 2, and 4 worker
         // threads (SpecSlice's Debug rendering is fully deterministic).
         let baseline = format!("{:?}", slicer.slice_batch(&criteria).unwrap().slices);
+        let fwd_baseline = format!(
+            "{:?}",
+            slicer.forward_slice_batch(&criteria).unwrap().slices
+        );
         for t in [2usize, 4] {
             let parallel = Slicer::from_source_with(
                 &source,
@@ -167,6 +204,14 @@ fn main() {
             .expect("workload program");
             let out = format!("{:?}", parallel.slice_batch(&criteria).unwrap().slices);
             assert_eq!(out, baseline, "{name}: slices diverged at {t} threads");
+            let fwd = format!(
+                "{:?}",
+                parallel.forward_slice_batch(&criteria).unwrap().slices
+            );
+            assert_eq!(
+                fwd, fwd_baseline,
+                "{name}: forward slices diverged at {t} threads"
+            );
         }
 
         // Deterministic counters, summed over the workload's criteria.
@@ -187,6 +232,28 @@ fn main() {
             counters.mrd_transitions += stats.mrd.mrd_transitions;
             counters.slice_vertices += slice.total_vertices();
             counters.variants += slice.variant_count();
+        }
+
+        // The forward mirror: the same criteria re-answered as `post*`
+        // queries through the same cached encoding, plus one chop from the
+        // first statement of `main` to the all-printfs criterion. The
+        // counters are pure functions of the workload, so the bench-gate
+        // diffs them exactly like the backward ones.
+        for criterion in &criteria {
+            let (slice, stats) = slicer
+                .forward_slice_with_stats(criterion)
+                .expect("forward criterion");
+            counters.forward_transitions += stats.prestar_transitions;
+            counters.forward_rule_applications += stats.prestar_rule_applications;
+            counters.forward_slice_vertices += slice.total_vertices();
+            counters.forward_variants += slice.variant_count();
+        }
+        if let Some(source) = chop_source(&slicer) {
+            let chop = slicer
+                .chop(&source, &Criterion::printf_actuals(slicer.sdg()))
+                .expect("chop");
+            counters.chop_vertices = chop.total_vertices();
+            counters.chop_variants = chop.variant_count();
         }
 
         // One-pass batch counters: a single `slice_batch` over the whole
@@ -433,9 +500,27 @@ fn render_json(
         let _ = writeln!(s, "        \"saturations_run\": {},", c.saturations_run);
         let _ = writeln!(
             s,
-            "        \"criteria_per_saturation\": {}",
+            "        \"criteria_per_saturation\": {},",
             c.criteria_per_saturation
         );
+        let _ = writeln!(
+            s,
+            "        \"forward_transitions\": {},",
+            c.forward_transitions
+        );
+        let _ = writeln!(
+            s,
+            "        \"forward_rule_applications\": {},",
+            c.forward_rule_applications
+        );
+        let _ = writeln!(
+            s,
+            "        \"forward_slice_vertices\": {},",
+            c.forward_slice_vertices
+        );
+        let _ = writeln!(s, "        \"forward_variants\": {},", c.forward_variants);
+        let _ = writeln!(s, "        \"chop_vertices\": {},", c.chop_vertices);
+        let _ = writeln!(s, "        \"chop_variants\": {}", c.chop_variants);
         let _ = writeln!(s, "      }},");
         let _ = writeln!(
             s,

@@ -153,7 +153,7 @@ pub fn query_automaton_reusing(
             let reachable = match reachable {
                 Some(r) => r,
                 None => {
-                    computed = reachable_configurations(sdg, enc);
+                    computed = reachable_configurations(sdg, enc)?;
                     &computed
                 }
             };
@@ -184,7 +184,17 @@ pub fn query_automaton_reusing(
 /// left operand and the deterministic `verts · Γ_c*` shape on the right,
 /// the product is itself deterministic and the per-criterion determinize
 /// degenerates to a linear walk.
-pub fn reachable_configurations(sdg: &Sdg, enc: &Encoded) -> Nfa {
+///
+/// # Errors
+///
+/// Propagates a structured [`SpecError::Pds`] if the entry query violates a
+/// `post*` precondition. The query is built right here — one labeled
+/// transition out of a control state into a fresh final state — so every
+/// precondition holds by construction and an error indicates a bug in the
+/// engine, but it surfaces as a value (with the engine's own error as the
+/// [`source`](std::error::Error::source)) rather than a panic inside
+/// whatever worker thread first touched the session's reachable automaton.
+pub fn reachable_configurations(sdg: &Sdg, enc: &Encoded) -> Result<Nfa, SpecError> {
     let mut ae = PAutomaton::new(enc.pds.control_count());
     let f = ae.add_state();
     ae.set_final(f);
@@ -194,17 +204,14 @@ pub fn reachable_configurations(sdg: &Sdg, enc: &Encoded) -> Nfa {
         Some(enc.vertex_symbol(entry)),
         f,
     );
-    // The entry query is built right here — one labeled transition out of a
-    // control state into a fresh final state — so every `post*`
-    // precondition holds by construction.
     let (post, _) = specslice_pds::poststar::poststar_indexed_with_stats(
         &enc.index,
         &ae,
         &mut specslice_pds::SaturationScratch::default(),
     )
-    .expect("entry query satisfies the post* preconditions by construction");
+    .map_err(|e| SpecError::pds("poststar(reachable)", e))?;
     let nfa = post.to_nfa(MAIN_CONTROL);
-    specslice_fsa::hopcroft::minimize(&Dfa::determinize(&nfa)).to_nfa()
+    Ok(specslice_fsa::hopcroft::minimize(&Dfa::determinize(&nfa)).to_nfa())
 }
 
 /// Converts an arbitrary NFA into a query P-automaton: determinize +

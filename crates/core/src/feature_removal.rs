@@ -38,7 +38,7 @@ use std::sync::Arc;
 /// Fails on malformed criteria or internal invariant violations.
 pub fn remove_feature(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
     let enc = encode::encode_sdg(sdg);
-    let reachable = criteria::reachable_configurations(sdg, &enc);
+    let reachable = criteria::reachable_configurations(sdg, &enc)?;
     remove_feature_reusing(
         sdg,
         &enc,
@@ -61,10 +61,11 @@ pub fn remove_feature_reusing(
     let ac = criteria::query_automaton_reusing(sdg, enc, Some(reachable), criterion)?;
     // A0 = Poststar(A_C): the feature, as a configuration language. The
     // query came out of `query_automaton_reusing`, which guarantees the
-    // post* preconditions — a violation here is a slicer bug, reported as a
-    // structured internal error rather than a worker-killing panic.
+    // post* preconditions — a violation here is a slicer bug, but it is
+    // reported as a structured [`SpecError::Pds`] (engine error preserved
+    // as the `source`) rather than a worker-killing panic.
     let (a0, _) = poststar_indexed_with_stats(&enc.index, &ac, &mut SaturationScratch::default())
-        .map_err(|e| SpecError::internal("poststar", e.to_string()))?;
+        .map_err(|e| SpecError::pds("poststar", e))?;
     let a0_nfa = a0.to_nfa(MAIN_CONTROL);
     // A1 = Reachable ∖ A0.
     let a1 = difference(reachable, &Dfa::determinize(&a0_nfa));
@@ -76,6 +77,7 @@ pub fn remove_feature_reusing(
         enc,
         &a6,
         true,
+        readout::QueryKind::Residual,
         &mut readout::ReadoutScratch::default(),
         store,
     )

@@ -35,7 +35,7 @@
 
 use crate::encode;
 use crate::readout::{self, ReadoutScratch};
-use crate::slicer::{CachedSlice, MemoEntry, MemoKey, Slicer};
+use crate::slicer::{CachedSlice, KeySelect, MemoEntry, MemoKey, Slicer};
 use crate::store::VariantStore;
 use crate::SpecError;
 use specslice_fsa::{canonicalize_mrd, Nfa, Symbol};
@@ -143,6 +143,11 @@ impl Slicer {
         // destroy chains into procedures it reaches — those cast their
         // call-descendant net as well. "impact ∩ mentions = ∅" then
         // certifies a slice's dependence paths and stacks are untouched.
+        // The same certificate covers forward (post*) memo entries: a
+        // forward language can only change if a mentioned procedure was
+        // rebuilt or a new call chain routes through the criterion's
+        // procedure — and the criterion's own procedures anchor `mentions`
+        // even when the slice is empty (see below).
         let mut impact = call_descendants(&patch.sdg, patch.structure_changed.iter().cloned());
         impact.extend(patch.rebuilt.iter().cloned());
 
@@ -187,13 +192,13 @@ impl Slicer {
                     add_site(&mut out, c);
                 }
             }
-            match key {
-                MemoKey::AllContexts(vs) => {
+            match &key.select {
+                KeySelect::AllContexts(vs) => {
                     for &v in vs {
                         add_vertex(&mut out, VertexId(v));
                     }
                 }
-                MemoKey::Configurations(cs) => {
+                KeySelect::Configurations(cs) => {
                     for (v, stack) in cs {
                         add_vertex(&mut out, VertexId(*v));
                         for &c in stack {
@@ -240,6 +245,7 @@ impl Slicer {
                         &enc,
                         &a6,
                         self.config.validate,
+                        key.dir.into(),
                         &mut scratch,
                         &staging,
                     )
@@ -275,9 +281,9 @@ impl Slicer {
         let reachable = OnceLock::new();
         let mut reachable_kept = false;
         if patch.rebuilt.is_disjoint(&live) {
-            if let Some(r) = self.reachable.get() {
+            if let Some(r) = self.reachable.get().and_then(|r| r.as_ref().ok()) {
                 if let Some(remapped) = r.remap_symbols(sym_map) {
-                    let _ = reachable.set(remapped);
+                    let _ = reachable.set(Ok(remapped));
                     reachable_kept = true;
                 }
             }

@@ -95,7 +95,7 @@ pub mod store;
 
 pub use criteria::Criterion;
 pub use incremental::EditReport;
-pub use readout::{SpecSlice, VariantMeta, VariantPdg};
+pub use readout::{QueryKind, SpecSlice, VariantMeta, VariantPdg};
 pub use session_io::{MemoExport, MemoExportVariant, MemoKeyExport};
 pub use slicer::{BatchResult, Slicer, SlicerConfig, Solver};
 pub use specialize::{MergedFunction, SpecializedProgram};
@@ -103,6 +103,10 @@ pub use store::{StoreStats, VariantId, VariantStore};
 // Batch slicing reports per-worker accounting in [`BatchResult::per_thread`];
 // re-exported so clients can name the type without a `specslice-exec` dep.
 pub use specslice_exec::WorkerStats;
+// Query direction (backward specialization slice vs. forward slice) is
+// defined by the saturation engine; re-exported so clients can select a
+// direction without a `specslice-pds` dep.
+pub use specslice_pds::{Direction, PdsError};
 
 // The facade re-exports everything a client needs to construct criteria,
 // describe program edits (including the AST types statement-level
@@ -137,6 +141,20 @@ pub enum SpecError {
         /// What is wrong with the criterion.
         reason: String,
     },
+    /// A saturation engine ([`prestar`] / [`poststar`]) rejected its query
+    /// automaton. The structured source error is preserved (not flattened to
+    /// a string), so callers can match on the exact precondition that failed
+    /// and error chains render it via [`std::error::Error::source`].
+    ///
+    /// [`prestar`]: specslice_pds::prestar
+    /// [`poststar`]: specslice_pds::poststar
+    Pds {
+        /// Which engine invocation failed (e.g. `"prestar"`, `"poststar"`,
+        /// `"poststar(reachable)"`).
+        stage: &'static str,
+        /// The engine's structured error.
+        source: specslice_pds::PdsError,
+    },
     /// An internal invariant was violated — always a bug in the slicer, not
     /// in the caller's input (results are validated against Cor. 3.19
     /// before being returned).
@@ -163,6 +181,11 @@ impl SpecError {
             message: message.into(),
         }
     }
+
+    /// Creates a [`SpecError::Pds`] tagged with the failing engine stage.
+    pub fn pds(stage: &'static str, source: specslice_pds::PdsError) -> Self {
+        SpecError::Pds { stage, source }
+    }
 }
 
 impl fmt::Display for SpecError {
@@ -172,6 +195,9 @@ impl fmt::Display for SpecError {
             SpecError::Sema(e) => write!(f, "semantic check failed: {e}"),
             SpecError::SdgBuild(e) => write!(f, "SDG construction failed: {e}"),
             SpecError::BadCriterion { reason } => write!(f, "bad criterion: {reason}"),
+            SpecError::Pds { stage, source } => {
+                write!(f, "saturation failed ({stage}): {source}")
+            }
             SpecError::Internal { context, message } => {
                 write!(f, "internal error ({context}): {message}")
             }
@@ -184,6 +210,7 @@ impl std::error::Error for SpecError {
         match self {
             SpecError::Parse(e) | SpecError::Sema(e) => Some(e),
             SpecError::SdgBuild(e) => Some(e),
+            SpecError::Pds { source, .. } => Some(source),
             SpecError::BadCriterion { .. } | SpecError::Internal { .. } => None,
         }
     }
@@ -222,7 +249,7 @@ pub fn specialize(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecErr
     let enc = encode::encode_sdg(sdg);
     let query = criteria::query_automaton(sdg, &enc, criterion)?;
     let store = std::sync::Arc::new(VariantStore::new());
-    slicer::run_query(sdg, &enc, &query, true, &store).map(|(s, _)| s)
+    slicer::run_query(Direction::Backward, sdg, &enc, &query, true, &store).map(|(s, _)| s)
 }
 
 /// Sizes (and wall-clock) observed along the Alg. 1 pipeline.
@@ -230,14 +257,16 @@ pub fn specialize(sdg: &Sdg, criterion: &Criterion) -> Result<SpecSlice, SpecErr
 pub struct PipelineStats {
     /// `|Δ|` of the encoded PDS.
     pub pds_rules: usize,
-    /// Transitions in the saturated Prestar automaton.
+    /// Transitions in the saturated automaton (`Prestar` for backward
+    /// queries, `Poststar` for forward ones; the field name keeps the
+    /// historical spelling for serialization stability).
     pub prestar_transitions: usize,
-    /// Peak bytes retained during Prestar (Fig. 22 accounting).
+    /// Peak bytes retained during saturation (Fig. 22 accounting).
     pub prestar_peak_bytes: usize,
-    /// Saturation-rule firings during Prestar — a deterministic work
-    /// measure (independent of machine, thread count, and worklist order).
+    /// Saturation-rule firings — a deterministic work measure (independent
+    /// of machine, thread count, and worklist order).
     pub prestar_rule_applications: usize,
-    /// Peak Prestar worklist depth (deterministic for a given build).
+    /// Peak saturation worklist depth (deterministic for a given build).
     pub prestar_peak_worklist: usize,
     /// States of the trimmed `A1`.
     pub a1_states: usize,
@@ -258,6 +287,16 @@ pub struct PipelineStats {
     /// members). Aggregated as a max, so a batch aggregate reports the
     /// widest single saturation in the batch.
     pub criteria_per_saturation: usize,
+    /// Backward queries answered from the session memo (`1` on a hit, `0`
+    /// otherwise; summed by [`PipelineStats::absorb`], so a batch aggregate
+    /// counts hits).
+    pub memo_hits_backward: usize,
+    /// Backward queries that missed the memo and paid for a pipeline run.
+    pub memo_misses_backward: usize,
+    /// Forward queries answered from the session memo.
+    pub memo_hits_forward: usize,
+    /// Forward queries that missed the memo and paid for a pipeline run.
+    pub memo_misses_forward: usize,
     /// Wall-clock of the criterion-dependent pipeline for this query (query
     /// automaton → `Prestar` → MRD → read-out), as measured by the worker
     /// thread that answered it. Summed by [`PipelineStats::absorb`], so a
@@ -287,6 +326,10 @@ impl PipelineStats {
         self.criteria_per_saturation = self
             .criteria_per_saturation
             .max(other.criteria_per_saturation);
+        self.memo_hits_backward += other.memo_hits_backward;
+        self.memo_misses_backward += other.memo_misses_backward;
+        self.memo_hits_forward += other.memo_hits_forward;
+        self.memo_misses_forward += other.memo_misses_forward;
         self.query_time += other.query_time;
     }
 
@@ -308,13 +351,17 @@ impl PipelineStats {
     /// consistent with each other (and with the docs).
     pub fn summary(&self) -> String {
         format!(
-            "rules={} prestar={}t a1={}s/{}t mrd={}s/{}t time={:.1?}",
+            "rules={} prestar={}t a1={}s/{}t mrd={}s/{}t memo=b{}h/{}m f{}h/{}m time={:.1?}",
             self.pds_rules,
             self.prestar_transitions,
             self.a1_states,
             self.a1_transitions,
             self.mrd.mrd_states,
             self.mrd.mrd_transitions,
+            self.memo_hits_backward,
+            self.memo_misses_backward,
+            self.memo_hits_forward,
+            self.memo_misses_forward,
             self.query_time,
         )
     }

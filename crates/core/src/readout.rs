@@ -23,6 +23,64 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
+/// Which query produced a [`SpecSlice`] — its provenance. Determines which
+/// structural guarantees the slice carries and which validation the
+/// read-out applies:
+///
+/// * [`Backward`](QueryKind::Backward) specialization slices (Alg. 1) and
+///   [`Residual`](QueryKind::Residual) feature-removal complements (Alg. 2)
+///   satisfy the full Cor. 3.19 no-parameter-mismatch property (kept formal
+///   ⟺ matching actual) and are executable after regeneration.
+/// * [`Forward`](QueryKind::Forward) slices satisfy only the `post*`
+///   closure implications — a kept actual-in implies the matching formal-in
+///   is kept, and a kept formal-out implies the matching actual-out is kept
+///   — never the reverse directions (nothing forward-reaches an actual-in
+///   from inside the callee).
+/// * [`Chop`](QueryKind::Chop)s are intersections of a forward and a
+///   backward configuration language; neither closure direction survives
+///   the intersection, so chops are reported as variant/vertex sets with no
+///   parameter-completeness guarantee (and are not regenerable in general).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryKind {
+    /// Backward specialization slice (`pre*`, Alg. 1).
+    #[default]
+    Backward,
+    /// Forward slice (`post*` over the same Fig. 8 encoding).
+    Forward,
+    /// `forward_slice(source) ∩ slice(target)` on the MRD automata.
+    Chop,
+    /// Feature-removal residual (Alg. 2): everything *outside* a forward
+    /// slice.
+    Residual,
+}
+
+impl QueryKind {
+    /// Stable lower-case name (used in reports and wire payloads).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Backward => "backward",
+            QueryKind::Forward => "forward",
+            QueryKind::Chop => "chop",
+            QueryKind::Residual => "residual",
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<specslice_pds::Direction> for QueryKind {
+    fn from(dir: specslice_pds::Direction) -> Self {
+        match dir {
+            specslice_pds::Direction::Backward => QueryKind::Backward,
+            specslice_pds::Direction::Forward => QueryKind::Forward,
+        }
+    }
+}
+
 /// One specialized procedure (a partition element of Defn. 2.10),
 /// materialized as an owned view. [`SpecSlice`] stores variants as interned
 /// [`VariantId`] rows; the accessors ([`SpecSlice::variants`],
@@ -126,6 +184,9 @@ pub struct SpecSlice {
     pub main_variant: Option<usize>,
     /// The MRD automaton the slice was read from.
     pub a6: Nfa,
+    /// Which query produced this slice (see [`QueryKind`] for the
+    /// guarantees each kind carries).
+    pub kind: QueryKind,
 }
 
 impl fmt::Debug for SpecSlice {
@@ -138,6 +199,7 @@ impl fmt::Debug for SpecSlice {
             .field("variants", &self.variants())
             .field("main_variant", &self.main_variant)
             .field("a6", &self.a6)
+            .field("kind", &self.kind)
             .finish()
     }
 }
@@ -151,6 +213,7 @@ impl SpecSlice {
         metas: Vec<VariantMeta>,
         main_variant: Option<usize>,
         a6: Nfa,
+        kind: QueryKind,
     ) -> SpecSlice {
         debug_assert_eq!(ids.len(), metas.len());
         SpecSlice {
@@ -159,6 +222,7 @@ impl SpecSlice {
             metas,
             main_variant,
             a6,
+            kind,
         }
     }
 
@@ -273,6 +337,7 @@ impl SpecSlice {
             metas: self.metas,
             main_variant: self.main_variant,
             a6: self.a6,
+            kind: self.kind,
         }
     }
 }
@@ -348,18 +413,23 @@ pub fn read_out_with(
         enc,
         a6,
         validate,
+        QueryKind::Backward,
         &mut ReadoutScratch::default(),
         &Arc::new(VariantStore::new()),
     )
 }
 
-/// [`read_out_with`] against caller-owned scratch buffers and an explicit
-/// target store.
+/// [`read_out_with`] against caller-owned scratch buffers, an explicit
+/// target store, and an explicit query kind. The kind selects the
+/// validation applied (see [`QueryKind`]): full Cor. 3.19 equality for
+/// backward/residual slices, the one-directional `post*` closure
+/// implications for forward slices, and none for chops.
 pub(crate) fn read_out_in(
     sdg: &Sdg,
     enc: &Encoded,
     a6: &Nfa,
     validate: bool,
+    kind: QueryKind,
     scratch: &mut ReadoutScratch,
     store: &Arc<VariantStore>,
 ) -> Result<SpecSlice, SpecError> {
@@ -370,6 +440,7 @@ pub(crate) fn read_out_in(
             Vec::new(),
             None,
             a6.clone(),
+            kind,
         ));
     }
     debug_assert!(is_reverse_deterministic(a6), "A6 must be MRD (Thm. 3.16)");
@@ -564,8 +635,8 @@ pub(crate) fn read_out_in(
         }
     }
 
-    if validate {
-        validate_no_mismatches(sdg, scratch, &metas)?;
+    if validate && kind != QueryKind::Chop {
+        validate_no_mismatches(sdg, kind, scratch, &metas)?;
     }
     Ok(SpecSlice::from_parts(
         store.clone(),
@@ -573,6 +644,7 @@ pub(crate) fn read_out_in(
         metas,
         main_variant,
         a6.clone(),
+        kind,
     ))
 }
 
@@ -584,14 +656,20 @@ fn scratch_contains(scratch: &ReadoutScratch, i: usize, v: VertexId) -> bool {
     row.binary_search_by_key(&v.0, |&(_, vert)| vert).is_ok()
 }
 
-/// Cor. 3.19: in the specialized SDG, a kept formal always has the matching
-/// actual at every (specialized) call site, and vice versa. Runs against
-/// the scratch rows — no sets are materialized.
+/// Parameter-completeness validation, per query kind. For backward and
+/// residual slices this is Cor. 3.19: in the specialized SDG, a kept formal
+/// always has the matching actual at every (specialized) call site, and
+/// vice versa. For forward slices only the `post*` closure implications
+/// hold — kept actual-in ⟹ kept formal-in, kept formal-out ⟹ kept
+/// actual-out — so only those directions are checked. Runs against the
+/// scratch rows — no sets are materialized.
 fn validate_no_mismatches(
     sdg: &Sdg,
+    kind: QueryKind,
     scratch: &ReadoutScratch,
     metas: &[VariantMeta],
 ) -> Result<(), SpecError> {
+    let forward = kind == QueryKind::Forward;
     for (ci, caller) in metas.iter().enumerate() {
         for (&c, &callee_idx) in &caller.calls {
             let site = sdg.call_site(c);
@@ -599,7 +677,12 @@ fn validate_no_mismatches(
             for (&ai, &fi) in site.actual_ins.iter().zip(&callee_proc.formal_ins) {
                 let actual_in = scratch_contains(scratch, ci, ai);
                 let formal_in = scratch_contains(scratch, callee_idx, fi);
-                if actual_in != formal_in {
+                let bad = if forward {
+                    actual_in && !formal_in
+                } else {
+                    actual_in != formal_in
+                };
+                if bad {
                     return Err(SpecError::internal(
                         "readout",
                         format!(
@@ -615,7 +698,12 @@ fn validate_no_mismatches(
             for (&ao, &fo) in site.actual_outs.iter().zip(&callee_proc.formal_outs) {
                 let actual_out = scratch_contains(scratch, ci, ao);
                 let formal_out = scratch_contains(scratch, callee_idx, fo);
-                if actual_out != formal_out {
+                let bad = if forward {
+                    formal_out && !actual_out
+                } else {
+                    actual_out != formal_out
+                };
+                if bad {
                     return Err(SpecError::internal(
                         "readout",
                         format!(

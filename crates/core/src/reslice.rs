@@ -75,7 +75,7 @@ pub fn reslice_check_reusing(
         preimages.entry(s).or_default().push(r);
     }
     let inv = relabel_inverse(&c_nfa, |s| preimages.get(&s).cloned().unwrap_or_default());
-    let reach_r = criteria::reachable_configurations(&sdg_r, &enc_r);
+    let reach_r = criteria::reachable_configurations(&sdg_r, &enc_r)?;
     let c_prime = specslice_fsa::ops::intersect(&inv, &reach_r);
     let (c_prime, _) = c_prime.trimmed();
     if c_prime.is_empty_language() {
@@ -91,7 +91,14 @@ pub fn reslice_check_reusing(
     let query_r =
         criteria::query_automaton_reusing(&sdg_r, &enc_r, None, &Criterion::Automaton(c_prime))?;
     let store_r = std::sync::Arc::new(crate::store::VariantStore::new());
-    let (slice_r, _) = crate::slicer::run_query(&sdg_r, &enc_r, &query_r, true, &store_r)?;
+    let (slice_r, _) = crate::slicer::run_query(
+        specslice_pds::Direction::Backward,
+        &sdg_r,
+        &enc_r,
+        &query_r,
+        true,
+        &store_r,
+    )?;
     // Map any leftover symbols to a fresh sink symbol so relabel is total.
     let sink = Symbol(u32::MAX);
     for (_, l, _) in slice_r.a6.transitions() {

@@ -27,8 +27,8 @@
 //! are byte-identical to the live session the export came from.
 
 use crate::readout::VariantMeta;
-use crate::slicer::{CachedSlice, MemoEntry, MemoKey, Slicer};
-use crate::{PipelineStats, SpecError};
+use crate::slicer::{CachedSlice, KeySelect, MemoEntry, MemoKey, Slicer};
+use crate::{Direction, PipelineStats, SpecError};
 use specslice_fsa::{Nfa, StateId};
 use specslice_sdg::{CallSiteId, ProcId};
 use std::collections::BTreeMap;
@@ -64,6 +64,8 @@ pub struct MemoExportVariant {
 /// One memo entry in store-independent, serializable form.
 #[derive(Clone, Debug)]
 pub struct MemoExport {
+    /// The saturation direction the entry answers queries for.
+    pub direction: Direction,
     /// The canonical criterion key.
     pub key: MemoKeyExport,
     /// The canonical MRD automaton (`A6`) for the criterion.
@@ -94,9 +96,10 @@ impl Slicer {
         entries
             .into_iter()
             .map(|(key, entry)| {
-                let key = match key {
-                    MemoKey::AllContexts(vs) => MemoKeyExport::AllContexts(vs.clone()),
-                    MemoKey::Configurations(cs) => MemoKeyExport::Configurations(cs.clone()),
+                let direction = key.dir;
+                let key = match &key.select {
+                    KeySelect::AllContexts(vs) => MemoKeyExport::AllContexts(vs.clone()),
+                    KeySelect::Configurations(cs) => MemoKeyExport::Configurations(cs.clone()),
                 };
                 let variants = entry
                     .cached
@@ -112,6 +115,7 @@ impl Slicer {
                     })
                     .collect();
                 MemoExport {
+                    direction,
                     key,
                     a6: entry.a6.clone(),
                     variants,
@@ -151,19 +155,23 @@ impl Slicer {
             Err(e) => e.into_inner(),
         };
         for entry in entries {
-            let key = match &entry.key {
+            let select = match &entry.key {
                 MemoKeyExport::AllContexts(vs) => {
                     let mut v = vs.clone();
                     v.sort_unstable();
                     v.dedup();
-                    MemoKey::AllContexts(v)
+                    KeySelect::AllContexts(v)
                 }
                 MemoKeyExport::Configurations(cs) => {
                     let mut v = cs.clone();
                     v.sort_unstable();
                     v.dedup();
-                    MemoKey::Configurations(v)
+                    KeySelect::Configurations(v)
                 }
+            };
+            let key = MemoKey {
+                dir: entry.direction,
+                select,
             };
             if memo.contains_key(&key) {
                 continue;

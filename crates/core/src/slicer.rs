@@ -25,7 +25,7 @@
 
 use crate::criteria::{self, Criterion};
 use crate::encode::{self, Encoded, MAIN_CONTROL};
-use crate::readout::{self, ReadoutScratch, SpecSlice, VariantMeta};
+use crate::readout::{self, QueryKind, ReadoutScratch, SpecSlice, VariantMeta};
 use crate::regen::{self, RegenOutput};
 use crate::reslice::{self, ResliceReport};
 use crate::store::{StoreStats, VariantId, VariantStore};
@@ -34,8 +34,10 @@ use specslice_exec::{Pool, WorkerStats};
 use specslice_fsa::mrd::mrd_with_stats;
 use specslice_fsa::{Nfa, StateId};
 use specslice_lang::Program;
-use specslice_pds::prestar::{prestar_indexed_with_stats, prestar_multi_indexed_with_stats};
-use specslice_pds::{CriterionSet, PAutomaton, PState, SaturationScratch};
+use specslice_pds::{
+    saturate_indexed_with_stats, saturate_multi_indexed_with_stats, CriterionSet, Direction,
+    PAutomaton, PState, SaturationScratch,
+};
 use specslice_sdg::build::build_sdg;
 use specslice_sdg::{CallSiteId, Sdg, VertexId};
 use std::collections::HashMap;
@@ -195,8 +197,11 @@ pub struct Slicer {
     /// first; results are re-interned in input order).
     pub(crate) store: Arc<VariantStore>,
     /// `post*({⟨entry_main, ε⟩})` as an NFA — needed by all-contexts
-    /// criteria and feature removal; built on first use, then shared.
-    pub(crate) reachable: OnceLock<Nfa>,
+    /// criteria and feature removal; built on first use, then shared. The
+    /// cell caches the build *outcome* (a [`SpecError::Pds`] build failure
+    /// is cached too, so every caller sees the same structured error
+    /// instead of one caller panicking on behalf of the rest).
+    pub(crate) reachable: OnceLock<Result<Nfa, SpecError>>,
     pub(crate) reachable_builds: AtomicUsize,
     queries_run: AtomicUsize,
     /// Criterion → cached-slice memo (see [`SlicerConfig::memoize`]).
@@ -211,10 +216,26 @@ pub struct Slicer {
     scratch_pool: Mutex<Vec<QueryScratch>>,
 }
 
-/// Canonical, order-independent memo key for a criterion. Criteria over raw
-/// automata are not memoized (their languages have no cheap canonical key).
+/// Canonical, order-independent memo key for a query: the direction it ran
+/// in plus the criterion's canonical selector. A forward and a backward
+/// query over the same criterion are distinct cache entries (their `A6`
+/// languages differ), so the direction is part of the key — and of every
+/// serialized form of it (session export, server snapshots). Criteria over
+/// raw automata are not memoized (their languages have no cheap canonical
+/// key). Ordered by `(direction, selector)` — `Direction` sorts backward
+/// first — so sorted exports list a session's backward entries before its
+/// forward ones.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub(crate) enum MemoKey {
+pub(crate) struct MemoKey {
+    /// The query direction this entry answers.
+    pub(crate) dir: Direction,
+    /// The criterion's canonical, order-independent selector.
+    pub(crate) select: KeySelect,
+}
+
+/// The criterion component of a [`MemoKey`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) enum KeySelect {
     /// Sorted, deduplicated vertex ids of an all-contexts criterion.
     AllContexts(Vec<u32>),
     /// Sorted, deduplicated `(vertex, stack)` configurations.
@@ -252,13 +273,13 @@ pub(crate) struct MemoEntry {
     pub(crate) stats: PipelineStats,
 }
 
-pub(crate) fn memo_key(criterion: &Criterion) -> Option<MemoKey> {
-    match criterion {
+pub(crate) fn memo_key(dir: Direction, criterion: &Criterion) -> Option<MemoKey> {
+    let select = match criterion {
         Criterion::AllContexts(verts) => {
             let mut v: Vec<u32> = verts.iter().map(|v| v.0).collect();
             v.sort_unstable();
             v.dedup();
-            Some(MemoKey::AllContexts(v))
+            KeySelect::AllContexts(v)
         }
         Criterion::Configurations(configs) => {
             let mut v: Vec<(u32, Vec<u32>)> = configs
@@ -267,31 +288,34 @@ pub(crate) fn memo_key(criterion: &Criterion) -> Option<MemoKey> {
                 .collect();
             v.sort_unstable();
             v.dedup();
-            Some(MemoKey::Configurations(v))
+            KeySelect::Configurations(v)
         }
-        Criterion::Automaton(_) => None,
-    }
+        Criterion::Automaton(_) => return None,
+    };
+    Some(MemoKey { dir, select })
 }
 
 impl MemoKey {
     /// Rewrites the key through an edit's identifier maps; `None` when any
-    /// referenced vertex or call site did not survive the edit.
+    /// referenced vertex or call site did not survive the edit. The
+    /// direction tag carries over unchanged — edits rename identifiers,
+    /// they never turn a forward entry into a backward one.
     pub(crate) fn remap(
         &self,
         vertex: impl Fn(VertexId) -> Option<VertexId>,
         call_site: impl Fn(CallSiteId) -> Option<CallSiteId>,
     ) -> Option<MemoKey> {
-        match self {
-            MemoKey::AllContexts(vs) => {
+        let select = match &self.select {
+            KeySelect::AllContexts(vs) => {
                 let mut out = Vec::with_capacity(vs.len());
                 for &v in vs {
                     out.push(vertex(VertexId(v))?.0);
                 }
                 out.sort_unstable();
                 out.dedup();
-                Some(MemoKey::AllContexts(out))
+                KeySelect::AllContexts(out)
             }
-            MemoKey::Configurations(cs) => {
+            KeySelect::Configurations(cs) => {
                 let mut out = Vec::with_capacity(cs.len());
                 for (v, stack) in cs {
                     let nv = vertex(VertexId(*v))?.0;
@@ -303,9 +327,13 @@ impl MemoKey {
                 }
                 out.sort_unstable();
                 out.dedup();
-                Some(MemoKey::Configurations(out))
+                KeySelect::Configurations(out)
             }
-        }
+        };
+        Some(MemoKey {
+            dir: self.dir,
+            select,
+        })
     }
 }
 
@@ -503,11 +531,14 @@ impl Slicer {
     }
 
     /// The cached `post*({⟨entry_main, ε⟩})` automaton.
-    fn reachable(&self) -> &Nfa {
-        self.reachable.get_or_init(|| {
-            self.reachable_builds.fetch_add(1, Ordering::Relaxed);
-            criteria::reachable_configurations(&self.sdg, &self.enc)
-        })
+    fn reachable(&self) -> Result<&Nfa, SpecError> {
+        self.reachable
+            .get_or_init(|| {
+                self.reachable_builds.fetch_add(1, Ordering::Relaxed);
+                criteria::reachable_configurations(&self.sdg, &self.enc)
+            })
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     fn query(&self, criterion: &Criterion) -> Result<PAutomaton, SpecError> {
@@ -515,7 +546,7 @@ impl Slicer {
         let reachable = match criterion {
             // Only all-contexts criteria consult the reachable automaton;
             // don't force the cache for the others.
-            Criterion::AllContexts(_) => Some(self.reachable()),
+            Criterion::AllContexts(_) => Some(self.reachable()?),
             _ => None,
         };
         criteria::query_automaton_reusing(&self.sdg, &self.enc, reachable, criterion)
@@ -539,6 +570,7 @@ impl Slicer {
             cached.metas,
             cached.main_variant,
             a6,
+            key.dir.into(),
         );
         stats.query_time = start.elapsed();
         // A replayed answer ran no saturation of its own; the recorded
@@ -546,6 +578,7 @@ impl Slicer {
         // reflect *this* query's work.
         stats.saturations_run = 0;
         stats.criteria_per_saturation = 0;
+        set_memo_counters(&mut stats, key.dir, true);
         Some(Answer {
             slice,
             stats,
@@ -560,13 +593,14 @@ impl Slicer {
     /// private shard inside parallel batches.
     fn answer_in(
         &self,
+        dir: Direction,
         criterion: &Criterion,
         scratch: &mut QueryScratch,
         store: &Arc<VariantStore>,
     ) -> Result<Answer, SpecError> {
         let start = Instant::now();
         let key = if self.config.memoize {
-            memo_key(criterion)
+            memo_key(dir, criterion)
         } else {
             None
         };
@@ -580,6 +614,7 @@ impl Slicer {
         }
         let query = self.query(criterion)?;
         let (slice, mut stats) = run_query_in(
+            dir,
             &self.sdg,
             &self.enc,
             &query,
@@ -588,6 +623,9 @@ impl Slicer {
             store,
         )?;
         stats.query_time = start.elapsed();
+        if key.is_some() {
+            set_memo_counters(&mut stats, dir, false);
+        }
         Ok(Answer {
             slice,
             stats,
@@ -621,6 +659,7 @@ impl Slicer {
                     cached.metas,
                     cached.main_variant,
                     a6,
+                    k.dir.into(),
                 );
                 stats.query_time = answer.stats.query_time;
                 // Adopting over an existing entry (a duplicate-key batch
@@ -628,6 +667,7 @@ impl Slicer {
                 // own to count.
                 stats.saturations_run = 0;
                 stats.criteria_per_saturation = 0;
+                set_memo_counters(&mut stats, k.dir, true);
                 return (slice, stats);
             }
         }
@@ -662,44 +702,79 @@ impl Slicer {
         &self,
         criterion: &Criterion,
     ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+        self.directed_slice_with_stats(Direction::Backward, criterion)
+    }
+
+    /// Computes the **forward** slice for `criterion`: every configuration
+    /// reachable *from* the criterion along dependence edges, computed as
+    /// `post*(A_C)` over the same Fig. 8 encoding (and the same cached
+    /// session state — the PDS encoding is never rebuilt for a direction
+    /// switch). The result is read out into the same variant/partition
+    /// shape as a backward slice; see [`QueryKind::Forward`] for the
+    /// (weaker) parameter-completeness guarantee forward slices carry.
+    pub fn forward_slice(&self, criterion: &Criterion) -> Result<SpecSlice, SpecError> {
+        self.forward_slice_with_stats(criterion).map(|(s, _)| s)
+    }
+
+    /// [`forward_slice`](Slicer::forward_slice) plus pipeline statistics.
+    pub fn forward_slice_with_stats(
+        &self,
+        criterion: &Criterion,
+    ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+        self.directed_slice_with_stats(Direction::Forward, criterion)
+    }
+
+    /// The direction-generic single-criterion path behind
+    /// [`slice_with_stats`](Slicer::slice_with_stats) and
+    /// [`forward_slice_with_stats`](Slicer::forward_slice_with_stats).
+    fn directed_slice_with_stats(
+        &self,
+        dir: Direction,
+        criterion: &Criterion,
+    ) -> Result<(SpecSlice, PipelineStats), SpecError> {
         let mut scratch = self.take_scratch();
-        let answer = self.answer_in(criterion, &mut scratch, &self.store)?;
+        let answer = self.answer_in(dir, criterion, &mut scratch, &self.store)?;
         self.put_scratch(scratch);
         Ok(self.adopt(answer))
     }
 
     /// Answers every criterion across the session's worker pool, returning
     /// raw per-criterion results in input order plus per-worker accounting.
-    fn batch_raw(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
+    fn batch_raw(&self, dir: Direction, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
         match self.config.solver {
-            Solver::PerCriterion => self.batch_raw_per_criterion(criteria),
-            Solver::OnePass => self.batch_raw_onepass(criteria),
+            Solver::PerCriterion => self.batch_raw_per_criterion(dir, criteria),
+            Solver::OnePass => self.batch_raw_onepass(dir, criteria),
         }
     }
 
     /// Forces the shared reachable automaton before fanning a batch out, so
     /// the workers start against a warm cache instead of serializing on its
-    /// initialization lock.
+    /// initialization lock. (A build *failure* is cached and surfaces
+    /// per-criterion, so it is deliberately ignored here.)
     fn warm_reachable_for(&self, criteria: &[Criterion]) {
         if self.reachable.get().is_none()
             && criteria
                 .iter()
                 .any(|c| matches!(c, Criterion::AllContexts(_)))
         {
-            self.reachable();
+            let _ = self.reachable();
         }
     }
 
     /// [`batch_raw`](Slicer::batch_raw) under [`Solver::PerCriterion`]:
     /// each criterion is an independent pool item.
-    fn batch_raw_per_criterion(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
+    fn batch_raw_per_criterion(
+        &self,
+        dir: Direction,
+        criteria: &[Criterion],
+    ) -> (RawBatch, Vec<WorkerStats>) {
         let pool = Pool::new(self.config.num_threads);
         if pool.threads() > 1 {
             self.warm_reachable_for(criteria);
         }
         pool.map_init_stats(criteria, QueryScratch::default, |scratch, _, criterion| {
             let shard = scratch.shard.clone();
-            self.answer_in(criterion, scratch, &shard)
+            self.answer_in(dir, criterion, scratch, &shard)
         })
     }
 
@@ -707,7 +782,11 @@ impl Slicer {
     /// items are criterion *groups* (weighted by member count, so
     /// per-worker accounting still counts criteria), and each group runs
     /// one shared saturation via [`Slicer::answer_group`].
-    fn batch_raw_onepass(&self, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
+    fn batch_raw_onepass(
+        &self,
+        dir: Direction,
+        criteria: &[Criterion],
+    ) -> (RawBatch, Vec<WorkerStats>) {
         let groups = plan_groups(&self.sdg, criteria);
         let pool = Pool::new(self.config.num_threads);
         if pool.threads() > 1 {
@@ -719,7 +798,7 @@ impl Slicer {
             Vec::len,
             |scratch, _, group| {
                 let shard = scratch.shard.clone();
-                self.answer_group(criteria, group, scratch, &shard)
+                self.answer_group(dir, criteria, group, scratch, &shard)
             },
         );
         // Scatter the group results back to input order.
@@ -748,6 +827,7 @@ impl Slicer {
     /// independent of worker scheduling.
     fn answer_group(
         &self,
+        dir: Direction,
         criteria: &[Criterion],
         members: &[usize],
         scratch: &mut QueryScratch,
@@ -759,7 +839,7 @@ impl Slicer {
             let criterion = &criteria[i];
             let start = Instant::now();
             let key = if self.config.memoize {
-                memo_key(criterion)
+                memo_key(dir, criterion)
             } else {
                 None
             };
@@ -781,6 +861,7 @@ impl Slicer {
                 // machinery; run the reference pipeline.
                 let (i, key, start, query) = pending.pop().expect("len checked");
                 let result = run_query_in(
+                    dir,
                     &self.sdg,
                     &self.enc,
                     &query,
@@ -790,6 +871,9 @@ impl Slicer {
                 )
                 .map(|(slice, mut stats)| {
                     stats.query_time = start.elapsed();
+                    if key.is_some() {
+                        set_memo_counters(&mut stats, dir, false);
+                    }
                     Answer {
                         slice,
                         stats,
@@ -806,18 +890,22 @@ impl Slicer {
         let group_width = pending.len();
         let sat_start = Instant::now();
         let queries: Vec<&PAutomaton> = pending.iter().map(|(_, _, _, q)| q).collect();
-        let multi =
-            match prestar_multi_indexed_with_stats(&self.enc.index, &queries, &mut scratch.sat) {
-                Ok(multi) => multi,
-                Err(e) => {
-                    // A malformed union (engine invariant) fails the whole
-                    // group; per-member query construction errors were
-                    // already peeled off above.
-                    let e = SpecError::internal("prestar", e.to_string());
-                    out.extend(pending.into_iter().map(|(i, ..)| (i, Err(e.clone()))));
-                    return out;
-                }
-            };
+        let multi = match saturate_multi_indexed_with_stats(
+            dir,
+            &self.enc.index,
+            &queries,
+            &mut scratch.sat,
+        ) {
+            Ok(multi) => multi,
+            Err(e) => {
+                // A malformed union (engine invariant) fails the whole
+                // group; per-member query construction errors were
+                // already peeled off above.
+                let e = SpecError::pds(dir_stage(dir), e);
+                out.extend(pending.into_iter().map(|(i, ..)| (i, Err(e.clone()))));
+                return out;
+            }
+        };
         // Split the union automaton into the member `A1`s in ONE pass over
         // its transitions — one mask lookup each, scattered to every member
         // in the mask — instead of a full masked sweep per member (which is
@@ -825,6 +913,10 @@ impl Slicer {
         // consumed in P-state form directly (state `s` → NFA state `s + 1`,
         // MAIN_CONTROL's row duplicated onto the fresh initial 0 — exactly
         // `PAutomaton::to_nfa`'s mapping), so no union NFA is materialized.
+        // Forward (`post*`) output carries ε-transitions out of the pop
+        // rules' intermediate controls; they are split to members like any
+        // labeled transition (the masks key ε too) and consumed by the
+        // ε-capable MRD pipeline downstream.
         let n_union_states = multi.automaton.state_count();
         let pmain = multi.automaton.control_state(MAIN_CONTROL);
         let mut member_a1: Vec<Nfa> = (0..group_width)
@@ -837,10 +929,7 @@ impl Slicer {
             })
             .collect();
         for (from, l, to) in multi.automaton.transitions() {
-            let Some(sym) = l else {
-                continue; // pre* output is ε-free
-            };
-            for slot in multi.mask(from, sym, to).members() {
+            for slot in multi.mask_label(from, l, to).members() {
                 let a1 = &mut member_a1[slot];
                 a1.add_transition(StateId(from.0 + 1), l, StateId(to.0 + 1));
                 if from == pmain {
@@ -864,15 +953,16 @@ impl Slicer {
                 &self.enc,
                 &a6,
                 self.config.validate,
+                dir.into(),
                 &mut scratch.readout,
                 store,
             )
             .map(|slice| {
                 // The group's shared saturation is attributed to its first
                 // pending member (deterministic at every thread count); the
-                // others report zero prestar work.
+                // others report zero saturation work.
                 let first = slot == 0;
-                let stats = PipelineStats {
+                let mut stats = PipelineStats {
                     pds_rules: self.enc.pds.rule_count(),
                     prestar_transitions: if first { multi.stats.transitions } else { 0 },
                     prestar_peak_bytes: if first { multi.stats.peak_bytes } else { 0 },
@@ -892,7 +982,11 @@ impl Slicer {
                     } else {
                         member_start.elapsed()
                     },
+                    ..PipelineStats::default()
                 };
+                if key.is_some() {
+                    set_memo_counters(&mut stats, dir, false);
+                }
                 Answer {
                     slice,
                     stats,
@@ -948,6 +1042,26 @@ impl Slicer {
     /// # Ok::<(), specslice::SpecError>(())
     /// ```
     pub fn slice_batch(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
+        self.directed_batch(Direction::Backward, criteria)
+    }
+
+    /// [`slice_batch`](Slicer::slice_batch) in the forward direction: one
+    /// [`forward_slice`](Slicer::forward_slice) per criterion, in input
+    /// order, with the same solver/threading/memoization behavior (and the
+    /// same byte-identical-at-every-width guarantee) as backward batches.
+    pub fn forward_slice_batch(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
+        self.directed_batch(Direction::Forward, criteria)
+    }
+
+    /// The direction-generic batch path behind
+    /// [`slice_batch`](Slicer::slice_batch),
+    /// [`forward_slice_batch`](Slicer::forward_slice_batch), and
+    /// `specialize_program_directed`.
+    pub(crate) fn directed_batch(
+        &self,
+        dir: Direction,
+        criteria: &[Criterion],
+    ) -> Result<BatchResult, SpecError> {
         if self.config.num_threads.min(criteria.len()) <= 1 {
             // Sequential fast path with genuine fail-fast: nothing after the
             // first failing criterion (per-criterion solver) or failing
@@ -956,11 +1070,11 @@ impl Slicer {
             // the same lowest-indexed error, so the two paths are
             // indistinguishable to the caller (modulo counters on error).
             return match self.config.solver {
-                Solver::PerCriterion => self.slice_batch_sequential(criteria),
-                Solver::OnePass => self.slice_batch_sequential_onepass(criteria),
+                Solver::PerCriterion => self.slice_batch_sequential(dir, criteria),
+                Solver::OnePass => self.slice_batch_sequential_onepass(dir, criteria),
             };
         }
-        let (results, per_thread) = self.batch_raw(criteria);
+        let (results, per_thread) = self.batch_raw(dir, criteria);
         let mut slices = Vec::with_capacity(criteria.len());
         let mut per_criterion = Vec::new();
         let mut aggregate = PipelineStats::default();
@@ -983,7 +1097,11 @@ impl Slicer {
 
     /// The `num_threads <= 1` body of [`slice_batch`](Slicer::slice_batch):
     /// one scratch, one pass, stop at the first error.
-    fn slice_batch_sequential(&self, criteria: &[Criterion]) -> Result<BatchResult, SpecError> {
+    fn slice_batch_sequential(
+        &self,
+        dir: Direction,
+        criteria: &[Criterion],
+    ) -> Result<BatchResult, SpecError> {
         let start = Instant::now();
         let mut scratch = self.take_scratch();
         let mut slices = Vec::with_capacity(criteria.len());
@@ -991,7 +1109,7 @@ impl Slicer {
         let mut aggregate = PipelineStats::default();
         for (i, criterion) in criteria.iter().enumerate() {
             let answer = self
-                .answer_in(criterion, &mut scratch, &self.store)
+                .answer_in(dir, criterion, &mut scratch, &self.store)
                 .map_err(|e| annotate_with_index(e, i))?;
             let (slice, stats) = self.adopt(answer);
             slices.push(slice);
@@ -1023,6 +1141,7 @@ impl Slicer {
     /// successful batches are byte-identical at every width.
     fn slice_batch_sequential_onepass(
         &self,
+        dir: Direction,
         criteria: &[Criterion],
     ) -> Result<BatchResult, SpecError> {
         let start = Instant::now();
@@ -1032,7 +1151,7 @@ impl Slicer {
             criteria.iter().map(|_| None).collect();
         for group in &groups {
             let shard = scratch.shard.clone();
-            let results = self.answer_group(criteria, group, &mut scratch, &shard);
+            let results = self.answer_group(dir, criteria, group, &mut scratch, &shard);
             let failed = results.iter().any(|(_, r)| r.is_err());
             for (i, result) in results {
                 slots[i] = Some(result);
@@ -1080,7 +1199,7 @@ impl Slicer {
     /// malformed criterion does not poison the rest of the batch. Results
     /// are in input order; errors identify their criterion by index.
     pub fn slice_batch_results(&self, criteria: &[Criterion]) -> Vec<Result<SpecSlice, SpecError>> {
-        let (results, _) = self.batch_raw(criteria);
+        let (results, _) = self.batch_raw(Direction::Backward, criteria);
         results
             .into_iter()
             .enumerate()
@@ -1091,6 +1210,56 @@ impl Slicer {
             .collect()
     }
 
+    /// Computes the **chop** from `source` to `target`: the configurations
+    /// that both lie forward of `source` and backward of `target` —
+    /// `forward_slice(source) ∩ slice(target)`, intersected on the two
+    /// queries' canonical MRD automata and re-canonicalized, so the result
+    /// is byte-identical to computing the two slices independently and
+    /// intersecting them (at every thread count and under both solvers).
+    ///
+    /// The two constituent queries go through the session memo (a repeated
+    /// chop endpoint is a cache hit); the intersection itself is cheap and
+    /// is not memoized. See [`QueryKind::Chop`] for what a chop does *not*
+    /// guarantee: it is a variant/vertex report, not an executable slice.
+    pub fn chop(&self, source: &Criterion, target: &Criterion) -> Result<SpecSlice, SpecError> {
+        self.chop_with_stats(source, target).map(|(s, _)| s)
+    }
+
+    /// [`chop`](Slicer::chop) plus the aggregate pipeline statistics of the
+    /// two constituent queries (the `mrd` sizes describe the chop's own
+    /// re-canonicalized automaton).
+    pub fn chop_with_stats(
+        &self,
+        source: &Criterion,
+        target: &Criterion,
+    ) -> Result<(SpecSlice, PipelineStats), SpecError> {
+        let start = Instant::now();
+        let (fwd, fwd_stats) = self.forward_slice_with_stats(source)?;
+        let (bwd, bwd_stats) = self.slice_with_stats(target)?;
+        let inter = specslice_fsa::ops::intersect(&fwd.a6, &bwd.a6);
+        let (inter_trim, _) = inter.trimmed();
+        let (a6, mrd_stats) = mrd_with_stats(&inter_trim);
+        let mut scratch = self.take_scratch();
+        let slice = readout::read_out_in(
+            &self.sdg,
+            &self.enc,
+            &a6,
+            self.config.validate,
+            QueryKind::Chop,
+            &mut scratch.readout,
+            &self.store,
+        );
+        self.put_scratch(scratch);
+        let slice = slice?;
+        let mut stats = fwd_stats;
+        stats.absorb(&bwd_stats);
+        // The constituent queries' MRD sizes are summed above; the chop's
+        // own canonical automaton is what `mrd` should describe.
+        stats.mrd = mrd_stats;
+        stats.query_time = start.elapsed();
+        Ok((slice, stats))
+    }
+
     /// Removes the feature identified by the forward stack-configuration
     /// slice from `criterion` (Alg. 2 / §7), reusing the cached encoding
     /// *and* the cached reachable automaton (which Alg. 2 always needs).
@@ -1099,7 +1268,7 @@ impl Slicer {
         feature_removal::remove_feature_reusing(
             &self.sdg,
             &self.enc,
-            self.reachable(),
+            self.reachable()?,
             criterion,
             &self.store,
         )
@@ -1202,10 +1371,36 @@ fn annotate_with_index(e: SpecError, i: usize) -> SpecError {
     }
 }
 
-/// The criterion-dependent tail of Alg. 1: `Prestar` → trim → MRD →
-/// read-out. Shared by the session methods and the one-shot
-/// [`crate::specialize`]. The slice's content is interned into `store`.
+/// The engine-stage name errors are tagged with, per direction.
+fn dir_stage(dir: Direction) -> &'static str {
+    match dir {
+        Direction::Backward => "prestar",
+        Direction::Forward => "poststar",
+    }
+}
+
+/// Sets the per-direction memo hit/miss counters on a query's stats (the
+/// other direction's counters are zeroed — one query participates in
+/// exactly one direction's cache).
+fn set_memo_counters(stats: &mut PipelineStats, dir: Direction, hit: bool) {
+    stats.memo_hits_backward = 0;
+    stats.memo_misses_backward = 0;
+    stats.memo_hits_forward = 0;
+    stats.memo_misses_forward = 0;
+    match (dir, hit) {
+        (Direction::Backward, true) => stats.memo_hits_backward = 1,
+        (Direction::Backward, false) => stats.memo_misses_backward = 1,
+        (Direction::Forward, true) => stats.memo_hits_forward = 1,
+        (Direction::Forward, false) => stats.memo_misses_forward = 1,
+    }
+}
+
+/// The criterion-dependent tail of Alg. 1: saturation (`Prestar` backward,
+/// `Poststar` forward) → trim → MRD → read-out. Shared by the session
+/// methods and the one-shot [`crate::specialize`]. The slice's content is
+/// interned into `store`.
 pub(crate) fn run_query(
+    dir: Direction,
     sdg: &Sdg,
     enc: &Encoded,
     query: &PAutomaton,
@@ -1216,6 +1411,7 @@ pub(crate) fn run_query(
     // construction, which only `Slicer::answer_in` wraps (and both callers
     // of this function discard the stats anyway).
     run_query_in(
+        dir,
         sdg,
         enc,
         query,
@@ -1228,6 +1424,7 @@ pub(crate) fn run_query(
 /// [`run_query`] against caller-owned scratch buffers, so a batch worker's
 /// hot loop reuses its saturation rows and read-out tables across criteria.
 pub(crate) fn run_query_in(
+    dir: Direction,
     sdg: &Sdg,
     enc: &Encoded,
     query: &PAutomaton,
@@ -1235,24 +1432,32 @@ pub(crate) fn run_query_in(
     scratch: &mut QueryScratch,
     store: &Arc<VariantStore>,
 ) -> Result<(SpecSlice, PipelineStats), SpecError> {
-    let (a1, prestats) = prestar_indexed_with_stats(&enc.index, query, &mut scratch.sat)
-        .map_err(|e| SpecError::internal("prestar", e.to_string()))?;
+    let (a1, satstats) = saturate_indexed_with_stats(dir, &enc.index, query, &mut scratch.sat)
+        .map_err(|e| SpecError::pds(dir_stage(dir), e))?;
     let a1_nfa = a1.to_nfa(MAIN_CONTROL);
     let (a1_trim, _) = a1_nfa.trimmed();
     let (a6, mrd_stats) = mrd_with_stats(&a1_trim);
-    let slice = readout::read_out_in(sdg, enc, &a6, validate, &mut scratch.readout, store)?;
+    let slice = readout::read_out_in(
+        sdg,
+        enc,
+        &a6,
+        validate,
+        dir.into(),
+        &mut scratch.readout,
+        store,
+    )?;
     let stats = PipelineStats {
         pds_rules: enc.pds.rule_count(),
-        prestar_transitions: prestats.transitions,
-        prestar_peak_bytes: prestats.peak_bytes,
-        prestar_rule_applications: prestats.rule_applications,
-        prestar_peak_worklist: prestats.peak_worklist,
+        prestar_transitions: satstats.transitions,
+        prestar_peak_bytes: satstats.peak_bytes,
+        prestar_rule_applications: satstats.rule_applications,
+        prestar_peak_worklist: satstats.peak_worklist,
         a1_states: a1_trim.state_count(),
         a1_transitions: a1_trim.transition_count(),
         mrd: mrd_stats,
         saturations_run: 1,
         criteria_per_saturation: 1,
-        query_time: std::time::Duration::ZERO,
+        ..PipelineStats::default()
     };
     Ok((slice, stats))
 }

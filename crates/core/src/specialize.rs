@@ -27,6 +27,7 @@ use crate::slicer::{memo_key, MemoKey, Slicer};
 use crate::store::VariantId;
 use crate::{Criterion, SpecError};
 use specslice_fsa::FxHashMap;
+use specslice_pds::Direction;
 use specslice_sdg::ProcId;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -133,6 +134,25 @@ impl Slicer {
         &self,
         criteria: &[Criterion],
     ) -> Result<SpecializedProgram, SpecError> {
+        self.specialize_program_directed(Direction::Backward, criteria)
+    }
+
+    /// [`specialize_program`](Slicer::specialize_program) generic over the
+    /// query [`Direction`]: with [`Direction::Forward`] the merge consumes
+    /// **forward** slices — each criterion's `post*` projection — instead
+    /// of backward specialization slices. The union/dedup machinery is
+    /// direction-agnostic (it operates on interned variant content and
+    /// MRD-chosen call targets), so forward variants merge across criteria
+    /// under exactly the same partition refinement. Forward slices carry a
+    /// weaker parameter-completeness guarantee than backward ones (see
+    /// [`crate::QueryKind::Forward`]); the merged program is still emitted
+    /// and re-checked semantically, and an emission failure surfaces as a
+    /// structured error rather than an invalid program.
+    pub fn specialize_program_directed(
+        &self,
+        dir: Direction,
+        criteria: &[Criterion],
+    ) -> Result<SpecializedProgram, SpecError> {
         let program = self.program.as_ref().ok_or_else(|| {
             SpecError::internal(
                 "specialize",
@@ -148,7 +168,7 @@ impl Slicer {
         }
         let mut seen: HashMap<MemoKey, usize> = HashMap::new();
         for (i, criterion) in criteria.iter().enumerate() {
-            if let Some(key) = memo_key(criterion) {
+            if let Some(key) = memo_key(dir, criterion) {
                 if let Some(&j) = seen.get(&key) {
                     return Err(SpecError::bad_criterion(format!(
                         "duplicate criteria: #{i} repeats #{j} \
@@ -159,7 +179,7 @@ impl Slicer {
             }
         }
 
-        let slices = self.slice_batch(criteria)?.slices;
+        let slices = self.directed_batch(dir, criteria)?.slices;
 
         // ---- Union + dedup-by-interning (partition refinement). ----
         //

@@ -27,12 +27,10 @@ use std::collections::VecDeque;
 /// (§4.2's "determinize output shrinks by 4.4–34%" observation).
 pub fn mrd_with_stats(a1: &Nfa) -> (Nfa, MrdStats) {
     // `determinize(reverse(a1))`, fused — the reversed NFA is never
-    // materialized. ε-transitions in `a1` (possible for library callers;
-    // the slicer's inputs are ε-free) take the general two-pass sequence.
-    let a3 = match determinize_reversed(a1) {
-        Some(a3) => a3,
-        None => Dfa::determinize(&reverse(a1)),
-    };
+    // materialized. ε-transitions in `a1` (always present in forward/post*
+    // pipelines, possible for library callers) are closed in place during
+    // the subset construction.
+    let a3 = determinize_reversed(a1);
     let a4 = minimize(&a3);
     // `reverse → remove_epsilon → trim → canonicalize` over `a4`, fused:
     // `a4` is trim (a `minimize` guarantee), so in the common case the
@@ -193,31 +191,68 @@ fn reverse_trim_canonical(dfa: &Dfa) -> Option<Nfa> {
 }
 
 /// `Dfa::determinize(&reverse(a1))` in one pass: the subset construction
-/// runs directly over `a1`'s transposed adjacency, so the reversed NFA —
-/// and the ε-bridge from its fresh initial to `a1`'s finals, the only ε
-/// the reversal introduces — is never materialized. Returns `None` when
-/// `a1` itself has ε-transitions (the general two-pass sequence handles
-/// those).
+/// runs directly over `a1`'s transposed adjacency, so the reversed NFA is
+/// never materialized. The reversal's ε-transitions come from two sources,
+/// both handled in place: the ε-bridge from its fresh initial to `a1`'s
+/// finals (folded into the start subset), and `a1`'s own ε-transitions,
+/// flipped (closed over `eps_inc` exactly where `determinize` would close
+/// over the reversed NFA — so forward-oriented inputs such as `post*`
+/// results, which always carry ε, take the fused path too).
 ///
 /// Bit-identical to the unfused sequence: subsets correspond 1:1 (original
 /// state ids here, shifted ids there, with a sentinel standing in for the
 /// reversal's fresh initial — which only ever appears in the start subset,
-/// contributes no successors, and is never accepting), successor pairs
-/// sort identically either way (the shift is monotone), and the worklist
-/// is driven the same — so even the output's state numbering matches.
-fn determinize_reversed(a1: &Nfa) -> Option<Dfa> {
+/// contributes no labeled successors, and is never accepting), successor
+/// pairs sort identically either way (the shift is monotone), ε-closures
+/// add the same members (the reversal never gains an ε *into* its fresh
+/// initial, so the sentinel stays confined to the start subset), and the
+/// worklist is driven the same — so even the output's state numbering
+/// matches.
+fn determinize_reversed(a1: &Nfa) -> Dfa {
     let n = a1.state_count();
     let mut inc: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); n];
+    // ε-successors *in the reversal*: reversed state q steps by ε to every
+    // a1-state with an ε-edge into q.
+    let mut eps_inc: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (f, l, t) in a1.transitions() {
-        let s = l?;
-        inc[t.index()].push((s, f));
+        match l {
+            Some(s) => inc[t.index()].push((s, f)),
+            None => eps_inc[t.index()].push(f.0),
+        }
     }
     const SENTINEL: u32 = u32::MAX;
+    let mut mark = vec![false; n];
+    // ε-closes `set` (sorted, duplicate-free, sentinel-free) in place over
+    // the reversal's ε-edges, keeping it sorted and duplicate-free; `mark`
+    // is scratch, false on entry/exit — mirrors `Dfa::determinize`'s
+    // closure step by step so membership and order come out identical.
+    let close = |set: &mut Vec<u32>, mark: &mut Vec<bool>| {
+        let mut stack: Vec<u32> = set.clone();
+        for &q in set.iter() {
+            mark[q as usize] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &t in &eps_inc[q as usize] {
+                if !mark[t as usize] {
+                    mark[t as usize] = true;
+                    set.push(t);
+                    stack.push(t);
+                }
+            }
+        }
+        set.sort_unstable();
+        for &q in set.iter() {
+            mark[q as usize] = false;
+        }
+    };
     let mut dfa = Dfa::new();
     let initial = a1.initial().0;
-    // Subsets are sorted dense id vectors; `finals()` iterates ascending
+    // Start subset = ε-closure of the reversal's fresh initial: the finals
+    // (via the ε-bridge), their closure over flipped ε-edges, and the fresh
+    // initial itself. Subsets are sorted dense id vectors; `close` sorts
     // and the sentinel sorts last, so the start subset is sorted too.
     let mut start: Vec<u32> = a1.finals().iter().map(|q| q.0).collect();
+    close(&mut start, &mut mark);
     start.push(SENTINEL);
     let mut subset_ids: FxHashMap<Vec<u32>, StateId> = FxHashMap::default();
     subset_ids.insert(start.clone(), dfa.initial());
@@ -245,8 +280,9 @@ fn determinize_reversed(a1: &Nfa) -> Option<Dfa> {
                 targets.push(pairs[i].1 .0);
                 i += 1;
             }
-            // `pairs` is sorted and deduplicated, so `targets` is too; no
-            // target has an ε-edge in the reversal, so no closure either.
+            // `pairs` is sorted and deduplicated, so `targets` is too;
+            // ε-closure keeps it that way.
+            close(&mut targets, &mut mark);
             let target_id = match subset_ids.get(&targets) {
                 Some(&id) => id,
                 None => {
@@ -262,7 +298,7 @@ fn determinize_reversed(a1: &Nfa) -> Option<Dfa> {
             dfa.set_transition(did, sym, target_id);
         }
     }
-    Some(dfa)
+    dfa
 }
 
 /// Size observations made during the MRD pipeline (used by the `det-shrink`
@@ -500,6 +536,113 @@ mod tests {
         assert!(!out.accepts(&[r, c, c]));
         assert!(out.accepts(&[m_]));
         assert!(equivalent(&n, &out));
+    }
+
+    /// The fused subset construction must match the unfused oracle bit for
+    /// bit: same state numbering, same finals, same transition list.
+    fn assert_fused_matches_oracle(a1: &Nfa) {
+        let fused = determinize_reversed(a1);
+        let oracle = Dfa::determinize(&reverse(a1));
+        assert_eq!(fused.state_count(), oracle.state_count(), "state count");
+        assert_eq!(fused.initial(), oracle.initial(), "initial");
+        assert_eq!(fused.finals(), oracle.finals(), "finals");
+        let tf: Vec<_> = fused.transitions().collect();
+        let to: Vec<_> = oracle.transitions().collect();
+        assert_eq!(tf, to, "transitions");
+    }
+
+    #[test]
+    fn fused_determinize_matches_oracle_epsilon_free() {
+        assert_fused_matches_oracle(&fig10_like());
+    }
+
+    #[test]
+    fn fused_determinize_matches_oracle_epsilon_into_final() {
+        // The `mrd_on_infinite_language` fixture: an ε-edge into the final
+        // state, plus a labeled cycle — the shape pop rules give `post*`
+        // output.
+        let mut n = Nfa::new();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        let f = n.add_state();
+        n.add_transition(n.initial(), Some(sym(0)), q1);
+        n.add_transition(q1, Some(sym(10)), q2);
+        n.add_transition(q2, Some(sym(10)), q1);
+        n.add_transition(q2, None, f);
+        n.add_transition(n.initial(), Some(sym(1)), f);
+        n.set_final(f);
+        assert_fused_matches_oracle(&n);
+    }
+
+    #[test]
+    fn fused_determinize_matches_oracle_epsilon_chains_and_cycles() {
+        // ε from the initial state, an ε-chain, an ε-cycle, and several ε
+        // edges converging on one state — every ε shape the closure must
+        // walk.
+        let mut n = Nfa::new();
+        let q1 = n.add_state();
+        let q2 = n.add_state();
+        let q3 = n.add_state();
+        let q4 = n.add_state();
+        let f = n.add_state();
+        n.add_transition(n.initial(), None, q1);
+        n.add_transition(q1, None, q2);
+        n.add_transition(q2, Some(sym(3)), q3);
+        n.add_transition(q3, None, q4);
+        n.add_transition(q4, None, q3);
+        n.add_transition(q1, None, q4);
+        n.add_transition(q4, Some(sym(4)), f);
+        n.add_transition(q2, Some(sym(4)), f);
+        n.set_final(f);
+        assert_fused_matches_oracle(&n);
+    }
+
+    #[test]
+    fn fused_determinize_matches_oracle_multiple_finals_with_epsilon() {
+        // Two finals, one reachable from the other by ε — exercises the
+        // start-subset closure (the reversal's ε-bridge composed with a1's
+        // own flipped ε-edges).
+        let mut n = Nfa::new();
+        let q1 = n.add_state();
+        let f1 = n.add_state();
+        let f2 = n.add_state();
+        n.add_transition(n.initial(), Some(sym(0)), q1);
+        n.add_transition(q1, Some(sym(1)), f1);
+        n.add_transition(q1, None, f2);
+        n.add_transition(f2, Some(sym(2)), f1);
+        n.set_final(f1);
+        n.set_final(f2);
+        assert_fused_matches_oracle(&n);
+    }
+
+    #[test]
+    fn mrd_on_epsilon_bearing_input_is_canonical() {
+        // An ε-bearing presentation and an ε-free presentation of the same
+        // language must canonicalize to identical MRD automata — the
+        // property the forward pipeline (whose A1 always carries ε) relies
+        // on for memo byte-equality.
+        let (a, b, c) = (sym(0), sym(1), sym(2));
+        let mut with_eps = Nfa::new();
+        let q1 = with_eps.add_state();
+        let q2 = with_eps.add_state();
+        let f = with_eps.add_state();
+        with_eps.add_transition(with_eps.initial(), Some(a), q1);
+        with_eps.add_transition(q1, None, q2);
+        with_eps.add_transition(q2, Some(b), f);
+        with_eps.add_transition(q1, Some(c), f);
+        with_eps.set_final(f);
+        let mut plain = Nfa::new();
+        let p1 = plain.add_state();
+        let pf = plain.add_state();
+        plain.add_transition(plain.initial(), Some(a), p1);
+        plain.add_transition(p1, Some(b), pf);
+        plain.add_transition(p1, Some(c), pf);
+        plain.set_final(pf);
+        let m1 = mrd(&with_eps);
+        let m2 = mrd(&plain);
+        assert!(equivalent(&with_eps, &m1));
+        assert!(is_reverse_deterministic(&m1));
+        assert_eq!(format!("{m1:?}"), format!("{m2:?}"));
     }
 
     #[test]

@@ -36,13 +36,18 @@ pub mod automaton;
 pub mod index;
 pub mod poststar;
 pub mod prestar;
+pub mod saturate;
 pub mod scratch;
 pub mod system;
 
 pub use automaton::{PAutomaton, PState};
 pub use index::RuleIndex;
-pub use poststar::poststar;
+pub use poststar::{poststar, poststar_multi_indexed_with_stats, MultiPoststar};
 pub use prestar::{prestar, prestar_multi_indexed_with_stats, MultiPrestar};
+pub use saturate::{
+    saturate_indexed_with_stats, saturate_multi_indexed_with_stats, Direction, MultiSaturation,
+    SaturationStats,
+};
 pub use scratch::{CriterionSet, SaturationScratch};
 pub use system::{ControlLoc, Pds, Rhs, Rule};
 

@@ -19,35 +19,28 @@
 //! bound. Saturation is confluent — the result is the unique least fixpoint
 //! over the query's state set — so none of this changes the answer, only
 //! how fast it arrives.
+//!
+//! The engine itself lives in [`crate::saturate`], shared with
+//! [`crate::poststar`]; this module pins [`Direction::Backward`].
 
-use crate::automaton::{PAutomaton, PState};
+use crate::automaton::PAutomaton;
 use crate::index::RuleIndex;
-use crate::scratch::{CriterionSet, SaturationScratch};
+use crate::saturate::{
+    saturate_indexed_with_stats, saturate_multi_indexed_with_stats, Direction, MultiSaturation,
+    SaturationStats,
+};
+use crate::scratch::SaturationScratch;
 use crate::system::Pds;
 use crate::PdsError;
-use specslice_fsa::{FxHashMap, Symbol};
 
 /// Statistics from a [`prestar`] run (sizes feed the Fig. 22 memory
 /// accounting; the counters feed the query benchmark's deterministic
-/// drift gate).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct PrestarStats {
-    /// Transitions in the saturated automaton.
-    pub transitions: usize,
-    /// Transitions of the input query automaton.
-    pub query_transitions: usize,
-    /// Approximate peak bytes retained by the saturation data structures.
-    pub peak_bytes: usize,
-    /// Saturation-rule firings: every time a PDS rule matched transitions
-    /// and produced a candidate transition (new or duplicate). A pure
-    /// function of the PDS + query for a given engine build — identical on
-    /// every machine and at every thread count, which is what lets the
-    /// query benchmark gate on it.
-    pub rule_applications: usize,
-    /// Deepest the worklist ever got (measured at the top of each
-    /// iteration).
-    pub peak_worklist: usize,
-}
+/// drift gate). `phase1_states` is always 0 for `pre*`.
+pub type PrestarStats = SaturationStats;
+
+/// The result of one multi-criterion backward saturation
+/// ([`prestar_multi_indexed_with_stats`]).
+pub type MultiPrestar = MultiSaturation;
 
 /// Computes an automaton for `pre*(L(query))`.
 ///
@@ -85,174 +78,13 @@ pub fn prestar_indexed_with_stats(
     query: &PAutomaton,
     scratch: &mut SaturationScratch,
 ) -> Result<(PAutomaton, PrestarStats), PdsError> {
-    if query.control_count() < idx.control_count() {
-        return Err(PdsError::MissingControls {
-            query: query.control_count(),
-            pds: idx.control_count(),
-        });
-    }
-    let epsilon_count = query.transitions().filter(|(_, l, _)| l.is_none()).count();
-    if epsilon_count > 0 {
-        return Err(PdsError::EpsilonInQuery {
-            count: epsilon_count,
-        });
-    }
-
-    let n_states = query.state_count() as u32;
-    scratch.reset(n_states);
-    let SaturationScratch {
-        rows,
-        out,
-        worklist,
-        pending,
-        tmp,
-        tmp_pairs,
-        ..
-    } = scratch;
-
-    // Labels are encoded `γ + 1` (0 would be ε; pre* transitions are all
-    // labeled). A transition enters the worklist exactly once: when its
-    // target first enters its `(state, symbol)` row.
-    fn add(
-        rows: &mut crate::scratch::RowTable,
-        out: &mut [Vec<(u32, u32)>],
-        worklist: &mut Vec<(u32, u32, u32)>,
-        from: u32,
-        sym: Symbol,
-        to: u32,
-    ) {
-        debug_assert!(sym.0 < u32::MAX, "symbol id overflows the ε encoding");
-        let label = sym.0 + 1;
-        if rows.insert(from, label, to) {
-            out[from as usize].push((label, to));
-            worklist.push((from, label, to));
-        }
-    }
-
-    // Seeds: the query's transitions, then the pop rules (which fire
-    // unconditionally: ⟨p, γ⟩ ↪ ⟨p', ε⟩ gives p –γ→ p').
-    for (f, l, t) in query.transitions() {
-        let sym = l.expect("ε-freedom checked above");
-        add(rows, out, worklist, f.0, sym, t.0);
-    }
-    let mut rule_applications = idx.pops().len();
-    for &(p, gamma, p2) in idx.pops() {
-        add(rows, out, worklist, p.0, gamma, p2.0);
-    }
-
-    let n_controls = idx.control_count();
-    let mut peak_worklist = 0usize;
-    while let Some((f, label, t)) = {
-        peak_worklist = peak_worklist.max(worklist.len());
-        worklist.pop()
-    } {
-        let sym = Symbol(label - 1);
-        // Rules match transitions out of control states only — states
-        // `0..n_controls` coincide with control locations, so one compare
-        // skips the rule tables entirely for interior states.
-        if f < n_controls {
-            // Internal rules ⟨p,γ⟩ ↪ ⟨p',γ'⟩ with (p', γ') = (f, sym):
-            for m in idx.internal_by_rhs(sym) {
-                if m.to_loc.0 != f {
-                    continue;
-                }
-                rule_applications += 1;
-                add(rows, out, worklist, m.from_loc.0, m.from_sym, t);
-            }
-            // Push rules ⟨p,γ⟩ ↪ ⟨p',γ'γ''⟩ with (p', γ') = (f, sym): we
-            // have the first hop p' –γ'→ t; need t –γ''→ q2 (now or later).
-            for m in idx.push_by_rhs(sym) {
-                if m.to_loc.0 != f {
-                    continue;
-                }
-                debug_assert!(m.below.0 < u32::MAX);
-                let below = m.below.0 + 1;
-                tmp.clear();
-                tmp.extend_from_slice(rows.targets(t, below));
-                for &q2 in tmp.iter() {
-                    rule_applications += 1;
-                    add(rows, out, worklist, m.from_loc.0, m.from_sym, q2);
-                }
-                pending.push(t, below, (m.from_loc.0, m.from_sym.0));
-            }
-        }
-        // Complete earlier partial matches waiting on (f, sym).
-        tmp_pairs.clear();
-        tmp_pairs.extend_from_slice(pending.waiters(f, label));
-        for &(p, gamma) in tmp_pairs.iter() {
-            rule_applications += 1;
-            add(rows, out, worklist, p, Symbol(gamma), t);
-        }
-    }
-
-    // Materialize the saturated automaton: the query plus every inferred
-    // transition, in deterministic (state-major, insertion) order.
-    let mut aut = query.clone();
-    for (state, row) in out.iter().enumerate() {
-        for &(label, to) in row {
-            aut.add_transition(PState(state as u32), Some(Symbol(label - 1)), PState(to));
-        }
-    }
-
-    // The structures only grow during saturation, so the peak is the final
-    // footprint plus the deepest worklist.
-    let transitions = aut.transition_count();
-    let stats = PrestarStats {
-        transitions,
-        query_transitions: query.transition_count(),
-        peak_bytes: transitions * 36
-            + rows.len() * 48
-            + pending.len() * 48
-            + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
-        rule_applications,
-        peak_worklist,
-    };
-    Ok((aut, stats))
+    saturate_indexed_with_stats(Direction::Backward, idx, query, scratch)
 }
 
-/// The result of one multi-criterion saturation
-/// ([`prestar_multi_indexed_with_stats`]): the saturation of the *union*
-/// of the member queries, with every transition labeled by the set of
-/// members whose solo `pre*` would have derived it.
-#[derive(Debug)]
-pub struct MultiPrestar {
-    /// The saturated union automaton. Its states are the shared control
-    /// states followed by each member's fresh states in member order.
-    pub automaton: PAutomaton,
-    /// Member `i`'s final states, remapped into the union state space.
-    pub member_finals: Vec<Vec<PState>>,
-    /// Per-transition criterion masks, keyed `(from, symbol, to)`.
-    masks: FxHashMap<(u32, u32, u32), u64>,
-    /// Statistics of the single shared saturation.
-    pub stats: PrestarStats,
-}
-
-impl MultiPrestar {
-    /// The members whose solo saturation contains `from –sym→ to`.
-    pub fn mask(&self, from: PState, sym: Symbol, to: PState) -> CriterionSet {
-        CriterionSet(self.masks.get(&(from.0, sym.0, to.0)).copied().unwrap_or(0))
-    }
-}
-
-/// One-pass `pre*` for up to [`CriterionSet::MAX_MEMBERS`] criterion
-/// queries over the same PDS.
-///
-/// Builds the union of the member query automata (control states shared,
-/// fresh states disjoint) and runs a single bitset-labeled saturation over
-/// it: member `i`'s query transitions seed with mask `{i}`, pop-rule seeds
-/// (which fire for every member) seed with the full mask, internal rules
-/// propagate their premise's mask, and push rules intersect the masks of
-/// their two hops — derivations whose intersection is empty are dropped.
-/// Masks OR-accumulate; a transition re-enters the worklist whenever its
-/// mask grows, so the run reaches the least fixpoint of the labeled
-/// system.
-///
-/// Because member queries never share fresh states and their transitions
-/// all leave control states (never enter them), a transition carries bit
-/// `i` **iff** it appears in member `i`'s solo saturation — so projecting
-/// the result through [`MultiPrestar::mask`] reproduces each solo
-/// [`prestar`] automaton exactly, at the cost of ~one saturation for the
-/// whole batch.
+/// One-pass `pre*` for up to [`crate::CriterionSet::MAX_MEMBERS`] criterion
+/// queries over the same PDS — see
+/// [`crate::saturate::saturate_multi_indexed_with_stats`] for the masked
+/// union construction.
 ///
 /// # Errors
 ///
@@ -264,224 +96,15 @@ pub fn prestar_multi_indexed_with_stats(
     queries: &[&PAutomaton],
     scratch: &mut SaturationScratch,
 ) -> Result<MultiPrestar, PdsError> {
-    let k = queries.len();
-    if k == 0 || k > CriterionSet::MAX_MEMBERS {
-        return Err(PdsError::BadBatchWidth { members: k });
-    }
-    let n_controls = idx.control_count();
-    let mut query_transitions = 0usize;
-    for query in queries {
-        if query.control_count() < n_controls {
-            return Err(PdsError::MissingControls {
-                query: query.control_count(),
-                pds: n_controls,
-            });
-        }
-        let epsilon_count = query.transitions().filter(|(_, l, _)| l.is_none()).count();
-        if epsilon_count > 0 {
-            return Err(PdsError::EpsilonInQuery {
-                count: epsilon_count,
-            });
-        }
-        query_transitions += query.transition_count();
-    }
-
-    // The union state space: shared control states, then each member's
-    // fresh states in member order. `offsets[i] + (s - controls_i)` maps
-    // member i's fresh state s into the union.
-    let mut union = PAutomaton::new(n_controls);
-    let mut offsets = Vec::with_capacity(k);
-    let mut member_finals = Vec::with_capacity(k);
-    for query in queries {
-        let controls = query.control_count();
-        let offset = union.state_count() as u32;
-        offsets.push(offset);
-        for _ in controls..query.state_count() as u32 {
-            union.add_state();
-        }
-        let remap = |s: PState| {
-            if s.0 < n_controls {
-                s
-            } else {
-                PState(offset + (s.0 - controls))
-            }
-        };
-        member_finals.push(query.finals().iter().map(|&f| remap(f)).collect::<Vec<_>>());
-    }
-
-    let n_states = union.state_count() as u32;
-    scratch.reset(n_states);
-    let SaturationScratch {
-        rows,
-        out,
-        worklist,
-        masks,
-        pending_multi,
-        tmp_masked,
-        tmp_waiters,
-        ..
-    } = scratch;
-
-    // As in the solo engine, labels are encoded `γ + 1`. A transition
-    // enters the worklist when its target first enters its row *or* when
-    // its criterion mask grows — reprocessing with the larger mask is what
-    // propagates late-arriving membership through already-fired rules.
-    fn add(
-        rows: &mut crate::scratch::RowTable,
-        out: &mut [Vec<(u32, u32)>],
-        worklist: &mut Vec<(u32, u32, u32)>,
-        masks: &mut crate::scratch::MaskTable,
-        (from, sym, to): (u32, Symbol, u32),
-        mask: u64,
-    ) {
-        debug_assert!(
-            mask != 0,
-            "masked derivations must be filtered by the caller"
-        );
-        debug_assert!(sym.0 < u32::MAX, "symbol id overflows the ε encoding");
-        let label = sym.0 + 1;
-        if rows.insert(from, label, to) {
-            out[from as usize].push((label, to));
-        }
-        if masks.or(from, label, to, mask) {
-            worklist.push((from, label, to));
-        }
-    }
-
-    // Seeds: each member's query transitions under its singleton mask,
-    // then the pop rules under the full mask (they fire unconditionally
-    // for every member).
-    let full = CriterionSet::all(k).0;
-    for (i, query) in queries.iter().enumerate() {
-        let offset = offsets[i];
-        let controls = query.control_count();
-        let mask = CriterionSet::singleton(i).0;
-        for (f, l, t) in query.transitions() {
-            let sym = l.expect("ε-freedom checked above");
-            let remap = |s: PState| {
-                if s.0 < n_controls {
-                    s.0
-                } else {
-                    offset + (s.0 - controls)
-                }
-            };
-            add(rows, out, worklist, masks, (remap(f), sym, remap(t)), mask);
-        }
-    }
-    let mut rule_applications = idx.pops().len();
-    for &(p, gamma, p2) in idx.pops() {
-        add(rows, out, worklist, masks, (p.0, gamma, p2.0), full);
-    }
-
-    let mut peak_worklist = 0usize;
-    while let Some((f, label, t)) = {
-        peak_worklist = peak_worklist.max(worklist.len());
-        worklist.pop()
-    } {
-        let sym = Symbol(label - 1);
-        // Process under the transition's *current* mask: growth after this
-        // pop re-queues it.
-        let t_mask = masks.get(f, label, t);
-        if f < n_controls {
-            // Internal rules propagate the premise's mask unchanged.
-            for m in idx.internal_by_rhs(sym) {
-                if m.to_loc.0 != f {
-                    continue;
-                }
-                rule_applications += 1;
-                add(
-                    rows,
-                    out,
-                    worklist,
-                    masks,
-                    (m.from_loc.0, m.from_sym, t),
-                    t_mask,
-                );
-            }
-            // Push rules need two hops; the derived transition belongs to
-            // exactly the members both hops belong to.
-            for m in idx.push_by_rhs(sym) {
-                if m.to_loc.0 != f {
-                    continue;
-                }
-                debug_assert!(m.below.0 < u32::MAX);
-                let below = m.below.0 + 1;
-                tmp_masked.clear();
-                tmp_masked.extend(
-                    rows.targets(t, below)
-                        .iter()
-                        .map(|&q2| (q2, masks.get(t, below, q2))),
-                );
-                for &(q2, hop2_mask) in tmp_masked.iter() {
-                    rule_applications += 1;
-                    let mask = t_mask & hop2_mask;
-                    if mask != 0 {
-                        add(
-                            rows,
-                            out,
-                            worklist,
-                            masks,
-                            (m.from_loc.0, m.from_sym, q2),
-                            mask,
-                        );
-                    }
-                }
-                pending_multi.push(t, below, (m.from_loc.0, m.from_sym.0, f, label));
-            }
-        }
-        // Complete earlier partial matches waiting on (f, sym): intersect
-        // with the first hop's current mask, looked up by its identity.
-        tmp_waiters.clear();
-        tmp_waiters.extend_from_slice(pending_multi.waiters(f, label));
-        for &(p, gamma, hop1_from, hop1_label) in tmp_waiters.iter() {
-            rule_applications += 1;
-            let hop1_mask = masks.get(hop1_from, hop1_label, f);
-            let mask = hop1_mask & t_mask;
-            if mask != 0 {
-                add(rows, out, worklist, masks, (p, Symbol(gamma), t), mask);
-            }
-        }
-    }
-
-    // Materialize the saturated union and its mask map in deterministic
-    // (state-major, insertion) order. Seeds flowed through `add`, so `out`
-    // already contains the query transitions.
-    let mut aut = union;
-    let mut mask_map = FxHashMap::default();
-    for (state, row) in out.iter().enumerate() {
-        for &(label, to) in row {
-            aut.add_transition(PState(state as u32), Some(Symbol(label - 1)), PState(to));
-            mask_map.insert(
-                (state as u32, label - 1, to),
-                masks.get(state as u32, label, to),
-            );
-        }
-    }
-
-    let transitions = aut.transition_count();
-    let stats = PrestarStats {
-        transitions,
-        query_transitions,
-        peak_bytes: transitions * 36
-            + rows.len() * 48
-            + pending_multi.len() * 48
-            + masks.len() * 24
-            + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
-        rule_applications,
-        peak_worklist,
-    };
-    Ok(MultiPrestar {
-        automaton: aut,
-        member_finals,
-        masks: mask_map,
-        stats,
-    })
+    saturate_multi_indexed_with_stats(Direction::Backward, idx, queries, scratch)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scratch::CriterionSet;
     use crate::system::ControlLoc;
+    use specslice_fsa::Symbol;
 
     fn sym(i: u32) -> Symbol {
         Symbol(i)

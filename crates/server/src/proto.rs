@@ -144,6 +144,8 @@ pub mod kind {
     pub const SDG_BUILD: &str = "sdg_build";
     /// Malformed slicing criterion.
     pub const BAD_CRITERION: &str = "bad_criterion";
+    /// Saturation engine rejected a query (pre*/post* precondition).
+    pub const PDS: &str = "pds";
     /// Internal invariant violation in the slicer.
     pub const INTERNAL: &str = "internal";
     /// Malformed request, unknown op, or handshake violation.
@@ -172,6 +174,11 @@ pub fn spec_error_payload(e: &SpecError) -> Json {
         SpecError::Sema(le) => with_line(kind::SEMA, le),
         SpecError::SdgBuild(se) => error_payload(kind::SDG_BUILD, se.to_string()),
         SpecError::BadCriterion { reason } => error_payload(kind::BAD_CRITERION, reason.clone()),
+        SpecError::Pds { stage, source } => Json::obj([
+            ("kind", Json::str(kind::PDS)),
+            ("stage", Json::str(*stage)),
+            ("message", Json::str(source.to_string())),
+        ]),
         SpecError::Internal { context, message } => Json::obj([
             ("kind", Json::str(kind::INTERNAL)),
             ("context", Json::str(*context)),
@@ -273,6 +280,14 @@ mod tests {
         let p = spec_error_payload(&e);
         assert_eq!(p.get("kind").and_then(Json::as_str), Some("internal"));
         assert_eq!(p.get("context").and_then(Json::as_str), Some("readout"));
+        let e = SpecError::pds("prestar", specslice::PdsError::EpsilonInQuery { count: 2 });
+        let p = spec_error_payload(&e);
+        assert_eq!(p.get("kind").and_then(Json::as_str), Some("pds"));
+        assert_eq!(p.get("stage").and_then(Json::as_str), Some("prestar"));
+        assert!(p
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| !m.is_empty()));
         let e = SpecError::from(specslice::LangError::parse(3, "bad token"));
         let p = spec_error_payload(&e);
         assert_eq!(p.get("kind").and_then(Json::as_str), Some("parse"));

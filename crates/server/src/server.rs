@@ -10,6 +10,8 @@
 //! | `hello`              | `version`                           | `version`, `max_frame` |
 //! | `open`               | `source`                            | `session`, `existing`, `warm`, `memo_imported`, SDG dims |
 //! | `slice`              | `session`, `criterion`              | slice body |
+//! | `forward_slice`      | `session`, `criterion`              | slice body |
+//! | `chop`               | `session`, `source`, `target`       | slice body |
 //! | `slice_batch`        | `session`, `criteria`               | `slices: [slice body]` |
 //! | `remove_feature`     | `session`, `criterion`              | slice body |
 //! | `specialize_program` | `session`, `criteria`               | `source`, `functions`, … |
@@ -360,6 +362,8 @@ fn dispatch(state: &State, request: &Json) -> (Json, bool) {
         "hello" => Ok(hello_response(state, &id)),
         "open" => op_open(state, &id, request),
         "slice" => op_slice(state, &id, request, SliceMode::Slice),
+        "forward_slice" => op_slice(state, &id, request, SliceMode::Forward),
+        "chop" => op_chop(state, &id, request),
         "remove_feature" => op_slice(state, &id, request, SliceMode::RemoveFeature),
         "slice_batch" => op_slice_batch(state, &id, request),
         "specialize_program" => op_specialize(state, &id, request),
@@ -430,6 +434,7 @@ fn op_open(state: &State, id: &Json, request: &Json) -> Result<Json, Json> {
 
 enum SliceMode {
     Slice,
+    Forward,
     RemoveFeature,
 }
 
@@ -443,9 +448,38 @@ fn op_slice(state: &State, id: &Json, request: &Json, mode: SliceMode) -> Result
     let criterion = spec.resolve(slicer.sdg());
     let slice = match mode {
         SliceMode::Slice => slicer.slice(&criterion),
+        SliceMode::Forward => slicer.forward_slice(&criterion),
         SliceMode::RemoveFeature => slicer.remove_feature(&criterion),
     }
     .map_err(|e| spec_error_payload(&e))?;
+    Ok(ok_response(
+        id,
+        [("slice", slice_body(slicer.sdg(), &slice))],
+    ))
+}
+
+fn op_chop(state: &State, id: &Json, request: &Json) -> Result<Json, Json> {
+    let session = session_of(state, request)?;
+    let Some(source) = request.get("source") else {
+        return Err(error_payload(
+            kind::PROTO,
+            "chop needs a `source` criterion",
+        ));
+    };
+    let Some(target) = request.get("target") else {
+        return Err(error_payload(
+            kind::PROTO,
+            "chop needs a `target` criterion",
+        ));
+    };
+    let source = parse_criterion(source)?;
+    let target = parse_criterion(target)?;
+    let slicer = session.slicer();
+    let source = source.resolve(slicer.sdg());
+    let target = target.resolve(slicer.sdg());
+    let slice = slicer
+        .chop(&source, &target)
+        .map_err(|e| spec_error_payload(&e))?;
     Ok(ok_response(
         id,
         [("slice", slice_body(slicer.sdg(), &slice))],

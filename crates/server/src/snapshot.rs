@@ -12,8 +12,11 @@
 //! source   := u32 len, then len bytes of UTF-8 (normalized pretty-printed)
 //! entries  := u32 count, then count × entry
 //! entry    := memo-key nfa variants main stats
-//! memo-key := 0x00 u32 count (u32 vertex)×count
-//!           | 0x01 u32 count (u32 vertex, u32 depth, (u32 site)×depth)×count
+//! memo-key := tag body
+//! tag      := 0x00 | 0x01   -- backward entry (all-contexts | configurations)
+//!           | 0x02 | 0x03   -- forward entry  (all-contexts | configurations)
+//! body     := u32 count (u32 vertex)×count                                (tags 0x00/0x02)
+//!           | u32 count (u32 vertex, u32 depth, (u32 site)×depth)×count   (tags 0x01/0x03)
 //! nfa      := u32 n_states
 //!             u32 n_finals (u32 state)×n_finals
 //!             u32 n_trans  (u32 from, u32 label, u32 to)×n_trans
@@ -23,8 +26,8 @@
 //!              u32 state, u32 row_len (u32 vertex)×row_len)
 //! str      := u32 len, then len bytes of UTF-8
 //! main     := u32     variant index; 0xFFFF_FFFF encodes "no main variant"
-//! stats    := 15 × u64  (PipelineStats sizes + MrdStats + saturation
-//!             counters + query µs)
+//! stats    := 19 × u64  (PipelineStats sizes + MrdStats + saturation
+//!             counters + per-direction memo counters + query µs)
 //! checksum := u64     FNV-1a over every preceding byte
 //! ```
 //!
@@ -38,7 +41,7 @@
 
 use crate::json::Json;
 use crate::proto::{self, error_payload};
-use specslice::{MemoExport, MemoExportVariant, MemoKeyExport, PipelineStats};
+use specslice::{Direction, MemoExport, MemoExportVariant, MemoKeyExport, PipelineStats};
 use specslice_fsa::mrd::MrdStats;
 use specslice_fsa::{Nfa, StateId, Symbol};
 use std::fmt;
@@ -48,8 +51,11 @@ use std::time::Duration;
 pub const MAGIC: &[u8; 8] = b"SSLSNAP\0";
 
 /// Current snapshot format version. Version 2 widened the stats block with
-/// the `saturations_run` / `criteria_per_saturation` counters.
-pub const FORMAT_VERSION: u32 = 2;
+/// the `saturations_run` / `criteria_per_saturation` counters; version 3
+/// tagged memo keys with the saturation direction (forward entries use tags
+/// 0x02/0x03) and widened the stats block with the per-direction memo
+/// hit/miss counters.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Sentinel for "no main variant".
 const NO_MAIN: u32 = u32::MAX;
@@ -186,13 +192,17 @@ pub fn encode(key: u64, source: &str, entries: &[MemoExport]) -> Vec<u8> {
     e.str(source);
     e.u32(entries.len() as u32);
     for entry in entries {
+        let dir_tag = match entry.direction {
+            Direction::Backward => 0u8,
+            Direction::Forward => 2u8,
+        };
         match &entry.key {
             MemoKeyExport::AllContexts(vs) => {
-                e.buf.push(0);
+                e.buf.push(dir_tag);
                 e.u32_slice(vs);
             }
             MemoKeyExport::Configurations(cs) => {
-                e.buf.push(1);
+                e.buf.push(dir_tag | 1);
                 e.u32(cs.len() as u32);
                 for (v, stack) in cs {
                     e.u32(*v);
@@ -252,6 +262,10 @@ fn encode_stats(e: &mut Enc, s: &PipelineStats) {
         s.mrd.mrd_transitions,
         s.saturations_run,
         s.criteria_per_saturation,
+        s.memo_hits_backward,
+        s.memo_misses_backward,
+        s.memo_hits_forward,
+        s.memo_misses_forward,
     ] {
         e.u64(v as u64);
     }
@@ -380,21 +394,27 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 
 fn decode_entry(d: &mut Dec<'_>) -> Result<MemoExport, SnapshotError> {
     let tag = d.take(1, "key tag")?[0];
-    let key = match tag {
-        0 => MemoKeyExport::AllContexts(d.u32_vec("all-contexts key")?),
-        1 => {
-            let n = d.count("configurations key", 8)?;
-            let mut cs = Vec::with_capacity(n);
-            for _ in 0..n {
-                let v = d.u32("configuration vertex")?;
-                let stack = d.u32_vec("configuration stack")?;
-                cs.push((v, stack));
-            }
-            MemoKeyExport::Configurations(cs)
+    if tag > 3 {
+        return Err(SnapshotError::Corrupt(format!(
+            "unknown memo-key tag {tag}"
+        )));
+    }
+    let direction = if tag & 2 == 0 {
+        Direction::Backward
+    } else {
+        Direction::Forward
+    };
+    let key = if tag & 1 == 0 {
+        MemoKeyExport::AllContexts(d.u32_vec("all-contexts key")?)
+    } else {
+        let n = d.count("configurations key", 8)?;
+        let mut cs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let v = d.u32("configuration vertex")?;
+            let stack = d.u32_vec("configuration stack")?;
+            cs.push((v, stack));
         }
-        t => {
-            return Err(SnapshotError::Corrupt(format!("unknown memo-key tag {t}")));
-        }
+        MemoKeyExport::Configurations(cs)
     };
     let a6 = decode_nfa(d)?;
     let n_variants = d.count("variant count", 20)?;
@@ -425,6 +445,7 @@ fn decode_entry(d: &mut Dec<'_>) -> Result<MemoExport, SnapshotError> {
     };
     let stats = decode_stats(d)?;
     Ok(MemoExport {
+        direction,
         key,
         a6,
         variants,
@@ -500,6 +521,10 @@ fn decode_stats(d: &mut Dec<'_>) -> Result<PipelineStats, SnapshotError> {
     let mrd_transitions = read("stats.mrd.mrd_transitions")?;
     let saturations_run = read("stats.saturations_run")?;
     let criteria_per_saturation = read("stats.criteria_per_saturation")?;
+    let memo_hits_backward = read("stats.memo_hits_backward")?;
+    let memo_misses_backward = read("stats.memo_misses_backward")?;
+    let memo_hits_forward = read("stats.memo_hits_forward")?;
+    let memo_misses_forward = read("stats.memo_misses_forward")?;
     let micros = d.u64("stats.query_micros")?;
     Ok(PipelineStats {
         pds_rules,
@@ -518,6 +543,10 @@ fn decode_stats(d: &mut Dec<'_>) -> Result<PipelineStats, SnapshotError> {
         },
         saturations_run,
         criteria_per_saturation,
+        memo_hits_backward,
+        memo_misses_backward,
+        memo_hits_forward,
+        memo_misses_forward,
         query_time: Duration::from_micros(micros),
     })
 }
@@ -568,7 +597,8 @@ mod tests {
         a6.add_transition(a6.initial(), Some(Symbol(3)), q1);
         a6.add_transition(q1, None, q1);
         a6.set_final(q1);
-        vec![MemoExport {
+        let backward = MemoExport {
+            direction: Direction::Backward,
             key: MemoKeyExport::AllContexts(vec![1, 4, 7]),
             a6,
             variants: vec![MemoExportVariant {
@@ -596,9 +626,22 @@ mod tests {
                 },
                 saturations_run: 1,
                 criteria_per_saturation: 3,
+                memo_hits_backward: 0,
+                memo_misses_backward: 1,
+                memo_hits_forward: 0,
+                memo_misses_forward: 0,
                 query_time: Duration::from_micros(1234),
             },
-        }]
+        };
+        // A forward entry with the same select shape (tag 0x02 must not
+        // collide with tag 0x00) plus a forward configurations key (0x03).
+        let mut forward = backward.clone();
+        forward.direction = Direction::Forward;
+        forward.stats.memo_misses_backward = 0;
+        forward.stats.memo_misses_forward = 1;
+        let mut forward_cfg = forward.clone();
+        forward_cfg.key = MemoKeyExport::Configurations(vec![(1, vec![0, 2]), (4, vec![])]);
+        vec![backward, forward, forward_cfg]
     }
 
     #[test]
@@ -608,9 +651,16 @@ mod tests {
         let snap = decode(&image).unwrap();
         assert_eq!(snap.key, 0xDEAD_BEEF);
         assert_eq!(snap.source, "int main() { return 0; }");
-        assert_eq!(snap.entries.len(), 1);
+        assert_eq!(snap.entries.len(), 3);
         let e = &snap.entries[0];
+        assert_eq!(e.direction, Direction::Backward);
         assert_eq!(e.key, entries[0].key);
+        assert_eq!(snap.entries[1].direction, Direction::Forward);
+        assert_eq!(snap.entries[1].key, entries[0].key);
+        assert_eq!(snap.entries[2].direction, Direction::Forward);
+        assert_eq!(snap.entries[2].key, entries[2].key);
+        assert_eq!(e.stats.memo_misses_backward, 1);
+        assert_eq!(snap.entries[1].stats.memo_misses_forward, 1);
         assert_eq!(e.a6.state_count(), 2);
         assert!(e.a6.has_transition(StateId(0), Some(Symbol(3)), StateId(1)));
         assert!(e.a6.has_transition(StateId(1), None, StateId(1)));
@@ -654,6 +704,19 @@ mod tests {
                 "flip at {pos} must be detected"
             );
         }
+    }
+
+    #[test]
+    fn committed_v2_snapshot_is_rejected_as_unsupported_version() {
+        // A genuine version-2 snapshot written by the previous format
+        // revision. The version check runs before the checksum and key
+        // checks, so a v3 reader reports the structured version error —
+        // which the session manager degrades to a cold open.
+        let image = include_bytes!("../tests/fixtures/v2.snap");
+        assert!(matches!(
+            decode(image),
+            Err(SnapshotError::UnsupportedVersion { found: 2 })
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! End-to-end concurrency: N client threads hammer one session with mixed
-//! `slice` / `slice_batch` / `remove_feature` requests while another
+//! `slice` / `forward_slice` / `chop` / `slice_batch` / `remove_feature`
+//! requests while another
 //! connection applies an edit between phases. Every raw response frame must
 //! be byte-identical to a sequential replay on a fresh server — and must
 //! stay byte-identical across server thread widths 1, 2, and 4, which is
@@ -66,6 +67,18 @@ fn worker_script(w: usize, session: &str) -> Vec<Op> {
                     "criteria",
                     Json::arr([printf_criterion(), all_contexts(&[v, v + 1])]),
                 ),
+            ],
+        ));
+        ops.push((
+            "forward_slice",
+            vec![sid(), ("criterion", all_contexts(&[v]))],
+        ));
+        ops.push((
+            "chop",
+            vec![
+                sid(),
+                ("source", all_contexts(&[v])),
+                ("target", printf_criterion()),
             ],
         ));
         ops.push((

@@ -314,6 +314,96 @@ fn version_bumped_snapshot_degrades_to_cold_open() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A snapshot written by the previous (version 2) format revision — the
+/// committed fixture, not a synthesized version byte — is reported as a
+/// structured version error and the open degrades cold.
+#[test]
+fn committed_v2_snapshot_degrades_to_cold_open() {
+    let (dir, path, _) = good_snapshot("v2-fixture");
+    std::fs::write(&path, include_bytes!("fixtures/v2.snap")).unwrap();
+    assert_degrades(&dir, "version 2");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Forward and chop answers populate direction-tagged memo entries that
+/// survive shutdown → restart: the restarted server imports them and
+/// answers the repeated queries with byte-identical frames.
+#[test]
+fn forward_and_chop_entries_survive_restart_byte_identically() {
+    let dir = temp_dir("fwd-roundtrip");
+
+    let forward_params = |sid: &str| {
+        [
+            ("session", Json::str(sid)),
+            (
+                "criterion",
+                Json::obj([
+                    ("kind", Json::str("all_contexts")),
+                    ("vertices", Json::arr([Json::Int(1)])),
+                ]),
+            ),
+        ]
+    };
+    let chop_params = |sid: &str| {
+        [
+            ("session", Json::str(sid)),
+            (
+                "source",
+                Json::obj([
+                    ("kind", Json::str("all_contexts")),
+                    ("vertices", Json::arr([Json::Int(1)])),
+                ]),
+            ),
+            ("target", printf_criterion()),
+        ]
+    };
+
+    let (handle, addr) = server_on(&dir, None);
+    let mut client = Client::connect_tcp(&addr).expect("connect");
+    let opened = open(&mut client, PROGRAM);
+    let sid = session_id(&opened);
+    let cold_fwd = client
+        .request_bytes("forward_slice", forward_params(&sid))
+        .expect("cold forward_slice");
+    let cold_chop = client
+        .request_bytes("chop", chop_params(&sid))
+        .expect("cold chop");
+    client.request("shutdown", []).expect("shutdown");
+    handle.wait();
+
+    let (handle, addr) = server_on(&dir, None);
+    let mut client = Client::connect_tcp(&addr).expect("reconnect");
+    let opened = open(&mut client, PROGRAM);
+    assert_eq!(
+        opened.get("warm").and_then(Json::as_bool),
+        Some(true),
+        "restart was not warm: {}",
+        opened.to_text()
+    );
+    // The cold run memoized the forward entry plus the chop's backward
+    // constituent — both direction-tagged entries must come back.
+    assert!(
+        opened
+            .get("memo_imported")
+            .and_then(Json::as_i64)
+            .unwrap_or(0)
+            >= 2,
+        "expected the forward and backward entries back: {}",
+        opened.to_text()
+    );
+    let warm_fwd = client
+        .request_bytes("forward_slice", forward_params(&sid))
+        .expect("warm forward_slice");
+    let warm_chop = client
+        .request_bytes("chop", chop_params(&sid))
+        .expect("warm chop");
+    assert_eq!(warm_fwd, cold_fwd, "forward slice changed across restart");
+    assert_eq!(warm_chop, cold_chop, "chop changed across restart");
+
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn trailing_garbage_snapshot_degrades_to_cold_open() {
     let (dir, path, mut bytes) = good_snapshot("trailing");

@@ -57,6 +57,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg_slice.variant_count()
     );
 
+    // The same session also answers forward (post*) queries and chops, and
+    // the `memo=` field of each summary keeps the two caches apart: an
+    // entry memoized backward never answers a forward query. The chop's
+    // constituents — the printf criterion sliced backward above and the
+    // forward query run here — are both warm by the time the chop runs, so
+    // its summary reports one memo hit per direction.
+    let fwd_criterion = Criterion::configuration(r.entry, vec![main_site.id]);
+    let (fwd, fwd_stats) = slicer.forward_slice_with_stats(&fwd_criterion)?;
+    println!(
+        "forward (r:entry under [C_main], post*): {}",
+        fwd_stats.summary()
+    );
+    println!("forward slice reaches {} vertices", fwd.total_vertices());
+    let (chop, chop_stats) =
+        slicer.chop_with_stats(&fwd_criterion, &Criterion::printf_actuals(sdg))?;
+    println!("chop (r:entry → printf actuals): {}", chop_stats.summary());
+    println!(
+        "chop keeps {} vertices across {} variants",
+        chop.total_vertices(),
+        chop.variant_count()
+    );
+
     // Both slices interned their variant content into the session's store;
     // identical projections across criteria are stored (and counted) once.
     let st = slicer.store_stats();

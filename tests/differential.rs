@@ -5,8 +5,14 @@
 //! byte-identical specialized programs, across every corpus program, the
 //! three feature grids, thread widths 1/2/4, and a seeded random sweep of
 //! criterion subsets.
+//!
+//! The contract is direction-generic: `SPECSLICE_QUERY_DIRECTION=forward`
+//! reruns every batch sweep through `forward_slice_batch` (`post*`)
+//! instead of `slice_batch` (`pre*`). CI's solver-matrix job crosses this
+//! variable with `SPECSLICE_SOLVER`, so all four solver × direction
+//! combinations get the oracle treatment; unset means backward.
 
-use specslice::{Criterion, Slicer, SlicerConfig, Solver, SpecError};
+use specslice::{BatchResult, Criterion, Slicer, SlicerConfig, Solver, SpecError};
 use specslice_corpus::rng::StdRng;
 use specslice_sdg::VertexId;
 
@@ -20,6 +26,21 @@ fn session(src: &str, num_threads: usize, solver: Solver) -> Slicer {
         },
     )
     .unwrap()
+}
+
+/// `SPECSLICE_QUERY_DIRECTION=forward` flips the sweeps to `post*` (any
+/// other value, or unset, tests the backward batch path).
+fn forward_mode() -> bool {
+    std::env::var("SPECSLICE_QUERY_DIRECTION").is_ok_and(|v| v.trim() == "forward")
+}
+
+/// One batch in the direction under test.
+fn run_batch(slicer: &Slicer, criteria: &[Criterion]) -> BatchResult {
+    if forward_mode() {
+        slicer.forward_slice_batch(criteria).unwrap()
+    } else {
+        slicer.slice_batch(criteria).unwrap()
+    }
 }
 
 /// Per-printf criteria — the paper's evaluation workload.
@@ -76,7 +97,7 @@ fn one_pass_matches_per_criterion_oracle() {
         let per_printf = per_printf_criteria(&oracle);
         let mut criteria = per_printf.clone();
         criteria.push(Criterion::printf_actuals(oracle.sdg()));
-        let batch = oracle.slice_batch(&criteria).unwrap();
+        let batch = run_batch(&oracle, &criteria);
         let oracle_sats = batch.aggregate.saturations_run;
         assert!(
             oracle_sats >= 1 && oracle_sats <= criteria.len(),
@@ -92,7 +113,7 @@ fn one_pass_matches_per_criterion_oracle() {
 
         for threads in [1, 2, 4] {
             let slicer = session(&src, threads, Solver::OnePass);
-            let batch = slicer.slice_batch(&criteria).unwrap();
+            let batch = run_batch(&slicer, &criteria);
             let sats = batch.aggregate.saturations_run;
             assert!(
                 sats <= oracle_sats,
@@ -179,8 +200,8 @@ fn random_criterion_subsets_agree_across_solvers() {
                 criteria.push(Criterion::printf_actuals(oracle.sdg()));
             }
 
-            let want = fingerprint(&oracle.slice_batch(&criteria).unwrap().slices);
-            let got = fingerprint(&one_pass.slice_batch(&criteria).unwrap().slices);
+            let want = fingerprint(&run_batch(&oracle, &criteria).slices);
+            let got = fingerprint(&run_batch(&one_pass, &criteria).slices);
             assert_eq!(got, want, "{name}: random round {round} diverged");
         }
     }
@@ -220,22 +241,18 @@ fn permuted_batches_answer_positionally() {
     let mut permuted = criteria.clone();
     permuted.rotate_left(1);
 
-    let want: Vec<String> = oracle
-        .slice_batch(&permuted)
-        .unwrap()
+    let want: Vec<String> = run_batch(&oracle, &permuted)
         .slices
         .iter()
         .map(|s| format!("{s:?}"))
         .collect();
-    let got: Vec<String> = one_pass
-        .slice_batch(&permuted)
-        .unwrap()
+    let got: Vec<String> = run_batch(&one_pass, &permuted)
         .slices
         .iter()
         .map(|s| format!("{s:?}"))
         .collect();
     assert_eq!(got, want);
     // And the rotation really did permute the answers.
-    let straight = one_pass.slice_batch(&criteria).unwrap().slices;
+    let straight = run_batch(&one_pass, &criteria).slices;
     assert_eq!(format!("{:?}", straight[0]), got[criteria.len() - 1]);
 }

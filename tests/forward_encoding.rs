@@ -1,0 +1,49 @@
+//! Forward queries reuse the session's PDS encoding.
+//!
+//! The direction-generic refactor runs `post*` against the same Fig. 8
+//! encoding `pre*` uses — switching direction must never re-encode the SDG.
+//! `encode_call_count()` is a process-global counter, so this file holds a
+//! single test (a sibling test constructing a `Slicer` concurrently would
+//! race the delta).
+
+use specslice::encode::encode_call_count;
+use specslice::{Criterion, Slicer};
+use specslice_corpus::{random_program, GenConfig};
+use specslice_sdg::VertexKind;
+
+#[test]
+fn forward_queries_never_rebuild_the_encoding() {
+    let src = random_program(
+        42,
+        GenConfig {
+            n_globals: 3,
+            n_funcs: 4,
+            max_stmts: 6,
+            recursion: true,
+        },
+    );
+    let slicer = Slicer::from_source(&src).unwrap();
+    let target = Criterion::printf_actuals(slicer.sdg());
+    let main = slicer.sdg().proc_named("main").unwrap();
+    let source = main
+        .vertices
+        .iter()
+        .copied()
+        .find(|&v| matches!(slicer.sdg().vertex(v).kind, VertexKind::Statement { .. }))
+        .map(Criterion::vertex)
+        .unwrap();
+
+    let before = encode_call_count();
+    slicer.forward_slice(&source).unwrap();
+    slicer
+        .forward_slice_batch(std::slice::from_ref(&target))
+        .unwrap();
+    slicer.chop(&source, &target).unwrap();
+    slicer.slice(&target).unwrap();
+    assert_eq!(
+        encode_call_count(),
+        before,
+        "a query re-encoded the SDG; the session encoding must be shared \
+         across directions"
+    );
+}
