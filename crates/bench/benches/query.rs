@@ -304,8 +304,9 @@ fn main() {
                     "{name}: union criterion must dedup against per-feature slices"
                 );
                 // The grids take no input, so the merged program (driver
-                // main included) must run end to end in the interpreter.
-                specslice_interp::run(&spec.regen.program, &[], 50_000_000)
+                // main included) must run end to end.
+                use specslice::exec::{self, ExecRequest};
+                exec::run(&ExecRequest::new(&spec.regen.program).with_fuel(ExecRequest::DEEP_FUEL))
                     .unwrap_or_else(|e| panic!("{name}: merged program failed to run: {e}"));
             }
             let spec_baseline = format!("{}\n{:?}", spec.regen.source, spec.per_criterion);

@@ -9,6 +9,7 @@
 //! wins, replication vs extraneous growth, no exponential blow-up — is the
 //! reproduction target (see EXPERIMENTS.md).
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{Criterion, Slicer};
 use specslice_bench::{geometric_mean, loc, slice_program, std_dev, SliceRecord};
 use std::collections::BTreeMap;
@@ -439,13 +440,23 @@ fn wc_speedup() {
             _ => 1,
         });
     }
-    let original = specslice_interp::run(ast, &input, 50_000_000).unwrap();
+    let original = exec::run(
+        &ExecRequest::new(ast)
+            .with_input(&input)
+            .with_fuel(ExecRequest::DEEP_FUEL),
+    )
+    .unwrap();
     let mut ratios = Vec::new();
     for site in sdg.printf_call_sites() {
         let criterion = Criterion::AllContexts(site.actual_ins.clone());
         let slice = slicer.slice(&criterion).unwrap();
         let regen = slicer.regenerate(&slice).unwrap();
-        let run = specslice_interp::run(&regen.program, &input, 50_000_000).unwrap();
+        let run = exec::run(
+            &ExecRequest::new(&regen.program)
+                .with_input(&input)
+                .with_fuel(ExecRequest::DEEP_FUEL),
+        )
+        .unwrap();
         let ratio = 100.0 * run.steps as f64 / original.steps as f64;
         println!(
             "  slice w.r.t. printf #{:?}: {:>7} steps vs {:>7} = {:.1}%",

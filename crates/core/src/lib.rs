@@ -81,6 +81,7 @@
 
 pub mod criteria;
 pub mod encode;
+pub mod exec;
 pub mod feature_removal;
 pub mod incremental;
 pub mod indirect;
@@ -146,8 +147,8 @@ pub enum SpecError {
     /// a string), so callers can match on the exact precondition that failed
     /// and error chains render it via [`std::error::Error::source`].
     ///
-    /// [`prestar`]: specslice_pds::prestar
-    /// [`poststar`]: specslice_pds::poststar
+    /// [`prestar`]: specslice_pds::prestar()
+    /// [`poststar`]: specslice_pds::poststar()
     Pds {
         /// Which engine invocation failed (e.g. `"prestar"`, `"poststar"`,
         /// `"poststar(reachable)"`).

@@ -85,6 +85,22 @@ impl SpecializedProgram {
     pub fn merged_variant_count(&self) -> usize {
         self.functions.len()
     }
+
+    /// Runs the merged program on `input` through the process-default
+    /// execution backend (`SPECSLICE_EXEC_BACKEND`, interpreter fallback)
+    /// with the default budgets — the one-call way to validate that a
+    /// specialization agrees with its original on the criterion.
+    ///
+    /// For custom budgets or an explicit backend, build a
+    /// [`crate::exec::ExecRequest`] over [`Self::source`]'s program
+    /// (`self.regen.program`) directly.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::exec::ExecBackend::exec`].
+    pub fn run(&self, input: &[i64]) -> Result<crate::exec::ExecOutcome, crate::exec::ExecError> {
+        crate::exec::run(&crate::exec::ExecRequest::new(&self.regen.program).with_input(input))
+    }
 }
 
 impl Slicer {

@@ -1,0 +1,243 @@
+//! The unified execution API: [`ExecRequest`] in, [`ExecOutcome`] out,
+//! behind the [`ExecBackend`] trait.
+//!
+//! Historically the only way to run a MiniC program was the bare
+//! `specslice_interp::run(&program, &input, fuel)` entry point, called
+//! directly from validation, tests, and benches. This module replaces that
+//! signature with a request/outcome pair so callers *select a backend*
+//! (the tree-walking interpreter, or the `specslice-vm` bytecode machine)
+//! instead of hard-coding one — the contract is that every backend produces
+//! the **same** [`ExecOutcome`] (output vector, step accounting, exit path)
+//! and the **same** [`ExecError`] variants for the same request.
+//!
+//! Backend selection for default-configured callers is environmental:
+//! `SPECSLICE_EXEC_BACKEND=interp|vm` (parsed strictly, in the style of
+//! `SPECSLICE_NUM_THREADS` — see [`parse_backend`] / [`configured_backend`]).
+//! The selection helpers that need to *name* both backends live in
+//! `specslice-vm` (`default_backend()`), re-exported as `specslice::exec`.
+
+use crate::{ExecError, ExecOutcome};
+use specslice_lang::ast::Program;
+use std::fmt;
+
+/// A single program execution: what to run, on which input stream, and
+/// under which resource bounds.
+///
+/// The defaults ([`ExecRequest::DEFAULT_FUEL`],
+/// [`ExecRequest::DEFAULT_RECURSION_LIMIT`]) are the named versions of the
+/// magic numbers that used to be scattered across tests and benches; use
+/// [`ExecRequest::DEEP_FUEL`] for long-running bench workloads.
+///
+/// ```
+/// let program = specslice_lang::frontend(
+///     "int main() { int x; scanf(\"%d\", &x); printf(\"%d\", x + 1); return 0; }",
+/// )?;
+/// let req = specslice_interp::ExecRequest::new(&program).with_input(&[41]);
+/// let out = specslice_interp::exec(&req)?;
+/// assert_eq!(out.output, vec![42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ExecRequest<'a> {
+    /// The (checked, normalized) program to run.
+    pub program: &'a Program,
+    /// The input stream `scanf` reads from; exhausted reads yield 0.
+    pub input: &'a [i64],
+    /// Statement budget: execution fails with [`ExecError::OutOfFuel`]
+    /// once more than `fuel` statements have been executed.
+    pub fuel: u64,
+    /// Call-depth budget: a call that would exceed this depth fails with
+    /// [`ExecError::RecursionLimit`] (`main` runs at depth 0).
+    pub recursion_limit: u32,
+}
+
+impl<'a> ExecRequest<'a> {
+    /// The default statement budget: ample for every corpus program and
+    /// grid workload, small enough that an accidental infinite loop fails
+    /// in well under a second.
+    pub const DEFAULT_FUEL: u64 = 5_000_000;
+
+    /// A deep statement budget for bench workloads that intentionally run
+    /// long (merged grid programs, the §5 step-count experiments).
+    pub const DEEP_FUEL: u64 = 50_000_000;
+
+    /// The default call-depth budget (keeps runaway recursion off the host
+    /// stack in every backend).
+    pub const DEFAULT_RECURSION_LIMIT: u32 = 192;
+
+    /// A request for `program` with empty input and the default budgets.
+    pub fn new(program: &'a Program) -> Self {
+        ExecRequest {
+            program,
+            input: &[],
+            fuel: Self::DEFAULT_FUEL,
+            recursion_limit: Self::DEFAULT_RECURSION_LIMIT,
+        }
+    }
+
+    /// Replaces the input stream.
+    #[must_use]
+    pub fn with_input(mut self, input: &'a [i64]) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Replaces the statement budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Replaces the call-depth budget.
+    #[must_use]
+    pub fn with_recursion_limit(mut self, limit: u32) -> Self {
+        self.recursion_limit = limit;
+        self
+    }
+}
+
+/// An execution engine for MiniC programs.
+///
+/// Implementations must be observationally interchangeable: for any checked
+/// program and request, every backend returns the same [`ExecOutcome`]
+/// (including the deterministic step count) or the same [`ExecError`]
+/// variant. `tests/vm_differential.rs` enforces this across the corpus, the
+/// feature grids, specialized programs, and a seeded random sweep.
+pub trait ExecBackend: Sync {
+    /// Stable backend name (`"interp"`, `"vm"`), as accepted by
+    /// [`parse_backend`].
+    fn name(&self) -> &'static str;
+
+    /// Runs the request to completion or to a structured failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::OutOfFuel`] / [`ExecError::RecursionLimit`] when a
+    /// budget is exhausted, and arithmetic/pointer errors as they occur.
+    fn exec(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, ExecError>;
+}
+
+/// The available execution backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The tree-walking interpreter ([`crate::Interp`]).
+    #[default]
+    Interp,
+    /// The `specslice-vm` bytecode machine.
+    Vm,
+}
+
+impl BackendKind {
+    /// The backend's stable name (the value [`parse_backend`] accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Interp => "interp",
+            BackendKind::Vm => "vm",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A present-but-invalid `SPECSLICE_EXEC_BACKEND` value: what was set, why
+/// it was rejected, and the backend used instead.
+///
+/// Mirrors `specslice_exec::ThreadConfigError`: a silently ignored
+/// misconfiguration is the worst kind — a CI matrix leg that exports
+/// `SPECSLICE_EXEC_BACKEND=mv` would happily "pass" on the interpreter.
+/// [`configured_backend`] surfaces this as a value; `specslice-vm`'s
+/// `default_backend()` additionally logs it (once per process) and falls
+/// back.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendConfigError {
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: String,
+    /// The backend used instead.
+    pub fallback: BackendKind,
+}
+
+impl fmt::Display for BackendConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid SPECSLICE_EXEC_BACKEND={:?}: {}; using {}",
+            self.value, self.reason, self.fallback
+        )
+    }
+}
+
+impl std::error::Error for BackendConfigError {}
+
+/// Strictly parses a backend name: `interp` or `vm` (surrounding
+/// whitespace tolerated, nothing else — no prefixes, no case variants).
+///
+/// # Errors
+///
+/// Any other value is rejected with a structured [`BackendConfigError`]
+/// naming the interpreter as the fallback.
+pub fn parse_backend(value: &str) -> Result<BackendKind, BackendConfigError> {
+    match value.trim() {
+        "interp" => Ok(BackendKind::Interp),
+        "vm" => Ok(BackendKind::Vm),
+        _ => Err(BackendConfigError {
+            value: value.to_string(),
+            reason: "expected \"interp\" or \"vm\"".to_string(),
+            fallback: BackendKind::Interp,
+        }),
+    }
+}
+
+/// Reads `SPECSLICE_EXEC_BACKEND` strictly: `Ok(None)` when unset,
+/// `Ok(Some(kind))` for a valid name, and a structured
+/// [`BackendConfigError`] for a present-but-invalid value. Servers and CLIs
+/// should call this once at startup and surface the error.
+///
+/// # Errors
+///
+/// A present-but-invalid value yields the [`parse_backend`] error.
+pub fn configured_backend() -> Result<Option<BackendKind>, BackendConfigError> {
+    match std::env::var("SPECSLICE_EXEC_BACKEND") {
+        Ok(v) => parse_backend(&v).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_exact_names_only() {
+        assert_eq!(parse_backend("interp"), Ok(BackendKind::Interp));
+        assert_eq!(parse_backend(" vm\n"), Ok(BackendKind::Vm));
+        for bad in ["", "Interp", "VM", "vm2", "interpreter", "0"] {
+            let err = parse_backend(bad).unwrap_err();
+            assert_eq!(err.fallback, BackendKind::Interp, "{bad:?}");
+            assert_eq!(err.value, bad);
+        }
+    }
+
+    #[test]
+    fn request_defaults_and_builders() {
+        let program = specslice_lang::frontend("int main() { return 0; }").unwrap();
+        let req = ExecRequest::new(&program);
+        assert_eq!(req.fuel, ExecRequest::DEFAULT_FUEL);
+        assert_eq!(req.recursion_limit, ExecRequest::DEFAULT_RECURSION_LIMIT);
+        assert!(req.input.is_empty());
+        let req = req
+            .with_input(&[1, 2])
+            .with_fuel(10)
+            .with_recursion_limit(3);
+        assert_eq!(
+            (req.input, req.fuel, req.recursion_limit),
+            (&[1i64, 2][..], 10, 3)
+        );
+    }
+}

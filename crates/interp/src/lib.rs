@@ -1,15 +1,22 @@
-//! A deterministic MiniC interpreter.
+//! The deterministic MiniC tree-walking interpreter, and the home of the
+//! **unified execution API** ([`ExecRequest`] / [`ExecOutcome`] /
+//! [`ExecBackend`]).
 //!
-//! Used to *validate executability*: the paper's central claim is that
-//! specialization slices are runnable programs that agree with the original
-//! on the slicing criterion. The interpreter runs both against the same
-//! input stream and compares outputs; its step counter backs the §5
-//! "executable wc slices run in 32.5% of the original's time" experiment.
+//! Execution is used to *validate executability*: the paper's central claim
+//! is that specialization slices are runnable programs that agree with the
+//! original on the slicing criterion. Callers run both against the same
+//! input stream and compare outputs; the step counter backs the §5
+//! "executable `wc` slices run in 32.5% of the original's time" experiment.
+//!
+//! Two backends implement the API: the tree-walker in this crate
+//! ([`Interp`]) and the `specslice-vm` bytecode machine. Their observable
+//! behavior is identical by contract:
 //!
 //! * `scanf` pops values from a caller-supplied input vector (exhausted
 //!   input yields 0, like EOF with an unset variable — deterministic);
 //! * `printf` appends each formatted argument to the output vector;
-//! * execution is fuel-bounded so non-terminating slices fail cleanly;
+//! * execution is fuel-bounded so non-terminating slices fail cleanly
+//!   ([`ExecError::OutOfFuel`] reports the step at which fuel ran out);
 //! * uninitialized variables read as 0 (MiniC has no trap representation —
 //!   this matches what slicing's semantic guarantee needs: criterion values
 //!   agree; junk values may differ elsewhere).
@@ -17,24 +24,36 @@
 //! # Example
 //!
 //! ```
+//! use specslice_interp::{ExecBackend, ExecRequest, Interp};
+//!
 //! let program = specslice_lang::frontend(
 //!     "int main() { int x; scanf(\"%d\", &x); printf(\"%d\", x + 1); return 0; }",
 //! )?;
-//! let run = specslice_interp::run(&program, &[41], 10_000)?;
-//! assert_eq!(run.output, vec![42]);
+//! let out = Interp.exec(&ExecRequest::new(&program).with_input(&[41]))?;
+//! assert_eq!(out.output, vec![42]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+mod api;
+
+pub use api::{
+    configured_backend, parse_backend, BackendConfigError, BackendKind, ExecBackend, ExecRequest,
+};
 
 use specslice_lang::ast::{BinOp, Callee, Expr, Function, Program, StmtKind, UnOp};
 use specslice_lang::Block;
 use std::collections::HashMap;
 use std::fmt;
 
-/// Errors during interpretation.
+/// Errors during execution (any backend).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InterpError {
     /// The step budget was exhausted (possible non-termination).
-    OutOfFuel,
+    OutOfFuel {
+        /// The step count at which fuel ran out (always `fuel + 1`: the
+        /// first statement the budget no longer covers).
+        steps: u64,
+    },
     /// The call-depth limit was exceeded (runaway recursion).
     RecursionLimit,
     /// Division or remainder by zero.
@@ -51,10 +70,14 @@ pub enum InterpError {
     Internal(String),
 }
 
+/// The execution API's error type — shared by every [`ExecBackend`].
+/// (`InterpError` is the historical name; new code should say `ExecError`.)
+pub type ExecError = InterpError;
+
 impl fmt::Display for InterpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InterpError::OutOfFuel => write!(f, "out of fuel"),
+            InterpError::OutOfFuel { steps } => write!(f, "out of fuel at step {steps}"),
             InterpError::RecursionLimit => write!(f, "recursion limit exceeded"),
             InterpError::DivisionByZero { line } => write!(f, "line {line}: division by zero"),
             InterpError::BadFunctionPointer { line } => {
@@ -67,9 +90,9 @@ impl fmt::Display for InterpError {
 
 impl std::error::Error for InterpError {}
 
-/// The observable result of a run.
+/// The observable result of a run — identical across backends by contract.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Run {
+pub struct ExecOutcome {
     /// Values printed by `printf`, in order (one entry per argument).
     pub output: Vec<i64>,
     /// Source line of the `printf` that produced each output entry
@@ -78,10 +101,28 @@ pub struct Run {
     pub output_sites: Vec<u32>,
     /// Exit code (`exit(n)`, or `main`'s return value, or 0).
     pub exit_code: i64,
-    /// Number of statements executed.
+    /// Number of statements executed — the deterministic work measure the
+    /// §5 speed-up experiment compares (identical across backends).
     pub steps: u64,
     /// Number of input values consumed.
     pub inputs_consumed: usize,
+}
+
+/// Pre-redesign name of [`ExecOutcome`].
+#[deprecated(note = "renamed to `ExecOutcome`")]
+pub type Run = ExecOutcome;
+
+/// The tree-walking interpreter backend.
+pub struct Interp;
+
+impl ExecBackend for Interp {
+    fn name(&self) -> &'static str {
+        "interp"
+    }
+
+    fn exec(&self, req: &ExecRequest<'_>) -> Result<ExecOutcome, ExecError> {
+        exec(req)
+    }
 }
 
 /// Values: MiniC ints double as function pointers (index+1 of the function;
@@ -96,30 +137,32 @@ enum Flow {
     Exit(Value),
 }
 
-struct Interp<'p> {
+struct Walker<'p> {
     program: &'p Program,
     fn_index: HashMap<&'p str, usize>,
     globals: HashMap<String, Value>,
-    input: Vec<Value>,
+    input: &'p [Value],
     input_pos: usize,
     output: Vec<Value>,
     output_sites: Vec<u32>,
     steps: u64,
     fuel: u64,
     depth: u32,
+    recursion_limit: u32,
 }
 
-/// Runs `program` on `input` with a statement budget of `fuel`.
+/// Runs `req` on the tree-walking interpreter.
 ///
 /// # Errors
 ///
-/// Returns [`InterpError::OutOfFuel`] if the budget is exhausted, and
+/// Returns [`ExecError::OutOfFuel`] if the budget is exhausted, and
 /// arithmetic/pointer errors as they occur.
-pub fn run(program: &Program, input: &[i64], fuel: u64) -> Result<Run, InterpError> {
+pub fn exec(req: &ExecRequest<'_>) -> Result<ExecOutcome, ExecError> {
+    let program = req.program;
     let main = program
         .main()
         .ok_or_else(|| InterpError::Internal("no main".into()))?;
-    let mut interp = Interp {
+    let mut interp = Walker {
         program,
         fn_index: program
             .functions
@@ -128,13 +171,14 @@ pub fn run(program: &Program, input: &[i64], fuel: u64) -> Result<Run, InterpErr
             .map(|(i, f)| (f.name.as_str(), i))
             .collect(),
         globals: program.globals.iter().map(|g| (g.clone(), 0)).collect(),
-        input: input.to_vec(),
+        input: req.input,
         input_pos: 0,
         output: Vec::new(),
         output_sites: Vec::new(),
         steps: 0,
-        fuel,
+        fuel: req.fuel,
         depth: 0,
+        recursion_limit: req.recursion_limit,
     };
     let mut frame: HashMap<String, Value> = HashMap::new();
     let flow = interp.exec_block(&main.body, &mut frame)?;
@@ -143,7 +187,7 @@ pub fn run(program: &Program, input: &[i64], fuel: u64) -> Result<Run, InterpErr
         Flow::Return(Some(v)) => v,
         _ => 0,
     };
-    Ok(Run {
+    Ok(ExecOutcome {
         output: interp.output,
         output_sites: interp.output_sites,
         exit_code,
@@ -152,11 +196,24 @@ pub fn run(program: &Program, input: &[i64], fuel: u64) -> Result<Run, InterpErr
     })
 }
 
-impl<'p> Interp<'p> {
+/// Runs `program` on `input` with a statement budget of `fuel`.
+///
+/// # Errors
+///
+/// Returns [`ExecError::OutOfFuel`] if the budget is exhausted, and
+/// arithmetic/pointer errors as they occur.
+#[deprecated(note = "build an `ExecRequest` and run it through an `ExecBackend`: \
+            `Interp.exec(&ExecRequest::new(program).with_input(input).with_fuel(fuel))`, \
+            or the env-selected backend via `specslice::exec::run`")]
+pub fn run(program: &Program, input: &[i64], fuel: u64) -> Result<ExecOutcome, InterpError> {
+    exec(&ExecRequest::new(program).with_input(input).with_fuel(fuel))
+}
+
+impl<'p> Walker<'p> {
     fn tick(&mut self) -> Result<(), InterpError> {
         self.steps += 1;
         if self.steps > self.fuel {
-            Err(InterpError::OutOfFuel)
+            Err(InterpError::OutOfFuel { steps: self.steps })
         } else {
             Ok(())
         }
@@ -256,9 +313,6 @@ impl<'p> Interp<'p> {
         })
     }
 
-    /// Maximum call depth (keeps runaway recursion off the host stack).
-    const MAX_DEPTH: u32 = 192;
-
     fn call(
         &mut self,
         func: &'p Function,
@@ -267,7 +321,7 @@ impl<'p> Interp<'p> {
         caller_frame: &mut HashMap<String, Value>,
     ) -> Result<Option<Value>, InterpError> {
         self.depth += 1;
-        if self.depth > Self::MAX_DEPTH {
+        if self.depth > self.recursion_limit {
             return Err(InterpError::RecursionLimit);
         }
         let mut frame: HashMap<String, Value> = HashMap::new();
@@ -434,8 +488,8 @@ mod tests {
     use super::*;
     use specslice_lang::frontend;
 
-    fn go(src: &str, input: &[i64]) -> Run {
-        run(&frontend(src).unwrap(), input, 1_000_000).unwrap()
+    fn go(src: &str, input: &[i64]) -> ExecOutcome {
+        exec(&ExecRequest::new(&frontend(src).unwrap()).with_input(input)).unwrap()
     }
 
     #[test]
@@ -603,14 +657,32 @@ mod tests {
     #[test]
     fn fuel_limit_detects_infinite_loops() {
         let p = frontend("int main() { while (1) { } return 0; }").unwrap();
-        assert_eq!(run(&p, &[], 1000), Err(InterpError::OutOfFuel));
+        assert_eq!(
+            exec(&ExecRequest::new(&p).with_fuel(1000)),
+            Err(InterpError::OutOfFuel { steps: 1001 })
+        );
+    }
+
+    #[test]
+    fn recursion_limit_is_configurable() {
+        let p = frontend(
+            r#"
+            int f(int n) { int r; r = f(n + 1); return r; }
+            int main() { printf("%d", f(0)); return 0; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(
+            exec(&ExecRequest::new(&p).with_recursion_limit(8)),
+            Err(InterpError::RecursionLimit)
+        );
     }
 
     #[test]
     fn division_by_zero_reported() {
         let p = frontend("int main() { int x; x = 1 / 0; return x; }").unwrap();
         assert!(matches!(
-            run(&p, &[], 1000),
+            exec(&ExecRequest::new(&p).with_fuel(1000)),
             Err(InterpError::DivisionByZero { .. })
         ));
     }
@@ -623,6 +695,14 @@ mod tests {
             &[],
         );
         assert_eq!(r.output, vec![1, 0]);
+    }
+
+    #[test]
+    fn deprecated_shim_still_runs() {
+        let p = frontend(r#"int main() { printf("%d", 41 + 1); return 0; }"#).unwrap();
+        #[allow(deprecated)]
+        let r = run(&p, &[], 1000).unwrap();
+        assert_eq!(r.output, vec![42]);
     }
 
     #[test]

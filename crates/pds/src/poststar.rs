@@ -13,7 +13,7 @@
 //! fixed, so every id stays below a known bound.
 //!
 //! The engine itself lives in [`crate::saturate`], shared with
-//! [`crate::prestar`]; this module pins [`Direction::Forward`]. The
+//! [`crate::prestar`][mod@crate::prestar]; this module pins [`Direction::Forward`]. The
 //! multi-criterion entry point gives forward saturations the same one-pass
 //! bitset-masked batching the backward path has: pop rules emit ε
 //! transitions carrying the premise's mask, and ε-combinations intersect

@@ -21,7 +21,7 @@
 //! how fast it arrives.
 //!
 //! The engine itself lives in [`crate::saturate`], shared with
-//! [`crate::poststar`]; this module pins [`Direction::Backward`].
+//! [`crate::poststar`][mod@crate::poststar]; this module pins [`Direction::Backward`].
 
 use crate::automaton::PAutomaton;
 use crate::index::RuleIndex;

@@ -1,5 +1,5 @@
-//! The direction-generic saturation core shared by [`crate::prestar`] and
-//! [`crate::poststar`].
+//! The direction-generic saturation core shared by [`crate::prestar`][mod@crate::prestar] and
+//! [`crate::poststar`][mod@crate::poststar].
 //!
 //! Both engines are the same worklist algorithm — seed a transition
 //! relation, fire PDS rules against transitions out of control states until

@@ -1,0 +1,471 @@
+//! AST → bytecode compiler.
+//!
+//! One [`Encoder`] compiles a whole program: the constant pool and the
+//! call/scanf site tables are shared across functions, while code is
+//! produced per function ([`FuncCode`]) with *function-local* jump targets
+//! that [`crate::linker::link`] later rebases into one code segment.
+//!
+//! ## Slot resolution
+//!
+//! The checker guarantees flat function scope and no shadowing of globals,
+//! so names resolve statically: a name is a global slot iff it is a program
+//! global, otherwise it is a frame-local slot allocated on first mention
+//! (parameters first — by-reference copy-back reads parameter slots at
+//! return — then locals in first-occurrence order). Locals are
+//! zero-initialized at frame entry, which reproduces the interpreter's
+//! uninitialized-reads-0 rule; a *bare* declaration still compiles to a
+//! store of 0 (without a fuel tick) because the interpreter re-zeroes the
+//! variable each time the declaration executes, observable in loops.
+//!
+//! ## Tick placement
+//!
+//! [`Op::Step`] is emitted exactly where the tree-walker ticks: once before
+//! every statement except bare declarations, plus once per `while`
+//! condition evaluation (including the final, failing one). Step counts are
+//! therefore identical across backends by construction.
+//!
+//! ## Divergence on unchecked ASTs
+//!
+//! On programs that *violate* the checker's guarantees the compiler front-
+//! loads failures the interpreter only hits dynamically: an unknown callee
+//! or a call-in-expression is a compile-time `Internal` error here even if
+//! the offending statement is dynamically dead, and a local shadowing a
+//! global resolves to the local slot for the whole function body. Programs
+//! accepted by `specslice_lang::frontend` (and everything
+//! `specialize_program` regenerates) cannot exhibit either.
+
+use crate::isa::{CallSite, Op, ScanfSite, Slot};
+use specslice_interp::ExecError;
+use specslice_lang::ast::{
+    BinOp, Callee, Expr, Function, ParamMode, Program, Stmt, StmtKind, UnOp,
+};
+use specslice_lang::Block;
+use std::collections::HashMap;
+
+/// A compiled function, pre-link: jump targets index this function's own
+/// `code`.
+pub(crate) struct FuncCode {
+    pub(crate) name: String,
+    pub(crate) code: Vec<Op>,
+    pub(crate) lines: Vec<u32>,
+    pub(crate) n_params: u32,
+    pub(crate) n_locals: u32,
+}
+
+/// Program-wide compilation output.
+pub(crate) struct Compiled {
+    pub(crate) funcs: Vec<FuncCode>,
+    pub(crate) pool: Vec<i64>,
+    pub(crate) call_sites: Vec<CallSite>,
+    pub(crate) scanf_sites: Vec<ScanfSite>,
+    pub(crate) n_globals: u32,
+    pub(crate) main: u32,
+}
+
+struct Loop {
+    /// Function-local pc of the loop head (the per-iteration `Step`).
+    head: u32,
+    /// Indices of `Jump` placeholders to patch to the loop exit.
+    breaks: Vec<usize>,
+}
+
+pub(crate) struct Encoder<'p> {
+    program: &'p Program,
+    fn_index: HashMap<&'p str, u32>,
+    globals: HashMap<&'p str, u32>,
+    pool: Vec<i64>,
+    pool_index: HashMap<i64, u32>,
+    call_sites: Vec<CallSite>,
+    scanf_sites: Vec<ScanfSite>,
+    // Per-function state, reset by `compile_fn`.
+    code: Vec<Op>,
+    lines: Vec<u32>,
+    locals: HashMap<String, u32>,
+    loops: Vec<Loop>,
+}
+
+fn internal(msg: impl Into<String>) -> ExecError {
+    ExecError::Internal(msg.into())
+}
+
+impl<'p> Encoder<'p> {
+    pub(crate) fn compile(program: &'p Program) -> Result<Compiled, ExecError> {
+        let main = program
+            .functions
+            .iter()
+            .position(|f| f.name == "main")
+            .ok_or_else(|| internal("no main"))? as u32;
+        let mut enc = Encoder {
+            program,
+            fn_index: program
+                .functions
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (f.name.as_str(), i as u32))
+                .collect(),
+            globals: program
+                .globals
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (g.as_str(), i as u32))
+                .collect(),
+            pool: Vec::new(),
+            pool_index: HashMap::new(),
+            call_sites: Vec::new(),
+            scanf_sites: Vec::new(),
+            code: Vec::new(),
+            lines: Vec::new(),
+            locals: HashMap::new(),
+            loops: Vec::new(),
+        };
+        let funcs = program
+            .functions
+            .iter()
+            .map(|f| enc.compile_fn(f))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Compiled {
+            funcs,
+            pool: enc.pool,
+            call_sites: enc.call_sites,
+            scanf_sites: enc.scanf_sites,
+            n_globals: program.globals.len() as u32,
+            main,
+        })
+    }
+
+    fn compile_fn(&mut self, func: &'p Function) -> Result<FuncCode, ExecError> {
+        self.code.clear();
+        self.lines.clear();
+        self.locals.clear();
+        self.loops.clear();
+        for p in &func.params {
+            let slot = self.locals.len() as u32;
+            self.locals.insert(p.name.clone(), slot);
+        }
+        let n_params = func.params.len() as u32;
+        self.block(&func.body)?;
+        // Implicit `return;` at the end of the body (fall-through).
+        self.emit(Op::Ret, func.line);
+        Ok(FuncCode {
+            name: func.name.clone(),
+            code: std::mem::take(&mut self.code),
+            lines: std::mem::take(&mut self.lines),
+            n_params,
+            n_locals: self.locals.len() as u32,
+        })
+    }
+
+    fn emit(&mut self, op: Op, line: u32) -> usize {
+        self.code.push(op);
+        self.lines.push(line);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfZero(t) | Op::JumpIfNonZero(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn konst(&mut self, v: i64) -> u32 {
+        if let Some(&i) = self.pool_index.get(&v) {
+            return i;
+        }
+        let i = self.pool.len() as u32;
+        self.pool.push(v);
+        self.pool_index.insert(v, i);
+        i
+    }
+
+    /// Resolves a name to its slot: global iff a program global (no
+    /// shadowing), otherwise a frame local allocated on first mention.
+    fn slot(&mut self, name: &str) -> Slot {
+        if let Some(&s) = self.locals.get(name) {
+            return Slot::Local(s);
+        }
+        if let Some(&g) = self.globals.get(name) {
+            return Slot::Global(g);
+        }
+        let s = self.locals.len() as u32;
+        self.locals.insert(name.to_string(), s);
+        Slot::Local(s)
+    }
+
+    fn push_slot(&mut self, slot: Slot, line: u32) {
+        match slot {
+            Slot::Local(n) => self.emit(Op::PushLocal(n), line),
+            Slot::Global(n) => self.emit(Op::PushGlobal(n), line),
+        };
+    }
+
+    fn store_slot(&mut self, slot: Slot, line: u32) {
+        match slot {
+            Slot::Local(n) => self.emit(Op::StoreLocal(n), line),
+            Slot::Global(n) => self.emit(Op::StoreGlobal(n), line),
+        };
+    }
+
+    fn block(&mut self, block: &'p Block) -> Result<(), ExecError> {
+        for s in &block.stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &'p Stmt) -> Result<(), ExecError> {
+        let line = s.line;
+        // The interpreter ticks every statement except bare declarations.
+        if !matches!(s.kind, StmtKind::Decl { init: None, .. }) {
+            self.emit(Op::Step, line);
+        }
+        match &s.kind {
+            StmtKind::Decl { name, init, .. } => {
+                match init {
+                    Some(e) => self.expr(e, line)?,
+                    None => {
+                        // Re-zero on every execution (observable in loops).
+                        let k = self.konst(0);
+                        self.emit(Op::PushConst(k), line);
+                    }
+                }
+                let slot = self.slot(name);
+                self.store_slot(slot, line);
+            }
+            StmtKind::Assign { name, value } => {
+                self.expr(value, line)?;
+                let slot = self.slot(name);
+                self.store_slot(slot, line);
+            }
+            StmtKind::Call(c) => match &c.callee {
+                Callee::Named(n) => {
+                    let fidx = *self
+                        .fn_index
+                        .get(n.as_str())
+                        .ok_or_else(|| internal(format!("unknown fn {n}")))?;
+                    let func = &self.program.functions[fidx as usize];
+                    // The walker zips formals with actuals, so only
+                    // min(params, args) actuals are evaluated (equal on
+                    // checked programs).
+                    let argc = func.params.len().min(c.args.len());
+                    for a in &c.args[..argc] {
+                        self.expr(a, line)?;
+                    }
+                    let backs = func
+                        .params
+                        .iter()
+                        .zip(&c.args)
+                        .map(|(p, a)| match (p.mode, a) {
+                            (ParamMode::Ref, Expr::Var(v)) => Some(self.slot(v)),
+                            _ => None,
+                        })
+                        .collect();
+                    let assign_to = c.assign_to.as_deref().map(|t| self.slot(t));
+                    let site = self.call_sites.len() as u32;
+                    self.call_sites.push(CallSite {
+                        proc: Some(fidx),
+                        argc: argc as u32,
+                        backs,
+                        assign_to,
+                    });
+                    self.emit(Op::Call(site), line);
+                }
+                Callee::Indirect(ptr) => {
+                    // Resolve (and bounds-check) the callee *before*
+                    // evaluating arguments — walker ordering.
+                    let slot = self.slot(ptr);
+                    self.push_slot(slot, line);
+                    self.emit(Op::ResolveFn, line);
+                    for a in &c.args {
+                        self.expr(a, line)?;
+                    }
+                    let assign_to = c.assign_to.as_deref().map(|t| self.slot(t));
+                    let site = self.call_sites.len() as u32;
+                    // Pointer-addressable functions take only by-value int
+                    // parameters (checker guarantee): no copy-backs.
+                    self.call_sites.push(CallSite {
+                        proc: None,
+                        argc: c.args.len() as u32,
+                        backs: vec![None; c.args.len()],
+                        assign_to,
+                    });
+                    self.emit(Op::CallIndirect(site), line);
+                }
+            },
+            StmtKind::Printf { args, .. } => {
+                for a in args {
+                    self.expr(a, line)?;
+                }
+                self.emit(Op::Printf(args.len() as u32), line);
+            }
+            StmtKind::Scanf {
+                targets, assign_to, ..
+            } => {
+                let targets = targets.iter().map(|t| self.slot(t)).collect();
+                let assign_to = assign_to.as_deref().map(|t| self.slot(t));
+                let site = self.scanf_sites.len() as u32;
+                self.scanf_sites.push(ScanfSite { targets, assign_to });
+                self.emit(Op::Scanf(site), line);
+            }
+            StmtKind::Exit { code } => {
+                self.expr(code, line)?;
+                self.emit(Op::Exit, line);
+            }
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.expr(cond, line)?;
+                let jz = self.emit(Op::JumpIfZero(0), line);
+                self.block(then_block)?;
+                match else_block {
+                    Some(eb) => {
+                        let jend = self.emit(Op::Jump(0), line);
+                        let here = self.here();
+                        self.patch(jz, here);
+                        self.block(eb)?;
+                        let here = self.here();
+                        self.patch(jend, here);
+                    }
+                    None => {
+                        let here = self.here();
+                        self.patch(jz, here);
+                    }
+                }
+            }
+            StmtKind::While { cond, body } => {
+                // Statement `Step` emitted above; the loop head adds one
+                // `Step` per condition evaluation, failing one included.
+                let head = self.here();
+                self.emit(Op::Step, line);
+                self.expr(cond, line)?;
+                let jz = self.emit(Op::JumpIfZero(0), line);
+                self.loops.push(Loop {
+                    head,
+                    breaks: Vec::new(),
+                });
+                self.block(body)?;
+                self.emit(Op::Jump(head), line);
+                let end = self.here();
+                self.patch(jz, end);
+                let finished = self.loops.pop().expect("loop stack");
+                for b in finished.breaks {
+                    self.patch(b, end);
+                }
+            }
+            StmtKind::Return { value } => match value {
+                Some(e) => {
+                    self.expr(e, line)?;
+                    self.emit(Op::RetVal, line);
+                }
+                None => {
+                    self.emit(Op::Ret, line);
+                }
+            },
+            StmtKind::Break => {
+                let j = self.emit(Op::Jump(0), line);
+                match self.loops.last_mut() {
+                    Some(l) => l.breaks.push(j),
+                    None => return Err(internal("break outside loop")),
+                }
+            }
+            StmtKind::Continue => {
+                let head = match self.loops.last() {
+                    Some(l) => l.head,
+                    None => return Err(internal("continue outside loop")),
+                };
+                self.emit(Op::Jump(head), line);
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self, e: &'p Expr, line: u32) -> Result<(), ExecError> {
+        match e {
+            Expr::Int(n) => {
+                let k = self.konst(*n);
+                self.emit(Op::PushConst(k), line);
+            }
+            Expr::Var(v) => {
+                let slot = self.slot(v);
+                self.push_slot(slot, line);
+            }
+            Expr::FuncRef(f) => {
+                let fidx = *self
+                    .fn_index
+                    .get(f.as_str())
+                    .ok_or_else(|| internal(format!("unknown fn {f}")))?;
+                // A function-pointer value is the function's index + 1
+                // (0 is the null pointer).
+                let k = self.konst(i64::from(fidx) + 1);
+                self.emit(Op::PushConst(k), line);
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner, line)?;
+                self.emit(
+                    match op {
+                        UnOp::Neg => Op::Neg,
+                        UnOp::Not => Op::Not,
+                    },
+                    line,
+                );
+            }
+            Expr::Binary(BinOp::And, a, b) => {
+                self.expr(a, line)?;
+                let jz = self.emit(Op::JumpIfZero(0), line);
+                self.expr(b, line)?;
+                self.emit(Op::Bool, line);
+                let jend = self.emit(Op::Jump(0), line);
+                let here = self.here();
+                self.patch(jz, here);
+                let k = self.konst(0);
+                self.emit(Op::PushConst(k), line);
+                let here = self.here();
+                self.patch(jend, here);
+            }
+            Expr::Binary(BinOp::Or, a, b) => {
+                self.expr(a, line)?;
+                let jnz = self.emit(Op::JumpIfNonZero(0), line);
+                self.expr(b, line)?;
+                self.emit(Op::Bool, line);
+                let jend = self.emit(Op::Jump(0), line);
+                let here = self.here();
+                self.patch(jnz, here);
+                let k = self.konst(1);
+                self.emit(Op::PushConst(k), line);
+                let here = self.here();
+                self.patch(jend, here);
+            }
+            Expr::Binary(op, a, b) => {
+                self.expr(a, line)?;
+                self.expr(b, line)?;
+                self.emit(
+                    match op {
+                        BinOp::Add => Op::Add,
+                        BinOp::Sub => Op::Sub,
+                        BinOp::Mul => Op::Mul,
+                        BinOp::Div => Op::Div,
+                        BinOp::Rem => Op::Rem,
+                        BinOp::Lt => Op::Lt,
+                        BinOp::Le => Op::Le,
+                        BinOp::Gt => Op::Gt,
+                        BinOp::Ge => Op::Ge,
+                        BinOp::Eq => Op::Eq,
+                        BinOp::Ne => Op::Ne,
+                        BinOp::And | BinOp::Or => unreachable!("handled above"),
+                    },
+                    line,
+                );
+            }
+            Expr::Call(_) => {
+                return Err(internal("call in expression after normalization"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,166 @@
+//! The bytecode instruction set.
+//!
+//! A compact stack ISA: every instruction is one [`Op`] with at most one
+//! `u32` operand (8 bytes per instruction), indexing side tables on the
+//! [`crate::Module`] — the constant pool, the procedure table, and the
+//! per-site call/scanf descriptors. A `lines` table parallel to the code
+//! segment maps each pc back to its source line, which is how runtime
+//! errors (`DivisionByZero`, `BadFunctionPointer`) and `printf` output
+//! sites report the same lines as the tree-walking interpreter.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Observational parity with `crates/interp`.** The interpreter ticks
+//!    its fuel counter once per executed statement (bare declarations
+//!    excepted, `while` loops once more per condition evaluation), so the
+//!    ISA has an explicit [`Op::Step`] the encoder places exactly where the
+//!    walker ticks. Getting step counts identical is what makes the
+//!    specialized-vs-original step ratio in `BENCH_exec.json` a
+//!    backend-independent measurement.
+//! 2. **Static resolution.** MiniC's checker guarantees flat function
+//!    scope, no shadowing, and declared-before-anything-else semantics, so
+//!    every variable compiles to a fixed [`Slot`] and every direct call to
+//!    a fixed procedure index — no name lookups at run time.
+//! 3. **One-op library calls.** `printf`/`scanf` keep their statement
+//!    shape ([`Op::Printf`], [`Op::Scanf`]) instead of lowering to loops,
+//!    so the machine can mirror the interpreter's exhausted-input-reads-0
+//!    and read-count semantics directly.
+
+/// Where a variable lives: a frame-local slot or a program global.
+///
+/// Slot indices are assigned by the encoder: parameters first (slot `i` =
+/// parameter `i`, which is what return-time by-reference copy-back relies
+/// on), then declared locals in first-occurrence order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Slot {
+    /// Index into the current frame's locals.
+    Local(u32),
+    /// Index into the program's globals.
+    Global(u32),
+}
+
+/// A bytecode instruction.
+///
+/// Stack effects are noted as `before -> after` with the stack top on the
+/// right.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Spend one unit of fuel (one interpreter statement tick).
+    /// Fails with `OutOfFuel` when the budget is exhausted.
+    Step,
+    /// Push constant-pool entry `pool[n]`. ` -> v`
+    PushConst(u32),
+    /// Push frame local `n`. ` -> v`
+    PushLocal(u32),
+    /// Push global `n`. ` -> v`
+    PushGlobal(u32),
+    /// Pop into frame local `n`. `v -> `
+    StoreLocal(u32),
+    /// Pop into global `n`. `v -> `
+    StoreGlobal(u32),
+    /// Arithmetic negation (wrapping). `v -> -v`
+    Neg,
+    /// Logical not. `v -> (v == 0)`
+    Not,
+    /// Normalize to a truth value. `v -> (v != 0)`
+    Bool,
+    /// Wrapping add. `a b -> a + b`
+    Add,
+    /// Wrapping subtract. `a b -> a - b`
+    Sub,
+    /// Wrapping multiply. `a b -> a * b`
+    Mul,
+    /// Wrapping divide; `DivisionByZero` on zero divisor. `a b -> a / b`
+    Div,
+    /// Wrapping remainder; `DivisionByZero` on zero divisor. `a b -> a % b`
+    Rem,
+    /// Comparison. `a b -> (a < b)`
+    Lt,
+    /// Comparison. `a b -> (a <= b)`
+    Le,
+    /// Comparison. `a b -> (a > b)`
+    Gt,
+    /// Comparison. `a b -> (a >= b)`
+    Ge,
+    /// Comparison. `a b -> (a == b)`
+    Eq,
+    /// Comparison. `a b -> (a != b)`
+    Ne,
+    /// Unconditional jump to pc `n`.
+    Jump(u32),
+    /// Pop; jump to pc `n` if zero. `v -> `
+    JumpIfZero(u32),
+    /// Pop; jump to pc `n` if non-zero. `v -> `
+    JumpIfNonZero(u32),
+    /// Resolve a function-pointer value to a procedure index, *before* the
+    /// call's arguments are evaluated (interpreter ordering);
+    /// `BadFunctionPointer` if the value is not `index + 1` of a
+    /// procedure. `v -> proc`
+    ResolveFn,
+    /// Direct call through `call_sites[n]` (which names the procedure).
+    /// `a0 .. a(argc-1) -> ` (callee frame receives the arguments)
+    Call(u32),
+    /// Indirect call through `call_sites[n]`; the resolved procedure index
+    /// sits below the arguments. `proc a0 .. a(argc-1) -> `
+    CallIndirect(u32),
+    /// Return without a value: run the site's by-reference copy-backs, pop
+    /// the frame; the caller's `assign_to` target (if any) is left
+    /// unchanged. Returning from `main` halts with exit code 0.
+    Ret,
+    /// Return the popped value: copy-backs, pop frame, store into the
+    /// site's `assign_to` target if present. From `main`: halt with that
+    /// exit code. `v -> `
+    RetVal,
+    /// Pop `n` arguments and append them, in evaluation order, to the
+    /// output vector (output site = this instruction's line).
+    /// `a0 .. a(n-1) -> `
+    Printf(u32),
+    /// Execute `scanf_sites[n]`: pop nothing, read inputs into the site's
+    /// targets in order (exhausted input yields 0 and does not count as a
+    /// read), then store the read count into `assign_to` if present.
+    Scanf(u32),
+    /// Pop the exit code and halt. `v -> `
+    Exit,
+}
+
+/// Per-call-site static description: who is called, how results and
+/// by-reference parameters flow back into the caller's slots.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Callee procedure index for direct calls; `None` for indirect sites
+    /// (the resolved index is on the operand stack).
+    pub proc: Option<u32>,
+    /// Number of arguments on the stack at the call.
+    pub argc: u32,
+    /// Per-parameter by-reference copy-back target in the *caller*'s
+    /// slots: `Some` exactly when the parameter is `int&` and the actual
+    /// is a plain variable. (Indirect sites have none: pointer-addressable
+    /// functions take only by-value `int` parameters.)
+    pub backs: Vec<Option<Slot>>,
+    /// Caller slot receiving the return value — written only when the
+    /// callee executes `return e;`.
+    pub assign_to: Option<Slot>,
+}
+
+/// Per-`scanf`-site static description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScanfSite {
+    /// Variables written by the read, in format order.
+    pub targets: Vec<Slot>,
+    /// Optional variable receiving the read count.
+    pub assign_to: Option<Slot>,
+}
+
+/// A linked procedure: entry point and frame shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Proc {
+    /// Function name (diagnostics only).
+    pub name: String,
+    /// Absolute pc of the first instruction.
+    pub entry: u32,
+    /// Number of parameters (arguments land in locals `0..n_params`).
+    pub n_params: u32,
+    /// Total frame size, parameters included (zero-initialized on entry —
+    /// which is also what makes uninitialized reads yield 0).
+    pub n_locals: u32,
+}

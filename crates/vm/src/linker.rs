@@ -1,0 +1,36 @@
+//! Links per-function code into one segment.
+//!
+//! The encoder produces [`crate::encoder::FuncCode`] units whose jump
+//! targets index their own code. Linking concatenates them in function
+//! order (procedure index = function index, which is also what makes
+//! function-pointer values agree with the interpreter) and rebases every
+//! jump target by the function's entry offset. Call sites need no fixup —
+//! they address the procedure *table*, not the code segment.
+
+use crate::encoder::FuncCode;
+use crate::isa::{Op, Proc};
+
+/// Concatenates function code into `(code, lines, procs)`.
+pub(crate) fn link(funcs: Vec<FuncCode>) -> (Vec<Op>, Vec<u32>, Vec<Proc>) {
+    let total = funcs.iter().map(|f| f.code.len()).sum();
+    let mut code: Vec<Op> = Vec::with_capacity(total);
+    let mut lines: Vec<u32> = Vec::with_capacity(total);
+    let mut procs = Vec::with_capacity(funcs.len());
+    for f in funcs {
+        let entry = code.len() as u32;
+        code.extend(f.code.into_iter().map(|op| match op {
+            Op::Jump(t) => Op::Jump(t + entry),
+            Op::JumpIfZero(t) => Op::JumpIfZero(t + entry),
+            Op::JumpIfNonZero(t) => Op::JumpIfNonZero(t + entry),
+            other => other,
+        }));
+        lines.extend(f.lines);
+        procs.push(Proc {
+            name: f.name,
+            entry,
+            n_params: f.n_params,
+            n_locals: f.n_locals,
+        });
+    }
+    (code, lines, procs)
+}

@@ -1,0 +1,294 @@
+//! The fuel-bounded stack machine.
+//!
+//! One flat dispatch loop over the linked code segment. All run state is
+//! four growable arrays — operand stack, locals stack, frame stack, global
+//! store — so a run allocates O(depth + widest frame), not O(steps), and
+//! the loop body never follows a pointer it didn't just push.
+//!
+//! Parity notes (the contract is: observably identical to the
+//! tree-walking interpreter, enforced by `tests/vm_differential.rs`):
+//!
+//! * fuel is spent by explicit [`Op::Step`] instructions placed by the
+//!   encoder, so `steps` counts interpreter statement ticks, not machine
+//!   instructions — [`VmStats::instructions`] counts those separately;
+//! * the recursion check fires when a call would push a frame beyond the
+//!   budget (`main` is depth 0), *after* the arguments were evaluated —
+//!   the interpreter's ordering;
+//! * by-reference copy-backs run at return, reading the callee's parameter
+//!   slots and writing the caller's slots *before* the return value lands
+//!   in `assign_to` (a target can be both);
+//! * `exit` halts the machine outright: the interpreter unwinds and runs
+//!   copy-backs on the way out, but those writes are unobservable once
+//!   execution stops, so the shortcut is behavior-preserving.
+
+use crate::isa::{Op, Slot};
+use crate::Module;
+use specslice_interp::{ExecError, ExecOutcome};
+
+/// Deterministic per-run machine counters (identical across hosts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Bytecode instructions dispatched (≥ `steps`: expression and jump
+    /// instructions don't consume fuel).
+    pub instructions: u64,
+    /// Deepest frame stack seen (`main` counts as 1).
+    pub max_frames: u32,
+}
+
+struct Frame {
+    ret_pc: u32,
+    base: u32,
+    /// Call-site index, or `u32::MAX` for the `main` frame.
+    site: u32,
+}
+
+const MAIN_SITE: u32 = u32::MAX;
+
+pub(crate) fn run(
+    module: &Module,
+    input: &[i64],
+    fuel: u64,
+    recursion_limit: u32,
+    stats: &mut VmStats,
+) -> Result<ExecOutcome, ExecError> {
+    let code = &module.code;
+    let main = &module.procs[module.main as usize];
+    let mut stack: Vec<i64> = Vec::new();
+    let mut locals: Vec<i64> = vec![0; main.n_locals as usize];
+    let mut globals: Vec<i64> = vec![0; module.n_globals as usize];
+    let mut frames: Vec<Frame> = vec![Frame {
+        ret_pc: 0,
+        base: 0,
+        site: MAIN_SITE,
+    }];
+    let mut pc = main.entry as usize;
+    let mut steps: u64 = 0;
+    let mut output: Vec<i64> = Vec::new();
+    let mut output_sites: Vec<u32> = Vec::new();
+    let mut input_pos: usize = 0;
+    stats.max_frames = 1;
+
+    macro_rules! pop {
+        () => {
+            stack.pop().expect("operand stack underflow")
+        };
+    }
+    macro_rules! binop {
+        (|$a:ident, $b:ident| $body:expr) => {{
+            let $b = pop!();
+            let $a = pop!();
+            stack.push($body);
+            pc += 1;
+        }};
+    }
+    macro_rules! write_slot {
+        ($frame:expr, $slot:expr, $v:expr) => {
+            match $slot {
+                Slot::Local(n) => locals[$frame.base as usize + *n as usize] = $v,
+                Slot::Global(n) => globals[*n as usize] = $v,
+            }
+        };
+    }
+
+    loop {
+        stats.instructions += 1;
+        match &code[pc] {
+            Op::Step => {
+                steps += 1;
+                if steps > fuel {
+                    return Err(ExecError::OutOfFuel { steps });
+                }
+                pc += 1;
+            }
+            Op::PushConst(k) => {
+                stack.push(module.pool[*k as usize]);
+                pc += 1;
+            }
+            Op::PushLocal(n) => {
+                let frame = frames.last().expect("frame");
+                stack.push(locals[frame.base as usize + *n as usize]);
+                pc += 1;
+            }
+            Op::PushGlobal(n) => {
+                stack.push(globals[*n as usize]);
+                pc += 1;
+            }
+            Op::StoreLocal(n) => {
+                let v = pop!();
+                let frame = frames.last().expect("frame");
+                locals[frame.base as usize + *n as usize] = v;
+                pc += 1;
+            }
+            Op::StoreGlobal(n) => {
+                globals[*n as usize] = pop!();
+                pc += 1;
+            }
+            Op::Neg => {
+                let v = pop!();
+                stack.push(v.wrapping_neg());
+                pc += 1;
+            }
+            Op::Not => {
+                let v = pop!();
+                stack.push(i64::from(v == 0));
+                pc += 1;
+            }
+            Op::Bool => {
+                let v = pop!();
+                stack.push(i64::from(v != 0));
+                pc += 1;
+            }
+            Op::Add => binop!(|a, b| a.wrapping_add(b)),
+            Op::Sub => binop!(|a, b| a.wrapping_sub(b)),
+            Op::Mul => binop!(|a, b| a.wrapping_mul(b)),
+            Op::Div => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(ExecError::DivisionByZero {
+                        line: module.lines[pc],
+                    });
+                }
+                stack.push(a.wrapping_div(b));
+                pc += 1;
+            }
+            Op::Rem => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    return Err(ExecError::DivisionByZero {
+                        line: module.lines[pc],
+                    });
+                }
+                stack.push(a.wrapping_rem(b));
+                pc += 1;
+            }
+            Op::Lt => binop!(|a, b| i64::from(a < b)),
+            Op::Le => binop!(|a, b| i64::from(a <= b)),
+            Op::Gt => binop!(|a, b| i64::from(a > b)),
+            Op::Ge => binop!(|a, b| i64::from(a >= b)),
+            Op::Eq => binop!(|a, b| i64::from(a == b)),
+            Op::Ne => binop!(|a, b| i64::from(a != b)),
+            Op::Jump(t) => pc = *t as usize,
+            Op::JumpIfZero(t) => {
+                let v = pop!();
+                pc = if v == 0 { *t as usize } else { pc + 1 };
+            }
+            Op::JumpIfNonZero(t) => {
+                let v = pop!();
+                pc = if v != 0 { *t as usize } else { pc + 1 };
+            }
+            Op::ResolveFn => {
+                let v = pop!();
+                let idx = v - 1;
+                if idx < 0 || idx as usize >= module.procs.len() {
+                    return Err(ExecError::BadFunctionPointer {
+                        line: module.lines[pc],
+                    });
+                }
+                stack.push(idx);
+                pc += 1;
+            }
+            Op::Call(site_idx) | Op::CallIndirect(site_idx) => {
+                let site = &module.call_sites[*site_idx as usize];
+                let indirect = matches!(code[pc], Op::CallIndirect(_));
+                let proc_idx = match site.proc {
+                    Some(p) => p as usize,
+                    // Resolved index sits below the arguments.
+                    None => stack[stack.len() - 1 - site.argc as usize] as usize,
+                };
+                let proc = &module.procs[proc_idx];
+                // Depth check after argument evaluation (walker ordering):
+                // the new frame's depth is frames.len(), main being 0.
+                if frames.len() as u32 > recursion_limit {
+                    return Err(ExecError::RecursionLimit);
+                }
+                let base = locals.len();
+                locals.resize(base + proc.n_locals as usize, 0);
+                let argbase = stack.len() - site.argc as usize;
+                locals[base..base + site.argc as usize].copy_from_slice(&stack[argbase..]);
+                stack.truncate(argbase);
+                if indirect {
+                    pop!(); // discard the resolved procedure index
+                }
+                frames.push(Frame {
+                    ret_pc: pc as u32 + 1,
+                    base: base as u32,
+                    site: *site_idx,
+                });
+                stats.max_frames = stats.max_frames.max(frames.len() as u32);
+                pc = proc.entry as usize;
+            }
+            Op::Ret | Op::RetVal => {
+                let retval = match code[pc] {
+                    Op::RetVal => Some(pop!()),
+                    _ => None,
+                };
+                let frame = frames.pop().expect("frame");
+                if frame.site == MAIN_SITE {
+                    return Ok(ExecOutcome {
+                        output,
+                        output_sites,
+                        exit_code: retval.unwrap_or(0),
+                        steps,
+                        inputs_consumed: input_pos,
+                    });
+                }
+                let site = &module.call_sites[frame.site as usize];
+                let caller = frames.last().expect("caller frame");
+                // Copy-backs first, then the return value: a target can be
+                // both, and the interpreter applies them in this order.
+                for (i, back) in site.backs.iter().enumerate() {
+                    if let Some(slot) = back {
+                        let v = locals[frame.base as usize + i];
+                        write_slot!(caller, slot, v);
+                    }
+                }
+                locals.truncate(frame.base as usize);
+                if let (Some(v), Some(slot)) = (retval, &site.assign_to) {
+                    write_slot!(caller, slot, v);
+                }
+                pc = frame.ret_pc as usize;
+            }
+            Op::Printf(argc) => {
+                let argbase = stack.len() - *argc as usize;
+                let line = module.lines[pc];
+                for &v in &stack[argbase..] {
+                    output.push(v);
+                    output_sites.push(line);
+                }
+                stack.truncate(argbase);
+                pc += 1;
+            }
+            Op::Scanf(site_idx) => {
+                let site = &module.scanf_sites[*site_idx as usize];
+                let frame = frames.last().expect("frame");
+                let mut read = 0i64;
+                for t in &site.targets {
+                    let v = if input_pos < input.len() {
+                        input_pos += 1;
+                        read += 1;
+                        input[input_pos - 1]
+                    } else {
+                        0 // exhausted input reads 0 (and doesn't count)
+                    };
+                    write_slot!(frame, t, v);
+                }
+                if let Some(t) = &site.assign_to {
+                    write_slot!(frame, t, read);
+                }
+                pc += 1;
+            }
+            Op::Exit => {
+                let exit_code = pop!();
+                return Ok(ExecOutcome {
+                    output,
+                    output_sites,
+                    exit_code,
+                    steps,
+                    inputs_consumed: input_pos,
+                });
+            }
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Feature removal (§7 / Alg. 2): delete the "product" feature from the
 //! paper's Fig. 16 program while keeping the shared `add` helper alive.
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,8 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The sum still computes correctly.
     let program = slicer.program().expect("from source");
-    let original = specslice_interp::run(program, &[], 50_000_000)?;
-    let reduced = specslice_interp::run(&regen.program, &[], 50_000_000)?;
+    let original = exec::run(&ExecRequest::new(program).with_fuel(ExecRequest::DEEP_FUEL))?;
+    let reduced = exec::run(&ExecRequest::new(&regen.program).with_fuel(ExecRequest::DEEP_FUEL))?;
     assert_eq!(original.output[0], reduced.output[0], "sum preserved");
     println!(
         "sum preserved: {} (original also printed product {})",

@@ -2,6 +2,7 @@
 //! dispatcher, then specialize — pointees get specialized variants while
 //! the original (emptied) functions survive as the pointer-value space.
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{indirect, Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Behavior is preserved for both pointer targets.
     let lowered = slicer.program().expect("from program");
     for input in [[1i64], [0i64]] {
-        let a = specslice_interp::run(lowered, &input, 100_000)?;
-        let b = specslice_interp::run(&regen.program, &input, 100_000)?;
+        let a = exec::run(&ExecRequest::new(lowered).with_input(&input))?;
+        let b = exec::run(&ExecRequest::new(&regen.program).with_input(&input))?;
         assert_eq!(a.output, b.output);
         println!("input {input:?} → {:?} (slice agrees)", a.output);
     }

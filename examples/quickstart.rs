@@ -2,6 +2,7 @@
 //!
 //! Run with: `cargo run -p specslice --example quickstart`
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{Criterion, Slicer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,9 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let regen = slicer.regenerate(&slice)?;
     println!("\n=== specialization slice ===\n{}", regen.source);
 
-    // Both programs print the same criterion value.
-    let a = specslice_interp::run(slicer.program().expect("from source"), &[], 100_000)?;
-    let b = specslice_interp::run(&regen.program, &[], 100_000)?;
+    // Both programs print the same criterion value (backend selectable via
+    // SPECSLICE_EXEC_BACKEND=interp|vm).
+    let a = exec::run(&ExecRequest::new(slicer.program().expect("from source")))?;
+    let b = exec::run(&ExecRequest::new(&regen.program))?;
     assert_eq!(a.output, b.output);
     println!("both print: {:?} — executable slice verified", a.output);
     Ok(())

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The merged program is executable end to end.
-    let run = specslice_interp::run(&spec.regen.program, prog.sample_input, 5_000_000)?;
+    let run = spec.run(prog.sample_input)?;
     println!("merged program ran: printed {:?}", run.output);
     Ok(())
 }

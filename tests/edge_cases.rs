@@ -1,7 +1,13 @@
 //! Failure injection and boundary conditions across the public API.
 
-use specslice::{Criterion, Slicer};
+use specslice::exec::{self, ExecOutcome, ExecRequest};
+use specslice::{Criterion, Program, Slicer};
 use specslice_sdg::VertexId;
+
+/// Runs through the env-selected default backend with the default budgets.
+fn run(program: &Program, input: &[i64]) -> ExecOutcome {
+    exec::run(&ExecRequest::new(program).with_input(input)).unwrap()
+}
 
 #[test]
 fn unreachable_criterion_gives_empty_slice() {
@@ -19,7 +25,7 @@ fn unreachable_criterion_gives_empty_slice() {
     // And an empty slice still regenerates a runnable skeleton.
     let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.program.main().is_some());
-    specslice_interp::run(&regen.program, &[], 1000).unwrap();
+    run(&regen.program, &[]);
 }
 
 #[test]
@@ -81,8 +87,8 @@ fn scanf_order_is_preserved_in_slices() {
         "dropping the first scanf would shift the stream:\n{}",
         regen.source
     );
-    let a = specslice_interp::run(ast, &[10, 20], 1000).unwrap();
-    let b = specslice_interp::run(&regen.program, &[10, 20], 1000).unwrap();
+    let a = run(ast, &[10, 20]);
+    let b = run(&regen.program, &[10, 20]);
     assert_eq!(a.output, b.output);
     assert_eq!(b.output, vec![20]);
 }
@@ -111,8 +117,8 @@ fn exit_guard_survives_slicing() {
     let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.source.contains("exit(7)"), "{}", regen.source);
     for input in [[0i64], [5i64]] {
-        let a = specslice_interp::run(ast, &input, 1000).unwrap();
-        let b = specslice_interp::run(&regen.program, &input, 1000).unwrap();
+        let a = run(ast, &input);
+        let b = run(&regen.program, &input);
         assert_eq!(a.output, b.output, "input {input:?}");
         assert_eq!(a.exit_code, b.exit_code, "input {input:?}");
     }
@@ -143,8 +149,8 @@ fn break_and_continue_survive_when_relevant() {
     let regen = slicer.regenerate(&slice).unwrap();
     assert!(regen.source.contains("break"), "{}", regen.source);
     assert!(regen.source.contains("continue"), "{}", regen.source);
-    let a = specslice_interp::run(ast, &[], 10_000).unwrap();
-    let b = specslice_interp::run(&regen.program, &[], 10_000).unwrap();
+    let a = run(ast, &[]);
+    let b = run(&regen.program, &[]);
     assert_eq!(a.output, b.output);
     assert_eq!(a.output, vec![1 + 2 + 4 + 5]);
 }
@@ -210,7 +216,7 @@ fn while_true_loops_are_sliceable() {
         .slice(&Criterion::printf_actuals(slicer.sdg()))
         .unwrap();
     let regen = slicer.regenerate(&slice).unwrap();
-    let a = specslice_interp::run(ast, &[], 10_000).unwrap();
-    let b = specslice_interp::run(&regen.program, &[], 10_000).unwrap();
+    let a = run(ast, &[]);
+    let b = run(&regen.program, &[]);
     assert_eq!(a.output, b.output);
 }

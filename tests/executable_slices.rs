@@ -1,9 +1,13 @@
 //! Executable-slicing comparisons (§5): polyvariant vs. monovariant vs.
 //! Weiser, and the wc speed-up experiment's correctness backbone.
 
-use specslice::{Criterion, Slicer};
+use specslice::exec::{self, ExecOutcome, ExecRequest};
+use specslice::{Criterion, Program, Slicer};
 
-const FUEL: u64 = 5_000_000;
+/// Runs through the env-selected default backend with the default budgets.
+fn run(program: &Program, input: &[i64]) -> ExecOutcome {
+    exec::run(&ExecRequest::new(program).with_input(input)).unwrap()
+}
 
 /// Slicing wc on a *single* printf must drop the other counters' work and
 /// still print the same value at that printf — the §5 speed-up setup.
@@ -13,7 +17,7 @@ fn wc_single_printf_slices_speed_up() {
     let slicer = Slicer::from_source(prog.source).unwrap();
     let ast = slicer.program().unwrap();
     let sdg = slicer.sdg();
-    let original = specslice_interp::run(ast, prog.sample_input, FUEL).unwrap();
+    let original = run(ast, prog.sample_input);
 
     let printf_sites: Vec<_> = sdg.printf_call_sites().collect();
     assert_eq!(printf_sites.len(), 3, "wc prints lines, words, chars");
@@ -26,7 +30,7 @@ fn wc_single_printf_slices_speed_up() {
             let criterion = Criterion::AllContexts(verts);
             let slice = slicer.slice(&criterion).unwrap();
             let regen = slicer.regenerate(&slice).unwrap();
-            let run = specslice_interp::run(&regen.program, prog.sample_input, FUEL)
+            let run = exec::run(&ExecRequest::new(&regen.program).with_input(prog.sample_input))
                 .unwrap_or_else(|e| panic!("sliced wc failed: {e}\n{}", regen.source));
             // Compare this printf's output stream by source line.
             let stmt_line = {
@@ -121,8 +125,8 @@ fn monovariant_slices_execute() {
     assert!(mono.extraneous.is_empty());
     assert_eq!(poly.elems(), mono.vertices);
     let regen = slicer.regenerate(&poly).unwrap();
-    let a = specslice_interp::run(slicer.program().unwrap(), &[7], FUEL).unwrap();
-    let b = specslice_interp::run(&regen.program, &[7], FUEL).unwrap();
+    let a = run(slicer.program().unwrap(), &[7]);
+    let b = run(&regen.program, &[7]);
     assert_eq!(a.output, b.output);
 }
 
@@ -138,8 +142,8 @@ fn pk_family_slices_execute() {
             .unwrap();
         let regen = slicer.regenerate(&slice).unwrap();
         let input: Vec<i64> = (0..k as i64 + 2).map(|i| i % k as i64 + 1).collect();
-        let a = specslice_interp::run(slicer.program().unwrap(), &input, FUEL).unwrap();
-        let b = specslice_interp::run(&regen.program, &input, FUEL).unwrap();
+        let a = run(slicer.program().unwrap(), &input);
+        let b = run(&regen.program, &input);
         assert_eq!(a.output, b.output, "P_{k}\n{}", regen.source);
     }
 }

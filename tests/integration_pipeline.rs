@@ -3,12 +3,11 @@
 //! guarantee verified (specialized slices print the same values as the
 //! original at every criterion `printf`).
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{Criterion, Slicer};
 use specslice_lang::frontend;
 use specslice_sdg::build::build_sdg;
 use specslice_sdg::slice::{backward_closure_slice, parameter_mismatches, weiser_executable_slice};
-
-const FUEL: u64 = 5_000_000;
 
 #[test]
 fn corpus_programs_run_and_slice() {
@@ -18,7 +17,7 @@ fn corpus_programs_run_and_slice() {
         let ast = slicer.program().expect("built from source");
 
         // Original execution.
-        let original = specslice_interp::run(ast, prog.sample_input, FUEL)
+        let original = exec::run(&ExecRequest::new(ast).with_input(prog.sample_input))
             .unwrap_or_else(|e| panic!("{} run: {e}", prog.name));
         assert!(
             !original.output.is_empty(),
@@ -56,7 +55,7 @@ fn corpus_programs_run_and_slice() {
         // The regenerated source re-parses through the whole frontend.
         let reparsed = frontend(&regen.source)
             .unwrap_or_else(|e| panic!("{} reparse: {e}\n{}", prog.name, regen.source));
-        let sliced_run = specslice_interp::run(&reparsed, prog.sample_input, FUEL)
+        let sliced_run = exec::run(&ExecRequest::new(&reparsed).with_input(prog.sample_input))
             .unwrap_or_else(|e| panic!("{} sliced run: {e}\n{}", prog.name, regen.source));
         assert_eq!(
             original.output, sliced_run.output,
@@ -202,8 +201,10 @@ fn feature_removal_on_corpus_program() {
     assert!(!regen.source.contains("total_chars"), "{}", regen.source);
     // The other counters survive and the program still runs.
     assert!(regen.source.contains("total_lines"), "{}", regen.source);
-    let run = specslice_interp::run(&regen.program, prog.sample_input, FUEL).unwrap();
-    let orig = specslice_interp::run(slicer.program().unwrap(), prog.sample_input, FUEL).unwrap();
+    let run = exec::run(&ExecRequest::new(&regen.program).with_input(prog.sample_input)).unwrap();
+    let orig =
+        exec::run(&ExecRequest::new(slicer.program().unwrap()).with_input(prog.sample_input))
+            .unwrap();
     // total_lines (first printf) agrees with the original.
     assert_eq!(run.output[0], orig.output[0]);
 }

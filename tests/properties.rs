@@ -9,6 +9,7 @@
 //! third-party crates, so `proptest` is replaced by explicit seed loops —
 //! same properties, reproducible by construction).
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{Criterion, Slicer};
 use specslice_corpus::{random_program, GenConfig};
 use specslice_fsa::is_reverse_deterministic;
@@ -105,8 +106,8 @@ fn slices_behave_like_originals() {
         let regen = slicer.regenerate(&slice).unwrap();
         let ast = slicer.program().expect("built from source");
         for input in [vec![x], vec![x, x + 1], vec![3 * x % 7]] {
-            let a = specslice_interp::run(ast, &input, 2_000_000);
-            let b = specslice_interp::run(&regen.program, &input, 2_000_000);
+            let a = exec::run(&ExecRequest::new(ast).with_input(&input));
+            let b = exec::run(&ExecRequest::new(&regen.program).with_input(&input));
             match (a, b) {
                 (Ok(ra), Ok(rb)) => {
                     assert_eq!(

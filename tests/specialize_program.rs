@@ -4,9 +4,8 @@
 //! validation of empty / duplicate criterion lists (the companion of
 //! `malformed_criteria.rs` for the merge driver).
 
+use specslice::exec::{self, ExecRequest};
 use specslice::{Criterion, Slicer, SlicerConfig, SpecError, SpecializedProgram};
-
-const FUEL: u64 = 5_000_000;
 
 fn session(src: &str, num_threads: usize) -> Slicer {
     Slicer::from_source_with(
@@ -186,7 +185,7 @@ fn merged_programs_dedup_and_project_faithfully() {
             );
             // Every projection regenerates and runs.
             let regen = slicer.regenerate(&spec.criterion_slices[i]).unwrap();
-            specslice_interp::run(&regen.program, &input, FUEL).unwrap_or_else(|e| {
+            exec::run(&ExecRequest::new(&regen.program).with_input(&input)).unwrap_or_else(|e| {
                 panic!(
                     "{name}: projection #{i} failed to run: {e}\n{}",
                     regen.source
@@ -203,7 +202,7 @@ fn merged_programs_dedup_and_project_faithfully() {
         for _ in 0..mains {
             driver_input.extend_from_slice(&input);
         }
-        specslice_interp::run(&spec.regen.program, &driver_input, FUEL).unwrap_or_else(|e| {
+        spec.run(&driver_input).unwrap_or_else(|e| {
             panic!(
                 "{name}: merged program failed to run: {e}\n{}",
                 spec.regen.source
@@ -248,15 +247,11 @@ fn feature_grid_dedups_across_overlapping_criteria() {
     assert!(st.dedup_hits > 0, "store must observe cross-criterion hits");
     assert!(spec.driver_main, "13 criteria demand 13 main variants");
 
-    let merged = specslice_interp::run(&spec.regen.program, &[], FUEL).unwrap();
+    let merged = spec.run(&[]).unwrap();
     let mut expected = Vec::new();
     for slice in &spec.criterion_slices {
         let regen = slicer.regenerate(slice).unwrap();
-        expected.extend(
-            specslice_interp::run(&regen.program, &[], FUEL)
-                .unwrap()
-                .output,
-        );
+        expected.extend(exec::run(&ExecRequest::new(&regen.program)).unwrap().output);
     }
     assert_eq!(
         merged.output, expected,
