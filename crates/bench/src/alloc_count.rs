@@ -1,0 +1,169 @@
+//! Cfg-gated counting global allocator for deterministic allocation
+//! accounting.
+//!
+//! With the `count-alloc` cargo feature enabled, this module installs
+//! [`CountingAlloc`] — a thin wrapper over the system allocator — as the
+//! global allocator for every target linking `specslice_bench`. Each
+//! allocation bumps a global event counter and byte totals, so a bench can
+//! report *allocation counts* and *peak live bytes* the same way the
+//! pipeline reports `rule_applications`: as counters, not wall-clock.
+//!
+//! Determinism caveat: allocation counts are a pure function of the work
+//! only when the work runs on **one thread** (the work-stealing pool's
+//! interleaving perturbs per-worker growth patterns). CI therefore gates
+//! alloc counters measured in sequential runs only; multi-threaded numbers
+//! are recorded but ungated, like wall-clock.
+//!
+//! Without the feature the module still compiles and the API is callable —
+//! [`enabled`] returns `false` and every counter stays `0` — so bench code
+//! needs no `cfg` of its own.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System-allocator wrapper that counts events and tracks live bytes.
+///
+/// `realloc` counts as one event of the new size (the move is one heap
+/// operation from the program's point of view).
+pub struct CountingAlloc;
+
+fn on_alloc(size: usize) {
+    COUNT.fetch_add(1, Relaxed);
+    TOTAL_BYTES.fetch_add(size as u64, Relaxed);
+    let live = CURRENT_BYTES.fetch_add(size as u64, Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            CURRENT_BYTES.fetch_sub(layout.size() as u64, Relaxed);
+            on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Whether the counting allocator is installed (the `count-alloc` feature).
+pub fn enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+/// Point-in-time reading of the global counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    /// Allocation events since process start (alloc + realloc).
+    pub count: u64,
+    /// Total bytes ever requested.
+    pub total_bytes: u64,
+    /// Bytes currently live.
+    pub current_bytes: u64,
+    /// High-water mark of live bytes (since start or the last
+    /// [`reset_peak`]).
+    pub peak_bytes: u64,
+}
+
+/// Reads the counters. All zeros when [`enabled`] is `false`.
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        count: COUNT.load(Relaxed),
+        total_bytes: TOTAL_BYTES.load(Relaxed),
+        current_bytes: CURRENT_BYTES.load(Relaxed),
+        peak_bytes: PEAK_BYTES.load(Relaxed),
+    }
+}
+
+/// Rewinds the peak-bytes high-water mark to the current live-byte count,
+/// so the next [`measure`] region reports its own peak.
+pub fn reset_peak() {
+    PEAK_BYTES.store(CURRENT_BYTES.load(Relaxed), Relaxed);
+}
+
+/// Allocation activity of one [`measure`] region.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocDelta {
+    /// Allocation events inside the region.
+    pub count: u64,
+    /// Bytes requested inside the region.
+    pub bytes: u64,
+    /// Absolute live-byte high-water mark reached during the region
+    /// (includes bytes already live when the region began).
+    pub peak_bytes: u64,
+}
+
+/// Runs `f` and reports the allocation events it performed. Only
+/// meaningful for single-threaded `f` (see the module docs); zeros when
+/// [`enabled`] is `false`.
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, AllocDelta) {
+    reset_peak();
+    let before = snapshot();
+    let value = f();
+    let after = snapshot();
+    (
+        value,
+        AllocDelta {
+            count: after.count - before.count,
+            bytes: after.total_bytes - before.total_bytes,
+            peak_bytes: after.peak_bytes,
+        },
+    )
+}
+
+/// Peak resident-set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or `None` off Linux. Machine- and
+/// allocator-dependent — recorded in bench reports, never gated.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_when_enabled() {
+        let (v, delta) = measure(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        if enabled() {
+            assert!(delta.count >= 1);
+            assert!(delta.bytes >= 4096);
+            assert!(delta.peak_bytes >= 4096);
+        } else {
+            assert_eq!(delta, AllocDelta::default());
+        }
+    }
+}

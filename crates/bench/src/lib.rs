@@ -4,6 +4,7 @@
 //! [`Slicer`] session per program, so the SDG→PDS encoding is paid once per
 //! program, not once per criterion.
 
+pub mod alloc_count;
 pub mod timer;
 
 use specslice::encode::MAIN_CONTROL;

@@ -98,7 +98,7 @@ pub use criteria::Criterion;
 pub use incremental::EditReport;
 pub use readout::{QueryKind, SpecSlice, VariantMeta, VariantPdg};
 pub use session_io::{MemoExport, MemoExportVariant, MemoKeyExport};
-pub use slicer::{BatchResult, Slicer, SlicerConfig, Solver};
+pub use slicer::{BatchResult, ScratchStats, Slicer, SlicerConfig, Solver};
 pub use specialize::{MergedFunction, SpecializedProgram};
 pub use store::{StoreStats, VariantId, VariantStore};
 // Batch slicing reports per-worker accounting in [`BatchResult::per_thread`];

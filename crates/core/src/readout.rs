@@ -390,6 +390,21 @@ impl ReadoutScratch {
         self.per_proc_seen.clear();
         self.per_proc_seen.resize(n_procs, 0);
     }
+
+    /// Retained capacity estimate: what a warm pooled scratch holds onto
+    /// between queries. Feeds the session's resident-byte accounting.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.vert_pairs.capacity() * 8
+            + self.call_transitions.capacity() * 12
+            + (self.state_proc.capacity()
+                + self.variant_of_state.capacity()
+                + self.states.capacity()
+                + self.row.capacity()
+                + self.per_proc_count.capacity()
+                + self.per_proc_seen.capacity())
+                * 4
+            + self.row_bounds.capacity() * 8
+    }
 }
 
 /// Reads the specialized SDG out of `a6` (Alg. 1 lines 9–24) and validates

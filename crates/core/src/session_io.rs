@@ -284,11 +284,14 @@ impl Slicer {
     }
 
     /// Estimated resident bytes of this session: SDG, PDS encoding, variant
-    /// store, and memoized automata. Built from the deterministic
-    /// `approx_bytes` helpers ([`specslice_sdg::Sdg::approx_bytes`],
+    /// store, memoized automata, and the warm scratch pool (saturation
+    /// arenas, row tables, and readout buffers retained by idle workers).
+    /// Built from the deterministic `approx_bytes` helpers
+    /// ([`specslice_sdg::Sdg::approx_bytes`],
     /// [`crate::encode::Encoded::approx_bytes`],
     /// [`crate::StoreStats::approx_bytes`],
-    /// [`PipelineStats::approx_bytes`]), so eviction decisions based on it
+    /// [`PipelineStats::approx_bytes`],
+    /// [`crate::ScratchStats`]), so eviction decisions based on it
     /// — the server's session budget — are reproducible across runs.
     pub fn approx_bytes(&self) -> usize {
         let memo_bytes: usize = {
@@ -304,5 +307,6 @@ impl Slicer {
             + self.enc.approx_bytes()
             + self.store_stats().approx_bytes()
             + memo_bytes
+            + self.scratch_stats().approx_bytes
     }
 }

@@ -33,13 +33,14 @@ use crate::{feature_removal, PipelineStats, SpecError};
 use specslice_exec::{Pool, WorkerStats};
 use specslice_fsa::mrd::mrd_with_stats;
 use specslice_fsa::{Nfa, StateId};
+use specslice_graphs::{DiGraph, NodeId, Sccs};
 use specslice_lang::Program;
 use specslice_pds::{
     saturate_indexed_with_stats, saturate_multi_indexed_with_stats, CriterionSet, Direction,
     PAutomaton, PState, SaturationScratch,
 };
 use specslice_sdg::build::build_sdg;
-use specslice_sdg::{CallSiteId, Sdg, VertexId};
+use specslice_sdg::{CallSiteId, CalleeKind, Sdg, VertexId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -203,6 +204,11 @@ pub struct Slicer {
     /// instead of one caller panicking on behalf of the rest).
     pub(crate) reachable: OnceLock<Result<Nfa, SpecError>>,
     pub(crate) reachable_builds: AtomicUsize,
+    /// Call-graph region (SCC of the call graph's condensation) per
+    /// procedure — the one-pass planner's grouping key. Built lazily on
+    /// the first batch and shared by every batch after it; invalidated
+    /// together with the SDG on incremental edits.
+    pub(crate) regions: OnceLock<Vec<u32>>,
     queries_run: AtomicUsize,
     /// Criterion → cached-slice memo (see [`SlicerConfig::memoize`]).
     /// Shared read-mostly across batch workers; [`Slicer::apply_edit`]
@@ -370,6 +376,26 @@ pub(crate) struct QueryScratch {
     pub(crate) shard: Arc<VariantStore>,
 }
 
+impl QueryScratch {
+    /// Retained capacity estimate of one pooled scratch (saturation
+    /// buffers + read-out tables; the intern shard is counted by the
+    /// session store it re-interns into).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.sat.approx_bytes() + self.readout.approx_bytes()
+    }
+}
+
+/// Warm scratch-pool accounting (see [`Slicer::scratch_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ScratchStats {
+    /// Scratches currently parked in the pool.
+    pub pooled: usize,
+    /// Bytes the pooled scratches retain between queries.
+    pub approx_bytes: usize,
+    /// Peak live bump-arena bytes across the pooled scratches.
+    pub arena_high_water: usize,
+}
+
 impl Default for QueryScratch {
     fn default() -> Self {
         QueryScratch {
@@ -443,6 +469,7 @@ impl Slicer {
             store: Arc::new(VariantStore::new()),
             reachable: OnceLock::new(),
             reachable_builds: AtomicUsize::new(0),
+            regions: OnceLock::new(),
             queries_run: AtomicUsize::new(0),
             memo: RwLock::new(HashMap::new()),
             memo_hits: AtomicUsize::new(0),
@@ -517,6 +544,23 @@ impl Slicer {
                 pool.push(scratch);
             }
         }
+    }
+
+    /// Accounting over the warm scratch pool: how many scratches are
+    /// parked, the bytes their buffers retain between queries, and the
+    /// bump arenas' high-water marks. The retained bytes are part of
+    /// [`Slicer::approx_bytes`] — a warm session's pool is real residency
+    /// the server's eviction budget must see.
+    pub fn scratch_stats(&self) -> ScratchStats {
+        let mut stats = ScratchStats::default();
+        if let Ok(pool) = self.scratch_pool.lock() {
+            stats.pooled = pool.len();
+            for scratch in pool.iter() {
+                stats.approx_bytes += scratch.approx_bytes();
+                stats.arena_high_water += scratch.sat.arena_high_water_bytes();
+            }
+        }
+        stats
     }
 
     /// Queries answered from the criterion → slice memo without re-running
@@ -738,6 +782,29 @@ impl Slicer {
         Ok(self.adopt(answer))
     }
 
+    /// The call-graph region of every procedure: its component in the SCC
+    /// condensation of the call graph (computed via `specslice_graphs`,
+    /// indirect calls contributing their dispatcher's out-edges like any
+    /// other call site). Procedures in one region — a mutual-recursion
+    /// cluster — pull in near-identical saturation state, so the one-pass
+    /// planner groups criteria by region sets rather than exact procedure
+    /// sets: a skewed batch hammering one recursive ring shares saturations
+    /// across the whole ring instead of fragmenting per procedure.
+    fn proc_regions(&self) -> &[u32] {
+        self.regions.get_or_init(|| {
+            let mut g = DiGraph::with_nodes(self.sdg.procs.len());
+            for site in &self.sdg.call_sites {
+                if let CalleeKind::User(p) = site.callee {
+                    g.add_edge_unique(NodeId(site.caller.0), NodeId(p.0));
+                }
+            }
+            let sccs = Sccs::compute(&g);
+            (0..self.sdg.procs.len())
+                .map(|i| sccs.component_of(NodeId(i as u32)) as u32)
+                .collect()
+        })
+    }
+
     /// Answers every criterion across the session's worker pool, returning
     /// raw per-criterion results in input order plus per-worker accounting.
     fn batch_raw(&self, dir: Direction, criteria: &[Criterion]) -> (RawBatch, Vec<WorkerStats>) {
@@ -787,7 +854,7 @@ impl Slicer {
         dir: Direction,
         criteria: &[Criterion],
     ) -> (RawBatch, Vec<WorkerStats>) {
-        let groups = plan_groups(&self.sdg, criteria);
+        let groups = plan_groups(&self.sdg, self.proc_regions(), criteria);
         let pool = Pool::new(self.config.num_threads);
         if pool.threads() > 1 {
             self.warm_reachable_for(criteria);
@@ -1145,7 +1212,7 @@ impl Slicer {
         criteria: &[Criterion],
     ) -> Result<BatchResult, SpecError> {
         let start = Instant::now();
-        let groups = plan_groups(&self.sdg, criteria);
+        let groups = plan_groups(&self.sdg, self.proc_regions(), criteria);
         let mut scratch = self.take_scratch();
         let mut slots: Vec<Option<Result<Answer, SpecError>>> =
             criteria.iter().map(|_| None).collect();
@@ -1308,50 +1375,74 @@ impl Slicer {
 /// Plans the one-pass solver's criterion groups: a partition of
 /// `0..criteria.len()` where each group shares one saturation.
 ///
-/// Criteria are grouped by the sorted set of procedures owning their
-/// vertices — criteria rooted in the same procedure(s) saturate
-/// near-identical state, which is exactly the redundancy the shared
-/// saturation eliminates; unrelated criteria would only bloat each other's
-/// union automaton. Raw-automaton criteria and criteria naming an
+/// Criteria are grouped by the sorted set of call-graph *regions* (SCC
+/// condensation components, see [`Slicer::proc_regions`]) owning their
+/// vertices — criteria rooted in the same mutual-recursion cluster
+/// saturate near-identical state, which is exactly the redundancy the
+/// shared saturation eliminates; unrelated criteria would only bloat each
+/// other's union automaton. Raw-automaton criteria and criteria naming an
 /// out-of-range vertex (rejected later, during query construction) get
-/// singleton groups. Groups keep input order (first appearance), members
-/// stay in input order, and groups wider than [`CriterionSet::MAX_MEMBERS`]
-/// roll over — so the plan is a pure function of the criterion list, and
+/// singleton groups. Members stay in input order and groups wider than
+/// [`CriterionSet::MAX_MEMBERS`] roll over into fresh groups of the same
+/// shard. The returned plan is ordered shard-contiguously (shards in first
+/// appearance order, a shard's rollover chain adjacent within it) so the
+/// pool's contiguous deal lands same-region groups on the same worker —
+/// warm rows for the region's saturation state — instead of interleaving
+/// them across the pool. The plan is a pure function of the criterion list
+/// and the session's SDG; results are scattered back to input order, so
 /// batch output stays thread-count-independent.
-fn plan_groups(sdg: &Sdg, criteria: &[Criterion]) -> Vec<Vec<usize>> {
+fn plan_groups(sdg: &Sdg, regions: &[u32], criteria: &[Criterion]) -> Vec<Vec<usize>> {
     let vertex_bound = sdg.vertex_count() as u32;
-    let proc_key = |verts: &mut dyn Iterator<Item = u32>| -> Option<Vec<u32>> {
-        let mut procs = Vec::new();
+    let region_key = |verts: &mut dyn Iterator<Item = u32>| -> Option<Vec<u32>> {
+        let mut key = Vec::new();
         for v in verts {
             if v >= vertex_bound {
                 return None;
             }
-            procs.push(sdg.vertex(VertexId(v)).proc.0);
+            key.push(regions[sdg.vertex(VertexId(v)).proc.0 as usize]);
         }
-        procs.sort_unstable();
-        procs.dedup();
-        Some(procs)
+        key.sort_unstable();
+        key.dedup();
+        Some(key)
     };
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    let mut open: HashMap<Vec<u32>, usize> = HashMap::new();
+    // Each group carries its shard id (one per distinct key, in first
+    // appearance order; keyless singletons shard alone) until the final
+    // shard-contiguous ordering below.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    // Key → (open group index, shard id).
+    let mut open: HashMap<Vec<u32>, (usize, usize)> = HashMap::new();
+    let mut shards = 0usize;
     for (i, criterion) in criteria.iter().enumerate() {
         let key = match criterion {
-            Criterion::AllContexts(verts) => proc_key(&mut verts.iter().map(|v| v.0)),
-            Criterion::Configurations(configs) => proc_key(&mut configs.iter().map(|(v, _)| v.0)),
+            Criterion::AllContexts(verts) => region_key(&mut verts.iter().map(|v| v.0)),
+            Criterion::Configurations(configs) => region_key(&mut configs.iter().map(|(v, _)| v.0)),
             Criterion::Automaton(_) => None,
         };
         match key {
-            None => groups.push(vec![i]),
-            Some(key) => match open.get(&key) {
-                Some(&g) if groups[g].len() < CriterionSet::MAX_MEMBERS => groups[g].push(i),
-                _ => {
-                    open.insert(key, groups.len());
-                    groups.push(vec![i]);
+            None => {
+                groups.push((shards, vec![i]));
+                shards += 1;
+            }
+            Some(key) => match open.get_mut(&key) {
+                Some(&mut (g, _)) if groups[g].1.len() < CriterionSet::MAX_MEMBERS => {
+                    groups[g].1.push(i);
+                }
+                Some(entry) => {
+                    // Mask rollover: a fresh group in the same shard.
+                    entry.0 = groups.len();
+                    let shard = entry.1;
+                    groups.push((shard, vec![i]));
+                }
+                None => {
+                    open.insert(key, (groups.len(), shards));
+                    groups.push((shards, vec![i]));
+                    shards += 1;
                 }
             },
         }
     }
-    groups
+    groups.sort_by_key(|&(shard, _)| shard);
+    groups.into_iter().map(|(_, members)| members).collect()
 }
 
 /// Tags a failing batch member with its criterion index, for every error

@@ -285,6 +285,234 @@ impl Gen {
     }
 }
 
+/// Tuning knobs for [`scale_program`] — the scale-corpus generator.
+///
+/// Where [`GenConfig`] produces small property-test programs,
+/// `ScaleConfig` synthesizes programs two orders of magnitude larger:
+/// thousands of procedures arranged in mutual-recursion rings chained
+/// into a deep call DAG, function-pointer webs lowered through §6.2
+/// dispatchers, and printf criterion sites skewed ~80/20 between a hot
+/// head region (reached from every later ring) and cold leaves.
+/// Deterministic from the seed and sema-clean by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleConfig {
+    /// Procedures besides `main` (≥ 2); the scale knob.
+    pub n_procs: usize,
+    /// Global variables (≥ 1).
+    pub n_globals: usize,
+    /// Mutual-recursion ring size (≥ 1): procedures are laid out in
+    /// rings of this many members, each calling the next member guarded
+    /// by a decreasing depth parameter (1 = plain self-recursion).
+    pub ring: usize,
+    /// Percentage (0–100) of procedures that dispatch through a
+    /// function-pointer web (an indirect call over a pooled target set,
+    /// lowered to a §6.2 dispatcher downstream).
+    pub indirect_pct: u32,
+    /// printf criterion sites to scatter over procedure bodies; ~4/5
+    /// land in the hot first fifth of the procedures.
+    pub n_printfs: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            n_procs: 64,
+            n_globals: 8,
+            ring: 4,
+            indirect_pct: 25,
+            n_printfs: 16,
+        }
+    }
+}
+
+/// Number of pooled indirect-call targets per arity in [`scale_program`].
+const WEB_TARGETS: usize = 5;
+
+/// Generates a deterministic scale-corpus program (see [`ScaleConfig`]).
+///
+/// Structure: procedures `r0..rN` are grouped into rings; within a ring
+/// each member calls the next (`if (d > 0) { rJ(d - 1, …); }`), forming
+/// one call-graph SCC per ring. The first member of every ring after the
+/// first calls the previous ring's entry, so the rings chain into a deep
+/// DAG of SCCs with `main` at the top; additional cross-ring calls are
+/// biased toward the hot head region. Webbed procedures pick a
+/// function-pointer target from a per-arity pool at runtime, which the
+/// §6.2 lowering turns into shared dispatchers. Every procedure
+/// terminates: ring recursion consumes `d`, cross-ring calls pass small
+/// constant depths, and loops never appear.
+pub fn scale_program(seed: u64, cfg: ScaleConfig) -> String {
+    let n = cfg.n_procs.max(2);
+    let g = cfg.n_globals.max(1);
+    let ring = cfg.ring.max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::new();
+
+    let globals: Vec<String> = (0..g).map(|i| format!("g{i}")).collect();
+    let _ = writeln!(out, "int {};", globals.join(", "));
+
+    // Pooled indirect-call targets, two arities → two dispatcher webs.
+    let webs = cfg.indirect_pct > 0;
+    if webs {
+        for t in 0..WEB_TARGETS {
+            let op = ["+", "-", "*"][t % 3];
+            let _ = writeln!(
+                out,
+                "int w2_{t}(int a, int b) {{ return (a {op} b) + {t}; }}"
+            );
+            let _ = writeln!(
+                out,
+                "int w3_{t}(int a, int b, int c) {{ return (a {op} b) - (c {op} {t}); }}"
+            );
+        }
+    }
+
+    // Hot head region: the first fifth of the procedures.
+    let hot = (n / 5).max(1);
+
+    for i in 0..n {
+        let ring_start = i - i % ring;
+        let rsize = ring.min(n - ring_start);
+        let succ = ring_start + (i - ring_start + 1) % rsize;
+        let gi = i % g;
+        let gj = (i * 7 + 3) % g;
+
+        let uses_web = webs && rng.gen_range(0..100) < cfg.indirect_pct as usize;
+        let arity3 = uses_web && rng.gen_bool(0.4);
+
+        let mut body = String::new();
+        let _ = writeln!(body, "int l0;");
+        if uses_web {
+            if arity3 {
+                let _ = writeln!(body, "int (*fp)(int, int, int);");
+            } else {
+                let _ = writeln!(body, "int (*fp)(int, int);");
+            }
+        }
+        let _ = writeln!(body, "l0 = x + {};", rng.gen_range(0..7));
+        let _ = writeln!(body, "g{gi} = g{gi} + x;");
+
+        // Ring successor: the mutual-recursion edge (guarded, d shrinks).
+        if succ != i {
+            let _ = writeln!(body, "if (d > 0) {{ l0 = r{succ}(d - 1, l0 + 1); }}");
+        } else {
+            let _ = writeln!(body, "if (d > 0) {{ l0 = r{i}(d - 1, l0 + 1); }}");
+        }
+
+        // Backbone: ring entries chain to the previous ring's entry, so
+        // every ring is reachable from `main` through the last ring.
+        if i == ring_start && ring_start >= ring {
+            let prev_entry = ring_start - ring;
+            let _ = writeln!(body, "l0 = l0 + r{prev_entry}(2, g{gj});");
+        }
+
+        // Skewed cross-ring call into an earlier ring (70% hot head).
+        if ring_start > 0 && rng.gen_bool(0.5) {
+            let bound = ring_start.min(hot.max(1));
+            let target = if rng.gen_bool(0.7) {
+                rng.gen_range(0..bound)
+            } else {
+                rng.gen_range(0..ring_start)
+            };
+            let depth = rng.gen_range(1..4);
+            let _ = writeln!(
+                body,
+                "if (x > {}) {{ l0 = l0 + r{target}({depth}, l0); }}",
+                rng.gen_range(0..10)
+            );
+        }
+
+        if uses_web {
+            let a = rng.gen_range(0..WEB_TARGETS);
+            let b = (a + 1 + rng.gen_range(0..WEB_TARGETS - 1)) % WEB_TARGETS;
+            let pfx = if arity3 { "w3" } else { "w2" };
+            let _ = writeln!(
+                body,
+                "if (x > {}) {{ fp = {pfx}_{a}; }} else {{ fp = {pfx}_{b}; }}",
+                rng.gen_range(0..10)
+            );
+            if arity3 {
+                let _ = writeln!(body, "l0 = fp(l0, g{gi}, {});", rng.gen_range(0..9));
+            } else {
+                let _ = writeln!(body, "l0 = fp(l0, g{gj});");
+            }
+        }
+
+        let _ = writeln!(body, "g{gj} = g{gj} + l0;");
+        let _ = writeln!(body, "return l0 + g{gi};");
+        let _ = writeln!(out, "int r{i}(int d, int x) {{\n{body}}}");
+    }
+
+    // Scatter printf criterion sites: ~4/5 hot, 1/5 cold, deterministic.
+    let mut printf_procs: Vec<usize> = Vec::with_capacity(cfg.n_printfs);
+    for _ in 0..cfg.n_printfs {
+        if rng.gen_bool(0.8) {
+            printf_procs.push(rng.gen_range(0..hot));
+        } else {
+            printf_procs.push(rng.gen_range(0..n));
+        }
+    }
+    printf_procs.sort_unstable();
+    printf_procs.dedup();
+    for p in printf_procs {
+        let needle = format!("int r{p}(int d, int x) {{\n");
+        if let Some(pos) = out.find(&needle) {
+            let ret_pos = out[pos..].find("return l0").map(|o| pos + o);
+            if let Some(rp) = ret_pos {
+                let gk = (p * 5 + 1) % g;
+                out.insert_str(rp, &format!("printf(\"%d %d\", l0, g{gk});\n"));
+            }
+        }
+    }
+
+    // main: seed the globals, scanf one input, enter through the last
+    // ring's entry (reaching every ring via the backbone), and print.
+    let last_entry = (n - 1) - (n - 1) % ring;
+    let mid_entry = (n / 2) - (n / 2) % ring;
+    let mut body = String::new();
+    let _ = writeln!(body, "int m0;\nint m1;");
+    let _ = writeln!(body, "scanf(\"%d\", &m0);");
+    let _ = writeln!(body, "m0 = m0 % 3;");
+    for (i, gname) in globals.iter().enumerate() {
+        let _ = writeln!(body, "{gname} = {};", (i * 3 + 1) % 11);
+    }
+    let _ = writeln!(body, "m1 = r{last_entry}(m0 + 2, m0);");
+    if mid_entry != last_entry {
+        let _ = writeln!(body, "m1 = m1 + r{mid_entry}(2, m1);");
+    }
+    let _ = writeln!(body, "m1 = m1 + r0(1, m1);");
+    let fmt: Vec<&str> = globals.iter().map(|_| "%d").collect();
+    let _ = writeln!(body, "printf(\"%d\", m1);");
+    let _ = writeln!(
+        body,
+        "printf(\"{}\", {});",
+        fmt.join(" "),
+        globals.join(", ")
+    );
+    let _ = writeln!(body, "return 0;");
+    let _ = writeln!(out, "int main() {{\n{body}}}");
+    out
+}
+
+/// Deterministic skewed sample of `count` site indices out of `n_sites`:
+/// ~80% of picks land in the first fifth of the sites (the generator's
+/// hot head), the rest are uniform. Sampling is with replacement — a hot
+/// site drawn twice models the repeated-criterion traffic a warm session
+/// sees — so the result may contain duplicates.
+pub fn skewed_site_sample(n_sites: usize, count: usize, seed: u64) -> Vec<usize> {
+    assert!(n_sites > 0, "no sites to sample");
+    let hot = (n_sites / 5).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            if rng.gen_bool(0.8) {
+                rng.gen_range(0..hot)
+            } else {
+                rng.gen_range(0..n_sites)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +531,49 @@ mod tests {
         let a = random_program(7, GenConfig::default());
         let b = random_program(7, GenConfig::default());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_programs_are_valid_and_deterministic() {
+        for seed in 0..4 {
+            let cfg = ScaleConfig {
+                n_procs: 40,
+                ..ScaleConfig::default()
+            };
+            let src = scale_program(seed, cfg);
+            assert_eq!(
+                src,
+                scale_program(seed, cfg),
+                "seed {seed} not deterministic"
+            );
+            let p = frontend(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert_eq!(p.functions.len(), 40 + 2 * super::WEB_TARGETS + 1);
+            assert!(src.contains("(*fp)"), "seed {seed}: no indirect web");
+        }
+    }
+
+    #[test]
+    fn scale_ring_of_one_and_no_webs() {
+        let cfg = ScaleConfig {
+            n_procs: 7,
+            n_globals: 2,
+            ring: 1,
+            indirect_pct: 0,
+            n_printfs: 3,
+        };
+        let src = scale_program(11, cfg);
+        let p = frontend(&src).unwrap();
+        assert_eq!(p.functions.len(), 8);
+    }
+
+    #[test]
+    fn skewed_sample_is_deterministic_and_hot_heavy() {
+        let a = skewed_site_sample(100, 200, 3);
+        assert_eq!(a, skewed_site_sample(100, 200, 3));
+        assert_eq!(a.len(), 200);
+        assert!(a.iter().all(|&i| i < 100));
+        let hot = a.iter().filter(|&&i| i < 20).count();
+        assert!(hot > 120, "expected hot-skewed sample, got {hot}/200 hot");
     }
 
     #[test]

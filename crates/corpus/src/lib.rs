@@ -25,7 +25,7 @@ pub mod examples;
 pub mod generate;
 pub mod rng;
 
-pub use generate::{random_program, GenConfig};
+pub use generate::{random_program, scale_program, skewed_site_sample, GenConfig, ScaleConfig};
 
 /// One corpus entry.
 #[derive(Clone, Copy, Debug)]

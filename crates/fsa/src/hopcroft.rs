@@ -10,7 +10,6 @@
 //! vertex.
 
 use crate::dfa::Dfa;
-use crate::hash::FxHashMap;
 use crate::nfa::StateId;
 use crate::Symbol;
 
@@ -41,31 +40,67 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
         }
     }
 
+    // Signature: (current class, successor (symbol, class) pairs). The
+    // successor rows are stored sorted by symbol, so the signature is
+    // canonical without a per-state sort. Signatures live flattened in one
+    // pool and states are grouped by sorting span indices — no per-state
+    // key allocation, and every buffer is reused across rounds (the MRD
+    // pipeline minimizes thousands of small DFAs per batch).
+    let mut sig_pool: Vec<(Symbol, u32)> = Vec::new();
+    let mut bounds: Vec<u32> = Vec::new();
+    let mut order: Vec<u32> = Vec::new();
+    let mut new_class = vec![0u32; n];
+    let mut first_seen: Vec<u32> = Vec::new();
+    const UNSEEN: u32 = u32::MAX;
     loop {
-        // Signature: (current class, successor (symbol, class) pairs). The
-        // successor rows are stored sorted by symbol, so the signature is
-        // canonical without a per-state sort.
-        let mut sig_ids: FxHashMap<(u32, Vec<(Symbol, u32)>), u32> = FxHashMap::default();
-        let mut new_class = vec![0u32; n];
+        sig_pool.clear();
+        bounds.clear();
+        bounds.push(0);
         for i in 0..n {
             let q = StateId(i as u32);
-            let succ: Vec<(Symbol, u32)> = trimmed
-                .transitions_from(q)
-                .iter()
-                .map(|&(s, t)| (s, class[t.index()]))
-                .collect();
-            let key = (class[i], succ);
-            let next_id = sig_ids.len() as u32;
-            let id = *sig_ids.entry(key).or_insert(next_id);
-            new_class[i] = id;
+            sig_pool.extend(
+                trimmed
+                    .transitions_from(q)
+                    .iter()
+                    .map(|&(s, t)| (s, class[t.index()])),
+            );
+            bounds.push(sig_pool.len() as u32);
         }
-        let new_n = sig_ids.len();
+        let sig = |i: u32| {
+            let (lo, hi) = (bounds[i as usize], bounds[i as usize + 1]);
+            (class[i as usize], &sig_pool[lo as usize..hi as usize])
+        };
+        order.clear();
+        order.extend(0..n as u32);
+        order.sort_unstable_by(|&a, &b| sig(a).cmp(&sig(b)));
+        // Tag each run of equal signatures, then renumber tags by first
+        // occurrence in *state* order — the id assignment the former
+        // insertion-ordered map produced, so the quotient construction
+        // below is unchanged.
+        let mut tag = 0u32;
+        for w in 0..order.len() {
+            if w > 0 && sig(order[w]) != sig(order[w - 1]) {
+                tag += 1;
+            }
+            new_class[order[w] as usize] = tag;
+        }
+        let new_n = tag as usize + 1;
+        first_seen.clear();
+        first_seen.resize(new_n, UNSEEN);
+        let mut next_id = 0u32;
+        for c in new_class.iter_mut() {
+            let slot = &mut first_seen[*c as usize];
+            if *slot == UNSEEN {
+                *slot = next_id;
+                next_id += 1;
+            }
+            *c = *slot;
+        }
+        std::mem::swap(&mut class, &mut new_class);
         if new_n == n_classes {
-            class = new_class;
             break;
         }
         n_classes = new_n;
-        class = new_class;
     }
 
     // Build the quotient automaton. Renumber classes so the initial state's

@@ -109,14 +109,26 @@ fn reverse_trim_canonical(dfa: &Dfa) -> Option<Nfa> {
     // over predecessor edges, seeded from the finals' predecessors). In a
     // trim DFA this is every non-final state plus any final that reaches a
     // final again.
-    let mut preds: Vec<Vec<StateId>> = vec![Vec::new(); n];
-    for (f, _, t) in dfa.transitions() {
-        preds[t.index()].push(f);
+    let mut pred_off: Vec<u32> = vec![0; n + 1];
+    for (_, _, t) in dfa.transitions() {
+        pred_off[t.index() + 1] += 1;
     }
+    for i in 0..n {
+        pred_off[i + 1] += pred_off[i];
+    }
+    let mut preds: Vec<StateId> = vec![StateId(0); *pred_off.last().unwrap() as usize];
+    let mut pred_cur = pred_off.clone();
+    for (f, _, t) in dfa.transitions() {
+        let at = &mut pred_cur[t.index()];
+        preds[*at as usize] = f;
+        *at += 1;
+    }
+    let pred_row =
+        |q: StateId| &preds[pred_off[q.index()] as usize..pred_off[q.index() + 1] as usize];
     let mut keep = vec![false; n];
     let mut work: Vec<StateId> = Vec::new();
     for &f in dfa.finals() {
-        for &q in &preds[f.index()] {
+        for &q in pred_row(f) {
             if !keep[q.index()] {
                 keep[q.index()] = true;
                 work.push(q);
@@ -124,7 +136,7 @@ fn reverse_trim_canonical(dfa: &Dfa) -> Option<Nfa> {
         }
     }
     while let Some(q) = work.pop() {
-        for &p in &preds[q.index()] {
+        for &p in pred_row(q) {
             if !keep[p.index()] {
                 keep[p.index()] = true;
                 work.push(p);
@@ -210,29 +222,63 @@ fn reverse_trim_canonical(dfa: &Dfa) -> Option<Nfa> {
 /// matches.
 fn determinize_reversed(a1: &Nfa) -> Dfa {
     let n = a1.state_count();
-    let mut inc: Vec<Vec<(Symbol, StateId)>> = vec![Vec::new(); n];
+    // Transposed adjacency in CSR form (count pass, prefix sums, fill
+    // pass): the query pipeline runs this on thousands of small automata
+    // per batch, and per-state `Vec` rows would pay one heap allocation
+    // per state with an incoming edge — the CSR pays six, total.
+    let mut inc_off: Vec<u32> = vec![0; n + 1];
+    let mut eps_off: Vec<u32> = vec![0; n + 1];
+    for (_, l, t) in a1.transitions() {
+        match l {
+            Some(_) => inc_off[t.index() + 1] += 1,
+            None => eps_off[t.index() + 1] += 1,
+        }
+    }
+    for i in 0..n {
+        inc_off[i + 1] += inc_off[i];
+        eps_off[i + 1] += eps_off[i];
+    }
+    let mut inc: Vec<(Symbol, StateId)> =
+        vec![(Symbol(0), StateId(0)); *inc_off.last().unwrap() as usize];
     // ε-successors *in the reversal*: reversed state q steps by ε to every
     // a1-state with an ε-edge into q.
-    let mut eps_inc: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut eps_inc: Vec<u32> = vec![0; *eps_off.last().unwrap() as usize];
+    let mut inc_cur = inc_off.clone();
+    let mut eps_cur = eps_off.clone();
     for (f, l, t) in a1.transitions() {
         match l {
-            Some(s) => inc[t.index()].push((s, f)),
-            None => eps_inc[t.index()].push(f.0),
+            Some(s) => {
+                let at = &mut inc_cur[t.index()];
+                inc[*at as usize] = (s, f);
+                *at += 1;
+            }
+            None => {
+                let at = &mut eps_cur[t.index()];
+                eps_inc[*at as usize] = f.0;
+                *at += 1;
+            }
         }
     }
     const SENTINEL: u32 = u32::MAX;
     let mut mark = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
     // ε-closes `set` (sorted, duplicate-free, sentinel-free) in place over
     // the reversal's ε-edges, keeping it sorted and duplicate-free; `mark`
-    // is scratch, false on entry/exit — mirrors `Dfa::determinize`'s
-    // closure step by step so membership and order come out identical.
-    let close = |set: &mut Vec<u32>, mark: &mut Vec<bool>| {
-        let mut stack: Vec<u32> = set.clone();
+    // and `stack` are scratch (`mark` false on entry/exit, `stack` empty) —
+    // mirrors `Dfa::determinize`'s closure step by step so membership and
+    // order come out identical.
+    let close = |set: &mut Vec<u32>, mark: &mut Vec<bool>, stack: &mut Vec<u32>| {
+        stack.clear();
+        stack.extend_from_slice(set);
         for &q in set.iter() {
             mark[q as usize] = true;
         }
         while let Some(q) = stack.pop() {
-            for &t in &eps_inc[q as usize] {
+            let (lo, hi) = (
+                eps_off[q as usize] as usize,
+                eps_off[q as usize + 1] as usize,
+            );
+            for &t in &eps_inc[lo..hi] {
                 if !mark[t as usize] {
                     mark[t as usize] = true;
                     set.push(t);
@@ -251,23 +297,36 @@ fn determinize_reversed(a1: &Nfa) -> Dfa {
     // (via the ε-bridge), their closure over flipped ε-edges, and the fresh
     // initial itself. Subsets are sorted dense id vectors; `close` sorts
     // and the sentinel sorts last, so the start subset is sorted too.
-    let mut start: Vec<u32> = a1.finals().iter().map(|q| q.0).collect();
-    close(&mut start, &mut mark);
-    start.push(SENTINEL);
+    //
+    // Discovered subsets live contiguously in `pool` (the worklist holds
+    // `(start, end, id)` spans into it); the interning map clones each
+    // distinct subset exactly once, at its final size. A reused `targets`
+    // buffer stands in for the per-symbol-group temporary, so the subset
+    // construction's steady state allocates only on genuinely new subsets.
+    let mut targets: Vec<u32> = a1.finals().iter().map(|q| q.0).collect();
+    close(&mut targets, &mut mark, &mut stack);
+    targets.push(SENTINEL);
     let mut subset_ids: FxHashMap<Vec<u32>, StateId> = FxHashMap::default();
-    subset_ids.insert(start.clone(), dfa.initial());
-    if start.contains(&initial) {
+    subset_ids.insert(targets.clone(), dfa.initial());
+    if targets.contains(&initial) {
         dfa.set_final(dfa.initial());
     }
-    let mut work: Vec<(Vec<u32>, StateId)> = vec![(start, dfa.initial())];
+    let mut pool: Vec<u32> = Vec::new();
+    pool.extend_from_slice(&targets);
+    let mut work: Vec<(u32, u32, StateId)> = vec![(0, pool.len() as u32, dfa.initial())];
     let mut pairs: Vec<(Symbol, StateId)> = Vec::new();
-    while let Some((subset, did)) = work.pop() {
+    while let Some((lo, hi, did)) = work.pop() {
         // Flatten all reversed successors, then group by symbol — exactly
         // `determinize`'s one-sort grouping.
         pairs.clear();
-        for &q in &subset {
+        for at in lo..hi {
+            let q = pool[at as usize];
             if q != SENTINEL {
-                pairs.extend(inc[q as usize].iter().copied());
+                let (s, e) = (
+                    inc_off[q as usize] as usize,
+                    inc_off[q as usize + 1] as usize,
+                );
+                pairs.extend_from_slice(&inc[s..e]);
             }
         }
         pairs.sort_unstable();
@@ -275,15 +334,15 @@ fn determinize_reversed(a1: &Nfa) -> Dfa {
         let mut i = 0;
         while i < pairs.len() {
             let sym = pairs[i].0;
-            let mut targets: Vec<u32> = Vec::new();
+            targets.clear();
             while i < pairs.len() && pairs[i].0 == sym {
                 targets.push(pairs[i].1 .0);
                 i += 1;
             }
             // `pairs` is sorted and deduplicated, so `targets` is too;
             // ε-closure keeps it that way.
-            close(&mut targets, &mut mark);
-            let target_id = match subset_ids.get(&targets) {
+            close(&mut targets, &mut mark, &mut stack);
+            let target_id = match subset_ids.get(targets.as_slice()) {
                 Some(&id) => id,
                 None => {
                     let id = dfa.add_state();
@@ -291,7 +350,9 @@ fn determinize_reversed(a1: &Nfa) -> Dfa {
                         dfa.set_final(id);
                     }
                     subset_ids.insert(targets.clone(), id);
-                    work.push((targets, id));
+                    let start = pool.len() as u32;
+                    pool.extend_from_slice(&targets);
+                    work.push((start, pool.len() as u32, id));
                     id
                 }
             };

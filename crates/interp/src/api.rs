@@ -1,10 +1,11 @@
 //! The unified execution API: [`ExecRequest`] in, [`ExecOutcome`] out,
 //! behind the [`ExecBackend`] trait.
 //!
-//! Historically the only way to run a MiniC program was the bare
-//! `specslice_interp::run(&program, &input, fuel)` entry point, called
-//! directly from validation, tests, and benches. This module replaces that
-//! signature with a request/outcome pair so callers *select a backend*
+//! Historically the only way to run a MiniC program was a bare
+//! `run(&program, &input, fuel)` entry point, called directly from
+//! validation, tests, and benches (removed after a deprecation release).
+//! This module replaced that signature with a request/outcome pair so
+//! callers *select a backend*
 //! (the tree-walking interpreter, or the `specslice-vm` bytecode machine)
 //! instead of hard-coding one — the contract is that every backend produces
 //! the **same** [`ExecOutcome`] (output vector, step accounting, exit path)

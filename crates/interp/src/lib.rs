@@ -108,10 +108,6 @@ pub struct ExecOutcome {
     pub inputs_consumed: usize,
 }
 
-/// Pre-redesign name of [`ExecOutcome`].
-#[deprecated(note = "renamed to `ExecOutcome`")]
-pub type Run = ExecOutcome;
-
 /// The tree-walking interpreter backend.
 pub struct Interp;
 
@@ -194,19 +190,6 @@ pub fn exec(req: &ExecRequest<'_>) -> Result<ExecOutcome, ExecError> {
         steps: interp.steps,
         inputs_consumed: interp.input_pos,
     })
-}
-
-/// Runs `program` on `input` with a statement budget of `fuel`.
-///
-/// # Errors
-///
-/// Returns [`ExecError::OutOfFuel`] if the budget is exhausted, and
-/// arithmetic/pointer errors as they occur.
-#[deprecated(note = "build an `ExecRequest` and run it through an `ExecBackend`: \
-            `Interp.exec(&ExecRequest::new(program).with_input(input).with_fuel(fuel))`, \
-            or the env-selected backend via `specslice::exec::run`")]
-pub fn run(program: &Program, input: &[i64], fuel: u64) -> Result<ExecOutcome, InterpError> {
-    exec(&ExecRequest::new(program).with_input(input).with_fuel(fuel))
 }
 
 impl<'p> Walker<'p> {
@@ -695,14 +678,6 @@ mod tests {
             &[],
         );
         assert_eq!(r.output, vec![1, 0]);
-    }
-
-    #[test]
-    fn deprecated_shim_still_runs() {
-        let p = frontend(r#"int main() { printf("%d", 41 + 1); return 0; }"#).unwrap();
-        #[allow(deprecated)]
-        let r = run(&p, &[], 1000).unwrap();
-        assert_eq!(r.output, vec![42]);
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! assert!(result.accepts(p, &[a, a, a]));
 //! ```
 
+pub mod arena;
 pub mod automaton;
 pub mod index;
 pub mod poststar;

@@ -162,7 +162,7 @@ fn backward_solo(
     // enters its `(state, symbol)` row.
     fn add(
         rows: &mut crate::scratch::RowTable,
-        out: &mut [Vec<(u32, u32)>],
+        out: &mut crate::arena::BumpLists<(u32, u32)>,
         worklist: &mut Vec<(u32, u32, u32)>,
         from: u32,
         sym: Symbol,
@@ -171,7 +171,7 @@ fn backward_solo(
         debug_assert!(sym.0 < u32::MAX, "symbol id overflows the ε encoding");
         let label = sym.0 + 1;
         if rows.insert(from, label, to) {
-            out[from as usize].push((label, to));
+            out.push(from, (label, to));
             worklist.push((from, label, to));
         }
     }
@@ -235,9 +235,9 @@ fn backward_solo(
     // Materialize the saturated automaton: the query plus every inferred
     // transition, in deterministic (state-major, insertion) order.
     let mut aut = query.clone();
-    for (state, row) in out.iter().enumerate() {
-        for &(label, to) in row {
-            aut.add_transition(PState(state as u32), Some(Symbol(label - 1)), PState(to));
+    for state in 0..out.n_lists() as u32 {
+        for (label, to) in out.iter(state) {
+            aut.add_transition(PState(state), Some(Symbol(label - 1)), PState(to));
         }
     }
 
@@ -282,14 +282,14 @@ fn forward_solo(
 
     fn add(
         rows: &mut crate::scratch::RowTable,
-        out: &mut [Vec<(u32, u32)>],
+        out: &mut crate::arena::BumpLists<(u32, u32)>,
         worklist: &mut Vec<(u32, u32, u32)>,
         from: u32,
         label: u32,
         to: u32,
     ) {
         if rows.insert(from, label, to) {
-            out[from as usize].push((label, to));
+            out.push(from, (label, to));
             worklist.push((from, label, to));
         }
     }
@@ -334,15 +334,15 @@ fn forward_solo(
             // `add` never touches `eps_into`, so the row is iterated in
             // place (unlike the ε-branch below, which snapshots `out[t]`
             // because `add` appends to `out`).
-            for &q2 in eps_into[f as usize].iter() {
+            for q2 in eps_into.iter(f) {
                 rule_applications += 1;
                 add(rows, out, worklist, q2, label, t);
             }
         } else {
             // f –ε→ t: combine with all labeled t –sym→ u.
-            eps_into[t as usize].push(f);
+            eps_into.push(t, f);
             tmp_pairs.clear();
-            tmp_pairs.extend(out[t as usize].iter().filter(|&&(l2, _)| l2 != 0));
+            tmp_pairs.extend(out.iter(t).filter(|&(l2, _)| l2 != 0));
             for &(l2, u) in tmp_pairs.iter() {
                 rule_applications += 1;
                 add(rows, out, worklist, f, l2, u);
@@ -356,14 +356,14 @@ fn forward_solo(
     for _ in 0..phase1_states {
         aut.add_state();
     }
-    for (state, row) in out.iter().enumerate() {
-        for &(label, to) in row {
+    for state in 0..out.n_lists() as u32 {
+        for (label, to) in out.iter(state) {
             let l = if label == 0 {
                 None
             } else {
                 Some(Symbol(label - 1))
             };
-            aut.add_transition(PState(state as u32), l, PState(to));
+            aut.add_transition(PState(state), l, PState(to));
         }
     }
 
@@ -374,7 +374,7 @@ fn forward_solo(
         phase1_states,
         peak_bytes: transitions * 36
             + rows.len() * 48
-            + eps_into.iter().map(|v| v.len() * 4 + 24).sum::<usize>()
+            + eps_into.live_bytes()
             + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
         rule_applications,
         peak_worklist,
@@ -505,7 +505,7 @@ pub fn saturate_multi_indexed_with_stats(
 /// late-arriving membership through already-fired rules.
 fn add_masked(
     rows: &mut crate::scratch::RowTable,
-    out: &mut [Vec<(u32, u32)>],
+    out: &mut crate::arena::BumpLists<(u32, u32)>,
     worklist: &mut Vec<(u32, u32, u32)>,
     masks: &mut crate::scratch::MaskTable,
     (from, label, to): (u32, u32, u32),
@@ -516,7 +516,7 @@ fn add_masked(
         "masked derivations must be filtered by the caller"
     );
     if rows.insert(from, label, to) {
-        out[from as usize].push((label, to));
+        out.push(from, (label, to));
     }
     if masks.or(from, label, to, mask) {
         worklist.push((from, label, to));
@@ -529,7 +529,7 @@ fn add_masked(
 /// contains the query transitions.
 fn materialize_multi(
     mut aut: PAutomaton,
-    out: &[Vec<(u32, u32)>],
+    out: &crate::arena::BumpLists<(u32, u32)>,
     masks: &crate::scratch::MaskTable,
     phase1_states: usize,
 ) -> (PAutomaton, FxHashMap<(u32, u32, u32), u64>) {
@@ -537,18 +537,16 @@ fn materialize_multi(
         aut.add_state();
     }
     let mut mask_map = FxHashMap::default();
-    for (state, row) in out.iter().enumerate() {
-        for &(label, to) in row {
+    mask_map.reserve(masks.len());
+    for state in 0..out.n_lists() as u32 {
+        for (label, to) in out.iter(state) {
             let l = if label == 0 {
                 None
             } else {
                 Some(Symbol(label - 1))
             };
-            aut.add_transition(PState(state as u32), l, PState(to));
-            mask_map.insert(
-                (state as u32, label, to),
-                masks.get(state as u32, label, to),
-            );
+            aut.add_transition(PState(state), l, PState(to));
+            mask_map.insert((state, label, to), masks.get(state, label, to));
         }
     }
     (aut, mask_map)
@@ -812,7 +810,7 @@ fn forward_multi(
             // touches `eps_into`, so the row is iterated in place; the ε
             // premise's mask is read fresh per waiter (it may have grown
             // since registration).
-            for &q2 in eps_into[f as usize].iter() {
+            for q2 in eps_into.iter(f) {
                 rule_applications += 1;
                 let mask = masks.get(q2, 0, f) & t_mask;
                 if mask != 0 {
@@ -822,11 +820,11 @@ fn forward_multi(
         } else {
             // f –ε→ t: combine with all labeled t –sym→ u. Mask growth
             // re-pops transitions, so registration dedups.
-            if !eps_into[t as usize].contains(&f) {
-                eps_into[t as usize].push(f);
+            if !eps_into.contains(t, f) {
+                eps_into.push(t, f);
             }
             tmp_pairs.clear();
-            tmp_pairs.extend(out[t as usize].iter().filter(|&&(l2, _)| l2 != 0));
+            tmp_pairs.extend(out.iter(t).filter(|&(l2, _)| l2 != 0));
             for &(l2, u) in tmp_pairs.iter() {
                 rule_applications += 1;
                 let mask = t_mask & masks.get(t, l2, u);
@@ -845,7 +843,7 @@ fn forward_multi(
         phase1_states,
         peak_bytes: transitions * 36
             + rows.len() * 48
-            + eps_into.iter().map(|v| v.len() * 4 + 24).sum::<usize>()
+            + eps_into.live_bytes()
             + masks.len() * 24
             + peak_worklist * std::mem::size_of::<(u32, u32, u32)>(),
         rule_applications,

@@ -15,6 +15,7 @@
 //! transition enters the worklist exactly once, when its target first
 //! enters its row's set.
 
+use crate::arena::BumpLists;
 use specslice_fsa::FxHashMap;
 
 /// Linear-scan → bitset upgrade point for one row's target set.
@@ -110,6 +111,16 @@ impl RowTable {
     /// Live `(state, label)` rows.
     pub(crate) fn len(&self) -> usize {
         self.live
+    }
+
+    /// Retained capacity estimate (map slots + pooled rows).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.map.capacity() * 16
+            + self
+                .rows
+                .iter()
+                .map(|r| 48 + r.targets.capacity() * 4 + r.bits.capacity() * 8)
+                .sum::<usize>()
     }
 }
 
@@ -216,6 +227,11 @@ impl MaskTable {
     pub(crate) fn len(&self) -> usize {
         self.map.len()
     }
+
+    /// Retained capacity estimate.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.map.capacity() * 24
+    }
 }
 
 /// The pending-match table for push rules in the multi-criterion engine.
@@ -263,6 +279,16 @@ impl PendMultiTable {
     pub(crate) fn len(&self) -> usize {
         self.live
     }
+
+    /// Retained capacity estimate (map slots + pooled waiter lists).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.map.capacity() * 16
+            + self
+                .lists
+                .iter()
+                .map(|l| 24 + l.capacity() * 16)
+                .sum::<usize>()
+    }
 }
 
 /// The pending-match table for push rules: `(state, symbol)` → waiters
@@ -305,6 +331,16 @@ impl PendTable {
     pub(crate) fn len(&self) -> usize {
         self.live
     }
+
+    /// Retained capacity estimate (map slots + pooled waiter lists).
+    pub(crate) fn approx_bytes(&self) -> usize {
+        self.map.capacity() * 16
+            + self
+                .lists
+                .iter()
+                .map(|l| 24 + l.capacity() * 8)
+                .sum::<usize>()
+    }
 }
 
 /// Reusable saturation buffers — one per worker thread. Allocate once
@@ -315,14 +351,16 @@ impl PendTable {
 pub struct SaturationScratch {
     /// Dedup rows: `(state, label)` → target set.
     pub(crate) rows: RowTable,
-    /// Per-state adjacency `(label, to)`, the automaton being built.
-    pub(crate) out: Vec<Vec<(u32, u32)>>,
+    /// Per-state adjacency `(label, to)`, the automaton being built —
+    /// bump-arena backed, reset (not freed) between queries.
+    pub(crate) out: BumpLists<(u32, u32)>,
     /// Worklist of `(state, label, to)` transitions, each entering once.
     pub(crate) worklist: Vec<(u32, u32, u32)>,
     /// Push-rule partial matches awaiting their second hop.
     pub(crate) pending: PendTable,
-    /// `Poststar` only: sources of ε-transitions into each state.
-    pub(crate) eps_into: Vec<Vec<u32>>,
+    /// `Poststar` only: sources of ε-transitions into each state —
+    /// bump-arena backed like `out`.
+    pub(crate) eps_into: BumpLists<u32>,
     /// Borrow-splitting copy buffers for the hot loop.
     pub(crate) tmp: Vec<u32>,
     /// Copy buffer for `(label, state)` pairs.
@@ -341,22 +379,38 @@ impl SaturationScratch {
     /// Prepares the scratch for a run over `n_states` automaton states.
     pub(crate) fn reset(&mut self, n_states: u32) {
         self.rows.reset(n_states);
-        for row in &mut self.out {
-            row.clear();
-        }
-        self.out.resize(n_states as usize, Vec::new());
+        self.out.reset(n_states as usize);
         self.worklist.clear();
         self.pending.reset();
-        for v in &mut self.eps_into {
-            v.clear();
-        }
-        self.eps_into.resize(n_states as usize, Vec::new());
+        self.eps_into.reset(n_states as usize);
         self.tmp.clear();
         self.tmp_pairs.clear();
         self.masks.reset();
         self.pending_multi.reset();
         self.tmp_masked.clear();
         self.tmp_waiters.clear();
+    }
+
+    /// Retained capacity estimate: what a warm pooled scratch holds onto
+    /// between queries. Feeds the session's resident-byte accounting.
+    pub fn approx_bytes(&self) -> usize {
+        self.rows.approx_bytes()
+            + self.out.approx_bytes()
+            + self.eps_into.approx_bytes()
+            + self.worklist.capacity() * std::mem::size_of::<(u32, u32, u32)>()
+            + self.pending.approx_bytes()
+            + self.pending_multi.approx_bytes()
+            + self.masks.approx_bytes()
+            + self.tmp.capacity() * 4
+            + self.tmp_pairs.capacity() * 8
+            + self.tmp_masked.capacity() * 16
+            + self.tmp_waiters.capacity() * 16
+    }
+
+    /// Peak live bump-arena bytes since this scratch was created (the
+    /// adjacency and ε-predecessor pools' high-water marks).
+    pub fn arena_high_water_bytes(&self) -> usize {
+        self.out.high_water_bytes() + self.eps_into.high_water_bytes()
     }
 }
 
@@ -442,13 +496,15 @@ mod tests {
     fn scratch_reset_sizes_state_tables() {
         let mut s = SaturationScratch::default();
         s.reset(4);
-        s.out[3].push((1, 2));
-        s.eps_into[2].push(9);
+        s.out.push(3, (1, 2));
+        s.eps_into.push(2, 9);
         s.reset(2);
-        assert_eq!(s.out.len(), 2);
-        assert!(s.out.iter().all(Vec::is_empty));
-        assert!(s.eps_into.iter().all(Vec::is_empty));
+        assert_eq!(s.out.n_lists(), 2);
+        assert!((0..2).all(|l| s.out.iter(l).count() == 0));
+        assert!((0..2).all(|l| s.eps_into.iter(l).count() == 0));
         s.reset(8);
-        assert_eq!(s.out.len(), 8);
+        assert_eq!(s.out.n_lists(), 8);
+        assert!(s.arena_high_water_bytes() > 0);
+        assert!(s.approx_bytes() > 0);
     }
 }

@@ -5,6 +5,16 @@
 //!
 //! Both criteria run against ONE `Slicer` session, so the SDG→PDS encoding
 //! is built once for the two queries.
+//!
+//! `--alloc` appends an allocation report over the scale corpus' 1k tier:
+//! allocation counts and bytes per pipeline stage plus the warm session's
+//! scratch-pool arena high-water marks — the same accounting
+//! `BENCH_scale.json` snapshots. Build with the counting allocator to get
+//! non-zero numbers:
+//!
+//! ```text
+//! cargo run -p specslice-bench --example debug_slice --features count-alloc -- --alloc
+//! ```
 
 use specslice::{Criterion, Slicer};
 
@@ -96,6 +106,120 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         st.approx_bytes(),
         stats.approx_bytes(),
         cfg_stats.approx_bytes(),
+    );
+
+    if std::env::args().any(|a| a == "--alloc") {
+        alloc_report()?;
+    }
+    Ok(())
+}
+
+/// The `--alloc` report: per-stage allocation counts over the scale
+/// corpus' 1k tier (the workload `BENCH_scale.json` gates), measured with
+/// the counting allocator when the `count-alloc` feature installed it.
+fn alloc_report() -> Result<(), Box<dyn std::error::Error>> {
+    use specslice::encode::MAIN_CONTROL;
+    use specslice::{SlicerConfig, Solver};
+    use specslice_bench::alloc_count as ac;
+
+    println!("\n=== allocation report (scale 1k tier) ===");
+    if !ac::enabled() {
+        println!(
+            "counting allocator not installed; rebuild with \
+             `--features count-alloc` for non-zero numbers"
+        );
+    }
+    let cfg = specslice_corpus::ScaleConfig {
+        n_procs: 16,
+        n_globals: 8,
+        ring: 4,
+        indirect_pct: 25,
+        n_printfs: 24,
+    };
+    let source = specslice_corpus::scale_program(42, cfg);
+    let stage = |name: &str, d: specslice_bench::alloc_count::AllocDelta| {
+        println!(
+            "  {name:<28} {:>9} allocs {:>12} bytes (peak live {} KiB)",
+            d.count,
+            d.bytes,
+            d.peak_bytes / 1024
+        );
+    };
+
+    let (slicer, d) = ac::measure(|| -> Result<Slicer, Box<dyn std::error::Error>> {
+        let program = specslice_lang::frontend(&source)?;
+        let lowered = specslice::indirect::lower_indirect_calls(&program)?;
+        Ok(Slicer::from_program_with(
+            lowered,
+            SlicerConfig {
+                collect_stats: false,
+                memoize: false,
+                num_threads: 1,
+                solver: Solver::OnePass,
+                ..SlicerConfig::default()
+            },
+        )?)
+    });
+    let slicer = slicer?;
+    stage("session build", d);
+
+    let sdg = slicer.sdg();
+    let enc = slicer.encoding();
+    let sites: Vec<Criterion> = sdg
+        .printf_call_sites()
+        .map(|c| Criterion::AllContexts(c.actual_ins.clone()))
+        .collect();
+    let criteria: Vec<Criterion> = specslice_corpus::skewed_site_sample(sites.len(), 60, 7)
+        .into_iter()
+        .map(|i| sites[i].clone())
+        .collect();
+
+    // One cold query decomposed stage by stage (the scratch-free public
+    // APIs — an upper bound on what the warm session path pays).
+    let criterion = &criteria[0];
+    let (query, d) = ac::measure(|| {
+        specslice::criteria::query_automaton(sdg, enc, criterion).expect("criterion")
+    });
+    stage("cold: query automaton", d);
+    let (a1, d) = ac::measure(|| {
+        specslice_pds::prestar::prestar_with_stats(&enc.pds, &query)
+            .expect("well-formed query")
+            .0
+    });
+    stage("cold: prestar saturation", d);
+    let (trimmed, d) = ac::measure(|| a1.to_nfa(MAIN_CONTROL).trimmed().0);
+    stage("cold: to_nfa + trim", d);
+    let ((a6, mrd_stats), d) = ac::measure(|| specslice_fsa::mrd::mrd_with_stats(&trimmed));
+    stage("cold: determinize + MRD", d);
+    println!(
+        "    (mrd sizes: input {} -> det {} -> min {} -> mrd {} states)",
+        mrd_stats.input_states,
+        mrd_stats.determinized_states,
+        mrd_stats.minimized_states,
+        mrd_stats.mrd_states
+    );
+    let (_, d) = ac::measure(|| specslice::readout::read_out(sdg, enc, &a6).expect("read out"));
+    stage("cold: read-out", d);
+
+    // The gated numbers: a warm sequential batch, normalized per
+    // criterion (one batch already ran, so the scratch pool is warm).
+    slicer.slice_batch(&criteria)?;
+    let (_, d) = ac::measure(|| slicer.slice_batch(&criteria).expect("batch"));
+    stage("warm batch total", d);
+    println!(
+        "  warm per criterion: {} allocs, {} bytes ({} criteria)",
+        d.count / criteria.len() as u64,
+        d.bytes / criteria.len() as u64,
+        criteria.len()
+    );
+
+    let ss = slicer.scratch_stats();
+    println!(
+        "  scratch pool: {} pooled scratches, ~{} KiB retained, \
+         arena high-water {} KiB",
+        ss.pooled,
+        ss.approx_bytes / 1024,
+        ss.arena_high_water / 1024
     );
     Ok(())
 }

@@ -281,3 +281,48 @@ fn from_sdg_sessions_slice_but_cannot_regenerate() {
         "{err:?}"
     );
 }
+
+/// `approx_bytes` charges the warm scratch pool: after a batch leaves
+/// recycled `QueryScratch`es behind, the session's resident estimate is
+/// exactly its component sum *including* the pool (the server's
+/// `--budget-bytes` LRU eviction would otherwise under-charge warm
+/// sessions by megabytes at scale).
+#[test]
+fn approx_bytes_includes_warm_scratch_pool() {
+    let _guard = serial();
+    let slicer = Slicer::from_source_with(
+        specslice_corpus::examples::FIG1,
+        SlicerConfig {
+            memoize: false, // memo bytes out of the picture: exact sum below
+            num_threads: 1,
+            ..SlicerConfig::default()
+        },
+    )
+    .unwrap();
+    let criteria: Vec<Criterion> = slicer
+        .sdg()
+        .printf_actual_in_vertices()
+        .into_iter()
+        .map(Criterion::vertex)
+        .collect();
+    slicer.slice_batch(&criteria).unwrap();
+
+    let scratch = slicer.scratch_stats();
+    assert!(
+        scratch.pooled >= 1,
+        "batch must leave a warm scratch pooled"
+    );
+    assert!(
+        scratch.approx_bytes > 0,
+        "warm scratch tables have non-zero footprint"
+    );
+    let expected = slicer.sdg().approx_bytes()
+        + slicer.encoding().approx_bytes()
+        + slicer.store_stats().approx_bytes()
+        + scratch.approx_bytes;
+    assert_eq!(
+        slicer.approx_bytes(),
+        expected,
+        "session estimate must be the component sum including the pool"
+    );
+}
